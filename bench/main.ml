@@ -1,0 +1,377 @@
+(* The benchmark harness regenerates every table and figure of the paper's
+   evaluation (Section 4), and adds:
+
+   - a concrete-engine validation: the same sweeps at reduced scale on real
+     generated data through the actual executors (not the parametric model);
+   - a signature-filtering ablation (future-work extension);
+   - Bechamel microbenchmarks of the core operators.
+
+   Usage: dune exec bench/main.exe [-- --quick | -- --samples N]
+   The paper's setting is 500 parameter draws per point (the default). *)
+
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+open Msdq_exp
+
+let section name = Format.printf "@.======== [%s] ========@.@." name
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2 *)
+
+let tables () =
+  section "table-1";
+  Format.printf "System parameters (Table 1):@.%a@." Cost.pp Cost.default;
+  section "table-2";
+  Format.printf "Database and query parameters (Table 2):@.%a@." Params.pp_ranges
+    Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9-11 and the ablation (parametric simulation, paper method) *)
+
+let figures ~samples ~seed =
+  List.iter
+    (fun fig ->
+      section fig.Figures.id;
+      Format.printf "%a@.@." Report.pp_figure fig;
+      Format.printf "shape checks against the paper's findings:@.%a@."
+        Report.pp_checks (Shapes.check fig))
+    (Figures.all ~samples ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-engine validation: the real executors on generated data.   *)
+
+let concrete_validation () =
+  section "concrete-validation";
+  Format.printf
+    "The actual CA/BL/PL executors on generated federations (3 databases,@.\
+     3-class chain), sweeping the number of entities per class. Times come@.\
+     from the same discrete-event engine, driven by real per-phase work.@.@.";
+  let query =
+    "select X.key from K0 X where X.p0 = 2 and X.next.p1 = 1 and X.next.next.p2 = 3"
+  in
+  Format.printf "query: %s@.@." query;
+  Format.printf "%-9s %-6s %12s %12s %10s %8s@." "entities" "strat" "total"
+    "response" "shipped" "checks";
+  let ordering_ok = ref true in
+  List.iter
+    (fun n_entities ->
+      let cfg =
+        {
+          Synth.default with
+          Synth.seed = 31;
+          n_entities;
+          p_host = 1.0;
+          p_attr_present = 0.75;
+          p_null = 0.12;
+          p_copy = 0.4;
+        }
+      in
+      let fed = Synth.generate cfg in
+      let results =
+        List.filter_map
+          (fun s ->
+            match Strategy.run_query s fed query with
+            | Ok (answer, m) -> Some (s, answer, m)
+            | Error msg ->
+              Format.printf "error: %s@." msg;
+              None)
+          [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+      in
+      List.iter
+        (fun (s, _, m) ->
+          Format.printf "%-9d %-6s %12s %12s %9dB %8d@." n_entities
+            (Strategy.to_string s)
+            (Format.asprintf "%a" Msdq_simkit.Time.pp m.Strategy.total)
+            (Format.asprintf "%a" Msdq_simkit.Time.pp m.Strategy.response)
+            m.Strategy.bytes_shipped m.Strategy.check_requests)
+        results;
+      (match results with
+      | [ (_, ca_a, ca); (_, bl_a, bl); (_, pl_a, pl) ] ->
+        let t m = Msdq_simkit.Time.to_us m.Strategy.total in
+        let r m = Msdq_simkit.Time.to_us m.Strategy.response in
+        if not (t bl < t ca && t bl <= t pl && r bl < r ca && r pl < r ca) then
+          ordering_ok := false;
+        if
+          not
+            (Answer.same_statuses bl_a pl_a && Answer.subsumes ~strong:ca_a ~weak:bl_a)
+        then ordering_ok := false
+      | _ -> ordering_ok := false);
+      Format.printf "@.")
+    [ 100; 200; 400; 800 ];
+  Format.printf "paper ordering holds on concrete data (BL < PL on total,@.";
+  Format.printf "both < CA; localized response < CA response): %b@." !ordering_ok
+
+(* ------------------------------------------------------------------ *)
+(* Planner accuracy: predicted vs measured strategy ordering.           *)
+
+let planner_study () =
+  section "planner";
+  Format.printf "Cost-based strategy selection (extension): the planner@.";
+  Format.printf "profiles the federation into Table-2 statistics and predicts@.";
+  Format.printf "each strategy's cost; predicted vs measured per seed.@.@.";
+  let query = "select X.key from K0 X where X.p0 = 2 and X.next.p1 = 1" in
+  Format.printf "query: %s@.@." query;
+  Format.printf "%-5s %-11s %-10s %12s %12s %8s@." "seed" "predicted" "measured"
+    "pred total" "meas total" "regret";
+  let hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          Synth.default with
+          Synth.seed;
+          n_entities = 150;
+          p_host = 1.0;
+          p_attr_present = 0.75;
+          p_null = 0.12;
+        }
+      in
+      let fed = Synth.generate cfg in
+      let analysis =
+        Analysis.analyze (Global_schema.schema (Federation.global_schema fed))
+          (Parser.parse query)
+      in
+      let chosen, predictions =
+        Planner.choose ~objective:Planner.Total_time fed analysis
+      in
+      let measured =
+        List.map
+          (fun s ->
+            let _, m = Strategy.run s fed analysis in
+            (s, m.Strategy.total))
+          [ Strategy.Ca; Strategy.Cf; Strategy.Bl; Strategy.Pl ]
+      in
+      let best =
+        fst
+          (List.fold_left
+             (fun ((_, bt) as b) ((_, t) as c) ->
+               if Msdq_simkit.Time.compare t bt < 0 then c else b)
+             (List.hd measured) (List.tl measured))
+      in
+      incr total;
+      if chosen = best then incr hits;
+      let p = List.hd predictions in
+      let t s = Msdq_simkit.Time.to_us (List.assoc s measured) in
+      Format.printf "%-5d %-11s %-10s %12s %12s %7.2fx@." seed
+        (Strategy.to_string chosen) (Strategy.to_string best)
+        (Format.asprintf "%a" Msdq_simkit.Time.pp p.Planner.total)
+        (Format.asprintf "%a" Msdq_simkit.Time.pp (List.assoc chosen measured))
+        (t chosen /. t best))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Format.printf
+    "@.planner picked the measured-best strategy in %d/%d cases (regret = \
+     chosen / best measured total)@."
+    !hits !total
+
+(* ------------------------------------------------------------------ *)
+(* Heterogeneous hardware: a straggler site (extension).               *)
+
+let straggler_study () =
+  section "straggler";
+  Format.printf "Heterogeneous hardware (extension): one component database@.";
+  Format.printf "runs on a slow machine (factor 0.25). CA only scans and ships@.";
+  Format.printf "there; the localized strategies also evaluate there, so the@.";
+  Format.printf "straggler hurts their response time relatively more.@.@.";
+  let cfg =
+    {
+      Synth.default with
+      Synth.seed = 17;
+      n_entities = 300;
+      p_host = 1.0;
+      p_attr_present = 0.75;
+      p_null = 0.12;
+    }
+  in
+  let fed = Synth.generate cfg in
+  let analysis =
+    Analysis.analyze (Global_schema.schema (Federation.global_schema fed))
+      (Parser.parse "select X.key from K0 X where X.p0 = 2 and X.next.p1 = 1")
+  in
+  Format.printf "%-6s %14s %14s %9s@." "strat" "uniform resp" "straggler resp"
+    "slowdown";
+  List.iter
+    (fun s ->
+      let _, base = Strategy.run s fed analysis in
+      let options =
+        { Strategy.default_options with Strategy.site_speeds = [ (1, 0.25) ] }
+      in
+      let _, slow = Strategy.run ~options s fed analysis in
+      let r m = Msdq_simkit.Time.to_us m.Strategy.response in
+      Format.printf "%-6s %14s %14s %8.2fx@." (Strategy.to_string s)
+        (Format.asprintf "%a" Msdq_simkit.Time.pp base.Strategy.response)
+        (Format.asprintf "%a" Msdq_simkit.Time.pp slow.Strategy.response)
+        (r slow /. r base))
+    [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-query throughput (extension): a stream of queries shares the     *)
+(* simulated system; mean latency under load separates the strategies    *)
+(* further than single-query response time does.                         *)
+
+let throughput_study () =
+  section "throughput";
+  Format.printf "Multi-query workloads (extension): 8 queries arrive at a@.";
+  Format.printf "fixed interval; all share the simulated sites, so they queue@.";
+  Format.printf "on disks, CPUs and the global site's incoming link.@.@.";
+  let cfg =
+    {
+      Synth.default with
+      Synth.seed = 23;
+      n_entities = 200;
+      p_host = 1.0;
+      p_attr_present = 0.75;
+      p_null = 0.12;
+    }
+  in
+  let fed = Synth.generate cfg in
+  let queries =
+    [
+      "select X.key from K0 X where X.p0 = 2 and X.next.p1 = 1";
+      "select X.key from K0 X where X.p1 = 3";
+      "select X.key from K0 X where X.next.p0 = 0 and X.p2 = 1";
+      "select X.key from K0 X where X.p0 = 1 or X.p1 = 2";
+    ]
+  in
+  let analyses =
+    List.map
+      (fun q ->
+        Analysis.analyze (Global_schema.schema (Federation.global_schema fed))
+          (Parser.parse q))
+      queries
+  in
+  Format.printf "%-6s %-14s %14s %14s %14s@." "strat" "interval" "mean latency"
+    "max latency" "makespan";
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun interval_ms ->
+          let jobs =
+            List.init 8 (fun i ->
+                ( strategy,
+                  List.nth analyses (i mod List.length analyses),
+                  Msdq_simkit.Time.ms (float_of_int i *. interval_ms) ))
+          in
+          let out = Strategy.run_concurrent fed jobs in
+          let latencies =
+            List.map
+              (fun q ->
+                Msdq_simkit.Time.to_ms
+                  (Msdq_simkit.Time.sub q.Strategy.completed q.Strategy.started))
+              out.Strategy.queries
+          in
+          let mean =
+            List.fold_left ( +. ) 0.0 latencies /. float_of_int (List.length latencies)
+          in
+          let worst = List.fold_left Float.max 0.0 latencies in
+          Format.printf "%-6s %12.0fms %12.1fms %12.1fms %12.1fms@."
+            (Strategy.to_string strategy) interval_ms mean worst
+            (Msdq_simkit.Time.to_ms out.Strategy.combined_makespan))
+        [ 1000.0; 250.0; 50.0 ])
+    [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks *)
+
+let microbenches () =
+  section "microbench";
+  let open Bechamel in
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  let db1 = ex.Paper_example.db1 in
+  let john = ex.Paper_example.s1 in
+  let pred = List.hd (List.rev Paper_example.q1_predicates) in
+  let small_fed =
+    Synth.generate
+      { Synth.default with Synth.seed = 3; n_entities = 60; p_host = 1.0 }
+  in
+  let small_query =
+    "select X.key from K0 X where X.p0 = 1 and X.next.p1 = 2"
+  in
+  let table = Federation.goids fed in
+  let john_loid = Msdq_odb.Dbobject.loid john in
+  let tests =
+    Test.make_grouped ~name:"msdq"
+      [
+        Test.make ~name:"parse-q1" (Staged.stage (fun () ->
+            ignore (Parser.parse Paper_example.q1)));
+        Test.make ~name:"analyze-q1" (Staged.stage (fun () ->
+            ignore (Analysis.analyze schema (Parser.parse Paper_example.q1))));
+        Test.make ~name:"predicate-eval" (Staged.stage (fun () ->
+            ignore (Msdq_odb.Predicate.eval db1 john pred)));
+        Test.make ~name:"goid-lookup" (Staged.stage (fun () ->
+            ignore (Goid_table.goid_of_local table ~db:"DB1" john_loid)));
+        Test.make ~name:"materialize-paper-fed" (Staged.stage (fun () ->
+            ignore (Materialize.build fed)));
+        Test.make ~name:"local-eval-db1" (Staged.stage (fun () ->
+            ignore (Local_eval.run fed analysis ~db:"DB1")));
+        Test.make ~name:"strategy-ca-paper" (Staged.stage (fun () ->
+            ignore (Strategy.run Strategy.Ca fed analysis)));
+        Test.make ~name:"strategy-bl-paper" (Staged.stage (fun () ->
+            ignore (Strategy.run Strategy.Bl fed analysis)));
+        Test.make ~name:"strategy-bl-synth-60" (Staged.stage (fun () ->
+            ignore (Strategy.run_query Strategy.Bl small_fed small_query)));
+        Test.make ~name:"param-sim-bl" (Staged.stage (fun () ->
+            let rng = Rng.create ~seed:1 in
+            let s = Params.sample rng Params.default in
+            ignore (Param_sim.simulate ~cost:Cost.default Strategy.Bl s)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result) in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows in
+  Format.printf "%-32s %16s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns < 1e3 then Printf.sprintf "%.0fns" ns
+        else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+        else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+        else Printf.sprintf "%.2fs" (ns /. 1e9)
+      in
+      Format.printf "%-32s %16s %8.3f@." name human r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let samples = ref 500 in
+  let seed = ref 1996 in
+  let spec =
+    [
+      ("--samples", Arg.Set_int samples, "N  parameter draws per point (default 500)");
+      ("--quick", Arg.Unit (fun () -> samples := 120), " reduced draws for a fast run");
+      ("--seed", Arg.Set_int seed, "N  random seed (default 1996)");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick|--samples N]";
+  Format.printf
+    "Reproduction harness: Koh & Chen, ICDCS 1996 — every table and figure.@.";
+  Format.printf "parameter draws per point: %d@." !samples;
+  tables ();
+  figures ~samples:!samples ~seed:!seed;
+  concrete_validation ();
+  planner_study ();
+  straggler_study ();
+  throughput_study ();
+  microbenches ();
+  Format.printf "@.done.@."

@@ -1,0 +1,412 @@
+(* msdq — command-line interface to the library.
+
+   Subcommands:
+     demo        the paper's running example (DB1/DB2/DB3, query Q1)
+     query       run a SQL/X query against the demo or a synthetic federation
+     experiment  regenerate the paper's figures with the parametric simulator
+     params      print the Table 1 / Table 2 settings
+     generate    summarize a synthetic federation
+     validate    cross-check the strategies on random federations *)
+
+open Cmdliner
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+open Msdq_exp
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let verbosity =
+  let env = Cmd.Env.info "MSDQ_VERBOSITY" in
+  Term.(const setup_logs $ Logs_cli.level ~env ())
+
+(* Prepends log setup (-v / -vv / --verbosity) to a command's term. *)
+let with_logs term = Term.(const (fun () result -> result) $ verbosity $ term)
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (CA|BL|PL|BLS|PLS|LO|CF)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Strategy.to_string s))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some strategy_conv) None
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Execution strategy: CA, BL, PL, BLS, PLS, LO or CF. Default: all of them.")
+
+let multi_arg =
+  Arg.(
+    value & flag
+    & info [ "multi-valued" ]
+        ~doc:"Integrate disagreeing isomeric values into value sets with               existential semantics (extension).")
+
+let gantt_arg =
+  Arg.(
+    value & flag
+    & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of each strategy's task schedule.")
+
+let deep_arg =
+  Arg.(
+    value & flag
+    & info [ "deep" ] ~doc:"Enable deep certification (extension) for localized strategies.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "samples" ]
+        ~doc:"Parameter draws per configuration (the paper uses 500).")
+
+let run_strategies fed analysis ~strategies ~deep ~multi ~gantt =
+  let options =
+    {
+      Strategy.default_options with
+      Strategy.deep_certify = deep;
+      multi_valued = multi;
+      trace = gantt;
+    }
+  in
+  List.iter
+    (fun s ->
+      let answer, metrics = Strategy.run ~options s fed analysis in
+      Format.printf "@.--- %s ---@.%a@.%a@." (Strategy.to_string s) Answer.pp
+        answer Strategy.pp_metrics metrics;
+      if gantt then
+        Format.printf "@.%a@.%a@."
+          (Msdq_simkit.Gantt.pp ~width:72)
+          metrics.Strategy.trace Msdq_simkit.Gantt.pp_legend
+          metrics.Strategy.trace)
+    strategies
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "data" ] ~docv:"FILE"
+        ~doc:"Load the federation from FILE (see the Loader format) instead               of the built-in demo.")
+
+let federation_of ~data ~synthetic ~seed =
+  match data with
+  | Some path -> (
+    match Loader.load_file path with
+    | Ok fed -> fed
+    | Error msg ->
+      Format.eprintf "cannot load %s: %s@." path msg;
+      exit 1)
+  | None ->
+    if synthetic then Synth.generate { Synth.default with Synth.seed }
+    else (Paper_example.build ()).Paper_example.federation
+
+let analyze_or_exit fed src =
+  match Parser.parse_result src with
+  | Error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    exit 1
+  | Ok ast -> (
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    match Analysis.analyze schema ast with
+    | exception Analysis.Error msg ->
+      Format.eprintf "analysis error: %s@." msg;
+      exit 1
+    | analysis -> analysis)
+
+(* ---- demo ---- *)
+
+let demo strategy deep multi gantt =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  Format.printf "The paper's running example: three school databases.@.@.";
+  Format.printf "%a@." Federation.pp fed;
+  Format.printf "@.Global schema (figure 2):@.%a@." Global_schema.pp
+    (Federation.global_schema fed);
+  Format.printf "@.GOid mapping tables (figure 5):@.%a@." Goid_table.pp
+    (Federation.goids fed);
+  Format.printf "@.Query Q1:@.  %s@." Paper_example.q1;
+  let analysis = analyze_or_exit fed Paper_example.q1 in
+  let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
+  run_strategies fed analysis ~strategies ~deep ~multi ~gantt;
+  `Ok ()
+
+let demo_cmd =
+  let term =
+    with_logs
+      Term.(ret (const demo $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg))
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running example end to end.") term
+
+(* ---- query ---- *)
+
+let query strategy deep multi gantt data synthetic seed sql =
+  let fed = federation_of ~data ~synthetic ~seed in
+  let analysis = analyze_or_exit fed sql in
+  let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
+  Format.printf "query: %a@." Ast.pp analysis.Analysis.query;
+  run_strategies fed analysis ~strategies ~deep ~multi ~gantt;
+  `Ok ()
+
+let query_cmd =
+  let sql =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"SQL/X query string.")
+  in
+  let synthetic =
+    Arg.(
+      value & flag
+      & info [ "synthetic" ]
+          ~doc:"Query a generated synthetic federation instead of the paper demo.")
+  in
+  let term =
+    with_logs
+      Term.(
+        ret
+          (const query $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg
+         $ data_arg $ synthetic $ seed_arg $ sql))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a global query under one or all execution strategies.")
+    term
+
+(* ---- experiment ---- *)
+
+let experiment which samples seed csv chart =
+  let figures =
+    match which with
+    | "fig9" -> [ Figures.fig9 ~samples ~seed () ]
+    | "fig10" -> [ Figures.fig10 ~samples ~seed () ]
+    | "fig11" -> [ Figures.fig11 ~samples ~seed () ]
+    | "ablation" | "ablation-signatures" ->
+      [ Figures.ablation_signatures ~samples ~seed () ]
+    | "ablation-checks" -> [ Figures.ablation_checks ~samples ~seed () ]
+    | "ablation-semijoin" -> [ Figures.ablation_semijoin ~samples ~seed () ]
+    | "all" -> Figures.all ~samples ~seed ()
+    | other ->
+      Format.eprintf
+        "unknown experiment %S (fig9|fig10|fig11|ablation-signatures|ablation-checks|all)@."
+        other;
+      exit 1
+  in
+  List.iter
+    (fun fig ->
+      Format.printf "%a@.@." Report.pp_figure fig;
+      if chart then begin
+        Report.pp_ascii_chart Format.std_formatter fig ~metric:`Total;
+        Format.printf "@."
+      end;
+      Format.printf "%a@." Report.pp_checks (Shapes.check fig);
+      match csv with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir (fig.Figures.id ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Report.to_csv fig);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+    figures;
+  `Ok ()
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"fig9, fig10, fig11, ablation-signatures, ablation-checks or all.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write one CSV per figure into DIR.")
+  in
+  let chart =
+    Arg.(value & flag & info [ "chart" ] ~doc:"Print rough ASCII charts.")
+  in
+  let term =
+    with_logs
+      Term.(
+        ret (const experiment $ which $ samples_arg $ seed_arg $ csv $ chart))
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's figures with the parametric simulator.")
+    term
+
+(* ---- params ---- *)
+
+let params () =
+  Format.printf "Table 1 — system parameters:@.%a@.@." Cost.pp Cost.default;
+  Format.printf "Table 2 — database and query parameters:@.%a@." Params.pp_ranges
+    Params.default;
+  `Ok ()
+
+let params_cmd =
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the paper's parameter tables.")
+    (with_logs Term.(ret (const params $ const ())))
+
+(* ---- generate ---- *)
+
+let generate seed n_db n_classes n_entities =
+  let cfg =
+    { Synth.default with Synth.seed; n_db; n_classes; n_entities }
+  in
+  let fed = Synth.generate cfg in
+  Format.printf "%a@.@." Federation.pp fed;
+  Format.printf "global schema:@.%a@." Global_schema.pp (Federation.global_schema fed);
+  let conflicts =
+    Isomerism.check_consistency (Federation.global_schema fed)
+      ~databases:(Federation.databases fed) (Federation.goids fed)
+  in
+  Format.printf "@.consistency check: %d conflicts@." (List.length conflicts);
+  let rng = Rng.create ~seed in
+  let q = Synth.random_query rng cfg ~disjunctive:false in
+  Format.printf "@.a random query over it:@.  %a@." Ast.pp q;
+  `Ok ()
+
+let generate_cmd =
+  let n_db = Arg.(value & opt int 3 & info [ "databases" ] ~doc:"Component databases.") in
+  let n_classes = Arg.(value & opt int 3 & info [ "classes" ] ~doc:"Chain length.") in
+  let n_entities =
+    Arg.(value & opt int 24 & info [ "entities" ] ~doc:"Entities per class.")
+  in
+  let term =
+    with_logs
+      Term.(ret (const generate $ seed_arg $ n_db $ n_classes $ n_entities))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate and summarize a synthetic federation.")
+    term
+
+(* ---- plan ---- *)
+
+let plan data synthetic seed objective sql =
+  let fed = federation_of ~data ~synthetic ~seed in
+  let analysis = analyze_or_exit fed sql in
+  let objective =
+    match objective with
+    | "total" -> Planner.Total_time
+    | "response" -> Planner.Response_time
+    | other ->
+      Format.eprintf "unknown objective %S (total|response)@." other;
+      exit 1
+  in
+  let chosen, predictions = Planner.choose ~objective fed analysis in
+  Format.printf "query: %a@.@." Ast.pp analysis.Analysis.query;
+  List.iter (fun p -> Format.printf "%a@." Planner.pp_prediction p) predictions;
+  Format.printf "@.recommended strategy: %s@.@." (Strategy.to_string chosen);
+  (* Run the recommendation so the user sees the actual outcome. *)
+  let answer, metrics = Strategy.run chosen fed analysis in
+  Format.printf "%a@.%a@." Answer.pp answer Strategy.pp_metrics metrics;
+  `Ok ()
+
+let plan_cmd =
+  let sql =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"SQL/X query string.")
+  in
+  let synthetic =
+    Arg.(
+      value & flag
+      & info [ "synthetic" ] ~doc:"Plan against a generated synthetic federation.")
+  in
+  let objective =
+    Arg.(
+      value & opt string "total"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:"Optimization objective: total or response.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Profile the federation, predict each strategy's cost and run the              recommended one.")
+    (with_logs
+       Term.(ret (const plan $ data_arg $ synthetic $ seed_arg $ objective $ sql)))
+
+(* ---- validate ---- *)
+
+let validate seeds =
+  let checked = ref 0 and skipped = ref 0 in
+  let failures = ref [] in
+  for seed = 0 to seeds - 1 do
+    let cfg = { Synth.default with Synth.seed } in
+    let fed = Synth.generate cfg in
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    (* a random path may name an attribute no constituent kept; retry a few
+       query draws before skipping the federation *)
+    let rec try_query attempt =
+      if attempt >= 10 then None
+      else
+        let rng = Rng.create ~seed:(seed + (attempt * 7919)) in
+        let q = Synth.random_query rng cfg ~disjunctive:(seed mod 3 = 0) in
+        match Analysis.analyze schema q with
+        | analysis -> Some analysis
+        | exception Analysis.Error _ -> try_query (attempt + 1)
+    in
+    match try_query 0 with
+    | None -> incr skipped
+    | Some analysis ->
+      incr checked;
+      let ca, _ = Strategy.run Strategy.Ca fed analysis in
+      let bl, _ = Strategy.run Strategy.Bl fed analysis in
+      let pl, _ = Strategy.run Strategy.Pl fed analysis in
+      let options =
+        { Strategy.default_options with Strategy.deep_certify = true }
+      in
+      let deep, _ = Strategy.run ~options Strategy.Bl fed analysis in
+      let note name ok = if not ok then failures := (seed, name) :: !failures in
+      note "BL = PL" (Answer.same_statuses bl pl);
+      note "CA subsumes BL" (Answer.subsumes ~strong:ca ~weak:bl);
+      note "deep BL = CA" (Answer.same_statuses ca deep)
+  done;
+  Format.printf "validated %d random federations (%d skipped)@." !checked !skipped;
+  if !failures = [] then begin
+    Format.printf "all invariants hold@.";
+    `Ok ()
+  end
+  else begin
+    List.iter
+      (fun (seed, name) -> Format.printf "FAILED seed %d: %s@." seed name)
+      !failures;
+    exit 1
+  end
+
+let validate_cmd =
+  let seeds =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of random federations.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-check strategy answers on random federations.")
+    (with_logs Term.(ret (const validate $ seeds)))
+
+let main_cmd =
+  let doc =
+    "query execution strategies for missing data in distributed heterogeneous \
+     object databases (Koh & Chen, ICDCS 1996)"
+  in
+  Cmd.group
+    (Cmd.info "msdq" ~version:"1.0.0" ~doc)
+    [
+      demo_cmd;
+      query_cmd;
+      plan_cmd;
+      experiment_cmd;
+      params_cmd;
+      generate_cmd;
+      validate_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,153 @@
+(* A hospital network: patients treated at several hospitals, each hospital
+   recording different attributes. Demonstrates
+
+   - null values and missing attributes producing maybe results,
+   - the disjunctive-predicate extension (OR in the where clause),
+   - deep certification turning residual maybes into definite answers
+     by chaining data across three databases.
+
+   Run with: dune exec examples/hospital_network.exe *)
+
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let prim_str name = { Schema.aname = name; atype = Schema.Prim Schema.P_string }
+let prim_int name = { Schema.aname = name; atype = Schema.Prim Schema.P_int }
+let complex name domain = { Schema.aname = name; atype = Schema.Complex domain }
+
+let () =
+  (* City General records insurers and treating doctors, but no blood type.
+     Its Doctor class has no ward assignment. *)
+  let general_schema =
+    Schema.create
+      [
+        { Schema.cname = "Doctor"; attrs = [ prim_str "name" ] };
+        {
+          Schema.cname = "Patient";
+          attrs =
+            [
+              prim_int "ssn";
+              prim_str "name";
+              prim_str "insurer";
+              complex "doctor" "Doctor";
+            ];
+        };
+      ]
+  in
+  (* St. Vincent records blood types and wards, but no insurer. *)
+  let vincent_schema =
+    Schema.create
+      [
+        {
+          Schema.cname = "Ward";
+          attrs = [ prim_str "name"; prim_int "floor" ];
+        };
+        {
+          Schema.cname = "Doctor";
+          attrs = [ prim_str "name"; complex "ward" "Ward" ];
+        };
+        {
+          Schema.cname = "Patient";
+          attrs =
+            [
+              prim_int "ssn";
+              prim_str "name";
+              prim_str "blood-type";
+              complex "doctor" "Doctor";
+            ];
+        };
+      ]
+  in
+  (* The research registry only knows doctors and wards. *)
+  let registry_schema =
+    Schema.create
+      [
+        { Schema.cname = "Ward"; attrs = [ prim_str "name"; prim_int "floor" ] };
+        {
+          Schema.cname = "Doctor";
+          attrs = [ prim_str "name"; complex "ward" "Ward"; prim_str "speciality" ];
+        };
+      ]
+  in
+
+  let general = Database.create ~name:"general" ~schema:general_schema in
+  let d_adler = Database.add general ~cls:"Doctor" [ Value.Str "Adler" ] in
+  let d_brest = Database.add general ~cls:"Doctor" [ Value.Str "Brest" ] in
+  let add_gp ssn name insurer doctor =
+    ignore
+      (Database.add general ~cls:"Patient"
+         [ Value.Int ssn; Value.Str name; insurer; Value.Ref (Dbobject.loid doctor) ])
+  in
+  add_gp 100 "Omar" (Value.Str "AOK") d_adler;
+  add_gp 101 "Nina" (Value.Str "TK") d_brest;
+  add_gp 102 "Paula" Value.Null d_adler;
+
+  let vincent = Database.create ~name:"vincent" ~schema:vincent_schema in
+  let w_icu = Database.add vincent ~cls:"Ward" [ Value.Str "ICU"; Value.Int 3 ] in
+  let _w_onc = Database.add vincent ~cls:"Ward" [ Value.Str "Oncology"; Value.Int 5 ] in
+  let d_adler' =
+    Database.add vincent ~cls:"Doctor" [ Value.Str "Adler"; Value.Ref (Dbobject.loid w_icu) ]
+  in
+  let d_chen =
+    Database.add vincent ~cls:"Doctor" [ Value.Str "Chen"; Value.Null ]
+  in
+  let add_vp ssn name blood doctor =
+    ignore
+      (Database.add vincent ~cls:"Patient"
+         [ Value.Int ssn; Value.Str name; blood; Value.Ref (Dbobject.loid doctor) ])
+  in
+  add_vp 100 "Omar" (Value.Str "A+") d_adler';
+  add_vp 103 "Rosa" (Value.Str "0-") d_chen;
+  add_vp 102 "Paula" Value.Null d_adler';
+
+  let registry = Database.create ~name:"registry" ~schema:registry_schema in
+  let w_icu'' = Database.add registry ~cls:"Ward" [ Value.Str "ICU"; Value.Int 3 ] in
+  let _d_chen'' =
+    Database.add registry ~cls:"Doctor"
+      [ Value.Str "Chen"; Value.Ref (Dbobject.loid w_icu''); Value.Str "cardiology" ]
+  in
+
+  let fed =
+    Federation.create
+      ~databases:[ ("general", general); ("vincent", vincent); ("registry", registry) ]
+      ~mapping:
+        [
+          ("Ward", [ ("vincent", "Ward"); ("registry", "Ward") ]);
+          ( "Doctor",
+            [ ("general", "Doctor"); ("vincent", "Doctor"); ("registry", "Doctor") ] );
+          ("Patient", [ ("general", "Patient"); ("vincent", "Patient") ]);
+        ]
+      ~keys:[ ("Ward", "name"); ("Doctor", "name"); ("Patient", "ssn") ]
+  in
+  Format.printf "%a@.@." Federation.pp fed;
+
+  (* A disjunctive query (the paper's announced future work, implemented as
+     an extension): ICU patients, or those insured with AOK. *)
+  let q =
+    "select X.name from Patient X where X.doctor.ward.name = \"ICU\" or \
+     X.insurer = \"AOK\""
+  in
+  Format.printf "query: %s@.@." q;
+
+  let show title answer =
+    Format.printf "--- %s ---@.%a@." title Answer.pp answer
+  in
+  (match Strategy.run_query Strategy.Bl fed q with
+  | Ok (answer, _) -> show "BL (paper certification)" answer
+  | Error msg -> Format.printf "error: %s@." msg);
+
+  (* Rosa's doctor Chen has no ward at vincent; the registry knows Chen's
+     ward, so the one-round check resolves her. Paula's blood type and
+     insurer stay null federation-wide: a genuine maybe. Deep certification
+     (extension) chains whatever a single round could not. *)
+  let options = { Strategy.default_options with Strategy.deep_certify = true } in
+  (match Strategy.run_query ~options Strategy.Bl fed q with
+  | Ok (answer, _) -> show "BL + deep certification" answer
+  | Error msg -> Format.printf "error: %s@." msg);
+
+  (* CA agrees with the deep-certified localized answer. *)
+  match Strategy.run_query Strategy.Ca fed q with
+  | Ok (answer, _) -> show "CA (reference)" answer
+  | Error msg -> Format.printf "error: %s@." msg

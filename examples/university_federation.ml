@@ -1,0 +1,94 @@
+(* A multi-campus university federation at a more realistic scale.
+
+   Three campus databases share students, supervisors and departments with
+   heterogeneous schemas (each campus is missing some attributes) and plenty
+   of isomeric objects. The example runs one nested query under all five
+   strategies and compares their simulated execution metrics: the shapes the
+   paper reports — localized beats centralized on total time, BL beats PL,
+   response times far below CA's — show up on concrete data, not just in the
+   parametric model.
+
+   Run with: dune exec examples/university_federation.exe *)
+
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+
+let () =
+  (* A 3-campus federation over a 3-level composition chain
+     (student -> supervisor -> department in spirit: K0 -> K1 -> K2). *)
+  let cfg =
+    {
+      Synth.seed = 2024;
+      n_db = 3;
+      n_classes = 3;
+      n_entities = 400;
+      n_pred_attrs = 3;
+      domain = 5;
+      p_copy = 0.35;
+      p_host = 1.0;
+      p_attr_present = 0.7;
+      p_null = 0.1;
+      p_divergent = 0.0;
+    }
+  in
+  let fed = Synth.generate cfg in
+  Format.printf "%a@.@." Federation.pp fed;
+
+  (* "students whose record flag is 2, whose supervisor's p0 rating is 1 and
+     whose department's p1 code is 3" — a nested conjunctive query. *)
+  let q =
+    "select X.key, X.p0 from K0 X where X.p1 = 2 and X.next.p0 = 1 and \
+     X.next.next.p1 = 3"
+  in
+  Format.printf "query: %s@.@." q;
+
+  let results =
+    List.filter_map
+      (fun strategy ->
+        match Strategy.run_query strategy fed q with
+        | Error msg ->
+          Format.printf "%s: %s@." (Strategy.to_string strategy) msg;
+          None
+        | Ok (answer, metrics) -> Some (strategy, answer, metrics))
+      Strategy.all
+  in
+
+  (* All strategies agree on the certain answers; deep certification would
+     close the remaining maybe gap (see the hospital example). *)
+  Format.printf "%-6s %10s %10s %12s %9s %8s %8s %8s@." "strat" "certain"
+    "maybe" "total" "response" "shipped" "checks" "filtered";
+  List.iter
+    (fun (s, answer, m) ->
+      Format.printf "%-6s %10d %10d %12s %9s %7dB %8d %8d@."
+        (Strategy.to_string s)
+        (List.length (Answer.certain answer))
+        (List.length (Answer.maybe answer))
+        (Format.asprintf "%a" Msdq_simkit.Time.pp m.Strategy.total)
+        (Format.asprintf "%a" Msdq_simkit.Time.pp m.Strategy.response)
+        m.Strategy.bytes_shipped m.Strategy.check_requests
+        m.Strategy.checks_filtered)
+    results;
+
+  (* Where does each strategy spend its time? *)
+  List.iter
+    (fun (s, _, m) ->
+      match s with
+      | Strategy.Ca | Strategy.Bl | Strategy.Pl ->
+        Format.printf "@.%s cost breakdown:@." (Strategy.to_string s);
+        List.iter
+          (fun (label, busy, count) ->
+            Format.printf "  %-16s %10s  (%d tasks)@." label
+              (Format.asprintf "%a" Msdq_simkit.Time.pp busy)
+              count)
+          m.Strategy.breakdown
+      | Strategy.Bls | Strategy.Pls | Strategy.Lo | Strategy.Cf -> ())
+    results;
+
+  (* Sanity: the localized strategies agree pairwise and CA subsumes them. *)
+  match results with
+  | (_, ca, _) :: (_, bl, _) :: (_, pl, _) :: _ ->
+    Format.printf "@.BL and PL agree: %b@." (Answer.same_statuses bl pl);
+    Format.printf "CA subsumes BL:   %b@." (Answer.subsumes ~strong:ca ~weak:bl)
+  | _ -> ()

@@ -1,0 +1,71 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type outcome = {
+  answer : Answer.t;
+  integration_units : int;
+  eval_work : Meter.snapshot;
+  goid_lookups : int;
+  materialize_stats : Materialize.stats;
+}
+
+let run ?(multi_valued = false) fed (analysis : Analysis.t) =
+  let table = Federation.goids fed in
+  let lookups_before = Goid_table.lookup_count table in
+  let view =
+    Materialize.build ~classes:analysis.Analysis.classes_involved ~multi_valued fed
+  in
+  let mstats = Materialize.stats view in
+  let integration_units =
+    mstats.Materialize.source_objects + mstats.Materialize.fields_merged
+    + mstats.Materialize.ref_translations
+  in
+  let before_eval = Meter.read () in
+  let targets = Array.of_list (List.map fst analysis.Analysis.targets) in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  let n_atoms = Array.length atoms in
+  let rows = ref [] in
+  let eval_entity gobj =
+    let truths = Array.make n_atoms Truth.Unknown in
+    Array.iteri
+      (fun i info ->
+        truths.(i) <-
+          Global_eval.truth_of_outcome (Global_eval.eval view gobj info.Analysis.pred))
+      atoms;
+    let truth =
+      Cond.eval
+        (fun pred ->
+          let rec find i =
+            if i >= n_atoms then Truth.Unknown
+            else if Predicate.equal atoms.(i).Analysis.pred pred then truths.(i)
+            else find (i + 1)
+          in
+          find 0)
+        analysis.Analysis.query.Ast.where
+    in
+    match truth with
+    | Truth.False -> ()
+    | (Truth.True | Truth.Unknown) as t ->
+      let values =
+        Array.to_list (Array.map (fun path -> Global_eval.project view gobj path) targets)
+      in
+      let status =
+        match t with
+        | Truth.True -> Answer.Certain
+        | Truth.Unknown -> Answer.Maybe
+        | Truth.False -> assert false
+      in
+      rows := { Answer.goid = gobj.Materialize.goid; values; status } :: !rows
+  in
+  List.iter eval_entity (Materialize.extent view analysis.Analysis.range_class);
+  let answer =
+    Answer.make ~targets:(List.map fst analysis.Analysis.targets) (List.rev !rows)
+  in
+  {
+    answer;
+    integration_units;
+    eval_work = Meter.delta before_eval;
+    goid_lookups = Goid_table.lookup_count table - lookups_before;
+    materialize_stats = mstats;
+  }

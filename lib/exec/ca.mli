@@ -1,0 +1,24 @@
+(** The centralized approach's computation (steps CA_G2/CA_G3): outerjoin
+    integration of the shipped constituent extents, then predicate
+    evaluation over the integrated objects.
+
+    The data work is performed by [Msdq_fed.Materialize] and
+    [Msdq_fed.Global_eval]; this module drives them for one analyzed query
+    and assembles the answer with work counters for the cost model. *)
+
+open Msdq_odb
+open Msdq_query
+
+type outcome = {
+  answer : Answer.t;
+  integration_units : int;
+      (** outerjoin work: hash probes per source object, field merges, and
+          LOid-to-GOid translations *)
+  eval_work : Meter.snapshot;  (** phase P work *)
+  goid_lookups : int;
+  materialize_stats : Msdq_fed.Materialize.stats;
+}
+
+val run : ?multi_valued:bool -> Msdq_fed.Federation.t -> Analysis.t -> outcome
+(** With [~multi_valued:true], disagreeing isomeric values integrate into
+    value sets evaluated existentially (extension). *)

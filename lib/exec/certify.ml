@@ -1,0 +1,171 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type outcome = {
+  answer : Answer.t;
+  promoted : int;
+  eliminated : int;
+  conflicts : int;
+  work : Meter.snapshot;
+  goid_lookups : int;
+}
+
+(* Combines two truth values about the same fact: definite beats Unknown.
+   Contradicting definite values resolve to False and count as a conflict on
+   single-valued federations (where they indicate inconsistent data); under
+   multi-valued integration a real-world entity legitimately carries all its
+   copies' values, so an atom satisfied by any copy is satisfied by the
+   entity (existential semantics) and True wins. *)
+let combine ~multi_valued ~conflicts a b =
+  match (a, b) with
+  | Truth.Unknown, t | t, Truth.Unknown -> t
+  | Truth.True, Truth.True -> Truth.True
+  | Truth.False, Truth.False -> Truth.False
+  | Truth.False, Truth.True | Truth.True, Truth.False ->
+    if multi_valued then Truth.True
+    else begin
+      incr conflicts;
+      Truth.False
+    end
+
+let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
+  let table = Federation.goids fed in
+  let before = Meter.read () in
+  let lookups_before = Goid_table.lookup_count table in
+  let conflicts = ref 0 in
+  let n_atoms = List.length analysis.Analysis.atoms in
+  let n_targets = List.length analysis.Analysis.targets in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  (* Index the verdicts by (origin db, item, atom); several assistants can
+     answer about the same item. *)
+  let verdict_index : (string * int * int, Truth.t ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun v ->
+      let key = Checks.verdict_key v in
+      Meter.add_accesses 1;
+      match Hashtbl.find_opt verdict_index key with
+      | Some r -> r := combine ~multi_valued ~conflicts !r v.Checks.truth
+      | None -> Hashtbl.add verdict_index key (ref v.Checks.truth))
+    verdicts;
+  (* Group the local rows per entity. *)
+  let by_goid : Local_result.row list ref Oid.Goid.Table.t =
+    Oid.Goid.Table.create 256
+  in
+  let goid_order = ref [] in
+  List.iter
+    (fun (res : Local_result.t) ->
+      List.iter
+        (fun (row : Local_result.row) ->
+          Meter.add_accesses 1;
+          match Oid.Goid.Table.find_opt by_goid row.Local_result.goid with
+          | Some r -> r := row :: !r
+          | None ->
+            Oid.Goid.Table.add by_goid row.Local_result.goid (ref [ row ]);
+            goid_order := row.Local_result.goid :: !goid_order)
+        res.Local_result.rows)
+    results;
+  let result_dbs = List.map (fun (r : Local_result.t) -> r.Local_result.db) results in
+  let promoted = ref 0 and eliminated = ref 0 in
+  let rows = ref [] in
+  let assemble goid =
+    let group = List.rev !(Oid.Goid.Table.find by_goid goid) in
+    (* Elimination through an absent isomer: if a database that hosts the
+       root class holds an isomeric object of this entity but did not
+       return it, its local predicates definitely failed there. *)
+    let isomer_dbs =
+      List.filter_map
+        (fun (db, _) -> if List.mem db result_dbs then Some db else None)
+        (Goid_table.locals_of table goid)
+    in
+    let present_dbs = List.map (fun (r : Local_result.row) -> r.Local_result.db) group in
+    let missing_somewhere =
+      List.exists (fun db -> not (List.mem db present_dbs)) isomer_dbs
+    in
+    if missing_somewhere then incr eliminated
+    else begin
+      (* Merge per-atom truths across databases, then apply check verdicts
+         to the still-unsolved entries. *)
+      let merged = Array.make n_atoms Truth.Unknown in
+      List.iter
+        (fun (row : Local_result.row) ->
+          Array.iteri
+            (fun i t ->
+              Meter.add_accesses 1;
+              merged.(i) <- combine ~multi_valued ~conflicts merged.(i) t)
+            row.Local_result.truths)
+        group;
+      List.iter
+        (fun (row : Local_result.row) ->
+          List.iter
+            (fun (u : Local_result.unsolved) ->
+              let key =
+                ( row.Local_result.db,
+                  Oid.Loid.to_int (Dbobject.loid u.Local_result.item),
+                  u.Local_result.atom )
+              in
+              Meter.add_accesses 1;
+              match Hashtbl.find_opt verdict_index key with
+              | Some r ->
+                merged.(u.Local_result.atom) <-
+                  combine ~multi_valued ~conflicts merged.(u.Local_result.atom) !r
+              | None -> ())
+            row.Local_result.unsolved)
+        group;
+      let truth =
+        Cond.eval
+          (fun pred ->
+            let rec find i =
+              if i >= n_atoms then Truth.Unknown
+              else if Predicate.equal atoms.(i).Analysis.pred pred then merged.(i)
+              else find (i + 1)
+            in
+            find 0)
+          analysis.Analysis.query.Ast.where
+      in
+      match truth with
+      | Truth.False -> incr eliminated
+      | (Truth.True | Truth.Unknown) as t ->
+        let was_locally_solved =
+          List.exists Local_result.is_solved group
+        in
+        if Truth.equal t Truth.True && not was_locally_solved then incr promoted;
+        (* Merge target projections: first locally-derived value wins. *)
+        let values =
+          Array.make n_targets Value.Null
+        in
+        for i = 0 to n_targets - 1 do
+          let v =
+            List.find_map
+              (fun (row : Local_result.row) ->
+                Meter.add_accesses 1;
+                match row.Local_result.values.(i) with
+                | Some v when not (Value.is_null v) -> Some v
+                | Some _ | None -> None)
+              group
+          in
+          match v with Some v -> values.(i) <- v | None -> ()
+        done;
+        let status =
+          match t with
+          | Truth.True -> Answer.Certain
+          | Truth.Unknown -> Answer.Maybe
+          | Truth.False -> assert false
+        in
+        rows := { Answer.goid; values = Array.to_list values; status } :: !rows
+    end
+  in
+  List.iter assemble (List.rev !goid_order);
+  let answer =
+    Answer.make ~targets:(List.map fst analysis.Analysis.targets) (List.rev !rows)
+  in
+  {
+    answer;
+    promoted = !promoted;
+    eliminated = !eliminated;
+    conflicts = !conflicts;
+    work = Meter.delta before;
+    goid_lookups = Goid_table.lookup_count table - lookups_before;
+  }

@@ -1,0 +1,165 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type request = {
+  origin_db : string;
+  target_db : string;
+  assistant : Oid.Loid.t;
+  item : Oid.Loid.t;
+  atom : int;
+  pred : Predicate.t;
+}
+
+type verdict = {
+  origin_db : string;
+  item : Oid.Loid.t;
+  atom : int;
+  truth : Truth.t;
+}
+
+type built = {
+  requests : request list;
+  local_verdicts : verdict list;
+  filtered : int;
+  incapable : int;
+  root_level : int;
+  goid_lookups : int;
+}
+
+(* A signature can only pre-decide a one-step equality suffix. *)
+let signature_refutes signatures fed ~target_db ~assistant (pred : Predicate.t) =
+  match signatures with
+  | None -> false
+  | Some catalog -> (
+    match (pred.Predicate.path, pred.Predicate.op) with
+    | [ attr ], Predicate.Eq -> (
+      match Sig_catalog.find catalog ~db:target_db assistant with
+      | None -> false
+      | Some sg -> (
+        let db = Federation.db fed target_db in
+        match Database.get db assistant with
+        | None -> false
+        | Some obj -> (
+          match
+            Schema.attr_index (Database.schema db) ~cls:(Dbobject.cls obj) ~attr
+          with
+          | None -> false
+          | Some index ->
+            Meter.add_comparison ();
+            not
+              (Signature.may_satisfy sg ~index ~op:Predicate.Eq
+                 ~operand:pred.Predicate.operand))))
+    | _ -> false)
+
+(* The paper finds assistants "by checking the GOid mapping tables and the
+   other component schemas": an assistant whose class cannot resolve the
+   suffix even at schema level provides no data, so no request is sent. *)
+let assistant_capable fed gs ~origin_db ~target_db ~item_cls rest =
+  match Global_schema.global_of_local gs ~db:origin_db ~cls:item_cls with
+  | None -> false
+  | Some gcls -> (
+    match Global_schema.constituent_of gs ~gcls ~db:target_db with
+    | None -> false
+    | Some target_cls -> (
+      let schema = Database.schema (Federation.db fed target_db) in
+      match Path.resolve schema ~root:target_cls rest with
+      | Path.Full _ -> true
+      | Path.Cut _ | Path.Invalid _ -> false))
+
+let build ?signatures fed (analysis : Analysis.t) ~db:db_name ~root_class
+    ~items =
+  let gs = Federation.global_schema fed in
+  let table = Federation.goids fed in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  let lookups_before = Goid_table.lookup_count table in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let requests = ref [] in
+  let local_verdicts = ref [] in
+  let filtered = ref 0 in
+  let incapable = ref 0 in
+  let root_level = ref 0 in
+  let consider (u : Local_result.unsolved) =
+    if String.equal (Dbobject.cls u.Local_result.item) root_class then
+      incr root_level
+    else
+      let item_loid = Dbobject.loid u.Local_result.item in
+      let key = (Oid.Loid.to_int item_loid, u.Local_result.atom) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let original = atoms.(u.Local_result.atom).Analysis.pred in
+        let pred =
+          Predicate.make ~path:u.Local_result.rest ~op:original.Predicate.op
+            ~operand:original.Predicate.operand
+        in
+        let isomers = Goid_table.isomers_of table ~db:db_name item_loid in
+        List.iter
+          (fun (target_db, assistant) ->
+            if
+              not
+                (assistant_capable fed gs ~origin_db:db_name ~target_db
+                   ~item_cls:(Dbobject.cls u.Local_result.item)
+                   u.Local_result.rest)
+            then incr incapable
+            else if signature_refutes signatures fed ~target_db ~assistant pred then begin
+              incr filtered;
+              local_verdicts :=
+                {
+                  origin_db = db_name;
+                  item = item_loid;
+                  atom = u.Local_result.atom;
+                  truth = Truth.False;
+                }
+                :: !local_verdicts
+            end
+            else
+              requests :=
+                {
+                  origin_db = db_name;
+                  target_db;
+                  assistant;
+                  item = item_loid;
+                  atom = u.Local_result.atom;
+                  pred;
+                }
+                :: !requests)
+          isomers
+      end
+  in
+  List.iter consider items;
+  {
+    requests = List.rev !requests;
+    local_verdicts = List.rev !local_verdicts;
+    filtered = !filtered;
+    incapable = !incapable;
+    root_level = !root_level;
+    goid_lookups = Goid_table.lookup_count table - lookups_before;
+  }
+
+type served = {
+  verdicts : verdict list;
+  objects_read : int;
+  work : Meter.snapshot;
+}
+
+let serve fed ~db:db_name requests =
+  let db = Federation.db fed db_name in
+  let before = Meter.read () in
+  let verdicts =
+    List.map
+      (fun r ->
+        if not (String.equal r.target_db db_name) then
+          invalid_arg
+            (Printf.sprintf "Checks.serve: request targets %s, served at %s"
+               r.target_db db_name);
+        let truth =
+          match Database.get db r.assistant with
+          | None -> Truth.Unknown (* assistant vanished: no information *)
+          | Some obj -> Predicate.truth_of_outcome (Predicate.eval db obj r.pred)
+        in
+        { origin_db = r.origin_db; item = r.item; atom = r.atom; truth })
+      requests
+  in
+  { verdicts; objects_read = List.length requests; work = Meter.delta before }
+
+let verdict_key v = (v.origin_db, Oid.Loid.to_int v.item, v.atom)

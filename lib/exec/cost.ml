@@ -1,0 +1,37 @@
+open Msdq_simkit
+
+type t = {
+  s_a : int;
+  s_goid : int;
+  s_loid : int;
+  s_sig : int;
+  t_d : float;
+  t_net : float;
+  t_c : float;
+  n_iso : int;
+  s_page : int;
+}
+
+let default =
+  {
+    s_a = 32;
+    s_goid = 16;
+    s_loid = 16;
+    s_sig = 32;
+    t_d = 15.0;
+    t_net = 8.0;
+    t_c = 0.5;
+    n_iso = 2;
+    s_page = 256;
+  }
+
+let disk t ~bytes = Time.us (t.t_d *. float_of_int bytes)
+let net t ~bytes = Time.us (t.t_net *. float_of_int bytes)
+let cpu t ~units = Time.us (t.t_c *. float_of_int units)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>S_a    = %d bytes@,S_GOid = %d bytes@,S_LOid = %d bytes@,S_s    = %d \
+     bytes@,T_d    = %g us/byte@,T_net  = %g us/byte@,T_c    = %g \
+     us/comparison@,N_iso  = %d@,S_page = %d bytes (random-access unit)@]"
+    t.s_a t.s_goid t.s_loid t.s_sig t.t_d t.t_net t.t_c t.n_iso t.s_page

@@ -1,0 +1,32 @@
+(** The system cost parameters of Table 1. *)
+
+open Msdq_simkit
+
+type t = {
+  s_a : int;  (** average size of an attribute value, bytes (32) *)
+  s_goid : int;  (** size of a GOid, bytes (16) *)
+  s_loid : int;  (** size of a LOid, bytes (16) *)
+  s_sig : int;  (** size of an object signature, bytes (32) *)
+  t_d : float;  (** average disk access time, us/byte (15) *)
+  t_net : float;  (** average network transfer time, us/byte (8) *)
+  t_c : float;  (** average CPU processing time, us/comparison (0.5) *)
+  n_iso : int;  (** average isomeric objects per real-world entity (2) *)
+  s_page : int;
+      (** disk page size, bytes (256): random accesses — fetching individual
+          assistant objects for checks — read whole pages, while extent
+          scans read packed projections sequentially (modelling addition;
+          see DESIGN.md) *)
+}
+
+val default : t
+(** Exactly Table 1. *)
+
+val disk : t -> bytes:int -> Time.t
+
+val net : t -> bytes:int -> Time.t
+
+val cpu : t -> units:int -> Time.t
+(** [units] counts comparisons plus attribute accesses (see
+    [Msdq_odb.Meter]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type outcome = {
+  answer : Answer.t;
+  resolved : int;
+  eliminated : int;
+  residual : int;
+  work : Meter.snapshot;
+}
+
+let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
+  let maybes = Answer.maybe answer in
+  if maybes = [] then
+    {
+      answer;
+      resolved = 0;
+      eliminated = 0;
+      residual = 0;
+      work = Meter.delta (Meter.read ());
+    }
+  else begin
+    let before = Meter.read () in
+    let view =
+      Materialize.build ~classes:analysis.Analysis.classes_involved ~multi_valued
+        fed
+    in
+    let atoms = Array.of_list analysis.Analysis.atoms in
+    let n_atoms = Array.length atoms in
+    let targets = Array.of_list (List.map fst analysis.Analysis.targets) in
+    let resolved = ref 0 and eliminated = ref 0 in
+    let resolve_row (row : Answer.row) =
+      match Materialize.find view row.Answer.goid with
+      | None -> Some row (* cannot happen on a coherent federation *)
+      | Some gobj -> (
+        let truths = Array.make n_atoms Truth.Unknown in
+        Array.iteri
+          (fun i info ->
+            truths.(i) <-
+              Global_eval.truth_of_outcome
+                (Global_eval.eval view gobj info.Analysis.pred))
+          atoms;
+        let truth =
+          Cond.eval
+            (fun pred ->
+              let rec find i =
+                if i >= n_atoms then Truth.Unknown
+                else if Predicate.equal atoms.(i).Analysis.pred pred then
+                  truths.(i)
+                else find (i + 1)
+              in
+              find 0)
+            analysis.Analysis.query.Ast.where
+        in
+        match truth with
+        | Truth.False ->
+          incr resolved;
+          incr eliminated;
+          None
+        | Truth.True ->
+          incr resolved;
+          let values =
+            Array.to_list
+              (Array.map (fun path -> Global_eval.project view gobj path) targets)
+          in
+          Some { row with Answer.status = Answer.Certain; values }
+        | Truth.Unknown ->
+          (* Still unknown federation-wide: a genuine maybe result, but
+             refresh the projections from the integrated view. *)
+          let values =
+            Array.to_list
+              (Array.map (fun path -> Global_eval.project view gobj path) targets)
+          in
+          Some { row with Answer.values })
+    in
+    let rows =
+      List.filter_map
+        (fun row ->
+          match row.Answer.status with
+          | Answer.Certain -> Some row
+          | Answer.Maybe -> resolve_row row)
+        (Answer.rows answer)
+    in
+    {
+      answer = Answer.make ~targets:(Answer.targets answer) rows;
+      resolved = !resolved;
+      eliminated = !eliminated;
+      residual = List.length maybes;
+      work = Meter.delta before;
+    }
+  end

@@ -1,0 +1,25 @@
+(** Deep certification (extension; the paper's certification stops after one
+    round of assistant checks).
+
+    A check that itself hits missing data returns Unknown, leaving a maybe
+    result that the centralized approach would have decided by chaining
+    values across three or more databases. Deep certification closes that
+    gap: for the residual maybe results it evaluates the still-unknown
+    condition over the integrated (materialized) view of exactly those
+    entities — semantically equivalent to recursive assistant consultation.
+    With it, the localized strategies return the same statuses as CA on
+    consistent federations (property-tested). *)
+
+open Msdq_odb
+open Msdq_query
+
+type outcome = {
+  answer : Answer.t;
+  resolved : int;  (** residual maybes decided (either way) *)
+  eliminated : int;  (** residual maybes that turned out false *)
+  residual : int;  (** maybe rows entering deep certification *)
+  work : Meter.snapshot;
+}
+
+val resolve :
+  ?multi_valued:bool -> Msdq_fed.Federation.t -> Analysis.t -> Answer.t -> outcome

@@ -1,0 +1,53 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type t = { by_class : (string, string list) Hashtbl.t; classes : string list }
+
+let compute schema (analysis : Analysis.t) =
+  let sets : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let note cls attr =
+    let set =
+      match Hashtbl.find_opt sets cls with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.add sets cls s;
+        s
+    in
+    Hashtbl.replace set attr ()
+  in
+  let note_path path =
+    match Path.resolve schema ~root:analysis.Analysis.range_class path with
+    | Path.Full (steps, _) ->
+      List.iter (fun st -> note st.Path.on_class st.Path.attr.Schema.aname) steps
+    | Path.Cut _ | Path.Invalid _ ->
+      (* analysis already validated all paths against the global schema *)
+      assert false
+  in
+  List.iter (fun (path, _) -> note_path path) analysis.Analysis.targets;
+  List.iter (fun info -> note_path info.Analysis.pred.Predicate.path) analysis.Analysis.atoms;
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun cls ->
+      let attrs =
+        match Hashtbl.find_opt sets cls with
+        | Some s -> List.sort String.compare (Hashtbl.fold (fun a () acc -> a :: acc) s [])
+        | None -> []
+      in
+      Hashtbl.replace by_class cls attrs)
+    analysis.Analysis.classes_involved;
+  { by_class; classes = analysis.Analysis.classes_involved }
+
+let attrs_of_class t cls =
+  match Hashtbl.find_opt t.by_class cls with Some l -> l | None -> []
+
+let classes t = t.classes
+
+let local_projection_width t gs ~db ~gcls =
+  match Global_schema.constituent_of gs ~gcls ~db with
+  | None -> 0
+  | Some _ ->
+    let missing = Global_schema.missing_attrs gs ~gcls ~db in
+    List.length
+      (List.filter (fun a -> not (List.mem a missing)) (attrs_of_class t gcls))

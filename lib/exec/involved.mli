@@ -1,0 +1,27 @@
+(** Which attributes of which classes a query touches.
+
+    Used to size projections: strategies only ship the attributes a query
+    involves (the paper's optimization in step CA_C1 and the [N_qa]
+    parameter of Table 2). *)
+
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type t
+
+val compute : Schema.t -> Analysis.t -> t
+(** [compute global_schema analysis]: resolves every target and predicate
+    path and records, per global class, the set of attribute names used. *)
+
+val attrs_of_class : t -> string -> string list
+(** Attribute names the query uses on a global class (sorted). Empty for
+    uninvolved classes. *)
+
+val classes : t -> string list
+(** Involved global classes, range class first. *)
+
+val local_projection_width : t -> Global_schema.t -> db:string -> gcls:string -> int
+(** Number of involved attributes that [db]'s constituent of [gcls] actually
+    defines — the width of the projection shipped or read for that local
+    class. 0 when [db] has no constituent. *)

@@ -1,0 +1,102 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+let log_src = Logs.Src.create "msdq.local" ~doc:"local predicate evaluation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run fed (analysis : Analysis.t) ~db:db_name =
+  let gs = Federation.global_schema fed in
+  let db = Federation.db fed db_name in
+  let table = Federation.goids fed in
+  let local_class =
+    match
+      Global_schema.constituent_of gs ~gcls:analysis.Analysis.range_class ~db:db_name
+    with
+    | Some cls -> cls
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Local_eval.run: %s has no constituent of %s" db_name
+           analysis.Analysis.range_class)
+  in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  let targets = Array.of_list analysis.Analysis.targets in
+  let before = Meter.read () in
+  let examined = ref 0 and eliminated = ref 0 in
+  let rows = ref [] in
+  let eval_object obj =
+    incr examined;
+    let truths = Array.make (Array.length atoms) Truth.Unknown in
+    let unsolved = ref [] in
+    Array.iteri
+      (fun i info ->
+        match Predicate.eval db obj info.Analysis.pred with
+        | Predicate.Sat -> truths.(i) <- Truth.True
+        | Predicate.Viol -> truths.(i) <- Truth.False
+        | Predicate.Blocked b ->
+          truths.(i) <- Truth.Unknown;
+          unsolved :=
+            {
+              Local_result.atom = i;
+              item = b.Predicate.obj;
+              rest = b.Predicate.rest;
+              cause = b.Predicate.cause;
+            }
+            :: !unsolved)
+      atoms;
+    let local_truth =
+      Cond.eval
+        (fun pred ->
+          (* Atoms are evaluated positionally; identical predicates share a
+             verdict, which is sound (same object, same predicate). *)
+          let rec find i =
+            if i >= Array.length atoms then Truth.Unknown
+            else if Predicate.equal atoms.(i).Analysis.pred pred then truths.(i)
+            else find (i + 1)
+          in
+          find 0)
+        analysis.Analysis.query.Ast.where
+    in
+    match local_truth with
+    | Truth.False -> incr eliminated
+    | Truth.True | Truth.Unknown ->
+      let goid =
+        match Goid_table.goid_of_local table ~db:db_name (Dbobject.loid obj) with
+        | Some g -> g
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Local_eval.run: object %s@%s is not registered"
+               (Oid.Loid.to_string (Dbobject.loid obj))
+               db_name)
+      in
+      let values =
+        Array.map
+          (fun (path, _) ->
+            match Predicate.fetch db obj path with
+            | Predicate.Found v -> Some v
+            | Predicate.Missing _ -> None)
+          targets
+      in
+      rows :=
+        {
+          Local_result.db = db_name;
+          obj;
+          goid;
+          truths;
+          unsolved = List.rev !unsolved;
+          values;
+        }
+        :: !rows
+  in
+  List.iter eval_object (Database.extent db local_class);
+  Log.debug (fun m ->
+      m "%s: %d examined, %d eliminated, %d rows" db_name !examined !eliminated
+        (List.length !rows));
+  {
+    Local_result.db = db_name;
+    rows = List.rev !rows;
+    examined = !examined;
+    eliminated = !eliminated;
+    work = Meter.delta before;
+  }

@@ -1,0 +1,113 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type graded = { row : Answer.row; probability : float }
+
+type t = { certain : Answer.row list; maybe : graded list }
+
+let attribute_selectivity fed ~gcls ~attr ~op ~operand =
+  let gs = Federation.global_schema fed in
+  let total = ref 0 and sat = ref 0 in
+  List.iter
+    (fun (db_name, db) ->
+      match Global_schema.constituent_of gs ~gcls ~db:db_name with
+      | None -> ()
+      | Some local_cls ->
+        List.iter
+          (fun obj ->
+            match Database.field_by_name db obj attr with
+            | None | Some Value.Null | Some (Value.Ref _) -> ()
+            | Some v ->
+              incr total;
+              if Predicate.compare_op op v operand then incr sat)
+          (Database.extent db local_cls))
+    (Federation.databases fed);
+  if !total = 0 then 0.5 else float_of_int !sat /. float_of_int !total
+
+(* The global class holding an atom's final attribute, from its resolved
+   steps against the global schema. *)
+let final_class (info : Analysis.atom_info) =
+  match List.rev info.Analysis.steps with
+  | last :: _ -> last.Path.on_class
+  | [] -> assert false (* paths are non-empty *)
+
+let annotate fed (analysis : Analysis.t) answer =
+  let view =
+    Materialize.build ~classes:analysis.Analysis.classes_involved fed
+  in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  let n_atoms = Array.length atoms in
+  (* Per-atom candidate-distribution estimate, memoized. *)
+  let estimates = Array.make n_atoms Float.nan in
+  let estimate i =
+    if Float.is_nan estimates.(i) then begin
+      let info = atoms.(i) in
+      let pred = info.Analysis.pred in
+      let attr =
+        match List.rev pred.Predicate.path with
+        | a :: _ -> a
+        | [] -> assert false
+      in
+      estimates.(i) <-
+        attribute_selectivity fed ~gcls:(final_class info) ~attr
+          ~op:pred.Predicate.op ~operand:pred.Predicate.operand
+    end;
+    estimates.(i)
+  in
+  (* Probability of a condition tree under independence, given per-atom
+     probabilities. *)
+  let atom_probs = Array.make n_atoms 0.5 in
+  let rec prob_of = function
+    | Cond.Atom pred ->
+      let rec find i =
+        if i >= n_atoms then 0.5
+        else if Predicate.equal atoms.(i).Analysis.pred pred then atom_probs.(i)
+        else find (i + 1)
+      in
+      find 0
+    | Cond.And ts -> List.fold_left (fun acc t -> acc *. prob_of t) 1.0 ts
+    | Cond.Or ts ->
+      1.0 -. List.fold_left (fun acc t -> acc *. (1.0 -. prob_of t)) 1.0 ts
+    | Cond.Not t -> 1.0 -. prob_of t
+  in
+  let grade (row : Answer.row) =
+    match Materialize.find view row.Answer.goid with
+    | None -> { row; probability = 0.5 }
+    | Some gobj ->
+      Array.iteri
+        (fun i info ->
+          atom_probs.(i) <-
+            (match Global_eval.eval view gobj info.Analysis.pred with
+            | Global_eval.Sat -> 1.0
+            | Global_eval.Viol -> 0.0
+            | Global_eval.Blocked _ -> estimate i))
+        atoms;
+      { row; probability = prob_of analysis.Analysis.query.Ast.where }
+  in
+  let graded =
+    List.map grade (Answer.maybe answer)
+    |> List.sort (fun a b -> Float.compare b.probability a.probability)
+  in
+  { certain = Answer.certain answer; maybe = graded }
+
+let expected_size t =
+  float_of_int (List.length t.certain)
+  +. List.fold_left (fun acc g -> acc +. g.probability) 0.0 t.maybe
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>certain (%d):@," (List.length t.certain);
+  List.iter
+    (fun (r : Answer.row) ->
+      Format.fprintf ppf "  %a: %s@," Oid.Goid.pp r.Answer.goid
+        (String.concat ", " (List.map Value.to_string r.Answer.values)))
+    t.certain;
+  Format.fprintf ppf "maybe, graded (%d):@," (List.length t.maybe);
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  %a: %s  (p = %.3f)@," Oid.Goid.pp
+        g.row.Answer.goid
+        (String.concat ", " (List.map Value.to_string g.row.Answer.values))
+        g.probability)
+    t.maybe;
+  Format.fprintf ppf "expected result size: %.2f@]" (expected_size t)

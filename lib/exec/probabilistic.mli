@@ -1,0 +1,42 @@
+(** Probabilistic grading of maybe results (extension).
+
+    The paper presents maybe results unranked. Its own lineage suggests
+    better: DeMichiel's partial values (reference [8]) and Tseng, Chen and
+    Yang's probabilistic partial values (reference [18]) treat a missing
+    value as a distribution over candidate values. This module grades each
+    maybe result with the probability that it actually satisfies the query:
+    an Unknown atom's probability is estimated as the fraction of non-null
+    values of its final attribute — observed federation-wide across the
+    attribute's class extents — that satisfy the comparison, and the
+    predicate tree is combined under independence (certain atoms contribute
+    1 or 0).
+
+    On the paper's Q1, Tony scores 1/2 x 1/2 = 0.25: one of the two known
+    cities is Taipei, one of the two known specialities is database, and his
+    advisor's department is definitely CS. *)
+
+open Msdq_query
+
+type graded = { row : Answer.row; probability : float }
+
+type t = {
+  certain : Answer.row list;
+  maybe : graded list;  (** sorted by decreasing probability *)
+}
+
+val annotate : Msdq_fed.Federation.t -> Analysis.t -> Answer.t -> t
+(** Grades every maybe row of an answer. The answer must come from a
+    strategy run over the same federation and analysis. *)
+
+val expected_size : t -> float
+(** Expected number of query results: |certain| + sum of probabilities. *)
+
+val attribute_selectivity :
+  Msdq_fed.Federation.t -> gcls:string -> attr:string ->
+  op:Msdq_odb.Predicate.op -> operand:Msdq_odb.Value.t -> float
+(** The candidate-distribution estimate itself: the fraction of non-null
+    values of [gcls.attr] across all constituent extents satisfying
+    [op operand]; 0.5 when no values are observed (uninformative prior).
+    Exposed for testing and for cost-model calibration. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+type t = {
+  db : string;
+  items : Local_result.unsolved list;
+  examined : int;
+  work : Meter.snapshot;
+}
+
+let run fed (analysis : Analysis.t) ~db:db_name =
+  let gs = Federation.global_schema fed in
+  let db = Federation.db fed db_name in
+  let local_class =
+    match
+      Global_schema.constituent_of gs ~gcls:analysis.Analysis.range_class ~db:db_name
+    with
+    | Some cls -> cls
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Probe.run: %s has no constituent of %s" db_name
+           analysis.Analysis.range_class)
+  in
+  let atoms = Array.of_list analysis.Analysis.atoms in
+  let before = Meter.read () in
+  let examined = ref 0 in
+  let items = ref [] in
+  let probe_object obj =
+    incr examined;
+    Array.iteri
+      (fun i info ->
+        match Predicate.fetch db obj info.Analysis.pred.Predicate.path with
+        | Predicate.Found _ -> ()
+        | Predicate.Missing b ->
+          items :=
+            {
+              Local_result.atom = i;
+              item = b.Predicate.obj;
+              rest = b.Predicate.rest;
+              cause = b.Predicate.cause;
+            }
+            :: !items)
+      atoms
+  in
+  List.iter probe_object (Database.extent db local_class);
+  { db = db_name; items = List.rev !items; examined = !examined; work = Meter.delta before }

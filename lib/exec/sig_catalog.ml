@@ -1,0 +1,25 @@
+open Msdq_odb
+open Msdq_fed
+
+type t = { sigs : (string * int, Signature.t) Hashtbl.t; mutable count : int }
+
+let build fed =
+  let t = { sigs = Hashtbl.create 1024; count = 0 } in
+  List.iter
+    (fun (db_name, db) ->
+      List.iter
+        (fun cd ->
+          List.iter
+            (fun obj ->
+              Hashtbl.replace t.sigs
+                (db_name, Oid.Loid.to_int (Dbobject.loid obj))
+                (Signature.of_object obj);
+              t.count <- t.count + 1)
+            (Database.extent db cd.Schema.cname))
+        (Schema.classes (Database.schema db)))
+    (Federation.databases fed);
+  t
+
+let find t ~db loid = Hashtbl.find_opt t.sigs (db, Oid.Loid.to_int loid)
+let object_count t = t.count
+let storage_bytes t ~s_sig = t.count * s_sig

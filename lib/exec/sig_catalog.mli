@@ -1,0 +1,20 @@
+(** Replicated object-signature catalog (future-work extension).
+
+    Holds the signature of every object of every component database, indexed
+    by (database, LOid). The paper's signature-assisted strategies assume
+    this auxiliary structure is replicated like the GOid mapping tables, so
+    consulting a signature is local CPU work. *)
+
+open Msdq_odb
+open Msdq_fed
+
+type t
+
+val build : Federation.t -> t
+
+val find : t -> db:string -> Oid.Loid.t -> Signature.t option
+
+val object_count : t -> int
+
+val storage_bytes : t -> s_sig:int -> int
+(** Replica size at one site: one signature per object. *)

@@ -1,0 +1,719 @@
+open Msdq_odb
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+
+let log_src = Logs.Src.create "msdq.exec" ~doc:"query execution strategies"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = Ca | Bl | Pl | Bls | Pls | Lo | Cf
+
+let all = [ Ca; Bl; Pl; Bls; Pls; Lo; Cf ]
+
+let to_string = function
+  | Ca -> "CA"
+  | Bl -> "BL"
+  | Pl -> "PL"
+  | Bls -> "BLS"
+  | Pls -> "PLS"
+  | Lo -> "LO"
+  | Cf -> "CF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "CA" -> Some Ca
+  | "BL" -> Some Bl
+  | "PL" -> Some Pl
+  | "BLS" -> Some Bls
+  | "PLS" -> Some Pls
+  | "LO" -> Some Lo
+  | "CF" -> Some Cf
+  | _ -> None
+
+type options = {
+  cost : Cost.t;
+  deep_certify : bool;
+  multi_valued : bool;
+  site_speeds : (int * float) list;
+  trace : bool;
+}
+
+let default_options =
+  {
+    cost = Cost.default;
+    deep_certify = false;
+    multi_valued = false;
+    site_speeds = [];
+    trace = false;
+  }
+
+type metrics = {
+  strategy : t;
+  total : Time.t;
+  response : Time.t;
+  bytes_shipped : int;
+  disk_bytes : int;
+  messages : int;
+  check_requests : int;
+  checks_filtered : int;
+  work_units : int;
+  goid_lookups : int;
+  promoted : int;
+  eliminated_at_global : int;
+  conflicts : int;
+  breakdown : (string * Time.t * int) list;
+  trace : Trace.t;
+}
+
+(* Mutable accumulator threaded through graph construction. *)
+type acc = {
+  mutable bytes_shipped : int;
+  mutable disk_bytes : int;
+  mutable messages : int;
+  mutable work_units : int;
+  mutable goid_lookups : int;
+}
+
+let new_acc () =
+  { bytes_shipped = 0; disk_bytes = 0; messages = 0; work_units = 0; goid_lookups = 0 }
+
+let disk_task e acc c ~site ~label ~bytes ?deps () =
+  acc.disk_bytes <- acc.disk_bytes + bytes;
+  Engine.task e ?deps ~site ~kind:Resource.Disk ~label
+    ~duration:(Cost.disk c ~bytes) ()
+
+let cpu_task e acc c ~site ~label ~units ?deps () =
+  acc.work_units <- acc.work_units + units;
+  Engine.task e ?deps ~site ~kind:Resource.Cpu ~label
+    ~duration:(Cost.cpu c ~units) ()
+
+let transfer e acc c ~src ~dst ~label ~bytes ?deps () =
+  if src <> dst && bytes > 0 then begin
+    acc.bytes_shipped <- acc.bytes_shipped + bytes;
+    acc.messages <- acc.messages + 1
+  end;
+  Engine.transfer e ?deps ~src ~dst ~label ~duration:(Cost.net c ~bytes) ()
+
+let units_of_work w = Meter.units w
+
+(* Heterogeneous hardware: scale a site's CPU and disk (its machine speed);
+   the incoming link stays at network speed. *)
+let apply_site_speeds e speeds =
+  List.iter
+    (fun (site, factor) ->
+      Engine.set_speed e ~site ~kind:Resource.Cpu ~factor;
+      Engine.set_speed e ~site ~kind:Resource.Disk ~factor)
+    speeds
+
+(* A query's graph built into a (possibly shared) engine. *)
+type built_query = {
+  answer : Answer.t;
+  acc : acc;
+  fence : Engine.handle;  (* completes when the answer is assembled *)
+  check_requests : int;
+  checks_filtered : int;
+  promoted : int;
+  eliminated : int;
+  conflicts : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* CA *)
+
+let build_ca e ?after opts fed analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let involved = Involved.compute (Global_schema.schema gs) analysis in
+  let outcome = Ca.run ~multi_valued:opts.multi_valued fed analysis in
+  let acc = new_acc () in
+  let gsite = Federation.global_site fed in
+  let xfers =
+    List.map
+      (fun (db_name, db) ->
+        let bytes = Wire.projected_extent_bytes c involved gs ~db_name ~db in
+        let site = Federation.site_of fed db_name in
+        let read =
+          disk_task e acc c ~site ~label:"read-extents" ~bytes ~deps:start_deps ()
+        in
+        transfer e acc c ~src:site ~dst:gsite ~label:"ship-objects" ~bytes
+          ~deps:[ read ] ())
+      (Federation.databases fed)
+  in
+  let m = outcome.Ca.materialize_stats in
+  let integrate_units =
+    m.Materialize.source_objects + m.Materialize.fields_merged
+    + outcome.Ca.goid_lookups
+  in
+  acc.goid_lookups <- acc.goid_lookups + outcome.Ca.goid_lookups;
+  let integrate =
+    cpu_task e acc c ~site:gsite ~label:"integrate" ~units:integrate_units
+      ~deps:xfers ()
+  in
+  let eval =
+    cpu_task e acc c ~site:gsite ~label:"global-eval"
+      ~units:(units_of_work outcome.Ca.eval_work)
+      ~deps:[ integrate ] ()
+  in
+  let fence = Engine.fence e ~deps:[ eval ] ~label:"answer" () in
+  {
+    answer = outcome.Ca.answer;
+    acc;
+    fence;
+    check_requests = 0;
+    checks_filtered = 0;
+    promoted = 0;
+    eliminated = 0;
+    conflicts = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CF — semijoin-filtered centralized (extension, in the tradition of the
+   paper's reference [20]): round 1, every root-hosting database evaluates
+   its local predicates and ships only the surviving GOids; the global site
+   intersects the lists (an entity absent from a database that holds one of
+   its isomers was eliminated there) and broadcasts the candidate set; round
+   2, the databases ship the candidates' root projections plus the branch
+   extents, and the global site integrates and evaluates as CA does. The
+   answer equals CA's on consistent federations: local elimination only
+   drops definitely-false entities. *)
+
+let build_cf e ?after opts fed analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let schema = Global_schema.schema gs in
+  let involved = Involved.compute schema analysis in
+  let acc = new_acc () in
+  let gsite = Federation.global_site fed in
+  let root = analysis.Analysis.range_class in
+  (* Round-1 computation: local filters (the LO machinery) determine the
+     candidate set. *)
+  let plans = Localize.plan fed analysis in
+  let results =
+    List.map (fun (p : Localize.db_plan) -> Local_eval.run fed analysis ~db:p.Localize.db) plans
+  in
+  let lo = Certify.run ~multi_valued:opts.multi_valued fed analysis ~results ~verdicts:[] in
+  let candidates = Answer.goids lo.Certify.answer Answer.Certain in
+  let candidates =
+    Oid.Goid.Set.union candidates (Answer.goids lo.Certify.answer Answer.Maybe)
+  in
+  let n_candidates = Oid.Goid.Set.cardinal candidates in
+  (* The final answer is CA's, computed over the integrated view. *)
+  let outcome = Ca.run ~multi_valued:opts.multi_valued fed analysis in
+  (* ---- Round 1 tasks. ---- *)
+  let width_root db_name =
+    Involved.local_projection_width involved gs ~db:db_name ~gcls:root
+  in
+  let round1 =
+    List.map2
+      (fun (p : Localize.db_plan) (r : Local_result.t) ->
+        let db_name = p.Localize.db in
+        let site = Federation.site_of fed db_name in
+        let touched = Touch.count fed analysis ~db:db_name in
+        let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
+        let read =
+          disk_task e acc c ~site ~label:"read-extents" ~bytes:read_bytes
+            ~deps:start_deps ()
+        in
+        let eval =
+          cpu_task e acc c ~site ~label:"local-filter"
+            ~units:(units_of_work r.Local_result.work + List.length r.Local_result.rows)
+            ~deps:[ read ] ()
+        in
+        let ship =
+          transfer e acc c ~src:site ~dst:gsite ~label:"ship-goids"
+            ~bytes:(List.length r.Local_result.rows * c.Cost.s_goid)
+            ~deps:[ eval ] ()
+        in
+        (db_name, r, ship))
+      plans results
+  in
+  acc.goid_lookups <- acc.goid_lookups + lo.Certify.goid_lookups;
+  let intersect =
+    cpu_task e acc c ~site:gsite ~label:"intersect"
+      ~units:(units_of_work lo.Certify.work + lo.Certify.goid_lookups)
+      ~deps:(List.map (fun (_, _, ship) -> ship) round1) ()
+  in
+  (* ---- Round 2: broadcast candidates, ship their data + branch extents. ---- *)
+  let xfers =
+    List.map
+      (fun (db_name, db) ->
+        let site = Federation.site_of fed db_name in
+        let bcast =
+          transfer e acc c ~src:gsite ~dst:site ~label:"ship-candidates"
+            ~bytes:(n_candidates * c.Cost.s_goid) ~deps:[ intersect ] ()
+        in
+        (* candidate root objects this database holds *)
+        let mine =
+          match List.find_opt (fun (n, _, _) -> String.equal n db_name) round1 with
+          | Some (_, r, _) ->
+            List.length
+              (List.filter
+                 (fun (row : Local_result.row) ->
+                   Oid.Goid.Set.mem row.Local_result.goid candidates)
+                 r.Local_result.rows)
+          | None -> 0
+        in
+        let root_bytes = mine * (c.Cost.s_loid + (width_root db_name * c.Cost.s_a)) in
+        (* Branch objects are also filtered: a database only ships the
+           branch objects its candidate roots reach (each candidate follows
+           at most one reference per chain class, so the touched count
+           capped by the candidate count bounds it). Databases without a
+           root constituent ship their touched branch objects in full. *)
+        let touched =
+          match Global_schema.constituent_of gs ~gcls:root ~db:db_name with
+          | Some _ -> Touch.count fed analysis ~db:db_name
+          | None -> []
+        in
+        let branch_bytes =
+          List.fold_left
+            (fun bytes gcls ->
+              if String.equal gcls root then bytes
+              else
+                match Global_schema.constituent_of gs ~gcls ~db:db_name with
+                | None -> bytes
+                | Some cls ->
+                  let width =
+                    Involved.local_projection_width involved gs ~db:db_name ~gcls
+                  in
+                  let count =
+                    match List.assoc_opt gcls touched with
+                    | Some t -> min t (max mine 1)
+                    | None -> Database.extent_size db cls
+                  in
+                  bytes + (count * (c.Cost.s_loid + (width * c.Cost.s_a))))
+            0 (Involved.classes involved)
+        in
+        let bytes = root_bytes + branch_bytes in
+        let read =
+          disk_task e acc c ~site ~label:"read-candidates" ~bytes ~deps:[ bcast ] ()
+        in
+        transfer e acc c ~src:site ~dst:gsite ~label:"ship-objects" ~bytes
+          ~deps:[ read ] ())
+      (Federation.databases fed)
+  in
+  (* Integration over branch extents plus only the candidate roots; global
+     evaluation over the candidates (CA's eval work scaled accordingly). *)
+  let m = outcome.Ca.materialize_stats in
+  let root_entities =
+    max 1
+      (List.length (Goid_table.goids_of_class (Federation.goids fed) ~gcls:root))
+  in
+  let scale n = n * n_candidates / root_entities in
+  let integrate_units =
+    m.Materialize.source_objects + m.Materialize.fields_merged
+    + outcome.Ca.goid_lookups
+  in
+  acc.goid_lookups <- acc.goid_lookups + outcome.Ca.goid_lookups;
+  let integrate =
+    cpu_task e acc c ~site:gsite ~label:"integrate" ~units:integrate_units
+      ~deps:xfers ()
+  in
+  let eval =
+    cpu_task e acc c ~site:gsite ~label:"global-eval"
+      ~units:(scale (units_of_work outcome.Ca.eval_work))
+      ~deps:[ integrate ] ()
+  in
+  let fence = Engine.fence e ~deps:[ eval ] ~label:"answer" () in
+  {
+    answer = outcome.Ca.answer;
+    acc;
+    fence;
+    check_requests = 0;
+    checks_filtered = 0;
+    promoted = 0;
+    eliminated = lo.Certify.eliminated;
+    conflicts = lo.Certify.conflicts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Localized strategies *)
+
+type local_phase = {
+  plan : Localize.db_plan;
+  result : Local_result.t;
+  built : Checks.built;
+  probe_work : Meter.snapshot option;  (* PL only *)
+  dispatch_work : Meter.snapshot;  (* signature filtering comparisons *)
+}
+
+let no_checks =
+  {
+    Checks.requests = [];
+    local_verdicts = [];
+    filtered = 0;
+    incapable = 0;
+    root_level = 0;
+    goid_lookups = 0;
+  }
+
+let compute_local_phases ~parallel ~checks ~signatures fed analysis plans =
+  List.map
+    (fun (plan : Localize.db_plan) ->
+      let db = plan.Localize.db in
+      if parallel then begin
+        (* PL: probe all objects first (phase O), then evaluate (phase P). *)
+        let probe = Probe.run fed analysis ~db in
+        let before = Meter.read () in
+        let built =
+          Checks.build ?signatures fed analysis ~db
+            ~root_class:plan.Localize.local_class ~items:probe.Probe.items
+        in
+        let dispatch_work = Meter.delta before in
+        let result = Local_eval.run fed analysis ~db in
+        {
+          plan;
+          result;
+          built;
+          probe_work = Some probe.Probe.work;
+          dispatch_work;
+        }
+      end
+      else if not checks then
+        (* LO: evaluation only; phases O and I degenerate to the per-entity
+           merge of local results at the global site. *)
+        let result = Local_eval.run fed analysis ~db in
+        {
+          plan;
+          result;
+          built = no_checks;
+          probe_work = None;
+          dispatch_work = Meter.delta (Meter.read ());
+        }
+      else begin
+        (* BL: evaluate first, then look up assistants for the maybe rows. *)
+        let result = Local_eval.run fed analysis ~db in
+        let items =
+          List.concat_map
+            (fun (row : Local_result.row) -> row.Local_result.unsolved)
+            result.Local_result.rows
+        in
+        let before = Meter.read () in
+        let built =
+          Checks.build ?signatures fed analysis ~db
+            ~root_class:plan.Localize.local_class ~items
+        in
+        let dispatch_work = Meter.delta before in
+        { plan; result; built; probe_work = None; dispatch_work }
+      end)
+    plans
+
+let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
+    analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let involved = Involved.compute (Global_schema.schema gs) analysis in
+  let plans = Localize.plan fed analysis in
+  let signatures =
+    if signatures then Some (Sig_catalog.build fed) else None
+  in
+  let phases = compute_local_phases ~parallel ~checks ~signatures fed analysis plans in
+  (* Serve the check requests, batched per (origin, target). *)
+  let batches : (string * string, Checks.request list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let batch_order = ref [] in
+  List.iter
+    (fun ph ->
+      List.iter
+        (fun (r : Checks.request) ->
+          let key = (r.Checks.origin_db, r.Checks.target_db) in
+          match Hashtbl.find_opt batches key with
+          | Some l -> l := r :: !l
+          | None ->
+            Hashtbl.add batches key (ref [ r ]);
+            batch_order := key :: !batch_order)
+        ph.built.Checks.requests)
+    phases;
+  let batch_order = List.rev !batch_order in
+  let served =
+    List.map
+      (fun ((_, target) as key) ->
+        let reqs = List.rev !(Hashtbl.find batches key) in
+        (key, reqs, Checks.serve fed ~db:target reqs))
+      batch_order
+  in
+  let verdicts =
+    List.concat_map (fun ph -> ph.built.Checks.local_verdicts) phases
+    @ List.concat_map (fun (_, _, s) -> s.Checks.verdicts) served
+  in
+  let results = List.map (fun ph -> ph.result) phases in
+  let certified =
+    Certify.run ~multi_valued:opts.multi_valued fed analysis ~results ~verdicts
+  in
+  let deep_outcome =
+    if opts.deep_certify then
+      Some
+        (Deep.resolve ~multi_valued:opts.multi_valued fed analysis
+           certified.Certify.answer)
+    else None
+  in
+  (* ---- Replay onto the simulator. ---- *)
+  let acc = new_acc () in
+  let gsite = Federation.global_site fed in
+  let n_targets = List.length analysis.Analysis.targets in
+  let dispatch_tasks : (string, Engine.handle) Hashtbl.t = Hashtbl.create 8 in
+  let global_deps = ref [] in
+  List.iter
+    (fun ph ->
+      let db_name = ph.plan.Localize.db in
+      let site = Federation.site_of fed db_name in
+      let touched = Touch.count fed analysis ~db:db_name in
+      let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
+      let read =
+        disk_task e acc c ~site ~label:"read-extents" ~bytes:read_bytes
+          ~deps:start_deps ()
+      in
+      acc.goid_lookups <- acc.goid_lookups + ph.built.Checks.goid_lookups;
+      (* Local goid lookups for row tagging happen during evaluation. *)
+      let eval_units =
+        units_of_work ph.result.Local_result.work
+        + List.length ph.result.Local_result.rows
+      in
+      let dispatch_units =
+        ph.built.Checks.goid_lookups + units_of_work ph.dispatch_work
+      in
+      let dispatch =
+        if parallel then begin
+          (* PL: probe + dispatch before evaluation. *)
+          let probe_units =
+            match ph.probe_work with Some w -> units_of_work w | None -> 0
+          in
+          let probe =
+            cpu_task e acc c ~site ~label:"probe" ~units:probe_units
+              ~deps:[ read ] ()
+          in
+          let dispatch =
+            cpu_task e acc c ~site ~label:"dispatch-checks" ~units:dispatch_units
+              ~deps:[ probe ] ()
+          in
+          let eval =
+            cpu_task e acc c ~site ~label:"local-eval" ~units:eval_units
+              ~deps:[ dispatch ] ()
+          in
+          Hashtbl.replace dispatch_tasks db_name dispatch;
+          eval
+        end
+        else begin
+          (* BL: evaluate, then dispatch. *)
+          let eval =
+            cpu_task e acc c ~site ~label:"local-eval" ~units:eval_units
+              ~deps:[ read ] ()
+          in
+          let dispatch =
+            cpu_task e acc c ~site ~label:"dispatch-checks" ~units:dispatch_units
+              ~deps:[ eval ] ()
+          in
+          Hashtbl.replace dispatch_tasks db_name dispatch;
+          dispatch
+        end
+      in
+      let results_bytes =
+        Wire.results_bytes c ~n_targets ph.result
+        + List.length ph.built.Checks.local_verdicts * Wire.verdict_bytes c
+      in
+      let ship =
+        transfer e acc c ~src:site ~dst:gsite ~label:"ship-results"
+          ~bytes:results_bytes ~deps:[ dispatch ] ()
+      in
+      global_deps := ship :: !global_deps)
+    phases;
+  List.iter
+    (fun ((origin, target), reqs, (s : Checks.served)) ->
+      let osite = Federation.site_of fed origin in
+      let tsite = Federation.site_of fed target in
+      let dispatch = Hashtbl.find dispatch_tasks origin in
+      let req_xfer =
+        transfer e acc c ~src:osite ~dst:tsite ~label:"ship-requests"
+          ~bytes:(Wire.requests_bytes c reqs) ~deps:[ dispatch ] ()
+      in
+      let read =
+        disk_task e acc c ~site:tsite ~label:"check-read"
+          ~bytes:(Wire.check_read_bytes c reqs) ~deps:[ req_xfer ] ()
+      in
+      let eval =
+        cpu_task e acc c ~site:tsite ~label:"check-eval"
+          ~units:(units_of_work s.Checks.work) ~deps:[ read ] ()
+      in
+      let verdict_xfer =
+        transfer e acc c ~src:tsite ~dst:gsite ~label:"ship-verdicts"
+          ~bytes:(List.length s.Checks.verdicts * Wire.verdict_bytes c)
+          ~deps:[ eval ] ()
+      in
+      global_deps := verdict_xfer :: !global_deps)
+    served;
+  acc.goid_lookups <- acc.goid_lookups + certified.Certify.goid_lookups;
+  let certify_task =
+    cpu_task e acc c ~site:gsite ~label:"certify"
+      ~units:(units_of_work certified.Certify.work + certified.Certify.goid_lookups)
+      ~deps:(List.rev !global_deps) ()
+  in
+  let last =
+    match deep_outcome with
+    | None -> certify_task
+    | Some deep ->
+      (* Residual resolution: each database ships the projected data of the
+         residual entities' involved classes, then the global site resolves. *)
+      let residual = deep.Deep.residual in
+      let per_entity_bytes =
+        List.fold_left
+          (fun bytes gcls ->
+            bytes + c.Cost.s_loid
+            + (List.length (Involved.attrs_of_class involved gcls) * c.Cost.s_a))
+          0 (Involved.classes involved)
+      in
+      let deep_deps =
+        List.map
+          (fun (db_name, _) ->
+            let site = Federation.site_of fed db_name in
+            let bytes = residual * per_entity_bytes in
+            let read =
+              disk_task e acc c ~site ~label:"deep-read" ~bytes
+                ~deps:[ certify_task ] ()
+            in
+            transfer e acc c ~src:site ~dst:gsite ~label:"deep-ship" ~bytes
+              ~deps:[ read ] ())
+          (Federation.databases fed)
+      in
+      cpu_task e acc c ~site:gsite ~label:"deep-certify"
+        ~units:(units_of_work deep.Deep.work) ~deps:deep_deps ()
+  in
+  let fence = Engine.fence e ~deps:[ last ] ~label:"answer" () in
+  let answer =
+    match deep_outcome with
+    | Some deep -> deep.Deep.answer
+    | None -> certified.Certify.answer
+  in
+  {
+    answer;
+    acc;
+    fence;
+    check_requests =
+      List.fold_left (fun n ph -> n + List.length ph.built.Checks.requests) 0 phases;
+    checks_filtered =
+      List.fold_left (fun n ph -> n + ph.built.Checks.filtered) 0 phases;
+    promoted = certified.Certify.promoted;
+    eliminated = certified.Certify.eliminated;
+    conflicts = certified.Certify.conflicts;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let build e ?after options strategy fed analysis =
+  match strategy with
+  | Ca -> build_ca e ?after options fed analysis
+  | Bl -> build_localized e ?after options ~parallel:false ~signatures:false fed analysis
+  | Pl -> build_localized e ?after options ~parallel:true ~signatures:false fed analysis
+  | Bls -> build_localized e ?after options ~parallel:false ~signatures:true fed analysis
+  | Pls -> build_localized e ?after options ~parallel:true ~signatures:true fed analysis
+  | Lo ->
+    build_localized e ?after options ~parallel:false ~checks:false
+      ~signatures:false fed analysis
+  | Cf -> build_cf e ?after options fed analysis
+
+let run ?(options = default_options) strategy fed analysis =
+  Log.debug (fun m ->
+      m "running %s over %d databases, query on %s" (to_string strategy)
+        (List.length (Federation.databases fed))
+        analysis.Analysis.range_class);
+  Meter.reset ();
+  Goid_table.reset_lookup_count (Federation.goids fed);
+  let e = Engine.create ~trace:options.trace () in
+  apply_site_speeds e options.site_speeds;
+  let b = build e options strategy fed analysis in
+  Engine.run e;
+  let stats = Engine.stats e in
+  let metrics =
+    {
+      strategy;
+      total = Stats.total_busy stats;
+      response = Stats.makespan stats;
+      bytes_shipped = b.acc.bytes_shipped;
+      disk_bytes = b.acc.disk_bytes;
+      messages = b.acc.messages;
+      check_requests = b.check_requests;
+      checks_filtered = b.checks_filtered;
+      work_units = b.acc.work_units;
+      goid_lookups = b.acc.goid_lookups;
+      promoted = b.promoted;
+      eliminated_at_global = b.eliminated;
+      conflicts = b.conflicts;
+      breakdown = Stats.by_label stats;
+      trace = Engine.trace e;
+    }
+  in
+  Log.info (fun m ->
+      m "%s: %d certain, %d maybe; total %a, response %a, %d checks"
+        (to_string strategy)
+        (List.length (Answer.certain b.answer))
+        (List.length (Answer.maybe b.answer))
+        Time.pp metrics.total Time.pp metrics.response b.check_requests);
+  (b.answer, metrics)
+
+type concurrent_query = {
+  started : Time.t;
+  completed : Time.t;
+  q_strategy : t;
+  q_answer : Answer.t;
+}
+
+type concurrent_outcome = {
+  queries : concurrent_query list;
+  combined_total : Time.t;
+  combined_makespan : Time.t;
+}
+
+let run_concurrent ?(options = default_options) fed jobs =
+  Meter.reset ();
+  Goid_table.reset_lookup_count (Federation.goids fed);
+  let e = Engine.create ~trace:options.trace () in
+  apply_site_speeds e options.site_speeds;
+  let built =
+    List.map
+      (fun (strategy, analysis, arrival) ->
+        let after =
+          if Time.compare arrival Time.zero > 0 then
+            Some (Engine.delay e ~label:"arrival" ~duration:arrival ())
+          else None
+        in
+        (strategy, arrival, build e ?after options strategy fed analysis))
+      jobs
+  in
+  Engine.run e;
+  let stats = Engine.stats e in
+  {
+    queries =
+      List.map
+        (fun (strategy, arrival, b) ->
+          {
+            started = arrival;
+            completed = Engine.finish_time e b.fence;
+            q_strategy = strategy;
+            q_answer = b.answer;
+          })
+        built;
+    combined_total = Stats.total_busy stats;
+    combined_makespan = Stats.makespan stats;
+  }
+
+let run_query ?options strategy fed src =
+  match Parser.parse_result src with
+  | Error msg -> Error msg
+  | Ok ast -> (
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    match Analysis.analyze schema ast with
+    | exception Analysis.Error msg -> Error msg
+    | analysis -> Ok (run ?options strategy fed analysis))
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>%s: total %a, response %a@,shipped %d bytes in %d messages; disk %d \
+     bytes@,work %d units, %d goid lookups, %d checks (%d filtered)@,promoted \
+     %d, eliminated at global %d%s@]"
+    (to_string m.strategy) Time.pp m.total Time.pp m.response m.bytes_shipped
+    m.messages m.disk_bytes m.work_units m.goid_lookups m.check_requests
+    m.checks_filtered m.promoted m.eliminated_at_global
+    (if m.conflicts > 0 then Printf.sprintf ", %d CONFLICTS" m.conflicts else "")

@@ -1,0 +1,67 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+let count fed (analysis : Analysis.t) ~db:db_name =
+  let gs = Federation.global_schema fed in
+  let db = Federation.db fed db_name in
+  let root_gcls = analysis.Analysis.range_class in
+  let root_cls =
+    match Global_schema.constituent_of gs ~gcls:root_gcls ~db:db_name with
+    | Some cls -> cls
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Touch.count: %s has no constituent of %s" db_name
+           root_gcls)
+  in
+  (* Distinct touched objects per local class. *)
+  let touched : (string, unit Oid.Loid.Table.t) Hashtbl.t = Hashtbl.create 8 in
+  let note obj =
+    let cls = Dbobject.cls obj in
+    let set =
+      match Hashtbl.find_opt touched cls with
+      | Some s -> s
+      | None ->
+        let s = Oid.Loid.Table.create 64 in
+        Hashtbl.add touched cls s;
+        s
+    in
+    Oid.Loid.Table.replace set (Dbobject.loid obj) ()
+  in
+  let rec walk obj path =
+    match path with
+    | [] -> ()
+    | name :: rest -> (
+      match Database.field_by_name db obj name with
+      | Some (Value.Ref _ as v) -> (
+        match Database.deref db v with
+        | Some next ->
+          note next;
+          walk next rest
+        | None -> ())
+      | Some _ | None -> ())
+  in
+  let paths =
+    List.map fst analysis.Analysis.targets
+    @ List.map (fun info -> info.Analysis.pred.Predicate.path) analysis.Analysis.atoms
+  in
+  List.iter
+    (fun obj -> List.iter (walk obj) paths)
+    (Database.extent db root_cls);
+  (* Report per global class: the root's full extent, branch classes by
+     their touched counts. *)
+  List.filter_map
+    (fun gcls ->
+      if String.equal gcls root_gcls then
+        Some (gcls, Database.extent_size db root_cls)
+      else
+        match Global_schema.constituent_of gs ~gcls ~db:db_name with
+        | None -> None
+        | Some local_cls ->
+          let n =
+            match Hashtbl.find_opt touched local_cls with
+            | Some s -> Oid.Loid.Table.length s
+            | None -> 0
+          in
+          Some (gcls, n))
+    analysis.Analysis.classes_involved

@@ -1,0 +1,145 @@
+open Msdq_simkit
+open Msdq_workload
+open Msdq_exec
+
+type series = {
+  strategy : Strategy.t;
+  totals : float array;
+  responses : float array;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  xs : float array;
+  series : series list;
+}
+
+let paper_strategies = [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+
+let sweep ~samples ~seed ~cost ~strategies ~xs ~config_of =
+  let series =
+    List.map
+      (fun strategy ->
+        let totals = Array.make (Array.length xs) 0.0 in
+        let responses = Array.make (Array.length xs) 0.0 in
+        Array.iteri
+          (fun idx x ->
+            let ranges, overrides = config_of x in
+            let t =
+              Param_sim.average ~overrides ~cost ~samples ~seed ~ranges strategy
+            in
+            totals.(idx) <- Time.to_s t.Param_sim.total;
+            responses.(idx) <- Time.to_s t.Param_sim.response)
+          xs;
+        { strategy; totals; responses })
+      strategies
+  in
+  series
+
+let fig9 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 1000.; 2000.; 4000.; 6000.; 8000.; 10000. |] in
+  let config_of x =
+    let n = int_of_float x in
+    ( { Params.default with Params.n_o = (n, n + (n / 5)) },
+      Param_sim.no_overrides )
+  in
+  {
+    id = "fig9";
+    title = "Varying the average number of objects in each constituent class";
+    xlabel = "objects per constituent class";
+    xs;
+    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+  }
+
+let fig10 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
+  let config_of x =
+    ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
+  in
+  {
+    id = "fig10";
+    title = "Varying the number of component databases";
+    xlabel = "component databases";
+    xs;
+    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+  }
+
+let fig11 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
+  let config_of x =
+    ( { Params.default with Params.n_o = (1000, 2000) },
+      { Param_sim.root_local_selectivity = Some x } )
+  in
+  {
+    id = "fig11";
+    title = "Varying the selectivity of one local predicate";
+    xlabel = "selectivity of the local predicates on the root class";
+    xs;
+    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+  }
+
+let ablation_signatures ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 2.; 4.; 6.; 8. |] in
+  let config_of x =
+    ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
+  in
+  {
+    id = "ablation-signatures";
+    title = "Signature filtering of assistant checks (extension)";
+    xlabel = "component databases";
+    xs;
+    series =
+      sweep ~samples ~seed ~cost
+        ~strategies:[ Strategy.Bl; Strategy.Bls; Strategy.Pl; Strategy.Pls ]
+        ~xs ~config_of;
+  }
+
+let ablation_checks ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 2.; 4.; 6.; 8. |] in
+  let config_of x =
+    ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
+  in
+  {
+    id = "ablation-checks";
+    title = "Cost of assistant checking: localized with and without phase O (extension)";
+    xlabel = "component databases";
+    xs;
+    series =
+      sweep ~samples ~seed ~cost
+        ~strategies:[ Strategy.Lo; Strategy.Bl; Strategy.Pl ]
+        ~xs ~config_of;
+  }
+
+let ablation_semijoin ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+  let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
+  let config_of x =
+    ( { Params.default with Params.n_o = (1000, 2000) },
+      { Param_sim.root_local_selectivity = Some x } )
+  in
+  {
+    id = "ablation-semijoin";
+    title = "Semijoin-filtered centralized (CF) vs CA and BL (extension)";
+    xlabel = "selectivity of the local predicates on the root class";
+    xs;
+    series =
+      sweep ~samples ~seed ~cost
+        ~strategies:[ Strategy.Ca; Strategy.Cf; Strategy.Bl ]
+        ~xs ~config_of;
+  }
+
+let all ?samples ?seed ?cost () =
+  [
+    fig9 ?samples ?seed ?cost ();
+    fig10 ?samples ?seed ?cost ();
+    fig11 ?samples ?seed ?cost ();
+    ablation_signatures ?samples ?seed ?cost ();
+    ablation_checks ?samples ?seed ?cost ();
+    ablation_semijoin ?samples ?seed ?cost ();
+  ]
+
+let series_of fig strategy =
+  match List.find_opt (fun s -> s.strategy = strategy) fig.series with
+  | Some s -> s
+  | None -> raise Not_found

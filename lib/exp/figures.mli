@@ -1,0 +1,51 @@
+(** The paper's experiments: Figures 9, 10 and 11 (each with an (a) total
+    execution time and (b) response time panel), regenerated with the
+    parametric simulator, plus a signature-filtering ablation (extension).
+
+    Defaults follow the paper: 500 parameter draws per point, Table 1 cost
+    constants, Table 2 parameter ranges. *)
+
+open Msdq_exec
+
+type series = {
+  strategy : Strategy.t;
+  totals : float array;  (** average total execution time per x, seconds *)
+  responses : float array;  (** average response time per x, seconds *)
+}
+
+type figure = {
+  id : string;  (** e.g. "fig9" *)
+  title : string;
+  xlabel : string;
+  xs : float array;
+  series : series list;
+}
+
+val fig9 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Varying the average number of objects per constituent class
+    (1000..10000). *)
+
+val fig10 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Varying the number of component databases (2..8). *)
+
+val fig11 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Varying the selectivity of one local predicate (0.1..0.9), with
+    N_o in 1000..2000 as in the paper. *)
+
+val ablation_signatures : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Extension: BL/PL against their signature-filtered variants while varying
+    the number of component databases. *)
+
+val ablation_checks : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Extension: LO (localized without assistant checks) against BL and PL —
+    the pure cost of phase O — while varying the number of databases. *)
+
+val ablation_semijoin : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+(** Extension: CF (semijoin-filtered centralized) against CA and BL while
+    varying the local selectivity — the classic semijoin trade-off. *)
+
+val all : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure list
+(** [fig9; fig10; fig11; ablation-signatures; ablation-checks; ablation-semijoin]. *)
+
+val series_of : figure -> Strategy.t -> series
+(** Raises [Not_found] when the figure has no such series. *)

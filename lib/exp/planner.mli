@@ -1,0 +1,47 @@
+(** Cost-based strategy selection.
+
+    The paper compares its strategies over sampled workload parameters; a
+    system must pick one per query. This planner measures the {e actual}
+    federation — extent cardinalities, schema-level missing attributes,
+    per-object null rates, observed predicate selectivities, reference and
+    isomerism ratios — expresses them in the paper's Table 2 vocabulary, and
+    runs the parametric cost simulation over them for every strategy. The
+    cheapest strategy under the chosen objective is recommended.
+
+    Profiling scans extents (catalog statistics would normally be maintained
+    incrementally); predictions reuse [Msdq_exp]'s formulas through the
+    {!profile} sample, so planner and experiment harness can never drift
+    apart. *)
+
+open Msdq_fed
+open Msdq_query
+open Msdq_simkit
+open Msdq_exec
+
+type objective = Total_time | Response_time
+
+type prediction = {
+  strategy : Strategy.t;
+  total : Time.t;  (** predicted total execution time *)
+  response : Time.t;  (** predicted response time *)
+}
+
+val profile : Federation.t -> Analysis.t -> Msdq_workload.Params.sample
+(** The federation's statistics for this query, as one Table-2 parameter
+    sample: class index 0 is the range class, per-database entries cover
+    every component database (cardinality 0 where a class has no
+    constituent). *)
+
+val predict :
+  ?cost:Cost.t -> ?strategies:Strategy.t list -> Federation.t -> Analysis.t ->
+  prediction list
+(** Predictions for the given strategies (default: CA, CF, BL, PL), in
+    input order. *)
+
+val choose :
+  ?cost:Cost.t -> ?strategies:Strategy.t list -> objective:objective ->
+  Federation.t -> Analysis.t -> Strategy.t * prediction list
+(** The recommended strategy and all predictions (sorted best-first under
+    the objective). *)
+
+val pp_prediction : Format.formatter -> prediction -> unit

@@ -1,0 +1,104 @@
+open Msdq_exec
+
+let fmt_x x =
+  if Float.is_integer x then Printf.sprintf "%g" x else Printf.sprintf "%.2f" x
+
+let panel ppf fig ~metric ~label =
+  Format.fprintf ppf "@[<v>%s@," label;
+  let names =
+    List.map
+      (fun s -> Strategy.to_string s.Figures.strategy)
+      fig.Figures.series
+  in
+  Format.fprintf ppf "%-12s" "x";
+  List.iter (fun n -> Format.fprintf ppf "%12s" n) names;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i x ->
+      Format.fprintf ppf "%-12s" (fmt_x x);
+      List.iter
+        (fun s ->
+          let v =
+            match metric with
+            | `Total -> s.Figures.totals.(i)
+            | `Response -> s.Figures.responses.(i)
+          in
+          Format.fprintf ppf "%12.3f" v)
+        fig.Figures.series;
+      Format.fprintf ppf "@,")
+    fig.Figures.xs;
+  Format.fprintf ppf "@]"
+
+let pp_figure ppf fig =
+  Format.fprintf ppf "@[<v>== %s: %s ==@,x-axis: %s; times in seconds@,@,%a@,%a@]"
+    fig.Figures.id fig.Figures.title fig.Figures.xlabel
+    (fun ppf () -> panel ppf fig ~metric:`Total ~label:"(a) total execution time")
+    ()
+    (fun ppf () -> panel ppf fig ~metric:`Response ~label:"(b) response time")
+    ()
+
+let pp_checks ppf checks =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, ok) ->
+      Format.fprintf ppf "%s %s@," (if ok then "[ok]  " else "[FAIL]") name)
+    checks;
+  Format.fprintf ppf "@]"
+
+let to_csv fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "x";
+  List.iter
+    (fun s ->
+      let n = Strategy.to_string s.Figures.strategy in
+      Buffer.add_string buf (Printf.sprintf ",%s total s,%s response s" n n))
+    fig.Figures.series;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf ",%.6f,%.6f" s.Figures.totals.(i) s.Figures.responses.(i)))
+        fig.Figures.series;
+      Buffer.add_char buf '\n')
+    fig.Figures.xs;
+  Buffer.contents buf
+
+let pp_ascii_chart ppf fig ~metric =
+  let value s i =
+    match metric with
+    | `Total -> s.Figures.totals.(i)
+    | `Response -> s.Figures.responses.(i)
+  in
+  let vmax =
+    List.fold_left
+      (fun acc s ->
+        Array.fold_left Float.max acc
+          (match metric with
+          | `Total -> s.Figures.totals
+          | `Response -> s.Figures.responses))
+      0.0 fig.Figures.series
+  in
+  let width = 48 in
+  Format.fprintf ppf "@[<v>%s (%s)@,"
+    (match metric with `Total -> "total execution time" | `Response -> "response time")
+    fig.Figures.xlabel;
+  Array.iteri
+    (fun i x ->
+      Format.fprintf ppf "x = %s@," (fmt_x x);
+      List.iter
+        (fun s ->
+          let v = value s i in
+          let bar =
+            if vmax <= 0.0 then 0
+            else int_of_float (Float.round (v /. vmax *. float_of_int width))
+          in
+          Format.fprintf ppf "  %-4s %s %.3fs@,"
+            (Strategy.to_string s.Figures.strategy)
+            (String.make (max bar 1) '#')
+            v)
+        fig.Figures.series)
+    fig.Figures.xs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,15 @@
+(** Plain-text and CSV rendering of regenerated figures. *)
+
+val pp_figure : Format.formatter -> Figures.figure -> unit
+(** Two aligned tables — (a) total execution time, (b) response time — with
+    one column per strategy, values in seconds. *)
+
+val pp_checks : Format.formatter -> (string * bool) list -> unit
+
+val to_csv : Figures.figure -> string
+(** Header [x,<S> total s,<S> response s,...], one row per x. *)
+
+val pp_ascii_chart :
+  Format.formatter -> Figures.figure -> metric:[ `Total | `Response ] -> unit
+(** A rough terminal chart of one panel (rows = strategies x points, bar
+    length proportional to the value). *)

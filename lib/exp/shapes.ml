@@ -1,0 +1,116 @@
+open Msdq_exec
+
+let get = Figures.series_of
+
+let every2 f a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (f x b.(i)) then ok := false) a;
+  !ok
+
+let slope (s : float array) =
+  (* last/first ratio: >1 means growing *)
+  if Array.length s = 0 || s.(0) = 0.0 then 1.0
+  else s.(Array.length s - 1) /. s.(0)
+
+let check_fig9 fig =
+  let ca = get fig Strategy.Ca
+  and bl = get fig Strategy.Bl
+  and pl = get fig Strategy.Pl in
+  [
+    ("fig9a: BL total < CA total at every point", every2 ( < ) bl.Figures.totals ca.Figures.totals);
+    ("fig9a: PL total < CA total at every point", every2 ( < ) pl.Figures.totals ca.Figures.totals);
+    ("fig9a: BL total <= PL total at every point", every2 ( <= ) bl.Figures.totals pl.Figures.totals);
+    ( "fig9b: BL response well below CA response (< 2/3)",
+      every2 (fun b c -> b < 0.667 *. c) bl.Figures.responses ca.Figures.responses );
+    ( "fig9b: PL response well below CA response (< 2/3)",
+      every2 (fun p c -> p < 0.667 *. c) pl.Figures.responses ca.Figures.responses );
+  ]
+
+let check_fig10 fig =
+  let ca = get fig Strategy.Ca
+  and bl = get fig Strategy.Bl
+  and pl = get fig Strategy.Pl in
+  let last = Array.length fig.Figures.xs - 1 in
+  [
+    ( "fig10a: BL total grows faster than CA total",
+      slope bl.Figures.totals > slope ca.Figures.totals );
+    ( "fig10a: PL total grows faster than CA total",
+      slope pl.Figures.totals > slope ca.Figures.totals );
+    ( "fig10a: PL total passes CA total at many databases",
+      pl.Figures.totals.(last) > ca.Figures.totals.(last) );
+    ( "fig10a: BL total < PL total at every point",
+      every2 ( <= ) bl.Figures.totals pl.Figures.totals );
+    ( "fig10b: BL response < CA response at every point",
+      every2 ( < ) bl.Figures.responses ca.Figures.responses );
+    ( "fig10b: PL response < CA response at every point",
+      every2 ( < ) pl.Figures.responses ca.Figures.responses );
+  ]
+
+let check_fig11 fig =
+  let ca = get fig Strategy.Ca
+  and bl = get fig Strategy.Bl
+  and pl = get fig Strategy.Pl in
+  let flat s = slope s < 1.05 && slope s > 0.95 in
+  [
+    ("fig11a: CA total flat in the selectivity", flat ca.Figures.totals);
+    ("fig11b: CA response flat in the selectivity", flat ca.Figures.responses);
+    ("fig11a: BL total increases with the selectivity", slope bl.Figures.totals > 1.1);
+    ("fig11a: PL total increases with the selectivity", slope pl.Figures.totals > 1.05);
+    ( "fig11a: BL grows faster than PL",
+      slope bl.Figures.totals > slope pl.Figures.totals );
+  ]
+
+let check_ablation fig =
+  let bl = get fig Strategy.Bl
+  and bls = get fig Strategy.Bls
+  and pl = get fig Strategy.Pl
+  and pls = get fig Strategy.Pls in
+  let last = Array.length fig.Figures.xs - 1 in
+  [
+    ( "ablation: BLS total <= BL total at every point",
+      every2 ( <= ) bls.Figures.totals bl.Figures.totals );
+    ( "ablation: PLS total <= PL total at every point",
+      every2 ( <= ) pls.Figures.totals pl.Figures.totals );
+    ( "ablation: signatures help PL at many databases",
+      pls.Figures.totals.(last) < pl.Figures.totals.(last) );
+  ]
+
+let check_ablation_checks fig =
+  let lo = get fig Strategy.Lo
+  and bl = get fig Strategy.Bl
+  and pl = get fig Strategy.Pl in
+  [
+    ( "ablation: LO total <= BL total at every point",
+      every2 ( <= ) lo.Figures.totals bl.Figures.totals );
+    ( "ablation: LO total <= PL total at every point",
+      every2 ( <= ) lo.Figures.totals pl.Figures.totals );
+    ( "ablation: checking overhead grows with databases (BL-LO gap widens)",
+      let gap i = bl.Figures.totals.(i) -. lo.Figures.totals.(i) in
+      gap (Array.length fig.Figures.xs - 1) > gap 0 );
+  ]
+
+let check_ablation_semijoin fig =
+  let ca = get fig Strategy.Ca
+  and cf = get fig Strategy.Cf
+  and bl = get fig Strategy.Bl in
+  let last = Array.length fig.Figures.xs - 1 in
+  [
+    ( "semijoin: CF total < CA total at low selectivity",
+      cf.Figures.totals.(0) < ca.Figures.totals.(0) );
+    ( "semijoin: CF total grows with selectivity",
+      cf.Figures.totals.(last) > cf.Figures.totals.(0) );
+    ( "semijoin: BL total <= CF total at every point (no second data round)",
+      every2 ( <= ) bl.Figures.totals cf.Figures.totals );
+  ]
+
+let check fig =
+  match fig.Figures.id with
+  | "fig9" -> check_fig9 fig
+  | "fig10" -> check_fig10 fig
+  | "fig11" -> check_fig11 fig
+  | "ablation-signatures" -> check_ablation fig
+  | "ablation-checks" -> check_ablation_checks fig
+  | "ablation-semijoin" -> check_ablation_semijoin fig
+  | other -> [ (Printf.sprintf "unknown figure %s" other, false) ]
+
+let all_hold checks = List.for_all snd checks

@@ -1,0 +1,34 @@
+(** Shape checks: do the regenerated curves reproduce the paper's findings?
+
+    The reproduction targets the qualitative results of Section 4.2 — who
+    wins, by what tendency, where curves cross — not the absolute numbers
+    (the authors' simulator internals are unpublished). Each check returns a
+    named boolean; EXPERIMENTS.md records them, and the test suite asserts
+    them on reduced sample counts. *)
+
+val check_fig9 : Figures.figure -> (string * bool) list
+(** BL/PL beat CA on total time; BL beats PL; BL/PL response far below CA's. *)
+
+val check_fig10 : Figures.figure -> (string * bool) list
+(** BL/PL total time grows faster than CA's as databases are added; PL's
+    total crosses above CA's; BL/PL response stays below CA's. *)
+
+val check_fig11 : Figures.figure -> (string * bool) list
+(** CA flat in the local selectivity; BL and PL increase; BL grows faster. *)
+
+val check_ablation : Figures.figure -> (string * bool) list
+(** Signature variants never do worse on total time and help at large
+    database counts. *)
+
+val check_ablation_checks : Figures.figure -> (string * bool) list
+(** LO never exceeds BL/PL; the BL-LO gap (the cost of checking) widens with
+    the number of databases. *)
+
+val check_ablation_semijoin : Figures.figure -> (string * bool) list
+(** CF beats CA at low selectivity and converges toward it as the filter
+    stops helping; BL stays at or below CF. *)
+
+val check : Figures.figure -> (string * bool) list
+(** Dispatch on the figure id. *)
+
+val all_hold : (string * bool) list -> bool

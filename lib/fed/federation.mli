@@ -1,0 +1,44 @@
+(** The federation catalog: component databases pinned to simulated sites,
+    the integrated global schema, and the (replicated) GOid mapping tables.
+
+    Site 0 is the {e global processing site}; database [i] (in list order)
+    lives at site [i+1]. *)
+
+open Msdq_odb
+
+type t
+
+val create :
+  databases:(string * Database.t) list ->
+  mapping:(string * (string * string) list) list ->
+  keys:(string * string) list ->
+  t
+(** Integrates the schemas ({!Global_schema.integrate}) and identifies
+    isomeric objects ({!Isomerism.identify}). [keys] designates the key
+    attribute of each global class used for isomerism matching. *)
+
+val databases : t -> (string * Database.t) list
+
+val db : t -> string -> Database.t
+(** Raises [Not_found] for an unknown database name. *)
+
+val db_names : t -> string list
+
+val site_of : t -> string -> int
+
+val db_at : t -> int -> string option
+(** Inverse of {!site_of}. *)
+
+val global_site : t -> int
+
+val global_schema : t -> Global_schema.t
+
+val key_of : t -> string -> string
+(** The isomerism key attribute of a global class, as given at creation.
+    Raises [Not_found] for classes without one. *)
+
+val goids : t -> Goid_table.t
+
+val total_objects : t -> int
+
+val pp : Format.formatter -> t -> unit

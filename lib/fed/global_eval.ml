@@ -1,0 +1,88 @@
+open Msdq_odb
+
+type block = { at : Materialize.gobject; rest : Path.t }
+type outcome = Sat | Viol | Blocked of block
+type fetched = Found of Value.t | Found_set of Value.t list | Missing of block
+
+let rec fetch view gobj path =
+  match path with
+  | [] -> invalid_arg "Global_eval.fetch: empty path"
+  | name :: rest -> (
+    Meter.add_accesses 1;
+    match Materialize.field view gobj name with
+    | None ->
+      (* The global class defines the union of constituent attributes, so a
+         validated query never reaches an undefined attribute; a merged
+         object simply holds Gnull there. Reaching this means the query was
+         not validated against the global schema. *)
+      invalid_arg
+        (Printf.sprintf "Global_eval.fetch: %s has no attribute %s"
+           gobj.Materialize.gcls name)
+    | Some Materialize.Gnull -> Missing { at = gobj; rest = path }
+    | Some (Materialize.Gprim v) -> (
+      match rest with
+      | [] -> Found v
+      | _ :: _ ->
+        raise
+          (Value.Type_error
+             (Printf.sprintf "path traverses primitive attribute %s of %s" name
+                gobj.Materialize.gcls)))
+    | Some (Materialize.Gset vs) -> (
+      match rest with
+      | [] -> Found_set vs
+      | _ :: _ ->
+        raise
+          (Value.Type_error
+             (Printf.sprintf "path traverses primitive attribute %s of %s" name
+                gobj.Materialize.gcls)))
+    | Some (Materialize.Gref g) -> (
+      match rest with
+      | [] ->
+        (* A complex attribute as the final step: its value is the object
+           identity. Comparisons on identities are not expressible in
+           queries, so surface it as a missing primitive. *)
+        Missing { at = gobj; rest = path }
+      | _ :: _ -> (
+        match Materialize.find view g with
+        | Some next -> fetch view next rest
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Global_eval.fetch: referenced entity %s was not materialized"
+               (Oid.Goid.to_string g)))))
+
+let eval view gobj (p : Predicate.t) =
+  match fetch view gobj p.Predicate.path with
+  | Missing b -> Blocked b
+  | Found v ->
+    if Predicate.compare_op p.Predicate.op v p.Predicate.operand then Sat
+    else Viol
+  | Found_set vs ->
+    (* Multi-valued attribute: existential semantics — the entity carries
+       all these values. *)
+    if List.exists (fun v -> Predicate.compare_op p.Predicate.op v p.Predicate.operand) vs
+    then Sat
+    else Viol
+
+let truth_of_outcome = function
+  | Sat -> Truth.True
+  | Viol -> Truth.False
+  | Blocked _ -> Truth.Unknown
+
+let eval_conjunction view gobj preds =
+  (* Short-circuit on False but keep evaluating through Unknown, mirroring
+     what an engine evaluating conjuncts in sequence would do. *)
+  let rec go acc = function
+    | [] -> acc
+    | p :: rest -> (
+      match Truth.conj acc (truth_of_outcome (eval view gobj p)) with
+      | Truth.False -> Truth.False
+      | (Truth.True | Truth.Unknown) as t -> go t rest)
+  in
+  go Truth.True preds
+
+let project view gobj path =
+  match fetch view gobj path with
+  | Found v -> v
+  | Found_set (v :: _) -> v
+  | Found_set [] | Missing _ -> Value.Null

@@ -1,0 +1,40 @@
+(** Predicate evaluation over the materialized global view.
+
+    This is phase P of the centralized approach: predicates run against
+    integrated objects, so a value contributed by {e any} isomeric object
+    can decide them. [Gnull] fields — positions where no constituent had a
+    value — yield [Blocked], producing maybe results. *)
+
+open Msdq_odb
+
+type block = { at : Materialize.gobject; rest : Path.t }
+(** Evaluation stopped at [at], whose merged value for [List.hd rest] is
+    missing federation-wide. *)
+
+type outcome = Sat | Viol | Blocked of block
+
+type fetched =
+  | Found of Value.t
+  | Found_set of Value.t list
+      (** a multi-valued attribute (see [Materialize.Gset]); predicates use
+          existential semantics over the set *)
+  | Missing of block
+
+val fetch : Materialize.t -> Materialize.gobject -> Path.t -> fetched
+(** Walks a path over global objects, following [Gref]s. Raises
+    [Invalid_argument] if a referenced class was not materialized, and
+    [Value.Type_error] if the path traverses a primitive attribute. *)
+
+val eval : Materialize.t -> Materialize.gobject -> Predicate.t -> outcome
+(** Uses {!Predicate.compare_op}, so comparisons are counted in the shared
+    instrumentation counter. *)
+
+val eval_conjunction :
+  Materialize.t -> Materialize.gobject -> Predicate.t list -> Truth.t
+(** Kleene conjunction of the predicate outcomes. *)
+
+val project : Materialize.t -> Materialize.gobject -> Path.t -> Value.t
+(** Target projection: the fetched value, or [Value.Null] when blocked; a
+    multi-valued attribute projects its first value. *)
+
+val truth_of_outcome : outcome -> Truth.t

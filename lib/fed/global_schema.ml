@@ -1,0 +1,145 @@
+open Msdq_odb
+
+type constituent = { db : string; cls : string }
+
+type global_class = {
+  gname : string;
+  attrs : Schema.attr list;
+  constituents : constituent list;
+}
+
+exception Conflict of string
+
+let conflict fmt = Printf.ksprintf (fun s -> raise (Conflict s)) fmt
+
+type t = {
+  classes : global_class list;
+  schema : Schema.t;
+  (* (db, local class) -> global class name *)
+  local_to_global : (string * string, string) Hashtbl.t;
+  (* (global class, db) -> local class name *)
+  global_to_local : (string * string, string) Hashtbl.t;
+  (* (global class, db, attribute) present in that db's constituent *)
+  present_attrs : (string * string * string, unit) Hashtbl.t;
+  by_name : (string, global_class) Hashtbl.t;
+}
+
+(* Integrating an attribute type: primitive types must agree; complex
+   domains are translated to global class names and must agree. *)
+let integrate_attr_type ~local_to_global ~db ~gname ~aname local_ty =
+  match local_ty with
+  | Schema.Prim p -> Schema.Prim p
+  | Schema.Complex local_domain -> (
+    match Hashtbl.find_opt local_to_global (db, local_domain) with
+    | Some gdomain -> Schema.Complex gdomain
+    | None ->
+      conflict
+        "attribute %s.%s: domain class %s of database %s is not integrated \
+         into any global class"
+        gname aname local_domain db)
+
+let integrate ~databases ~mapping =
+  let db_of_name name =
+    match List.assoc_opt name databases with
+    | Some db -> db
+    | None -> conflict "unknown database %s in mapping" name
+  in
+  (* First pass: record which local class belongs to which global class, so
+     complex domains can be translated. *)
+  let local_to_global = Hashtbl.create 32 in
+  let global_to_local = Hashtbl.create 32 in
+  List.iter
+    (fun (gname, constituents) ->
+      if constituents = [] then conflict "global class %s has no constituents" gname;
+      List.iter
+        (fun (db_name, cls) ->
+          let db = db_of_name db_name in
+          if not (Schema.mem_class (Database.schema db) cls) then
+            conflict "database %s has no class %s (constituent of %s)" db_name
+              cls gname;
+          if Hashtbl.mem local_to_global (db_name, cls) then
+            conflict "class %s of database %s is a constituent of two global classes"
+              cls db_name;
+          if Hashtbl.mem global_to_local (gname, db_name) then
+            conflict "global class %s has two constituents in database %s" gname
+              db_name;
+          Hashtbl.add local_to_global (db_name, cls) gname;
+          Hashtbl.add global_to_local (gname, db_name) cls)
+        constituents)
+    mapping;
+  (* Second pass: union the attributes. *)
+  let present_attrs = Hashtbl.create 64 in
+  let build_class (gname, constituents) =
+    let attrs = ref [] (* reversed *) in
+    let types = Hashtbl.create 8 in
+    let add_attr db_name (a : Schema.attr) =
+      let ty =
+        integrate_attr_type ~local_to_global ~db:db_name ~gname
+          ~aname:a.Schema.aname a.Schema.atype
+      in
+      match Hashtbl.find_opt types a.Schema.aname with
+      | None ->
+        Hashtbl.add types a.Schema.aname ty;
+        attrs := { Schema.aname = a.Schema.aname; atype = ty } :: !attrs
+      | Some ty' ->
+        if not (Schema.equal_attr_type ty ty') then
+          conflict "attribute %s.%s integrates with conflicting types %s and %s"
+            gname a.Schema.aname
+            (Schema.attr_type_to_string ty')
+            (Schema.attr_type_to_string ty)
+    in
+    List.iter
+      (fun (db_name, cls) ->
+        let db = db_of_name db_name in
+        match Schema.find_class (Database.schema db) cls with
+        | Some cd ->
+          List.iter
+            (fun a ->
+              add_attr db_name a;
+              Hashtbl.replace present_attrs (gname, db_name, a.Schema.aname) ())
+            cd.Schema.attrs
+        | None -> assert false (* checked in first pass *))
+      constituents;
+    {
+      gname;
+      attrs = List.rev !attrs;
+      constituents = List.map (fun (db, cls) -> { db; cls }) constituents;
+    }
+  in
+  let classes = List.map build_class mapping in
+  let schema =
+    Schema.create
+      (List.map (fun gc -> { Schema.cname = gc.gname; attrs = gc.attrs }) classes)
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun gc -> Hashtbl.add by_name gc.gname gc) classes;
+  { classes; schema; local_to_global; global_to_local; present_attrs; by_name }
+
+let schema t = t.schema
+let classes t = t.classes
+let find t name = Hashtbl.find_opt t.by_name name
+let constituent_of t ~gcls ~db = Hashtbl.find_opt t.global_to_local (gcls, db)
+let global_of_local t ~db ~cls = Hashtbl.find_opt t.local_to_global (db, cls)
+
+let missing_attrs t ~gcls ~db =
+  match Hashtbl.find_opt t.by_name gcls with
+  | None -> raise (Conflict (Printf.sprintf "unknown global class %s" gcls))
+  | Some gc ->
+    List.filter_map
+      (fun a ->
+        let aname = a.Schema.aname in
+        if Hashtbl.mem t.present_attrs (gcls, db, aname) then None
+        else Some aname)
+      gc.attrs
+
+let local_attr_path t ~db ~gcls path =
+  match constituent_of t ~gcls ~db with None -> None | Some _ -> Some path
+
+let pp ppf t =
+  let pp_class ppf gc =
+    Format.fprintf ppf "@[<v 2>global class %s@,attrs: %s@,constituents: %s@]"
+      gc.gname
+      (String.concat ", " (List.map (fun a -> a.Schema.aname) gc.attrs))
+      (String.concat ", " (List.map (fun c -> c.db ^ "." ^ c.cls) gc.constituents))
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_class ppf t.classes

@@ -1,0 +1,67 @@
+(** Schema integration.
+
+    A {e global class} integrates one constituent class from each
+    participating component database (not every database need participate).
+    Its attribute set is the union of the constituent attribute sets (paper,
+    Section 1); an attribute of the global class that a constituent class
+    does not define is a {e missing attribute} of that constituent.
+
+    Complex attributes integrate at the level of global classes: if
+    [Student.advisor] has domain [Teacher] in DB1 and domain [Teacher'] in
+    DB2, both domain classes must map to the same global class, which
+    becomes the domain of the global attribute. *)
+
+open Msdq_odb
+
+type constituent = { db : string; cls : string }
+
+type global_class = {
+  gname : string;
+  attrs : Schema.attr list;  (** union, in first-seen order; complex domains
+                                 are global class names *)
+  constituents : constituent list;
+}
+
+exception Conflict of string
+(** Raised when integration is impossible: same-named attributes with
+    incompatible primitive types, complex vs primitive clashes, domain
+    classes mapping to different global classes, a named local class missing
+    from its database's schema, or a local class claimed by two global
+    classes. The paper assumes such conflicts were resolved during schema
+    integration; we detect them instead of silently mis-integrating. *)
+
+type t
+
+val integrate :
+  databases:(string * Database.t) list ->
+  mapping:(string * (string * string) list) list ->
+  t
+(** [integrate ~databases ~mapping] builds the global schema. [mapping]
+    lists, for each global class name, the [(database name, local class
+    name)] pairs of its constituents. *)
+
+val schema : t -> Schema.t
+(** The global schema as an ordinary schema (complex domains are global
+    class names), so path resolution and query analysis reuse the odb
+    machinery. *)
+
+val classes : t -> global_class list
+
+val find : t -> string -> global_class option
+
+val constituent_of : t -> gcls:string -> db:string -> string option
+(** The local class integrating into [gcls] in database [db], if any. *)
+
+val global_of_local : t -> db:string -> cls:string -> string option
+
+val missing_attrs : t -> gcls:string -> db:string -> string list
+(** Attributes of the global class that [db]'s constituent class does not
+    define — [db]'s schema-level missing attributes for that class. A
+    database without a constituent for [gcls] misses all attributes. *)
+
+val local_attr_path : t -> db:string -> gcls:string -> Path.t -> Path.t option
+(** Attribute names are shared between global and local schemas in this
+    model, so a global path is locally meaningful as-is; returns [None] when
+    [db] has no constituent for [gcls]. *)
+
+val pp : Format.formatter -> t -> unit

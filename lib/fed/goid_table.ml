@@ -1,0 +1,98 @@
+open Msdq_odb
+
+type entity = { gcls : string; locals : (string * Oid.Loid.t) list }
+
+type t = {
+  entities : entity Oid.Goid.Table.t;
+  by_local : (string * int, Oid.Goid.t) Hashtbl.t;  (* (db, loid) -> goid *)
+  by_class : (string, Oid.Goid.t list ref) Hashtbl.t;  (* reversed *)
+  mutable next_goid : int;
+  mutable lookups : int;
+}
+
+exception Duplicate of string
+
+let create () =
+  {
+    entities = Oid.Goid.Table.create 256;
+    by_local = Hashtbl.create 256;
+    by_class = Hashtbl.create 16;
+    next_goid = 0;
+    lookups = 0;
+  }
+
+let register t ~gcls locals =
+  if locals = [] then raise (Duplicate "cannot register an entity with no local objects");
+  List.iter
+    (fun (db, loid) ->
+      if Hashtbl.mem t.by_local (db, Oid.Loid.to_int loid) then
+        raise
+          (Duplicate
+             (Printf.sprintf "object %s of database %s already registered"
+                (Oid.Loid.to_string loid) db)))
+    locals;
+  let goid = Oid.Goid.of_int t.next_goid in
+  t.next_goid <- t.next_goid + 1;
+  Oid.Goid.Table.add t.entities goid { gcls; locals };
+  List.iter
+    (fun (db, loid) -> Hashtbl.add t.by_local (db, Oid.Loid.to_int loid) goid)
+    locals;
+  let r =
+    match Hashtbl.find_opt t.by_class gcls with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.by_class gcls r;
+      r
+  in
+  r := goid :: !r;
+  goid
+
+let goid_of_local t ~db loid =
+  t.lookups <- t.lookups + 1;
+  Hashtbl.find_opt t.by_local (db, Oid.Loid.to_int loid)
+
+let locals_of t goid =
+  t.lookups <- t.lookups + 1;
+  match Oid.Goid.Table.find_opt t.entities goid with
+  | Some e -> e.locals
+  | None -> []
+
+let isomers_of t ~db loid =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.by_local (db, Oid.Loid.to_int loid) with
+  | None -> []
+  | Some goid -> (
+    match Oid.Goid.Table.find_opt t.entities goid with
+    | None -> []
+    | Some e ->
+      List.filter
+        (fun (db', loid') ->
+          not (String.equal db db' && Oid.Loid.equal loid loid'))
+        e.locals)
+
+let gcls_of t goid =
+  Option.map (fun e -> e.gcls) (Oid.Goid.Table.find_opt t.entities goid)
+
+let goids_of_class t ~gcls =
+  match Hashtbl.find_opt t.by_class gcls with
+  | Some r -> List.rev !r
+  | None -> []
+
+let entity_count t = Oid.Goid.Table.length t.entities
+let lookup_count t = t.lookups
+let reset_lookup_count t = t.lookups <- 0
+
+let pp ppf t =
+  let pp_entity goid e =
+    Format.fprintf ppf "%a (%s): %s@," Oid.Goid.pp goid e.gcls
+      (String.concat ", "
+         (List.map (fun (db, l) -> Printf.sprintf "%s@%s" (Oid.Loid.to_string l) db) e.locals))
+  in
+  Format.fprintf ppf "@[<v>";
+  let sorted =
+    Oid.Goid.Table.fold (fun g e acc -> (g, e) :: acc) t.entities []
+    |> List.sort (fun (a, _) (b, _) -> Oid.Goid.compare a b)
+  in
+  List.iter (fun (g, e) -> pp_entity g e) sorted;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** GOid mapping tables (paper, Figure 5).
+
+    One logical table per global class maps each GOid to the LOids of its
+    isomeric objects in the component databases. The paper replicates the
+    tables at every site, so a lookup is local CPU work; {!lookup_count}
+    instruments it for the cost model. *)
+
+open Msdq_odb
+
+type t
+
+val create : unit -> t
+
+exception Duplicate of string
+
+val register : t -> gcls:string -> (string * Oid.Loid.t) list -> Oid.Goid.t
+(** [register t ~gcls locals] allocates a fresh GOid for a real-world entity
+    of global class [gcls] whose isomeric objects are [locals] (database
+    name, LOid). Raises {!Duplicate} if any of the local objects is already
+    registered, or if [locals] is empty. GOids are allocated sequentially,
+    so registration order is reproducible. *)
+
+val goid_of_local : t -> db:string -> Oid.Loid.t -> Oid.Goid.t option
+(** Counted as one table lookup. *)
+
+val locals_of : t -> Oid.Goid.t -> (string * Oid.Loid.t) list
+(** All isomeric objects of an entity, in registration order. Counted as
+    one table lookup. *)
+
+val isomers_of : t -> db:string -> Oid.Loid.t -> (string * Oid.Loid.t) list
+(** The object's isomeric objects in {e other} databases — its potential
+    assistant objects. Empty when the object is unregistered or a singleton.
+    Counted as one table lookup. *)
+
+val gcls_of : t -> Oid.Goid.t -> string option
+
+val goids_of_class : t -> gcls:string -> Oid.Goid.t list
+(** In registration order. *)
+
+val entity_count : t -> int
+
+val lookup_count : t -> int
+(** Lookups performed since creation (for cost accounting). *)
+
+val reset_lookup_count : t -> unit
+
+val pp : Format.formatter -> t -> unit

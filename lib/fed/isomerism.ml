@@ -1,0 +1,115 @@
+open Msdq_odb
+
+(* Key values are primitive, so they can serve as hash-table keys after
+   conversion to a comparable representation. *)
+let key_repr = function
+  | Value.Int i -> Some ("i" ^ string_of_int i)
+  | Value.Float f -> Some ("f" ^ string_of_float f)
+  | Value.Str s -> Some ("s" ^ s)
+  | Value.Bool b -> Some ("b" ^ string_of_bool b)
+  | Value.Null | Value.Ref _ -> None
+
+let identify gs ~databases ~keys =
+  let table = Goid_table.create () in
+  let register_class gc =
+    let gcls = gc.Global_schema.gname in
+    let key_attr = List.assoc_opt gcls keys in
+    (* Group constituent objects by key value, preserving first-seen order
+       of groups so GOids are deterministic. *)
+    let groups : (string, (string * Oid.Loid.t) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let order = ref [] in
+    let singletons = ref [] in
+    List.iter
+      (fun (c : Global_schema.constituent) ->
+        match List.assoc_opt c.Global_schema.db databases with
+        | None -> ()
+        | Some db ->
+          List.iter
+            (fun obj ->
+              let entry = (c.Global_schema.db, Dbobject.loid obj) in
+              let key =
+                match key_attr with
+                | None -> None
+                | Some attr -> (
+                  match Database.field_by_name db obj attr with
+                  | Some v -> key_repr v
+                  | None -> None)
+              in
+              match key with
+              | None -> singletons := entry :: !singletons
+              | Some k -> (
+                match Hashtbl.find_opt groups k with
+                | Some r -> r := entry :: !r
+                | None ->
+                  let r = ref [ entry ] in
+                  Hashtbl.add groups k r;
+                  order := k :: !order))
+            (Database.extent db c.Global_schema.cls))
+      gc.Global_schema.constituents;
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt groups k with
+        | Some r -> ignore (Goid_table.register table ~gcls (List.rev !r))
+        | None -> assert false)
+      (List.rev !order);
+    List.iter
+      (fun entry -> ignore (Goid_table.register table ~gcls [ entry ]))
+      (List.rev !singletons)
+  in
+  List.iter register_class (Global_schema.classes gs);
+  table
+
+type conflict = {
+  goid : Oid.Goid.t;
+  gcls : string;
+  attr : string;
+  values : (string * Value.t) list;
+}
+
+let check_consistency gs ~databases table =
+  let conflicts = ref [] in
+  let check_entity gcls goid =
+    match Global_schema.find gs gcls with
+    | None -> ()
+    | Some gc ->
+      let locals = Goid_table.locals_of table goid in
+      let check_attr (a : Schema.attr) =
+        match a.Schema.atype with
+        | Schema.Complex _ -> ()  (* reference identity is checked via GOids elsewhere *)
+        | Schema.Prim _ ->
+          let values =
+            List.filter_map
+              (fun (db_name, loid) ->
+                match List.assoc_opt db_name databases with
+                | None -> None
+                | Some db -> (
+                  match Database.get db loid with
+                  | None -> None
+                  | Some obj -> (
+                    match Database.field_by_name db obj a.Schema.aname with
+                    | Some v when not (Value.is_null v) -> Some (db_name, v)
+                    | Some _ | None -> None)))
+              locals
+          in
+          (match values with
+          | [] | [ _ ] -> ()
+          | (_, first) :: rest ->
+            if List.exists (fun (_, v) -> not (Value.equal v first)) rest then
+              conflicts :=
+                { goid; gcls; attr = a.Schema.aname; values } :: !conflicts)
+      in
+      List.iter check_attr gc.Global_schema.attrs
+  in
+  List.iter
+    (fun gc ->
+      let gcls = gc.Global_schema.gname in
+      List.iter (check_entity gcls) (Goid_table.goids_of_class table ~gcls))
+    (Global_schema.classes gs);
+  List.rev !conflicts
+
+let pp_conflict ppf c =
+  Format.fprintf ppf "%a (%s).%s: %s" Oid.Goid.pp c.goid c.gcls c.attr
+    (String.concat " vs "
+       (List.map (fun (db, v) -> Printf.sprintf "%s@%s" (Value.to_string v) db) c.values))

@@ -1,0 +1,42 @@
+(** Identification of isomeric objects.
+
+    The paper assumes isomeric objects — objects in different component
+    databases representing the same real-world entity — have already been
+    determined (by the strategy of its reference [5]). This module provides
+    that determination step with the standard key-attribute technique: two
+    constituent objects of the same global class are isomeric when they
+    agree on a designated primitive key attribute. Objects whose constituent
+    class lacks the key, or whose key is null, become singleton entities. *)
+
+open Msdq_odb
+
+val identify :
+  Global_schema.t ->
+  databases:(string * Database.t) list ->
+  keys:(string * string) list ->
+  Goid_table.t
+(** [identify gs ~databases ~keys] builds the GOid mapping tables. [keys]
+    maps each global class name to its key attribute; a global class without
+    an entry gets singleton entities for all its constituent objects.
+    Databases are scanned in list order and extents in insertion order, so
+    GOid assignment is deterministic. *)
+
+type conflict = {
+  goid : Oid.Goid.t;
+  gcls : string;
+  attr : string;
+  values : (string * Value.t) list;  (** per-database conflicting values *)
+}
+
+val check_consistency :
+  Global_schema.t ->
+  databases:(string * Database.t) list ->
+  Goid_table.t ->
+  conflict list
+(** Reports entities whose isomeric objects carry different non-null values
+    for the same primitive attribute. Integration (and hence CA/BL
+    equivalence) is only well-defined for consistent federations; the
+    workload generator always produces consistent data, and this check
+    guards hand-built ones. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

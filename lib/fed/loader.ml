@@ -1,0 +1,343 @@
+open Msdq_odb
+
+exception Syntax of int * string
+
+let syntax line fmt = Printf.ksprintf (fun s -> raise (Syntax (line, s))) fmt
+
+(* ---------- lexical helpers ---------- *)
+
+let strip_comment line =
+  (* '#' starts a comment unless inside a quoted string *)
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iteri
+       (fun i c ->
+         match c with
+         | '"' ->
+           (* a backslash escape inside strings *)
+           if not (!in_string && i > 0 && line.[i - 1] = '\\') then
+             in_string := not !in_string;
+           Buffer.add_char buf c
+         | '#' when not !in_string -> raise Exit
+         | c -> Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  String.trim (Buffer.contents buf)
+
+let split_words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+(* Splits "a, "x, y", @b" on top-level commas. *)
+let split_values ~line s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let in_string = ref false in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '"' ->
+        if not (!in_string && i > 0 && s.[i - 1] = '\\') then
+          in_string := not !in_string;
+        Buffer.add_char buf c
+      | ',' when not !in_string ->
+        parts := String.trim (Buffer.contents buf) :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  if !in_string then syntax line "unterminated string";
+  parts := String.trim (Buffer.contents buf) :: !parts;
+  List.rev !parts
+
+let parse_string_literal ~line raw =
+  (* raw includes the quotes *)
+  let n = String.length raw in
+  if n < 2 || raw.[0] <> '"' || raw.[n - 1] <> '"' then
+    syntax line "malformed string literal %s" raw;
+  let buf = Buffer.create n in
+  let i = ref 1 in
+  while !i < n - 1 do
+    (match raw.[!i] with
+    | '\\' when !i + 1 < n - 1 && (raw.[!i + 1] = '"' || raw.[!i + 1] = '\\') ->
+      Buffer.add_char buf raw.[!i + 1];
+      incr i
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* ---------- parsing state ---------- *)
+
+type pending_db = {
+  db_name : string;
+  mutable classes : Schema.class_def list;  (* reversed *)
+  mutable objects : (int * string * string * string list) list;
+      (* line, class, label, raw values; reversed *)
+}
+
+let attr_type_of ~line words =
+  match words with
+  | [ "int" ] -> Schema.Prim Schema.P_int
+  | [ "float" ] -> Schema.Prim Schema.P_float
+  | [ "string" ] -> Schema.Prim Schema.P_string
+  | [ "bool" ] -> Schema.Prim Schema.P_bool
+  | [ "ref"; cls ] -> Schema.Complex cls
+  | _ -> syntax line "expected a type (int|float|string|bool|ref CLASS)"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let dbs : pending_db list ref = ref [] in
+  let globals = ref [] (* (gcls, constituents, key); reversed *) in
+  let current = ref None in
+  let current_class = ref None in
+  let finish_db () =
+    match !current with
+    | None -> ()
+    | Some db ->
+      dbs := db :: !dbs;
+      current := None;
+      current_class := None
+  in
+  List.iteri
+    (fun idx raw_line ->
+      let line = idx + 1 in
+      let text = strip_comment raw_line in
+      if text <> "" then
+        match split_words text with
+        | "database" :: rest -> (
+          match rest with
+          | [ name ] ->
+            finish_db ();
+            current := Some { db_name = name; classes = []; objects = [] }
+          | _ -> syntax line "usage: database NAME")
+        | "class" :: rest -> (
+          match (rest, !current) with
+          | [ name ], Some db ->
+            db.classes <- { Schema.cname = name; attrs = [] } :: db.classes;
+            current_class := Some name
+          | [ _ ], None -> syntax line "class outside a database"
+          | _ -> syntax line "usage: class NAME")
+        | "attr" :: rest -> (
+          match (rest, !current, !current_class) with
+          | name :: ty_words, Some db, Some cls -> (
+            let atype = attr_type_of ~line ty_words in
+            match db.classes with
+            | cd :: others when String.equal cd.Schema.cname cls ->
+              db.classes <-
+                { cd with Schema.attrs = cd.Schema.attrs @ [ { Schema.aname = name; atype } ] }
+                :: others
+            | _ -> syntax line "attr outside a class")
+          | _, None, _ -> syntax line "attr outside a database"
+          | _, _, None -> syntax line "attr outside a class"
+          | _ -> syntax line "usage: attr NAME TYPE")
+        | "object" :: rest -> (
+          match (rest, !current) with
+          | cls :: label :: "=" :: _, Some db ->
+            (* raw values: everything after the '=' of the original text *)
+            let eq =
+              match String.index_opt text '=' with
+              | Some i -> i
+              | None -> syntax line "missing '='"
+            in
+            let raw = String.sub text (eq + 1) (String.length text - eq - 1) in
+            db.objects <-
+              (line, cls, label, split_values ~line raw) :: db.objects
+          | _ :: _ :: _ :: _, None -> syntax line "object outside a database"
+          | _ -> syntax line "usage: object CLASS LABEL = v1, v2, ...")
+        | "global" :: rest -> (
+          (* global G = db.C, db2.C2 key ATTR *)
+          match rest with
+          | gcls :: "=" :: tail -> (
+            let rec split_key acc = function
+              | [ "key"; attr ] -> (List.rev acc, attr)
+              | x :: rest -> split_key (x :: acc) rest
+              | [] -> syntax line "missing 'key ATTR'"
+            in
+            let constituent_words, key = split_key [] tail in
+            let constituents =
+              List.map
+                (fun w ->
+                  let w =
+                    if String.length w > 0 && w.[String.length w - 1] = ',' then
+                      String.sub w 0 (String.length w - 1)
+                    else w
+                  in
+                  match String.split_on_char '.' w with
+                  | [ db; cls ] -> (db, cls)
+                  | _ -> syntax line "constituent must be DB.CLASS, got %s" w)
+                constituent_words
+            in
+            match constituents with
+            | [] -> syntax line "global class %s has no constituents" gcls
+            | _ -> globals := (gcls, constituents, key) :: !globals)
+          | _ -> syntax line "usage: global NAME = db.Class, ... key ATTR")
+        | word :: _ -> syntax line "unknown directive %s" word
+        | [] -> ())
+    lines;
+  finish_db ();
+  if !dbs = [] then syntax 0 "no databases defined";
+  if !globals = [] then syntax 0 "no global classes defined";
+  (* Build the databases; resolve @labels within each database. *)
+  let databases =
+    List.rev_map
+      (fun pdb ->
+        let schema = Schema.create (List.rev pdb.classes) in
+        let db = Database.create ~name:pdb.db_name ~schema in
+        let labels = Hashtbl.create 64 in
+        List.iter
+          (fun (line, cls, label, raw_values) ->
+            if Hashtbl.mem labels label then
+              syntax line "duplicate label %s in database %s" label pdb.db_name;
+            let parse_value raw =
+              if raw = "" then syntax line "empty value"
+              else if raw = "null" then Value.Null
+              else if raw = "true" then Value.Bool true
+              else if raw = "false" then Value.Bool false
+              else if raw.[0] = '"' then Value.Str (parse_string_literal ~line raw)
+              else if raw.[0] = '@' then begin
+                let target = String.sub raw 1 (String.length raw - 1) in
+                match Hashtbl.find_opt labels target with
+                | Some loid -> Value.Ref loid
+                | None ->
+                  syntax line
+                    "reference @%s is not defined earlier in database %s"
+                    target pdb.db_name
+              end
+              else
+                match int_of_string_opt raw with
+                | Some n -> Value.Int n
+                | None -> (
+                  match float_of_string_opt raw with
+                  | Some f -> Value.Float f
+                  | None -> syntax line "cannot parse value %s" raw)
+            in
+            let values = List.map parse_value raw_values in
+            let obj =
+              try Database.add db ~cls values
+              with Database.Integrity_error msg -> syntax line "%s" msg
+            in
+            Hashtbl.add labels label (Dbobject.loid obj))
+          (List.rev pdb.objects);
+        (pdb.db_name, db))
+      !dbs
+  in
+  let globals = List.rev !globals in
+  let mapping = List.map (fun (g, cs, _) -> (g, cs)) globals in
+  let keys = List.map (fun (g, _, k) -> (g, k)) globals in
+  Federation.create ~databases ~mapping ~keys
+
+let parse_result text =
+  match parse text with
+  | fed -> Ok fed
+  | exception Syntax (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Schema.Invalid msg -> Error ("schema: " ^ msg)
+  | exception Database.Integrity_error msg -> Error ("data: " ^ msg)
+  | exception Global_schema.Conflict msg -> Error ("integration: " ^ msg)
+  | exception Goid_table.Duplicate msg -> Error ("isomerism: " ^ msg)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_result text
+  | exception Sys_error msg -> Error msg
+
+(* ---------- dumping ---------- *)
+
+let dump_value ~label_of v =
+  match v with
+  | Value.Null -> "null"
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%h" f
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  | Value.Ref l -> "@" ^ label_of l
+
+let dump fed =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (db_name, db) ->
+      add "database %s\n" db_name;
+      let schema = Database.schema db in
+      List.iter
+        (fun (cd : Schema.class_def) ->
+          add "  class %s\n" cd.Schema.cname;
+          List.iter
+            (fun (a : Schema.attr) ->
+              match a.Schema.atype with
+              | Schema.Prim p ->
+                add "    attr %s %s\n" a.Schema.aname
+                  (match p with
+                  | Schema.P_int -> "int"
+                  | Schema.P_float -> "float"
+                  | Schema.P_string -> "string"
+                  | Schema.P_bool -> "bool")
+              | Schema.Complex c -> add "    attr %s ref %s\n" a.Schema.aname c)
+            cd.Schema.attrs)
+        (Schema.classes schema);
+      (* Objects in LOid order = insertion order, so references always point
+         backwards and reload cleanly. *)
+      let label_of l = Printf.sprintf "o%d" (Oid.Loid.to_int l) in
+      let objects =
+        List.concat_map
+          (fun (cd : Schema.class_def) ->
+            List.map (fun o -> o) (Database.extent db cd.Schema.cname))
+          (Schema.classes schema)
+        |> List.sort (fun a b ->
+               Oid.Loid.compare (Dbobject.loid a) (Dbobject.loid b))
+      in
+      List.iter
+        (fun obj ->
+          add "  object %s %s = %s\n" (Dbobject.cls obj)
+            (label_of (Dbobject.loid obj))
+            (String.concat ", "
+               (List.map (dump_value ~label_of) (Dbobject.fields obj))))
+        objects)
+    (Federation.databases fed);
+  let gs = Federation.global_schema fed in
+  List.iter
+    (fun (gc : Global_schema.global_class) ->
+      let constituents =
+        String.concat ", "
+          (List.map
+             (fun (c : Global_schema.constituent) ->
+               Printf.sprintf "%s.%s" c.Global_schema.db c.Global_schema.cls)
+             gc.Global_schema.constituents)
+      in
+      (* The key attribute is not stored on the federation; re-derive it is
+         impossible, so dump uses the convention that every global class
+         keeps its identification key in [Federation.keys]. *)
+      add "global %s = %s key %s\n" gc.Global_schema.gname constituents
+        (Federation.key_of fed gc.Global_schema.gname))
+    (Global_schema.classes gs);
+  Buffer.contents buf
+
+let example =
+  {|# a two-database employee federation
+database hr
+  class Employee
+    attr emp-no int
+    attr name string
+    attr salary int
+    attr boss ref Employee
+  object Employee ada = 1, "Ada", 90000, null
+  object Employee bob = 2, "Bob", 55000, @ada
+  object Employee eve = 3, "Eve", null, @ada
+database crm
+  class Person
+    attr emp-no int
+    attr name string
+    attr city string
+  object Person p1 = 1, "Ada", "Berlin"
+  object Person p2 = 3, "Eve", "Paris"
+  object Person p3 = 4, "Zoe", "Berlin"
+global Employee = hr.Employee, crm.Person key emp-no
+|}

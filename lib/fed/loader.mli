@@ -1,0 +1,51 @@
+(** A textual federation format, so real data can be loaded without writing
+    OCaml. Line-oriented, human-writable:
+
+    {v
+    # comments and blank lines are ignored
+    database hr
+      class Employee
+        attr emp-no int
+        attr name string
+        attr boss ref Employee      # complex attribute
+      object Employee ada = 1, "Ada", null
+      object Employee bob = 2, "Bob", @ada   # @label references
+    database crm
+      class Person
+        attr emp-no int
+        attr name string
+      object Person a = 1, "Ada"
+    global Employee = hr.Employee, crm.Person key emp-no
+    v}
+
+    Rules:
+    {ul
+    {- [attr NAME TYPE] with TYPE one of [int], [float], [string], [bool],
+       or [ref CLASS].}
+    {- Object values, comma-separated in attribute order: integers, floats,
+       quoted strings, [true]/[false], [null], or [@label] references to an
+       object defined {e earlier} in the same database.}
+    {- One [global] line per global class: its constituents as [db.class]
+       pairs and the key attribute used for isomerism identification.}}
+
+    {!dump} writes a federation back in this format; [parse (dump fed)]
+    reconstructs it exactly (same schemas, extents, GOid tables). *)
+
+exception Syntax of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Federation.t
+(** Raises {!Syntax} on malformed input, and lets
+    [Msdq_odb.Schema.Invalid] / [Msdq_odb.Database.Integrity_error] /
+    {!Global_schema.Conflict} propagate for semantic errors. *)
+
+val parse_result : string -> (Federation.t, string) result
+(** Like {!parse} with every error rendered as a message. *)
+
+val load_file : string -> (Federation.t, string) result
+
+val dump : Federation.t -> string
+
+val example : string
+(** The two-database employee federation from the documentation above;
+    parses successfully (used by tests and the CLI). *)

@@ -1,0 +1,145 @@
+open Msdq_odb
+
+type gvalue =
+  | Gnull
+  | Gprim of Value.t
+  | Gref of Oid.Goid.t
+  | Gset of Value.t list
+type gobject = { goid : Oid.Goid.t; gcls : string; fields : gvalue array }
+
+type stats = {
+  entities : int;
+  source_objects : int;
+  fields_merged : int;
+  ref_translations : int;
+  conflicts : int;
+}
+
+type t = {
+  by_goid : gobject Oid.Goid.Table.t;
+  extents : (string, gobject list) Hashtbl.t;
+  attr_index : (string * string, int) Hashtbl.t;  (* (gcls, attr) -> slot *)
+  stats : stats;
+}
+
+let gvalue_equal a b =
+  match (a, b) with
+  | Gnull, Gnull -> true
+  | Gprim x, Gprim y -> Value.equal x y
+  | Gref x, Gref y -> Oid.Goid.equal x y
+  | Gset xs, Gset ys -> List.equal Value.equal xs ys
+  | (Gnull | Gprim _ | Gref _ | Gset _), _ -> false
+
+let build ?classes ?(multi_valued = false) fed =
+  let gs = Federation.global_schema fed in
+  let table = Federation.goids fed in
+  let wanted =
+    match classes with
+    | Some cs -> cs
+    | None -> List.map (fun gc -> gc.Global_schema.gname) (Global_schema.classes gs)
+  in
+  let by_goid = Oid.Goid.Table.create 1024 in
+  let extents = Hashtbl.create 16 in
+  let attr_index = Hashtbl.create 64 in
+  let entities = ref 0
+  and source_objects = ref 0
+  and fields_merged = ref 0
+  and ref_translations = ref 0
+  and conflicts = ref 0 in
+  let materialize_class gcls =
+    let gc =
+      match Global_schema.find gs gcls with
+      | Some gc -> gc
+      | None -> raise (Global_schema.Conflict (Printf.sprintf "unknown global class %s" gcls))
+    in
+    List.iteri
+      (fun i a -> Hashtbl.replace attr_index (gcls, a.Schema.aname) i)
+      gc.Global_schema.attrs;
+    let arity = List.length gc.Global_schema.attrs in
+    let build_entity goid =
+      let fields = Array.make arity Gnull in
+      let locals = Goid_table.locals_of table goid in
+      List.iter
+        (fun (db_name, loid) ->
+          incr source_objects;
+          let db = Federation.db fed db_name in
+          match Database.get db loid with
+          | None -> ()
+          | Some obj ->
+            List.iteri
+              (fun i a ->
+                match Database.field_by_name db obj a.Schema.aname with
+                | None | Some Value.Null -> ()
+                | Some v ->
+                  incr fields_merged;
+                  let gv =
+                    match v with
+                    | Value.Ref l -> (
+                      incr ref_translations;
+                      match Goid_table.goid_of_local table ~db:db_name l with
+                      | Some g -> Gref g
+                      | None -> Gnull (* unregistered target: treat as missing *))
+                    | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ ->
+                      Gprim v
+                    | Value.Null -> assert false
+                  in
+                  (match (fields.(i), gv) with
+                  | Gnull, _ -> fields.(i) <- gv
+                  | existing, _ when gvalue_equal existing gv -> ()
+                  (* Disagreeing primitive values: under multi-valued
+                     integration the global attribute collects them all;
+                     otherwise it is a conflict and the first value wins. *)
+                  | Gprim x, Gprim y when multi_valued ->
+                    fields.(i) <- Gset [ x; y ]
+                  | Gset xs, Gprim y when multi_valued ->
+                    if not (List.exists (Value.equal y) xs) then
+                      fields.(i) <- Gset (xs @ [ y ])
+                  | _, _ -> incr conflicts))
+              gc.Global_schema.attrs)
+        locals;
+      incr entities;
+      let gobj = { goid; gcls; fields } in
+      Oid.Goid.Table.replace by_goid goid gobj;
+      gobj
+    in
+    let objs = List.map build_entity (Goid_table.goids_of_class table ~gcls) in
+    Hashtbl.replace extents gcls objs
+  in
+  List.iter materialize_class wanted;
+  {
+    by_goid;
+    extents;
+    attr_index;
+    stats =
+      {
+        entities = !entities;
+        source_objects = !source_objects;
+        fields_merged = !fields_merged;
+        ref_translations = !ref_translations;
+        conflicts = !conflicts;
+      };
+  }
+
+let find t goid = Oid.Goid.Table.find_opt t.by_goid goid
+
+let extent t gcls =
+  match Hashtbl.find_opt t.extents gcls with Some l -> l | None -> []
+
+let field t gobj attr =
+  match Hashtbl.find_opt t.attr_index (gobj.gcls, attr) with
+  | Some i -> Some gobj.fields.(i)
+  | None -> None
+
+let stats t = t.stats
+
+let pp_gvalue ppf = function
+  | Gnull -> Format.pp_print_string ppf "-"
+  | Gprim v -> Value.pp ppf v
+  | Gref g -> Oid.Goid.pp ppf g
+  | Gset vs ->
+    Format.fprintf ppf "{%s}" (String.concat "|" (List.map Value.to_string vs))
+
+let pp_gobject ppf o =
+  Format.fprintf ppf "@[<h>%s(%a: %a)@]" o.gcls Oid.Goid.pp o.goid
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_gvalue)
+    (Array.to_list o.fields)

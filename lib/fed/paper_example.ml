@@ -1,0 +1,182 @@
+open Msdq_odb
+
+type t = {
+  federation : Federation.t;
+  db1 : Database.t;
+  db2 : Database.t;
+  db3 : Database.t;
+  s1 : Dbobject.t;
+  s2 : Dbobject.t;
+  s3 : Dbobject.t;
+  t1 : Dbobject.t;
+  t2 : Dbobject.t;
+  t3 : Dbobject.t;
+  s1' : Dbobject.t;
+  s2' : Dbobject.t;
+  s3' : Dbobject.t;
+  t1' : Dbobject.t;
+  t2' : Dbobject.t;
+  t1'' : Dbobject.t;
+  t2'' : Dbobject.t;
+}
+
+let prim_str name = Schema.{ aname = name; atype = Prim P_string }
+let prim_int name = Schema.{ aname = name; atype = Prim P_int }
+let complex name domain = Schema.{ aname = name; atype = Complex domain }
+
+(* Figure 1: the component schemas. *)
+
+let db1_schema () =
+  Schema.create
+    [
+      { Schema.cname = "Department"; attrs = [ prim_str "name" ] };
+      {
+        Schema.cname = "Teacher";
+        attrs = [ prim_str "name"; complex "department" "Department" ];
+      };
+      {
+        Schema.cname = "Student";
+        attrs =
+          [
+            prim_int "s-no";
+            prim_str "name";
+            prim_int "age";
+            complex "advisor" "Teacher";
+            prim_str "sex";
+          ];
+      };
+    ]
+
+let db2_schema () =
+  Schema.create
+    [
+      {
+        Schema.cname = "Address";
+        attrs = [ prim_str "city"; prim_str "street"; prim_int "zipcode" ];
+      };
+      { Schema.cname = "Teacher"; attrs = [ prim_str "name"; prim_str "speciality" ] };
+      {
+        Schema.cname = "Student";
+        attrs =
+          [
+            prim_int "s-no";
+            prim_str "name";
+            prim_str "sex";
+            complex "address" "Address";
+            complex "advisor" "Teacher";
+          ];
+      };
+    ]
+
+let db3_schema () =
+  Schema.create
+    [
+      { Schema.cname = "Department"; attrs = [ prim_str "name"; prim_str "location" ] };
+      {
+        Schema.cname = "Teacher";
+        attrs = [ prim_str "name"; complex "department" "Department" ];
+      };
+    ]
+
+let str s = Value.Str s
+let int i = Value.Int i
+let rref o = Value.Ref (Dbobject.loid o)
+
+(* Figure 4: the object instances. *)
+
+let build () =
+  let db1 = Database.create ~name:"DB1" ~schema:(db1_schema ()) in
+  let d1 = Database.add db1 ~cls:"Department" [ str "CS" ] in
+  let _d2 = Database.add db1 ~cls:"Department" [ str "EE" ] in
+  let t1 = Database.add db1 ~cls:"Teacher" [ str "Jeffery"; rref d1 ] in
+  let t2 = Database.add db1 ~cls:"Teacher" [ str "Abel"; Value.Null ] in
+  let t3 = Database.add db1 ~cls:"Teacher" [ str "Haley"; rref d1 ] in
+  let s1 =
+    Database.add db1 ~cls:"Student"
+      [ int 804301; str "John"; int 31; rref t1; Value.Null ]
+  in
+  let s2 =
+    Database.add db1 ~cls:"Student"
+      [ int 798302; str "Tony"; int 28; rref t3; str "male" ]
+  in
+  let s3 =
+    Database.add db1 ~cls:"Student"
+      [ int 808301; str "Mary"; int 24; rref t2; str "female" ]
+  in
+
+  let db2 = Database.create ~name:"DB2" ~schema:(db2_schema ()) in
+  let a1' = Database.add db2 ~cls:"Address" [ str "Taipei"; str "Park"; int 100 ] in
+  let a2' = Database.add db2 ~cls:"Address" [ str "HsinChu"; str "Horber"; int 800 ] in
+  let t1' = Database.add db2 ~cls:"Teacher" [ str "Kelly"; str "database" ] in
+  let t2' = Database.add db2 ~cls:"Teacher" [ str "Jeffery"; str "network" ] in
+  let s1' =
+    Database.add db2 ~cls:"Student"
+      [ int 762315; str "Hedy"; str "female"; rref a1'; rref t1' ]
+  in
+  let s2' =
+    Database.add db2 ~cls:"Student"
+      [ int 804301; str "John"; str "male"; rref a2'; rref t2' ]
+  in
+  let s3' =
+    Database.add db2 ~cls:"Student"
+      [ int 828307; str "Fanny"; str "female"; rref a1'; rref t2' ]
+  in
+
+  let db3 = Database.create ~name:"DB3" ~schema:(db3_schema ()) in
+  let d1'' = Database.add db3 ~cls:"Department" [ str "EE"; str "building E" ] in
+  let d2'' = Database.add db3 ~cls:"Department" [ str "CS"; str "building A" ] in
+  let _d3'' = Database.add db3 ~cls:"Department" [ str "PH"; str "building D" ] in
+  let t1'' = Database.add db3 ~cls:"Teacher" [ str "Abel"; rref d1'' ] in
+  let t2'' = Database.add db3 ~cls:"Teacher" [ str "Kelly"; rref d2'' ] in
+
+  (* Figure 2: the global schema, via schema integration. *)
+  let databases = [ ("DB1", db1); ("DB2", db2); ("DB3", db3) ] in
+  let mapping =
+    [
+      ("Address", [ ("DB2", "Address") ]);
+      ("Department", [ ("DB1", "Department"); ("DB3", "Department") ]);
+      ("Teacher", [ ("DB1", "Teacher"); ("DB2", "Teacher"); ("DB3", "Teacher") ]);
+      ("Student", [ ("DB1", "Student"); ("DB2", "Student") ]);
+    ]
+  in
+  (* Figure 5: isomerism by student number / teacher name / department name. *)
+  let keys = [ ("Student", "s-no"); ("Teacher", "name"); ("Department", "name") ] in
+  let federation = Federation.create ~databases ~mapping ~keys in
+  {
+    federation;
+    db1;
+    db2;
+    db3;
+    s1;
+    s2;
+    s3;
+    t1;
+    t2;
+    t3;
+    s1';
+    s2';
+    s3';
+    t1';
+    t2';
+    t1'';
+    t2'';
+  }
+
+let q1 =
+  "select X.name, X.advisor.name from Student X where X.address.city = \
+   \"Taipei\" and X.advisor.speciality = \"database\" and \
+   X.advisor.department.name = \"CS\""
+
+let q1_predicates =
+  [
+    Predicate.make ~path:(Path.of_string "address.city") ~op:Predicate.Eq
+      ~operand:(Value.Str "Taipei");
+    Predicate.make
+      ~path:(Path.of_string "advisor.speciality")
+      ~op:Predicate.Eq ~operand:(Value.Str "database");
+    Predicate.make
+      ~path:(Path.of_string "advisor.department.name")
+      ~op:Predicate.Eq ~operand:(Value.Str "CS");
+  ]
+
+let q1_targets = [ Path.of_string "name"; Path.of_string "advisor.name" ]

@@ -1,0 +1,42 @@
+(** The paper's running example: component databases DB1/DB2/DB3 (Figures 1
+    and 4), their integration into the global schema of Figure 2, and the
+    GOid mapping tables of Figure 5 (reconstructed by key-based isomerism
+    identification).
+
+    Query Q1 over this federation — students living in Taipei whose advisors
+    are CS teachers specializing in database — has the certain answer
+    (Hedy, Kelly) and the maybe answer (Tony, Haley). *)
+
+open Msdq_odb
+
+type t = {
+  federation : Federation.t;
+  db1 : Database.t;
+  db2 : Database.t;
+  db3 : Database.t;
+  (* Named objects of Figure 4, for tests that follow the paper's walk. *)
+  s1 : Dbobject.t;  (** John @ DB1 *)
+  s2 : Dbobject.t;  (** Tony @ DB1 *)
+  s3 : Dbobject.t;  (** Mary @ DB1 *)
+  t1 : Dbobject.t;  (** Jeffery @ DB1 *)
+  t2 : Dbobject.t;  (** Abel @ DB1 *)
+  t3 : Dbobject.t;  (** Haley @ DB1 *)
+  s1' : Dbobject.t;  (** Hedy @ DB2 *)
+  s2' : Dbobject.t;  (** John @ DB2 *)
+  s3' : Dbobject.t;  (** Fanny @ DB2 *)
+  t1' : Dbobject.t;  (** Kelly @ DB2 *)
+  t2' : Dbobject.t;  (** Jeffery @ DB2 *)
+  t1'' : Dbobject.t;  (** Abel @ DB3 *)
+  t2'' : Dbobject.t;  (** Kelly @ DB3 *)
+}
+
+val build : unit -> t
+
+val q1 : string
+(** Query Q1 in the SQL/X subset accepted by [Msdq_query.Parser]. *)
+
+val q1_predicates : Predicate.t list
+(** The three conjuncts of Q1, built programmatically. *)
+
+val q1_targets : Path.t list
+(** [X.name] and [X.advisor.name]. *)

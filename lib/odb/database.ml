@@ -1,0 +1,102 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  objects : Dbobject.t Oid.Loid.Table.t;
+  (* Extents keep insertion order; stored reversed for O(1) insertion. *)
+  extents : (string, Dbobject.t list ref) Hashtbl.t;
+  mutable next_loid : int;
+  mutable cardinality : int;
+}
+
+exception Integrity_error of string
+
+let integrity fmt = Printf.ksprintf (fun s -> raise (Integrity_error s)) fmt
+
+let create ~name ~schema =
+  let extents = Hashtbl.create 8 in
+  List.iter
+    (fun cd -> Hashtbl.add extents cd.Schema.cname (ref []))
+    (Schema.classes schema);
+  {
+    name;
+    schema;
+    objects = Oid.Loid.Table.create 256;
+    extents;
+    next_loid = 0;
+    cardinality = 0;
+  }
+
+let name t = t.name
+let schema t = t.schema
+let get t loid = Oid.Loid.Table.find_opt t.objects loid
+
+let get_exn t loid =
+  match get t loid with
+  | Some o -> o
+  | None -> integrity "%s: no object with loid %s" t.name (Oid.Loid.to_string loid)
+
+let deref t = function
+  | Value.Ref l -> get t l
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ -> None
+
+let extent_ref t cls =
+  match Hashtbl.find_opt t.extents cls with
+  | Some r -> r
+  | None -> integrity "%s: unknown class %s" t.name cls
+
+let extent t cls = List.rev !(extent_ref t cls)
+let extent_size t cls = List.length !(extent_ref t cls)
+let cardinality t = t.cardinality
+
+let check_field t ~cls ~attr v =
+  (match v with
+  | Value.Ref l -> (
+    match (get t l, attr.Schema.atype) with
+    | None, _ ->
+      integrity "%s: %s.%s references missing object %s" t.name cls
+        attr.Schema.aname (Oid.Loid.to_string l)
+    | Some target, Schema.Complex domain ->
+      if not (String.equal (Dbobject.cls target) domain) then
+        integrity "%s: %s.%s must reference %s, got %s" t.name cls
+          attr.Schema.aname domain (Dbobject.cls target)
+    | Some _, Schema.Prim _ ->
+      integrity "%s: %s.%s is primitive but holds a reference" t.name cls
+        attr.Schema.aname)
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ -> ());
+  if not (Schema.value_matches t.schema attr.Schema.atype v) then
+    integrity "%s: value %s does not match type of %s.%s" t.name
+      (Value.to_string v) cls attr.Schema.aname
+
+let add t ~cls values =
+  let cd =
+    match Schema.find_class t.schema cls with
+    | Some cd -> cd
+    | None -> integrity "%s: unknown class %s" t.name cls
+  in
+  let arity = List.length cd.Schema.attrs in
+  if List.length values <> arity then
+    integrity "%s: class %s expects %d fields, got %d" t.name cls arity
+      (List.length values);
+  List.iter2 (fun attr v -> check_field t ~cls ~attr v) cd.Schema.attrs values;
+  let loid = Oid.Loid.of_int t.next_loid in
+  t.next_loid <- t.next_loid + 1;
+  let o = Dbobject.make ~loid ~cls ~fields:(Array.of_list values) in
+  Oid.Loid.Table.add t.objects loid o;
+  let r = extent_ref t cls in
+  r := o :: !r;
+  t.cardinality <- t.cardinality + 1;
+  o
+
+let field_by_name t o attr =
+  match Schema.attr_index t.schema ~cls:(Dbobject.cls o) ~attr with
+  | Some i -> Some (Dbobject.field o i)
+  | None -> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>database %s (%d objects)@," t.name t.cardinality;
+  List.iter
+    (fun cd ->
+      let cls = cd.Schema.cname in
+      Format.fprintf ppf "  %s: %d@," cls (extent_size t cls))
+    (Schema.classes t.schema);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** A component object database.
+
+    Holds a schema and the extents of its classes. Objects are created
+    through {!add}, which allocates the LOid, checks arity and types, and
+    (for [Ref] fields) checks that the referenced object exists and belongs
+    to the attribute's domain class — so a well-formed database never
+    contains dangling or ill-typed references. *)
+
+type t
+
+exception Integrity_error of string
+
+val create : name:string -> schema:Schema.t -> t
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val add : t -> cls:string -> Value.t list -> Dbobject.t
+(** Inserts a new object; fields are given in the attribute order of the
+    class. Raises {!Integrity_error} on unknown class, arity mismatch, type
+    mismatch, or a reference to a missing/foreign-class object. *)
+
+val get : t -> Oid.Loid.t -> Dbobject.t option
+
+val get_exn : t -> Oid.Loid.t -> Dbobject.t
+(** Raises {!Integrity_error} when absent. *)
+
+val deref : t -> Value.t -> Dbobject.t option
+(** [deref db (Ref l)] follows a reference; [None] for any other value. *)
+
+val extent : t -> string -> Dbobject.t list
+(** All objects of a class, in insertion order. Raises {!Integrity_error}
+    on an unknown class. *)
+
+val extent_size : t -> string -> int
+
+val cardinality : t -> int
+(** Total number of objects across all extents. *)
+
+val field_by_name : t -> Dbobject.t -> string -> Value.t option
+(** [None] when the object's class does not define the attribute (the
+    per-object missing-attribute test at schema level). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { loid : Oid.Loid.t; cls : string; fields : Value.t array }
+
+let make ~loid ~cls ~fields = { loid; cls; fields }
+let loid o = o.loid
+let cls o = o.cls
+
+let field o i =
+  if i < 0 || i >= Array.length o.fields then
+    invalid_arg
+      (Printf.sprintf "Dbobject.field: index %d out of range for %s" i o.cls)
+  else o.fields.(i)
+
+let fields o = Array.to_list o.fields
+let has_null o = Array.exists Value.is_null o.fields
+
+let pp ppf o =
+  Format.fprintf ppf "@[<h>%s(%a: %a)@]" o.cls Oid.Loid.pp o.loid
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    (fields o)

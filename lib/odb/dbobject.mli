@@ -1,0 +1,23 @@
+(** Object instances of a component database.
+
+    Fields are stored positionally, aligned with the attribute order of the
+    object's class definition. *)
+
+type t = private { loid : Oid.Loid.t; cls : string; fields : Value.t array }
+
+val make : loid:Oid.Loid.t -> cls:string -> fields:Value.t array -> t
+
+val loid : t -> Oid.Loid.t
+
+val cls : t -> string
+
+val field : t -> int -> Value.t
+(** Raises [Invalid_argument] when the index is out of range. *)
+
+val fields : t -> Value.t list
+
+val has_null : t -> bool
+(** Whether any field holds [Null] — i.e. the object contributes null-value
+    missing data. *)
+
+val pp : Format.formatter -> t -> unit

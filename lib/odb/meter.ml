@@ -1,0 +1,20 @@
+type snapshot = { comparisons : int; accesses : int }
+
+let comparisons = ref 0
+let accesses = ref 0
+let add_comparison () = incr comparisons
+let add_accesses n = accesses := !accesses + n
+let read () = { comparisons = !comparisons; accesses = !accesses }
+
+let reset () =
+  comparisons := 0;
+  accesses := 0
+
+let delta before =
+  let now = read () in
+  {
+    comparisons = now.comparisons - before.comparisons;
+    accesses = now.accesses - before.accesses;
+  }
+
+let units s = s.comparisons + s.accesses

@@ -1,0 +1,25 @@
+(** Global instrumentation counters for the cost model.
+
+    The paper charges CPU time per comparison (Table 1: 0.5 us). We count
+    two kinds of unit work: value {e comparisons} (predicate operators, hash
+    probes) and attribute {e accesses} (each step of a path traversal, field
+    merges). Executors read deltas around each phase to convert work into
+    simulated CPU time.
+
+    Counters are process-global; the executors are single-threaded. *)
+
+type snapshot = { comparisons : int; accesses : int }
+
+val add_comparison : unit -> unit
+
+val add_accesses : int -> unit
+
+val read : unit -> snapshot
+
+val reset : unit -> unit
+
+val delta : snapshot -> snapshot
+(** [delta before] is the work done since [before]. *)
+
+val units : snapshot -> int
+(** Total unit-work in a snapshot: comparisons + accesses. *)

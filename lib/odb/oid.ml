@@ -1,0 +1,56 @@
+module type ID = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Table : Hashtbl.S with type key = t
+end
+
+(* Both identifier kinds are integers underneath; the functor keeps the two
+   nominal types distinct while sharing the implementation. [prefix] only
+   affects printing. *)
+module Make (P : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let of_int i = i
+  let to_int i = i
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = Int.compare a b
+  let hash (i : t) = Hashtbl.hash i
+  let to_string i = Printf.sprintf "%s%d" P.prefix i
+  let pp ppf i = Format.pp_print_string ppf (to_string i)
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Set.Make (Ord)
+  module Map = Map.Make (Ord)
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end
+
+module Loid = Make (struct
+  let prefix = "l"
+end)
+
+module Goid = Make (struct
+  let prefix = "g"
+end)

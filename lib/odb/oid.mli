@@ -1,0 +1,40 @@
+(** Object identifiers.
+
+    A {!Loid.t} is a {e local object identifier}, meaningful only within one
+    component database. A {!Goid.t} is a {e global object identifier}
+    assigned to each real-world entity of the federation: isomeric objects —
+    objects in different databases representing the same entity — share one
+    GOid (paper, Section 1). The two are distinct abstract types so they can
+    never be confused. *)
+
+module Loid : sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Table : Hashtbl.S with type key = t
+end
+
+module Goid : sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Table : Hashtbl.S with type key = t
+end

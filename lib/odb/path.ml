@@ -1,0 +1,46 @@
+type t = string list
+
+type step = { on_class : string; index : int; attr : Schema.attr }
+
+type resolution =
+  | Full of step list * Schema.attr_type
+  | Cut of { prefix : step list; at_class : string; rest : t }
+  | Invalid of string
+
+let resolve schema ~root path =
+  if path = [] then Invalid "empty path"
+  else if not (Schema.mem_class schema root) then
+    Invalid (Printf.sprintf "unknown root class %s" root)
+  else
+    let rec walk cls acc = function
+      | [] ->
+        (* acc is non-empty here because path was non-empty. *)
+        let steps = List.rev acc in
+        (match acc with
+        | last :: _ -> Full (steps, last.attr.Schema.atype)
+        | [] -> Invalid "empty path")
+      | name :: rest -> (
+        match Schema.attr schema ~cls ~attr:name with
+        | None -> Cut { prefix = List.rev acc; at_class = cls; rest = name :: rest }
+        | Some attr -> (
+          let index =
+            match Schema.attr_index schema ~cls ~attr:name with
+            | Some i -> i
+            | None -> assert false
+          in
+          let step = { on_class = cls; index; attr } in
+          match (attr.Schema.atype, rest) with
+          | _, [] -> walk cls (step :: acc) []
+          | Schema.Complex domain, _ :: _ -> walk domain (step :: acc) rest
+          | Schema.Prim _, _ :: _ ->
+            Invalid
+              (Printf.sprintf "attribute %s.%s is primitive but path continues"
+                 cls name)))
+    in
+    walk root [] path
+
+let of_string s = String.split_on_char '.' s
+let to_string p = String.concat "." p
+let equal (a : t) (b : t) = List.equal String.equal a b
+let compare (a : t) (b : t) = List.compare String.compare a b
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,41 @@
+(** Path expressions over composition hierarchies.
+
+    The paper's nested predicates name nested attributes through paths such
+    as [advisor.department.name] (relative to the range class). {!resolve}
+    walks a path through a schema and reports either the full typed chain,
+    or the point where a class fails to define the next attribute — which is
+    exactly the schema-level information query localization needs to split
+    predicates into local and unsolved ones. *)
+
+type t = string list
+(** Attribute names, outermost first. Always non-empty in valid queries. *)
+
+type step = {
+  on_class : string;  (** class defining the attribute *)
+  index : int;  (** field position within that class *)
+  attr : Schema.attr;
+}
+
+type resolution =
+  | Full of step list * Schema.attr_type
+      (** Every class along the path defines its attribute; the final
+          attribute has the given type. *)
+  | Cut of { prefix : step list; at_class : string; rest : t }
+      (** [at_class] (reached through [prefix]) does not define
+          [List.hd rest]: the path hits a missing attribute of that class. *)
+  | Invalid of string
+      (** Structurally ill-formed: empty path, unknown root class, or a
+          primitive attribute used as an intermediate step. *)
+
+val resolve : Schema.t -> root:string -> t -> resolution
+
+val of_string : string -> t
+(** Splits on ['.']. [of_string "advisor.name"] is [["advisor"; "name"]]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

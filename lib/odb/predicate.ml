@@ -1,0 +1,80 @@
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t = { path : Path.t; op : op; operand : Value.t }
+
+let make ~path ~op ~operand =
+  if path = [] then invalid_arg "Predicate.make: empty path";
+  (match operand with
+  | Value.Null -> invalid_arg "Predicate.make: null operand"
+  | Value.Ref _ -> invalid_arg "Predicate.make: reference operand"
+  | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ -> ());
+  { path; op; operand }
+
+type cause = Missing_attribute | Null_value
+type block = { obj : Dbobject.t; rest : Path.t; cause : cause }
+type outcome = Sat | Viol | Blocked of block
+type fetched = Found of Value.t | Missing of block
+
+let count_comparisons () = (Meter.read ()).Meter.comparisons
+let reset_counters () = Meter.reset ()
+
+let rec fetch db obj path =
+  match path with
+  | [] -> invalid_arg "Predicate.fetch: empty path"
+  | name :: rest -> (
+    Meter.add_accesses 1;
+    match Database.field_by_name db obj name with
+    | None -> Missing { obj; rest = path; cause = Missing_attribute }
+    | Some Value.Null -> Missing { obj; rest = path; cause = Null_value }
+    | Some v -> (
+      match rest with
+      | [] -> Found v
+      | _ :: _ -> (
+        match Database.deref db v with
+        | Some next -> fetch db next rest
+        | None ->
+          raise
+            (Value.Type_error
+               (Printf.sprintf "path %s traverses primitive attribute %s of %s"
+                  (Path.to_string path) name (Dbobject.cls obj))))))
+
+let compare_op op v operand =
+  Meter.add_comparison ();
+  match op with
+  | Eq -> Value.equal v operand
+  | Ne -> not (Value.equal v operand)
+  | Lt -> Value.compare_values v operand < 0
+  | Le -> Value.compare_values v operand <= 0
+  | Gt -> Value.compare_values v operand > 0
+  | Ge -> Value.compare_values v operand >= 0
+
+let eval db obj t =
+  match fetch db obj t.path with
+  | Missing block -> Blocked block
+  | Found v -> if compare_op t.op v t.operand then Sat else Viol
+
+let truth_of_outcome = function
+  | Sat -> Truth.True
+  | Viol -> Truth.False
+  | Blocked _ -> Truth.Unknown
+
+let op_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_op ppf op = Format.pp_print_string ppf (op_to_string op)
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a %s" Path.pp t.path pp_op t.op
+    (match t.operand with
+    | Value.Str s -> Printf.sprintf "%S" s
+    | v -> Value.to_string v)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  Path.equal a.path b.path && a.op = b.op && Value.equal a.operand b.operand

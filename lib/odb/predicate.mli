@@ -1,0 +1,67 @@
+(** Atomic nested predicates and their three-valued evaluation.
+
+    A predicate compares a path expression (relative to some range class)
+    with a constant. Evaluation walks the object graph of one component
+    database; when it hits missing data — a missing attribute of a class, or
+    a null value in an object — it reports the {e blocking point}: the
+    object that lacks the datum and the path suffix still to be evaluated.
+    The blocking point is the paper's {e unsolved item} (when it is a nested
+    object) or marks the root object itself as unsolved, and the suffix with
+    the comparison forms the {e unsolved predicate} shipped to assistant
+    objects for checking. *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t = { path : Path.t; op : op; operand : Value.t }
+
+val make : path:Path.t -> op:op -> operand:Value.t -> t
+(** Raises [Invalid_argument] on an empty path or a [Null]/[Ref] operand
+    (neither is expressible in a query). *)
+
+type cause =
+  | Missing_attribute  (** the object's class does not define the attribute *)
+  | Null_value  (** the attribute exists but the object holds null *)
+
+type block = { obj : Dbobject.t; rest : Path.t; cause : cause }
+(** Where evaluation stopped: [obj]'s missing datum prevents evaluating the
+    suffix [rest] (whose head is the missing/null attribute). *)
+
+type outcome =
+  | Sat  (** the predicate definitely holds *)
+  | Viol  (** the predicate definitely fails *)
+  | Blocked of block  (** missing data; the object is a maybe candidate *)
+
+type fetched =
+  | Found of Value.t
+  | Missing of block
+
+val fetch : Database.t -> Dbobject.t -> Path.t -> fetched
+(** Resolves a path from an object, following references within the same
+    database. Raises [Value.Type_error] if the path walks through a
+    primitive attribute (impossible for queries validated against the
+    schema). *)
+
+val eval : Database.t -> Dbobject.t -> t -> outcome
+(** Evaluates the predicate with [obj] as the path's root. *)
+
+val compare_op : op -> Value.t -> Value.t -> bool
+(** [compare_op op v operand] applies the comparison to two non-null
+    values. Raises [Value.Type_error] on incomparable types. *)
+
+val truth_of_outcome : outcome -> Truth.t
+
+val count_comparisons : unit -> int
+(** Number of value comparisons performed since the last {!reset_counters};
+    instruments the cost model (0.5 us per comparison in Table 1). *)
+
+val reset_counters : unit -> unit
+
+val op_to_string : op -> string
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

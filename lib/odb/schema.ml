@@ -1,0 +1,104 @@
+type prim = P_int | P_float | P_string | P_bool
+type attr_type = Prim of prim | Complex of string
+type attr = { aname : string; atype : attr_type }
+type class_def = { cname : string; attrs : attr list }
+
+type t = {
+  ordered : class_def list;
+  by_name : (string, class_def) Hashtbl.t;
+  (* (class, attr) -> (index, attr), precomputed for fast field access *)
+  attr_slots : (string * string, int * attr) Hashtbl.t;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let create class_defs =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun cd ->
+      if Hashtbl.mem by_name cd.cname then invalid "duplicate class %s" cd.cname;
+      Hashtbl.add by_name cd.cname cd)
+    class_defs;
+  let attr_slots = Hashtbl.create 64 in
+  let check_class cd =
+    List.iteri
+      (fun i a ->
+        if Hashtbl.mem attr_slots (cd.cname, a.aname) then
+          invalid "duplicate attribute %s.%s" cd.cname a.aname;
+        (match a.atype with
+        | Prim _ -> ()
+        | Complex domain ->
+          if not (Hashtbl.mem by_name domain) then
+            invalid "attribute %s.%s references unknown class %s" cd.cname
+              a.aname domain);
+        Hashtbl.add attr_slots (cd.cname, a.aname) (i, a))
+      cd.attrs
+  in
+  List.iter check_class class_defs;
+  { ordered = class_defs; by_name; attr_slots }
+
+let classes t = t.ordered
+let class_names t = List.map (fun cd -> cd.cname) t.ordered
+let find_class t name = Hashtbl.find_opt t.by_name name
+let mem_class t name = Hashtbl.mem t.by_name name
+
+let require_class t cls =
+  if not (mem_class t cls) then invalid "unknown class %s" cls
+
+let attr t ~cls ~attr =
+  require_class t cls;
+  Option.map snd (Hashtbl.find_opt t.attr_slots (cls, attr))
+
+let attr_index t ~cls ~attr =
+  require_class t cls;
+  Option.map fst (Hashtbl.find_opt t.attr_slots (cls, attr))
+
+let arity t cls =
+  match find_class t cls with
+  | Some cd -> List.length cd.attrs
+  | None -> invalid "unknown class %s" cls
+
+let prim_matches p v =
+  match (p, v) with
+  | _, Value.Null -> true
+  | P_int, Value.Int _ -> true
+  | P_float, Value.Float _ -> true
+  | P_string, Value.Str _ -> true
+  | P_bool, Value.Bool _ -> true
+  | (P_int | P_float | P_string | P_bool), _ -> false
+
+let value_matches _t ty v =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | Prim p, _ -> prim_matches p v
+  | Complex _, Value.Ref _ -> true
+  | Complex _, (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _) -> false
+
+let equal_attr_type a b =
+  match (a, b) with
+  | Prim x, Prim y -> x = y
+  | Complex x, Complex y -> String.equal x y
+  | (Prim _ | Complex _), _ -> false
+
+let prim_to_string = function
+  | P_int -> "int"
+  | P_float -> "float"
+  | P_string -> "string"
+  | P_bool -> "bool"
+
+let attr_type_to_string = function
+  | Prim p -> prim_to_string p
+  | Complex c -> c
+
+let pp_attr_type ppf ty = Format.pp_print_string ppf (attr_type_to_string ty)
+
+let pp_class ppf cd =
+  let pp_attr ppf a = Format.fprintf ppf "%s: %a" a.aname pp_attr_type a.atype in
+  Format.fprintf ppf "@[<hov 2>class %s {@ %a }@]" cd.cname
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_attr)
+    cd.attrs
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_class ppf t.ordered

@@ -1,0 +1,61 @@
+(** Object schemas.
+
+    A schema is a set of classes; each class has named attributes that are
+    either primitive or {e complex} (their domain is another class of the
+    same schema, forming the composition hierarchy of the paper's Figure 1).
+    Class (inheritance) hierarchies are out of the paper's scope and are not
+    modelled. *)
+
+type prim = P_int | P_float | P_string | P_bool
+
+type attr_type =
+  | Prim of prim
+  | Complex of string  (** name of the domain class *)
+
+type attr = { aname : string; atype : attr_type }
+
+type class_def = { cname : string; attrs : attr list }
+
+type t
+
+exception Invalid of string
+
+val create : class_def list -> t
+(** Validates and builds a schema. Raises {!Invalid} on duplicate class
+    names, duplicate attribute names within a class, or a complex attribute
+    whose domain class is not part of the schema. Composition cycles are
+    legal (an object graph may be cyclic). *)
+
+val classes : t -> class_def list
+(** In declaration order. *)
+
+val class_names : t -> string list
+
+val find_class : t -> string -> class_def option
+
+val mem_class : t -> string -> bool
+
+val attr : t -> cls:string -> attr:string -> attr option
+(** [None] when the class does not define the attribute — the schema-level
+    {e missing attribute} test. Raises {!Invalid} if [cls] is unknown. *)
+
+val attr_index : t -> cls:string -> attr:string -> int option
+(** Position of the attribute in the class's field array. *)
+
+val arity : t -> string -> int
+(** Number of attributes of a class. *)
+
+val prim_matches : prim -> Value.t -> bool
+(** Whether a value inhabits the primitive type ([Null] inhabits all). *)
+
+val value_matches : t -> attr_type -> Value.t -> bool
+(** Whether a value inhabits the attribute type ([Null] inhabits all;
+    [Ref _] inhabits exactly the complex types). *)
+
+val equal_attr_type : attr_type -> attr_type -> bool
+
+val attr_type_to_string : attr_type -> string
+
+val pp_attr_type : Format.formatter -> attr_type -> unit
+
+val pp : Format.formatter -> t -> unit

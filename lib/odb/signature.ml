@@ -1,0 +1,36 @@
+(* A signature stores one 16-bit digest per attribute slot (-1 = no digest).
+   With the paper's S_s = 32 bytes a signature covers up to 16 attributes;
+   generated classes stay well under that. *)
+
+type t = int array
+
+let size_bytes = 32
+let max_slots = size_bytes / 2
+
+let digest_value = function
+  | Value.Null | Value.Ref _ -> None
+  | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _) as v ->
+    Some (Hashtbl.hash v land 0xFFFF)
+
+let of_object obj =
+  let fields = Dbobject.fields obj in
+  let n = min (List.length fields) max_slots in
+  let sig_ = Array.make n (-1) in
+  List.iteri
+    (fun i v ->
+      if i < n then
+        match digest_value v with Some d -> sig_.(i) <- d | None -> ())
+    fields;
+  sig_
+
+let may_satisfy t ~index ~op ~operand =
+  match op with
+  | Predicate.Ne | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+    true
+  | Predicate.Eq -> (
+    if index < 0 || index >= Array.length t then true
+    else if t.(index) < 0 then true (* no digest: null or complex *)
+    else
+      match digest_value operand with
+      | None -> true
+      | Some d -> t.(index) = d)

@@ -1,0 +1,33 @@
+(** Object signatures (the paper's future-work auxiliary structure).
+
+    A signature is a compact per-attribute digest of an object's primitive
+    values. Before shipping an assistant-object check request to a remote
+    database, a localized strategy can test the request's equality
+    predicates against the locally replicated signature: a mismatching
+    digest proves the assistant cannot satisfy the predicate, so the request
+    (and its round trip) is skipped. Signatures never produce false
+    negatives — {!may_satisfy} returning [false] is definitive — but may
+    produce false positives, whose rate the paper models with the
+    selectivity [R_ss].
+
+    Only equality predicates on primitive attributes are filterable; every
+    other shape conservatively answers [true]. *)
+
+type t
+
+val of_object : Dbobject.t -> t
+(** Digest of every primitive non-null field; null, missing and complex
+    fields have no digest slot. *)
+
+val may_satisfy : t -> index:int -> op:Predicate.op -> operand:Value.t -> bool
+(** Whether the object behind this signature could satisfy
+    [attr op operand], where [index] is the attribute's field position in
+    its class (signatures are positional). An out-of-range index answers
+    [true] (no filtering). *)
+
+val size_bytes : int
+(** Wire/storage size of one signature: the paper's [S_s] = 32 bytes. *)
+
+val digest_value : Value.t -> int option
+(** The digest of a primitive non-null value; [None] otherwise. Exposed for
+    testing the no-false-negative property. *)

@@ -1,0 +1,26 @@
+(** Three-valued logic (Kleene), the semantics of predicates over missing
+    data: a predicate touching a missing attribute or a null value is
+    [Unknown], and objects whose predicate conjunction is [Unknown] become
+    the paper's {e maybe results}. *)
+
+type t = True | False | Unknown
+
+val conj : t -> t -> t
+
+val disj : t -> t -> t
+
+val neg : t -> t
+
+val conj_all : t list -> t
+(** Kleene conjunction of a list; [True] for the empty list. *)
+
+val disj_all : t list -> t
+(** Kleene disjunction of a list; [False] for the empty list. *)
+
+val of_bool : bool -> t
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

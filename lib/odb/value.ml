@@ -1,0 +1,56 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Ref of Oid.Loid.t
+
+exception Type_error of string
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ | Ref _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Ref x, Ref y -> Oid.Loid.equal x y
+  | (Null | Int _ | Float _ | Str _ | Bool _ | Ref _), _ -> false
+
+let type_name = function
+  | Null -> "null"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Bool _ -> "bool"
+  | Ref _ -> "ref"
+
+let type_error a b op =
+  raise
+    (Type_error
+       (Printf.sprintf "cannot %s values of type %s and %s" op (type_name a)
+          (type_name b)))
+
+let compare_values a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Null | Int _ | Float _ | Str _ | Bool _ | Ref _), _ -> type_error a b "order"
+
+let to_string = function
+  | Null -> "-"
+  | Int i -> string_of_int i
+  | Float f ->
+    (* keep a decimal marker so printed floats re-parse as floats *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | Ref l -> Oid.Loid.to_string l
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

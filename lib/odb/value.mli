@@ -1,0 +1,36 @@
+(** Attribute values.
+
+    [Null] represents a null value originally existing in a component
+    database — one of the paper's two sources of missing data (the other
+    being schema-level missing attributes). [Ref] holds the LOid of another
+    object in the {e same} component database (complex attribute). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Ref of Oid.Loid.t
+
+exception Type_error of string
+(** Raised when two values of incompatible types are compared. Query
+    analysis prevents this for well-typed queries; hitting it at run time
+    indicates corrupt data or a bug. *)
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality. [Null] equals only [Null] here — predicate-level
+    null semantics (Unknown) are handled by the predicate evaluator, not by
+    this function. *)
+
+val compare_values : t -> t -> int
+(** Total order within a type. Raises {!Type_error} across types, and on
+    [Ref]s (object identity is not an ordered domain) and [Null]s. *)
+
+val type_name : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

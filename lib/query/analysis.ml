@@ -1,0 +1,96 @@
+open Msdq_odb
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type atom_info = {
+  pred : Predicate.t;
+  steps : Path.step list;
+  final_type : Schema.attr_type;
+}
+
+type t = {
+  query : Ast.t;
+  range_class : string;
+  targets : (Path.t * Schema.attr_type) list;
+  atoms : atom_info list;
+  classes_involved : string list;
+}
+
+let resolve_full schema ~root ~what path =
+  match Path.resolve schema ~root path with
+  | Path.Full (steps, ty) -> (steps, ty)
+  | Path.Cut { at_class; rest; _ } ->
+    err "%s %s: class %s has no attribute %s" what (Path.to_string path) at_class
+      (match rest with a :: _ -> a | [] -> "?")
+  | Path.Invalid msg -> err "%s %s: %s" what (Path.to_string path) msg
+
+let check_primitive ~what path = function
+  | Schema.Prim p -> Schema.Prim p
+  | Schema.Complex c ->
+    err "%s %s ends on complex attribute of class %s; select or compare a \
+         primitive attribute"
+      what (Path.to_string path) c
+
+let analyze schema (query : Ast.t) =
+  let root = query.Ast.range_class in
+  if not (Schema.mem_class schema root) then
+    err "unknown range class %s" root;
+  let classes = ref [ root ] in
+  let note_classes steps =
+    List.iter
+      (fun st ->
+        match st.Path.attr.Schema.atype with
+        | Schema.Complex domain ->
+          if not (List.mem domain !classes) then classes := domain :: !classes
+        | Schema.Prim _ -> ())
+      steps
+  in
+  let targets =
+    List.map
+      (fun path ->
+        let steps, ty = resolve_full schema ~root ~what:"target" path in
+        let ty = check_primitive ~what:"target" path ty in
+        note_classes steps;
+        (path, ty))
+      query.Ast.targets
+  in
+  let atoms =
+    List.map
+      (fun (pred : Predicate.t) ->
+        let path = pred.Predicate.path in
+        let steps, ty = resolve_full schema ~root ~what:"predicate" path in
+        let ty = check_primitive ~what:"predicate" path ty in
+        if not (Schema.value_matches schema ty pred.Predicate.operand) then
+          err "predicate %s: operand %s does not inhabit type %s"
+            (Predicate.to_string pred)
+            (Value.to_string pred.Predicate.operand)
+            (Schema.attr_type_to_string ty);
+        (match (ty, pred.Predicate.op) with
+        | Schema.Prim Schema.P_bool, (Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge) ->
+          err "predicate %s: ordered comparison on a boolean attribute"
+            (Predicate.to_string pred)
+        | _ -> ());
+        note_classes steps;
+        { pred; steps; final_type = ty })
+      (Cond.atoms query.Ast.where)
+  in
+  {
+    query;
+    range_class = root;
+    targets;
+    atoms;
+    classes_involved = List.rev !classes;
+  }
+
+let branch_classes t =
+  List.filter (fun c -> not (String.equal c t.range_class)) t.classes_involved
+
+let predicates_on_class t cls =
+  List.filter_map
+    (fun info ->
+      match List.rev info.steps with
+      | last :: _ when String.equal last.Path.on_class cls -> Some info.pred
+      | _ -> None)
+    t.atoms

@@ -1,0 +1,38 @@
+(** Semantic analysis of queries against the global schema.
+
+    Checks that the range class exists, that every target and predicate path
+    resolves fully (the global schema holds the attribute union, so a valid
+    global query never has a schema-level missing attribute {e globally} —
+    missingness is a per-constituent notion), that target and predicate
+    final attributes are primitive, and that each predicate's operand
+    inhabits its attribute's type. Also derives the classes the query
+    involves: the paper's range class and branch classes. *)
+
+open Msdq_odb
+
+exception Error of string
+
+type atom_info = {
+  pred : Predicate.t;
+  steps : Path.step list;
+  final_type : Schema.attr_type;
+}
+
+type t = {
+  query : Ast.t;
+  range_class : string;
+  targets : (Path.t * Schema.attr_type) list;
+  atoms : atom_info list;  (** in query order *)
+  classes_involved : string list;
+      (** range class first, then branch classes in first-use order *)
+}
+
+val analyze : Schema.t -> Ast.t -> t
+(** Raises {!Error} with a human-readable message on any violation. *)
+
+val branch_classes : t -> string list
+(** [classes_involved] without the range class. *)
+
+val predicates_on_class : t -> string -> Predicate.t list
+(** Predicates whose final attribute lives on the given class — the paper's
+    per-class predicate count [N_p^k]. *)

@@ -1,0 +1,62 @@
+open Msdq_odb
+
+type status = Certain | Maybe
+
+type row = { goid : Oid.Goid.t; values : Value.t list; status : status }
+
+type t = { targets : Path.t list; rows : row list; index : status Oid.Goid.Map.t }
+
+let make ~targets rows =
+  let sorted = List.sort (fun a b -> Oid.Goid.compare a.goid b.goid) rows in
+  let index =
+    List.fold_left
+      (fun acc r ->
+        if Oid.Goid.Map.mem r.goid acc then
+          invalid_arg
+            (Printf.sprintf "Answer.make: duplicate goid %s"
+               (Oid.Goid.to_string r.goid))
+        else Oid.Goid.Map.add r.goid r.status acc)
+      Oid.Goid.Map.empty sorted
+  in
+  { targets; rows = sorted; index }
+
+let targets t = t.targets
+let rows t = t.rows
+let certain t = List.filter (fun r -> r.status = Certain) t.rows
+let maybe t = List.filter (fun r -> r.status = Maybe) t.rows
+let size t = List.length t.rows
+let find t goid = List.find_opt (fun r -> Oid.Goid.equal r.goid goid) t.rows
+let status_of t goid = Oid.Goid.Map.find_opt goid t.index
+
+let goids t status =
+  List.fold_left
+    (fun acc r -> if r.status = status then Oid.Goid.Set.add r.goid acc else acc)
+    Oid.Goid.Set.empty t.rows
+
+let same_statuses a b =
+  Oid.Goid.Set.equal (goids a Certain) (goids b Certain)
+  && Oid.Goid.Set.equal (goids a Maybe) (goids b Maybe)
+
+let subsumes ~strong ~weak =
+  let strong_all = Oid.Goid.Set.union (goids strong Certain) (goids strong Maybe) in
+  let weak_all = Oid.Goid.Set.union (goids weak Certain) (goids weak Maybe) in
+  (* strong decides at least as much: certain(weak) <= certain(strong) *)
+  Oid.Goid.Set.subset (goids weak Certain) (goids strong Certain)
+  (* and strong never resurrects an object weak eliminated, nor loses one
+     weak kept *)
+  && Oid.Goid.Set.subset strong_all weak_all
+
+let equal_status (a : status) (b : status) = a = b
+let status_to_string = function Certain -> "certain" | Maybe -> "maybe"
+
+let pp_row ppf r =
+  Format.fprintf ppf "%a [%s]: %s" Oid.Goid.pp r.goid (status_to_string r.status)
+    (String.concat ", " (List.map Value.to_string r.values))
+
+let pp ppf t =
+  let certain_rows = certain t and maybe_rows = maybe t in
+  Format.fprintf ppf "@[<v>certain results (%d):@," (List.length certain_rows);
+  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) certain_rows;
+  Format.fprintf ppf "maybe results (%d):@," (List.length maybe_rows);
+  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) maybe_rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Query answers: certain results plus maybe results.
+
+    Following Codd's maybe semantics as used by the paper, an answer lists
+    the objects (identified by GOid) that definitely satisfy the query and,
+    separately, those that might — i.e. whose predicate conjunction is
+    Unknown because of missing data. Each row carries the projected target
+    values; a value that is missing federation-wide projects as [Null]. *)
+
+open Msdq_odb
+
+type status = Certain | Maybe
+
+type row = { goid : Oid.Goid.t; values : Value.t list; status : status }
+
+type t
+
+val make : targets:Path.t list -> row list -> t
+(** Rows are sorted by GOid; a duplicate GOid raises [Invalid_argument]
+    (executors must merge per-entity results before building the answer). *)
+
+val targets : t -> Path.t list
+
+val rows : t -> row list
+
+val certain : t -> row list
+
+val maybe : t -> row list
+
+val size : t -> int
+
+val find : t -> Oid.Goid.t -> row option
+
+val status_of : t -> Oid.Goid.t -> status option
+
+val goids : t -> status -> Oid.Goid.Set.t
+
+val same_statuses : t -> t -> bool
+(** Whether two answers classify exactly the same GOids as certain and as
+    maybe (projected values are not compared). *)
+
+val subsumes : strong:t -> weak:t -> bool
+(** [subsumes ~strong ~weak]: the strong answer (more integrated knowledge,
+    e.g. CA's) refines the weak one — every certain GOid of [weak] is
+    certain in [strong], every GOid absent from [weak] is absent from
+    [strong], and every maybe of [weak] is still present in [strong] (as
+    certain or maybe). The localized strategies without deep certification
+    produce answers that CA subsumes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal_status : status -> status -> bool
+
+val status_to_string : status -> string

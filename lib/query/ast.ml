@@ -1,0 +1,42 @@
+open Msdq_odb
+
+type t = {
+  range_class : string;
+  range_db : string option;
+  binding : string;
+  targets : Path.t list;
+  where : Cond.t;
+}
+
+let make ?range_db ?(binding = "X") ~range_class ~targets ~where () =
+  if targets = [] then invalid_arg "Ast.make: no target paths";
+  { range_class; range_db; binding; targets; where }
+
+let conjunctive_where t = Cond.conjuncts t.where
+
+let pp ppf t =
+  let pp_target ppf p = Format.fprintf ppf "%s.%a" t.binding Path.pp p in
+  let pp_from ppf () =
+    match t.range_db with
+    | None -> Format.fprintf ppf "%s %s" t.range_class t.binding
+    | Some db -> Format.fprintf ppf "%s@%s %s" t.range_class db t.binding
+  in
+  Format.fprintf ppf "@[<hov 2>select %a@ from %a"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_target)
+    t.targets pp_from ();
+  (match t.where with
+  | Cond.And [] -> ()
+  | w ->
+    (* Prefix predicate paths with the binding variable for display. *)
+    let w =
+      Cond.map_atoms
+        (fun p ->
+          Predicate.make
+            ~path:(t.binding :: p.Predicate.path)
+            ~op:p.Predicate.op ~operand:p.Predicate.operand)
+        w
+    in
+    Format.fprintf ppf "@ where %a" Cond.pp w);
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

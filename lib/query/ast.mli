@@ -1,0 +1,38 @@
+(** Abstract syntax of the SQL/X query subset.
+
+    The paper's queries have one range class bound to a variable, target
+    paths, and nested predicates over path expressions:
+
+    {v
+    select X.name, X.advisor.name
+    from Student X
+    where X.address.city = "Taipei" and X.advisor.speciality = "database"
+    v}
+
+    Paths in targets and predicates are stored relative to the range class
+    (the leading binding variable is stripped by the parser). [range_db]
+    carries the [Class@DB] annotation of the paper's derived local queries
+    (Figure 3(b)); it is [None] for global queries. *)
+
+open Msdq_odb
+
+type t = {
+  range_class : string;
+  range_db : string option;
+  binding : string;
+  targets : Path.t list;
+  where : Cond.t;
+}
+
+val make :
+  ?range_db:string -> ?binding:string -> range_class:string ->
+  targets:Path.t list -> where:Cond.t -> unit -> t
+(** [binding] defaults to ["X"]. Raises [Invalid_argument] when [targets]
+    is empty. *)
+
+val conjunctive_where : t -> Predicate.t list option
+(** The predicate list when the query is in the paper's conjunctive form. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

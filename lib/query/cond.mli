@@ -1,0 +1,41 @@
+(** Predicate trees.
+
+    The paper's algorithms assume predicates combined in conjunctive form;
+    disjunction and negation are its announced future work. This module
+    supports the full tree (the executors accept conjunctive queries for the
+    paper's algorithms and general trees for the extension), with
+    three-valued evaluation parameterized by an atom evaluator. *)
+
+open Msdq_odb
+
+type t =
+  | Atom of Predicate.t
+  | And of t list
+  | Or of t list
+  | Not of t
+
+val tt : t
+(** The empty conjunction: always true. *)
+
+val conj : t list -> t
+(** Flattens nested conjunctions. *)
+
+val atoms : t -> Predicate.t list
+(** All atoms, left to right, duplicates preserved. *)
+
+val conjuncts : t -> Predicate.t list option
+(** [Some atoms] when the tree is a pure conjunction of atoms (the paper's
+    query form), [None] otherwise. *)
+
+val is_conjunctive : t -> bool
+
+val eval : (Predicate.t -> Truth.t) -> t -> Truth.t
+(** Kleene evaluation with the given atom oracle. *)
+
+val map_atoms : (Predicate.t -> Predicate.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

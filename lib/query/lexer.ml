@@ -1,0 +1,256 @@
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | AT
+  | EOF
+
+type position = { line : int; col : int }
+
+exception Error of position * string
+
+let error pos fmt = Printf.ksprintf (fun s -> raise (Error (pos, s))) fmt
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "select" -> Some SELECT
+  | "from" -> Some FROM
+  | "where" -> Some WHERE
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let peek cur k =
+  let j = cur.i + k in
+  if j < String.length cur.src then Some cur.src.[j] else None
+
+let advance cur =
+  (match peek cur 0 with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.i <- cur.i + 1
+
+let position cur = { line = cur.line; col = cur.col }
+
+let lex_ident cur =
+  let start = cur.i in
+  let rec go () =
+    match peek cur 0 with
+    | Some c when is_ident_char c ->
+      advance cur;
+      go ()
+    | Some '-' -> (
+      (* An inner hyphen continues the identifier only when followed by an
+         identifier character: [s-no] is one token, [age<-3] is not. *)
+      match peek cur 1 with
+      | Some c when is_ident_char c || is_digit c ->
+        advance cur;
+        advance cur;
+        go ()
+      | Some _ | None -> ())
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub cur.src start (cur.i - start)
+
+let lex_number cur pos ~negative =
+  let start = cur.i in
+  let rec digits () =
+    match peek cur 0 with
+    | Some c when is_digit c ->
+      advance cur;
+      digits ()
+    | Some _ | None -> ()
+  in
+  digits ();
+  let is_float =
+    match (peek cur 0, peek cur 1) with
+    | Some '.', Some c when is_digit c ->
+      advance cur;
+      digits ();
+      true
+    | _ -> false
+  in
+  let text = String.sub cur.src start (cur.i - start) in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> FLOAT (if negative then -.f else f)
+    | None -> error pos "malformed number %s" text
+  else
+    match int_of_string_opt text with
+    | Some n -> INT (if negative then -n else n)
+    | None -> error pos "malformed number %s" text
+
+let lex_string cur pos =
+  advance cur;
+  (* consume opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur 0 with
+    | None -> error pos "unterminated string literal"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+      match peek cur 1 with
+      | Some ('"' as c) | Some ('\\' as c) ->
+        Buffer.add_char buf c;
+        advance cur;
+        advance cur;
+        go ()
+      | Some c -> error pos "unsupported escape \\%c" c
+      | None -> error pos "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let tokens src =
+  let cur = { src; i = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let emit tok pos = acc := (tok, pos) :: !acc in
+  let rec loop () =
+    match peek cur 0 with
+    | None -> emit EOF (position cur)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      loop ()
+    | Some c when is_ident_start c ->
+      let pos = position cur in
+      let text = lex_ident cur in
+      (match keyword_of_string text with
+      | Some kw -> emit kw pos
+      | None -> emit (IDENT text) pos);
+      loop ()
+    | Some c when is_digit c ->
+      let pos = position cur in
+      emit (lex_number cur pos ~negative:false) pos;
+      loop ()
+    | Some '-' -> (
+      let pos = position cur in
+      match peek cur 1 with
+      | Some c when is_digit c ->
+        advance cur;
+        emit (lex_number cur pos ~negative:true) pos;
+        loop ()
+      | Some _ | None -> error pos "unexpected '-'")
+    | Some '"' ->
+      let pos = position cur in
+      emit (lex_string cur pos) pos;
+      loop ()
+    | Some c ->
+      let pos = position cur in
+      (match c with
+      | ',' ->
+        advance cur;
+        emit COMMA pos
+      | '.' ->
+        advance cur;
+        emit DOT pos
+      | '(' ->
+        advance cur;
+        emit LPAREN pos
+      | ')' ->
+        advance cur;
+        emit RPAREN pos
+      | '@' ->
+        advance cur;
+        emit AT pos
+      | '=' ->
+        advance cur;
+        emit EQ pos
+      | '!' -> (
+        match peek cur 1 with
+        | Some '=' ->
+          advance cur;
+          advance cur;
+          emit NE pos
+        | Some _ | None -> error pos "expected '=' after '!'")
+      | '<' -> (
+        match peek cur 1 with
+        | Some '=' ->
+          advance cur;
+          advance cur;
+          emit LE pos
+        | Some '>' ->
+          advance cur;
+          advance cur;
+          emit NE pos
+        | Some _ | None ->
+          advance cur;
+          emit LT pos)
+      | '>' -> (
+        match peek cur 1 with
+        | Some '=' ->
+          advance cur;
+          advance cur;
+          emit GE pos
+        | Some _ | None ->
+          advance cur;
+          emit GT pos)
+      | c -> error pos "illegal character %C" c);
+      loop ()
+  in
+  loop ();
+  List.rev !acc
+
+let token_to_string = function
+  | SELECT -> "select"
+  | FROM -> "from"
+  | WHERE -> "where"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | COMMA -> ","
+  | DOT -> "."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | AT -> "@"
+  | EOF -> "<eof>"

@@ -1,0 +1,39 @@
+(** Lexer for the SQL/X query subset. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EQ  (** [=] *)
+  | NE  (** [!=] or [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | AT  (** [@] in [Class@DB] *)
+  | EOF
+
+type position = { line : int; col : int }
+
+exception Error of position * string
+
+val tokens : string -> (token * position) list
+(** Tokenizes a whole query. Keywords are case-insensitive; identifiers may
+    contain letters, digits, [_], ['] and inner hyphens (so [s-no] is one
+    identifier, while [- 3] and [-3] after an operator lex as a number).
+    Raises {!Error} on an unterminated string or an illegal character. *)
+
+val token_to_string : token -> string

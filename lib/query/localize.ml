@@ -1,0 +1,65 @@
+open Msdq_odb
+open Msdq_fed
+
+type locality = Local | Cut_at of { at_class : string; rest : Path.t }
+
+type atom_plan = { pred : Predicate.t; locality : locality }
+
+type db_plan = {
+  db : string;
+  local_class : string;
+  atoms : atom_plan list;
+  local_preds : Predicate.t list;
+  unsolved_preds : Predicate.t list;
+  local_query : Ast.t;
+}
+
+exception Unsupported of string
+
+let atom_locality db ~local_class (pred : Predicate.t) =
+  match Path.resolve (Database.schema db) ~root:local_class pred.Predicate.path with
+  | Path.Full _ -> Local
+  | Path.Cut { at_class; rest; _ } -> Cut_at { at_class; rest }
+  | Path.Invalid msg ->
+    raise
+      (Unsupported
+         (Printf.sprintf "predicate %s invalid for database %s: %s"
+            (Predicate.to_string pred) (Database.name db) msg))
+
+let plan fed (analysis : Analysis.t) =
+  let gs = Federation.global_schema fed in
+  let query = analysis.Analysis.query in
+  let root = analysis.Analysis.range_class in
+  List.filter_map
+    (fun (db_name, db) ->
+      match Global_schema.constituent_of gs ~gcls:root ~db:db_name with
+      | None -> None
+      | Some local_class ->
+        let atoms =
+          List.map
+            (fun (info : Analysis.atom_info) ->
+              let pred = info.Analysis.pred in
+              { pred; locality = atom_locality db ~local_class pred })
+            analysis.Analysis.atoms
+        in
+        let local_preds =
+          List.filter_map
+            (fun a -> match a.locality with Local -> Some a.pred | Cut_at _ -> None)
+            atoms
+        in
+        let unsolved_preds =
+          List.filter_map
+            (fun a -> match a.locality with Cut_at _ -> Some a.pred | Local -> None)
+            atoms
+        in
+        let where =
+          if Cond.is_conjunctive query.Ast.where then
+            Cond.conj (List.map (fun p -> Cond.Atom p) local_preds)
+          else query.Ast.where
+        in
+        let local_query =
+          Ast.make ~range_db:db_name ~binding:query.Ast.binding
+            ~range_class:local_class ~targets:query.Ast.targets ~where ()
+        in
+        Some { db = db_name; local_class; atoms; local_preds; unsolved_preds; local_query })
+    (Federation.databases fed)

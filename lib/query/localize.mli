@@ -1,0 +1,41 @@
+(** Query localization (paper, Section 2.3 and Figure 3(b)).
+
+    For every component database holding a constituent of the range class, a
+    {e local query} is derived: predicates whose whole path chain is defined
+    by the database's constituent classes are {e local predicates} and stay;
+    predicates hitting a schema-level missing attribute are {e unsolved} for
+    that database and are removed (they can only be decided through
+    assistant objects). Null values cause additional, per-object unsolved
+    predicates — those are discovered during evaluation, not here. *)
+
+open Msdq_odb
+open Msdq_fed
+
+type locality =
+  | Local
+      (** every class on the path defines its attribute in this database *)
+  | Cut_at of { at_class : string; rest : Path.t }
+      (** the path hits missing attribute [List.hd rest] of the local class
+          [at_class] *)
+
+type atom_plan = { pred : Predicate.t; locality : locality }
+
+type db_plan = {
+  db : string;
+  local_class : string;  (** constituent of the range class *)
+  atoms : atom_plan list;  (** in query order *)
+  local_preds : Predicate.t list;  (** the Local subset *)
+  unsolved_preds : Predicate.t list;  (** the Cut_at subset *)
+  local_query : Ast.t;
+      (** paper-style derived query: original targets, range [class@db],
+          where = conjunction of local predicates (conjunctive queries) or
+          the original tree (extension) *)
+}
+
+exception Unsupported of string
+
+val plan : Federation.t -> Analysis.t -> db_plan list
+(** One plan per database hosting a constituent of the range class, in
+    federation database order. Raises {!Unsupported} if a predicate path is
+    structurally invalid for a component schema (a primitive/complex clash
+    that schema integration would have rejected). *)

@@ -1,0 +1,166 @@
+open Msdq_odb
+
+exception Error of Lexer.position * string
+
+type state = { mutable toks : (Lexer.token * Lexer.position) list }
+
+let fail pos fmt = Printf.ksprintf (fun s -> raise (Error (pos, s))) fmt
+
+let peek st =
+  match st.toks with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> assert false (* EOF is always present *)
+
+let next st =
+  match st.toks with
+  | ((_, _) as hd) :: tl ->
+    st.toks <- (if tl = [] then [ hd ] else tl);
+    hd
+  | [] -> assert false
+
+let expect st tok what =
+  let got, pos = next st in
+  if got <> tok then fail pos "expected %s, got %s" what (Lexer.token_to_string got)
+
+let ident st what =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | tok, pos -> fail pos "expected %s, got %s" what (Lexer.token_to_string tok)
+
+(* A dotted path: ident {"." ident}. *)
+let dotted_path st =
+  let first = ident st "an identifier" in
+  let rec go acc =
+    match peek st with
+    | Lexer.DOT, _ ->
+      ignore (next st);
+      let seg = ident st "a path segment" in
+      go (seg :: acc)
+    | _ -> List.rev acc
+  in
+  go [ first ]
+
+(* Strips the binding variable from a parsed dotted path. *)
+let strip_binding ~binding ~pos path =
+  match path with
+  | b :: (_ :: _ as rest) when String.equal b binding -> rest
+  | b :: [] when String.equal b binding ->
+    fail pos "path %s names the binding variable but no attribute" b
+  | seg :: _ ->
+    fail pos "path must start with the binding variable %s, got %s" binding seg
+  | [] -> assert false
+
+let literal st =
+  match next st with
+  | Lexer.INT n, _ -> Value.Int n
+  | Lexer.FLOAT f, _ -> Value.Float f
+  | Lexer.STRING s, _ -> Value.Str s
+  | Lexer.TRUE, _ -> Value.Bool true
+  | Lexer.FALSE, _ -> Value.Bool false
+  | tok, pos -> fail pos "expected a literal, got %s" (Lexer.token_to_string tok)
+
+let comparison_op st =
+  match next st with
+  | Lexer.EQ, _ -> Predicate.Eq
+  | Lexer.NE, _ -> Predicate.Ne
+  | Lexer.LT, _ -> Predicate.Lt
+  | Lexer.LE, _ -> Predicate.Le
+  | Lexer.GT, _ -> Predicate.Gt
+  | Lexer.GE, _ -> Predicate.Ge
+  | tok, pos ->
+    fail pos "expected a comparison operator, got %s" (Lexer.token_to_string tok)
+
+let atom st ~binding =
+  let _, pos = peek st in
+  let path = dotted_path st in
+  let path = strip_binding ~binding ~pos path in
+  let op = comparison_op st in
+  let operand = literal st in
+  Cond.Atom (Predicate.make ~path ~op ~operand)
+
+let rec cond st ~binding =
+  let first = and_expr st ~binding in
+  let rec go acc =
+    match peek st with
+    | Lexer.OR, _ ->
+      ignore (next st);
+      go (and_expr st ~binding :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ single ] -> single | many -> Cond.Or many
+
+and and_expr st ~binding =
+  let first = not_expr st ~binding in
+  let rec go acc =
+    match peek st with
+    | Lexer.AND, _ ->
+      ignore (next st);
+      go (not_expr st ~binding :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ single ] -> single | many -> Cond.And many
+
+and not_expr st ~binding =
+  match peek st with
+  | Lexer.NOT, _ ->
+    ignore (next st);
+    Cond.Not (not_expr st ~binding)
+  | Lexer.LPAREN, _ ->
+    ignore (next st);
+    let inner = cond st ~binding in
+    expect st Lexer.RPAREN "')'";
+    inner
+  | _ -> atom st ~binding
+
+let query st =
+  expect st Lexer.SELECT "select";
+  (* Targets are parsed as raw paths first; the binding is only known after
+     FROM, so stripping happens afterwards. *)
+  let raw_targets =
+    let first = (snd (peek st), dotted_path st) in
+    let rec go acc =
+      match peek st with
+      | Lexer.COMMA, _ ->
+        ignore (next st);
+        let pos = snd (peek st) in
+        go ((pos, dotted_path st) :: acc)
+      | _ -> List.rev acc
+    in
+    go [ first ]
+  in
+  expect st Lexer.FROM "from";
+  let range_class = ident st "a class name" in
+  let range_db =
+    match peek st with
+    | Lexer.AT, _ ->
+      ignore (next st);
+      Some (ident st "a database name")
+    | _ -> None
+  in
+  let binding = ident st "a binding variable" in
+  let where =
+    match peek st with
+    | Lexer.WHERE, _ ->
+      ignore (next st);
+      cond st ~binding
+    | _ -> Cond.tt
+  in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | tok, pos -> fail pos "unexpected %s after query" (Lexer.token_to_string tok));
+  let targets =
+    List.map (fun (pos, path) -> strip_binding ~binding ~pos path) raw_targets
+  in
+  Ast.make ~range_class ?range_db ~binding ~targets ~where ()
+
+let parse src =
+  let toks =
+    try Lexer.tokens src with Lexer.Error (pos, msg) -> raise (Error (pos, msg))
+  in
+  query { toks }
+
+let parse_result src =
+  match parse src with
+  | ast -> Ok ast
+  | exception Error (pos, msg) ->
+    Error (Printf.sprintf "line %d, column %d: %s" pos.Lexer.line pos.Lexer.col msg)

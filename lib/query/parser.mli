@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the SQL/X query subset.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query    ::= SELECT target {"," target}
+                 FROM ident ["@" ident] ident
+                 [WHERE cond]
+    target   ::= ident {"." ident}             -- first component = binding
+    cond     ::= andexpr {OR andexpr}
+    andexpr  ::= notexpr {AND notexpr}
+    notexpr  ::= NOT notexpr | "(" cond ")" | atom
+    atom     ::= target op literal
+    op       ::= "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    literal  ::= int | float | string | TRUE | FALSE
+    v}
+
+    Target and predicate paths must start with the binding variable declared
+    in the FROM clause; the parser strips it. *)
+
+exception Error of Lexer.position * string
+
+val parse : string -> Ast.t
+(** Raises {!Error} (with position) on syntax errors, including
+    {!Lexer.Error}s re-raised under this exception. *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Like {!parse} but renders the error with its position. *)

@@ -1,0 +1,232 @@
+type where =
+  | On of int * Resource.kind  (* occupies a resource of a site *)
+  | Nowhere                    (* fence or pure delay *)
+
+type state =
+  | Blocked of int  (* number of unfinished dependencies *)
+  | Queued
+  | Running
+  | Finished
+
+type task = {
+  tid : int;
+  label : string;
+  where : where;
+  mutable duration : Time.t;
+  mutable state : state;
+  mutable dependents : task list;
+  mutable callbacks : (unit -> unit) list;  (* reversed registration order *)
+  mutable start_time : Time.t;
+  mutable finish_time : Time.t;
+}
+
+type handle = task
+
+(* One FIFO resource instance: at most one running task, the rest queued. *)
+type rsrc = { mutable current : task option; waiting : task Queue.t }
+
+type t = {
+  mutable clock : Time.t;
+  events : task Heap.t;  (* completion events, keyed by finish time *)
+  resources : (int * Resource.kind, rsrc) Hashtbl.t;
+  speeds : (int * Resource.kind, float) Hashtbl.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  mutable next_tid : int;
+  mutable unfinished : int;
+}
+
+exception Stuck of string list
+
+let create ?(trace = false) () =
+  {
+    clock = Time.zero;
+    events = Heap.create ();
+    resources = Hashtbl.create 16;
+    speeds = Hashtbl.create 8;
+    stats = Stats.create ();
+    trace = Trace.create ~enabled:trace;
+    next_tid = 0;
+    unfinished = 0;
+  }
+
+let now t = t.clock
+let stats t = t.stats
+let trace t = t.trace
+
+let set_speed t ~site ~kind ~factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Engine.set_speed: factor must be positive and finite";
+  Hashtbl.replace t.speeds (site, kind) factor
+
+let speed_of t task =
+  match task.where with
+  | Nowhere -> 1.0
+  | On (site, kind) -> (
+    match Hashtbl.find_opt t.speeds (site, kind) with
+    | Some f -> f
+    | None -> 1.0)
+
+let resource t site kind =
+  match Hashtbl.find_opt t.resources (site, kind) with
+  | Some r -> r
+  | None ->
+    let r = { current = None; waiting = Queue.create () } in
+    Hashtbl.add t.resources (site, kind) r;
+    r
+
+(* Schedules the completion event of [task], which starts right now. The
+   site's speed factor scales the effective duration; the scaled duration is
+   what the statistics account (it is the time the resource is busy). *)
+let start t task =
+  task.state <- Running;
+  task.start_time <- t.clock;
+  let factor = speed_of t task in
+  if factor <> 1.0 then task.duration <- Time.us (Time.to_us task.duration /. factor);
+  let finish = Time.add t.clock task.duration in
+  task.finish_time <- finish;
+  Heap.push t.events ~priority:finish task
+
+(* Called when all dependencies of [task] are finished: either grab the
+   resource immediately or join its FIFO queue. *)
+let activate t task =
+  match task.where with
+  | Nowhere -> start t task
+  | On (site, kind) ->
+    let r = resource t site kind in
+    (match r.current with
+    | None ->
+      r.current <- Some task;
+      start t task
+    | Some _ ->
+      task.state <- Queued;
+      Queue.add task r.waiting)
+
+let submit t ?(deps = []) ?on_complete ~where ~label ~duration () =
+  if not (Time.is_finite duration) || duration < Time.zero then
+    invalid_arg
+      (Printf.sprintf "Engine: task %S has invalid duration %g" label duration);
+  let task =
+    {
+      tid = t.next_tid;
+      label;
+      where;
+      duration;
+      state = Blocked 0;
+      dependents = [];
+      callbacks = (match on_complete with None -> [] | Some f -> [ f ]);
+      start_time = Time.zero;
+      finish_time = Time.zero;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.unfinished <- t.unfinished + 1;
+  let pending =
+    List.fold_left
+      (fun n dep ->
+        match dep.state with
+        | Finished -> n
+        | Blocked _ | Queued | Running ->
+          dep.dependents <- task :: dep.dependents;
+          n + 1)
+      0 deps
+  in
+  if pending = 0 then activate t task else task.state <- Blocked pending;
+  task
+
+let task t ?deps ?on_complete ~site ~kind ~label ~duration () =
+  submit t ?deps ?on_complete ~where:(On (site, kind)) ~label ~duration ()
+
+let transfer t ?deps ?on_complete ~src ~dst ~label ~duration () =
+  if src = dst then
+    submit t ?deps ?on_complete ~where:Nowhere ~label ~duration:Time.zero ()
+  else submit t ?deps ?on_complete ~where:(On (dst, Resource.Link)) ~label ~duration ()
+
+let fence t ?deps ?on_complete ~label () =
+  submit t ?deps ?on_complete ~where:Nowhere ~label ~duration:Time.zero ()
+
+let delay t ?deps ?on_complete ~label ~duration () =
+  submit t ?deps ?on_complete ~where:Nowhere ~label ~duration ()
+
+let finished _t task = task.state = Finished
+
+let finish_time _t task =
+  match task.state with
+  | Finished -> task.finish_time
+  | Blocked _ | Queued | Running ->
+    invalid_arg (Printf.sprintf "Engine.finish_time: task %S not finished" task.label)
+
+let complete t task =
+  task.state <- Finished;
+  t.unfinished <- t.unfinished - 1;
+  (match task.where with
+  | On (site, kind) ->
+    Stats.record t.stats ~site ~kind ~label:task.label ~duration:task.duration
+      ~finish:task.finish_time;
+    if Trace.enabled t.trace then
+      Trace.add t.trace
+        {
+          Trace.tid = task.tid;
+          label = task.label;
+          site = Some site;
+          kind = Some kind;
+          start = task.start_time;
+          finish = task.finish_time;
+        };
+    (* Hand the resource to the next queued task. *)
+    let r = resource t site kind in
+    r.current <- None;
+    (match Queue.take_opt r.waiting with
+    | None -> ()
+    | Some next ->
+      r.current <- Some next;
+      start t next)
+  | Nowhere ->
+    Stats.record_fence t.stats ~finish:task.finish_time;
+    if Trace.enabled t.trace then
+      Trace.add t.trace
+        {
+          Trace.tid = task.tid;
+          label = task.label;
+          site = None;
+          kind = None;
+          start = task.start_time;
+          finish = task.finish_time;
+        });
+  (* Unblock dependents in submission order (they were consed in reverse). *)
+  let dependents = List.rev task.dependents in
+  task.dependents <- [];
+  let unblock dep =
+    match dep.state with
+    | Blocked 1 -> activate t dep
+    | Blocked n -> dep.state <- Blocked (n - 1)
+    | Queued | Running | Finished -> assert false
+  in
+  List.iter unblock dependents;
+  List.iter (fun f -> f ()) (List.rev task.callbacks)
+
+let rec drain t =
+  match Heap.pop t.events with
+  | None -> ()
+  | Some (finish, task) ->
+    t.clock <- Time.max t.clock finish;
+    complete t task;
+    drain t
+
+(* Collects the labels of tasks that can never finish, for error reporting.
+   We only know them through resource queues and dependents, so walk the
+   resources; blocked tasks hanging off finished deps are unreachable here,
+   hence the generic message fallback. *)
+let stuck_labels t =
+  let labels = ref [] in
+  Hashtbl.iter
+    (fun _ r ->
+      (match r.current with Some task -> labels := task.label :: !labels | None -> ());
+      Queue.iter (fun task -> labels := task.label :: !labels) r.waiting)
+    t.resources;
+  if !labels = [] then [ Printf.sprintf "%d task(s) blocked on unfinished dependencies" t.unfinished ]
+  else !labels
+
+let run t =
+  drain t;
+  if t.unfinished > 0 then raise (Stuck (stuck_labels t))

@@ -1,0 +1,76 @@
+(** Discrete-event engine over dynamic task graphs.
+
+    A simulation is a set of {e tasks}. A task occupies one resource of one
+    site for a fixed duration ({!task}), models a network transfer into a
+    site ({!transfer} occupies the destination's incoming link), or is a
+    zero-width synchronization point ({!fence}) or pure delay ({!delay}).
+
+    Tasks become eligible when all their dependencies have finished, then
+    queue FIFO at their resource. Completion callbacks run at the task's
+    finish instant and may submit further tasks, so executors can build the
+    graph dynamically as data becomes available — this is how the concrete
+    CA/BL/PL strategies compute real answers while being charged simulated
+    time.
+
+    Runs are deterministic: simultaneous events fire in submission order. *)
+
+type t
+
+type handle
+(** Identifies a submitted task. *)
+
+val create : ?trace:bool -> unit -> t
+(** A fresh engine with clock at zero. Sites are implicit: any non-negative
+    integer used as a site id materializes its resources on first use. *)
+
+val set_speed : t -> site:int -> kind:Resource.kind -> factor:float -> unit
+(** Heterogeneous hardware: a resource with factor [f] executes tasks [f]
+    times faster (durations divide by [f]; [f < 1] models a straggler).
+    Applies to tasks that {e start} after the call. Raises
+    [Invalid_argument] on non-positive or non-finite factors. *)
+
+val now : t -> Time.t
+(** Current simulated time. Outside [run] this is the time of the last
+    processed event. *)
+
+val task :
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> site:int ->
+  kind:Resource.kind -> label:string -> duration:Time.t -> unit -> handle
+(** Occupies [kind] at [site] for [duration] once all [deps] have finished.
+    Raises [Invalid_argument] on a negative or non-finite duration. *)
+
+val transfer :
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> src:int ->
+  dst:int -> label:string -> duration:Time.t -> unit -> handle
+(** A network transfer from [src] to [dst]: occupies [dst]'s incoming link
+    for [duration]. A transfer between a site and itself costs nothing (local
+    data never crosses the network) and degenerates to a fence. *)
+
+val fence :
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> label:string ->
+  unit -> handle
+(** Completes as soon as all [deps] have finished, consuming no resource. *)
+
+val delay :
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> label:string ->
+  duration:Time.t -> unit -> handle
+(** Like {!fence} but finishes [duration] after becoming eligible, without
+    occupying any resource. *)
+
+val finished : t -> handle -> bool
+
+val finish_time : t -> handle -> Time.t
+(** Raises [Invalid_argument] if the task has not finished. *)
+
+exception Stuck of string list
+(** Raised by {!run} when the event queue drains while tasks remain
+    unfinished — i.e. the dependency graph has a cycle or a dependency on a
+    task that was never made eligible. Carries the labels of stuck tasks. *)
+
+val run : t -> unit
+(** Processes events until quiescence. May be called again after submitting
+    more tasks; the clock keeps advancing monotonically. *)
+
+val stats : t -> Stats.t
+
+val trace : t -> Trace.t

@@ -1,0 +1,84 @@
+let lanes trace =
+  let entries =
+    List.filter
+      (fun e -> e.Trace.site <> None && e.Trace.finish > e.Trace.start)
+      (Trace.entries trace)
+  in
+  let key e =
+    match (e.Trace.site, e.Trace.kind) with
+    | Some s, Some k -> (s, k)
+    | _ -> assert false (* filtered above *)
+  in
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = key e in
+      match Hashtbl.find_opt table k with
+      | Some l -> l := e :: !l
+      | None ->
+        Hashtbl.add table k (ref [ e ]);
+        order := k :: !order)
+    entries;
+  List.sort compare (List.rev !order)
+  |> List.map (fun k -> (k, List.rev !(Hashtbl.find table k)))
+
+(* Every distinct label gets a letter, in first-appearance order. *)
+let letters trace =
+  let assoc = ref [] in
+  let next = ref 0 in
+  let alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  List.iter
+    (fun e ->
+      if e.Trace.site <> None && not (List.mem_assoc e.Trace.label !assoc) then begin
+        let c =
+          if !next < String.length alphabet then alphabet.[!next] else '#'
+        in
+        assoc := !assoc @ [ (e.Trace.label, c) ];
+        incr next
+      end)
+    (Trace.entries trace);
+  !assoc
+
+let makespan trace =
+  List.fold_left
+    (fun acc e -> Time.max acc e.Trace.finish)
+    Time.zero (Trace.entries trace)
+
+let pp ?(width = 72) ppf trace =
+  let span = Time.to_us (makespan trace) in
+  if span <= 0.0 then Format.fprintf ppf "(empty trace)@."
+  else begin
+    let letter_of = letters trace in
+    let cell t = int_of_float (Time.to_us t /. span *. float_of_int width) in
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun ((site, kind), entries) ->
+        let lane = Bytes.make width '.' in
+        List.iter
+          (fun e ->
+            let a = max 0 (min (width - 1) (cell e.Trace.start)) in
+            let b = max a (min (width - 1) (cell e.Trace.finish - 1)) in
+            let c =
+              match List.assoc_opt e.Trace.label letter_of with
+              | Some c -> c
+              | None -> '#'
+            in
+            for i = a to b do
+              Bytes.set lane i c
+            done)
+          entries;
+        Format.fprintf ppf "site%d %-4s |%s|@," site
+          (Resource.kind_to_string kind) (Bytes.to_string lane))
+      (lanes trace);
+    Format.fprintf ppf "0%s%a@]"
+      (String.make (max 1 (width - 6)) ' ')
+      Time.pp (makespan trace)
+  end
+
+let pp_legend ppf trace =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (label, c) -> Format.fprintf ppf "%c = %s@," c label)
+    (letters trace);
+  Format.fprintf ppf "@]"

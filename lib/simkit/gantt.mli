@@ -1,0 +1,15 @@
+(** ASCII Gantt rendering of a simulation trace.
+
+    One lane per (site, resource); time flows left to right, each task drawn
+    as a bar of [#] (or its label's first letter) scaled to the makespan.
+    Useful to see phase overlap — e.g. PL's remote checks running while
+    local evaluation is still busy. Requires the engine to have been created
+    with [~trace:true]. *)
+
+val pp : ?width:int -> Format.formatter -> Trace.t -> unit
+(** [width] is the number of character cells for the full makespan
+    (default 72). Lanes are sorted by site then resource; fences are
+    omitted. *)
+
+val pp_legend : Format.formatter -> Trace.t -> unit
+(** The letter-to-label mapping used by {!pp}. *)

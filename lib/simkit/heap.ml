@@ -1,0 +1,77 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty h = h.size = 0
+let size h = h.size
+
+(* [before a b] decides heap order: smaller priority first, then smaller
+   insertion sequence so that equal-priority entries pop in FIFO order. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+(* Grows the backing array, using [entry] to fill the fresh cells; cells
+   beyond [size] are never read before being overwritten. *)
+let ensure_capacity h entry =
+  if h.size = Array.length h.data then begin
+    let new_cap = if h.size = 0 then 16 else h.size * 2 in
+    let data = Array.make new_cap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h ~priority value =
+  let entry = { prio = priority; seq = h.next_seq; value } in
+  ensure_capacity h entry;
+  h.next_seq <- h.next_seq + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i = 0 then h.data.(0) <- entry
+    else
+      let parent = (i - 1) / 2 in
+      if before entry h.data.(parent) then begin
+        h.data.(i) <- h.data.(parent);
+        up parent
+      end
+      else h.data.(i) <- entry
+  in
+  up h.size;
+  h.size <- h.size + 1
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let last = h.data.(h.size) in
+      (* Sift down. *)
+      let rec down i =
+        let left = (2 * i) + 1 in
+        if left >= h.size then h.data.(i) <- last
+        else
+          let right = left + 1 in
+          let child =
+            if right < h.size && before h.data.(right) h.data.(left) then right
+            else left
+          in
+          if before h.data.(child) last then begin
+            h.data.(i) <- h.data.(child);
+            down child
+          end
+          else h.data.(i) <- last
+      in
+      down 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_priority h = if h.size = 0 then None else Some h.data.(0).prio
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by a float priority, with FIFO tie-breaking.
+
+    This is the event queue of the discrete-event engine: events with equal
+    timestamps are delivered in insertion order, which makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest priority; among equal
+    priorities, the one pushed first. *)
+
+val peek_priority : 'a t -> float option
+
+val clear : 'a t -> unit

@@ -1,0 +1,12 @@
+type kind = Cpu | Disk | Link
+
+let all_kinds = [ Cpu; Disk; Link ]
+
+let kind_to_string = function
+  | Cpu -> "cpu"
+  | Disk -> "disk"
+  | Link -> "link"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let equal_kind (a : kind) (b : kind) = a = b

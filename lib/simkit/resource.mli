@@ -1,0 +1,20 @@
+(** Serially-shared resources of a simulated site.
+
+    Each site owns one resource of each kind; a resource executes one task at
+    a time and queues the rest in FIFO order. The [Link] resource models the
+    site's incoming network link, so concurrent transfers towards the same
+    site serialize — the contention effect the paper observes when several
+    component databases ship data to the global processing site at once. *)
+
+type kind =
+  | Cpu   (** predicate comparisons, joins, GOid-table lookups *)
+  | Disk  (** reading object extents *)
+  | Link  (** the site's incoming network link *)
+
+val all_kinds : kind list
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val equal_kind : kind -> kind -> bool

@@ -1,0 +1,36 @@
+(** Accumulated statistics of a simulation run.
+
+    [total_busy] is the paper's {e total execution time}: the sum of the
+    durations of every resource-occupying task in the whole system.
+    [makespan] is the paper's {e response time}: the simulated instant at
+    which the last task finished. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> site:int -> kind:Resource.kind -> label:string -> duration:Time.t ->
+  finish:Time.t -> unit
+(** Accounts one finished task. Fence/delay tasks (no resource) are recorded
+    with their makespan contribution only, via {!record_fence}. *)
+
+val record_fence : t -> finish:Time.t -> unit
+
+val total_busy : t -> Time.t
+
+val makespan : t -> Time.t
+
+val task_count : t -> int
+
+val busy_of_site : t -> int -> Time.t
+
+val busy_of_kind : t -> Resource.kind -> Time.t
+
+val busy_of : t -> site:int -> kind:Resource.kind -> Time.t
+
+val by_label : t -> (string * Time.t * int) list
+(** Busy time and task count aggregated per task label, sorted by decreasing
+    busy time. Useful for cost breakdowns in reports. *)
+
+val pp_summary : Format.formatter -> t -> unit

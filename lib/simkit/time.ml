@@ -1,0 +1,23 @@
+type t = float
+
+let zero = 0.0
+let us x = x
+let ms x = x *. 1_000.0
+let s x = x *. 1_000_000.0
+let add a b = a +. b
+
+let sub a b =
+  let d = a -. b in
+  if d < 0.0 then invalid_arg "Time.sub: negative duration" else d
+
+let max (a : t) (b : t) = if a >= b then a else b
+let compare (a : t) (b : t) = Float.compare a b
+let is_finite (t : t) = Float.is_finite t
+let to_us t = t
+let to_ms t = t /. 1_000.0
+let to_s t = t /. 1_000_000.0
+
+let pp ppf t =
+  if t < 1_000.0 then Format.fprintf ppf "%.1fus" t
+  else if t < 1_000_000.0 then Format.fprintf ppf "%.2fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_s t)

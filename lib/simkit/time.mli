@@ -1,0 +1,42 @@
+(** Simulated time.
+
+    All simulated durations and instants are expressed in microseconds, the
+    unit of the cost constants in Table 1 of the paper (disk 15 us/byte,
+    network 8 us/byte, CPU 0.5 us/comparison). *)
+
+type t = float
+(** An instant or duration, in microseconds. *)
+
+val zero : t
+
+val us : float -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : float -> t
+(** [s x] is [x] seconds. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b]. Raises [Invalid_argument] if the result would be
+    negative, which always indicates a simulation bug. *)
+
+val max : t -> t -> t
+
+val compare : t -> t -> int
+
+val is_finite : t -> bool
+(** [is_finite t] is false for NaN and infinite values; every duration fed to
+    the engine must be finite and non-negative. *)
+
+val to_us : t -> float
+
+val to_ms : t -> float
+
+val to_s : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with an adaptive unit ([us], [ms] or [s]). *)

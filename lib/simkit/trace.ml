@@ -1,0 +1,27 @@
+type entry = {
+  tid : int;
+  label : string;
+  site : int option;
+  kind : Resource.kind option;
+  start : Time.t;
+  finish : Time.t;
+}
+
+type t = { enabled : bool; mutable entries : entry list }
+
+let create ~enabled = { enabled; entries = [] }
+let enabled t = t.enabled
+let add t e = if t.enabled then t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+
+let pp_entry ppf e =
+  let pp_where ppf () =
+    match (e.site, e.kind) with
+    | Some s, Some k -> Format.fprintf ppf "site%d/%a" s Resource.pp_kind k
+    | _, _ -> Format.pp_print_string ppf "fence"
+  in
+  Format.fprintf ppf "[%a .. %a] #%d %a %s" Time.pp e.start Time.pp e.finish
+    e.tid pp_where () e.label
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_entry ppf (entries t)

@@ -1,0 +1,23 @@
+(** Optional event trace of a simulation run, for debugging and reports. *)
+
+type entry = {
+  tid : int;
+  label : string;
+  site : int option;  (** [None] for fences/delays, which occupy no resource *)
+  kind : Resource.kind option;
+  start : Time.t;
+  finish : Time.t;
+}
+
+type t
+
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+
+val add : t -> entry -> unit
+
+val entries : t -> entry list
+(** In completion order. *)
+
+val pp : Format.formatter -> t -> unit

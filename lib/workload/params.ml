@@ -1,0 +1,107 @@
+type ranges = {
+  n_db : int;
+  n_c : int * int;
+  n_p : int * int;
+  n_o : int * int;
+  n_ta : int * int;
+  r_r : float * float;
+  r_m_base : float * float;
+  ps_base : float;
+  as_base : float;
+  ss_base : float;
+}
+
+let default =
+  {
+    n_db = 3;
+    n_c = (1, 4);
+    n_p = (0, 3);
+    n_o = (5000, 6000);
+    n_ta = (0, 2);
+    r_r = (0.5, 1.0);
+    r_m_base = (0.0, 0.2);
+    ps_base = 0.45;
+    as_base = 0.55;
+    ss_base = 0.6;
+  }
+
+type class_at_db = {
+  n_o : int;
+  n_qa : int;
+  n_pa : int;
+  n_ta : int;
+  r_pps : float;
+  r_m : float;
+  r_as : float;
+  r_ss : float;
+}
+
+type gclass = {
+  n_p : int;
+  r_ps : float;
+  r_r : float;
+  r_iso : float;
+  per_db : class_at_db array;
+}
+
+type sample = { n_db : int; classes : gclass array }
+
+let selectivity base n = if n <= 0 then 1.0 else base ** sqrt (float_of_int n)
+
+let sample_class rng (ranges : ranges) ~n_db ~root =
+  let lo_p, hi_p = ranges.n_p in
+  let n_p = Rng.range rng ~lo:(if root then max 1 lo_p else lo_p) ~hi:hi_p in
+  let r_ps = selectivity ranges.ps_base n_p in
+  let lo_r, hi_r = ranges.r_r in
+  let r_r = Rng.frange rng ~lo:lo_r ~hi:hi_r in
+  let r_iso = 1.0 -. (0.9 ** float_of_int (n_db - 1)) in
+  let per_db =
+    Array.init n_db (fun _ ->
+        let lo_o, hi_o = ranges.n_o in
+        let n_o = Rng.range rng ~lo:lo_o ~hi:hi_o in
+        let n_pa = Rng.range rng ~lo:0 ~hi:n_p in
+        let lo_t, hi_t = ranges.n_ta in
+        let n_ta = Rng.range rng ~lo:lo_t ~hi:hi_t in
+        let n_qa = Rng.range rng ~lo:(max n_pa n_ta) ~hi:(n_pa + n_ta) in
+        let missing = n_p - n_pa in
+        let r_m =
+          if missing > 0 then 1.0
+          else
+            let lo_m, hi_m = ranges.r_m_base in
+            Rng.frange rng ~lo:lo_m ~hi:hi_m
+        in
+        {
+          n_o;
+          n_qa;
+          n_pa;
+          n_ta;
+          r_pps = selectivity ranges.ps_base n_pa;
+          r_m;
+          r_as = selectivity ranges.as_base missing;
+          r_ss = selectivity ranges.ss_base missing;
+        })
+  in
+  { n_p; r_ps; r_r; r_iso; per_db }
+
+let sample rng (ranges : ranges) =
+  let n_db = ranges.n_db in
+  let lo_c, hi_c = ranges.n_c in
+  let n_c = Rng.range rng ~lo:lo_c ~hi:hi_c in
+  let classes =
+    Array.init n_c (fun k -> sample_class rng ranges ~n_db ~root:(k = 0))
+  in
+  { n_db; classes }
+
+let total_predicates s =
+  Array.fold_left (fun acc gc -> acc + gc.n_p) 0 s.classes
+
+let pp_ranges ppf (r : ranges) =
+  let pair (lo, hi) = Printf.sprintf "%d ~ %d" lo hi in
+  let fpair (lo, hi) = Printf.sprintf "%g ~ %g" lo hi in
+  Format.fprintf ppf
+    "@[<v>N_db   = %d@,N_c    = %s@,N_p^k  = %s@,N_o    = %s@,N_ta   = %s@,R_r    \
+     = %s@,R_ps   = %g^sqrt(N_p)@,R_iso  = 1 - 0.9^(N_db-1)@,R_pps  = \
+     %g^sqrt(N_pa)@,R_m    = 1 if missing preds else %s@,R_as   = \
+     %g^sqrt(N_p-N_pa)@,R_ss   = %g^sqrt(N_p-N_pa)@]"
+    r.n_db (pair r.n_c) (pair r.n_p) (pair r.n_o) (pair r.n_ta) (fpair r.r_r)
+    r.ps_base r.ps_base (fpair r.r_m_base) r.as_base r.ss_base

@@ -1,0 +1,65 @@
+(** The database and query parameters of Table 2, and their sampling.
+
+    A {!sample} is one concrete draw of the whole parameter table for one
+    simulated global query: the number of component databases, the involved
+    global classes (index 0 is the range/root class), and per class and per
+    database the cardinalities, predicate splits and selectivities with the
+    paper's derived formulas:
+
+    {ul
+    {- [R_ps^k = 0.45^sqrt(N_p^k)] — selectivity of the class's predicates}
+    {- [R_iso  = 1 - 0.9^(N_db - 1)] — ratio of objects with isomers}
+    {- [R_pps  = 0.45^sqrt(N_pa)] — selectivity of the local predicates}
+    {- [R_m    = 1] when the constituent misses predicate attributes,
+       uniform in [0, 0.2] otherwise}
+    {- [R_as   = 0.55^sqrt(N_p - N_pa)] — assistant-check selectivity}
+    {- [R_ss   = 0.6^sqrt(N_p - N_pa)] — signature selectivity}} *)
+
+type ranges = {
+  n_db : int;  (** number of component databases (default 3) *)
+  n_c : int * int;  (** global classes involved (1..4) *)
+  n_p : int * int;  (** predicates per class (0..3) *)
+  n_o : int * int;  (** objects per constituent class (5000..6000) *)
+  n_ta : int * int;  (** target attributes per class (0..2) *)
+  r_r : float * float;  (** ratio of referenced objects (0.5..1) *)
+  r_m_base : float * float;  (** null ratio when nothing is missing (0..0.2) *)
+  ps_base : float;  (** 0.45 *)
+  as_base : float;  (** 0.55 *)
+  ss_base : float;  (** 0.6 *)
+}
+
+val default : ranges
+(** Exactly the default settings of Table 2. *)
+
+type class_at_db = {
+  n_o : int;  (** objects in this constituent *)
+  n_qa : int;  (** attributes involved in the subquery *)
+  n_pa : int;  (** attributes involved in the local predicates *)
+  n_ta : int;  (** target attributes *)
+  r_pps : float;  (** local predicate selectivity *)
+  r_m : float;  (** ratio of objects with missing data *)
+  r_as : float;  (** assistant-check selectivity *)
+  r_ss : float;  (** signature selectivity *)
+}
+
+type gclass = {
+  n_p : int;  (** predicates on this class *)
+  r_ps : float;
+  r_r : float;
+  r_iso : float;
+  per_db : class_at_db array;  (** length [n_db] *)
+}
+
+type sample = {
+  n_db : int;
+  classes : gclass array;  (** length [n_c]; index 0 is the root class *)
+}
+
+val sample : Rng.t -> ranges -> sample
+(** One draw. The root class always carries at least one predicate when any
+    class does, mirroring the paper's queries whose range class anchors the
+    predicates. *)
+
+val total_predicates : sample -> int
+
+val pp_ranges : Format.formatter -> ranges -> unit

@@ -1,0 +1,39 @@
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = next t }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo bias is negligible for the small bounds used here. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let frange t ~lo ~hi = lo +. (float t *. (hi -. lo))
+let bool t ~p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t ~bound:(List.length l))

@@ -1,0 +1,73 @@
+(* Small schemas and databases shared by the odb-level test suites. The
+   full paper example (DB1/DB2/DB3) lives in Msdq_fed.Paper_example. *)
+
+open Msdq_odb
+
+let dept = Schema.{ cname = "Department"; attrs = [ { aname = "name"; atype = Prim P_string } ] }
+
+let teacher =
+  Schema.
+    {
+      cname = "Teacher";
+      attrs =
+        [
+          { aname = "name"; atype = Prim P_string };
+          { aname = "department"; atype = Complex "Department" };
+          { aname = "speciality"; atype = Prim P_string };
+        ];
+    }
+
+let student =
+  Schema.
+    {
+      cname = "Student";
+      attrs =
+        [
+          { aname = "name"; atype = Prim P_string };
+          { aname = "age"; atype = Prim P_int };
+          { aname = "advisor"; atype = Complex "Teacher" };
+        ];
+    }
+
+let school_schema () = Schema.create [ dept; teacher; student ]
+
+(* A teacher class with no [speciality] and no [department]: simulates a
+   component database holding those as missing attributes. *)
+let poor_teacher =
+  Schema.{ cname = "Teacher"; attrs = [ { aname = "name"; atype = Prim P_string } ] }
+
+let poor_schema () = Schema.create [ dept; poor_teacher; student ]
+
+(* Builds a small school database:
+     Department: CS, EE
+     Teacher:    Kelly(CS, database), Haley(EE, null speciality)
+     Teacher(for poor schema): only names
+     Student:    John(31, Kelly), Tony(28, Haley), Mary(null age, Kelly) *)
+let school_db () =
+  let db = Database.create ~name:"school" ~schema:(school_schema ()) in
+  let cs = Database.add db ~cls:"Department" [ Value.Str "CS" ] in
+  let ee = Database.add db ~cls:"Department" [ Value.Str "EE" ] in
+  let kelly =
+    Database.add db ~cls:"Teacher"
+      [ Value.Str "Kelly"; Value.Ref (Dbobject.loid cs); Value.Str "database" ]
+  in
+  let haley =
+    Database.add db ~cls:"Teacher"
+      [ Value.Str "Haley"; Value.Ref (Dbobject.loid ee); Value.Null ]
+  in
+  let john =
+    Database.add db ~cls:"Student"
+      [ Value.Str "John"; Value.Int 31; Value.Ref (Dbobject.loid kelly) ]
+  in
+  let tony =
+    Database.add db ~cls:"Student"
+      [ Value.Str "Tony"; Value.Int 28; Value.Ref (Dbobject.loid haley) ]
+  in
+  let mary =
+    Database.add db ~cls:"Student"
+      [ Value.Str "Mary"; Value.Null; Value.Ref (Dbobject.loid kelly) ]
+  in
+  (db, `Depts (cs, ee), `Teachers (kelly, haley), `Students (john, tony, mary))
+
+let pred path op operand =
+  Predicate.make ~path:(Path.of_string path) ~op ~operand

@@ -1,0 +1,50 @@
+(* Test runner: every test_*.ml module exposes a [suite]. *)
+
+let () =
+  Alcotest.run "msdq"
+    [
+      ("simkit.time", Test_time.suite);
+      ("simkit.heap", Test_heap.suite);
+      ("simkit.engine", Test_engine.suite);
+      ("simkit.gantt", Test_gantt.suite);
+      ("simkit.engine_props", Test_engine_props.suite);
+      ("exec.heterogeneous", Test_heterogeneous.suite);
+      ("odb.truth", Test_truth.suite);
+      ("odb.value", Test_value.suite);
+      ("odb.schema", Test_schema.suite);
+      ("odb.database", Test_database.suite);
+      ("odb.path", Test_path.suite);
+      ("odb.predicate", Test_predicate.suite);
+      ("odb.signature", Test_signature.suite);
+      ("fed.global_schema", Test_global_schema.suite);
+      ("fed.goid_table", Test_goid_table.suite);
+      ("fed.materialize", Test_materialize.suite);
+      ("fed.global_eval", Test_global_eval.suite);
+      ("fed.loader", Test_loader.suite);
+      ("query.cond", Test_cond.suite);
+      ("query.parser", Test_parser.suite);
+      ("query.parser_fuzz", Test_parser_fuzz.suite);
+      ("query.analysis", Test_analysis.suite);
+      ("query.localize", Test_localize.suite);
+      ("query.answer", Test_answer.suite);
+      ("exec.local_eval", Test_local_eval.suite);
+      ("exec.checks", Test_checks.suite);
+      ("exec.certify", Test_certify.suite);
+      ("exec.strategies", Test_strategies.suite);
+      ("exec.probabilistic", Test_probabilistic.suite);
+      ("exec.multivalued", Test_multivalued.suite);
+      ("exec.inconsistent", Test_inconsistent.suite);
+      ("exec.projection_merge", Test_projection_merge.suite);
+      ("exec.concurrent", Test_concurrent.suite);
+      ("exec.phase_order", Test_phase_order.suite);
+      ("exec.cf", Test_cf.suite);
+      ("exec.wire", Test_wire.suite);
+      ("exec.probe_deep", Test_probe_deep.suite);
+      ("workload.rng", Test_rng.suite);
+      ("workload.params", Test_params.suite);
+      ("workload.synth", Test_synth.suite);
+      ("exec.equivalence", Test_equivalence.suite);
+      ("exp.param_sim", Test_param_sim.suite);
+      ("exp.figures", Test_figures.suite);
+      ("exp.planner", Test_planner.suite);
+    ]

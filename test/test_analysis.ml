@@ -1,0 +1,97 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+
+let ex = lazy (Paper_example.build ())
+
+let gschema () =
+  Global_schema.schema (Federation.global_schema (Lazy.force ex).Paper_example.federation)
+
+let analyze src = Analysis.analyze (gschema ()) (Parser.parse src)
+
+let test_q1 () =
+  let a = analyze Paper_example.q1 in
+  Alcotest.(check string) "range" "Student" a.Analysis.range_class;
+  (* Teacher precedes Address: the advisor.name target is analyzed before
+     the where clause. *)
+  Alcotest.(check (list string)) "involved classes"
+    [ "Student"; "Teacher"; "Address"; "Department" ]
+    a.Analysis.classes_involved;
+  Alcotest.(check (list string)) "branch classes"
+    [ "Teacher"; "Address"; "Department" ]
+    (Analysis.branch_classes a);
+  Alcotest.(check int) "three atoms" 3 (List.length a.Analysis.atoms);
+  Alcotest.(check int) "two targets" 2 (List.length a.Analysis.targets)
+
+let test_predicates_on_class () =
+  let a = analyze Paper_example.q1 in
+  Alcotest.(check int) "one predicate lands on Address" 1
+    (List.length (Analysis.predicates_on_class a "Address"));
+  Alcotest.(check int) "one on Teacher (speciality)" 1
+    (List.length (Analysis.predicates_on_class a "Teacher"));
+  Alcotest.(check int) "one on Department" 1
+    (List.length (Analysis.predicates_on_class a "Department"));
+  Alcotest.(check int) "none directly on Student" 0
+    (List.length (Analysis.predicates_on_class a "Student"))
+
+let expect_error src fragment =
+  match analyze src with
+  | exception Analysis.Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mentions %S in %S" fragment msg)
+      true
+      (Testutil.contains ~needle:fragment msg)
+  | _ -> Alcotest.fail ("should not analyze: " ^ src)
+
+let test_validation_errors () =
+  expect_error "select X.name from Course X" "unknown range class";
+  expect_error "select X.nickname from Student X" "no attribute";
+  expect_error "select X.advisor from Student X" "complex";
+  expect_error "select X.name from Student X where X.advisor = 1" "complex";
+  expect_error "select X.name from Student X where X.age = \"old\"" "inhabit";
+  expect_error "select X.name from Student X where X.name.length = 1" "primitive";
+  expect_error "select X.name from Student X where X.advisor.missing = 1" "no attribute"
+
+(* Analysis accepts queries whose attributes exist globally even when some
+   constituent misses them: global validity is about the union schema. *)
+let test_union_visibility () =
+  let a =
+    analyze "select X.name from Student X where X.age > 30 and X.address.city = \"Taipei\""
+  in
+  Alcotest.(check int) "two atoms" 2 (List.length a.Analysis.atoms)
+
+let test_disjunctive_analysis () =
+  let a =
+    analyze
+      "select X.name from Student X where X.age > 30 or not X.sex = \"male\""
+  in
+  Alcotest.(check int) "atoms under or/not" 2 (List.length a.Analysis.atoms);
+  Alcotest.(check bool) "not conjunctive" false
+    (Cond.is_conjunctive a.Analysis.query.Ast.where)
+
+let test_bool_ordering_rejected () =
+  let schema =
+    Schema.create
+      [
+        Schema.
+          {
+            cname = "C";
+            attrs = [ { aname = "flag"; atype = Prim P_bool } ];
+          };
+      ]
+  in
+  match
+    Analysis.analyze schema (Parser.parse "select X.flag from C X where X.flag < true")
+  with
+  | exception Analysis.Error _ -> ()
+  | _ -> Alcotest.fail "ordered comparison on bool should be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "analyze Q1" `Quick test_q1;
+    Alcotest.test_case "predicates per class" `Quick test_predicates_on_class;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "union visibility" `Quick test_union_visibility;
+    Alcotest.test_case "disjunctive queries analyzable" `Quick test_disjunctive_analysis;
+    Alcotest.test_case "bool ordering rejected" `Quick test_bool_ordering_rejected;
+  ]

@@ -1,0 +1,90 @@
+open Msdq_odb
+open Msdq_query
+
+let g = Oid.Goid.of_int
+
+let row goid status values =
+  { Answer.goid = g goid; values; status }
+
+let targets = [ [ "name" ] ]
+
+let test_basic () =
+  let a =
+    Answer.make ~targets
+      [
+        row 2 Answer.Maybe [ Value.Str "Tony" ];
+        row 1 Answer.Certain [ Value.Str "Hedy" ];
+      ]
+  in
+  Alcotest.(check int) "size" 2 (Answer.size a);
+  Alcotest.(check int) "certain" 1 (List.length (Answer.certain a));
+  Alcotest.(check int) "maybe" 1 (List.length (Answer.maybe a));
+  (match Answer.rows a with
+  | [ r1; r2 ] ->
+    Alcotest.(check bool) "sorted by goid" true
+      (Oid.Goid.compare r1.Answer.goid r2.Answer.goid < 0)
+  | _ -> Alcotest.fail "two rows");
+  Alcotest.(check bool) "status lookup" true
+    (Answer.status_of a (g 1) = Some Answer.Certain);
+  Alcotest.(check bool) "missing lookup" true (Answer.status_of a (g 9) = None);
+  (match Answer.find a (g 2) with
+  | Some r -> Alcotest.(check bool) "find" true (r.Answer.status = Answer.Maybe)
+  | None -> Alcotest.fail "find failed")
+
+let test_duplicate_rejected () =
+  Alcotest.(check bool) "duplicate goid" true
+    (try
+       ignore
+         (Answer.make ~targets [ row 1 Answer.Certain []; row 1 Answer.Maybe [] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_same_statuses () =
+  let a = Answer.make ~targets [ row 1 Answer.Certain []; row 2 Answer.Maybe [] ] in
+  let b = Answer.make ~targets [ row 2 Answer.Maybe [ Value.Int 1 ]; row 1 Answer.Certain [] ] in
+  let c = Answer.make ~targets [ row 1 Answer.Maybe []; row 2 Answer.Maybe [] ] in
+  Alcotest.(check bool) "values ignored" true (Answer.same_statuses a b);
+  Alcotest.(check bool) "status difference detected" false (Answer.same_statuses a c)
+
+let test_subsumes () =
+  (* strong decides what weak left maybe *)
+  let weak = Answer.make ~targets [ row 1 Answer.Maybe []; row 2 Answer.Certain [] ] in
+  let strong_promotes =
+    Answer.make ~targets [ row 1 Answer.Certain []; row 2 Answer.Certain [] ]
+  in
+  let strong_eliminates = Answer.make ~targets [ row 2 Answer.Certain [] ] in
+  let strong_bad_resurrects =
+    Answer.make ~targets
+      [ row 1 Answer.Maybe []; row 2 Answer.Certain []; row 3 Answer.Certain [] ]
+  in
+  let strong_bad_demotes = Answer.make ~targets [ row 1 Answer.Maybe []; row 2 Answer.Maybe [] ] in
+  Alcotest.(check bool) "promotion ok" true
+    (Answer.subsumes ~strong:strong_promotes ~weak);
+  Alcotest.(check bool) "elimination ok" true
+    (Answer.subsumes ~strong:strong_eliminates ~weak);
+  Alcotest.(check bool) "identity ok" true (Answer.subsumes ~strong:weak ~weak);
+  Alcotest.(check bool) "resurrection rejected" false
+    (Answer.subsumes ~strong:strong_bad_resurrects ~weak);
+  Alcotest.(check bool) "demotion rejected" false
+    (Answer.subsumes ~strong:strong_bad_demotes ~weak)
+
+let test_pp () =
+  let a =
+    Answer.make ~targets
+      [ row 1 Answer.Certain [ Value.Str "Hedy" ]; row 2 Answer.Maybe [ Value.Null ] ]
+  in
+  let text = Format.asprintf "%a" Answer.pp a in
+  Alcotest.(check bool) "mentions certain" true
+    (Testutil.contains ~needle:"certain results (1)" text);
+  Alcotest.(check bool) "mentions maybe" true
+    (Testutil.contains ~needle:"maybe results (1)" text);
+  Alcotest.(check bool) "mentions value" true (Testutil.contains ~needle:"Hedy" text)
+
+let suite =
+  [
+    Alcotest.test_case "basic accessors" `Quick test_basic;
+    Alcotest.test_case "duplicate goids rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "status comparison" `Quick test_same_statuses;
+    Alcotest.test_case "subsumption" `Quick test_subsumes;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

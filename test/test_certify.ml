@@ -1,0 +1,95 @@
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  (ex, fed, analysis)
+
+let full_localized fed analysis =
+  let results =
+    List.map (fun db -> Local_eval.run fed analysis ~db) [ "DB1"; "DB2" ]
+  in
+  let built =
+    List.map2
+      (fun db (r : Local_result.t) ->
+        Checks.build fed analysis ~db ~root_class:"Student"
+          ~items:
+            (List.concat_map
+               (fun (row : Local_result.row) -> row.Local_result.unsolved)
+               r.Local_result.rows))
+      [ "DB1"; "DB2" ] results
+  in
+  let requests = List.concat_map (fun b -> b.Checks.requests) built in
+  let by_target db =
+    List.filter (fun (r : Checks.request) -> r.Checks.target_db = db) requests
+  in
+  let verdicts =
+    List.concat_map
+      (fun db -> (Checks.serve fed ~db (by_target db)).Checks.verdicts)
+      [ "DB1"; "DB2"; "DB3" ]
+  in
+  Certify.run fed analysis ~results ~verdicts
+
+(* The end of the paper's Section 2.3 walk: certain (Hedy, Kelly), maybe
+   (Tony, Haley); John eliminated through his absent isomer, Mary through
+   the violated department check. *)
+let test_paper_outcome () =
+  let _, fed, analysis = setup () in
+  let out = full_localized fed analysis in
+  let answer = out.Certify.answer in
+  (match Answer.certain answer with
+  | [ row ] ->
+    Alcotest.(check (list string)) "certain (Hedy, Kelly)" [ "Hedy"; "Kelly" ]
+      (List.map Msdq_odb.Value.to_string row.Answer.values)
+  | rows -> Alcotest.fail (Printf.sprintf "%d certain rows" (List.length rows)));
+  (match Answer.maybe answer with
+  | [ row ] ->
+    Alcotest.(check (list string)) "maybe (Tony, Haley)" [ "Tony"; "Haley" ]
+      (List.map Msdq_odb.Value.to_string row.Answer.values)
+  | rows -> Alcotest.fail (Printf.sprintf "%d maybe rows" (List.length rows)));
+  Alcotest.(check int) "John and Mary eliminated at the global site" 2
+    out.Certify.eliminated;
+  Alcotest.(check int) "Hedy promoted to certain" 1 out.Certify.promoted;
+  Alcotest.(check int) "no conflicts" 0 out.Certify.conflicts
+
+(* Without any verdicts, Hedy stays maybe (her department check is pending)
+   and Mary survives as maybe; John is still eliminated by his missing
+   isomer in R2. *)
+let test_without_verdicts () =
+  let _, fed, analysis = setup () in
+  let results =
+    List.map (fun db -> Local_eval.run fed analysis ~db) [ "DB1"; "DB2" ]
+  in
+  let out = Certify.run fed analysis ~results ~verdicts:[] in
+  let answer = out.Certify.answer in
+  Alcotest.(check int) "no certain rows" 0 (List.length (Answer.certain answer));
+  Alcotest.(check int) "three maybes (Tony, Mary, Hedy)" 3
+    (List.length (Answer.maybe answer));
+  Alcotest.(check int) "only John eliminated" 1 out.Certify.eliminated
+
+(* Certification with a single database's results: cross-db elimination
+   cannot happen, so John survives as maybe. *)
+let test_single_db () =
+  let _, fed, analysis = setup () in
+  let results = [ Local_eval.run fed analysis ~db:"DB1" ] in
+  let out = Certify.run fed analysis ~results ~verdicts:[] in
+  Alcotest.(check int) "all three maybes" 3 (List.length (Answer.rows out.Certify.answer));
+  Alcotest.(check int) "nothing eliminated" 0 out.Certify.eliminated
+
+let test_work_counted () =
+  let _, fed, analysis = setup () in
+  let out = full_localized fed analysis in
+  Alcotest.(check bool) "accesses counted" true
+    (out.Certify.work.Msdq_odb.Meter.accesses > 0)
+
+let suite =
+  [
+    Alcotest.test_case "paper outcome (fig 7c/7d)" `Quick test_paper_outcome;
+    Alcotest.test_case "without verdicts" `Quick test_without_verdicts;
+    Alcotest.test_case "single database" `Quick test_single_db;
+    Alcotest.test_case "work counted" `Quick test_work_counted;
+  ]

@@ -1,0 +1,80 @@
+(* CF — semijoin-filtered centralized (extension): CA's answers with
+   localized pre-filtering of what gets shipped. *)
+
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+
+let paper_case () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  (fed, Analysis.analyze schema (Parser.parse Paper_example.q1))
+
+let test_q1 () =
+  let fed, analysis = paper_case () in
+  let ca, m_ca = Strategy.run Strategy.Ca fed analysis in
+  let cf, m_cf = Strategy.run Strategy.Cf fed analysis in
+  Alcotest.(check bool) "same answer as CA" true (Answer.same_statuses ca cf);
+  Alcotest.(check bool) "ships fewer bytes than CA" true
+    (m_cf.Strategy.bytes_shipped < m_ca.Strategy.bytes_shipped);
+  Alcotest.(check bool) "more messages (extra round trips)" true
+    (m_cf.Strategy.messages > m_ca.Strategy.messages);
+  Alcotest.(check int) "no checks" 0 m_cf.Strategy.check_requests;
+  Alcotest.(check bool) "response <= total" true
+    (Time.compare m_cf.Strategy.response m_cf.Strategy.total <= 0)
+
+(* CF's round-1 goid exchange shows in the breakdown. *)
+let test_breakdown () =
+  let fed, analysis = paper_case () in
+  let _, m = Strategy.run Strategy.Cf fed analysis in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) ("has " ^ label) true
+        (List.exists (fun (l, _, _) -> String.equal l label) m.Strategy.breakdown))
+    [ "local-filter"; "ship-goids"; "intersect"; "ship-candidates";
+      "read-candidates"; "integrate"; "global-eval" ]
+
+(* Property: CF always equals CA on consistent federations. *)
+let prop_cf_equals_ca =
+  QCheck.Test.make ~name:"CF equals CA on random federations" ~count:30
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let cfg = { Synth.default with Synth.seed } in
+      let fed = Synth.generate cfg in
+      let rng = Rng.create ~seed in
+      let query = Synth.random_query rng cfg ~disjunctive:(seed mod 2 = 0) in
+      let schema = Global_schema.schema (Federation.global_schema fed) in
+      match Analysis.analyze schema query with
+      | exception Analysis.Error _ -> true
+      | analysis ->
+        let ca, _ = Strategy.run Strategy.Ca fed analysis in
+        let cf, _ = Strategy.run Strategy.Cf fed analysis in
+        Answer.same_statuses ca cf)
+
+(* The trade-off: at low selectivity CF ships much less than CA; the
+   parametric model shows the same. *)
+let test_selectivity_tradeoff () =
+  let cost = Cost.default in
+  let ranges = { Params.default with Params.n_o = (1000, 2000) } in
+  let run strategy sel =
+    Msdq_exp.Param_sim.average
+      ~overrides:{ Msdq_exp.Param_sim.root_local_selectivity = Some sel }
+      ~cost ~samples:60 ~seed:9 ~ranges strategy
+  in
+  let ca_low = run Strategy.Ca 0.1 and cf_low = run Strategy.Cf 0.1 in
+  Alcotest.(check bool) "CF beats CA at low selectivity" true
+    (Time.compare cf_low.Msdq_exp.Param_sim.total ca_low.Msdq_exp.Param_sim.total < 0);
+  let cf_high = run Strategy.Cf 0.9 in
+  Alcotest.(check bool) "CF grows with selectivity" true
+    (Time.compare cf_low.Msdq_exp.Param_sim.total cf_high.Msdq_exp.Param_sim.total < 0)
+
+let suite =
+  [
+    Alcotest.test_case "Q1 answers and metrics" `Quick test_q1;
+    Alcotest.test_case "cost breakdown" `Quick test_breakdown;
+    QCheck_alcotest.to_alcotest prop_cf_equals_ca;
+    Alcotest.test_case "selectivity trade-off" `Quick test_selectivity_tradeoff;
+  ]

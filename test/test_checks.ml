@@ -1,0 +1,158 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  (ex, fed, analysis)
+
+let items_of fed analysis db =
+  let r = Local_eval.run fed analysis ~db in
+  List.concat_map
+    (fun (row : Local_result.row) -> row.Local_result.unsolved)
+    r.Local_result.rows
+
+(* The paper's walk: from DB1, assistant t2' (Jeffery@DB2) is checked for
+   speciality, and t1'' (Abel@DB3) for the department of t2. Haley (t3) has
+   no assistants. Root-level address blocks produce no requests. *)
+let test_db1_requests () =
+  let ex, fed, analysis = setup () in
+  let built =
+    Checks.build fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB1")
+  in
+  Alcotest.(check int) "root-level blocks (addresses of John/Tony/Mary)" 3
+    built.Checks.root_level;
+  Alcotest.(check int) "two requests" 2 (List.length built.Checks.requests);
+  (* LOids are database-local, so requests are identified by (target db,
+     LOid). *)
+  let find_req target assistant =
+    List.find_opt
+      (fun (r : Checks.request) ->
+        String.equal r.Checks.target_db target
+        && Oid.Loid.equal r.Checks.assistant (Dbobject.loid assistant))
+      built.Checks.requests
+  in
+  (match find_req "DB2" ex.Paper_example.t2' with
+  | Some r ->
+    Alcotest.(check string) "t2' checked in DB2" "DB2" r.Checks.target_db;
+    Alcotest.(check string) "speciality predicate"
+      "speciality = \"database\""
+      (Predicate.to_string r.Checks.pred);
+    Alcotest.(check bool) "origin item is t1" true
+      (Oid.Loid.equal r.Checks.item (Dbobject.loid ex.Paper_example.t1))
+  | None -> Alcotest.fail "expected a check on t2'@DB2");
+  (match find_req "DB3" ex.Paper_example.t1'' with
+  | Some r ->
+    Alcotest.(check string) "t1'' checked in DB3" "DB3" r.Checks.target_db;
+    Alcotest.(check string) "department predicate"
+      "department.name = \"CS\""
+      (Predicate.to_string r.Checks.pred)
+  | None -> Alcotest.fail "expected a check on t1''@DB3");
+  Alcotest.(check bool) "goid lookups counted" true (built.Checks.goid_lookups > 0)
+
+(* Shared unsolved items are checked once: both John and Tony block on
+   speciality, but through different teachers; Mary and John share no item.
+   Two students with the same advisor produce one request. *)
+let test_dedup () =
+  let _, fed, analysis = setup () in
+  let items = items_of fed analysis "DB1" in
+  (* duplicate the item list: requests must not double *)
+  let built =
+    Checks.build fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items @ items)
+  in
+  Alcotest.(check int) "still two requests" 2 (List.length built.Checks.requests)
+
+(* Serving the paper's checks: t2' (Jeffery, network) violates speciality =
+   database; t1'' (Abel, EE) violates department.name = CS. *)
+let test_serve () =
+  let ex, fed, analysis = setup () in
+  let built =
+    Checks.build fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB1")
+  in
+  let db2_reqs =
+    List.filter (fun (r : Checks.request) -> r.Checks.target_db = "DB2")
+      built.Checks.requests
+  in
+  let served = Checks.serve fed ~db:"DB2" db2_reqs in
+  (match served.Checks.verdicts with
+  | [ v ] ->
+    Alcotest.(check bool) "t2' violates" true (Truth.equal v.Checks.truth Truth.False);
+    Alcotest.(check bool) "tagged with origin item t1" true
+      (Oid.Loid.equal v.Checks.item (Dbobject.loid ex.Paper_example.t1))
+  | _ -> Alcotest.fail "one verdict expected");
+  let db3_reqs =
+    List.filter (fun (r : Checks.request) -> r.Checks.target_db = "DB3")
+      built.Checks.requests
+  in
+  let served3 = Checks.serve fed ~db:"DB3" db3_reqs in
+  (match served3.Checks.verdicts with
+  | [ v ] ->
+    Alcotest.(check bool) "t1'' violates (EE, not CS)" true
+      (Truth.equal v.Checks.truth Truth.False)
+  | _ -> Alcotest.fail "one verdict expected");
+  Alcotest.(check int) "objects read" 1 served3.Checks.objects_read
+
+(* From DB2, Kelly's department is checked through t2''@DB3, which satisfies
+   (CS). *)
+let test_db2_satisfying_check () =
+  let ex, fed, analysis = setup () in
+  let built =
+    Checks.build fed analysis ~db:"DB2" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB2")
+  in
+  Alcotest.(check int) "one request" 1 (List.length built.Checks.requests);
+  let served = Checks.serve fed ~db:"DB3" built.Checks.requests in
+  match served.Checks.verdicts with
+  | [ v ] ->
+    Alcotest.(check bool) "t2'' satisfies CS" true
+      (Truth.equal v.Checks.truth Truth.True);
+    Alcotest.(check bool) "origin is t1' (Kelly@DB2)" true
+      (Oid.Loid.equal v.Checks.item (Dbobject.loid ex.Paper_example.t1'))
+  | _ -> Alcotest.fail "one verdict expected"
+
+(* Signature filtering: the speciality check on t2' (Jeffery, network) is a
+   one-step equality and the signature refutes it locally. The department
+   check is a two-step path and cannot be filtered. *)
+let test_signature_filtering () =
+  let _, fed, analysis = setup () in
+  let signatures = Sig_catalog.build fed in
+  let built =
+    Checks.build ~signatures fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB1")
+  in
+  Alcotest.(check int) "one filtered" 1 built.Checks.filtered;
+  Alcotest.(check int) "one request left" 1 (List.length built.Checks.requests);
+  match built.Checks.local_verdicts with
+  | [ v ] ->
+    Alcotest.(check bool) "local verdict is false" true
+      (Truth.equal v.Checks.truth Truth.False)
+  | _ -> Alcotest.fail "one local verdict expected"
+
+let test_serve_wrong_db_rejected () =
+  let _, fed, analysis = setup () in
+  let built =
+    Checks.build fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB1")
+  in
+  Alcotest.(check bool) "serving at wrong site rejected" true
+    (try
+       ignore (Checks.serve fed ~db:"DB1" built.Checks.requests);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "DB1 requests (paper walk)" `Quick test_db1_requests;
+    Alcotest.test_case "request deduplication" `Quick test_dedup;
+    Alcotest.test_case "serving checks" `Quick test_serve;
+    Alcotest.test_case "satisfying check from DB2" `Quick test_db2_satisfying_check;
+    Alcotest.test_case "signature filtering" `Quick test_signature_filtering;
+    Alcotest.test_case "wrong-site serve rejected" `Quick test_serve_wrong_db_rejected;
+  ]

@@ -1,0 +1,111 @@
+(* Multi-query workloads sharing one simulated system (extension). *)
+
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analyze src = Analysis.analyze schema (Parser.parse src) in
+  (fed, analyze)
+
+let q1 = Paper_example.q1
+let q2 = "select X.name from Student X where X.age > 25"
+
+(* One query alone behaves exactly like Strategy.run. *)
+let test_single_job_equals_run () =
+  let fed, analyze = setup () in
+  let analysis = analyze q1 in
+  let solo_answer, solo = Strategy.run Strategy.Bl fed analysis in
+  let out = Strategy.run_concurrent fed [ (Strategy.Bl, analysis, Time.zero) ] in
+  match out.Strategy.queries with
+  | [ q ] ->
+    Alcotest.(check bool) "same answer" true
+      (Answer.same_statuses solo_answer q.Strategy.q_answer);
+    Alcotest.(check (float 1e-6)) "same latency"
+      (Time.to_us solo.Strategy.response)
+      (Time.to_us q.Strategy.completed);
+    Alcotest.(check (float 1e-6)) "same total"
+      (Time.to_us solo.Strategy.total)
+      (Time.to_us out.Strategy.combined_total)
+  | _ -> Alcotest.fail "one query expected"
+
+(* Two simultaneous queries interfere: each one's latency is at least its
+   solo latency, and combined work is the sum of solo works. *)
+let test_interference () =
+  let fed, analyze = setup () in
+  let a1 = analyze q1 and a2 = analyze q2 in
+  let _, solo1 = Strategy.run Strategy.Bl fed a1 in
+  let _, solo2 = Strategy.run Strategy.Bl fed a2 in
+  let out =
+    Strategy.run_concurrent fed
+      [ (Strategy.Bl, a1, Time.zero); (Strategy.Bl, a2, Time.zero) ]
+  in
+  (match out.Strategy.queries with
+  | [ x1; x2 ] ->
+    Alcotest.(check bool) "q1 at least solo latency" true
+      (Time.to_us x1.Strategy.completed +. 1e-9 >= Time.to_us solo1.Strategy.response);
+    Alcotest.(check bool) "q2 at least solo latency" true
+      (Time.to_us x2.Strategy.completed +. 1e-9 >= Time.to_us solo2.Strategy.response);
+    Alcotest.(check bool) "someone actually waited" true
+      (Time.to_us x1.Strategy.completed > Time.to_us solo1.Strategy.response
+      || Time.to_us x2.Strategy.completed > Time.to_us solo2.Strategy.response)
+  | _ -> Alcotest.fail "two queries expected");
+  Alcotest.(check (float 1e-6)) "work adds up"
+    (Time.to_us solo1.Strategy.total +. Time.to_us solo2.Strategy.total)
+    (Time.to_us out.Strategy.combined_total);
+  Alcotest.(check bool) "makespan below serial execution" true
+    (Time.to_us out.Strategy.combined_makespan
+    <= Time.to_us solo1.Strategy.response +. Time.to_us solo2.Strategy.response +. 1e-6)
+
+(* Arrival staggering: a query arriving after the first one finished sees no
+   interference at all. *)
+let test_staggered_arrivals () =
+  let fed, analyze = setup () in
+  let a1 = analyze q1 and a2 = analyze q2 in
+  let _, solo1 = Strategy.run Strategy.Bl fed a1 in
+  let _, solo2 = Strategy.run Strategy.Bl fed a2 in
+  let late = Time.add solo1.Strategy.response (Time.us 10.0) in
+  let out =
+    Strategy.run_concurrent fed
+      [ (Strategy.Bl, a1, Time.zero); (Strategy.Bl, a2, late) ]
+  in
+  match out.Strategy.queries with
+  | [ x1; x2 ] ->
+    Alcotest.(check (float 1e-6)) "first query undisturbed"
+      (Time.to_us solo1.Strategy.response)
+      (Time.to_us x1.Strategy.completed);
+    Alcotest.(check (float 1e-6)) "second query undisturbed after its arrival"
+      (Time.to_us solo2.Strategy.response)
+      (Time.to_us x2.Strategy.completed -. Time.to_us x2.Strategy.started)
+  | _ -> Alcotest.fail "two queries expected"
+
+(* Mixed strategies in one system work and keep their answers. *)
+let test_mixed_strategies () =
+  let fed, analyze = setup () in
+  let a1 = analyze q1 in
+  let out =
+    Strategy.run_concurrent fed
+      [
+        (Strategy.Ca, a1, Time.zero);
+        (Strategy.Bl, a1, Time.zero);
+        (Strategy.Pl, a1, Time.zero);
+      ]
+  in
+  match out.Strategy.queries with
+  | [ ca; bl; pl ] ->
+    Alcotest.(check bool) "all agree on Q1" true
+      (Answer.same_statuses ca.Strategy.q_answer bl.Strategy.q_answer
+      && Answer.same_statuses bl.Strategy.q_answer pl.Strategy.q_answer)
+  | _ -> Alcotest.fail "three queries expected"
+
+let suite =
+  [
+    Alcotest.test_case "single job equals run" `Quick test_single_job_equals_run;
+    Alcotest.test_case "interference" `Quick test_interference;
+    Alcotest.test_case "staggered arrivals" `Quick test_staggered_arrivals;
+    Alcotest.test_case "mixed strategies" `Quick test_mixed_strategies;
+  ]

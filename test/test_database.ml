@@ -1,0 +1,91 @@
+open Msdq_odb
+
+let test_add_and_get () =
+  let db, _, `Teachers (kelly, _), `Students (john, _, _) = Fixtures.school_db () in
+  Alcotest.(check int) "cardinality" 7 (Database.cardinality db);
+  Alcotest.(check int) "students" 3 (Database.extent_size db "Student");
+  (match Database.get db (Dbobject.loid john) with
+  | Some o -> Alcotest.(check string) "class" "Student" (Dbobject.cls o)
+  | None -> Alcotest.fail "john should exist");
+  (match Database.field_by_name db john "name" with
+  | Some (Value.Str n) -> Alcotest.(check string) "name" "John" n
+  | _ -> Alcotest.fail "name should be a string");
+  Alcotest.(check bool) "missing attribute lookup" true
+    (Database.field_by_name db kelly "salary" = None)
+
+let test_extent_order () =
+  let db, _, _, `Students (john, tony, mary) = Fixtures.school_db () in
+  let names =
+    List.map
+      (fun o ->
+        match Database.field_by_name db o "name" with
+        | Some (Value.Str s) -> s
+        | _ -> "?")
+      (Database.extent db "Student")
+  in
+  Alcotest.(check (list string)) "insertion order" [ "John"; "Tony"; "Mary" ] names;
+  Alcotest.(check bool) "loids distinct" true
+    (not (Oid.Loid.equal (Dbobject.loid john) (Dbobject.loid tony))
+    && not (Oid.Loid.equal (Dbobject.loid tony) (Dbobject.loid mary)))
+
+let test_deref () =
+  let db, _, `Teachers (kelly, _), `Students (john, _, _) = Fixtures.school_db () in
+  (match Database.field_by_name db john "advisor" with
+  | Some (Value.Ref _ as r) -> (
+    match Database.deref db r with
+    | Some t ->
+      Alcotest.(check bool) "advisor is kelly" true
+        (Oid.Loid.equal (Dbobject.loid t) (Dbobject.loid kelly))
+    | None -> Alcotest.fail "deref failed")
+  | _ -> Alcotest.fail "advisor should be a ref");
+  Alcotest.(check bool) "deref of primitive" true
+    (Database.deref db (Value.Int 3) = None);
+  Alcotest.(check bool) "deref of null" true (Database.deref db Value.Null = None)
+
+let expect_integrity name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Database.Integrity_error _ -> true)
+
+let test_integrity () =
+  let db, _, _, _ = Fixtures.school_db () in
+  expect_integrity "unknown class" (fun () ->
+      Database.add db ~cls:"Course" [ Value.Str "x" ]);
+  expect_integrity "arity mismatch" (fun () ->
+      Database.add db ~cls:"Department" [ Value.Str "x"; Value.Int 1 ]);
+  expect_integrity "type mismatch" (fun () ->
+      Database.add db ~cls:"Department" [ Value.Int 3 ]);
+  expect_integrity "dangling reference" (fun () ->
+      Database.add db ~cls:"Student"
+        [ Value.Str "Z"; Value.Int 1; Value.Ref (Oid.Loid.of_int 999) ]);
+  expect_integrity "wrong domain class" (fun () ->
+      let dept = List.hd (Database.extent db "Department") in
+      Database.add db ~cls:"Student"
+        [ Value.Str "Z"; Value.Int 1; Value.Ref (Dbobject.loid dept) ]);
+  expect_integrity "get_exn missing" (fun () ->
+      Database.get_exn db (Oid.Loid.of_int 999));
+  expect_integrity "unknown extent" (fun () -> Database.extent db "Course")
+
+let test_nulls_allowed () =
+  let db, _, _, `Students (_, _, mary) = Fixtures.school_db () in
+  (match Database.field_by_name db mary "age" with
+  | Some Value.Null -> ()
+  | _ -> Alcotest.fail "mary's age should be null");
+  Alcotest.(check bool) "has_null" true (Dbobject.has_null mary)
+
+let test_pp () =
+  let db, _, _, _ = Fixtures.school_db () in
+  let text = Format.asprintf "%a" Database.pp db in
+  Alcotest.(check bool) "pp non-empty" true (String.length text > 10)
+
+let suite =
+  [
+    Alcotest.test_case "add and get" `Quick test_add_and_get;
+    Alcotest.test_case "extent order" `Quick test_extent_order;
+    Alcotest.test_case "dereference" `Quick test_deref;
+    Alcotest.test_case "integrity checks" `Quick test_integrity;
+    Alcotest.test_case "nulls allowed" `Quick test_nulls_allowed;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,116 @@
+(* Property tests of the discrete-event engine over random task DAGs.
+
+   The submission API only allows dependencies on already-created tasks, so
+   every graph is a DAG by construction and [run] always terminates. *)
+
+open Msdq_simkit
+
+(* A random DAG spec: per task, a site, a duration, and dependency edges to
+   strictly earlier tasks. *)
+let gen_dag =
+  QCheck.Gen.(
+    let* n = 1 -- 25 in
+    let* specs =
+      flatten_l
+        (List.init n (fun i ->
+             let* site = 0 -- 3 in
+             let* kind = oneofl Resource.[ Cpu; Disk ] in
+             let* duration = float_bound_inclusive 20.0 in
+             let* deps =
+               if i = 0 then return []
+               else
+                 let* k = 0 -- min 3 i in
+                 list_repeat k (0 -- (i - 1))
+             in
+             return (site, kind, duration, deps)))
+    in
+    return specs)
+
+let build specs =
+  let e = Engine.create () in
+  let handles = Array.make (List.length specs) None in
+  List.iteri
+    (fun i (site, kind, duration, deps) ->
+      let deps =
+        List.filter_map (fun j -> handles.(j)) (List.sort_uniq compare deps)
+      in
+      let h =
+        Engine.task e ~deps ~site ~kind ~label:(Printf.sprintf "t%d" i)
+          ~duration ()
+      in
+      handles.(i) <- Some h)
+    specs;
+  Engine.run e;
+  (e, handles)
+
+let arbitrary_dag = QCheck.make gen_dag
+
+(* Critical path through the dependency edges alone is a lower bound on the
+   makespan (resource contention can only add). *)
+let prop_critical_path =
+  QCheck.Test.make ~name:"makespan >= dependency critical path" ~count:200
+    arbitrary_dag
+    (fun specs ->
+      let e, _ = build specs in
+      let n = List.length specs in
+      let cp = Array.make n 0.0 in
+      List.iteri
+        (fun i (_, _, duration, deps) ->
+          let start =
+            List.fold_left (fun acc j -> Float.max acc cp.(j)) 0.0 deps
+          in
+          cp.(i) <- start +. duration)
+        specs;
+      let bound = Array.fold_left Float.max 0.0 cp in
+      Time.to_us (Stats.makespan (Engine.stats e)) +. 1e-6 >= bound)
+
+(* Work conservation: total busy time equals the sum of durations. *)
+let prop_work_conservation =
+  QCheck.Test.make ~name:"total busy time = sum of durations" ~count:200
+    arbitrary_dag
+    (fun specs ->
+      let e, _ = build specs in
+      let expect = List.fold_left (fun acc (_, _, d, _) -> acc +. d) 0.0 specs in
+      Float.abs (Time.to_us (Stats.total_busy (Engine.stats e)) -. expect) < 1e-6)
+
+(* Tasks never start before their dependencies finish, and never overlap on
+   the same resource: finish - duration >= every dep's finish. *)
+let prop_dependencies_respected =
+  QCheck.Test.make ~name:"tasks start after their dependencies" ~count:200
+    arbitrary_dag
+    (fun specs ->
+      let e, handles = build specs in
+      List.for_all
+        (fun i ->
+          let _, _, duration, deps = List.nth specs i in
+          match handles.(i) with
+          | None -> false
+          | Some h ->
+            let start = Time.to_us (Engine.finish_time e h) -. duration in
+            List.for_all
+              (fun j ->
+                match handles.(j) with
+                | None -> false
+                | Some d -> start +. 1e-6 >= Time.to_us (Engine.finish_time e d))
+              deps)
+        (List.init (List.length specs) (fun i -> i)))
+
+(* Makespan is bounded above by the total work (everything serialized). *)
+let prop_makespan_bounds =
+  QCheck.Test.make ~name:"max duration <= makespan <= total work" ~count:200
+    arbitrary_dag
+    (fun specs ->
+      let e, _ = build specs in
+      let m = Time.to_us (Stats.makespan (Engine.stats e)) in
+      let total = List.fold_left (fun acc (_, _, d, _) -> acc +. d) 0.0 specs in
+      let longest = List.fold_left (fun acc (_, _, d, _) -> Float.max acc d) 0.0 specs in
+      m +. 1e-6 >= longest && m <= total +. 1e-6)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_critical_path;
+      prop_work_conservation;
+      prop_dependencies_respected;
+      prop_makespan_bounds;
+    ]

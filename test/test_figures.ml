@@ -1,0 +1,88 @@
+open Msdq_exec
+open Msdq_exp
+
+(* Reduced sample counts keep the suite fast; the bench harness runs the
+   full 500-sample version. *)
+let samples = 120
+let seed = 7
+
+let fig9 = lazy (Figures.fig9 ~samples ~seed ())
+let fig10 = lazy (Figures.fig10 ~samples ~seed ())
+let fig11 = lazy (Figures.fig11 ~samples ~seed ())
+let ablation = lazy (Figures.ablation_signatures ~samples ~seed ())
+let ablation_checks = lazy (Figures.ablation_checks ~samples ~seed ())
+
+let assert_shapes fig =
+  let checks = Shapes.check fig in
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) name true ok)
+    checks
+
+let test_fig9 () = assert_shapes (Lazy.force fig9)
+let test_fig10 () = assert_shapes (Lazy.force fig10)
+let test_fig11 () = assert_shapes (Lazy.force fig11)
+let test_ablation () = assert_shapes (Lazy.force ablation)
+let test_ablation_checks () = assert_shapes (Lazy.force ablation_checks)
+
+let test_structure () =
+  let fig = Lazy.force fig9 in
+  Alcotest.(check int) "three series" 3 (List.length fig.Figures.series);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "totals per point" (Array.length fig.Figures.xs)
+        (Array.length s.Figures.totals);
+      Alcotest.(check int) "responses per point" (Array.length fig.Figures.xs)
+        (Array.length s.Figures.responses))
+    fig.Figures.series;
+  Alcotest.(check bool) "series_of finds CA" true
+    (try
+       ignore (Figures.series_of fig Strategy.Ca);
+       true
+     with Not_found -> false);
+  Alcotest.(check bool) "series_of rejects BLS" true
+    (try
+       ignore (Figures.series_of fig Strategy.Bls);
+       false
+     with Not_found -> true)
+
+let test_report_rendering () =
+  let fig = Lazy.force fig11 in
+  let text = Format.asprintf "%a" Report.pp_figure fig in
+  Alcotest.(check bool) "mentions figure id" true
+    (Testutil.contains ~needle:"fig11" text);
+  Alcotest.(check bool) "mentions CA" true (Testutil.contains ~needle:"CA" text);
+  let checks_text = Format.asprintf "%a" Report.pp_checks (Shapes.check fig) in
+  Alcotest.(check bool) "checks render" true
+    (Testutil.contains ~needle:"[ok]" checks_text);
+  let chart =
+    Format.asprintf "%a"
+      (fun ppf fig -> Report.pp_ascii_chart ppf fig ~metric:`Total)
+      fig
+  in
+  Alcotest.(check bool) "chart renders" true (Testutil.contains ~needle:"#" chart)
+
+let test_csv () =
+  let fig = Lazy.force fig10 in
+  let csv = Report.to_csv fig in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per x"
+    (Array.length fig.Figures.xs + 1)
+    (List.length lines);
+  match lines with
+  | header :: _ ->
+    Alcotest.(check bool) "header names strategies" true
+      (Testutil.contains ~needle:"CA total s" header
+      && Testutil.contains ~needle:"PL response s" header)
+  | [] -> Alcotest.fail "empty csv"
+
+let suite =
+  [
+    Alcotest.test_case "fig9 shapes" `Slow test_fig9;
+    Alcotest.test_case "fig10 shapes" `Slow test_fig10;
+    Alcotest.test_case "fig11 shapes" `Slow test_fig11;
+    Alcotest.test_case "ablation shapes" `Slow test_ablation;
+    Alcotest.test_case "ablation-checks shapes" `Slow test_ablation_checks;
+    Alcotest.test_case "figure structure" `Quick test_structure;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+    Alcotest.test_case "csv rendering" `Quick test_csv;
+  ]

@@ -1,0 +1,63 @@
+open Msdq_simkit
+
+let traced () =
+  let e = Engine.create ~trace:true () in
+  let a = Engine.task e ~site:0 ~kind:Resource.Disk ~label:"read" ~duration:(Time.us 10.0) () in
+  let b = Engine.task e ~site:0 ~kind:Resource.Cpu ~label:"eval" ~duration:(Time.us 5.0) ~deps:[ a ] () in
+  let _ = Engine.transfer e ~src:0 ~dst:1 ~label:"ship" ~duration:(Time.us 8.0) ~deps:[ b ] () in
+  let _ = Engine.fence e ~label:"answer" () in
+  Engine.run e;
+  Engine.trace e
+
+let test_render () =
+  let trace = traced () in
+  let text = Format.asprintf "%a" (Gantt.pp ~width:40) trace in
+  Alcotest.(check bool) "has site0 disk lane" true
+    (Testutil.contains ~needle:"site0 disk" text);
+  Alcotest.(check bool) "has site1 link lane" true
+    (Testutil.contains ~needle:"site1 link" text);
+  Alcotest.(check bool) "ends with makespan" true
+    (Testutil.contains ~needle:"23.0us" text);
+  (* fences never get a lane *)
+  Alcotest.(check bool) "fence omitted" false
+    (Testutil.contains ~needle:"answer" text)
+
+let test_legend () =
+  let trace = traced () in
+  let legend = Format.asprintf "%a" Gantt.pp_legend trace in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) ("legend has " ^ label) true
+        (Testutil.contains ~needle:label legend))
+    [ "read"; "eval"; "ship" ]
+
+let test_lane_occupancy () =
+  let trace = traced () in
+  let text = Format.asprintf "%a" (Gantt.pp ~width:46) trace in
+  (* The disk lane is busy for the first ~10/23 of the width, idle after. *)
+  let disk_line =
+    List.find
+      (fun l -> Testutil.contains ~needle:"site0 disk" l)
+      (String.split_on_char '\n' text)
+  in
+  let busy = ref 0 in
+  String.iter (fun c -> if c = 'a' then incr busy) disk_line;
+  Alcotest.(check bool)
+    (Printf.sprintf "disk busy cells ~ 20 (got %d)" !busy)
+    true
+    (!busy >= 18 && !busy <= 22)
+
+let test_empty_trace () =
+  let e = Engine.create ~trace:true () in
+  Engine.run e;
+  let text = Format.asprintf "%a" (Gantt.pp ~width:20) (Engine.trace e) in
+  Alcotest.(check bool) "empty message" true
+    (Testutil.contains ~needle:"empty trace" text)
+
+let suite =
+  [
+    Alcotest.test_case "render lanes" `Quick test_render;
+    Alcotest.test_case "legend" `Quick test_legend;
+    Alcotest.test_case "lane occupancy" `Quick test_lane_occupancy;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+  ]

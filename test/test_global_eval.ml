@@ -1,0 +1,107 @@
+open Msdq_odb
+open Msdq_fed
+
+let ex = lazy (Paper_example.build ())
+
+let setup () =
+  let fed = (Lazy.force ex).Paper_example.federation in
+  Materialize.build fed
+
+let find_student v name =
+  List.find_opt
+    (fun o ->
+      match Materialize.field v o "name" with
+      | Some (Materialize.Gprim (Value.Str s)) -> s = name
+      | _ -> false)
+    (Materialize.extent v "Student")
+
+let q1_truth v student =
+  Global_eval.eval_conjunction v student Paper_example.q1_predicates
+
+(* Q1 over the integrated view (the CA answer, Section 2.2): certain
+   (Hedy, Kelly); maybe (Tony, Haley); John, Mary, Fanny eliminated. *)
+let test_q1_semantics () =
+  let v = setup () in
+  let check name expect =
+    match find_student v name with
+    | Some s -> Alcotest.check (Alcotest.testable Truth.pp Truth.equal) name expect (q1_truth v s)
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  check "Hedy" Truth.True;
+  check "Tony" Truth.Unknown;
+  check "John" Truth.False;
+  check "Mary" Truth.False;
+  check "Fanny" Truth.False
+
+let test_projection () =
+  let v = setup () in
+  match find_student v "Hedy" with
+  | Some hedy ->
+    Alcotest.(check string) "own name" "Hedy"
+      (Value.to_string (Global_eval.project v hedy (Path.of_string "name")));
+    Alcotest.(check string) "advisor name" "Kelly"
+      (Value.to_string (Global_eval.project v hedy (Path.of_string "advisor.name")));
+    (* Hedy's age is missing federation-wide: projects as null. *)
+    Alcotest.(check bool) "missing projects null" true
+      (Value.is_null (Global_eval.project v hedy (Path.of_string "age")))
+  | None -> Alcotest.fail "Hedy missing"
+
+let test_blocked_detail () =
+  let v = setup () in
+  match find_student v "Tony" with
+  | Some tony -> (
+    let p =
+      Predicate.make ~path:(Path.of_string "address.city") ~op:Predicate.Eq
+        ~operand:(Value.Str "Taipei")
+    in
+    match Global_eval.eval v tony p with
+    | Global_eval.Blocked b ->
+      Alcotest.(check bool) "blocked at tony" true
+        (Oid.Goid.equal b.Global_eval.at.Materialize.goid tony.Materialize.goid);
+      Alcotest.(check (list string)) "rest" [ "address"; "city" ] b.Global_eval.rest
+    | Global_eval.Sat | Global_eval.Viol -> Alcotest.fail "expected blocked")
+  | None -> Alcotest.fail "Tony missing"
+
+(* The maybe semantics is monotone: filling in a missing value can turn
+   Unknown into True or False but never flips True<->False. We check the
+   core case through Abel, whose department arrives from DB3's isomer. *)
+let test_isomer_fills_value () =
+  let v = setup () in
+  let abel =
+    List.find_opt
+      (fun o ->
+        match Materialize.field v o "name" with
+        | Some (Materialize.Gprim (Value.Str "Abel")) -> true
+        | _ -> false)
+      (Materialize.extent v "Teacher")
+  in
+  match abel with
+  | Some abel -> (
+    let p =
+      Predicate.make ~path:(Path.of_string "department.name") ~op:Predicate.Eq
+        ~operand:(Value.Str "CS")
+    in
+    (* DB1 alone could not evaluate this (null department); the integrated
+       view can, and the answer is definite. *)
+    match Global_eval.eval v abel p with
+    | Global_eval.Viol -> ()
+    | Global_eval.Sat -> Alcotest.fail "Abel is in EE, not CS"
+    | Global_eval.Blocked _ -> Alcotest.fail "isomer data should decide this")
+  | None -> Alcotest.fail "Abel missing"
+
+let test_empty_conjunction () =
+  let v = setup () in
+  match find_student v "John" with
+  | Some john ->
+    Alcotest.check (Alcotest.testable Truth.pp Truth.equal) "empty conj true"
+      Truth.True (Global_eval.eval_conjunction v john [])
+  | None -> Alcotest.fail "John missing"
+
+let suite =
+  [
+    Alcotest.test_case "q1 semantics over integrated view" `Quick test_q1_semantics;
+    Alcotest.test_case "projection" `Quick test_projection;
+    Alcotest.test_case "blocked detail" `Quick test_blocked_detail;
+    Alcotest.test_case "isomer fills value" `Quick test_isomer_fills_value;
+    Alcotest.test_case "empty conjunction" `Quick test_empty_conjunction;
+  ]

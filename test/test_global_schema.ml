@@ -1,0 +1,133 @@
+open Msdq_odb
+open Msdq_fed
+
+let ex = lazy (Paper_example.build ())
+
+let gs () = Federation.global_schema (Lazy.force ex).Paper_example.federation
+
+let test_global_classes () =
+  let gs = gs () in
+  let names = List.map (fun gc -> gc.Global_schema.gname) (Global_schema.classes gs) in
+  Alcotest.(check (list string)) "classes"
+    [ "Address"; "Department"; "Teacher"; "Student" ] names
+
+(* The global schema of Figure 2: attribute unions. *)
+let test_attribute_union () =
+  let gs = gs () in
+  let attrs gcls =
+    match Global_schema.find gs gcls with
+    | Some gc -> List.map (fun a -> a.Schema.aname) gc.Global_schema.attrs
+    | None -> []
+  in
+  Alcotest.(check (list string)) "Student union"
+    [ "s-no"; "name"; "age"; "advisor"; "sex"; "address" ]
+    (attrs "Student");
+  Alcotest.(check (list string)) "Teacher union"
+    [ "name"; "department"; "speciality" ] (attrs "Teacher");
+  Alcotest.(check (list string)) "Department union" [ "name"; "location" ]
+    (attrs "Department")
+
+(* Complex attributes integrate to global domain classes. *)
+let test_complex_domains () =
+  let gs = gs () in
+  let schema = Global_schema.schema gs in
+  (match Schema.attr schema ~cls:"Student" ~attr:"advisor" with
+  | Some a ->
+    Alcotest.(check bool) "advisor domain" true
+      (Schema.equal_attr_type a.Schema.atype (Schema.Complex "Teacher"))
+  | None -> Alcotest.fail "advisor missing");
+  match Schema.attr schema ~cls:"Student" ~attr:"address" with
+  | Some a ->
+    Alcotest.(check bool) "address domain" true
+      (Schema.equal_attr_type a.Schema.atype (Schema.Complex "Address"))
+  | None -> Alcotest.fail "address missing"
+
+(* Missing attributes per constituent (paper, Section 2.1): DB1's Student
+   misses address; DB1's Teacher misses speciality; DB2's Teacher misses
+   department. *)
+let test_missing_attrs () =
+  let gs = gs () in
+  Alcotest.(check (list string)) "DB1 Student misses address" [ "address" ]
+    (Global_schema.missing_attrs gs ~gcls:"Student" ~db:"DB1");
+  Alcotest.(check (list string)) "DB2 Student misses age" [ "age" ]
+    (Global_schema.missing_attrs gs ~gcls:"Student" ~db:"DB2");
+  Alcotest.(check (list string)) "DB1 Teacher misses speciality" [ "speciality" ]
+    (Global_schema.missing_attrs gs ~gcls:"Teacher" ~db:"DB1");
+  Alcotest.(check (list string)) "DB2 Teacher misses department" [ "department" ]
+    (Global_schema.missing_attrs gs ~gcls:"Teacher" ~db:"DB2");
+  Alcotest.(check (list string)) "DB3 Teacher misses speciality" [ "speciality" ]
+    (Global_schema.missing_attrs gs ~gcls:"Teacher" ~db:"DB3");
+  Alcotest.(check (list string)) "DB1 Department misses location" [ "location" ]
+    (Global_schema.missing_attrs gs ~gcls:"Department" ~db:"DB1");
+  (* DB3 has no Student constituent: every attribute is missing. *)
+  Alcotest.(check int) "DB3 Student misses all" 6
+    (List.length (Global_schema.missing_attrs gs ~gcls:"Student" ~db:"DB3"))
+
+let test_constituent_lookup () =
+  let gs = gs () in
+  Alcotest.(check (option string)) "Student in DB1" (Some "Student")
+    (Global_schema.constituent_of gs ~gcls:"Student" ~db:"DB1");
+  Alcotest.(check (option string)) "Student not in DB3" None
+    (Global_schema.constituent_of gs ~gcls:"Student" ~db:"DB3");
+  Alcotest.(check (option string)) "reverse lookup" (Some "Teacher")
+    (Global_schema.global_of_local gs ~db:"DB2" ~cls:"Teacher")
+
+let expect_conflict name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Global_schema.Conflict _ -> true)
+
+let test_conflicts () =
+  let mk_db name classes =
+    (name, Database.create ~name ~schema:(Schema.create classes))
+  in
+  let a_int =
+    Schema.{ cname = "C"; attrs = [ { aname = "x"; atype = Prim P_int } ] }
+  in
+  let a_str =
+    Schema.{ cname = "C"; attrs = [ { aname = "x"; atype = Prim P_string } ] }
+  in
+  expect_conflict "type clash" (fun () ->
+      Global_schema.integrate
+        ~databases:[ mk_db "A" [ a_int ]; mk_db "B" [ a_str ] ]
+        ~mapping:[ ("C", [ ("A", "C"); ("B", "C") ]) ]);
+  expect_conflict "unknown constituent class" (fun () ->
+      Global_schema.integrate
+        ~databases:[ mk_db "A" [ a_int ] ]
+        ~mapping:[ ("C", [ ("A", "Nope") ]) ]);
+  expect_conflict "unknown database" (fun () ->
+      Global_schema.integrate
+        ~databases:[ mk_db "A" [ a_int ] ]
+        ~mapping:[ ("C", [ ("Z", "C") ]) ]);
+  expect_conflict "empty constituents" (fun () ->
+      Global_schema.integrate ~databases:[ mk_db "A" [ a_int ] ]
+        ~mapping:[ ("C", []) ]);
+  expect_conflict "unintegrated domain class" (fun () ->
+      let refclass =
+        Schema.
+          {
+            cname = "D";
+            attrs = [ { aname = "c"; atype = Complex "C" } ];
+          }
+      in
+      Global_schema.integrate
+        ~databases:[ mk_db "A" [ a_int; refclass ] ]
+        ~mapping:[ ("D", [ ("A", "D") ]) ])
+
+let test_pp () =
+  let text = Format.asprintf "%a" Global_schema.pp (gs ()) in
+  Alcotest.(check bool) "pp mentions Student" true
+    (String.length text > 0 && Testutil.contains ~needle:"Student" text)
+
+let suite =
+  [
+    Alcotest.test_case "global classes" `Quick test_global_classes;
+    Alcotest.test_case "attribute union (fig 2)" `Quick test_attribute_union;
+    Alcotest.test_case "complex domains" `Quick test_complex_domains;
+    Alcotest.test_case "missing attributes" `Quick test_missing_attrs;
+    Alcotest.test_case "constituent lookup" `Quick test_constituent_lookup;
+    Alcotest.test_case "conflict detection" `Quick test_conflicts;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,90 @@
+open Msdq_simkit
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_priority h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter
+    (fun (p, v) -> Heap.push h ~priority:p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      drained := v :: !drained;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "sorted" [ "z"; "a"; "b"; "c" ] (List.rev !drained)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~priority:1.0 v) [ 1; 2; 3; 4; 5 ];
+  Heap.push h ~priority:0.0 0;
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo among equal priorities" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1.0 "x";
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p p) priorities;
+      let rec drain last acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, v) ->
+          if p < last then QCheck.Test.fail_report "out of order";
+          drain p (v :: acc)
+      in
+      let popped = drain neg_infinity [] in
+      List.sort Float.compare priorities = List.sort Float.compare popped
+      && List.length popped = List.length priorities)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop preserves contents" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 100.0) bool))
+    (fun ops ->
+      let h = Heap.create () in
+      let pushed = ref 0 and popped = ref 0 in
+      List.iter
+        (fun (p, do_pop) ->
+          if do_pop then (
+            match Heap.pop h with None -> () | Some _ -> incr popped)
+          else begin
+            Heap.push h ~priority:p p;
+            incr pushed
+          end)
+        ops;
+      Heap.size h = !pushed - !popped)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo tie-break" `Quick test_fifo_ties;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heapsort;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

@@ -1,0 +1,103 @@
+(* Heterogeneous site speeds (extension): the engine scales task durations
+   by per-resource speed factors, and the strategies expose them through
+   [options.site_speeds]. *)
+
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let check_time = Alcotest.(check (float 1e-6))
+
+let test_engine_scaling () =
+  let e = Engine.create () in
+  Engine.set_speed e ~site:0 ~kind:Resource.Cpu ~factor:2.0;
+  Engine.set_speed e ~site:1 ~kind:Resource.Cpu ~factor:0.5;
+  let fast = Engine.task e ~site:0 ~kind:Resource.Cpu ~label:"fast" ~duration:(Time.us 10.0) () in
+  let slow = Engine.task e ~site:1 ~kind:Resource.Cpu ~label:"slow" ~duration:(Time.us 10.0) () in
+  let plain = Engine.task e ~site:2 ~kind:Resource.Cpu ~label:"plain" ~duration:(Time.us 10.0) () in
+  Engine.run e;
+  check_time "2x faster" 5.0 (Time.to_us (Engine.finish_time e fast));
+  check_time "2x slower" 20.0 (Time.to_us (Engine.finish_time e slow));
+  check_time "unaffected" 10.0 (Time.to_us (Engine.finish_time e plain));
+  (* Stats account the scaled (actual) busy time. *)
+  check_time "total is scaled work" 35.0 (Time.to_us (Stats.total_busy (Engine.stats e)))
+
+let test_engine_scaling_per_kind () =
+  let e = Engine.create () in
+  Engine.set_speed e ~site:0 ~kind:Resource.Disk ~factor:4.0;
+  let disk = Engine.task e ~site:0 ~kind:Resource.Disk ~label:"d" ~duration:(Time.us 8.0) () in
+  let cpu = Engine.task e ~site:0 ~kind:Resource.Cpu ~label:"c" ~duration:(Time.us 8.0) () in
+  Engine.run e;
+  check_time "disk scaled" 2.0 (Time.to_us (Engine.finish_time e disk));
+  check_time "cpu untouched" 8.0 (Time.to_us (Engine.finish_time e cpu))
+
+let test_invalid_factor () =
+  let e = Engine.create () in
+  List.iter
+    (fun factor ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           Engine.set_speed e ~site:0 ~kind:Resource.Cpu ~factor;
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
+(* A straggler site slows every strategy's response; the effect is bounded
+   (factor 1 with no speed changes reproduces the baseline exactly). *)
+let test_straggler_strategy () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  let run speeds s =
+    let options = { Strategy.default_options with Strategy.site_speeds = speeds } in
+    snd (Strategy.run ~options s fed analysis)
+  in
+  List.iter
+    (fun s ->
+      let base = run [] s in
+      let neutral = run [ (1, 1.0) ] s in
+      Alcotest.(check bool)
+        (Strategy.to_string s ^ ": neutral factor is identity")
+        true
+        (Time.compare base.Strategy.response neutral.Strategy.response = 0
+        && Time.compare base.Strategy.total neutral.Strategy.total = 0);
+      (* Slow DB1 (site 1) by 4x. *)
+      let straggler = run [ (1, 0.25) ] s in
+      Alcotest.(check bool)
+        (Strategy.to_string s ^ ": straggler slows the query")
+        true
+        (Time.compare base.Strategy.response straggler.Strategy.response < 0
+        && Time.compare base.Strategy.total straggler.Strategy.total < 0);
+      (* Speeding every site up 2x at least halves nothing less... the
+         network is unscaled, so response shrinks but not below the wire
+         time. *)
+      let fast = run [ (0, 2.0); (1, 2.0); (2, 2.0); (3, 2.0) ] s in
+      Alcotest.(check bool)
+        (Strategy.to_string s ^ ": faster machines, faster answer")
+        true
+        (Time.compare fast.Strategy.response base.Strategy.response < 0))
+    [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+
+(* The answers are hardware-independent. *)
+let test_answers_unaffected () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  let options =
+    { Strategy.default_options with Strategy.site_speeds = [ (1, 0.1); (2, 3.0) ] }
+  in
+  let base, _ = Strategy.run Strategy.Bl fed analysis in
+  let skewed, _ = Strategy.run ~options Strategy.Bl fed analysis in
+  Alcotest.(check bool) "same answer" true (Answer.same_statuses base skewed)
+
+let suite =
+  [
+    Alcotest.test_case "engine scaling" `Quick test_engine_scaling;
+    Alcotest.test_case "per-kind scaling" `Quick test_engine_scaling_per_kind;
+    Alcotest.test_case "invalid factors" `Quick test_invalid_factor;
+    Alcotest.test_case "straggler strategies" `Quick test_straggler_strategy;
+    Alcotest.test_case "answers unaffected" `Quick test_answers_unaffected;
+  ]

@@ -1,0 +1,102 @@
+(* Behavior on *inconsistent* federations — isomeric objects disagreeing on
+   a single-valued attribute. The paper assumes consistency; the system
+   detects the situation (conflict counters) and resolves conservatively:
+   a definite False wins, so inconsistency can only eliminate, never
+   fabricate a certain result. *)
+
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let fed_with_conflict () =
+  let schema () =
+    Schema.create
+      [
+        {
+          Schema.cname = "P";
+          attrs =
+            [
+              { Schema.aname = "k"; atype = Schema.Prim Schema.P_int };
+              { Schema.aname = "city"; atype = Schema.Prim Schema.P_string };
+            ];
+        };
+      ]
+  in
+  let a = Database.create ~name:"a" ~schema:(schema ()) in
+  let b = Database.create ~name:"b" ~schema:(schema ()) in
+  ignore (Database.add a ~cls:"P" [ Value.Int 1; Value.Str "Berlin" ]);
+  ignore (Database.add b ~cls:"P" [ Value.Int 1; Value.Str "Paris" ]);
+  Federation.create
+    ~databases:[ ("a", a); ("b", b) ]
+    ~mapping:[ ("P", [ ("a", "P"); ("b", "P") ]) ]
+    ~keys:[ ("P", "k") ]
+
+let analyze fed src =
+  Analysis.analyze (Global_schema.schema (Federation.global_schema fed)) (Parser.parse src)
+
+let test_detected_by_checker () =
+  let fed = fed_with_conflict () in
+  let conflicts =
+    Isomerism.check_consistency (Federation.global_schema fed)
+      ~databases:(Federation.databases fed) (Federation.goids fed)
+  in
+  Alcotest.(check int) "one conflict reported" 1 (List.length conflicts)
+
+(* A conjunctive query never lets contradicting truths meet: the violating
+   copy is eliminated locally, and its absence eliminates the entity. *)
+let test_conjunctive_eliminates_via_absence () =
+  let fed = fed_with_conflict () in
+  let analysis = analyze fed "select X.k from P X where X.city = \"Berlin\"" in
+  let answer, metrics = Strategy.run Strategy.Bl fed analysis in
+  Alcotest.(check int) "no conflict met" 0 metrics.Strategy.conflicts;
+  Alcotest.(check int) "entity eliminated" 0 (Answer.size answer)
+
+(* Under a disjunction both copies survive their local filters, so the
+   certifier sees True (from a) and False (from b) for the city atom:
+   counted as a conflict and resolved to False — conservative, the entity
+   is still certain through the other disjunct. *)
+let test_certifier_conflict () =
+  let fed = fed_with_conflict () in
+  let analysis =
+    analyze fed "select X.k from P X where X.city = \"Berlin\" or X.k >= 1"
+  in
+  let answer, metrics = Strategy.run Strategy.Bl fed analysis in
+  Alcotest.(check int) "conflict counted" 1 metrics.Strategy.conflicts;
+  Alcotest.(check int) "certain through the other disjunct" 1
+    (List.length (Answer.certain answer))
+
+(* CA's materialization counts the merge conflict; first value wins there,
+   which is a different (but also conservative-by-documentation) resolution
+   — the conflict counter is the signal that the data needs cleaning. *)
+let test_materialize_conflict_counter () =
+  let fed = fed_with_conflict () in
+  let view = Materialize.build fed in
+  Alcotest.(check int) "merge conflict counted" 1
+    (Materialize.stats view).Materialize.conflicts
+
+(* Under the multi-valued extension the same data is legal: the entity
+   carries both cities and matches either. *)
+let test_multivalued_resolves () =
+  let fed = fed_with_conflict () in
+  let options = { Strategy.default_options with Strategy.multi_valued = true } in
+  List.iter
+    (fun city ->
+      let analysis =
+        analyze fed (Printf.sprintf "select X.k from P X where X.city = %S" city)
+      in
+      let answer, metrics = Strategy.run ~options Strategy.Ca fed analysis in
+      Alcotest.(check int) (city ^ " matches") 1 (List.length (Answer.certain answer));
+      Alcotest.(check int) "no conflicts under multi-valued" 0
+        metrics.Strategy.conflicts)
+    [ "Berlin"; "Paris" ]
+
+let suite =
+  [
+    Alcotest.test_case "consistency checker detects" `Quick test_detected_by_checker;
+    Alcotest.test_case "conjunctive eliminates via absence" `Quick
+      test_conjunctive_eliminates_via_absence;
+    Alcotest.test_case "certifier counts conflicts" `Quick test_certifier_conflict;
+    Alcotest.test_case "materializer counts" `Quick test_materialize_conflict_counter;
+    Alcotest.test_case "multi-valued mode legalizes" `Quick test_multivalued_resolves;
+  ]

@@ -1,0 +1,160 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+
+let parse_ok text =
+  match Loader.parse_result text with
+  | Ok fed -> fed
+  | Error msg -> Alcotest.fail msg
+
+let test_example_parses () =
+  let fed = parse_ok Loader.example in
+  Alcotest.(check (list string)) "databases" [ "hr"; "crm" ] (Federation.db_names fed);
+  Alcotest.(check int) "objects" 6 (Federation.total_objects fed);
+  (* Ada and Eve exist in both databases; Bob and Zoe are singletons. *)
+  Alcotest.(check int) "entities" 4 (Goid_table.entity_count (Federation.goids fed));
+  Alcotest.(check string) "key recorded" "emp-no" (Federation.key_of fed "Employee")
+
+let test_parsed_data () =
+  let fed = parse_ok Loader.example in
+  let hr = Federation.db fed "hr" in
+  match Database.extent hr "Employee" with
+  | [ ada; bob; eve ] ->
+    (match Database.field_by_name hr ada "salary" with
+    | Some (Value.Int 90000) -> ()
+    | _ -> Alcotest.fail "ada's salary");
+    (match Database.field_by_name hr bob "boss" with
+    | Some (Value.Ref l) ->
+      Alcotest.(check bool) "bob's boss is ada" true
+        (Oid.Loid.equal l (Dbobject.loid ada))
+    | _ -> Alcotest.fail "bob's boss should reference ada");
+    (match Database.field_by_name hr eve "salary" with
+    | Some Value.Null -> ()
+    | _ -> Alcotest.fail "eve's salary should be null")
+  | _ -> Alcotest.fail "three employees expected"
+
+(* A loaded federation runs queries like any other. *)
+let test_query_loaded () =
+  let fed = parse_ok Loader.example in
+  let q = "select X.name from Employee X where X.salary > 60000 and X.city = \"Berlin\"" in
+  match Strategy.run_query Strategy.Bl fed q with
+  | Error msg -> Alcotest.fail msg
+  | Ok (answer, _) ->
+    (* Ada: salary 90000 + Berlin -> certain. Zoe: crm only, salary unknown,
+       Berlin -> maybe. Eve: null salary, Paris -> eliminated. Bob: 55000 ->
+       eliminated. *)
+    Alcotest.(check int) "one certain" 1 (List.length (Answer.certain answer));
+    Alcotest.(check int) "one maybe" 1 (List.length (Answer.maybe answer))
+
+let test_round_trip_example () =
+  let fed = parse_ok Loader.example in
+  let fed2 = parse_ok (Loader.dump fed) in
+  Alcotest.(check (list string)) "same databases" (Federation.db_names fed)
+    (Federation.db_names fed2);
+  Alcotest.(check int) "same objects" (Federation.total_objects fed)
+    (Federation.total_objects fed2);
+  Alcotest.(check int) "same entities"
+    (Goid_table.entity_count (Federation.goids fed))
+    (Goid_table.entity_count (Federation.goids fed2));
+  (* Same query, same answer. *)
+  let q = "select X.name from Employee X where X.city = \"Berlin\"" in
+  match (Strategy.run_query Strategy.Ca fed q, Strategy.run_query Strategy.Ca fed2 q) with
+  | Ok (a1, _), Ok (a2, _) ->
+    Alcotest.(check bool) "same statuses" true (Answer.same_statuses a1 a2)
+  | _ -> Alcotest.fail "query failed"
+
+(* Round trip through dump on generated federations: queries agree. *)
+let prop_round_trip =
+  QCheck.Test.make ~name:"dump/parse round trip preserves answers" ~count:15
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let cfg = { Synth.default with Synth.seed; n_entities = 12 } in
+      let fed = Synth.generate cfg in
+      match Loader.parse_result (Loader.dump fed) with
+      | Error _ -> false
+      | Ok fed2 -> (
+        let rng = Rng.create ~seed in
+        let query = Synth.random_query rng cfg ~disjunctive:false in
+        let schema = Global_schema.schema (Federation.global_schema fed) in
+        match Analysis.analyze schema query with
+        | exception Analysis.Error _ -> true
+        | analysis -> (
+          let schema2 = Global_schema.schema (Federation.global_schema fed2) in
+          match Analysis.analyze schema2 query with
+          | exception Analysis.Error _ -> false
+          | analysis2 ->
+            let a1, _ = Strategy.run Strategy.Bl fed analysis in
+            let a2, _ = Strategy.run Strategy.Bl fed2 analysis2 in
+            Answer.same_statuses a1 a2)))
+
+let expect_error text fragment =
+  match Loader.parse_result text with
+  | Ok _ -> Alcotest.fail ("should not parse: " ^ fragment)
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mentions %S in %S" fragment msg)
+      true
+      (Testutil.contains ~needle:fragment msg)
+
+let test_errors () =
+  expect_error "class C\n" "outside a database";
+  expect_error "database a\nattr x int\n" "outside a class";
+  expect_error "database a\nclass C\nattr x blob\n" "expected a type";
+  expect_error "database a\nclass C\nattr x int\nobject C o = @nope\nglobal C = a.C key x\n"
+    "not defined earlier";
+  expect_error "database a\nclass C\nattr x int\nobject C o = 1\nobject C o = 2\nglobal C = a.C key x\n"
+    "duplicate label";
+  expect_error "database a\nclass C\nattr x int\nobject C o = \"unterminated\n"
+    "unterminated";
+  expect_error "database a\nclass C\nattr x int\nobject C o = zzz\nglobal C = a.C key x\n"
+    "cannot parse value";
+  expect_error "database a\nclass C\nattr x int\n" "no global classes";
+  expect_error "global C = a.C key x\n" "no databases";
+  expect_error "database a\nclass C\nattr x int\nglobal C = a.C\n" "key";
+  expect_error "database a\nclass C\nattr x int\nglobal C = aC key x\n" "DB.CLASS";
+  expect_error "database a\nclass C\nattr x int\nobject C o = 1, 2\nglobal C = a.C key x\n"
+    "expects 1 fields";
+  expect_error "frobnicate\n" "unknown directive";
+  (* line numbers are reported *)
+  expect_error "database a\nclass C\nattr x blob\n" "line 3"
+
+let test_comments_and_spacing () =
+  let fed =
+    parse_ok
+      "# header\n\ndatabase a   # trailing comment\n  class C\n    attr x \
+       int\n    attr note string\n  object C o = 7, \"has # inside\"\n\nglobal \
+       C = a.C key x\n"
+  in
+  let db = Federation.db fed "a" in
+  match Database.extent db "C" with
+  | [ o ] -> (
+    match Database.field_by_name db o "note" with
+    | Some (Value.Str s) -> Alcotest.(check string) "hash in string kept" "has # inside" s
+    | _ -> Alcotest.fail "note missing")
+  | _ -> Alcotest.fail "one object expected"
+
+let test_load_file () =
+  let path = Filename.temp_file "msdq" ".fed" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc Loader.example);
+  (match Loader.load_file path with
+  | Ok fed -> Alcotest.(check int) "objects" 6 (Federation.total_objects fed)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path;
+  match Loader.load_file "/nonexistent/msdq.fed" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file should fail"
+
+let suite =
+  [
+    Alcotest.test_case "example parses" `Quick test_example_parses;
+    Alcotest.test_case "parsed data" `Quick test_parsed_data;
+    Alcotest.test_case "query on loaded federation" `Quick test_query_loaded;
+    Alcotest.test_case "round trip (example)" `Quick test_round_trip_example;
+    QCheck_alcotest.to_alcotest prop_round_trip;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "comments and strings" `Quick test_comments_and_spacing;
+    Alcotest.test_case "file loading" `Quick test_load_file;
+  ]

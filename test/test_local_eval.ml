@@ -1,0 +1,140 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  (ex, fed, analysis)
+
+let row_name (row : Local_result.row) =
+  match row.Local_result.values.(0) with
+  | Some (Value.Str s) -> s
+  | _ -> "?"
+
+(* R1 (Figure 7a): DB1 returns John, Tony, Mary as maybe results. *)
+let test_db1_rows () =
+  let _, fed, analysis = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB1" in
+  Alcotest.(check int) "examined all students" 3 r.Local_result.examined;
+  Alcotest.(check int) "none eliminated locally" 0 r.Local_result.eliminated;
+  Alcotest.(check (list string)) "rows" [ "John"; "Tony"; "Mary" ]
+    (List.map row_name r.Local_result.rows);
+  Alcotest.(check bool) "all maybe" true
+    (List.for_all
+       (fun row -> not (Local_result.is_solved row))
+       r.Local_result.rows)
+
+(* John@DB1: unsolved on address (root level) and speciality (item t1);
+   department predicate locally true. *)
+let test_john_unsolved_detail () =
+  let ex, fed, analysis = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB1" in
+  match r.Local_result.rows with
+  | john :: _ ->
+    Alcotest.(check int) "two unsolved" 2 (List.length john.Local_result.unsolved);
+    (match john.Local_result.unsolved with
+    | [ u_addr; u_spec ] ->
+      (* address: blocked at the root object itself *)
+      Alcotest.(check bool) "address blocks at root" true
+        (Oid.Loid.equal
+           (Dbobject.loid u_addr.Local_result.item)
+           (Dbobject.loid ex.Paper_example.s1));
+      Alcotest.(check bool) "missing attribute" true
+        (u_addr.Local_result.cause = Predicate.Missing_attribute);
+      (* speciality: blocked at branch item t1 (Jeffery) *)
+      Alcotest.(check bool) "speciality blocks at t1" true
+        (Oid.Loid.equal
+           (Dbobject.loid u_spec.Local_result.item)
+           (Dbobject.loid ex.Paper_example.t1));
+      Alcotest.(check (list string)) "suffix" [ "speciality" ]
+        u_spec.Local_result.rest
+    | _ -> Alcotest.fail "expected address and speciality blocks");
+    (* department atom (index 2) locally true for John *)
+    Alcotest.(check bool) "department true" true
+      (Truth.equal john.Local_result.truths.(2) Truth.True)
+  | [] -> Alcotest.fail "no rows"
+
+(* Mary@DB1 additionally has the department predicate unsolved through the
+   null department of t2 (paper: "an unsolved predicate on
+   advisor.department for s3"). *)
+let test_mary_department_null () =
+  let ex, fed, analysis = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB1" in
+  match List.rev r.Local_result.rows with
+  | mary :: _ ->
+    Alcotest.(check int) "three unsolved" 3 (List.length mary.Local_result.unsolved);
+    let dept =
+      List.find_opt
+        (fun u -> u.Local_result.atom = 2)
+        mary.Local_result.unsolved
+    in
+    (match dept with
+    | Some u ->
+      Alcotest.(check bool) "blocked at t2" true
+        (Oid.Loid.equal
+           (Dbobject.loid u.Local_result.item)
+           (Dbobject.loid ex.Paper_example.t2));
+      Alcotest.(check bool) "null cause" true
+        (u.Local_result.cause = Predicate.Null_value);
+      Alcotest.(check (list string)) "rest keeps department" [ "department"; "name" ]
+        u.Local_result.rest
+    | None -> Alcotest.fail "department should be unsolved for Mary")
+  | [] -> Alcotest.fail "no rows"
+
+(* R2 (Figure 7b): DB2 returns only Hedy; John and Fanny fail local
+   predicates definitively. *)
+let test_db2_rows () =
+  let ex, fed, analysis = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB2" in
+  Alcotest.(check int) "examined" 3 r.Local_result.examined;
+  Alcotest.(check int) "two eliminated" 2 r.Local_result.eliminated;
+  match r.Local_result.rows with
+  | [ hedy ] ->
+    Alcotest.(check string) "hedy" "Hedy" (row_name hedy);
+    Alcotest.(check int) "one unsolved (department)" 1
+      (List.length hedy.Local_result.unsolved);
+    (match hedy.Local_result.unsolved with
+    | [ u ] ->
+      Alcotest.(check int) "department atom" 2 u.Local_result.atom;
+      Alcotest.(check bool) "item is t1' (Kelly)" true
+        (Oid.Loid.equal
+           (Dbobject.loid u.Local_result.item)
+           (Dbobject.loid ex.Paper_example.t1'))
+    | _ -> Alcotest.fail "one unsolved expected");
+    (* city and speciality atoms definitively true *)
+    Alcotest.(check bool) "city true" true
+      (Truth.equal hedy.Local_result.truths.(0) Truth.True);
+    Alcotest.(check bool) "speciality true" true
+      (Truth.equal hedy.Local_result.truths.(1) Truth.True)
+  | rows ->
+    Alcotest.fail (Printf.sprintf "expected exactly Hedy, got %d rows" (List.length rows))
+
+let test_counters () =
+  let _, fed, analysis = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB2" in
+  Alcotest.(check bool) "comparisons counted" true
+    (r.Local_result.work.Meter.comparisons > 0);
+  Alcotest.(check bool) "accesses counted" true
+    (r.Local_result.work.Meter.accesses > 0)
+
+let test_unknown_db_rejected () =
+  let _, fed, analysis = setup () in
+  Alcotest.(check bool) "DB3 hosts no students" true
+    (try
+       ignore (Local_eval.run fed analysis ~db:"DB3");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "R1 rows (fig 7a)" `Quick test_db1_rows;
+    Alcotest.test_case "John's unsolved detail" `Quick test_john_unsolved_detail;
+    Alcotest.test_case "Mary's null department" `Quick test_mary_department_null;
+    Alcotest.test_case "R2 rows (fig 7b)" `Quick test_db2_rows;
+    Alcotest.test_case "work counters" `Quick test_counters;
+    Alcotest.test_case "non-hosting db rejected" `Quick test_unknown_db_rejected;
+  ]

@@ -1,0 +1,95 @@
+open Msdq_fed
+open Msdq_query
+
+let ex = lazy (Paper_example.build ())
+
+let plans () =
+  let fed = (Lazy.force ex).Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  Localize.plan fed analysis
+
+(* Figure 3(b): Q1 decomposes into Q1' on DB1 (keeps only the department
+   predicate) and Q1'' on DB2 (keeps city and speciality). DB3 has no
+   Student constituent, so no local query. *)
+let test_q1_decomposition () =
+  let plans = plans () in
+  Alcotest.(check (list string)) "root-hosting databases" [ "DB1"; "DB2" ]
+    (List.map (fun p -> p.Localize.db) plans);
+  match plans with
+  | [ db1; db2 ] ->
+    Alcotest.(check (list string)) "Q1' keeps department predicate"
+      [ "advisor.department.name = \"CS\"" ]
+      (List.map Msdq_odb.Predicate.to_string db1.Localize.local_preds);
+    Alcotest.(check (list string)) "Q1' unsolved"
+      [ "address.city = \"Taipei\""; "advisor.speciality = \"database\"" ]
+      (List.map Msdq_odb.Predicate.to_string db1.Localize.unsolved_preds);
+    Alcotest.(check (list string)) "Q1'' keeps city and speciality"
+      [ "address.city = \"Taipei\""; "advisor.speciality = \"database\"" ]
+      (List.map Msdq_odb.Predicate.to_string db2.Localize.local_preds);
+    Alcotest.(check (list string)) "Q1'' unsolved"
+      [ "advisor.department.name = \"CS\"" ]
+      (List.map Msdq_odb.Predicate.to_string db2.Localize.unsolved_preds)
+  | _ -> Alcotest.fail "expected two plans"
+
+let test_cut_details () =
+  match plans () with
+  | [ db1; db2 ] ->
+    (* DB1: address missing at the local root class Student. *)
+    (match (List.nth db1.Localize.atoms 0).Localize.locality with
+    | Localize.Cut_at { at_class; rest } ->
+      Alcotest.(check string) "cut at Student" "Student" at_class;
+      Alcotest.(check (list string)) "rest" [ "address"; "city" ] rest
+    | Localize.Local -> Alcotest.fail "address should be unsolved in DB1");
+    (* DB1: speciality missing at the local branch class Teacher. *)
+    (match (List.nth db1.Localize.atoms 1).Localize.locality with
+    | Localize.Cut_at { at_class; rest } ->
+      Alcotest.(check string) "cut at Teacher" "Teacher" at_class;
+      Alcotest.(check (list string)) "rest" [ "speciality" ] rest
+    | Localize.Local -> Alcotest.fail "speciality should be unsolved in DB1");
+    (* DB2: department missing at its Teacher. *)
+    (match (List.nth db2.Localize.atoms 2).Localize.locality with
+    | Localize.Cut_at { at_class; rest } ->
+      Alcotest.(check string) "cut at Teacher" "Teacher" at_class;
+      Alcotest.(check (list string)) "rest" [ "department"; "name" ] rest
+    | Localize.Local -> Alcotest.fail "department should be unsolved in DB2")
+  | _ -> Alcotest.fail "expected two plans"
+
+let test_local_query_rendering () =
+  match plans () with
+  | [ db1; _ ] ->
+    let rendered = Ast.to_string db1.Localize.local_query in
+    Alcotest.(check bool) "targets preserved" true
+      (Testutil.contains ~needle:"X.name" rendered);
+    Alcotest.(check bool) "annotated with db" true
+      (Testutil.contains ~needle:"Student@DB1" rendered);
+    Alcotest.(check bool) "keeps only local predicate" true
+      (Testutil.contains ~needle:"department.name" rendered
+      && not (Testutil.contains ~needle:"speciality" rendered))
+  | _ -> Alcotest.fail "expected two plans"
+
+(* A query whose predicates are all local everywhere decomposes into local
+   queries with no unsolved predicates. *)
+let test_fully_local () =
+  let fed = (Lazy.force ex).Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis =
+    Analysis.analyze schema
+      (Parser.parse "select X.name from Student X where X.name = \"John\"")
+  in
+  let plans = Localize.plan fed analysis in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (p.Localize.db ^ " has no unsolved predicates")
+        0
+        (List.length p.Localize.unsolved_preds))
+    plans
+
+let suite =
+  [
+    Alcotest.test_case "Q1 decomposition (fig 3b)" `Quick test_q1_decomposition;
+    Alcotest.test_case "cut details" `Quick test_cut_details;
+    Alcotest.test_case "local query rendering" `Quick test_local_query_rendering;
+    Alcotest.test_case "fully local query" `Quick test_fully_local;
+  ]

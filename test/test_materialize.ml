@@ -1,0 +1,173 @@
+open Msdq_odb
+open Msdq_fed
+
+let ex = lazy (Paper_example.build ())
+
+let view () = Materialize.build (Lazy.force ex).Paper_example.federation
+
+let gstr view gobj attr =
+  match Materialize.field view gobj attr with
+  | Some (Materialize.Gprim (Value.Str s)) -> Some s
+  | _ -> None
+
+let find_by_name view gcls name =
+  List.find_opt (fun o -> gstr view o "name" = Some name) (Materialize.extent view gcls)
+
+(* Figure 6: the materialized Student extent. *)
+let test_students () =
+  let v = view () in
+  let students = Materialize.extent v "Student" in
+  Alcotest.(check int) "five integrated students" 5 (List.length students);
+  (* John: age 31 from DB1, sex male from DB2, address from DB2. *)
+  (match find_by_name v "Student" "John" with
+  | Some john ->
+    (match Materialize.field v john "age" with
+    | Some (Materialize.Gprim (Value.Int 31)) -> ()
+    | _ -> Alcotest.fail "John's age should merge from DB1");
+    (match Materialize.field v john "sex" with
+    | Some (Materialize.Gprim (Value.Str "male")) -> ()
+    | _ -> Alcotest.fail "John's sex should merge from DB2 (null in DB1)");
+    (match Materialize.field v john "address" with
+    | Some (Materialize.Gref _) -> ()
+    | _ -> Alcotest.fail "John's address should be a global reference")
+  | None -> Alcotest.fail "John missing");
+  (* Tony exists only in DB1: address is missing federation-wide. *)
+  (match find_by_name v "Student" "Tony" with
+  | Some tony -> (
+    match Materialize.field v tony "address" with
+    | Some Materialize.Gnull -> ()
+    | _ -> Alcotest.fail "Tony's address should be Gnull")
+  | None -> Alcotest.fail "Tony missing");
+  (* Hedy exists only in DB2: age missing. *)
+  match find_by_name v "Student" "Hedy" with
+  | Some hedy -> (
+    match Materialize.field v hedy "age" with
+    | Some Materialize.Gnull -> ()
+    | _ -> Alcotest.fail "Hedy's age should be Gnull")
+  | None -> Alcotest.fail "Hedy missing"
+
+(* Figure 6: the Teacher extent merges department and speciality. *)
+let test_teachers () =
+  let v = view () in
+  (* Jeffery: department CS from DB1, speciality network from DB2. *)
+  (match find_by_name v "Teacher" "Jeffery" with
+  | Some j -> (
+    Alcotest.(check (option string)) "speciality merged" (Some "network")
+      (match Materialize.field v j "speciality" with
+      | Some (Materialize.Gprim (Value.Str s)) -> Some s
+      | _ -> None);
+    match Materialize.field v j "department" with
+    | Some (Materialize.Gref g) -> (
+      match Materialize.find v g with
+      | Some dept ->
+        Alcotest.(check (option string)) "Jeffery in CS" (Some "CS")
+          (gstr v dept "name")
+      | None -> Alcotest.fail "department entity missing")
+    | _ -> Alcotest.fail "department should be a reference")
+  | None -> Alcotest.fail "Jeffery missing");
+  (* Abel: department null in DB1 but EE via DB3's isomer. *)
+  (match find_by_name v "Teacher" "Abel" with
+  | Some abel -> (
+    match Materialize.field v abel "department" with
+    | Some (Materialize.Gref g) -> (
+      match Materialize.find v g with
+      | Some dept ->
+        Alcotest.(check (option string)) "Abel in EE via DB3" (Some "EE")
+          (gstr v dept "name")
+      | None -> Alcotest.fail "department entity missing")
+    | _ -> Alcotest.fail "Abel's department should come from DB3")
+  | None -> Alcotest.fail "Abel missing");
+  (* Haley: speciality missing federation-wide (singleton with null-free
+     DB1 lacking the attribute). *)
+  match find_by_name v "Teacher" "Haley" with
+  | Some haley -> (
+    match Materialize.field v haley "speciality" with
+    | Some Materialize.Gnull -> ()
+    | _ -> Alcotest.fail "Haley's speciality should be Gnull")
+  | None -> Alcotest.fail "Haley missing"
+
+(* Departments merge name + location across DB1/DB3. *)
+let test_departments () =
+  let v = view () in
+  match find_by_name v "Department" "CS" with
+  | Some cs ->
+    Alcotest.(check (option string)) "CS location from DB3" (Some "building A")
+      (gstr v cs "location")
+  | None -> Alcotest.fail "CS missing"
+
+let test_stats () =
+  let v = view () in
+  let s = Materialize.stats v in
+  Alcotest.(check int) "entities" 14 s.Materialize.entities;
+  (* 20 constituent objects feed the outerjoin: 8 in DB1 (2 departments, 3
+     teachers, 3 students), 7 in DB2 (2 addresses, 2 teachers, 3 students),
+     5 in DB3 (3 departments, 2 teachers). *)
+  Alcotest.(check int) "source objects" 20 s.Materialize.source_objects;
+  Alcotest.(check bool) "no conflicts in the paper example" true
+    (s.Materialize.conflicts = 0);
+  Alcotest.(check bool) "refs translated" true (s.Materialize.ref_translations > 0)
+
+let test_partial_materialization () =
+  let fed = (Lazy.force ex).Paper_example.federation in
+  let v = Materialize.build ~classes:[ "Department" ] fed in
+  Alcotest.(check int) "only departments" 3
+    (List.length (Materialize.extent v "Department"));
+  Alcotest.(check int) "students not materialized" 0
+    (List.length (Materialize.extent v "Student"))
+
+let test_consistency_check () =
+  let fed = (Lazy.force ex).Paper_example.federation in
+  let conflicts =
+    Isomerism.check_consistency (Federation.global_schema fed)
+      ~databases:(Federation.databases fed) (Federation.goids fed)
+  in
+  Alcotest.(check int) "paper example is consistent" 0 (List.length conflicts)
+
+let test_inconsistent_detected () =
+  (* Two databases disagreeing on a shared attribute value. *)
+  let schema () =
+    Schema.create
+      [
+        Schema.
+          {
+            cname = "P";
+            attrs =
+              [
+                { aname = "key"; atype = Prim P_int };
+                { aname = "city"; atype = Prim P_string };
+              ];
+          };
+      ]
+  in
+  let a = Database.create ~name:"A" ~schema:(schema ()) in
+  let b = Database.create ~name:"B" ~schema:(schema ()) in
+  ignore (Database.add a ~cls:"P" [ Value.Int 1; Value.Str "Taipei" ]);
+  ignore (Database.add b ~cls:"P" [ Value.Int 1; Value.Str "HsinChu" ]);
+  let fed =
+    Federation.create
+      ~databases:[ ("A", a); ("B", b) ]
+      ~mapping:[ ("P", [ ("A", "P"); ("B", "P") ]) ]
+      ~keys:[ ("P", "key") ]
+  in
+  let conflicts =
+    Isomerism.check_consistency (Federation.global_schema fed)
+      ~databases:(Federation.databases fed) (Federation.goids fed)
+  in
+  Alcotest.(check int) "one conflict" 1 (List.length conflicts);
+  match conflicts with
+  | [ c ] ->
+    Alcotest.(check string) "conflicting attr" "city" c.Isomerism.attr;
+    Alcotest.(check bool) "renders" true
+      (String.length (Format.asprintf "%a" Isomerism.pp_conflict c) > 0)
+  | _ -> Alcotest.fail "expected exactly one conflict"
+
+let suite =
+  [
+    Alcotest.test_case "students (fig 6)" `Quick test_students;
+    Alcotest.test_case "teachers (fig 6)" `Quick test_teachers;
+    Alcotest.test_case "departments (fig 6)" `Quick test_departments;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "partial materialization" `Quick test_partial_materialization;
+    Alcotest.test_case "consistency check" `Quick test_consistency_check;
+    Alcotest.test_case "inconsistency detected" `Quick test_inconsistent_detected;
+  ]

@@ -1,0 +1,160 @@
+(* Multi-valued attribute integration (extension; the paper's Section 5
+   names it as open work): when isomeric objects carry different values for
+   the same attribute, integration yields a value set with existential
+   predicate semantics. CA over the multi-valued view is the reference;
+   localized strategies under the mode are certain-sound (their certain
+   results are certain under CA — existential truth is monotone in adding
+   values) but local filtering may eliminate entities whose satisfaction
+   needs cross-copy value combinations. *)
+
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+
+(* Two hospitals disagree on a patient's recorded blood type. *)
+let divergent_fed () =
+  let schema name =
+    ignore name;
+    Schema.create
+      [
+        {
+          Schema.cname = "Patient";
+          attrs =
+            [
+              { Schema.aname = "ssn"; atype = Schema.Prim Schema.P_int };
+              { Schema.aname = "blood"; atype = Schema.Prim Schema.P_string };
+            ];
+        };
+      ]
+  in
+  let a = Database.create ~name:"a" ~schema:(schema "a") in
+  let b = Database.create ~name:"b" ~schema:(schema "b") in
+  ignore (Database.add a ~cls:"Patient" [ Value.Int 1; Value.Str "A+" ]);
+  ignore (Database.add b ~cls:"Patient" [ Value.Int 1; Value.Str "0-" ]);
+  ignore (Database.add a ~cls:"Patient" [ Value.Int 2; Value.Str "B+" ]);
+  Federation.create
+    ~databases:[ ("a", a); ("b", b) ]
+    ~mapping:[ ("Patient", [ ("a", "Patient"); ("b", "Patient") ]) ]
+    ~keys:[ ("Patient", "ssn") ]
+
+let analyze fed src =
+  Analysis.analyze (Global_schema.schema (Federation.global_schema fed)) (Parser.parse src)
+
+let test_materialize_set () =
+  let fed = divergent_fed () in
+  (* Default mode: a conflict, first value wins. *)
+  let plain = Materialize.build fed in
+  Alcotest.(check int) "conflict counted" 1 (Materialize.stats plain).Materialize.conflicts;
+  (* Multi-valued mode: a set. *)
+  let mv = Materialize.build ~multi_valued:true fed in
+  Alcotest.(check int) "no conflicts" 0 (Materialize.stats mv).Materialize.conflicts;
+  match Materialize.extent mv "Patient" with
+  | p1 :: _ -> (
+    match Materialize.field mv p1 "blood" with
+    | Some (Materialize.Gset [ Value.Str "A+"; Value.Str "0-" ]) -> ()
+    | Some gv ->
+      Alcotest.fail
+        (Format.asprintf "expected a set, got %a" Materialize.pp_gvalue gv)
+    | None -> Alcotest.fail "no blood field")
+  | [] -> Alcotest.fail "no patients"
+
+(* Existential semantics: the entity matches both of its recorded values. *)
+let test_exists_semantics () =
+  let fed = divergent_fed () in
+  let options = { Strategy.default_options with Strategy.multi_valued = true } in
+  let run src =
+    let answer, _ = Strategy.run ~options Strategy.Ca fed (analyze fed src) in
+    answer
+  in
+  let a_plus = run "select X.ssn from Patient X where X.blood = \"A+\"" in
+  Alcotest.(check int) "A+ matches patient 1" 1 (List.length (Answer.certain a_plus));
+  let zero_minus = run "select X.ssn from Patient X where X.blood = \"0-\"" in
+  Alcotest.(check int) "0- also matches patient 1" 1
+    (List.length (Answer.certain zero_minus));
+  let b_plus = run "select X.ssn from Patient X where X.blood = \"B+\"" in
+  Alcotest.(check int) "B+ matches only patient 2" 1
+    (List.length (Answer.certain b_plus));
+  (* Without the mode, the first value (A+) wins and 0- matches nothing. *)
+  let plain, _ =
+    Strategy.run Strategy.Ca fed
+      (analyze fed "select X.ssn from Patient X where X.blood = \"0-\"")
+  in
+  Alcotest.(check int) "single-valued: 0- matches nothing" 0
+    (List.length (Answer.certain plain))
+
+(* The localized certifier under the mode: a True from any database beats a
+   False from another. *)
+let test_localized_any_of () =
+  let fed = divergent_fed () in
+  let analysis = analyze fed "select X.ssn from Patient X where X.blood = \"0-\"" in
+  let options = { Strategy.default_options with Strategy.multi_valued = true } in
+  let ca, m_ca = Strategy.run ~options Strategy.Ca fed analysis in
+  let bl, m_bl = Strategy.run ~options Strategy.Bl fed analysis in
+  Alcotest.(check int) "no conflicts under the mode" 0
+    (m_ca.Strategy.conflicts + m_bl.Strategy.conflicts);
+  (* Certain-soundness: BL's certain results are certain under CA. *)
+  Alcotest.(check bool) "certain(BL) within certain(CA)" true
+    (Oid.Goid.Set.subset (Answer.goids bl Answer.Certain) (Answer.goids ca Answer.Certain))
+
+(* Property: on federations with divergent copies, multi-valued CA counts no
+   conflicts, BL/PL agree, and certain(BL) is within certain(CA). *)
+let prop_divergent =
+  QCheck.Test.make ~name:"multi-valued mode on divergent federations" ~count:30
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let cfg =
+        { Synth.default with Synth.seed; p_divergent = 0.3; p_copy = 0.6 }
+      in
+      let fed = Synth.generate cfg in
+      let rng = Rng.create ~seed in
+      let query = Synth.random_query rng cfg ~disjunctive:false in
+      let schema = Global_schema.schema (Federation.global_schema fed) in
+      match Analysis.analyze schema query with
+      | exception Analysis.Error _ -> true
+      | analysis ->
+        let options =
+          { Strategy.default_options with Strategy.multi_valued = true }
+        in
+        let ca, m_ca = Strategy.run ~options Strategy.Ca fed analysis in
+        let bl, _ = Strategy.run ~options Strategy.Bl fed analysis in
+        let pl, _ = Strategy.run ~options Strategy.Pl fed analysis in
+        m_ca.Strategy.conflicts = 0
+        && Answer.same_statuses bl pl
+        && Oid.Goid.Set.subset
+             (Answer.goids bl Answer.Certain)
+             (Answer.goids ca Answer.Certain))
+
+(* Sanity: with p_divergent = 0 the mode changes nothing. *)
+let prop_consistent_unchanged =
+  QCheck.Test.make ~name:"multi-valued mode is identity on consistent data"
+    ~count:20
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let cfg = { Synth.default with Synth.seed } in
+      let fed = Synth.generate cfg in
+      let rng = Rng.create ~seed in
+      let query = Synth.random_query rng cfg ~disjunctive:false in
+      let schema = Global_schema.schema (Federation.global_schema fed) in
+      match Analysis.analyze schema query with
+      | exception Analysis.Error _ -> true
+      | analysis ->
+        let options =
+          { Strategy.default_options with Strategy.multi_valued = true }
+        in
+        List.for_all
+          (fun s ->
+            let plain, _ = Strategy.run s fed analysis in
+            let mv, _ = Strategy.run ~options s fed analysis in
+            Answer.same_statuses plain mv)
+          [ Strategy.Ca; Strategy.Bl ])
+
+let suite =
+  [
+    Alcotest.test_case "materialization builds sets" `Quick test_materialize_set;
+    Alcotest.test_case "existential semantics" `Quick test_exists_semantics;
+    Alcotest.test_case "localized any-of certification" `Quick test_localized_any_of;
+    QCheck_alcotest.to_alcotest prop_divergent;
+    QCheck_alcotest.to_alcotest prop_consistent_unchanged;
+  ]

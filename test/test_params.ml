@@ -1,0 +1,102 @@
+open Msdq_workload
+
+let test_defaults_match_table2 () =
+  let r = Params.default in
+  Alcotest.(check int) "N_db" 3 r.Params.n_db;
+  Alcotest.(check bool) "N_c 1..4" true (r.Params.n_c = (1, 4));
+  Alcotest.(check bool) "N_p 0..3" true (r.Params.n_p = (0, 3));
+  Alcotest.(check bool) "N_o 5000..6000" true (r.Params.n_o = (5000, 6000));
+  Alcotest.(check bool) "N_ta 0..2" true (r.Params.n_ta = (0, 2));
+  Alcotest.(check (float 1e-9)) "ps base" 0.45 r.Params.ps_base;
+  Alcotest.(check (float 1e-9)) "as base" 0.55 r.Params.as_base;
+  Alcotest.(check (float 1e-9)) "ss base" 0.6 r.Params.ss_base
+
+let check_invariants (s : Params.sample) (ranges : Params.ranges) =
+  let lo_c, hi_c = ranges.Params.n_c in
+  let n_c = Array.length s.Params.classes in
+  if n_c < lo_c || n_c > hi_c then Alcotest.fail "n_c out of range";
+  Array.iteri
+    (fun k (gc : Params.gclass) ->
+      let lo_p, hi_p = ranges.Params.n_p in
+      if gc.Params.n_p < lo_p || gc.Params.n_p > hi_p then
+        Alcotest.fail "n_p out of range";
+      if k = 0 && gc.Params.n_p < 1 then Alcotest.fail "root class has no predicate";
+      let expected_iso = 1.0 -. (0.9 ** float_of_int (s.Params.n_db - 1)) in
+      if abs_float (gc.Params.r_iso -. expected_iso) > 1e-9 then
+        Alcotest.fail "r_iso formula";
+      Array.iter
+        (fun (cd : Params.class_at_db) ->
+          let lo_o, hi_o = ranges.Params.n_o in
+          if cd.Params.n_o < lo_o || cd.Params.n_o > hi_o then
+            Alcotest.fail "n_o out of range";
+          if cd.Params.n_pa < 0 || cd.Params.n_pa > gc.Params.n_p then
+            Alcotest.fail "n_pa out of range";
+          if
+            cd.Params.n_qa < max cd.Params.n_pa cd.Params.n_ta
+            || cd.Params.n_qa > cd.Params.n_pa + cd.Params.n_ta
+          then Alcotest.fail "n_qa out of range";
+          let missing = gc.Params.n_p - cd.Params.n_pa in
+          if missing > 0 && cd.Params.r_m <> 1.0 then
+            Alcotest.fail "r_m must be 1 with missing predicate attributes";
+          if missing = 0 && cd.Params.r_m > 0.2 then Alcotest.fail "r_m base range";
+          let expect_pps =
+            if cd.Params.n_pa = 0 then 1.0
+            else ranges.Params.ps_base ** sqrt (float_of_int cd.Params.n_pa)
+          in
+          if abs_float (cd.Params.r_pps -. expect_pps) > 1e-9 then
+            Alcotest.fail "r_pps formula";
+          let expect_as =
+            if missing = 0 then 1.0
+            else ranges.Params.as_base ** sqrt (float_of_int missing)
+          in
+          if abs_float (cd.Params.r_as -. expect_as) > 1e-9 then
+            Alcotest.fail "r_as formula")
+        gc.Params.per_db)
+    s.Params.classes
+
+let test_sample_invariants () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 200 do
+    check_invariants (Params.sample rng Params.default) Params.default
+  done
+
+let test_sample_deterministic () =
+  let draw () =
+    let rng = Rng.create ~seed:99 in
+    Params.sample rng Params.default
+  in
+  Alcotest.(check bool) "deterministic" true (draw () = draw ())
+
+let test_custom_ranges () =
+  let ranges = { Params.default with Params.n_db = 6; n_c = (2, 2) } in
+  let rng = Rng.create ~seed:1 in
+  let s = Params.sample rng ranges in
+  Alcotest.(check int) "six dbs" 6 s.Params.n_db;
+  Alcotest.(check int) "two classes" 2 (Array.length s.Params.classes);
+  Alcotest.(check int) "per-db arrays sized" 6
+    (Array.length s.Params.classes.(0).Params.per_db);
+  check_invariants s ranges
+
+let test_total_predicates () =
+  let rng = Rng.create ~seed:2 in
+  let s = Params.sample rng Params.default in
+  let manual =
+    Array.fold_left (fun acc gc -> acc + gc.Params.n_p) 0 s.Params.classes
+  in
+  Alcotest.(check int) "total" manual (Params.total_predicates s)
+
+let test_pp () =
+  let text = Format.asprintf "%a" Params.pp_ranges Params.default in
+  Alcotest.(check bool) "mentions N_db" true (Testutil.contains ~needle:"N_db" text);
+  Alcotest.(check bool) "mentions formulas" true
+    (Testutil.contains ~needle:"0.45" text)
+
+let suite =
+  [
+    Alcotest.test_case "defaults match table 2" `Quick test_defaults_match_table2;
+    Alcotest.test_case "sample invariants (200 draws)" `Quick test_sample_invariants;
+    Alcotest.test_case "deterministic" `Quick test_sample_deterministic;
+    Alcotest.test_case "custom ranges" `Quick test_custom_ranges;
+    Alcotest.test_case "total predicates" `Quick test_total_predicates;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

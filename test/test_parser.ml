@@ -1,0 +1,176 @@
+open Msdq_odb
+open Msdq_query
+
+let parse s =
+  match Parser.parse_result s with
+  | Ok ast -> ast
+  | Error msg -> Alcotest.fail msg
+
+let test_q1 () =
+  let ast = parse Msdq_fed.Paper_example.q1 in
+  Alcotest.(check string) "range class" "Student" ast.Ast.range_class;
+  Alcotest.(check string) "binding" "X" ast.Ast.binding;
+  Alcotest.(check bool) "global query" true (ast.Ast.range_db = None);
+  Alcotest.(check (list string)) "targets" [ "name"; "advisor.name" ]
+    (List.map Path.to_string ast.Ast.targets);
+  match Ast.conjunctive_where ast with
+  | Some [ p1; p2; p3 ] ->
+    Alcotest.(check string) "p1" "address.city = \"Taipei\"" (Predicate.to_string p1);
+    Alcotest.(check string) "p2" "advisor.speciality = \"database\""
+      (Predicate.to_string p2);
+    Alcotest.(check string) "p3" "advisor.department.name = \"CS\""
+      (Predicate.to_string p3)
+  | _ -> Alcotest.fail "Q1 should have three conjuncts"
+
+let test_local_query_syntax () =
+  (* The paper's derived local query Q1' targets Student@DB1. *)
+  let ast =
+    parse
+      "select X.name from Student@DB1 X where X.advisor.department.name = \"CS\""
+  in
+  Alcotest.(check (option string)) "range db" (Some "DB1") ast.Ast.range_db;
+  Alcotest.(check string) "range class" "Student" ast.Ast.range_class
+
+let test_literals_and_ops () =
+  let ast =
+    parse
+      "select X.name from C X where X.a = 3 and X.b != 2.5 and X.c < -7 and \
+       X.d >= 10 and X.e = true and X.f <> \"x\" and X.g <= 1 and X.h > 0"
+  in
+  match Ast.conjunctive_where ast with
+  | Some preds ->
+    let ops = List.map (fun (p : Predicate.t) -> p.Predicate.op) preds in
+    Alcotest.(check int) "eight predicates" 8 (List.length preds);
+    Alcotest.(check bool) "ops parsed" true
+      (ops
+      = [
+          Predicate.Eq;
+          Predicate.Ne;
+          Predicate.Lt;
+          Predicate.Ge;
+          Predicate.Eq;
+          Predicate.Ne;
+          Predicate.Le;
+          Predicate.Gt;
+        ]);
+    (match (List.nth preds 2).Predicate.operand with
+    | Value.Int -7 -> ()
+    | v -> Alcotest.fail ("negative literal: " ^ Value.to_string v));
+    (match (List.nth preds 1).Predicate.operand with
+    | Value.Float f -> Alcotest.(check (float 1e-9)) "float" 2.5 f
+    | _ -> Alcotest.fail "float literal");
+    (match (List.nth preds 4).Predicate.operand with
+    | Value.Bool true -> ()
+    | _ -> Alcotest.fail "bool literal")
+  | None -> Alcotest.fail "conjunctive"
+
+let test_hyphenated_identifier () =
+  let ast = parse "select X.s-no from Student X where X.s-no = 804301" in
+  Alcotest.(check (list string)) "target" [ "s-no" ]
+    (List.map Path.to_string ast.Ast.targets)
+
+let test_disjunction_precedence () =
+  (* a or b and c parses as a or (b and c) *)
+  let ast =
+    parse "select X.t from C X where X.a = 1 or X.b = 2 and X.c = 3"
+  in
+  (match ast.Ast.where with
+  | Cond.Or [ Cond.Atom _; Cond.And [ Cond.Atom _; Cond.Atom _ ] ] -> ()
+  | _ -> Alcotest.fail "precedence: and binds tighter than or");
+  (* parentheses override *)
+  let ast2 =
+    parse "select X.t from C X where (X.a = 1 or X.b = 2) and X.c = 3"
+  in
+  match ast2.Ast.where with
+  | Cond.And [ Cond.Or [ _; _ ]; Cond.Atom _ ] -> ()
+  | _ -> Alcotest.fail "parentheses grouping"
+
+let test_not () =
+  let ast = parse "select X.t from C X where not X.a = 1" in
+  match ast.Ast.where with
+  | Cond.Not (Cond.Atom _) -> ()
+  | _ -> Alcotest.fail "not parsed"
+
+let test_no_where () =
+  let ast = parse "select X.t from C X" in
+  Alcotest.(check bool) "empty where" true (ast.Ast.where = Cond.tt)
+
+let test_keywords_case_insensitive () =
+  let ast = parse "SELECT X.t FROM C X WHERE X.a = 1 AND X.b = 2" in
+  Alcotest.(check bool) "two conjuncts" true
+    (match Ast.conjunctive_where ast with Some [ _; _ ] -> true | _ -> false)
+
+let test_string_escapes () =
+  let ast = parse {|select X.t from C X where X.a = "he said \"hi\" \\ bye"|} in
+  match Cond.atoms ast.Ast.where with
+  | [ p ] -> (
+    match p.Predicate.operand with
+    | Value.Str s -> Alcotest.(check string) "unescaped" {|he said "hi" \ bye|} s
+    | _ -> Alcotest.fail "string operand")
+  | _ -> Alcotest.fail "one atom"
+
+let expect_error s fragment =
+  match Parser.parse_result s with
+  | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentions %S (got %S)" fragment msg)
+      true
+      (Testutil.contains ~needle:fragment msg)
+
+let test_errors () =
+  expect_error "select" "expected";
+  expect_error "select X.a from" "expected";
+  expect_error "select X.a from C X where X.a" "comparison";
+  expect_error "select X.a from C X where X.a = " "literal";
+  expect_error "select Y.a from C X" "binding variable";
+  expect_error "select X from C X" "no attribute";
+  expect_error "select X.a from C X where X.a = 1 garbage" "unexpected";
+  expect_error "select X.a from C X where X.a = \"unterminated" "unterminated";
+  expect_error "select X.a from C X where X.a = 1 and" "expected";
+  expect_error "select X.a from C X where (X.a = 1" "')'";
+  expect_error "select X.a from C X where X.a # 1" "illegal character"
+
+let test_positions () =
+  match Parser.parse_result "select X.a\nfrom C X where X.a ! 1" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error msg -> Alcotest.(check bool) "line 2 reported" true
+      (Testutil.contains ~needle:"line 2" msg)
+
+(* Round trip: printing a parsed query and re-parsing it preserves the
+   structure. *)
+let test_round_trip () =
+  let sources =
+    [
+      Msdq_fed.Paper_example.q1;
+      "select X.name from Student@DB1 X where X.advisor.department.name = \"CS\"";
+      "select X.a, X.b.c from K X where not (X.a = 1 or X.b.c < 2.5)";
+      "select X.a from K X";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let ast = parse src in
+      let printed = Ast.to_string ast in
+      let ast2 = parse printed in
+      Alcotest.(check string) ("round trip: " ^ src) (Ast.to_string ast)
+        (Ast.to_string ast2);
+      Alcotest.(check bool) ("cond equal: " ^ src) true
+        (Cond.equal ast.Ast.where ast2.Ast.where))
+    sources
+
+let suite =
+  [
+    Alcotest.test_case "parse Q1" `Quick test_q1;
+    Alcotest.test_case "local query syntax" `Quick test_local_query_syntax;
+    Alcotest.test_case "literals and operators" `Quick test_literals_and_ops;
+    Alcotest.test_case "hyphenated identifiers" `Quick test_hyphenated_identifier;
+    Alcotest.test_case "boolean precedence" `Quick test_disjunction_precedence;
+    Alcotest.test_case "negation" `Quick test_not;
+    Alcotest.test_case "missing where" `Quick test_no_where;
+    Alcotest.test_case "case-insensitive keywords" `Quick test_keywords_case_insensitive;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_positions;
+    Alcotest.test_case "print/parse round trip" `Quick test_round_trip;
+  ]

@@ -1,0 +1,89 @@
+(* Printing any well-formed AST and re-parsing it reproduces the AST. *)
+
+open Msdq_odb
+open Msdq_query
+
+let keywords = [ "select"; "from"; "where"; "and"; "or"; "not"; "true"; "false" ]
+
+let gen_ident =
+  QCheck.Gen.(
+    let* len = 1 -- 8 in
+    let* chars = list_size (return len) (char_range 'a' 'z') in
+    let s = String.init len (List.nth chars) in
+    if List.mem s keywords then return (s ^ "x") else return s)
+
+let gen_path = QCheck.Gen.(list_size (1 -- 3) gen_ident)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Float (Float.of_int f /. 8.0)) (int_range (-500) 500);
+        map
+          (fun chars -> Value.Str (String.concat "" (List.map (String.make 1) chars)))
+          (list_size (0 -- 6)
+             (oneof [ char_range 'a' 'z'; return '"'; return '\\'; return ' ' ]));
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let gen_op =
+  QCheck.Gen.oneofl
+    Predicate.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let gen_atom =
+  QCheck.Gen.(
+    let* path = gen_path in
+    let* op = gen_op in
+    let* operand = gen_value in
+    return (Cond.Atom (Predicate.make ~path ~op ~operand)))
+
+let gen_cond =
+  QCheck.Gen.(
+    sized_size (0 -- 3) (fix (fun self n ->
+        if n = 0 then gen_atom
+        else
+          frequency
+            [
+              (3, gen_atom);
+              (* single-child and/or would print as bare parentheses and
+                 reparse without the wrapper; real parsers never produce
+                 them either *)
+              (2, map (fun l -> Cond.And l) (list_size (2 -- 3) (self (n - 1))));
+              (2, map (fun l -> Cond.Or l) (list_size (2 -- 3) (self (n - 1))));
+              (1, map (fun c -> Cond.Not c) (self (n - 1)));
+            ])))
+
+let gen_ast =
+  QCheck.Gen.(
+    let* range_class = gen_ident in
+    let* targets = list_size (1 -- 3) gen_path in
+    let* with_where = bool in
+    let* where = if with_where then gen_cond else return Cond.tt in
+    return (Ast.make ~range_class ~targets ~where ()))
+
+let arbitrary_ast = QCheck.make ~print:Ast.to_string gen_ast
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"print/parse round trip on random ASTs" ~count:300
+    arbitrary_ast
+    (fun ast ->
+      match Parser.parse_result (Ast.to_string ast) with
+      | Error msg -> QCheck.Test.fail_report msg
+      | Ok ast2 ->
+        String.equal ast.Ast.range_class ast2.Ast.range_class
+        && List.equal Path.equal ast.Ast.targets ast2.Ast.targets
+        && Cond.equal ast.Ast.where ast2.Ast.where)
+
+(* Parsing arbitrary junk never raises anything but Parser.Error. *)
+let prop_no_crash =
+  QCheck.Test.make ~name:"parser never crashes on junk" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 60) Gen.printable)
+    (fun junk ->
+      match Parser.parse_result junk with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_round_trip;
+    QCheck_alcotest.to_alcotest prop_no_crash;
+  ]

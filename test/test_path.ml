@@ -1,0 +1,64 @@
+open Msdq_odb
+
+let test_of_string () =
+  Alcotest.(check (list string)) "split" [ "advisor"; "department"; "name" ]
+    (Path.of_string "advisor.department.name");
+  Alcotest.(check (list string)) "single" [ "name" ] (Path.of_string "name");
+  Alcotest.(check string) "round trip" "a.b.c"
+    (Path.to_string (Path.of_string "a.b.c"));
+  Alcotest.(check bool) "equal" true
+    (Path.equal (Path.of_string "a.b") [ "a"; "b" ]);
+  Alcotest.(check bool) "compare" true (Path.compare [ "a" ] [ "b" ] < 0)
+
+let test_resolve_full () =
+  let s = Fixtures.school_schema () in
+  match Path.resolve s ~root:"Student" (Path.of_string "advisor.department.name") with
+  | Path.Full (steps, ty) ->
+    Alcotest.(check int) "three steps" 3 (List.length steps);
+    Alcotest.(check (list string)) "classes along path"
+      [ "Student"; "Teacher"; "Department" ]
+      (List.map (fun st -> st.Path.on_class) steps);
+    Alcotest.(check bool) "final type string" true
+      (Schema.equal_attr_type ty (Schema.Prim Schema.P_string))
+  | Path.Cut _ -> Alcotest.fail "unexpected cut"
+  | Path.Invalid m -> Alcotest.fail m
+
+let test_resolve_cut_at_root () =
+  let s = Fixtures.school_schema () in
+  match Path.resolve s ~root:"Student" (Path.of_string "address.city") with
+  | Path.Cut { prefix; at_class; rest } ->
+    Alcotest.(check int) "no prefix" 0 (List.length prefix);
+    Alcotest.(check string) "cut at root class" "Student" at_class;
+    Alcotest.(check (list string)) "rest keeps missing attr" [ "address"; "city" ] rest
+  | Path.Full _ | Path.Invalid _ -> Alcotest.fail "expected cut"
+
+let test_resolve_cut_at_branch () =
+  let s = Fixtures.poor_schema () in
+  (* poor Teacher has no department *)
+  match Path.resolve s ~root:"Student" (Path.of_string "advisor.department.name") with
+  | Path.Cut { prefix; at_class; rest } ->
+    Alcotest.(check int) "prefix has advisor step" 1 (List.length prefix);
+    Alcotest.(check string) "cut at Teacher" "Teacher" at_class;
+    Alcotest.(check (list string)) "rest" [ "department"; "name" ] rest
+  | Path.Full _ | Path.Invalid _ -> Alcotest.fail "expected cut"
+
+let test_resolve_invalid () =
+  let s = Fixtures.school_schema () in
+  let invalid p root =
+    match Path.resolve s ~root p with
+    | Path.Invalid _ -> true
+    | Path.Full _ | Path.Cut _ -> false
+  in
+  Alcotest.(check bool) "empty path" true (invalid [] "Student");
+  Alcotest.(check bool) "unknown root" true (invalid [ "x" ] "Course");
+  Alcotest.(check bool) "primitive mid-path" true
+    (invalid (Path.of_string "name.length") "Student")
+
+let suite =
+  [
+    Alcotest.test_case "string conversion" `Quick test_of_string;
+    Alcotest.test_case "resolve full" `Quick test_resolve_full;
+    Alcotest.test_case "resolve cut at root" `Quick test_resolve_cut_at_root;
+    Alcotest.test_case "resolve cut at branch" `Quick test_resolve_cut_at_branch;
+    Alcotest.test_case "resolve invalid" `Quick test_resolve_invalid;
+  ]

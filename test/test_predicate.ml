@@ -1,0 +1,128 @@
+open Msdq_odb
+
+let sat = function Predicate.Sat -> true | Predicate.Viol | Predicate.Blocked _ -> false
+let viol = function Predicate.Viol -> true | Predicate.Sat | Predicate.Blocked _ -> false
+
+let test_make_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty path" true
+    (bad (fun () -> Predicate.make ~path:[] ~op:Predicate.Eq ~operand:(Value.Int 1)));
+  Alcotest.(check bool) "null operand" true
+    (bad (fun () -> Predicate.make ~path:[ "a" ] ~op:Predicate.Eq ~operand:Value.Null));
+  Alcotest.(check bool) "ref operand" true
+    (bad (fun () ->
+         Predicate.make ~path:[ "a" ] ~op:Predicate.Eq
+           ~operand:(Value.Ref (Oid.Loid.of_int 0))))
+
+let test_simple_eval () =
+  let db, _, _, `Students (john, tony, _) = Fixtures.school_db () in
+  let p = Fixtures.pred "age" Predicate.Gt (Value.Int 30) in
+  Alcotest.(check bool) "john age > 30" true (sat (Predicate.eval db john p));
+  Alcotest.(check bool) "tony age not > 30" true (viol (Predicate.eval db tony p));
+  let q = Fixtures.pred "name" Predicate.Eq (Value.Str "John") in
+  Alcotest.(check bool) "name eq" true (sat (Predicate.eval db john q));
+  let r = Fixtures.pred "name" Predicate.Ne (Value.Str "John") in
+  Alcotest.(check bool) "name ne" true (viol (Predicate.eval db john r))
+
+let test_nested_eval () =
+  let db, _, _, `Students (john, tony, _) = Fixtures.school_db () in
+  let p = Fixtures.pred "advisor.department.name" Predicate.Eq (Value.Str "CS") in
+  Alcotest.(check bool) "john's advisor in CS" true (sat (Predicate.eval db john p));
+  Alcotest.(check bool) "tony's advisor in EE" true (viol (Predicate.eval db tony p));
+  let q = Fixtures.pred "advisor.speciality" Predicate.Eq (Value.Str "database") in
+  Alcotest.(check bool) "john's advisor speciality" true (sat (Predicate.eval db john q))
+
+(* A null value along the path blocks evaluation at the null-holding object,
+   with the suffix starting at the null attribute. *)
+let test_null_blocks () =
+  let db, _, `Teachers (_, haley), `Students (_, tony, mary) = Fixtures.school_db () in
+  let p = Fixtures.pred "advisor.speciality" Predicate.Eq (Value.Str "database") in
+  (match Predicate.eval db tony p with
+  | Predicate.Blocked b ->
+    Alcotest.(check bool) "blocked at haley" true
+      (Oid.Loid.equal (Dbobject.loid b.Predicate.obj) (Dbobject.loid haley));
+    Alcotest.(check (list string)) "suffix" [ "speciality" ] b.Predicate.rest;
+    Alcotest.(check bool) "cause is null" true (b.Predicate.cause = Predicate.Null_value)
+  | Predicate.Sat | Predicate.Viol -> Alcotest.fail "expected blocked");
+  let q = Fixtures.pred "age" Predicate.Lt (Value.Int 30) in
+  match Predicate.eval db mary q with
+  | Predicate.Blocked b ->
+    Alcotest.(check bool) "blocked at mary herself" true
+      (Oid.Loid.equal (Dbobject.loid b.Predicate.obj) (Dbobject.loid mary));
+    Alcotest.(check (list string)) "suffix is whole path" [ "age" ] b.Predicate.rest
+  | Predicate.Sat | Predicate.Viol -> Alcotest.fail "expected blocked"
+
+(* A schema-level missing attribute blocks with cause Missing_attribute. *)
+let test_missing_attribute_blocks () =
+  let schema = Fixtures.poor_schema () in
+  let db = Database.create ~name:"poor" ~schema in
+  let t = Database.add db ~cls:"Teacher" [ Value.Str "Abel" ] in
+  let s =
+    Database.add db ~cls:"Student"
+      [ Value.Str "Amy"; Value.Int 20; Value.Ref (Dbobject.loid t) ]
+  in
+  let p = Fixtures.pred "advisor.department.name" Predicate.Eq (Value.Str "CS") in
+  match Predicate.eval db s p with
+  | Predicate.Blocked b ->
+    Alcotest.(check bool) "blocked at teacher" true
+      (Oid.Loid.equal (Dbobject.loid b.Predicate.obj) (Dbobject.loid t));
+    Alcotest.(check (list string)) "suffix" [ "department"; "name" ] b.Predicate.rest;
+    Alcotest.(check bool) "cause missing attr" true
+      (b.Predicate.cause = Predicate.Missing_attribute)
+  | Predicate.Sat | Predicate.Viol -> Alcotest.fail "expected blocked"
+
+(* Blocked evaluation happens even when the comparison could short-circuit:
+   missing data always yields Unknown, never a guess. *)
+let test_truth_mapping () =
+  Alcotest.(check bool) "sat -> true" true
+    (Predicate.truth_of_outcome Predicate.Sat = Truth.True);
+  Alcotest.(check bool) "viol -> false" true
+    (Predicate.truth_of_outcome Predicate.Viol = Truth.False)
+
+let test_ordering_ops () =
+  let db, _, _, `Students (john, _, _) = Fixtures.school_db () in
+  let check op v expect =
+    let p = Fixtures.pred "age" op (Value.Int v) in
+    Alcotest.(check bool)
+      (Printf.sprintf "age %s %d" (Predicate.op_to_string op) v)
+      expect
+      (sat (Predicate.eval db john p))
+  in
+  (* john is 31 *)
+  check Predicate.Lt 32 true;
+  check Predicate.Le 31 true;
+  check Predicate.Gt 31 false;
+  check Predicate.Ge 31 true;
+  check Predicate.Ne 31 false;
+  check Predicate.Eq 31 true
+
+let test_comparison_counter () =
+  let db, _, _, `Students (john, _, _) = Fixtures.school_db () in
+  Predicate.reset_counters ();
+  let p = Fixtures.pred "age" Predicate.Eq (Value.Int 31) in
+  ignore (Predicate.eval db john p);
+  ignore (Predicate.eval db john p);
+  Alcotest.(check int) "two comparisons" 2 (Predicate.count_comparisons ());
+  Predicate.reset_counters ();
+  Alcotest.(check int) "reset" 0 (Predicate.count_comparisons ())
+
+let test_pp () =
+  let p = Fixtures.pred "advisor.name" Predicate.Eq (Value.Str "Kelly") in
+  Alcotest.(check string) "render" "advisor.name = \"Kelly\"" (Predicate.to_string p);
+  let q = Fixtures.pred "age" Predicate.Ge (Value.Int 30) in
+  Alcotest.(check string) "render int" "age >= 30" (Predicate.to_string q);
+  Alcotest.(check bool) "equal" true (Predicate.equal p p);
+  Alcotest.(check bool) "not equal" false (Predicate.equal p q)
+
+let suite =
+  [
+    Alcotest.test_case "constructor validation" `Quick test_make_validation;
+    Alcotest.test_case "simple evaluation" `Quick test_simple_eval;
+    Alcotest.test_case "nested evaluation" `Quick test_nested_eval;
+    Alcotest.test_case "null blocks evaluation" `Quick test_null_blocks;
+    Alcotest.test_case "missing attribute blocks" `Quick test_missing_attribute_blocks;
+    Alcotest.test_case "truth mapping" `Quick test_truth_mapping;
+    Alcotest.test_case "ordering operators" `Quick test_ordering_ops;
+    Alcotest.test_case "comparison counter" `Quick test_comparison_counter;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,123 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  (fed, analysis)
+
+let test_attribute_selectivity () =
+  let fed, _ = setup () in
+  (* Cities: Taipei, HsinChu -> half satisfy "= Taipei". *)
+  Alcotest.(check (float 1e-9)) "city selectivity" 0.5
+    (Probabilistic.attribute_selectivity fed ~gcls:"Address" ~attr:"city"
+       ~op:Predicate.Eq ~operand:(Value.Str "Taipei"));
+  (* Specialities: database (Kelly), network (Jeffery): null and missing
+     values don't count. *)
+  Alcotest.(check (float 1e-9)) "speciality selectivity" 0.5
+    (Probabilistic.attribute_selectivity fed ~gcls:"Teacher" ~attr:"speciality"
+       ~op:Predicate.Eq ~operand:(Value.Str "database"));
+  (* Department names across DB1 (CS, EE) and DB3 (EE, CS, PH): 2/5 are CS. *)
+  Alcotest.(check (float 1e-9)) "department selectivity" 0.4
+    (Probabilistic.attribute_selectivity fed ~gcls:"Department" ~attr:"name"
+       ~op:Predicate.Eq ~operand:(Value.Str "CS"));
+  (* No observed value at all: uninformative prior. *)
+  let empty_schema =
+    Schema.create
+      [
+        {
+          Schema.cname = "C";
+          attrs =
+            [
+              { Schema.aname = "key"; atype = Schema.Prim Schema.P_int };
+              { Schema.aname = "x"; atype = Schema.Prim Schema.P_int };
+            ];
+        };
+      ]
+  in
+  let db = Database.create ~name:"a" ~schema:empty_schema in
+  ignore (Database.add db ~cls:"C" [ Value.Int 0; Value.Null ]);
+  let fed2 =
+    Federation.create ~databases:[ ("a", db) ]
+      ~mapping:[ ("C", [ ("a", "C") ]) ]
+      ~keys:[ ("C", "key") ]
+  in
+  Alcotest.(check (float 1e-9)) "prior" 0.5
+    (Probabilistic.attribute_selectivity fed2 ~gcls:"C" ~attr:"x"
+       ~op:Predicate.Eq ~operand:(Value.Int 3))
+
+(* Tony on Q1: city unknown (p 1/2), speciality unknown (p 1/2), department
+   definitely CS (p 1) -> 0.25. *)
+let test_q1_grading () =
+  let fed, analysis = setup () in
+  let answer, _ = Strategy.run Strategy.Bl fed analysis in
+  let graded = Probabilistic.annotate fed analysis answer in
+  Alcotest.(check int) "one certain" 1 (List.length graded.Probabilistic.certain);
+  (match graded.Probabilistic.maybe with
+  | [ g ] ->
+    Alcotest.(check (float 1e-9)) "Tony's probability" 0.25
+      g.Probabilistic.probability
+  | l -> Alcotest.fail (Printf.sprintf "%d graded maybes" (List.length l)));
+  Alcotest.(check (float 1e-9)) "expected size" 1.25
+    (Probabilistic.expected_size graded)
+
+(* Certain atoms contribute exactly 1; a certain row stays out of the
+   grading. *)
+let test_certain_untouched () =
+  let fed, _ = setup () in
+  let analysis =
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    Analysis.analyze schema
+      (Parser.parse "select X.name from Student X where X.name = \"John\"")
+  in
+  let answer, _ = Strategy.run Strategy.Bl fed analysis in
+  let graded = Probabilistic.annotate fed analysis answer in
+  Alcotest.(check int) "john certain" 1 (List.length graded.Probabilistic.certain);
+  Alcotest.(check int) "no maybes" 0 (List.length graded.Probabilistic.maybe)
+
+(* Disjunction combines as 1 - prod(1 - p). *)
+let test_disjunctive_probability () =
+  let fed, _ = setup () in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis =
+    Analysis.analyze schema
+      (Parser.parse
+         "select X.name from Student X where X.address.city = \"Taipei\" or \
+          X.advisor.speciality = \"database\"")
+  in
+  let answer, _ = Strategy.run Strategy.Bl fed analysis in
+  let graded = Probabilistic.annotate fed analysis answer in
+  (* Tony: city unknown (1/2), speciality unknown (1/2): 1 - 1/4 = 0.75.
+     Mary: city unknown (1/2), speciality of Abel unknown (1/2): 0.75. *)
+  List.iter
+    (fun g ->
+      Alcotest.(check (float 1e-9)) "or-probability" 0.75
+        g.Probabilistic.probability)
+    graded.Probabilistic.maybe;
+  Alcotest.(check bool) "has graded maybes" true
+    (graded.Probabilistic.maybe <> [])
+
+(* Grading sorts by decreasing probability. *)
+let test_sorting_and_pp () =
+  let fed, analysis = setup () in
+  let answer, _ = Strategy.run Strategy.Lo fed analysis in
+  let graded = Probabilistic.annotate fed analysis answer in
+  let probs = List.map (fun g -> g.Probabilistic.probability) graded.Probabilistic.maybe in
+  Alcotest.(check bool) "sorted descending" true
+    (probs = List.sort (fun a b -> Float.compare b a) probs);
+  let text = Format.asprintf "%a" Probabilistic.pp graded in
+  Alcotest.(check bool) "renders" true
+    (Testutil.contains ~needle:"expected result size" text)
+
+let suite =
+  [
+    Alcotest.test_case "attribute selectivity" `Quick test_attribute_selectivity;
+    Alcotest.test_case "Q1 grading (Tony = 0.25)" `Quick test_q1_grading;
+    Alcotest.test_case "certain rows untouched" `Quick test_certain_untouched;
+    Alcotest.test_case "disjunctive probability" `Quick test_disjunctive_probability;
+    Alcotest.test_case "sorting and rendering" `Quick test_sorting_and_pp;
+  ]

@@ -1,0 +1,186 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
+  (ex, fed, analysis)
+
+(* PL's probe inspects all root objects without comparisons: on DB1 it finds
+   the same blocking points local evaluation finds, for every student. *)
+let test_probe_finds_blocks () =
+  let _, fed, analysis = setup () in
+  Msdq_odb.Meter.reset ();
+  let before = Meter.read () in
+  let p = Probe.run fed analysis ~db:"DB1" in
+  let work = Meter.delta before in
+  ignore work;
+  Alcotest.(check int) "examined all students" 3 p.Probe.examined;
+  (* address (x3 students), speciality (x3 advisors), department (null at
+     t2 for Mary) = 7 blocking points *)
+  Alcotest.(check int) "seven blocking points" 7 (List.length p.Probe.items);
+  Alcotest.(check int) "no comparisons during probe" 0
+    p.Probe.work.Meter.comparisons;
+  Alcotest.(check bool) "accesses were counted" true
+    (p.Probe.work.Meter.accesses > 0)
+
+(* Probe's items are a superset (as item-atom pairs) of the unsolved entries
+   of the local rows: every verdict BL needs exists under PL too. *)
+let test_probe_superset_of_eval () =
+  let _, fed, analysis = setup () in
+  let key (u : Local_result.unsolved) =
+    (Oid.Loid.to_int (Dbobject.loid u.Local_result.item), u.Local_result.atom)
+  in
+  List.iter
+    (fun db ->
+      let probe_keys = List.map key (Probe.run fed analysis ~db).Probe.items in
+      let eval_keys =
+        List.concat_map
+          (fun (row : Local_result.row) ->
+            List.map key row.Local_result.unsolved)
+          (Local_eval.run fed analysis ~db).Local_result.rows
+      in
+      List.iter
+        (fun k ->
+          if not (List.mem k probe_keys) then
+            Alcotest.fail
+              (Printf.sprintf "%s: eval found a block the probe missed" db))
+        eval_keys)
+    [ "DB1"; "DB2" ]
+
+(* Deep certification resolves a chain no single check round can: DB1 knows
+   the student, DB2 knows the advisor reference, DB3 knows the department
+   name — checking DB2's teacher from DB1 hits another missing datum. *)
+let chain_fed () =
+  let prim_int name = { Schema.aname = name; atype = Schema.Prim Schema.P_int } in
+  let prim_str name = { Schema.aname = name; atype = Schema.Prim Schema.P_string } in
+  let s1 =
+    Schema.create
+      [
+        { Schema.cname = "T"; attrs = [ prim_int "tid" ] };
+        {
+          Schema.cname = "S";
+          attrs =
+            [
+              prim_int "sid";
+              { Schema.aname = "adv"; atype = Schema.Complex "T" };
+            ];
+        };
+      ]
+  in
+  let s2 =
+    Schema.create
+      [
+        { Schema.cname = "D"; attrs = [ prim_int "did" ] };
+        {
+          Schema.cname = "T";
+          attrs =
+            [
+              prim_int "tid";
+              { Schema.aname = "dept"; atype = Schema.Complex "D" };
+            ];
+        };
+      ]
+  in
+  let s3 =
+    Schema.create
+      [ { Schema.cname = "D"; attrs = [ prim_int "did"; prim_str "name" ] } ]
+  in
+  let db1 = Database.create ~name:"db1" ~schema:s1 in
+  let db2 = Database.create ~name:"db2" ~schema:s2 in
+  let db3 = Database.create ~name:"db3" ~schema:s3 in
+  let t1 = Database.add db1 ~cls:"T" [ Value.Int 7 ] in
+  ignore (Database.add db1 ~cls:"S" [ Value.Int 1; Value.Ref (Dbobject.loid t1) ]);
+  let d2 = Database.add db2 ~cls:"D" [ Value.Int 9 ] in
+  ignore (Database.add db2 ~cls:"T" [ Value.Int 7; Value.Ref (Dbobject.loid d2) ]);
+  ignore (Database.add db3 ~cls:"D" [ Value.Int 9; Value.Str "CS" ]);
+  Federation.create
+    ~databases:[ ("db1", db1); ("db2", db2); ("db3", db3) ]
+    ~mapping:
+      [
+        ("D", [ ("db2", "D"); ("db3", "D") ]);
+        ("T", [ ("db1", "T"); ("db2", "T") ]);
+        ("S", [ ("db1", "S") ]);
+      ]
+    ~keys:[ ("D", "did"); ("T", "tid"); ("S", "sid") ]
+
+let test_deep_resolves_chain () =
+  let fed = chain_fed () in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis =
+    Analysis.analyze schema
+      (Parser.parse "select X.sid from S X where X.adv.dept.name = \"CS\"")
+  in
+  (* One round: DB1's check on db2's teacher walks dept -> D(9) whose name
+     is missing in db2 -> Unknown -> maybe. *)
+  let bl, _ = Strategy.run Strategy.Bl fed analysis in
+  Alcotest.(check int) "BL leaves a maybe" 1 (List.length (Answer.maybe bl));
+  (* CA chains db1 -> db2 -> db3 and decides. *)
+  let ca, _ = Strategy.run Strategy.Ca fed analysis in
+  Alcotest.(check int) "CA certain" 1 (List.length (Answer.certain ca));
+  (* Deep certification closes the gap. *)
+  let options = { Strategy.default_options with Strategy.deep_certify = true } in
+  let deep, metrics = Strategy.run ~options Strategy.Bl fed analysis in
+  Alcotest.(check int) "deep BL certain" 1 (List.length (Answer.certain deep));
+  Alcotest.(check bool) "deep matches CA" true (Answer.same_statuses ca deep);
+  (* The deep pass shows up in the cost breakdown. *)
+  Alcotest.(check bool) "deep task charged" true
+    (List.exists
+       (fun (label, _, _) -> label = "deep-certify")
+       metrics.Strategy.breakdown)
+
+(* Deep.resolve directly: refreshes projections and reports counters. *)
+let test_deep_counters () =
+  let fed = chain_fed () in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis =
+    Analysis.analyze schema
+      (Parser.parse "select X.sid from S X where X.adv.dept.name = \"EE\"")
+  in
+  let bl, _ = Strategy.run Strategy.Bl fed analysis in
+  let out = Deep.resolve fed analysis bl in
+  Alcotest.(check int) "one residual" 1 out.Deep.residual;
+  Alcotest.(check int) "resolved" 1 out.Deep.resolved;
+  Alcotest.(check int) "eliminated (name is CS, not EE)" 1 out.Deep.eliminated;
+  Alcotest.(check int) "empty answer" 0 (Answer.size out.Deep.answer)
+
+(* Deep on an answer without maybes is a no-op. *)
+let test_deep_noop () =
+  let _, fed, _ = setup () in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analysis =
+    Analysis.analyze schema
+      (Parser.parse "select X.name from Student X where X.name = \"John\"")
+  in
+  let bl, _ = Strategy.run Strategy.Bl fed analysis in
+  let out = Deep.resolve fed analysis bl in
+  Alcotest.(check int) "no residual" 0 out.Deep.residual;
+  Alcotest.(check bool) "answer unchanged" true
+    (Answer.same_statuses bl out.Deep.answer)
+
+(* The signature catalog covers every object of every database. *)
+let test_sig_catalog () =
+  let ex, fed, _ = setup () in
+  let catalog = Sig_catalog.build fed in
+  Alcotest.(check int) "covers all 20 objects" 20 (Sig_catalog.object_count catalog);
+  Alcotest.(check int) "replica bytes" (20 * 32)
+    (Sig_catalog.storage_bytes catalog ~s_sig:32);
+  (match Sig_catalog.find catalog ~db:"DB1" (Dbobject.loid ex.Paper_example.t1) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "t1's signature missing");
+  Alcotest.(check bool) "unknown object" true
+    (Sig_catalog.find catalog ~db:"DB1" (Oid.Loid.of_int 999) = None)
+
+let suite =
+  [
+    Alcotest.test_case "probe finds blocks" `Quick test_probe_finds_blocks;
+    Alcotest.test_case "probe superset of eval" `Quick test_probe_superset_of_eval;
+    Alcotest.test_case "deep resolves 3-db chain" `Quick test_deep_resolves_chain;
+    Alcotest.test_case "deep counters" `Quick test_deep_counters;
+    Alcotest.test_case "deep no-op" `Quick test_deep_noop;
+    Alcotest.test_case "signature catalog" `Quick test_sig_catalog;
+  ]

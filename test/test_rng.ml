@@ -1,0 +1,90 @@
+open Msdq_workload
+
+let test_determinism () =
+  let draw seed =
+    let r = Rng.create ~seed in
+    List.init 20 (fun _ -> Rng.int r ~bound:1000)
+  in
+  Alcotest.(check (list int)) "same seed same stream" (draw 7) (draw 7);
+  Alcotest.(check bool) "different seeds differ" true (draw 7 <> draw 8)
+
+let test_split_independence () =
+  let r = Rng.create ~seed:1 in
+  let a = Rng.split r in
+  let b = Rng.split r in
+  let sa = List.init 10 (fun _ -> Rng.int a ~bound:1000) in
+  let sb = List.init 10 (fun _ -> Rng.int b ~bound:1000) in
+  Alcotest.(check bool) "split streams differ" true (sa <> sb)
+
+let test_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r ~bound:10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let w = Rng.range r ~lo:5 ~hi:7 in
+    if w < 5 || w > 7 then Alcotest.fail "range out of bounds";
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds";
+    let g = Rng.frange r ~lo:2.0 ~hi:3.0 in
+    if g < 2.0 || g > 3.0 then Alcotest.fail "frange out of bounds"
+  done
+
+let test_uniformity_rough () =
+  let r = Rng.create ~seed:11 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Rng.int r ~bound:4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d roughly uniform (%d)" i c)
+        true
+        (c > 800 && c < 1200))
+    counts
+
+let test_bool_probability () =
+  let r = Rng.create ~seed:13 in
+  let hits = ref 0 in
+  for _ = 1 to 2000 do
+    if Rng.bool r ~p:0.25 then incr hits
+  done;
+  Alcotest.(check bool) "about a quarter" true (!hits > 380 && !hits < 620)
+
+let test_pick () =
+  let r = Rng.create ~seed:17 in
+  let l = [ "a"; "b"; "c" ] in
+  for _ = 1 to 50 do
+    let v = Rng.pick r l in
+    if not (List.mem v l) then Alcotest.fail "pick outside list"
+  done;
+  Alcotest.(check bool) "empty pick rejected" true
+    (try
+       ignore (Rng.pick r []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_errors () =
+  let r = Rng.create ~seed:19 in
+  Alcotest.(check bool) "non-positive bound" true
+    (try
+       ignore (Rng.int r ~bound:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "inverted range" true
+    (try
+       ignore (Rng.range r ~lo:3 ~hi:2);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    Alcotest.test_case "bool probability" `Quick test_bool_probability;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

@@ -1,0 +1,106 @@
+open Msdq_odb
+
+let test_create_ok () =
+  let s = Fixtures.school_schema () in
+  Alcotest.(check (list string)) "classes in order"
+    [ "Department"; "Teacher"; "Student" ] (Schema.class_names s);
+  Alcotest.(check bool) "mem" true (Schema.mem_class s "Teacher");
+  Alcotest.(check bool) "not mem" false (Schema.mem_class s "Course");
+  Alcotest.(check int) "arity" 3 (Schema.arity s "Student")
+
+let test_attr_lookup () =
+  let s = Fixtures.school_schema () in
+  (match Schema.attr s ~cls:"Teacher" ~attr:"speciality" with
+  | Some a ->
+    Alcotest.(check bool) "primitive" true
+      (Schema.equal_attr_type a.Schema.atype (Schema.Prim Schema.P_string))
+  | None -> Alcotest.fail "speciality should exist");
+  Alcotest.(check bool) "missing attribute" true
+    (Schema.attr s ~cls:"Department" ~attr:"speciality" = None);
+  Alcotest.(check (option int)) "index" (Some 1)
+    (Schema.attr_index s ~cls:"Teacher" ~attr:"department");
+  Alcotest.(check bool) "unknown class raises" true
+    (try
+       ignore (Schema.attr s ~cls:"Nope" ~attr:"x");
+       false
+     with Schema.Invalid _ -> true)
+
+let expect_invalid name defs =
+  Alcotest.(check bool) name true
+    (try
+       ignore (Schema.create defs);
+       false
+     with Schema.Invalid _ -> true)
+
+let test_validation () =
+  expect_invalid "duplicate class" [ Fixtures.dept; Fixtures.dept ];
+  expect_invalid "dangling domain"
+    [
+      Schema.
+        {
+          cname = "A";
+          attrs = [ { aname = "b"; atype = Complex "Missing" } ];
+        };
+    ];
+  expect_invalid "duplicate attribute"
+    [
+      Schema.
+        {
+          cname = "A";
+          attrs =
+            [
+              { aname = "x"; atype = Prim P_int };
+              { aname = "x"; atype = Prim P_string };
+            ];
+        };
+    ]
+
+let test_cycles_allowed () =
+  (* Composition cycles are legal: Person -> Person (spouse). *)
+  let s =
+    Schema.create
+      [
+        Schema.
+          {
+            cname = "Person";
+            attrs = [ { aname = "spouse"; atype = Complex "Person" } ];
+          };
+      ]
+  in
+  Alcotest.(check int) "arity" 1 (Schema.arity s "Person")
+
+let test_value_matches () =
+  let s = Fixtures.school_schema () in
+  let m = Schema.value_matches s in
+  Alcotest.(check bool) "int ok" true (m (Schema.Prim Schema.P_int) (Value.Int 1));
+  Alcotest.(check bool) "str vs int" false
+    (m (Schema.Prim Schema.P_int) (Value.Str "x"));
+  Alcotest.(check bool) "null matches everything" true
+    (m (Schema.Prim Schema.P_bool) Value.Null);
+  Alcotest.(check bool) "ref matches complex" true
+    (m (Schema.Complex "Teacher") (Value.Ref (Oid.Loid.of_int 0)));
+  Alcotest.(check bool) "int vs complex" false
+    (m (Schema.Complex "Teacher") (Value.Int 3))
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let test_pp () =
+  let s = Fixtures.school_schema () in
+  let text = Format.asprintf "%a" Schema.pp s in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) ("mentions " ^ c) true (contains ~needle:c text))
+    [ "Student"; "Teacher"; "Department"; "speciality" ]
+
+let suite =
+  [
+    Alcotest.test_case "create and introspect" `Quick test_create_ok;
+    Alcotest.test_case "attribute lookup" `Quick test_attr_lookup;
+    Alcotest.test_case "validation failures" `Quick test_validation;
+    Alcotest.test_case "composition cycles allowed" `Quick test_cycles_allowed;
+    Alcotest.test_case "value typing" `Quick test_value_matches;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

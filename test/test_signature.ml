@@ -1,0 +1,86 @@
+open Msdq_odb
+
+let test_no_false_negative_eq () =
+  let db, _, `Teachers (kelly, _), _ = Fixtures.school_db () in
+  ignore db;
+  let s = Signature.of_object kelly in
+  (* kelly = ("Kelly", ref, "database"); slot 0 is the name. *)
+  Alcotest.(check bool) "matching value passes" true
+    (Signature.may_satisfy s ~index:0 ~op:Predicate.Eq ~operand:(Value.Str "Kelly"));
+  Alcotest.(check bool) "speciality slot passes" true
+    (Signature.may_satisfy s ~index:2 ~op:Predicate.Eq
+       ~operand:(Value.Str "database"))
+
+let test_filters_mismatches () =
+  let db, _, `Teachers (kelly, _), _ = Fixtures.school_db () in
+  ignore db;
+  let s = Signature.of_object kelly in
+  (* Hash collisions are possible in principle; these literals do not
+     collide with "Kelly"/"database" under the current digest. *)
+  Alcotest.(check bool) "mismatching name filtered" false
+    (Signature.may_satisfy s ~index:0 ~op:Predicate.Eq ~operand:(Value.Str "Abel"));
+  Alcotest.(check bool) "mismatching speciality filtered" false
+    (Signature.may_satisfy s ~index:2 ~op:Predicate.Eq
+       ~operand:(Value.Str "network"))
+
+let test_conservative_cases () =
+  let db, _, `Teachers (_, haley), _ = Fixtures.school_db () in
+  ignore db;
+  let s = Signature.of_object haley in
+  (* haley's speciality is null: no digest slot, never filtered. *)
+  Alcotest.(check bool) "null slot conservative" true
+    (Signature.may_satisfy s ~index:2 ~op:Predicate.Eq ~operand:(Value.Str "x"));
+  (* complex attribute (department ref): conservative *)
+  Alcotest.(check bool) "ref slot conservative" true
+    (Signature.may_satisfy s ~index:1 ~op:Predicate.Eq ~operand:(Value.Str "x"));
+  (* non-equality operators: conservative *)
+  Alcotest.(check bool) "range op conservative" true
+    (Signature.may_satisfy s ~index:0 ~op:Predicate.Lt ~operand:(Value.Str "zzz"));
+  (* out of range index: conservative *)
+  Alcotest.(check bool) "out of range conservative" true
+    (Signature.may_satisfy s ~index:99 ~op:Predicate.Eq ~operand:(Value.Str "x"))
+
+let test_digest () =
+  Alcotest.(check bool) "null has no digest" true
+    (Signature.digest_value Value.Null = None);
+  Alcotest.(check bool) "ref has no digest" true
+    (Signature.digest_value (Value.Ref (Oid.Loid.of_int 1)) = None);
+  Alcotest.(check bool) "int digested" true
+    (Signature.digest_value (Value.Int 42) <> None);
+  Alcotest.(check bool) "digest deterministic" true
+    (Signature.digest_value (Value.Str "a") = Signature.digest_value (Value.Str "a"))
+
+(* The defining property: if the stored value equals the operand, the
+   signature must never filter the object out. *)
+let prop_no_false_negatives =
+  QCheck.Test.make ~name:"signatures have no false negatives" ~count:300
+    QCheck.(pair small_int (string_gen_of_size (Gen.int_range 0 8) Gen.printable))
+    (fun (i, s) ->
+      let schema =
+        Schema.create
+          [
+            Schema.
+              {
+                cname = "T";
+                attrs =
+                  [
+                    { aname = "a"; atype = Prim P_int };
+                    { aname = "b"; atype = Prim P_string };
+                  ];
+              };
+          ]
+      in
+      let db = Database.create ~name:"t" ~schema in
+      let o = Database.add db ~cls:"T" [ Value.Int i; Value.Str s ] in
+      let sg = Signature.of_object o in
+      Signature.may_satisfy sg ~index:0 ~op:Predicate.Eq ~operand:(Value.Int i)
+      && Signature.may_satisfy sg ~index:1 ~op:Predicate.Eq ~operand:(Value.Str s))
+
+let suite =
+  [
+    Alcotest.test_case "no false negative on equal values" `Quick test_no_false_negative_eq;
+    Alcotest.test_case "filters mismatches" `Quick test_filters_mismatches;
+    Alcotest.test_case "conservative cases" `Quick test_conservative_cases;
+    Alcotest.test_case "digests" `Quick test_digest;
+    QCheck_alcotest.to_alcotest prop_no_false_negatives;
+  ]

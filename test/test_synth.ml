@@ -1,0 +1,112 @@
+open Msdq_odb
+open Msdq_fed
+open Msdq_workload
+
+let test_generation_basics () =
+  let fed = Synth.generate Synth.default in
+  Alcotest.(check int) "three databases" 3 (List.length (Federation.databases fed));
+  Alcotest.(check bool) "objects exist" true (Federation.total_objects fed > 0);
+  Alcotest.(check bool) "entities registered" true
+    (Goid_table.entity_count (Federation.goids fed) > 0)
+
+let test_deterministic () =
+  let summary cfg =
+    let fed = Synth.generate cfg in
+    ( Federation.total_objects fed,
+      Goid_table.entity_count (Federation.goids fed),
+      List.map
+        (fun (n, db) -> (n, Database.cardinality db))
+        (Federation.databases fed) )
+  in
+  Alcotest.(check bool) "same seed same federation" true
+    (summary Synth.default = summary Synth.default);
+  Alcotest.(check bool) "different seed differs" true
+    (summary Synth.default <> summary { Synth.default with Synth.seed = 43 })
+
+(* Isomeric copies must be consistent — the property the whole equivalence
+   story rests on. *)
+let test_consistency () =
+  for seed = 0 to 19 do
+    let fed = Synth.generate { Synth.default with Synth.seed } in
+    let conflicts =
+      Isomerism.check_consistency (Federation.global_schema fed)
+        ~databases:(Federation.databases fed) (Federation.goids fed)
+    in
+    if conflicts <> [] then
+      Alcotest.fail
+        (Format.asprintf "seed %d: %d conflicts, e.g. %a" seed
+           (List.length conflicts) Isomerism.pp_conflict (List.hd conflicts))
+  done
+
+(* Missing attributes actually occur across the generated constituents. *)
+let test_heterogeneity_present () =
+  let fed = Synth.generate Synth.default in
+  let gs = Federation.global_schema fed in
+  let some_missing =
+    List.exists
+      (fun gc ->
+        List.exists
+          (fun (db, _) ->
+            Global_schema.missing_attrs gs ~gcls:gc.Global_schema.gname ~db <> [])
+          (Federation.databases fed))
+      (Global_schema.classes gs)
+  in
+  Alcotest.(check bool) "some constituent misses attributes" true some_missing
+
+(* Null values occur. *)
+let test_nulls_present () =
+  let fed = Synth.generate Synth.default in
+  let has_null =
+    List.exists
+      (fun (_, db) ->
+        List.exists
+          (fun cd ->
+            List.exists Dbobject.has_null (Database.extent db cd.Schema.cname))
+          (Schema.classes (Database.schema db)))
+      (Federation.databases fed)
+  in
+  Alcotest.(check bool) "nulls generated" true has_null
+
+(* Isomerism occurs: some entity has more than one copy. *)
+let test_isomers_present () =
+  let fed = Synth.generate Synth.default in
+  let table = Federation.goids fed in
+  let multi =
+    List.exists
+      (fun gc ->
+        List.exists
+          (fun g -> List.length (Goid_table.locals_of table g) > 1)
+          (Goid_table.goids_of_class table ~gcls:gc.Global_schema.gname))
+      (Global_schema.classes (Federation.global_schema fed))
+  in
+  Alcotest.(check bool) "isomeric entities exist" true multi
+
+let test_single_class_chain () =
+  let cfg = { Synth.default with Synth.n_classes = 1; seed = 5 } in
+  let fed = Synth.generate cfg in
+  Alcotest.(check bool) "generates" true (Federation.total_objects fed > 0)
+
+let test_query_generation () =
+  let cfg = Synth.default in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let q = Synth.random_query rng cfg ~disjunctive:false in
+    Alcotest.(check string) "root" "K0" q.Msdq_query.Ast.range_class;
+    Alcotest.(check bool) "conjunctive" true
+      (Msdq_query.Cond.is_conjunctive q.Msdq_query.Ast.where);
+    let qd = Synth.random_query rng cfg ~disjunctive:true in
+    Alcotest.(check bool) "has atoms" true
+      (List.length (Msdq_query.Cond.atoms qd.Msdq_query.Ast.where) >= 1)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "generation basics" `Quick test_generation_basics;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "isomeric consistency (20 seeds)" `Quick test_consistency;
+    Alcotest.test_case "heterogeneity present" `Quick test_heterogeneity_present;
+    Alcotest.test_case "nulls present" `Quick test_nulls_present;
+    Alcotest.test_case "isomers present" `Quick test_isomers_present;
+    Alcotest.test_case "single-class chain" `Quick test_single_class_chain;
+    Alcotest.test_case "query generation" `Quick test_query_generation;
+  ]

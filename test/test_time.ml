@@ -1,0 +1,39 @@
+open Msdq_simkit
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_units () =
+  check_float "us" 1.0 (Time.to_us (Time.us 1.0));
+  check_float "ms" 1_000.0 (Time.to_us (Time.ms 1.0));
+  check_float "s" 1_000_000.0 (Time.to_us (Time.s 1.0));
+  check_float "to_ms" 2.5 (Time.to_ms (Time.us 2_500.0));
+  check_float "to_s" 0.5 (Time.to_s (Time.ms 500.0))
+
+let test_arithmetic () =
+  check_float "add" 3.0 (Time.add (Time.us 1.0) (Time.us 2.0));
+  check_float "sub" 1.0 (Time.sub (Time.us 3.0) (Time.us 2.0));
+  check_float "max" 3.0 (Time.max (Time.us 3.0) (Time.us 2.0));
+  Alcotest.check_raises "sub negative"
+    (Invalid_argument "Time.sub: negative duration") (fun () ->
+      ignore (Time.sub (Time.us 1.0) (Time.us 2.0)))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (Time.compare (Time.us 1.0) (Time.us 2.0) < 0);
+  Alcotest.(check bool) "eq" true (Time.compare (Time.us 2.0) (Time.us 2.0) = 0);
+  Alcotest.(check bool) "finite" true (Time.is_finite (Time.us 1.0));
+  Alcotest.(check bool) "nan not finite" false (Time.is_finite Float.nan);
+  Alcotest.(check bool) "inf not finite" false (Time.is_finite Float.infinity)
+
+let test_pp () =
+  let show t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "us range" "500.0us" (show (Time.us 500.0));
+  Alcotest.(check string) "ms range" "2.50ms" (show (Time.us 2_500.0));
+  Alcotest.(check string) "s range" "1.500s" (show (Time.s 1.5))
+
+let suite =
+  [
+    Alcotest.test_case "units" `Quick test_units;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

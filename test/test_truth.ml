@@ -1,0 +1,91 @@
+open Msdq_odb
+
+let tt = Alcotest.testable Truth.pp Truth.equal
+
+let all = [ Truth.True; Truth.False; Truth.Unknown ]
+
+let test_conj_table () =
+  let check a b expect =
+    Alcotest.check tt
+      (Printf.sprintf "%s /\\ %s" (Truth.to_string a) (Truth.to_string b))
+      expect (Truth.conj a b)
+  in
+  check Truth.True Truth.True Truth.True;
+  check Truth.True Truth.False Truth.False;
+  check Truth.True Truth.Unknown Truth.Unknown;
+  check Truth.False Truth.Unknown Truth.False;
+  check Truth.Unknown Truth.Unknown Truth.Unknown
+
+let test_disj_table () =
+  let check a b expect =
+    Alcotest.check tt
+      (Printf.sprintf "%s \\/ %s" (Truth.to_string a) (Truth.to_string b))
+      expect (Truth.disj a b)
+  in
+  check Truth.False Truth.False Truth.False;
+  check Truth.True Truth.False Truth.True;
+  check Truth.True Truth.Unknown Truth.True;
+  check Truth.False Truth.Unknown Truth.Unknown;
+  check Truth.Unknown Truth.Unknown Truth.Unknown
+
+let test_neg () =
+  Alcotest.check tt "neg true" Truth.False (Truth.neg Truth.True);
+  Alcotest.check tt "neg false" Truth.True (Truth.neg Truth.False);
+  Alcotest.check tt "neg unknown" Truth.Unknown (Truth.neg Truth.Unknown)
+
+let test_folds () =
+  Alcotest.check tt "empty conj" Truth.True (Truth.conj_all []);
+  Alcotest.check tt "empty disj" Truth.False (Truth.disj_all []);
+  Alcotest.check tt "conj with false" Truth.False
+    (Truth.conj_all [ Truth.True; Truth.Unknown; Truth.False ]);
+  Alcotest.check tt "conj unknown" Truth.Unknown
+    (Truth.conj_all [ Truth.True; Truth.Unknown ]);
+  Alcotest.check tt "disj with true" Truth.True
+    (Truth.disj_all [ Truth.Unknown; Truth.True ]);
+  Alcotest.check tt "of_bool" Truth.True (Truth.of_bool true)
+
+(* Kleene laws checked exhaustively over the 3-element domain. *)
+let test_kleene_laws () =
+  let assoc op =
+    List.for_all
+      (fun a ->
+        List.for_all
+          (fun b ->
+            List.for_all (fun c -> Truth.equal (op (op a b) c) (op a (op b c))) all)
+          all)
+      all
+  in
+  let commut op =
+    List.for_all
+      (fun a -> List.for_all (fun b -> Truth.equal (op a b) (op b a)) all)
+      all
+  in
+  let de_morgan =
+    List.for_all
+      (fun a ->
+        List.for_all
+          (fun b ->
+            Truth.equal
+              (Truth.neg (Truth.conj a b))
+              (Truth.disj (Truth.neg a) (Truth.neg b)))
+          all)
+      all
+  in
+  let double_neg =
+    List.for_all (fun a -> Truth.equal (Truth.neg (Truth.neg a)) a) all
+  in
+  Alcotest.(check bool) "conj associative" true (assoc Truth.conj);
+  Alcotest.(check bool) "disj associative" true (assoc Truth.disj);
+  Alcotest.(check bool) "conj commutative" true (commut Truth.conj);
+  Alcotest.(check bool) "disj commutative" true (commut Truth.disj);
+  Alcotest.(check bool) "de morgan" true de_morgan;
+  Alcotest.(check bool) "double negation" true double_neg
+
+let suite =
+  [
+    Alcotest.test_case "conjunction table" `Quick test_conj_table;
+    Alcotest.test_case "disjunction table" `Quick test_disj_table;
+    Alcotest.test_case "negation" `Quick test_neg;
+    Alcotest.test_case "folds" `Quick test_folds;
+    Alcotest.test_case "kleene laws (exhaustive)" `Quick test_kleene_laws;
+  ]

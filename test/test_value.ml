@@ -1,0 +1,79 @@
+open Msdq_odb
+
+let test_is_null () =
+  Alcotest.(check bool) "null" true (Value.is_null Value.Null);
+  Alcotest.(check bool) "int" false (Value.is_null (Value.Int 0));
+  Alcotest.(check bool) "str" false (Value.is_null (Value.Str ""))
+
+let test_equal () =
+  Alcotest.(check bool) "int eq" true (Value.equal (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "int ne" false (Value.equal (Value.Int 3) (Value.Int 4));
+  Alcotest.(check bool) "str eq" true (Value.equal (Value.Str "a") (Value.Str "a"));
+  Alcotest.(check bool) "cross type" false (Value.equal (Value.Int 1) (Value.Str "1"));
+  Alcotest.(check bool) "null eq null" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "null ne int" false (Value.equal Value.Null (Value.Int 0));
+  let r1 = Value.Ref (Oid.Loid.of_int 7) and r2 = Value.Ref (Oid.Loid.of_int 7) in
+  Alcotest.(check bool) "ref eq" true (Value.equal r1 r2)
+
+let test_compare () =
+  Alcotest.(check bool) "int lt" true (Value.compare_values (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "str gt" true
+    (Value.compare_values (Value.Str "b") (Value.Str "a") > 0);
+  Alcotest.(check bool) "float eq" true
+    (Value.compare_values (Value.Float 1.5) (Value.Float 1.5) = 0);
+  Alcotest.(check bool) "bool" true
+    (Value.compare_values (Value.Bool false) (Value.Bool true) < 0)
+
+let test_compare_type_errors () =
+  let raises v w =
+    try
+      ignore (Value.compare_values v w);
+      false
+    with Value.Type_error _ -> true
+  in
+  Alcotest.(check bool) "int vs str" true (raises (Value.Int 1) (Value.Str "x"));
+  Alcotest.(check bool) "null" true (raises Value.Null (Value.Int 1));
+  Alcotest.(check bool) "refs unordered" true
+    (raises (Value.Ref (Oid.Loid.of_int 0)) (Value.Ref (Oid.Loid.of_int 1)))
+
+let test_printing () =
+  Alcotest.(check string) "null" "-" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "str" "Taipei" (Value.to_string (Value.Str "Taipei"));
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Value.Float 2.5));
+  Alcotest.(check string) "type name" "ref"
+    (Value.type_name (Value.Ref (Oid.Loid.of_int 0)))
+
+let test_oids () =
+  let l = Oid.Loid.of_int 5 in
+  Alcotest.(check int) "loid round trip" 5 (Oid.Loid.to_int l);
+  Alcotest.(check string) "loid print" "l5" (Oid.Loid.to_string l);
+  Alcotest.(check bool) "loid equal" true (Oid.Loid.equal l (Oid.Loid.of_int 5));
+  let g = Oid.Goid.of_int 9 in
+  Alcotest.(check string) "goid print" "g9" (Oid.Goid.to_string g);
+  Alcotest.(check bool) "goid compare" true
+    (Oid.Goid.compare g (Oid.Goid.of_int 10) < 0);
+  let s = Oid.Goid.Set.of_list [ g; Oid.Goid.of_int 9; Oid.Goid.of_int 1 ] in
+  Alcotest.(check int) "goid set dedups" 2 (Oid.Goid.Set.cardinal s)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"int value comparison is a total order" ~count:200
+    QCheck.(triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      let va = Value.Int a and vb = Value.Int b and vc = Value.Int c in
+      let sgn x = Stdlib.compare x 0 in
+      (* antisymmetry and transitivity on a sample *)
+      sgn (Value.compare_values va vb) = -sgn (Value.compare_values vb va)
+      && (not (Value.compare_values va vb <= 0 && Value.compare_values vb vc <= 0)
+         || Value.compare_values va vc <= 0))
+
+let suite =
+  [
+    Alcotest.test_case "is_null" `Quick test_is_null;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "comparison type errors" `Quick test_compare_type_errors;
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "oids" `Quick test_oids;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+  ]

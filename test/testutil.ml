@@ -1,0 +1,15 @@
+(* Small helpers shared across test suites. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let string_of_values vs = String.concat "," (List.map Msdq_odb.Value.to_string vs)
+
+(* Name of an object per its "name" attribute, for readable assertions. *)
+let name_of db obj =
+  match Msdq_odb.Database.field_by_name db obj "name" with
+  | Some (Msdq_odb.Value.Str s) -> s
+  | Some v -> Msdq_odb.Value.to_string v
+  | None -> "?"
