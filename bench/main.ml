@@ -7,7 +7,14 @@
    - Bechamel microbenchmarks of the core operators.
 
    Usage: dune exec bench/main.exe [-- --quick | -- --samples N]
-   The paper's setting is 500 parameter draws per point (the default). *)
+   The paper's setting is 500 parameter draws per point (the default).
+
+   Every run also writes a machine-readable BENCH_<timestamp>.json
+   (schema "msdq-bench/1", see Run_report) with the per-strategy
+   simulated times on the demo workload and the bechamel wall-clock
+   medians; --out DIR picks the directory, --smoke runs a reduced
+   version for CI, and --check FILE validates an existing result file
+   against the schema. *)
 
 open Msdq_fed
 open Msdq_query
@@ -272,9 +279,28 @@ let throughput_study () =
     [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
 
 (* ------------------------------------------------------------------ *)
+(* Per-strategy simulated times on the demo workload, for the JSON file. *)
+
+let strategy_times () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let analysis =
+    Analysis.analyze
+      (Global_schema.schema (Federation.global_schema fed))
+      (Parser.parse Paper_example.q1)
+  in
+  List.map
+    (fun s ->
+      let _, m = Strategy.run s fed analysis in
+      ( Strategy.to_string s,
+        Msdq_simkit.Time.to_s m.Strategy.total,
+        Msdq_simkit.Time.to_s m.Strategy.response ))
+    Strategy.all
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
-let microbenches () =
+let microbenches ~quota () =
   section "microbench";
   let open Bechamel in
   let ex = Paper_example.build () in
@@ -320,7 +346,7 @@ let microbenches () =
             ignore (Param_sim.simulate ~cost:Cost.default Strategy.Bl s)));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -349,29 +375,99 @@ let microbenches () =
         else Printf.sprintf "%.2fs" (ns /. 1e9)
       in
       Format.printf "%-32s %16s %8.3f@." name human r2)
+    rows;
+  List.filter_map
+    (fun (name, ns, _) -> if Float.is_nan ns then None else Some (name, ns))
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable result file *)
+
+let timestamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let write_bench_json ~out ~wall =
+  let generated_at = timestamp () in
+  let doc =
+    Run_report.bench_to_json ~generated_at ~strategies:(strategy_times ()) ~wall
+  in
+  (match Run_report.validate_bench doc with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "internal error: generated an invalid bench document: %s@." msg;
+    exit 1);
+  let file_stamp =
+    String.map (function ':' -> '-' | c -> c) generated_at
+  in
+  let path = Filename.concat out (Printf.sprintf "BENCH_%s.json" file_stamp) in
+  let oc = open_out path in
+  output_string oc (Msdq_obs.Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+let check_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Msdq_obs.Json.of_string contents with
+  | Error msg ->
+    Format.eprintf "%s: not valid JSON: %s@." path msg;
+    exit 1
+  | Ok doc -> (
+    match Run_report.validate_bench doc with
+    | Ok () -> Format.printf "%s: valid %s document@." path Run_report.bench_schema
+    | Error msg ->
+      Format.eprintf "%s: %s@." path msg;
+      exit 1)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let samples = ref 500 in
   let seed = ref 1996 in
+  let smoke = ref false in
+  let out = ref "." in
+  let check = ref None in
   let spec =
     [
       ("--samples", Arg.Set_int samples, "N  parameter draws per point (default 500)");
       ("--quick", Arg.Unit (fun () -> samples := 120), " reduced draws for a fast run");
       ("--seed", Arg.Set_int seed, "N  random seed (default 1996)");
+      ( "--smoke",
+        Arg.Set smoke,
+        " minimal run for CI: skip the sweeps, still write the JSON file" );
+      ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
+      ( "--check",
+        Arg.String (fun f -> check := Some f),
+        "FILE  validate FILE against the bench schema and exit" );
     ]
   in
-  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick|--samples N]";
-  Format.printf
-    "Reproduction harness: Koh & Chen, ICDCS 1996 — every table and figure.@.";
-  Format.printf "parameter draws per point: %d@." !samples;
-  tables ();
-  figures ~samples:!samples ~seed:!seed;
-  concrete_validation ();
-  planner_study ();
-  straggler_study ();
-  throughput_study ();
-  microbenches ();
-  Format.printf "@.done.@."
+  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick|--samples N|--smoke|--check FILE]";
+  match !check with
+  | Some path -> check_file path
+  | None ->
+    Format.printf
+      "Reproduction harness: Koh & Chen, ICDCS 1996 — every table and figure.@.";
+    if !smoke then begin
+      Format.printf "smoke mode: strategy times + a minimal microbench only.@.";
+      tables ();
+      let wall = microbenches ~quota:0.05 () in
+      write_bench_json ~out:!out ~wall
+    end
+    else begin
+      Format.printf "parameter draws per point: %d@." !samples;
+      tables ();
+      figures ~samples:!samples ~seed:!seed;
+      concrete_validation ();
+      planner_study ();
+      straggler_study ();
+      throughput_study ();
+      let wall = microbenches ~quota:0.4 () in
+      write_bench_json ~out:!out ~wall;
+      Format.printf "@.done.@."
+    end

@@ -66,7 +66,18 @@ let samples_arg =
     & info [ "samples" ]
         ~doc:"Parameter draws per configuration (the paper uses 500).")
 
-let run_strategies fed analysis ~strategies ~deep ~multi ~gantt =
+let write_json path json =
+  match open_out path with
+  | exception Sys_error msg ->
+    Fmt.epr "cannot write %s: %s@." path msg;
+    exit 1
+  | oc ->
+    output_string oc (Msdq_obs.Json.to_string ~indent:2 json);
+    output_char oc '\n';
+    close_out oc
+
+let run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
+    ~trace_out =
   let options =
     {
       Strategy.default_options with
@@ -75,17 +86,27 @@ let run_strategies fed analysis ~strategies ~deep ~multi ~gantt =
       trace = gantt;
     }
   in
-  List.iter
-    (fun s ->
-      let answer, metrics = Strategy.run ~options s fed analysis in
-      Format.printf "@.--- %s ---@.%a@.%a@." (Strategy.to_string s) Answer.pp
-        answer Strategy.pp_metrics metrics;
-      if gantt then
-        Format.printf "@.%a@.%a@."
-          (Msdq_simkit.Gantt.pp ~width:72)
-          metrics.Strategy.trace Msdq_simkit.Gantt.pp_legend
-          metrics.Strategy.trace)
-    strategies
+  let runs =
+    List.map (fun s -> Strategy.run ~options s fed analysis) strategies
+  in
+  if not json then
+    List.iter2
+      (fun s (answer, metrics) ->
+        Format.printf "@.--- %s ---@.%a@.%a@." (Strategy.to_string s) Answer.pp
+          answer Strategy.pp_metrics metrics;
+        Format.printf "@.%a@." Run_report.pp_utilization metrics;
+        if gantt then
+          Format.printf "@.%a@.%a@."
+            (Msdq_simkit.Gantt.pp ~width:72)
+            metrics.Strategy.trace Msdq_simkit.Gantt.pp_legend
+            metrics.Strategy.trace)
+      strategies runs;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    write_json path (Run_report.chrome_trace (List.map snd runs));
+    if not json then Format.printf "wrote %s@." path);
+  runs
 
 let data_arg =
   Arg.(
@@ -119,38 +140,72 @@ let analyze_or_exit fed src =
       exit 1
     | analysis -> analysis)
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a machine-readable JSON report on stdout instead of the               plain-text tables.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event file of every run to FILE (open it               in chrome://tracing or Perfetto).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ] ~doc:"Report progress on stderr while computing.")
+
 (* ---- demo ---- *)
 
-let demo strategy deep multi gantt =
+let demo strategy deep multi gantt json trace_out =
   let ex = Paper_example.build () in
   let fed = ex.Paper_example.federation in
-  Format.printf "The paper's running example: three school databases.@.@.";
-  Format.printf "%a@." Federation.pp fed;
-  Format.printf "@.Global schema (figure 2):@.%a@." Global_schema.pp
-    (Federation.global_schema fed);
-  Format.printf "@.GOid mapping tables (figure 5):@.%a@." Goid_table.pp
-    (Federation.goids fed);
-  Format.printf "@.Query Q1:@.  %s@." Paper_example.q1;
+  if not json then begin
+    Format.printf "The paper's running example: three school databases.@.@.";
+    Format.printf "%a@." Federation.pp fed;
+    Format.printf "@.Global schema (figure 2):@.%a@." Global_schema.pp
+      (Federation.global_schema fed);
+    Format.printf "@.GOid mapping tables (figure 5):@.%a@." Goid_table.pp
+      (Federation.goids fed);
+    Format.printf "@.Query Q1:@.  %s@." Paper_example.q1
+  end;
   let analysis = analyze_or_exit fed Paper_example.q1 in
   let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
-  run_strategies fed analysis ~strategies ~deep ~multi ~gantt;
+  let runs =
+    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json ~trace_out
+  in
+  if json then
+    print_endline
+      (Msdq_obs.Json.to_string ~indent:2
+         (Run_report.query_to_json ~query:Paper_example.q1 runs));
   `Ok ()
 
 let demo_cmd =
   let term =
     with_logs
-      Term.(ret (const demo $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg))
+      Term.(
+        ret
+          (const demo $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg
+         $ json_arg $ trace_out_arg))
   in
   Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running example end to end.") term
 
 (* ---- query ---- *)
 
-let query strategy deep multi gantt data synthetic seed sql =
+let query strategy deep multi gantt json trace_out data synthetic seed sql =
   let fed = federation_of ~data ~synthetic ~seed in
   let analysis = analyze_or_exit fed sql in
   let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
-  Format.printf "query: %a@." Ast.pp analysis.Analysis.query;
-  run_strategies fed analysis ~strategies ~deep ~multi ~gantt;
+  if not json then Format.printf "query: %a@." Ast.pp analysis.Analysis.query;
+  let runs =
+    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json ~trace_out
+  in
+  if json then
+    print_endline
+      (Msdq_obs.Json.to_string ~indent:2 (Run_report.query_to_json ~query:sql runs));
   `Ok ()
 
 let query_cmd =
@@ -171,7 +226,7 @@ let query_cmd =
       Term.(
         ret
           (const query $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg
-         $ data_arg $ synthetic $ seed_arg $ sql))
+         $ json_arg $ trace_out_arg $ data_arg $ synthetic $ seed_arg $ sql))
   in
   Cmd.v
     (Cmd.info "query"
@@ -180,17 +235,28 @@ let query_cmd =
 
 (* ---- experiment ---- *)
 
-let experiment which samples seed csv chart =
+let experiment which samples seed csv chart json progress =
+  let registry = Msdq_obs.Metrics.create () in
+  let progress =
+    if progress then
+      Some
+        (fun ~figure ~completed ~total ->
+          Format.eprintf "%s: %d/%d points\r%!" figure completed total;
+          if completed = total then Format.eprintf "@.")
+    else None
+  in
   let figures =
     match which with
-    | "fig9" -> [ Figures.fig9 ~samples ~seed () ]
-    | "fig10" -> [ Figures.fig10 ~samples ~seed () ]
-    | "fig11" -> [ Figures.fig11 ~samples ~seed () ]
+    | "fig9" -> [ Figures.fig9 ~registry ?progress ~samples ~seed () ]
+    | "fig10" -> [ Figures.fig10 ~registry ?progress ~samples ~seed () ]
+    | "fig11" -> [ Figures.fig11 ~registry ?progress ~samples ~seed () ]
     | "ablation" | "ablation-signatures" ->
-      [ Figures.ablation_signatures ~samples ~seed () ]
-    | "ablation-checks" -> [ Figures.ablation_checks ~samples ~seed () ]
-    | "ablation-semijoin" -> [ Figures.ablation_semijoin ~samples ~seed () ]
-    | "all" -> Figures.all ~samples ~seed ()
+      [ Figures.ablation_signatures ~registry ?progress ~samples ~seed () ]
+    | "ablation-checks" ->
+      [ Figures.ablation_checks ~registry ?progress ~samples ~seed () ]
+    | "ablation-semijoin" ->
+      [ Figures.ablation_semijoin ~registry ?progress ~samples ~seed () ]
+    | "all" -> Figures.all ~registry ?progress ~samples ~seed ()
     | other ->
       Format.eprintf
         "unknown experiment %S (fig9|fig10|fig11|ablation-signatures|ablation-checks|all)@."
@@ -199,12 +265,14 @@ let experiment which samples seed csv chart =
   in
   List.iter
     (fun fig ->
-      Format.printf "%a@.@." Report.pp_figure fig;
-      if chart then begin
-        Report.pp_ascii_chart Format.std_formatter fig ~metric:`Total;
-        Format.printf "@."
+      if not json then begin
+        Format.printf "%a@.@." Report.pp_figure fig;
+        if chart then begin
+          Report.pp_ascii_chart Format.std_formatter fig ~metric:`Total;
+          Format.printf "@."
+        end;
+        Format.printf "%a@." Report.pp_checks (Shapes.check fig)
       end;
-      Format.printf "%a@." Report.pp_checks (Shapes.check fig);
       match csv with
       | None -> ()
       | Some dir ->
@@ -212,8 +280,19 @@ let experiment which samples seed csv chart =
         let oc = open_out path in
         output_string oc (Report.to_csv fig);
         close_out oc;
-        Format.printf "wrote %s@." path)
+        if not json then Format.printf "wrote %s@." path)
     figures;
+  if json then begin
+    let doc = Run_report.figures_to_json figures in
+    let doc =
+      match doc with
+      | Msdq_obs.Json.Obj fields ->
+        Msdq_obs.Json.Obj
+          (fields @ [ ("registry", Msdq_obs.Metrics.to_json registry) ])
+      | other -> other
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
   `Ok ()
 
 let experiment_cmd =
@@ -236,7 +315,9 @@ let experiment_cmd =
   let term =
     with_logs
       Term.(
-        ret (const experiment $ which $ samples_arg $ seed_arg $ csv $ chart))
+        ret
+          (const experiment $ which $ samples_arg $ seed_arg $ csv $ chart
+         $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -337,7 +418,17 @@ let plan_cmd =
 
 (* ---- validate ---- *)
 
-let validate seeds =
+let validate_src = Logs.Src.create "msdq.validate" ~doc:"strategy cross-checks"
+
+module Validate_log = (val Logs.src_log validate_src : Logs.LOG)
+
+let validate seeds progress =
+  let registry = Msdq_obs.Metrics.create () in
+  let outcomes outcome =
+    Msdq_obs.Metrics.counter registry
+      ~labels:[ ("outcome", outcome) ]
+      "msdq_validate_federations_total"
+  in
   let checked = ref 0 and skipped = ref 0 in
   let failures = ref [] in
   for seed = 0 to seeds - 1 do
@@ -355,10 +446,13 @@ let validate seeds =
         | analysis -> Some analysis
         | exception Analysis.Error _ -> try_query (attempt + 1)
     in
-    match try_query 0 with
-    | None -> incr skipped
+    (match try_query 0 with
+    | None ->
+      incr skipped;
+      Msdq_obs.Metrics.inc (outcomes "skipped") 1
     | Some analysis ->
       incr checked;
+      Msdq_obs.Metrics.inc (outcomes "checked") 1;
       let ca, _ = Strategy.run Strategy.Ca fed analysis in
       let bl, _ = Strategy.run Strategy.Bl fed analysis in
       let pl, _ = Strategy.run Strategy.Pl fed analysis in
@@ -369,7 +463,14 @@ let validate seeds =
       let note name ok = if not ok then failures := (seed, name) :: !failures in
       note "BL = PL" (Answer.same_statuses bl pl);
       note "CA subsumes BL" (Answer.subsumes ~strong:ca ~weak:bl);
-      note "deep BL = CA" (Answer.same_statuses ca deep)
+      note "deep BL = CA" (Answer.same_statuses ca deep));
+    Validate_log.info (fun m ->
+        m "seed %d/%d: %d checked, %d skipped, %d failures" (seed + 1) seeds
+          !checked !skipped (List.length !failures));
+    if progress then begin
+      Format.eprintf "validate: %d/%d federations\r%!" (seed + 1) seeds;
+      if seed + 1 = seeds then Format.eprintf "@."
+    end
   done;
   Format.printf "validated %d random federations (%d skipped)@." !checked !skipped;
   if !failures = [] then begin
@@ -390,7 +491,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Cross-check strategy answers on random federations.")
-    (with_logs Term.(ret (const validate $ seeds)))
+    (with_logs Term.(ret (const validate $ seeds $ progress_arg)))
 
 let main_cmd =
   let doc =

@@ -1,6 +1,7 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 type outcome = {
   answer : Answer.t;
@@ -10,18 +11,21 @@ type outcome = {
   materialize_stats : Materialize.stats;
 }
 
-let run ?(multi_valued = false) fed (analysis : Analysis.t) =
-  let table = Federation.goids fed in
-  let lookups_before = Goid_table.lookup_count table in
+let run ?(multi_valued = false) ?(tracer = Tracer.disabled) fed
+    (analysis : Analysis.t) =
+  Tracer.with_span tracer ~cat:"integrate" "ca.run" @@ fun () ->
+  let meter = Meter.create () in
   let view =
-    Materialize.build ~classes:analysis.Analysis.classes_involved ~multi_valued fed
+    Tracer.with_span tracer ~cat:"integrate" "ca.materialize" (fun () ->
+        Materialize.build ~classes:analysis.Analysis.classes_involved
+          ~multi_valued ~meter fed)
   in
   let mstats = Materialize.stats view in
   let integration_units =
     mstats.Materialize.source_objects + mstats.Materialize.fields_merged
     + mstats.Materialize.ref_translations
   in
-  let before_eval = Meter.read () in
+  let eval_meter = Meter.create () in
   let targets = Array.of_list (List.map fst analysis.Analysis.targets) in
   let atoms = Array.of_list analysis.Analysis.atoms in
   let n_atoms = Array.length atoms in
@@ -31,7 +35,8 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) =
     Array.iteri
       (fun i info ->
         truths.(i) <-
-          Global_eval.truth_of_outcome (Global_eval.eval view gobj info.Analysis.pred))
+          Global_eval.truth_of_outcome
+            (Global_eval.eval ~meter:eval_meter view gobj info.Analysis.pred))
       atoms;
     let truth =
       Cond.eval
@@ -48,7 +53,10 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) =
     | Truth.False -> ()
     | (Truth.True | Truth.Unknown) as t ->
       let values =
-        Array.to_list (Array.map (fun path -> Global_eval.project view gobj path) targets)
+        Array.to_list
+          (Array.map
+             (fun path -> Global_eval.project ~meter:eval_meter view gobj path)
+             targets)
       in
       let status =
         match t with
@@ -58,14 +66,18 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) =
       in
       rows := { Answer.goid = gobj.Materialize.goid; values; status } :: !rows
   in
-  List.iter eval_entity (Materialize.extent view analysis.Analysis.range_class);
+  Tracer.with_span tracer ~cat:"eval" "ca.global-eval" (fun () ->
+      List.iter eval_entity
+        (Materialize.extent view analysis.Analysis.range_class));
   let answer =
     Answer.make ~targets:(List.map fst analysis.Analysis.targets) (List.rev !rows)
   in
   {
     answer;
     integration_units;
-    eval_work = Meter.delta before_eval;
-    goid_lookups = Goid_table.lookup_count table - lookups_before;
+    eval_work = Meter.read eval_meter;
+    goid_lookups =
+      (Meter.read meter).Meter.goid_lookups
+      + (Meter.read eval_meter).Meter.goid_lookups;
     materialize_stats = mstats;
   }

@@ -19,6 +19,8 @@ type outcome = {
   materialize_stats : Msdq_fed.Materialize.stats;
 }
 
-val run : ?multi_valued:bool -> Msdq_fed.Federation.t -> Analysis.t -> outcome
+val run :
+  ?multi_valued:bool -> ?tracer:Msdq_obs.Tracer.t -> Msdq_fed.Federation.t ->
+  Analysis.t -> outcome
 (** With [~multi_valued:true], disagreeing isomeric values integrate into
     value sets evaluated existentially (extension). *)

@@ -1,6 +1,7 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 type outcome = {
   answer : Answer.t;
@@ -29,10 +30,14 @@ let combine ~multi_valued ~conflicts a b =
       Truth.False
     end
 
-let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
+let run ?(multi_valued = false) ?(tracer = Tracer.disabled) fed
+    (analysis : Analysis.t) ~results ~verdicts =
+  Tracer.with_span tracer ~cat:"integrate"
+    ~args:[ ("verdicts", string_of_int (List.length verdicts)) ]
+    "certify.run"
+  @@ fun () ->
   let table = Federation.goids fed in
-  let before = Meter.read () in
-  let lookups_before = Goid_table.lookup_count table in
+  let meter = Meter.create () in
   let conflicts = ref 0 in
   let n_atoms = List.length analysis.Analysis.atoms in
   let n_targets = List.length analysis.Analysis.targets in
@@ -45,7 +50,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
   List.iter
     (fun v ->
       let key = Checks.verdict_key v in
-      Meter.add_accesses 1;
+      Meter.add_accesses meter 1;
       match Hashtbl.find_opt verdict_index key with
       | Some r -> r := combine ~multi_valued ~conflicts !r v.Checks.truth
       | None -> Hashtbl.add verdict_index key (ref v.Checks.truth))
@@ -59,7 +64,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
     (fun (res : Local_result.t) ->
       List.iter
         (fun (row : Local_result.row) ->
-          Meter.add_accesses 1;
+          Meter.add_accesses meter 1;
           match Oid.Goid.Table.find_opt by_goid row.Local_result.goid with
           | Some r -> r := row :: !r
           | None ->
@@ -78,7 +83,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
     let isomer_dbs =
       List.filter_map
         (fun (db, _) -> if List.mem db result_dbs then Some db else None)
-        (Goid_table.locals_of table goid)
+        (Goid_table.locals_of table ~meter goid)
     in
     let present_dbs = List.map (fun (r : Local_result.row) -> r.Local_result.db) group in
     let missing_somewhere =
@@ -93,7 +98,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
         (fun (row : Local_result.row) ->
           Array.iteri
             (fun i t ->
-              Meter.add_accesses 1;
+              Meter.add_accesses meter 1;
               merged.(i) <- combine ~multi_valued ~conflicts merged.(i) t)
             row.Local_result.truths)
         group;
@@ -106,7 +111,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
                   Oid.Loid.to_int (Dbobject.loid u.Local_result.item),
                   u.Local_result.atom )
               in
-              Meter.add_accesses 1;
+              Meter.add_accesses meter 1;
               match Hashtbl.find_opt verdict_index key with
               | Some r ->
                 merged.(u.Local_result.atom) <-
@@ -140,7 +145,7 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
           let v =
             List.find_map
               (fun (row : Local_result.row) ->
-                Meter.add_accesses 1;
+                Meter.add_accesses meter 1;
                 match row.Local_result.values.(i) with
                 | Some v when not (Value.is_null v) -> Some v
                 | Some _ | None -> None)
@@ -166,6 +171,6 @@ let run ?(multi_valued = false) fed (analysis : Analysis.t) ~results ~verdicts =
     promoted = !promoted;
     eliminated = !eliminated;
     conflicts = !conflicts;
-    work = Meter.delta before;
-    goid_lookups = Goid_table.lookup_count table - lookups_before;
+    work = Meter.read meter;
+    goid_lookups = (Meter.read meter).Meter.goid_lookups;
   }

@@ -34,6 +34,7 @@ type outcome = {
 
 val run :
   ?multi_valued:bool ->
+  ?tracer:Msdq_obs.Tracer.t ->
   Msdq_fed.Federation.t ->
   Analysis.t ->
   results:Local_result.t list ->

@@ -1,6 +1,7 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 type request = {
   origin_db : string;
@@ -25,10 +26,12 @@ type built = {
   incapable : int;
   root_level : int;
   goid_lookups : int;
+  work : Meter.snapshot;
 }
 
 (* A signature can only pre-decide a one-step equality suffix. *)
-let signature_refutes signatures fed ~target_db ~assistant (pred : Predicate.t) =
+let signature_refutes ~meter signatures fed ~target_db ~assistant
+    (pred : Predicate.t) =
   match signatures with
   | None -> false
   | Some catalog -> (
@@ -46,7 +49,7 @@ let signature_refutes signatures fed ~target_db ~assistant (pred : Predicate.t) 
           with
           | None -> false
           | Some index ->
-            Meter.add_comparison ();
+            Meter.add_comparison meter;
             not
               (Signature.may_satisfy sg ~index ~op:Predicate.Eq
                  ~operand:pred.Predicate.operand))))
@@ -67,12 +70,15 @@ let assistant_capable fed gs ~origin_db ~target_db ~item_cls rest =
       | Path.Full _ -> true
       | Path.Cut _ | Path.Invalid _ -> false))
 
-let build ?signatures fed (analysis : Analysis.t) ~db:db_name ~root_class
-    ~items =
+let build ?signatures ?(tracer = Tracer.disabled) fed (analysis : Analysis.t)
+    ~db:db_name ~root_class ~items =
+  Tracer.with_span tracer ~cat:"dispatch" ~args:[ ("db", db_name) ]
+    "checks.build"
+  @@ fun () ->
   let gs = Federation.global_schema fed in
   let table = Federation.goids fed in
   let atoms = Array.of_list analysis.Analysis.atoms in
-  let lookups_before = Goid_table.lookup_count table in
+  let meter = Meter.create () in
   let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
   let requests = ref [] in
   let local_verdicts = ref [] in
@@ -92,7 +98,7 @@ let build ?signatures fed (analysis : Analysis.t) ~db:db_name ~root_class
           Predicate.make ~path:u.Local_result.rest ~op:original.Predicate.op
             ~operand:original.Predicate.operand
         in
-        let isomers = Goid_table.isomers_of table ~db:db_name item_loid in
+        let isomers = Goid_table.isomers_of table ~meter ~db:db_name item_loid in
         List.iter
           (fun (target_db, assistant) ->
             if
@@ -101,7 +107,10 @@ let build ?signatures fed (analysis : Analysis.t) ~db:db_name ~root_class
                    ~item_cls:(Dbobject.cls u.Local_result.item)
                    u.Local_result.rest)
             then incr incapable
-            else if signature_refutes signatures fed ~target_db ~assistant pred then begin
+            else if
+              signature_refutes ~meter signatures fed ~target_db ~assistant
+                pred
+            then begin
               incr filtered;
               local_verdicts :=
                 {
@@ -133,7 +142,8 @@ let build ?signatures fed (analysis : Analysis.t) ~db:db_name ~root_class
     filtered = !filtered;
     incapable = !incapable;
     root_level = !root_level;
-    goid_lookups = Goid_table.lookup_count table - lookups_before;
+    goid_lookups = (Meter.read meter).Meter.goid_lookups;
+    work = Meter.read meter;
   }
 
 type served = {
@@ -142,9 +152,14 @@ type served = {
   work : Meter.snapshot;
 }
 
-let serve fed ~db:db_name requests =
+let serve ?(tracer = Tracer.disabled) fed ~db:db_name requests =
+  Tracer.with_span tracer ~cat:"serve"
+    ~args:
+      [ ("db", db_name); ("requests", string_of_int (List.length requests)) ]
+    "checks.serve"
+  @@ fun () ->
   let db = Federation.db fed db_name in
-  let before = Meter.read () in
+  let meter = Meter.create () in
   let verdicts =
     List.map
       (fun r ->
@@ -155,11 +170,12 @@ let serve fed ~db:db_name requests =
         let truth =
           match Database.get db r.assistant with
           | None -> Truth.Unknown (* assistant vanished: no information *)
-          | Some obj -> Predicate.truth_of_outcome (Predicate.eval db obj r.pred)
+          | Some obj ->
+            Predicate.truth_of_outcome (Predicate.eval ~meter db obj r.pred)
         in
         { origin_db = r.origin_db; item = r.item; atom = r.atom; truth })
       requests
   in
-  { verdicts; objects_read = List.length requests; work = Meter.delta before }
+  { verdicts; objects_read = List.length requests; work = Meter.read meter }
 
 let verdict_key v = (v.origin_db, Oid.Loid.to_int v.item, v.atom)

@@ -47,13 +47,18 @@ type built = {
           data") *)
   root_level : int;  (** blocks at the root object (no requests needed) *)
   goid_lookups : int;
+  work : Meter.snapshot;
+      (** all dispatch-side work: GOid-table probes and signature
+          comparisons, measured on a private per-call meter *)
 }
 
 val build :
-  ?signatures:Sig_catalog.t -> Federation.t -> Analysis.t -> db:string ->
-  root_class:string -> items:Local_result.unsolved list -> built
+  ?signatures:Sig_catalog.t -> ?tracer:Msdq_obs.Tracer.t -> Federation.t ->
+  Analysis.t -> db:string -> root_class:string ->
+  items:Local_result.unsolved list -> built
 (** [root_class] is [db]'s constituent of the range class, used to separate
-    root-level blocks from item-level ones. *)
+    root-level blocks from item-level ones. When [tracer] is given, the call
+    records a ["checks.build"] host span. *)
 
 type served = {
   verdicts : verdict list;
@@ -61,9 +66,12 @@ type served = {
   work : Meter.snapshot;
 }
 
-val serve : Federation.t -> db:string -> request list -> served
+val serve :
+  ?tracer:Msdq_obs.Tracer.t -> Federation.t -> db:string -> request list ->
+  served
 (** Step BL_C3: evaluate each request's predicate on the assistant object in
-    [db]. All requests must target [db]. *)
+    [db]. All requests must target [db]. [work] is measured on a private
+    meter, so concurrent serves never mix counts. *)
 
 val verdict_key : verdict -> string * int * int
 (** [(origin_db, item loid, atom)] — the key certification joins on. *)

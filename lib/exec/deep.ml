@@ -1,6 +1,7 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 type outcome = {
   answer : Answer.t;
@@ -10,21 +11,20 @@ type outcome = {
   work : Meter.snapshot;
 }
 
-let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
+let resolve ?(multi_valued = false) ?(tracer = Tracer.disabled) fed
+    (analysis : Analysis.t) answer =
   let maybes = Answer.maybe answer in
   if maybes = [] then
-    {
-      answer;
-      resolved = 0;
-      eliminated = 0;
-      residual = 0;
-      work = Meter.delta (Meter.read ());
-    }
+    { answer; resolved = 0; eliminated = 0; residual = 0; work = Meter.zero }
   else begin
-    let before = Meter.read () in
+    Tracer.with_span tracer ~cat:"integrate"
+      ~args:[ ("maybes", string_of_int (List.length maybes)) ]
+      "deep.resolve"
+    @@ fun () ->
+    let meter = Meter.create () in
     let view =
-      Materialize.build ~classes:analysis.Analysis.classes_involved ~multi_valued
-        fed
+      Materialize.build ~classes:analysis.Analysis.classes_involved
+        ~multi_valued ~meter fed
     in
     let atoms = Array.of_list analysis.Analysis.atoms in
     let n_atoms = Array.length atoms in
@@ -39,7 +39,7 @@ let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
           (fun i info ->
             truths.(i) <-
               Global_eval.truth_of_outcome
-                (Global_eval.eval view gobj info.Analysis.pred))
+                (Global_eval.eval ~meter view gobj info.Analysis.pred))
           atoms;
         let truth =
           Cond.eval
@@ -62,7 +62,9 @@ let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
           incr resolved;
           let values =
             Array.to_list
-              (Array.map (fun path -> Global_eval.project view gobj path) targets)
+              (Array.map
+                 (fun path -> Global_eval.project ~meter view gobj path)
+                 targets)
           in
           Some { row with Answer.status = Answer.Certain; values }
         | Truth.Unknown ->
@@ -70,7 +72,9 @@ let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
              refresh the projections from the integrated view. *)
           let values =
             Array.to_list
-              (Array.map (fun path -> Global_eval.project view gobj path) targets)
+              (Array.map
+                 (fun path -> Global_eval.project ~meter view gobj path)
+                 targets)
           in
           Some { row with Answer.values })
     in
@@ -87,6 +91,6 @@ let resolve ?(multi_valued = false) fed (analysis : Analysis.t) answer =
       resolved = !resolved;
       eliminated = !eliminated;
       residual = List.length maybes;
-      work = Meter.delta before;
+      work = Meter.read meter;
     }
   end

@@ -22,4 +22,5 @@ type outcome = {
 }
 
 val resolve :
-  ?multi_valued:bool -> Msdq_fed.Federation.t -> Analysis.t -> Answer.t -> outcome
+  ?multi_valued:bool -> ?tracer:Msdq_obs.Tracer.t -> Msdq_fed.Federation.t ->
+  Analysis.t -> Answer.t -> outcome

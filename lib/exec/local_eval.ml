@@ -1,12 +1,16 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 let log_src = Logs.Src.create "msdq.local" ~doc:"local predicate evaluation"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let run fed (analysis : Analysis.t) ~db:db_name =
+let run ?(tracer = Tracer.disabled) fed (analysis : Analysis.t) ~db:db_name =
+  Tracer.with_span tracer ~cat:"eval" ~args:[ ("db", db_name) ]
+    "local_eval.run"
+  @@ fun () ->
   let gs = Federation.global_schema fed in
   let db = Federation.db fed db_name in
   let table = Federation.goids fed in
@@ -22,7 +26,7 @@ let run fed (analysis : Analysis.t) ~db:db_name =
   in
   let atoms = Array.of_list analysis.Analysis.atoms in
   let targets = Array.of_list analysis.Analysis.targets in
-  let before = Meter.read () in
+  let meter = Meter.create () in
   let examined = ref 0 and eliminated = ref 0 in
   let rows = ref [] in
   let eval_object obj =
@@ -31,7 +35,7 @@ let run fed (analysis : Analysis.t) ~db:db_name =
     let unsolved = ref [] in
     Array.iteri
       (fun i info ->
-        match Predicate.eval db obj info.Analysis.pred with
+        match Predicate.eval ~meter db obj info.Analysis.pred with
         | Predicate.Sat -> truths.(i) <- Truth.True
         | Predicate.Viol -> truths.(i) <- Truth.False
         | Predicate.Blocked b ->
@@ -62,7 +66,9 @@ let run fed (analysis : Analysis.t) ~db:db_name =
     | Truth.False -> incr eliminated
     | Truth.True | Truth.Unknown ->
       let goid =
-        match Goid_table.goid_of_local table ~db:db_name (Dbobject.loid obj) with
+        match
+          Goid_table.goid_of_local table ~meter ~db:db_name (Dbobject.loid obj)
+        with
         | Some g -> g
         | None ->
           invalid_arg
@@ -73,7 +79,7 @@ let run fed (analysis : Analysis.t) ~db:db_name =
       let values =
         Array.map
           (fun (path, _) ->
-            match Predicate.fetch db obj path with
+            match Predicate.fetch ~meter db obj path with
             | Predicate.Found v -> Some v
             | Predicate.Missing _ -> None)
           targets
@@ -98,5 +104,5 @@ let run fed (analysis : Analysis.t) ~db:db_name =
     rows = List.rev !rows;
     examined = !examined;
     eliminated = !eliminated;
-    work = Meter.delta before;
+    work = Meter.read meter;
   }

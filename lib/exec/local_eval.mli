@@ -15,7 +15,9 @@
 open Msdq_fed
 open Msdq_query
 
-val run : Federation.t -> Analysis.t -> db:string -> Local_result.t
+val run :
+  ?tracer:Msdq_obs.Tracer.t -> Federation.t -> Analysis.t -> db:string ->
+  Local_result.t
 (** Raises [Invalid_argument] when [db] has no constituent of the range
     class (callers iterate over [Localize.plan]). Work counters in the
     result cover exactly this call. *)

@@ -1,6 +1,7 @@
 open Msdq_odb
 open Msdq_fed
 open Msdq_query
+module Tracer = Msdq_obs.Tracer
 
 type t = {
   db : string;
@@ -9,7 +10,9 @@ type t = {
   work : Meter.snapshot;
 }
 
-let run fed (analysis : Analysis.t) ~db:db_name =
+let run ?(tracer = Tracer.disabled) fed (analysis : Analysis.t) ~db:db_name =
+  Tracer.with_span tracer ~cat:"eval" ~args:[ ("db", db_name) ] "probe.run"
+  @@ fun () ->
   let gs = Federation.global_schema fed in
   let db = Federation.db fed db_name in
   let local_class =
@@ -23,14 +26,14 @@ let run fed (analysis : Analysis.t) ~db:db_name =
            analysis.Analysis.range_class)
   in
   let atoms = Array.of_list analysis.Analysis.atoms in
-  let before = Meter.read () in
+  let meter = Meter.create () in
   let examined = ref 0 in
   let items = ref [] in
   let probe_object obj =
     incr examined;
     Array.iteri
       (fun i info ->
-        match Predicate.fetch db obj info.Analysis.pred.Predicate.path with
+        match Predicate.fetch ~meter db obj info.Analysis.pred.Predicate.path with
         | Predicate.Found _ -> ()
         | Predicate.Missing b ->
           items :=
@@ -44,4 +47,9 @@ let run fed (analysis : Analysis.t) ~db:db_name =
       atoms
   in
   List.iter probe_object (Database.extent db local_class);
-  { db = db_name; items = List.rev !items; examined = !examined; work = Meter.delta before }
+  {
+    db = db_name;
+    items = List.rev !items;
+    examined = !examined;
+    work = Meter.read meter;
+  }

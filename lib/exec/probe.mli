@@ -19,4 +19,5 @@ type t = {
   work : Meter.snapshot;
 }
 
-val run : Federation.t -> Analysis.t -> db:string -> t
+val run :
+  ?tracer:Msdq_obs.Tracer.t -> Federation.t -> Analysis.t -> db:string -> t

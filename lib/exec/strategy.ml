@@ -2,6 +2,8 @@ open Msdq_odb
 open Msdq_simkit
 open Msdq_fed
 open Msdq_query
+module Metrics = Msdq_obs.Metrics
+module Tracer = Msdq_obs.Tracer
 
 let log_src = Logs.Src.create "msdq.exec" ~doc:"query execution strategies"
 
@@ -64,36 +66,48 @@ type metrics = {
   conflicts : int;
   breakdown : (string * Time.t * int) list;
   trace : Trace.t;
+  registry : Metrics.t;
+  host_spans : Tracer.span list;
 }
 
-(* Mutable accumulator threaded through graph construction. *)
-type acc = {
-  mutable bytes_shipped : int;
-  mutable disk_bytes : int;
-  mutable messages : int;
-  mutable work_units : int;
-  mutable goid_lookups : int;
-}
+(* Accumulator threaded through graph construction: a per-run metrics
+   registry plus the strategy label every series and task carries. *)
+type acc = { reg : Metrics.t; sname : string }
 
-let new_acc () =
-  { bytes_shipped = 0; disk_bytes = 0; messages = 0; work_units = 0; goid_lookups = 0 }
+let new_acc reg strategy = { reg; sname = to_string strategy }
 
-let disk_task e acc c ~site ~label ~bytes ?deps () =
-  acc.disk_bytes <- acc.disk_bytes + bytes;
+let ctr acc ~phase name =
+  Metrics.counter acc.reg
+    ~labels:[ ("phase", phase); ("strategy", acc.sname) ]
+    name
+
+let task_attrs acc ~phase ?db () =
+  let base = [ ("strategy", acc.sname); ("phase", phase) ] in
+  match db with Some d -> ("db", d) :: base | None -> base
+
+let disk_task e acc c ~site ~phase ?db ~label ~bytes ?deps () =
+  Metrics.inc (ctr acc ~phase "msdq_disk_bytes_total") bytes;
   Engine.task e ?deps ~site ~kind:Resource.Disk ~label
+    ~attrs:(task_attrs acc ~phase ?db ())
     ~duration:(Cost.disk c ~bytes) ()
 
-let cpu_task e acc c ~site ~label ~units ?deps () =
-  acc.work_units <- acc.work_units + units;
+let cpu_task e acc c ~site ~phase ?db ~label ~units ?deps () =
+  Metrics.inc (ctr acc ~phase "msdq_work_units_total") units;
   Engine.task e ?deps ~site ~kind:Resource.Cpu ~label
+    ~attrs:(task_attrs acc ~phase ?db ())
     ~duration:(Cost.cpu c ~units) ()
 
-let transfer e acc c ~src ~dst ~label ~bytes ?deps () =
+let transfer e acc c ~src ~dst ~phase ?db ~label ~bytes ?deps () =
   if src <> dst && bytes > 0 then begin
-    acc.bytes_shipped <- acc.bytes_shipped + bytes;
-    acc.messages <- acc.messages + 1
+    Metrics.inc (ctr acc ~phase "msdq_bytes_shipped_total") bytes;
+    Metrics.inc (ctr acc ~phase "msdq_messages_total") 1
   end;
-  Engine.transfer e ?deps ~src ~dst ~label ~duration:(Cost.net c ~bytes) ()
+  Engine.transfer e ?deps ~src ~dst ~label
+    ~attrs:(task_attrs acc ~phase ?db ())
+    ~duration:(Cost.net c ~bytes) ()
+
+let bump_goid acc ~phase n =
+  Metrics.inc (ctr acc ~phase "msdq_goid_lookups_total") n
 
 let units_of_work w = Meter.units w
 
@@ -119,15 +133,14 @@ type built_query = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* CA *)
+(* CA — phase order O (ship everything) -> I (integrate) -> P (evaluate). *)
 
-let build_ca e ?after opts fed analysis =
+let build_ca e ?after ~acc ~tracer opts fed analysis =
   let c = opts.cost in
   let start_deps = match after with None -> [] | Some h -> [ h ] in
   let gs = Federation.global_schema fed in
   let involved = Involved.compute (Global_schema.schema gs) analysis in
-  let outcome = Ca.run ~multi_valued:opts.multi_valued fed analysis in
-  let acc = new_acc () in
+  let outcome = Ca.run ~multi_valued:opts.multi_valued ~tracer fed analysis in
   let gsite = Federation.global_site fed in
   let xfers =
     List.map
@@ -135,10 +148,11 @@ let build_ca e ?after opts fed analysis =
         let bytes = Wire.projected_extent_bytes c involved gs ~db_name ~db in
         let site = Federation.site_of fed db_name in
         let read =
-          disk_task e acc c ~site ~label:"read-extents" ~bytes ~deps:start_deps ()
+          disk_task e acc c ~site ~phase:"O" ~db:db_name ~label:"read-extents"
+            ~bytes ~deps:start_deps ()
         in
-        transfer e acc c ~src:site ~dst:gsite ~label:"ship-objects" ~bytes
-          ~deps:[ read ] ())
+        transfer e acc c ~src:site ~dst:gsite ~phase:"O" ~db:db_name
+          ~label:"ship-objects" ~bytes ~deps:[ read ] ())
       (Federation.databases fed)
   in
   let m = outcome.Ca.materialize_stats in
@@ -146,17 +160,21 @@ let build_ca e ?after opts fed analysis =
     m.Materialize.source_objects + m.Materialize.fields_merged
     + outcome.Ca.goid_lookups
   in
-  acc.goid_lookups <- acc.goid_lookups + outcome.Ca.goid_lookups;
+  bump_goid acc ~phase:"I" outcome.Ca.goid_lookups;
   let integrate =
-    cpu_task e acc c ~site:gsite ~label:"integrate" ~units:integrate_units
-      ~deps:xfers ()
+    cpu_task e acc c ~site:gsite ~phase:"I" ~label:"integrate"
+      ~units:integrate_units ~deps:xfers ()
   in
   let eval =
-    cpu_task e acc c ~site:gsite ~label:"global-eval"
+    cpu_task e acc c ~site:gsite ~phase:"P" ~label:"global-eval"
       ~units:(units_of_work outcome.Ca.eval_work)
       ~deps:[ integrate ] ()
   in
-  let fence = Engine.fence e ~deps:[ eval ] ~label:"answer" () in
+  let fence =
+    Engine.fence e ~deps:[ eval ]
+      ~attrs:[ ("strategy", acc.sname) ]
+      ~label:"answer" ()
+  in
   {
     answer = outcome.Ca.answer;
     acc;
@@ -177,31 +195,41 @@ let build_ca e ?after opts fed analysis =
    2, the databases ship the candidates' root projections plus the branch
    extents, and the global site integrates and evaluates as CA does. The
    answer equals CA's on consistent federations: local elimination only
-   drops definitely-false entities. *)
+   drops definitely-false entities.
 
-let build_cf e ?after opts fed analysis =
+   Phase attribution: the round-1 local filter is predicate evaluation
+   (phase P); everything that acquires or ships objects — GOid exchange,
+   candidate broadcast, round-2 reads and ships — is phase O; integration
+   is phase I; the final global evaluation is phase P again. *)
+
+let build_cf e ?after ~acc ~tracer opts fed analysis =
   let c = opts.cost in
   let start_deps = match after with None -> [] | Some h -> [ h ] in
   let gs = Federation.global_schema fed in
   let schema = Global_schema.schema gs in
   let involved = Involved.compute schema analysis in
-  let acc = new_acc () in
   let gsite = Federation.global_site fed in
   let root = analysis.Analysis.range_class in
   (* Round-1 computation: local filters (the LO machinery) determine the
      candidate set. *)
   let plans = Localize.plan fed analysis in
   let results =
-    List.map (fun (p : Localize.db_plan) -> Local_eval.run fed analysis ~db:p.Localize.db) plans
+    List.map
+      (fun (p : Localize.db_plan) ->
+        Local_eval.run ~tracer fed analysis ~db:p.Localize.db)
+      plans
   in
-  let lo = Certify.run ~multi_valued:opts.multi_valued fed analysis ~results ~verdicts:[] in
+  let lo =
+    Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis ~results
+      ~verdicts:[]
+  in
   let candidates = Answer.goids lo.Certify.answer Answer.Certain in
   let candidates =
     Oid.Goid.Set.union candidates (Answer.goids lo.Certify.answer Answer.Maybe)
   in
   let n_candidates = Oid.Goid.Set.cardinal candidates in
   (* The final answer is CA's, computed over the integrated view. *)
-  let outcome = Ca.run ~multi_valued:opts.multi_valued fed analysis in
+  let outcome = Ca.run ~multi_valued:opts.multi_valued ~tracer fed analysis in
   (* ---- Round 1 tasks. ---- *)
   let width_root db_name =
     Involved.local_projection_width involved gs ~db:db_name ~gcls:root
@@ -214,25 +242,26 @@ let build_cf e ?after opts fed analysis =
         let touched = Touch.count fed analysis ~db:db_name in
         let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
         let read =
-          disk_task e acc c ~site ~label:"read-extents" ~bytes:read_bytes
-            ~deps:start_deps ()
+          disk_task e acc c ~site ~phase:"P" ~db:db_name ~label:"read-extents"
+            ~bytes:read_bytes ~deps:start_deps ()
         in
         let eval =
-          cpu_task e acc c ~site ~label:"local-filter"
+          cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-filter"
             ~units:(units_of_work r.Local_result.work + List.length r.Local_result.rows)
             ~deps:[ read ] ()
         in
         let ship =
-          transfer e acc c ~src:site ~dst:gsite ~label:"ship-goids"
+          transfer e acc c ~src:site ~dst:gsite ~phase:"O" ~db:db_name
+            ~label:"ship-goids"
             ~bytes:(List.length r.Local_result.rows * c.Cost.s_goid)
             ~deps:[ eval ] ()
         in
         (db_name, r, ship))
       plans results
   in
-  acc.goid_lookups <- acc.goid_lookups + lo.Certify.goid_lookups;
+  bump_goid acc ~phase:"O" lo.Certify.goid_lookups;
   let intersect =
-    cpu_task e acc c ~site:gsite ~label:"intersect"
+    cpu_task e acc c ~site:gsite ~phase:"O" ~label:"intersect"
       ~units:(units_of_work lo.Certify.work + lo.Certify.goid_lookups)
       ~deps:(List.map (fun (_, _, ship) -> ship) round1) ()
   in
@@ -242,8 +271,9 @@ let build_cf e ?after opts fed analysis =
       (fun (db_name, db) ->
         let site = Federation.site_of fed db_name in
         let bcast =
-          transfer e acc c ~src:gsite ~dst:site ~label:"ship-candidates"
-            ~bytes:(n_candidates * c.Cost.s_goid) ~deps:[ intersect ] ()
+          transfer e acc c ~src:gsite ~dst:site ~phase:"O" ~db:db_name
+            ~label:"ship-candidates" ~bytes:(n_candidates * c.Cost.s_goid)
+            ~deps:[ intersect ] ()
         in
         (* candidate root objects this database holds *)
         let mine =
@@ -288,10 +318,11 @@ let build_cf e ?after opts fed analysis =
         in
         let bytes = root_bytes + branch_bytes in
         let read =
-          disk_task e acc c ~site ~label:"read-candidates" ~bytes ~deps:[ bcast ] ()
+          disk_task e acc c ~site ~phase:"O" ~db:db_name
+            ~label:"read-candidates" ~bytes ~deps:[ bcast ] ()
         in
-        transfer e acc c ~src:site ~dst:gsite ~label:"ship-objects" ~bytes
-          ~deps:[ read ] ())
+        transfer e acc c ~src:site ~dst:gsite ~phase:"O" ~db:db_name
+          ~label:"ship-objects" ~bytes ~deps:[ read ] ())
       (Federation.databases fed)
   in
   (* Integration over branch extents plus only the candidate roots; global
@@ -306,17 +337,21 @@ let build_cf e ?after opts fed analysis =
     m.Materialize.source_objects + m.Materialize.fields_merged
     + outcome.Ca.goid_lookups
   in
-  acc.goid_lookups <- acc.goid_lookups + outcome.Ca.goid_lookups;
+  bump_goid acc ~phase:"I" outcome.Ca.goid_lookups;
   let integrate =
-    cpu_task e acc c ~site:gsite ~label:"integrate" ~units:integrate_units
-      ~deps:xfers ()
+    cpu_task e acc c ~site:gsite ~phase:"I" ~label:"integrate"
+      ~units:integrate_units ~deps:xfers ()
   in
   let eval =
-    cpu_task e acc c ~site:gsite ~label:"global-eval"
+    cpu_task e acc c ~site:gsite ~phase:"P" ~label:"global-eval"
       ~units:(scale (units_of_work outcome.Ca.eval_work))
       ~deps:[ integrate ] ()
   in
-  let fence = Engine.fence e ~deps:[ eval ] ~label:"answer" () in
+  let fence =
+    Engine.fence e ~deps:[ eval ]
+      ~attrs:[ ("strategy", acc.sname) ]
+      ~label:"answer" ()
+  in
   {
     answer = outcome.Ca.answer;
     acc;
@@ -336,7 +371,6 @@ type local_phase = {
   result : Local_result.t;
   built : Checks.built;
   probe_work : Meter.snapshot option;  (* PL only *)
-  dispatch_work : Meter.snapshot;  (* signature filtering comparisons *)
 }
 
 let no_checks =
@@ -347,61 +381,50 @@ let no_checks =
     incapable = 0;
     root_level = 0;
     goid_lookups = 0;
+    work = Meter.zero;
   }
 
-let compute_local_phases ~parallel ~checks ~signatures fed analysis plans =
+let compute_local_phases ~parallel ~checks ~signatures ~tracer fed analysis
+    plans =
   List.map
     (fun (plan : Localize.db_plan) ->
       let db = plan.Localize.db in
       if parallel then begin
         (* PL: probe all objects first (phase O), then evaluate (phase P). *)
-        let probe = Probe.run fed analysis ~db in
-        let before = Meter.read () in
+        let probe = Probe.run ~tracer fed analysis ~db in
         let built =
-          Checks.build ?signatures fed analysis ~db
+          Checks.build ?signatures ~tracer fed analysis ~db
             ~root_class:plan.Localize.local_class ~items:probe.Probe.items
         in
-        let dispatch_work = Meter.delta before in
-        let result = Local_eval.run fed analysis ~db in
-        {
-          plan;
-          result;
-          built;
-          probe_work = Some probe.Probe.work;
-          dispatch_work;
-        }
+        let result = Local_eval.run ~tracer fed analysis ~db in
+        { plan; result; built; probe_work = Some probe.Probe.work }
       end
       else if not checks then
         (* LO: evaluation only; phases O and I degenerate to the per-entity
            merge of local results at the global site. *)
-        let result = Local_eval.run fed analysis ~db in
-        {
-          plan;
-          result;
-          built = no_checks;
-          probe_work = None;
-          dispatch_work = Meter.delta (Meter.read ());
-        }
+        let result = Local_eval.run ~tracer fed analysis ~db in
+        { plan; result; built = no_checks; probe_work = None }
       else begin
         (* BL: evaluate first, then look up assistants for the maybe rows. *)
-        let result = Local_eval.run fed analysis ~db in
+        let result = Local_eval.run ~tracer fed analysis ~db in
         let items =
           List.concat_map
             (fun (row : Local_result.row) -> row.Local_result.unsolved)
             result.Local_result.rows
         in
-        let before = Meter.read () in
         let built =
-          Checks.build ?signatures fed analysis ~db
+          Checks.build ?signatures ~tracer fed analysis ~db
             ~root_class:plan.Localize.local_class ~items
         in
-        let dispatch_work = Meter.delta before in
-        { plan; result; built; probe_work = None; dispatch_work }
+        { plan; result; built; probe_work = None }
       end)
     plans
 
-let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
-    analysis =
+(* Localized phase attribution (paper, Figure 8): local evaluation is phase
+   P; probing, dispatching, shipping and serving assistant checks are phase
+   O; shipping local results and certifying at the global site are phase I. *)
+let build_localized e ?after ~acc ~tracer opts ~parallel ?(checks = true)
+    ~signatures fed analysis =
   let c = opts.cost in
   let start_deps = match after with None -> [] | Some h -> [ h ] in
   let gs = Federation.global_schema fed in
@@ -410,7 +433,10 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
   let signatures =
     if signatures then Some (Sig_catalog.build fed) else None
   in
-  let phases = compute_local_phases ~parallel ~checks ~signatures fed analysis plans in
+  let phases =
+    compute_local_phases ~parallel ~checks ~signatures ~tracer fed analysis
+      plans
+  in
   (* Serve the check requests, batched per (origin, target). *)
   let batches : (string * string, Checks.request list ref) Hashtbl.t =
     Hashtbl.create 16
@@ -433,7 +459,7 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
     List.map
       (fun ((_, target) as key) ->
         let reqs = List.rev !(Hashtbl.find batches key) in
-        (key, reqs, Checks.serve fed ~db:target reqs))
+        (key, reqs, Checks.serve ~tracer fed ~db:target reqs))
       batch_order
   in
   let verdicts =
@@ -442,17 +468,17 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
   in
   let results = List.map (fun ph -> ph.result) phases in
   let certified =
-    Certify.run ~multi_valued:opts.multi_valued fed analysis ~results ~verdicts
+    Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis ~results
+      ~verdicts
   in
   let deep_outcome =
     if opts.deep_certify then
       Some
-        (Deep.resolve ~multi_valued:opts.multi_valued fed analysis
+        (Deep.resolve ~multi_valued:opts.multi_valued ~tracer fed analysis
            certified.Certify.answer)
     else None
   in
   (* ---- Replay onto the simulator. ---- *)
-  let acc = new_acc () in
   let gsite = Federation.global_site fed in
   let n_targets = List.length analysis.Analysis.targets in
   let dispatch_tasks : (string, Engine.handle) Hashtbl.t = Hashtbl.create 8 in
@@ -464,17 +490,17 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
       let touched = Touch.count fed analysis ~db:db_name in
       let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
       let read =
-        disk_task e acc c ~site ~label:"read-extents" ~bytes:read_bytes
-          ~deps:start_deps ()
+        disk_task e acc c ~site ~phase:"P" ~db:db_name ~label:"read-extents"
+          ~bytes:read_bytes ~deps:start_deps ()
       in
-      acc.goid_lookups <- acc.goid_lookups + ph.built.Checks.goid_lookups;
+      bump_goid acc ~phase:"O" ph.built.Checks.goid_lookups;
       (* Local goid lookups for row tagging happen during evaluation. *)
       let eval_units =
         units_of_work ph.result.Local_result.work
         + List.length ph.result.Local_result.rows
       in
       let dispatch_units =
-        ph.built.Checks.goid_lookups + units_of_work ph.dispatch_work
+        ph.built.Checks.goid_lookups + units_of_work ph.built.Checks.work
       in
       let dispatch =
         if parallel then begin
@@ -483,16 +509,16 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
             match ph.probe_work with Some w -> units_of_work w | None -> 0
           in
           let probe =
-            cpu_task e acc c ~site ~label:"probe" ~units:probe_units
-              ~deps:[ read ] ()
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name ~label:"probe"
+              ~units:probe_units ~deps:[ read ] ()
           in
           let dispatch =
-            cpu_task e acc c ~site ~label:"dispatch-checks" ~units:dispatch_units
-              ~deps:[ probe ] ()
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name
+              ~label:"dispatch-checks" ~units:dispatch_units ~deps:[ probe ] ()
           in
           let eval =
-            cpu_task e acc c ~site ~label:"local-eval" ~units:eval_units
-              ~deps:[ dispatch ] ()
+            cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-eval"
+              ~units:eval_units ~deps:[ dispatch ] ()
           in
           Hashtbl.replace dispatch_tasks db_name dispatch;
           eval
@@ -500,12 +526,12 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
         else begin
           (* BL: evaluate, then dispatch. *)
           let eval =
-            cpu_task e acc c ~site ~label:"local-eval" ~units:eval_units
-              ~deps:[ read ] ()
+            cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-eval"
+              ~units:eval_units ~deps:[ read ] ()
           in
           let dispatch =
-            cpu_task e acc c ~site ~label:"dispatch-checks" ~units:dispatch_units
-              ~deps:[ eval ] ()
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name
+              ~label:"dispatch-checks" ~units:dispatch_units ~deps:[ eval ] ()
           in
           Hashtbl.replace dispatch_tasks db_name dispatch;
           dispatch
@@ -516,8 +542,8 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
         + List.length ph.built.Checks.local_verdicts * Wire.verdict_bytes c
       in
       let ship =
-        transfer e acc c ~src:site ~dst:gsite ~label:"ship-results"
-          ~bytes:results_bytes ~deps:[ dispatch ] ()
+        transfer e acc c ~src:site ~dst:gsite ~phase:"I" ~db:db_name
+          ~label:"ship-results" ~bytes:results_bytes ~deps:[ dispatch ] ()
       in
       global_deps := ship :: !global_deps)
     phases;
@@ -527,27 +553,29 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
       let tsite = Federation.site_of fed target in
       let dispatch = Hashtbl.find dispatch_tasks origin in
       let req_xfer =
-        transfer e acc c ~src:osite ~dst:tsite ~label:"ship-requests"
-          ~bytes:(Wire.requests_bytes c reqs) ~deps:[ dispatch ] ()
+        transfer e acc c ~src:osite ~dst:tsite ~phase:"O" ~db:target
+          ~label:"ship-requests" ~bytes:(Wire.requests_bytes c reqs)
+          ~deps:[ dispatch ] ()
       in
       let read =
-        disk_task e acc c ~site:tsite ~label:"check-read"
+        disk_task e acc c ~site:tsite ~phase:"O" ~db:target ~label:"check-read"
           ~bytes:(Wire.check_read_bytes c reqs) ~deps:[ req_xfer ] ()
       in
       let eval =
-        cpu_task e acc c ~site:tsite ~label:"check-eval"
+        cpu_task e acc c ~site:tsite ~phase:"O" ~db:target ~label:"check-eval"
           ~units:(units_of_work s.Checks.work) ~deps:[ read ] ()
       in
       let verdict_xfer =
-        transfer e acc c ~src:tsite ~dst:gsite ~label:"ship-verdicts"
+        transfer e acc c ~src:tsite ~dst:gsite ~phase:"O" ~db:target
+          ~label:"ship-verdicts"
           ~bytes:(List.length s.Checks.verdicts * Wire.verdict_bytes c)
           ~deps:[ eval ] ()
       in
       global_deps := verdict_xfer :: !global_deps)
     served;
-  acc.goid_lookups <- acc.goid_lookups + certified.Certify.goid_lookups;
+  bump_goid acc ~phase:"I" certified.Certify.goid_lookups;
   let certify_task =
-    cpu_task e acc c ~site:gsite ~label:"certify"
+    cpu_task e acc c ~site:gsite ~phase:"I" ~label:"certify"
       ~units:(units_of_work certified.Certify.work + certified.Certify.goid_lookups)
       ~deps:(List.rev !global_deps) ()
   in
@@ -571,30 +599,48 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
             let site = Federation.site_of fed db_name in
             let bytes = residual * per_entity_bytes in
             let read =
-              disk_task e acc c ~site ~label:"deep-read" ~bytes
-                ~deps:[ certify_task ] ()
+              disk_task e acc c ~site ~phase:"I" ~db:db_name ~label:"deep-read"
+                ~bytes ~deps:[ certify_task ] ()
             in
-            transfer e acc c ~src:site ~dst:gsite ~label:"deep-ship" ~bytes
-              ~deps:[ read ] ())
+            transfer e acc c ~src:site ~dst:gsite ~phase:"I" ~db:db_name
+              ~label:"deep-ship" ~bytes ~deps:[ read ] ())
           (Federation.databases fed)
       in
-      cpu_task e acc c ~site:gsite ~label:"deep-certify"
+      cpu_task e acc c ~site:gsite ~phase:"I" ~label:"deep-certify"
         ~units:(units_of_work deep.Deep.work) ~deps:deep_deps ()
   in
-  let fence = Engine.fence e ~deps:[ last ] ~label:"answer" () in
+  let fence =
+    Engine.fence e ~deps:[ last ]
+      ~attrs:[ ("strategy", acc.sname) ]
+      ~label:"answer" ()
+  in
   let answer =
     match deep_outcome with
     | Some deep -> deep.Deep.answer
     | None -> certified.Certify.answer
   in
+  let check_requests =
+    List.fold_left (fun n ph -> n + List.length ph.built.Checks.requests) 0 phases
+  in
+  let checks_filtered =
+    List.fold_left (fun n ph -> n + ph.built.Checks.filtered) 0 phases
+  in
+  Metrics.inc
+    (Metrics.counter acc.reg
+       ~labels:[ ("strategy", acc.sname) ]
+       "msdq_check_requests_total")
+    check_requests;
+  Metrics.inc
+    (Metrics.counter acc.reg
+       ~labels:[ ("strategy", acc.sname) ]
+       "msdq_checks_filtered_total")
+    checks_filtered;
   {
     answer;
     acc;
     fence;
-    check_requests =
-      List.fold_left (fun n ph -> n + List.length ph.built.Checks.requests) 0 phases;
-    checks_filtered =
-      List.fold_left (fun n ph -> n + ph.built.Checks.filtered) 0 phases;
+    check_requests;
+    checks_filtered;
     promoted = certified.Certify.promoted;
     eliminated = certified.Certify.eliminated;
     conflicts = certified.Certify.conflicts;
@@ -602,47 +648,70 @@ let build_localized e ?after opts ~parallel ?(checks = true) ~signatures fed
 
 (* ------------------------------------------------------------------ *)
 
-let build e ?after options strategy fed analysis =
+let build e ?after ~reg ~tracer options strategy fed analysis =
+  let acc = new_acc reg strategy in
+  Tracer.with_span tracer ~cat:"build"
+    ~args:[ ("strategy", acc.sname) ]
+    ("build:" ^ acc.sname)
+  @@ fun () ->
   match strategy with
-  | Ca -> build_ca e ?after options fed analysis
-  | Bl -> build_localized e ?after options ~parallel:false ~signatures:false fed analysis
-  | Pl -> build_localized e ?after options ~parallel:true ~signatures:false fed analysis
-  | Bls -> build_localized e ?after options ~parallel:false ~signatures:true fed analysis
-  | Pls -> build_localized e ?after options ~parallel:true ~signatures:true fed analysis
-  | Lo ->
-    build_localized e ?after options ~parallel:false ~checks:false
+  | Ca -> build_ca e ?after ~acc ~tracer options fed analysis
+  | Bl ->
+    build_localized e ?after ~acc ~tracer options ~parallel:false
       ~signatures:false fed analysis
-  | Cf -> build_cf e ?after options fed analysis
+  | Pl ->
+    build_localized e ?after ~acc ~tracer options ~parallel:true
+      ~signatures:false fed analysis
+  | Bls ->
+    build_localized e ?after ~acc ~tracer options ~parallel:false
+      ~signatures:true fed analysis
+  | Pls ->
+    build_localized e ?after ~acc ~tracer options ~parallel:true
+      ~signatures:true fed analysis
+  | Lo ->
+    build_localized e ?after ~acc ~tracer options ~parallel:false ~checks:false
+      ~signatures:false fed analysis
+  | Cf -> build_cf e ?after ~acc ~tracer options fed analysis
+
+let finalize_registry reg strategy ~total ~response =
+  let labels = [ ("strategy", to_string strategy) ] in
+  Metrics.set (Metrics.gauge reg ~labels "msdq_total_us") (Time.to_us total);
+  Metrics.set (Metrics.gauge reg ~labels "msdq_response_us") (Time.to_us response)
 
 let run ?(options = default_options) strategy fed analysis =
   Log.debug (fun m ->
       m "running %s over %d databases, query on %s" (to_string strategy)
         (List.length (Federation.databases fed))
         analysis.Analysis.range_class);
-  Meter.reset ();
-  Goid_table.reset_lookup_count (Federation.goids fed);
-  let e = Engine.create ~trace:options.trace () in
+  let reg = Metrics.create () in
+  let tracer = Tracer.create () in
+  let e = Engine.create ~trace:true () in
   apply_site_speeds e options.site_speeds;
-  let b = build e options strategy fed analysis in
+  let b = build e ~reg ~tracer options strategy fed analysis in
   Engine.run e;
   let stats = Engine.stats e in
+  let total = Stats.total_busy stats in
+  let response = Stats.makespan stats in
+  finalize_registry reg strategy ~total ~response;
   let metrics =
     {
       strategy;
-      total = Stats.total_busy stats;
-      response = Stats.makespan stats;
-      bytes_shipped = b.acc.bytes_shipped;
-      disk_bytes = b.acc.disk_bytes;
-      messages = b.acc.messages;
+      total;
+      response;
+      bytes_shipped = Metrics.total reg "msdq_bytes_shipped_total";
+      disk_bytes = Metrics.total reg "msdq_disk_bytes_total";
+      messages = Metrics.total reg "msdq_messages_total";
       check_requests = b.check_requests;
       checks_filtered = b.checks_filtered;
-      work_units = b.acc.work_units;
-      goid_lookups = b.acc.goid_lookups;
+      work_units = Metrics.total reg "msdq_work_units_total";
+      goid_lookups = Metrics.total reg "msdq_goid_lookups_total";
       promoted = b.promoted;
       eliminated_at_global = b.eliminated;
       conflicts = b.conflicts;
       breakdown = Stats.by_label stats;
       trace = Engine.trace e;
+      registry = reg;
+      host_spans = Tracer.spans tracer;
     }
   in
   Log.info (fun m ->
@@ -653,11 +722,40 @@ let run ?(options = default_options) strategy fed analysis =
         Time.pp metrics.total Time.pp metrics.response b.check_requests);
   (b.answer, metrics)
 
+let phase_breakdown m =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.Trace.site with
+      | None -> ()
+      | Some _ -> (
+        match List.assoc_opt "phase" e.Trace.attrs with
+        | None -> ()
+        | Some phase ->
+          let busy, n =
+            match Hashtbl.find_opt tbl phase with
+            | Some v -> v
+            | None -> (Time.zero, 0)
+          in
+          Hashtbl.replace tbl phase
+            (Time.add busy (Time.sub e.Trace.finish e.Trace.start), n + 1)))
+    (Trace.entries m.trace);
+  List.map
+    (fun phase ->
+      match Hashtbl.find_opt tbl phase with
+      | Some (busy, n) -> (phase, busy, n)
+      | None -> (phase, Time.zero, 0))
+    [ "O"; "P"; "I" ]
+
 type concurrent_query = {
   started : Time.t;
   completed : Time.t;
   q_strategy : t;
   q_answer : Answer.t;
+  q_registry : Metrics.t;
+  q_work_units : int;
+  q_bytes_shipped : int;
+  q_goid_lookups : int;
 }
 
 type concurrent_outcome = {
@@ -667,9 +765,7 @@ type concurrent_outcome = {
 }
 
 let run_concurrent ?(options = default_options) fed jobs =
-  Meter.reset ();
-  Goid_table.reset_lookup_count (Federation.goids fed);
-  let e = Engine.create ~trace:options.trace () in
+  let e = Engine.create ~trace:true () in
   apply_site_speeds e options.site_speeds;
   let built =
     List.map
@@ -679,7 +775,12 @@ let run_concurrent ?(options = default_options) fed jobs =
             Some (Engine.delay e ~label:"arrival" ~duration:arrival ())
           else None
         in
-        (strategy, arrival, build e ?after options strategy fed analysis))
+        (* Each job owns its registry and tracer: one query's counters can
+           never bleed into another's, no matter how the engine interleaves
+           their tasks. *)
+        let reg = Metrics.create () in
+        let tracer = Tracer.create () in
+        (strategy, arrival, reg, build e ?after ~reg ~tracer options strategy fed analysis))
       jobs
   in
   Engine.run e;
@@ -687,12 +788,16 @@ let run_concurrent ?(options = default_options) fed jobs =
   {
     queries =
       List.map
-        (fun (strategy, arrival, b) ->
+        (fun (strategy, arrival, reg, b) ->
           {
             started = arrival;
             completed = Engine.finish_time e b.fence;
             q_strategy = strategy;
             q_answer = b.answer;
+            q_registry = reg;
+            q_work_units = Metrics.total reg "msdq_work_units_total";
+            q_bytes_shipped = Metrics.total reg "msdq_bytes_shipped_total";
+            q_goid_lookups = Metrics.total reg "msdq_goid_lookups_total";
           })
         built;
     combined_total = Stats.total_busy stats;
@@ -709,11 +814,18 @@ let run_query ?options strategy fed src =
     | analysis -> Ok (run ?options strategy fed analysis))
 
 let pp_metrics ppf m =
+  let phases = phase_breakdown m in
+  let pp_phases ppf () =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " / ")
+      (fun ppf (phase, busy, _) -> Format.fprintf ppf "%s %a" phase Time.pp busy)
+      ppf phases
+  in
   Format.fprintf ppf
-    "@[<v>%s: total %a, response %a@,shipped %d bytes in %d messages; disk %d \
-     bytes@,work %d units, %d goid lookups, %d checks (%d filtered)@,promoted \
-     %d, eliminated at global %d%s@]"
-    (to_string m.strategy) Time.pp m.total Time.pp m.response m.bytes_shipped
-    m.messages m.disk_bytes m.work_units m.goid_lookups m.check_requests
-    m.checks_filtered m.promoted m.eliminated_at_global
+    "@[<v>%s: total %a, response %a@,phases %a@,shipped %d bytes in %d \
+     messages; disk %d bytes@,work %d units, %d goid lookups, %d checks (%d \
+     filtered)@,promoted %d, eliminated at global %d%s@]"
+    (to_string m.strategy) Time.pp m.total Time.pp m.response pp_phases ()
+    m.bytes_shipped m.messages m.disk_bytes m.work_units m.goid_lookups
+    m.check_requests m.checks_filtered m.promoted m.eliminated_at_global
     (if m.conflicts > 0 then Printf.sprintf ", %d CONFLICTS" m.conflicts else "")

@@ -27,7 +27,13 @@
        reference [20]): databases first exchange surviving-GOid lists so
        that only candidate root objects are shipped for integration. Same
        answers as CA on consistent federations; cheaper shipping at low
-       selectivity, one extra round trip always.}} *)
+       selectivity, one extra round trip always.}}
+
+    Every run owns a private {!Msdq_obs.Metrics.t} registry and
+    {!Msdq_obs.Tracer.t}: simulated-task counters carry
+    [strategy]/[phase] labels, host-side execution records hierarchical
+    spans, and nothing is stored in process globals, so concurrent runs
+    can never bleed counts into each other. *)
 
 open Msdq_simkit
 open Msdq_fed
@@ -53,11 +59,13 @@ type options = {
       (** heterogeneous hardware: [(site, factor)] scales the site's CPU and
           disk speed (factor 0.5 = half speed; site 0 is the global
           processing site, database i lives at site i+1) *)
-  trace : bool;  (** record a task trace in the engine *)
+  trace : bool;
+      (** kept for compatibility; task traces are now always recorded (they
+          feed the per-phase breakdown and the Chrome trace export) *)
 }
 
 val default_options : options
-(** Table 1 costs, no deep certification, no trace. *)
+(** Table 1 costs, no deep certification. *)
 
 type metrics = {
   strategy : t;
@@ -74,16 +82,33 @@ type metrics = {
   eliminated_at_global : int;
   conflicts : int;  (** contradictory definite verdicts (inconsistent data) *)
   breakdown : (string * Time.t * int) list;  (** busy time per task label *)
-  trace : Trace.t;  (** task trace; empty unless [options.trace] was set *)
+  trace : Trace.t;
+      (** simulated task trace; every entry carries [strategy]/[phase] (and
+          [db] where applicable) attributes *)
+  registry : Msdq_obs.Metrics.t;
+      (** the run's private metrics registry; counters are labelled by
+          [strategy] and paper phase ([O]/[P]/[I]) *)
+  host_spans : Msdq_obs.Tracer.span list;
+      (** host-side spans recorded while building/executing the run
+          (materialization, local evaluation, check serving, certification) *)
 }
 
 val run : ?options:options -> t -> Federation.t -> Analysis.t -> Answer.t * metrics
+
+val phase_breakdown : metrics -> (string * Time.t * int) list
+(** Busy time and task count per paper phase, computed from the task trace's
+    [phase] attributes. Always three entries, in order [O]; [P]; [I]. *)
 
 type concurrent_query = {
   started : Time.t;  (** arrival time of the query *)
   completed : Time.t;  (** when its answer was assembled *)
   q_strategy : t;
   q_answer : Answer.t;
+  q_registry : Msdq_obs.Metrics.t;
+      (** this query's own registry — isolated from its co-runners *)
+  q_work_units : int;
+  q_bytes_shipped : int;
+  q_goid_lookups : int;
 }
 
 type concurrent_outcome = {
@@ -99,7 +124,9 @@ val run_concurrent :
     system — same sites, same FIFO resources — so they interfere exactly
     where real executions would. Each job is (strategy, analyzed query,
     arrival time); a query's tasks become eligible at its arrival.
-    Per-query latency is [completed - started]. *)
+    Per-query latency is [completed - started]. Each job owns a private
+    metrics registry, so per-query counts stay independent however the
+    engine interleaves their tasks. *)
 
 val run_query :
   ?options:options -> t -> Federation.t -> string -> (Answer.t * metrics, string) result

@@ -1,6 +1,11 @@
 open Msdq_simkit
 open Msdq_workload
 open Msdq_exec
+module Metrics = Msdq_obs.Metrics
+
+let log_src = Logs.Src.create "msdq.exp" ~doc:"experiment sweeps"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type series = {
   strategy : Strategy.t;
@@ -18,7 +23,10 @@ type figure = {
 
 let paper_strategies = [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
 
-let sweep ~samples ~seed ~cost ~strategies ~xs ~config_of =
+let sweep ?registry ?progress ~id ~samples ~seed ~cost ~strategies ~xs
+    ~config_of () =
+  let n_points = List.length strategies * Array.length xs in
+  let completed = ref 0 in
   let series =
     List.map
       (fun strategy ->
@@ -31,112 +39,140 @@ let sweep ~samples ~seed ~cost ~strategies ~xs ~config_of =
               Param_sim.average ~overrides ~cost ~samples ~seed ~ranges strategy
             in
             totals.(idx) <- Time.to_s t.Param_sim.total;
-            responses.(idx) <- Time.to_s t.Param_sim.response)
+            responses.(idx) <- Time.to_s t.Param_sim.response;
+            incr completed;
+            (match registry with
+            | Some reg ->
+              Metrics.inc
+                (Metrics.counter reg
+                   ~labels:
+                     [ ("figure", id); ("strategy", Strategy.to_string strategy) ]
+                   "msdq_param_samples_total")
+                samples
+            | None -> ());
+            Log.info (fun m ->
+                m "%s: %s x=%g done (%d/%d points)" id
+                  (Strategy.to_string strategy) x !completed n_points);
+            match progress with
+            | Some f -> f ~figure:id ~completed:!completed ~total:n_points
+            | None -> ())
           xs;
         { strategy; totals; responses })
       strategies
   in
   series
 
-let fig9 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig9 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 1000.; 2000.; 4000.; 6000.; 8000.; 10000. |] in
   let config_of x =
     let n = int_of_float x in
     ( { Params.default with Params.n_o = (n, n + (n / 5)) },
       Param_sim.no_overrides )
   in
+  let id = "fig9" in
   {
-    id = "fig9";
+    id;
     title = "Varying the average number of objects in each constituent class";
     xlabel = "objects per constituent class";
     xs;
-    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+    series =
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
+        ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let fig10 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig10 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
   in
+  let id = "fig10" in
   {
-    id = "fig10";
+    id;
     title = "Varying the number of component databases";
     xlabel = "component databases";
     xs;
-    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+    series =
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
+        ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let fig11 ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig11 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
   let config_of x =
     ( { Params.default with Params.n_o = (1000, 2000) },
       { Param_sim.root_local_selectivity = Some x } )
   in
+  let id = "fig11" in
   {
-    id = "fig11";
+    id;
     title = "Varying the selectivity of one local predicate";
     xlabel = "selectivity of the local predicates on the root class";
     xs;
-    series = sweep ~samples ~seed ~cost ~strategies:paper_strategies ~xs ~config_of;
+    series =
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
+        ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let ablation_signatures ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_signatures ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 4.; 6.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
   in
+  let id = "ablation-signatures" in
   {
-    id = "ablation-signatures";
+    id;
     title = "Signature filtering of assistant checks (extension)";
     xlabel = "component databases";
     xs;
     series =
-      sweep ~samples ~seed ~cost
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Bl; Strategy.Bls; Strategy.Pl; Strategy.Pls ]
-        ~xs ~config_of;
+        ~xs ~config_of ();
   }
 
-let ablation_checks ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_checks ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 4.; 6.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
   in
+  let id = "ablation-checks" in
   {
-    id = "ablation-checks";
+    id;
     title = "Cost of assistant checking: localized with and without phase O (extension)";
     xlabel = "component databases";
     xs;
     series =
-      sweep ~samples ~seed ~cost
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Lo; Strategy.Bl; Strategy.Pl ]
-        ~xs ~config_of;
+        ~xs ~config_of ();
   }
 
-let ablation_semijoin ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_semijoin ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
   let config_of x =
     ( { Params.default with Params.n_o = (1000, 2000) },
       { Param_sim.root_local_selectivity = Some x } )
   in
+  let id = "ablation-semijoin" in
   {
-    id = "ablation-semijoin";
+    id;
     title = "Semijoin-filtered centralized (CF) vs CA and BL (extension)";
     xlabel = "selectivity of the local predicates on the root class";
     xs;
     series =
-      sweep ~samples ~seed ~cost
+      sweep ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Ca; Strategy.Cf; Strategy.Bl ]
-        ~xs ~config_of;
+        ~xs ~config_of ();
   }
 
-let all ?samples ?seed ?cost () =
+let all ?registry ?progress ?samples ?seed ?cost () =
   [
-    fig9 ?samples ?seed ?cost ();
-    fig10 ?samples ?seed ?cost ();
-    fig11 ?samples ?seed ?cost ();
-    ablation_signatures ?samples ?seed ?cost ();
-    ablation_checks ?samples ?seed ?cost ();
-    ablation_semijoin ?samples ?seed ?cost ();
+    fig9 ?registry ?progress ?samples ?seed ?cost ();
+    fig10 ?registry ?progress ?samples ?seed ?cost ();
+    fig11 ?registry ?progress ?samples ?seed ?cost ();
+    ablation_signatures ?registry ?progress ?samples ?seed ?cost ();
+    ablation_checks ?registry ?progress ?samples ?seed ?cost ();
+    ablation_semijoin ?registry ?progress ?samples ?seed ?cost ();
   ]
 
 let series_of fig strategy =

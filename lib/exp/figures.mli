@@ -3,7 +3,13 @@
     parametric simulator, plus a signature-filtering ablation (extension).
 
     Defaults follow the paper: 500 parameter draws per point, Table 1 cost
-    constants, Table 2 parameter ranges. *)
+    constants, Table 2 parameter ranges.
+
+    Every sweep reports progress as it goes: a [Logs] line at info level per
+    completed point, an optional [progress] callback (the CLI's [--progress]
+    renders it), and — when a [registry] is supplied — an
+    [msdq_param_samples_total{figure,strategy}] counter so a run's sampling
+    effort shows up in its metrics dump. *)
 
 open Msdq_exec
 
@@ -21,30 +27,44 @@ type figure = {
   series : series list;
 }
 
-val fig9 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val fig9 : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the average number of objects per constituent class
     (1000..10000). *)
 
-val fig10 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val fig10 : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the number of component databases (2..8). *)
 
-val fig11 : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val fig11 : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the selectivity of one local predicate (0.1..0.9), with
     N_o in 1000..2000 as in the paper. *)
 
-val ablation_signatures : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val ablation_signatures : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: BL/PL against their signature-filtered variants while varying
     the number of component databases. *)
 
-val ablation_checks : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val ablation_checks : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: LO (localized without assistant checks) against BL and PL —
     the pure cost of phase O — while varying the number of databases. *)
 
-val ablation_semijoin : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
+val ablation_semijoin : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: CF (semijoin-filtered centralized) against CA and BL while
     varying the local selectivity — the classic semijoin trade-off. *)
 
-val all : ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure list
+val all : ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure list
 (** [fig9; fig10; fig11; ablation-signatures; ablation-checks; ablation-semijoin]. *)
 
 val series_of : figure -> Strategy.t -> series

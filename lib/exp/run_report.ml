@@ -1,0 +1,290 @@
+open Msdq_simkit
+open Msdq_query
+open Msdq_exec
+module Json = Msdq_obs.Json
+module Metrics = Msdq_obs.Metrics
+module Tracer = Msdq_obs.Tracer
+
+let phases = [ "O"; "P"; "I" ]
+
+let dur_us (e : Trace.entry) =
+  Time.to_us (Time.sub e.Trace.finish e.Trace.start)
+
+let phase_of (e : Trace.entry) = List.assoc_opt "phase" e.Trace.attrs
+
+(* ---- metrics ---- *)
+
+let breakdown_json breakdown =
+  Json.Arr
+    (List.map
+       (fun (label, busy, n) ->
+         Json.Obj
+           [
+             ("label", Json.Str label);
+             ("busy_s", Json.Float (Time.to_s busy));
+             ("tasks", Json.Int n);
+           ])
+       breakdown)
+
+let metrics_to_json (m : Strategy.metrics) =
+  Json.Obj
+    [
+      ("strategy", Json.Str (Strategy.to_string m.Strategy.strategy));
+      ("total_s", Json.Float (Time.to_s m.Strategy.total));
+      ("response_s", Json.Float (Time.to_s m.Strategy.response));
+      ( "phases",
+        Json.Arr
+          (List.map
+             (fun (phase, busy, n) ->
+               Json.Obj
+                 [
+                   ("phase", Json.Str phase);
+                   ("busy_s", Json.Float (Time.to_s busy));
+                   ("tasks", Json.Int n);
+                 ])
+             (Strategy.phase_breakdown m)) );
+      ("bytes_shipped", Json.Int m.Strategy.bytes_shipped);
+      ("disk_bytes", Json.Int m.Strategy.disk_bytes);
+      ("messages", Json.Int m.Strategy.messages);
+      ("check_requests", Json.Int m.Strategy.check_requests);
+      ("checks_filtered", Json.Int m.Strategy.checks_filtered);
+      ("work_units", Json.Int m.Strategy.work_units);
+      ("goid_lookups", Json.Int m.Strategy.goid_lookups);
+      ("promoted", Json.Int m.Strategy.promoted);
+      ("eliminated_at_global", Json.Int m.Strategy.eliminated_at_global);
+      ("conflicts", Json.Int m.Strategy.conflicts);
+      ("breakdown", breakdown_json m.Strategy.breakdown);
+      ("registry", Metrics.to_json m.Strategy.registry);
+    ]
+
+let run_to_json answer (m : Strategy.metrics) =
+  Json.Obj
+    [
+      ( "answer",
+        Json.Obj
+          [
+            ("certain", Json.Int (List.length (Answer.certain answer)));
+            ("maybe", Json.Int (List.length (Answer.maybe answer)));
+          ] );
+      ("metrics", metrics_to_json m);
+    ]
+
+let query_to_json ~query runs =
+  Json.Obj
+    [
+      ("query", Json.Str query);
+      ("runs", Json.Arr (List.map (fun (a, m) -> run_to_json a m) runs));
+    ]
+
+(* ---- Chrome trace ---- *)
+
+let kind_tid = function
+  | Some Resource.Cpu -> 0
+  | Some Resource.Disk -> 1
+  | Some Resource.Link -> 2
+  | None -> 3 (* fences and delays: the synchronization lane *)
+
+let span_of_entry (e : Trace.entry) : Tracer.span =
+  let site = match e.Trace.site with Some s -> s | None -> 0 in
+  let cat =
+    match e.Trace.kind with
+    | Some k -> Resource.kind_to_string k
+    | None -> "sync"
+  in
+  {
+    Tracer.name = e.Trace.label;
+    cat;
+    pid = site;
+    tid = kind_tid e.Trace.kind;
+    ts_us = Time.to_us e.Trace.start;
+    dur_us = dur_us e;
+    args = e.Trace.attrs;
+  }
+
+let chrome_trace ms =
+  let sim_spans =
+    List.concat_map
+      (fun (m : Strategy.metrics) ->
+        List.map span_of_entry (Trace.entries m.Strategy.trace))
+      ms
+  in
+  let host_spans = List.concat_map (fun m -> m.Strategy.host_spans) ms in
+  let spans = sim_spans @ host_spans in
+  let pids =
+    List.sort_uniq compare (List.map (fun (s : Tracer.span) -> s.Tracer.pid) spans)
+  in
+  let process_names =
+    List.map
+      (fun pid ->
+        if pid = Tracer.host_pid then (pid, "host")
+        else if pid = 0 then (pid, "site 0 (global)")
+        else (pid, Printf.sprintf "site %d" pid))
+      pids
+  in
+  let thread_names =
+    List.concat_map
+      (fun pid ->
+        if pid = Tracer.host_pid then [ (pid, 0, "host") ]
+        else
+          [ (pid, 0, "cpu"); (pid, 1, "disk"); (pid, 2, "link"); (pid, 3, "sync") ])
+      pids
+  in
+  Tracer.chrome ~process_names ~thread_names spans
+
+(* ---- utilization ---- *)
+
+let pp_utilization ppf (m : Strategy.metrics) =
+  let entries = Trace.entries m.Strategy.trace in
+  let sites =
+    List.sort_uniq compare
+      (List.filter_map (fun (e : Trace.entry) -> e.Trace.site) entries)
+  in
+  let busy ~site ~phase =
+    List.fold_left
+      (fun acc (e : Trace.entry) ->
+        if e.Trace.site = Some site && phase_of e = Some phase then
+          Time.add acc (Time.sub e.Trace.finish e.Trace.start)
+        else acc)
+      Time.zero entries
+  in
+  let site_total site =
+    List.fold_left
+      (fun acc (e : Trace.entry) ->
+        if e.Trace.site = Some site then
+          Time.add acc (Time.sub e.Trace.finish e.Trace.start)
+        else acc)
+      Time.zero entries
+  in
+  Format.fprintf ppf "@[<v>%s utilization (busy seconds per site and phase)@,"
+    (Strategy.to_string m.Strategy.strategy);
+  Format.fprintf ppf "%-10s %10s %10s %10s %10s@," "site" "O" "P" "I" "total";
+  List.iter
+    (fun site ->
+      let name = if site = 0 then "global" else Printf.sprintf "site %d" site in
+      Format.fprintf ppf "%-10s" name;
+      List.iter
+        (fun phase ->
+          Format.fprintf ppf " %10.6f" (Time.to_s (busy ~site ~phase)))
+        phases;
+      Format.fprintf ppf " %10.6f@," (Time.to_s (site_total site)))
+    sites;
+  Format.fprintf ppf "@]"
+
+(* ---- figures ---- *)
+
+let figure_to_json (fig : Figures.figure) =
+  let floats a = Json.Arr (Array.to_list (Array.map (fun x -> Json.Float x) a)) in
+  Json.Obj
+    [
+      ("id", Json.Str fig.Figures.id);
+      ("title", Json.Str fig.Figures.title);
+      ("xlabel", Json.Str fig.Figures.xlabel);
+      ("xs", floats fig.Figures.xs);
+      ( "series",
+        Json.Arr
+          (List.map
+             (fun (s : Figures.series) ->
+               Json.Obj
+                 [
+                   ("strategy", Json.Str (Strategy.to_string s.Figures.strategy));
+                   ("totals_s", floats s.Figures.totals);
+                   ("responses_s", floats s.Figures.responses);
+                 ])
+             fig.Figures.series) );
+    ]
+
+let figures_to_json figs =
+  Json.Obj [ ("figures", Json.Arr (List.map figure_to_json figs)) ]
+
+(* ---- bench ---- *)
+
+let bench_schema = "msdq-bench/1"
+
+let bench_to_json ~generated_at ~strategies ~wall =
+  Json.Obj
+    [
+      ("schema", Json.Str bench_schema);
+      ("generated_at", Json.Str generated_at);
+      ( "strategies",
+        Json.Arr
+          (List.map
+             (fun (name, total_s, response_s) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("total_s", Json.Float total_s);
+                   ("response_s", Json.Float response_s);
+                 ])
+             strategies) );
+      ( "wall",
+        Json.Arr
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
+             wall) );
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bench document: missing or ill-typed %s" what)
+
+let nonneg what v =
+  if Float.is_nan v || v < 0.0 then
+    Error (Printf.sprintf "bench document: %s must be a non-negative number" what)
+  else Ok ()
+
+let validate_bench j =
+  let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
+  let* () =
+    if String.equal schema bench_schema then Ok ()
+    else Error (Printf.sprintf "bench document: schema %S, expected %S" schema bench_schema)
+  in
+  let* _ =
+    require "\"generated_at\""
+      Option.(Json.member "generated_at" j |> map Json.to_str |> join)
+  in
+  let* entries =
+    require "\"strategies\"" Option.(Json.member "strategies" j |> map Json.to_list |> join)
+  in
+  let* () =
+    if entries = [] then Error "bench document: \"strategies\" is empty" else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* name =
+          require "strategy \"name\""
+            Option.(Json.member "name" entry |> map Json.to_str |> join)
+        in
+        let* total =
+          require (name ^ " \"total_s\"")
+            Option.(Json.member "total_s" entry |> map Json.to_float |> join)
+        in
+        let* response =
+          require (name ^ " \"response_s\"")
+            Option.(Json.member "response_s" entry |> map Json.to_float |> join)
+        in
+        let* () = nonneg (name ^ " total_s") total in
+        nonneg (name ^ " response_s") response)
+      (Ok ()) entries
+  in
+  let* wall =
+    require "\"wall\"" Option.(Json.member "wall" j |> map Json.to_list |> join)
+  in
+  List.fold_left
+    (fun acc entry ->
+      let* () = acc in
+      let* name =
+        require "wall \"name\""
+          Option.(Json.member "name" entry |> map Json.to_str |> join)
+      in
+      let* ns =
+        require (name ^ " \"ns_per_run\"")
+          Option.(Json.member "ns_per_run" entry |> map Json.to_float |> join)
+      in
+      nonneg (name ^ " ns_per_run") ns)
+    (Ok ()) wall

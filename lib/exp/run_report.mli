@@ -1,0 +1,59 @@
+(** Exportable run reports: JSON metrics, Chrome traces, utilization tables
+    and the bench result schema.
+
+    Everything here is deterministic given its inputs (no clock reads), so
+    the emitted bytes are stable and golden-testable. JSON goes through
+    {!Msdq_obs.Json}; the repo carries no third-party JSON dependency. *)
+
+open Msdq_query
+open Msdq_exec
+module Json = Msdq_obs.Json
+
+val metrics_to_json : Strategy.metrics -> Json.t
+(** One strategy run: totals, per-phase (O/P/I) busy time and task counts,
+    shipping/disk/message/check counters, the per-label breakdown, and the
+    full metrics registry dump. *)
+
+val run_to_json : Answer.t -> Strategy.metrics -> Json.t
+(** {!metrics_to_json} plus an answer summary (certain/maybe counts). *)
+
+val query_to_json :
+  query:string -> (Answer.t * Strategy.metrics) list -> Json.t
+(** The [msdq query --json] document: the query string and one entry per
+    strategy run. *)
+
+val chrome_trace : Strategy.metrics list -> Json.t
+(** Chrome [trace_event] document for one or several runs sharing a site
+    numbering: one complete event per engine task (pid = site, tid =
+    resource, args = strategy/phase/db attribution), fences on a separate
+    lane, host spans under {!Msdq_obs.Tracer.host_pid}. Opens in
+    [chrome://tracing] or Perfetto. *)
+
+val pp_utilization : Format.formatter -> Strategy.metrics -> unit
+(** Per-site, per-phase busy-time table computed from the task trace. *)
+
+val figure_to_json : Figures.figure -> Json.t
+(** One regenerated figure: id, title, axis, xs and every series. *)
+
+val figures_to_json : Figures.figure list -> Json.t
+(** The [msdq experiment --json] document. *)
+
+(** {2 Bench results} *)
+
+val bench_schema : string
+(** ["msdq-bench/1"]. *)
+
+val bench_to_json :
+  generated_at:string ->
+  strategies:(string * float * float) list ->
+  wall:(string * float) list ->
+  Json.t
+(** The [BENCH_<timestamp>.json] document. [strategies] carries one
+    [(name, total_s, response_s)] triple per simulated strategy run on the
+    demo workload; [wall] carries bechamel wall-clock medians as
+    [(benchmark, ns_per_run)]. [generated_at] is injected (not read from the
+    clock) so tests stay deterministic. *)
+
+val validate_bench : Json.t -> (unit, string) result
+(** Structural validation of a bench document against {!bench_schema}: used
+    by the test suite and the CI smoke step. *)

@@ -4,11 +4,11 @@ type block = { at : Materialize.gobject; rest : Path.t }
 type outcome = Sat | Viol | Blocked of block
 type fetched = Found of Value.t | Found_set of Value.t list | Missing of block
 
-let rec fetch view gobj path =
+let rec fetch ?meter view gobj path =
   match path with
   | [] -> invalid_arg "Global_eval.fetch: empty path"
   | name :: rest -> (
-    Meter.add_accesses 1;
+    (match meter with Some m -> Meter.add_accesses m 1 | None -> ());
     match Materialize.field view gobj name with
     | None ->
       (* The global class defines the union of constituent attributes, so a
@@ -44,23 +44,27 @@ let rec fetch view gobj path =
         Missing { at = gobj; rest = path }
       | _ :: _ -> (
         match Materialize.find view g with
-        | Some next -> fetch view next rest
+        | Some next -> fetch ?meter view next rest
         | None ->
           invalid_arg
             (Printf.sprintf
                "Global_eval.fetch: referenced entity %s was not materialized"
                (Oid.Goid.to_string g)))))
 
-let eval view gobj (p : Predicate.t) =
-  match fetch view gobj p.Predicate.path with
+let eval ?meter view gobj (p : Predicate.t) =
+  match fetch ?meter view gobj p.Predicate.path with
   | Missing b -> Blocked b
   | Found v ->
-    if Predicate.compare_op p.Predicate.op v p.Predicate.operand then Sat
+    if Predicate.compare_op ?meter p.Predicate.op v p.Predicate.operand then
+      Sat
     else Viol
   | Found_set vs ->
     (* Multi-valued attribute: existential semantics — the entity carries
        all these values. *)
-    if List.exists (fun v -> Predicate.compare_op p.Predicate.op v p.Predicate.operand) vs
+    if
+      List.exists
+        (fun v -> Predicate.compare_op ?meter p.Predicate.op v p.Predicate.operand)
+        vs
     then Sat
     else Viol
 
@@ -69,20 +73,20 @@ let truth_of_outcome = function
   | Viol -> Truth.False
   | Blocked _ -> Truth.Unknown
 
-let eval_conjunction view gobj preds =
+let eval_conjunction ?meter view gobj preds =
   (* Short-circuit on False but keep evaluating through Unknown, mirroring
      what an engine evaluating conjuncts in sequence would do. *)
   let rec go acc = function
     | [] -> acc
     | p :: rest -> (
-      match Truth.conj acc (truth_of_outcome (eval view gobj p)) with
+      match Truth.conj acc (truth_of_outcome (eval ?meter view gobj p)) with
       | Truth.False -> Truth.False
       | (Truth.True | Truth.Unknown) as t -> go t rest)
   in
   go Truth.True preds
 
-let project view gobj path =
-  match fetch view gobj path with
+let project ?meter view gobj path =
+  match fetch ?meter view gobj path with
   | Found v -> v
   | Found_set (v :: _) -> v
   | Found_set [] | Missing _ -> Value.Null

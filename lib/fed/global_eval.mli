@@ -20,20 +20,24 @@ type fetched =
           existential semantics over the set *)
   | Missing of block
 
-val fetch : Materialize.t -> Materialize.gobject -> Path.t -> fetched
-(** Walks a path over global objects, following [Gref]s. Raises
-    [Invalid_argument] if a referenced class was not materialized, and
-    [Value.Type_error] if the path traverses a primitive attribute. *)
+val fetch :
+  ?meter:Meter.t -> Materialize.t -> Materialize.gobject -> Path.t -> fetched
+(** Walks a path over global objects, following [Gref]s, charging one access
+    per step to [meter]. Raises [Invalid_argument] if a referenced class was
+    not materialized, and [Value.Type_error] if the path traverses a
+    primitive attribute. *)
 
-val eval : Materialize.t -> Materialize.gobject -> Predicate.t -> outcome
-(** Uses {!Predicate.compare_op}, so comparisons are counted in the shared
-    instrumentation counter. *)
+val eval :
+  ?meter:Meter.t -> Materialize.t -> Materialize.gobject -> Predicate.t -> outcome
+(** Uses {!Predicate.compare_op}, so comparisons are charged to the same
+    per-run meter as the path accesses. *)
 
 val eval_conjunction :
-  Materialize.t -> Materialize.gobject -> Predicate.t list -> Truth.t
+  ?meter:Meter.t -> Materialize.t -> Materialize.gobject -> Predicate.t list -> Truth.t
 (** Kleene conjunction of the predicate outcomes. *)
 
-val project : Materialize.t -> Materialize.gobject -> Path.t -> Value.t
+val project :
+  ?meter:Meter.t -> Materialize.t -> Materialize.gobject -> Path.t -> Value.t
 (** Target projection: the fetched value, or [Value.Null] when blocked; a
     multi-valued attribute projects its first value. *)
 

@@ -7,7 +7,6 @@ type t = {
   by_local : (string * int, Oid.Goid.t) Hashtbl.t;  (* (db, loid) -> goid *)
   by_class : (string, Oid.Goid.t list ref) Hashtbl.t;  (* reversed *)
   mutable next_goid : int;
-  mutable lookups : int;
 }
 
 exception Duplicate of string
@@ -18,7 +17,6 @@ let create () =
     by_local = Hashtbl.create 256;
     by_class = Hashtbl.create 16;
     next_goid = 0;
-    lookups = 0;
   }
 
 let register t ~gcls locals =
@@ -48,18 +46,21 @@ let register t ~gcls locals =
   r := goid :: !r;
   goid
 
-let goid_of_local t ~db loid =
-  t.lookups <- t.lookups + 1;
+let tick meter =
+  match meter with Some m -> Meter.add_goid_lookups m 1 | None -> ()
+
+let goid_of_local t ?meter ~db loid =
+  tick meter;
   Hashtbl.find_opt t.by_local (db, Oid.Loid.to_int loid)
 
-let locals_of t goid =
-  t.lookups <- t.lookups + 1;
+let locals_of t ?meter goid =
+  tick meter;
   match Oid.Goid.Table.find_opt t.entities goid with
   | Some e -> e.locals
   | None -> []
 
-let isomers_of t ~db loid =
-  t.lookups <- t.lookups + 1;
+let isomers_of t ?meter ~db loid =
+  tick meter;
   match Hashtbl.find_opt t.by_local (db, Oid.Loid.to_int loid) with
   | None -> []
   | Some goid -> (
@@ -80,8 +81,6 @@ let goids_of_class t ~gcls =
   | None -> []
 
 let entity_count t = Oid.Goid.Table.length t.entities
-let lookup_count t = t.lookups
-let reset_lookup_count t = t.lookups <- 0
 
 let pp ppf t =
   let pp_entity goid e =

@@ -2,8 +2,9 @@
 
     One logical table per global class maps each GOid to the LOids of its
     isomeric objects in the component databases. The paper replicates the
-    tables at every site, so a lookup is local CPU work; {!lookup_count}
-    instruments it for the cost model. *)
+    tables at every site, so a lookup is local CPU work; lookups are charged
+    to the caller-supplied {!Meter.t} so each run's cost accounting stays
+    independent of every other run's. *)
 
 open Msdq_odb
 
@@ -20,17 +21,17 @@ val register : t -> gcls:string -> (string * Oid.Loid.t) list -> Oid.Goid.t
     registered, or if [locals] is empty. GOids are allocated sequentially,
     so registration order is reproducible. *)
 
-val goid_of_local : t -> db:string -> Oid.Loid.t -> Oid.Goid.t option
-(** Counted as one table lookup. *)
+val goid_of_local : t -> ?meter:Meter.t -> db:string -> Oid.Loid.t -> Oid.Goid.t option
+(** Charged as one table lookup to [meter]. *)
 
-val locals_of : t -> Oid.Goid.t -> (string * Oid.Loid.t) list
-(** All isomeric objects of an entity, in registration order. Counted as
-    one table lookup. *)
+val locals_of : t -> ?meter:Meter.t -> Oid.Goid.t -> (string * Oid.Loid.t) list
+(** All isomeric objects of an entity, in registration order. Charged as
+    one table lookup to [meter]. *)
 
-val isomers_of : t -> db:string -> Oid.Loid.t -> (string * Oid.Loid.t) list
+val isomers_of : t -> ?meter:Meter.t -> db:string -> Oid.Loid.t -> (string * Oid.Loid.t) list
 (** The object's isomeric objects in {e other} databases — its potential
     assistant objects. Empty when the object is unregistered or a singleton.
-    Counted as one table lookup. *)
+    Charged as one table lookup to [meter]. *)
 
 val gcls_of : t -> Oid.Goid.t -> string option
 
@@ -38,10 +39,5 @@ val goids_of_class : t -> gcls:string -> Oid.Goid.t list
 (** In registration order. *)
 
 val entity_count : t -> int
-
-val lookup_count : t -> int
-(** Lookups performed since creation (for cost accounting). *)
-
-val reset_lookup_count : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -30,7 +30,7 @@ let gvalue_equal a b =
   | Gset xs, Gset ys -> List.equal Value.equal xs ys
   | (Gnull | Gprim _ | Gref _ | Gset _), _ -> false
 
-let build ?classes ?(multi_valued = false) fed =
+let build ?classes ?(multi_valued = false) ?meter fed =
   let gs = Federation.global_schema fed in
   let table = Federation.goids fed in
   let wanted =
@@ -58,7 +58,7 @@ let build ?classes ?(multi_valued = false) fed =
     let arity = List.length gc.Global_schema.attrs in
     let build_entity goid =
       let fields = Array.make arity Gnull in
-      let locals = Goid_table.locals_of table goid in
+      let locals = Goid_table.locals_of table ?meter goid in
       List.iter
         (fun (db_name, loid) ->
           incr source_objects;
@@ -76,7 +76,7 @@ let build ?classes ?(multi_valued = false) fed =
                     match v with
                     | Value.Ref l -> (
                       incr ref_translations;
-                      match Goid_table.goid_of_local table ~db:db_name l with
+                      match Goid_table.goid_of_local table ?meter ~db:db_name l with
                       | Some g -> Gref g
                       | None -> Gnull (* unregistered target: treat as missing *))
                     | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ ->

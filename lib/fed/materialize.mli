@@ -35,9 +35,11 @@ type stats = {
 
 type t
 
-val build : ?classes:string list -> ?multi_valued:bool -> Federation.t -> t
+val build :
+  ?classes:string list -> ?multi_valued:bool -> ?meter:Meter.t -> Federation.t -> t
 (** Materializes the given global classes (default: all). Only the listed
-    classes are available to lookups afterwards.
+    classes are available to lookups afterwards. GOid-table probes performed
+    by the outerjoin are charged to [meter].
 
     With [~multi_valued:true] (extension; the paper's Section 5 names
     multi-valued attributes whose values come from different component

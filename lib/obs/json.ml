@@ -1,0 +1,285 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- emission --- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats must be locale-independent and round-trippable; integral values
+   print with a trailing ".0" so the reader can tell them from Int. *)
+let float_repr x =
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.12g" x in
+    if Float.of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  let nl level =
+    match indent with
+    | None -> ()
+    | Some n ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (n * level) ' ')
+  in
+  let sep_colon () =
+    Buffer.add_char buf ':';
+    if indent <> None then Buffer.add_char buf ' '
+  in
+  let rec emit level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          emit (level + 1) item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          escape buf k;
+          sep_colon ();
+          emit (level + 1) item)
+        fields;
+      nl level;
+      Buffer.add_char buf '}'
+  in
+  emit 0 v;
+  Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* --- parsing --- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error (Printf.sprintf "expected %c, got %c" c c')
+    | None -> error (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (
+      pos := !pos + l;
+      v)
+    else error ("invalid literal, expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then error "truncated \\u escape"
+               else begin
+                 let hex = String.sub s !pos 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> error "bad \\u escape"
+                 in
+                 pos := !pos + 4;
+                 (* Encode the code point as UTF-8; surrogate pairs are not
+                    reassembled — our own emitter never produces them. *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf
+                     (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+               end
+             | c -> error (Printf.sprintf "bad escape \\%c" c));
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let had = ref false in
+      while
+        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        had := true;
+        advance ()
+      done;
+      if not !had then error "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields_loop ()
+          | Some '}' -> advance ()
+          | _ -> error "expected , or } in object"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Arr [])
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items_loop ()
+          | Some ']' -> advance ()
+          | _ -> error "expected , or ] in array"
+        in
+        items_loop ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "json parse error at byte %d: %s" at msg)
+
+(* --- accessors --- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

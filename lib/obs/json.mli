@@ -1,0 +1,44 @@
+(** A minimal JSON tree with a deterministic emitter and a strict parser.
+
+    The repo deliberately carries no third-party JSON dependency; everything
+    the observability layer exports (run reports, Chrome traces, bench
+    trajectories) goes through this module. Emission is stable: object fields
+    are printed in the order given, floats use a locale-independent
+    representation, and the same tree always produces the same bytes — which
+    is what makes golden-file tests meaningful. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize. With [indent] (spaces per level) the output is pretty-printed;
+    without it the output is compact. NaN and infinities emit as [null] —
+    the trace viewers we target reject bare [NaN] tokens. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints the compact form. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the grammar emitted by {!to_string} (standard JSON).
+    Numbers without [.], [e] or [E] that fit in an OCaml [int] parse as
+    [Int]; everything else numeric parses as [Float]. Errors carry a byte
+    offset. *)
+
+(** {2 Accessors} — tiny combinators for tests and schema validation. *)
+
+val member : string -> t -> t option
+(** [member key j] is the value under [key] if [j] is an object. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

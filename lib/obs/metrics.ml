@@ -1,0 +1,202 @@
+type counter = int ref
+type gauge = float ref
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type cell = Counter of counter | Gauge of gauge | Hist of histogram
+
+type series = {
+  s_name : string;
+  s_labels : (string * string) list; (* sorted by key *)
+  s_help : string;
+  s_cell : cell;
+}
+
+type t = { tbl : (string * (string * string) list, series) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let normalize labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let series t ~name ~labels ~help make =
+  let labels = normalize labels in
+  match Hashtbl.find_opt t.tbl (name, labels) with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_labels = labels; s_help = help; s_cell = make () } in
+    Hashtbl.replace t.tbl (name, labels) s;
+    s
+
+let type_clash name found wanted =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, requested as %s" name
+       (kind_name found) wanted)
+
+let counter t ?(labels = []) ?(help = "") name =
+  let s = series t ~name ~labels ~help (fun () -> Counter (ref 0)) in
+  match s.s_cell with Counter c -> c | other -> type_clash name other "counter"
+
+let inc c n = c := !c + n
+let value c = !c
+
+let gauge t ?(labels = []) ?(help = "") name =
+  let s = series t ~name ~labels ~help (fun () -> Gauge (ref 0.0)) in
+  match s.s_cell with Gauge g -> g | other -> type_clash name other "gauge"
+
+let set g v = g := v
+let gauge_value g = !g
+
+let default_buckets = [| 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+
+let histogram t ?(labels = []) ?(help = "") ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s bucket bounds must be increasing" name))
+    buckets;
+  let make () =
+    Hist
+      {
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        sum = 0.0;
+        n = 0;
+      }
+  in
+  let s = series t ~name ~labels ~help make in
+  match s.s_cell with Hist h -> h | other -> type_clash name other "histogram"
+
+let observe h x =
+  let nb = Array.length h.bounds in
+  let rec slot i = if i >= nb then nb else if x <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. x;
+  h.n <- h.n + 1
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let cumulative_buckets h =
+  let acc = ref 0 in
+  let below =
+    Array.to_list
+      (Array.mapi
+         (fun i le ->
+           acc := !acc + h.counts.(i);
+           (le, !acc))
+         h.bounds)
+  in
+  below @ [ (Float.infinity, h.n) ]
+
+let compare_labels a b =
+  List.compare
+    (fun (k1, v1) (k2, v2) ->
+      match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c)
+    a b
+
+let sorted_series t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match String.compare a.s_name b.s_name with
+         | 0 -> compare_labels a.s_labels b.s_labels
+         | c -> c)
+
+let total t name =
+  Hashtbl.fold
+    (fun (n, _) s acc ->
+      match s.s_cell with
+      | Counter c when String.equal n name -> acc + !c
+      | _ -> acc)
+    t.tbl 0
+
+let find_counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (name, normalize labels) with
+  | Some { s_cell = Counter c; _ } -> Some !c
+  | _ -> None
+
+let counters t =
+  List.filter_map
+    (fun s ->
+      match s.s_cell with
+      | Counter c -> Some (s.s_name, s.s_labels, !c)
+      | _ -> None)
+    (sorted_series t)
+
+let series_count t = Hashtbl.length t.tbl
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json t =
+  let all = sorted_series t in
+  let pick f = List.filter_map f all in
+  let counters =
+    pick (fun s ->
+        match s.s_cell with
+        | Counter c ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str s.s_name);
+                 ("labels", labels_json s.s_labels);
+                 ("value", Json.Int !c);
+               ])
+        | _ -> None)
+  in
+  let gauges =
+    pick (fun s ->
+        match s.s_cell with
+        | Gauge g ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str s.s_name);
+                 ("labels", labels_json s.s_labels);
+                 ("value", Json.Float !g);
+               ])
+        | _ -> None)
+  in
+  let histograms =
+    pick (fun s ->
+        match s.s_cell with
+        | Hist h ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str s.s_name);
+                 ("labels", labels_json s.s_labels);
+                 ("count", Json.Int h.n);
+                 ("sum", Json.Float h.sum);
+                 ( "buckets",
+                   Json.Arr
+                     (List.map
+                        (fun (le, c) ->
+                          let le_json =
+                            if le = Float.infinity then Json.Str "+Inf"
+                            else Json.Float le
+                          in
+                          Json.Obj
+                            [ ("le", le_json); ("count", Json.Int c) ])
+                        (cumulative_buckets h)) );
+               ])
+        | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Arr counters);
+      ("gauges", Json.Arr gauges);
+      ("histograms", Json.Arr histograms);
+    ]

@@ -1,0 +1,79 @@
+(** A per-run metrics registry: named counters, gauges and histograms with
+    label sets.
+
+    This replaces the process-global [Meter] refs that used to make
+    concurrent-query attribution unreliable: each {!Strategy.run} now owns
+    its registry, so two interleaved queries can never bleed counts into
+    each other. Series are identified by [(name, labels)]; labels are
+    normalized (sorted by key) so label order at the call site does not
+    create duplicate series. Registering the same name with a different
+    metric type raises [Invalid_argument]. *)
+
+type t
+(** A registry. Not thread-safe; one per run. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing integer series. *)
+
+val counter : t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+(** [counter t name] finds or creates the series [(name, labels)]. *)
+
+val inc : counter -> int -> unit
+val value : counter -> int
+
+(** {2 Gauges} — instantaneous float values. *)
+
+val gauge : t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — bucketed observations with sum and count. *)
+
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** [buckets] are strictly increasing upper bounds; an implicit [+inf]
+    overflow bucket is always appended. Defaults to decades from 1 to 1e7
+    (microsecond-friendly). Raises [Invalid_argument] on non-increasing
+    bounds. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val cumulative_buckets : histogram -> (float * int) list
+(** [(le, count)] pairs in Prometheus style: [count] is the number of
+    observations [<= le], cumulative; the final pair has [le = infinity]
+    and equals {!histogram_count}. *)
+
+(** {2 Registry queries} *)
+
+val total : t -> string -> int
+(** Sum of every counter series named [name] across all label sets. *)
+
+val find_counter : t -> ?labels:(string * string) list -> string -> int option
+(** Value of one specific counter series, if registered. *)
+
+val counters : t -> (string * (string * string) list * int) list
+(** All counter series as [(name, labels, value)], sorted by name then
+    labels — the stable order used by {!to_json}. *)
+
+val series_count : t -> int
+(** Number of distinct [(name, labels)] series of any type — the registry's
+    label cardinality. *)
+
+val to_json : t -> Json.t
+(** Deterministic export:
+    [{"counters": [{"name", "labels", "value"}...],
+      "gauges": [...],
+      "histograms": [{"name", "labels", "count", "sum", "buckets": [{"le", "count"}...]}...]}]
+    sorted by name then labels. *)

@@ -1,0 +1,101 @@
+type span = {
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  ts_us : float;
+  dur_us : float;
+  args : (string * string) list;
+}
+
+type t = {
+  on : bool;
+  clock : unit -> float;
+  mutable rev_spans : span list;
+  mutable depth : int;
+  mutable n : int;
+}
+
+let host_pid = 999
+
+let default_clock () = Unix.gettimeofday () *. 1e6
+
+let create ?(enabled = true) ?(clock = default_clock) () =
+  { on = enabled; clock; rev_spans = []; depth = 0; n = 0 }
+
+let disabled = create ~enabled:false ~clock:(fun () -> 0.0) ()
+
+let enabled t = t.on
+
+let push t s =
+  t.rev_spans <- s :: t.rev_spans;
+  t.n <- t.n + 1
+
+let add t s = if t.on then push t s
+let addf t f = if t.on then push t (f ())
+
+let with_span t ?(cat = "host") ?(args = []) name f =
+  if not t.on then f ()
+  else begin
+    let depth = t.depth in
+    t.depth <- depth + 1;
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = t.clock () in
+        t.depth <- depth;
+        push t
+          {
+            name;
+            cat;
+            pid = host_pid;
+            tid = 0;
+            ts_us = t0;
+            dur_us = t1 -. t0;
+            args = ("depth", string_of_int depth) :: args;
+          })
+      f
+  end
+
+let spans t = List.rev t.rev_spans
+let count t = t.n
+
+let span_event s =
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("cat", Json.Str (if s.cat = "" then "task" else s.cat));
+      ("ph", Json.Str "X");
+      ("ts", Json.Float s.ts_us);
+      ("dur", Json.Float s.dur_us);
+      ("pid", Json.Int s.pid);
+      ("tid", Json.Int s.tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.args));
+    ]
+
+let metadata ~name ~pid ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let chrome ?(process_names = []) ?(thread_names = []) spans =
+  let procs =
+    List.map
+      (fun (pid, v) -> metadata ~name:"process_name" ~pid ~tid:0 ~value:v)
+      process_names
+  in
+  let threads =
+    List.map
+      (fun (pid, tid, v) -> metadata ~name:"thread_name" ~pid ~tid ~value:v)
+      thread_names
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (procs @ threads @ List.map span_event spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

@@ -1,0 +1,69 @@
+(** Span-based host tracing and Chrome [trace_event] export.
+
+    Two kinds of spans end up in one trace file:
+    - {e host} spans, recorded here with {!with_span} around real wall-clock
+      work (building a strategy plan, serving checks, certifying);
+    - {e simulated} spans, converted from the engine's {!Trace} entries by
+      the exporter in [lib/exp].
+
+    Both serialize as ["ph":"X"] complete events; [pid] groups lanes (one
+    pid per simulated site, {!host_pid} for host spans), [tid] separates
+    resources within a site. The output opens directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type span = {
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  ts_us : float; (** start, microseconds *)
+  dur_us : float;
+  args : (string * string) list;
+      (** free-form attributes: strategy, phase, site, db, … *)
+}
+
+type t
+(** A span collector. Like {!Metrics.t}, one per run. *)
+
+val host_pid : int
+(** The [pid] lane used for host (wall-clock) spans: 999. *)
+
+val create : ?enabled:bool -> ?clock:(unit -> float) -> unit -> t
+(** [clock] returns microseconds; defaults to [Unix.gettimeofday]. Inject a
+    fake clock for deterministic tests. *)
+
+val disabled : t
+(** A shared never-recording tracer; {!with_span} on it runs the thunk with
+    no clock reads and no allocation. *)
+
+val enabled : t -> bool
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] times [f ()] and records a span, exception-safe.
+    Nesting depth is recorded in the ["depth"] arg so hierarchies survive
+    the flat event list. *)
+
+val add : t -> span -> unit
+(** Record a pre-built span (no-op when disabled). *)
+
+val addf : t -> (unit -> span) -> unit
+(** Lazy {!add}: the thunk is not invoked when the tracer is disabled. *)
+
+val spans : t -> span list
+(** Recorded spans, oldest first. *)
+
+val count : t -> int
+
+(** {2 Chrome export} *)
+
+val span_event : span -> Json.t
+(** One ["ph":"X"] complete event. *)
+
+val chrome :
+  ?process_names:(int * string) list -> ?thread_names:(int * int * string) list ->
+  span list -> Json.t
+(** Full trace document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].
+    [process_names] and [thread_names] become ["ph":"M"] metadata events so
+    viewers label the lanes. *)

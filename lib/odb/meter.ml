@@ -1,20 +1,31 @@
-type snapshot = { comparisons : int; accesses : int }
+type snapshot = { comparisons : int; accesses : int; goid_lookups : int }
 
-let comparisons = ref 0
-let accesses = ref 0
-let add_comparison () = incr comparisons
-let add_accesses n = accesses := !accesses + n
-let read () = { comparisons = !comparisons; accesses = !accesses }
+type t = {
+  mutable comparisons : int;
+  mutable accesses : int;
+  mutable goid_lookups : int;
+}
 
-let reset () =
-  comparisons := 0;
-  accesses := 0
+let create () = { comparisons = 0; accesses = 0; goid_lookups = 0 }
 
-let delta before =
-  let now = read () in
+let zero : snapshot = { comparisons = 0; accesses = 0; goid_lookups = 0 }
+
+let add_comparison t = t.comparisons <- t.comparisons + 1
+let add_accesses t n = t.accesses <- t.accesses + n
+let add_goid_lookups t n = t.goid_lookups <- t.goid_lookups + n
+
+let read t : snapshot =
   {
-    comparisons = now.comparisons - before.comparisons;
-    accesses = now.accesses - before.accesses;
+    comparisons = t.comparisons;
+    accesses = t.accesses;
+    goid_lookups = t.goid_lookups;
   }
 
-let units s = s.comparisons + s.accesses
+let add (a : snapshot) (b : snapshot) : snapshot =
+  {
+    comparisons = a.comparisons + b.comparisons;
+    accesses = a.accesses + b.accesses;
+    goid_lookups = a.goid_lookups + b.goid_lookups;
+  }
+
+let units (s : snapshot) = s.comparisons + s.accesses

@@ -1,25 +1,36 @@
-(** Global instrumentation counters for the cost model.
+(** Per-run instrumentation counters for the cost model.
 
     The paper charges CPU time per comparison (Table 1: 0.5 us). We count
-    two kinds of unit work: value {e comparisons} (predicate operators, hash
-    probes) and attribute {e accesses} (each step of a path traversal, field
-    merges). Executors read deltas around each phase to convert work into
-    simulated CPU time.
+    three kinds of unit work: value {e comparisons} (predicate operators,
+    hash probes), attribute {e accesses} (each step of a path traversal,
+    field merges), and GOID-table {e lookups} (federation dictionary
+    probes). Executors convert {!units} into simulated CPU time.
 
-    Counters are process-global; the executors are single-threaded. *)
+    A meter is an explicit instance: each executor phase creates its own and
+    reports a {!snapshot}, so concurrent queries never bleed counts into
+    each other. (The previous design used process-global refs with
+    [reset]/[delta]; that made [Strategy.run_concurrent] attribution
+    unreliable and is gone.) *)
 
-type snapshot = { comparisons : int; accesses : int }
+type snapshot = { comparisons : int; accesses : int; goid_lookups : int }
 
-val add_comparison : unit -> unit
+type t
+(** A mutable counter instance. *)
 
-val add_accesses : int -> unit
+val create : unit -> t
 
-val read : unit -> snapshot
+val zero : snapshot
 
-val reset : unit -> unit
+val add_comparison : t -> unit
+val add_accesses : t -> int -> unit
+val add_goid_lookups : t -> int -> unit
 
-val delta : snapshot -> snapshot
-(** [delta before] is the work done since [before]. *)
+val read : t -> snapshot
+
+val add : snapshot -> snapshot -> snapshot
+(** Pointwise sum, for aggregating phase snapshots. *)
 
 val units : snapshot -> int
-(** Total unit-work in a snapshot: comparisons + accesses. *)
+(** Total CPU unit-work in a snapshot: comparisons + accesses. GOID lookups
+    are charged separately (Table 2's dictionary costs), so they are not
+    included. *)

@@ -15,31 +15,35 @@ type block = { obj : Dbobject.t; rest : Path.t; cause : cause }
 type outcome = Sat | Viol | Blocked of block
 type fetched = Found of Value.t | Missing of block
 
-let count_comparisons () = (Meter.read ()).Meter.comparisons
-let reset_counters () = Meter.reset ()
+let tick meter n =
+  match meter with Some m -> Meter.add_accesses m n | None -> ()
 
-let rec fetch db obj path =
-  match path with
-  | [] -> invalid_arg "Predicate.fetch: empty path"
-  | name :: rest -> (
-    Meter.add_accesses 1;
-    match Database.field_by_name db obj name with
-    | None -> Missing { obj; rest = path; cause = Missing_attribute }
-    | Some Value.Null -> Missing { obj; rest = path; cause = Null_value }
-    | Some v -> (
-      match rest with
-      | [] -> Found v
-      | _ :: _ -> (
-        match Database.deref db v with
-        | Some next -> fetch db next rest
-        | None ->
-          raise
-            (Value.Type_error
-               (Printf.sprintf "path %s traverses primitive attribute %s of %s"
-                  (Path.to_string path) name (Dbobject.cls obj))))))
+let fetch ?meter db obj path =
+  let rec go obj path =
+    match path with
+    | [] -> invalid_arg "Predicate.fetch: empty path"
+    | name :: rest -> (
+      tick meter 1;
+      match Database.field_by_name db obj name with
+      | None -> Missing { obj; rest = path; cause = Missing_attribute }
+      | Some Value.Null -> Missing { obj; rest = path; cause = Null_value }
+      | Some v -> (
+        match rest with
+        | [] -> Found v
+        | _ :: _ -> (
+          match Database.deref db v with
+          | Some next -> go next rest
+          | None ->
+            raise
+              (Value.Type_error
+                 (Printf.sprintf
+                    "path %s traverses primitive attribute %s of %s"
+                    (Path.to_string path) name (Dbobject.cls obj))))))
+  in
+  go obj path
 
-let compare_op op v operand =
-  Meter.add_comparison ();
+let compare_op ?meter op v operand =
+  (match meter with Some m -> Meter.add_comparison m | None -> ());
   match op with
   | Eq -> Value.equal v operand
   | Ne -> not (Value.equal v operand)
@@ -48,10 +52,10 @@ let compare_op op v operand =
   | Gt -> Value.compare_values v operand > 0
   | Ge -> Value.compare_values v operand >= 0
 
-let eval db obj t =
-  match fetch db obj t.path with
+let eval ?meter db obj t =
+  match fetch ?meter db obj t.path with
   | Missing block -> Blocked block
-  | Found v -> if compare_op t.op v t.operand then Sat else Viol
+  | Found v -> if compare_op ?meter t.op v t.operand then Sat else Viol
 
 let truth_of_outcome = function
   | Sat -> Truth.True

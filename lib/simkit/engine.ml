@@ -12,6 +12,7 @@ type task = {
   tid : int;
   label : string;
   where : where;
+  attrs : (string * string) list;
   mutable duration : Time.t;
   mutable state : state;
   mutable dependents : task list;
@@ -102,7 +103,7 @@ let activate t task =
       task.state <- Queued;
       Queue.add task r.waiting)
 
-let submit t ?(deps = []) ?on_complete ~where ~label ~duration () =
+let submit t ?(deps = []) ?on_complete ?(attrs = []) ~where ~label ~duration () =
   if not (Time.is_finite duration) || duration < Time.zero then
     invalid_arg
       (Printf.sprintf "Engine: task %S has invalid duration %g" label duration);
@@ -111,6 +112,7 @@ let submit t ?(deps = []) ?on_complete ~where ~label ~duration () =
       tid = t.next_tid;
       label;
       where;
+      attrs;
       duration;
       state = Blocked 0;
       dependents = [];
@@ -134,19 +136,21 @@ let submit t ?(deps = []) ?on_complete ~where ~label ~duration () =
   if pending = 0 then activate t task else task.state <- Blocked pending;
   task
 
-let task t ?deps ?on_complete ~site ~kind ~label ~duration () =
-  submit t ?deps ?on_complete ~where:(On (site, kind)) ~label ~duration ()
+let task t ?deps ?on_complete ?attrs ~site ~kind ~label ~duration () =
+  submit t ?deps ?on_complete ?attrs ~where:(On (site, kind)) ~label ~duration ()
 
-let transfer t ?deps ?on_complete ~src ~dst ~label ~duration () =
+let transfer t ?deps ?on_complete ?attrs ~src ~dst ~label ~duration () =
   if src = dst then
-    submit t ?deps ?on_complete ~where:Nowhere ~label ~duration:Time.zero ()
-  else submit t ?deps ?on_complete ~where:(On (dst, Resource.Link)) ~label ~duration ()
+    submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration:Time.zero ()
+  else
+    submit t ?deps ?on_complete ?attrs ~where:(On (dst, Resource.Link)) ~label
+      ~duration ()
 
-let fence t ?deps ?on_complete ~label () =
-  submit t ?deps ?on_complete ~where:Nowhere ~label ~duration:Time.zero ()
+let fence t ?deps ?on_complete ?attrs ~label () =
+  submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration:Time.zero ()
 
-let delay t ?deps ?on_complete ~label ~duration () =
-  submit t ?deps ?on_complete ~where:Nowhere ~label ~duration ()
+let delay t ?deps ?on_complete ?attrs ~label ~duration () =
+  submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration ()
 
 let finished _t task = task.state = Finished
 
@@ -163,8 +167,7 @@ let complete t task =
   | On (site, kind) ->
     Stats.record t.stats ~site ~kind ~label:task.label ~duration:task.duration
       ~finish:task.finish_time;
-    if Trace.enabled t.trace then
-      Trace.add t.trace
+    Trace.addf t.trace (fun () ->
         {
           Trace.tid = task.tid;
           label = task.label;
@@ -172,7 +175,8 @@ let complete t task =
           kind = Some kind;
           start = task.start_time;
           finish = task.finish_time;
-        };
+          attrs = task.attrs;
+        });
     (* Hand the resource to the next queued task. *)
     let r = resource t site kind in
     r.current <- None;
@@ -183,8 +187,7 @@ let complete t task =
       start t next)
   | Nowhere ->
     Stats.record_fence t.stats ~finish:task.finish_time;
-    if Trace.enabled t.trace then
-      Trace.add t.trace
+    Trace.addf t.trace (fun () ->
         {
           Trace.tid = task.tid;
           label = task.label;
@@ -192,7 +195,8 @@ let complete t task =
           kind = None;
           start = task.start_time;
           finish = task.finish_time;
-        });
+          attrs = task.attrs;
+        }));
   (* Unblock dependents in submission order (they were consed in reverse). *)
   let dependents = List.rev task.dependents in
   task.dependents <- [];

@@ -34,26 +34,31 @@ val now : t -> Time.t
     processed event. *)
 
 val task :
-  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> site:int ->
-  kind:Resource.kind -> label:string -> duration:Time.t -> unit -> handle
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
+  ?attrs:(string * string) list -> site:int -> kind:Resource.kind ->
+  label:string -> duration:Time.t -> unit -> handle
 (** Occupies [kind] at [site] for [duration] once all [deps] have finished.
+    [attrs] is free-form attribution (strategy, phase, database) copied onto
+    the task's trace entry; it costs nothing when tracing is disabled.
     Raises [Invalid_argument] on a negative or non-finite duration. *)
 
 val transfer :
-  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> src:int ->
-  dst:int -> label:string -> duration:Time.t -> unit -> handle
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
+  ?attrs:(string * string) list -> src:int -> dst:int -> label:string ->
+  duration:Time.t -> unit -> handle
 (** A network transfer from [src] to [dst]: occupies [dst]'s incoming link
     for [duration]. A transfer between a site and itself costs nothing (local
     data never crosses the network) and degenerates to a fence. *)
 
 val fence :
-  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> label:string ->
-  unit -> handle
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
+  ?attrs:(string * string) list -> label:string -> unit -> handle
 (** Completes as soon as all [deps] have finished, consuming no resource. *)
 
 val delay :
-  t -> ?deps:handle list -> ?on_complete:(unit -> unit) -> label:string ->
-  duration:Time.t -> unit -> handle
+  t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
+  ?attrs:(string * string) list -> label:string -> duration:Time.t -> unit ->
+  handle
 (** Like {!fence} but finishes [duration] after becoming eligible, without
     occupying any resource. *)
 

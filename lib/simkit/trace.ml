@@ -5,6 +5,7 @@ type entry = {
   kind : Resource.kind option;
   start : Time.t;
   finish : Time.t;
+  attrs : (string * string) list;
 }
 
 type t = { enabled : bool; mutable entries : entry list }
@@ -12,6 +13,7 @@ type t = { enabled : bool; mutable entries : entry list }
 let create ~enabled = { enabled; entries = [] }
 let enabled t = t.enabled
 let add t e = if t.enabled then t.entries <- e :: t.entries
+let addf t f = if t.enabled then t.entries <- f () :: t.entries
 let entries t = List.rev t.entries
 
 let pp_entry ppf e =

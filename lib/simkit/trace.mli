@@ -7,6 +7,9 @@ type entry = {
   kind : Resource.kind option;
   start : Time.t;
   finish : Time.t;
+  attrs : (string * string) list;
+      (** free-form attribution (strategy, phase, database) carried through
+          to exporters; empty unless the submitter tagged the task *)
 }
 
 type t
@@ -16,6 +19,11 @@ val create : enabled:bool -> t
 val enabled : t -> bool
 
 val add : t -> entry -> unit
+
+val addf : t -> (unit -> entry) -> unit
+(** Lazy {!add}: the thunk is only invoked — and the entry only allocated —
+    when the trace is enabled. Use this on hot paths so disabled-trace runs
+    pay nothing. *)
 
 val entries : t -> entry list
 (** In completion order. *)

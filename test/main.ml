@@ -47,4 +47,6 @@ let () =
       ("exp.param_sim", Test_param_sim.suite);
       ("exp.figures", Test_figures.suite);
       ("exp.planner", Test_planner.suite);
+      ("obs", Test_obs.suite);
+      ("exp.run_report", Test_run_report.suite);
     ]

@@ -102,10 +102,60 @@ let test_mixed_strategies () =
       && Answer.same_statuses bl.Strategy.q_answer pl.Strategy.q_answer)
   | _ -> Alcotest.fail "three queries expected"
 
+(* Regression: counter isolation. Before the per-run metrics registry the
+   counters lived in process-global refs, so two queries sharing the engine
+   bled bytes/work/lookups into each other's reports. Each concurrent
+   query's counts must now equal its solo run's counts exactly, however the
+   engine interleaves the two. *)
+let test_counter_independence () =
+  let fed, analyze = setup () in
+  let a1 = analyze q1 and a2 = analyze q2 in
+  let _, solo1 = Strategy.run Strategy.Bl fed a1 in
+  let _, solo2 = Strategy.run Strategy.Ca fed a2 in
+  let out =
+    Strategy.run_concurrent fed
+      [ (Strategy.Bl, a1, Time.zero); (Strategy.Ca, a2, Time.zero) ]
+  in
+  match out.Strategy.queries with
+  | [ x1; x2 ] ->
+    Alcotest.(check int) "q1 work units" solo1.Strategy.work_units
+      x1.Strategy.q_work_units;
+    Alcotest.(check int) "q1 bytes shipped" solo1.Strategy.bytes_shipped
+      x1.Strategy.q_bytes_shipped;
+    Alcotest.(check int) "q1 goid lookups" solo1.Strategy.goid_lookups
+      x1.Strategy.q_goid_lookups;
+    Alcotest.(check int) "q2 work units" solo2.Strategy.work_units
+      x2.Strategy.q_work_units;
+    Alcotest.(check int) "q2 bytes shipped" solo2.Strategy.bytes_shipped
+      x2.Strategy.q_bytes_shipped;
+    Alcotest.(check int) "q2 goid lookups" solo2.Strategy.goid_lookups
+      x2.Strategy.q_goid_lookups;
+    (* and the registries really are distinct objects with distinct labels *)
+    Alcotest.(check (option int)) "q1 registry is BL-labelled"
+      (Some solo1.Strategy.bytes_shipped)
+      (Some
+         (List.fold_left
+            (fun acc (name, labels, v) ->
+              if
+                name = "msdq_bytes_shipped_total"
+                && List.assoc_opt "strategy" labels = Some "BL"
+              then acc + v
+              else acc)
+            0
+            (Msdq_obs.Metrics.counters x1.Strategy.q_registry)));
+    Alcotest.(check int) "q2 registry has no BL series" 0
+      (List.length
+         (List.filter
+            (fun (_, labels, _) ->
+              List.assoc_opt "strategy" labels = Some "BL")
+            (Msdq_obs.Metrics.counters x2.Strategy.q_registry)))
+  | _ -> Alcotest.fail "two queries expected"
+
 let suite =
   [
     Alcotest.test_case "single job equals run" `Quick test_single_job_equals_run;
     Alcotest.test_case "interference" `Quick test_interference;
     Alcotest.test_case "staggered arrivals" `Quick test_staggered_arrivals;
     Alcotest.test_case "mixed strategies" `Quick test_mixed_strategies;
+    Alcotest.test_case "counter independence" `Quick test_counter_independence;
   ]

@@ -167,9 +167,63 @@ let prop_deterministic =
       in
       run_once () = run_once ())
 
+(* A disabled trace must never even build its entries: the recording path
+   goes through Trace.addf, whose thunk only runs when tracing is on. *)
+let test_trace_addf_lazy () =
+  let entry () =
+    {
+      Trace.tid = 0;
+      label = "x";
+      site = None;
+      kind = None;
+      start = Time.zero;
+      finish = Time.zero;
+      attrs = [];
+    }
+  in
+  let calls = ref 0 in
+  let off = Trace.create ~enabled:false in
+  Trace.addf off (fun () ->
+      incr calls;
+      entry ());
+  Alcotest.(check int) "thunk skipped when disabled" 0 !calls;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.entries off));
+  let on = Trace.create ~enabled:true in
+  Trace.addf on (fun () ->
+      incr calls;
+      entry ());
+  Alcotest.(check int) "thunk ran when enabled" 1 !calls;
+  Alcotest.(check int) "recorded" 1 (List.length (Trace.entries on))
+
+(* Task attrs flow into the trace entries; an untraced engine records none. *)
+let test_task_attrs () =
+  let e = Engine.create ~trace:true () in
+  ignore
+    (Engine.task e ~site:1 ~kind:Resource.Cpu ~label:"work"
+       ~attrs:[ ("strategy", "BL"); ("phase", "P") ]
+       ~duration:(Time.us 5.0) ());
+  Engine.run e;
+  (match Trace.entries (Engine.trace e) with
+  | [ entry ] ->
+    Alcotest.(check (option string)) "strategy attr" (Some "BL")
+      (List.assoc_opt "strategy" entry.Trace.attrs);
+    Alcotest.(check (option string)) "phase attr" (Some "P")
+      (List.assoc_opt "phase" entry.Trace.attrs)
+  | entries -> Alcotest.failf "expected 1 entry, got %d" (List.length entries));
+  let off = Engine.create () in
+  ignore
+    (Engine.task off ~site:1 ~kind:Resource.Cpu ~label:"work"
+       ~attrs:[ ("strategy", "BL") ]
+       ~duration:(Time.us 5.0) ());
+  Engine.run off;
+  Alcotest.(check int) "untraced engine records nothing" 0
+    (List.length (Trace.entries (Engine.trace off)))
+
 let suite =
   [
     Alcotest.test_case "single task" `Quick test_single_task;
+    Alcotest.test_case "trace addf is lazy" `Quick test_trace_addf_lazy;
+    Alcotest.test_case "task attrs in trace" `Quick test_task_attrs;
     Alcotest.test_case "resource serialization" `Quick test_serialization;
     Alcotest.test_case "dependencies" `Quick test_dependencies;
     Alcotest.test_case "dynamic submission" `Quick test_dynamic_submission;

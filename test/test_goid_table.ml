@@ -63,13 +63,15 @@ let test_class_index () =
 let test_lookup_counter () =
   let t = Goid_table.create () in
   let g = Goid_table.register t ~gcls:"T" [ ("A", l 0) ] in
-  Goid_table.reset_lookup_count t;
+  let meter = Meter.create () in
+  ignore (Goid_table.goid_of_local t ~meter ~db:"A" (l 0));
+  ignore (Goid_table.locals_of t ~meter g);
+  ignore (Goid_table.isomers_of t ~meter ~db:"A" (l 0));
+  Alcotest.(check int) "three lookups" 3 (Meter.read meter).Meter.goid_lookups;
+  (* lookups without a meter are not charged anywhere *)
   ignore (Goid_table.goid_of_local t ~db:"A" (l 0));
-  ignore (Goid_table.locals_of t g);
-  ignore (Goid_table.isomers_of t ~db:"A" (l 0));
-  Alcotest.(check int) "three lookups" 3 (Goid_table.lookup_count t);
-  Goid_table.reset_lookup_count t;
-  Alcotest.(check int) "reset" 0 (Goid_table.lookup_count t)
+  Alcotest.(check int) "unmetered lookup uncharged" 3
+    (Meter.read meter).Meter.goid_lookups
 
 (* Figure 5 of the paper, reconstructed by isomerism identification. *)
 let test_paper_figure5 () =

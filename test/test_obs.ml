@@ -1,0 +1,272 @@
+(* The observability layer: JSON tree, metrics registry, span tracer. *)
+
+module Json = Msdq_obs.Json
+module Metrics = Msdq_obs.Metrics
+module Tracer = Msdq_obs.Tracer
+
+(* ---- Json ---- *)
+
+let test_json_emit () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\nc");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 2.5);
+        ("whole", Json.Float 4.0);
+        ("nan", Json.Float Float.nan);
+        ("arr", Json.Arr [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact"
+    "{\"s\":\"a\\\"b\\nc\",\"i\":-3,\"f\":2.5,\"whole\":4.0,\"nan\":null,\"arr\":[null,true,false],\"empty\":{}}"
+    (Json.to_string j)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Arr [ Json.Int 1; Json.Float 1.5; Json.Str "x" ]);
+        ("b", Json.Obj [ ("nested", Json.Bool false) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "tree equal" true (j = j')
+  | Error msg -> Alcotest.fail msg);
+  (match Json.of_string (Json.to_string ~indent:2 j) with
+  | Ok j' -> Alcotest.(check bool) "pretty parses back" true (j = j')
+  | Error msg -> Alcotest.fail msg);
+  match Json.of_string "{\"k\": 1} garbage" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+let test_json_accessors () =
+  match Json.of_string "{\"n\": 3, \"xs\": [1.5], \"s\": \"hi\"}" with
+  | Error msg -> Alcotest.fail msg
+  | Ok j ->
+    Alcotest.(check (option int)) "int" (Some 3)
+      Option.(Json.member "n" j |> map Json.to_int |> join);
+    Alcotest.(check (option string)) "str" (Some "hi")
+      Option.(Json.member "s" j |> map Json.to_str |> join);
+    Alcotest.(check bool) "float accepts int" true
+      (Option.(Json.member "n" j |> map Json.to_float |> join) = Some 3.0);
+    Alcotest.(check bool) "missing member" true (Json.member "zzz" j = None)
+
+(* ---- Metrics ---- *)
+
+let test_counters () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~labels:[ ("phase", "O") ] "msdq_x_total" in
+  Metrics.inc c 3;
+  Metrics.inc c 4;
+  Alcotest.(check int) "value" 7 (Metrics.value c);
+  (* label order does not create a second series *)
+  let c' =
+    Metrics.counter reg
+      ~labels:[ ("phase", "O") ]
+      "msdq_x_total"
+  in
+  Metrics.inc c' 1;
+  Alcotest.(check int) "same series" 8 (Metrics.value c);
+  let d = Metrics.counter reg ~labels:[ ("phase", "P") ] "msdq_x_total" in
+  Metrics.inc d 10;
+  Alcotest.(check int) "total across labels" 18 (Metrics.total reg "msdq_x_total");
+  Alcotest.(check (option int)) "find one series" (Some 10)
+    (Metrics.find_counter reg ~labels:[ ("phase", "P") ] "msdq_x_total");
+  Alcotest.(check int) "cardinality" 2 (Metrics.series_count reg)
+
+let test_label_normalization () =
+  let reg = Metrics.create () in
+  let a =
+    Metrics.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "msdq_y_total"
+  in
+  let b =
+    Metrics.counter reg ~labels:[ ("a", "1"); ("b", "2") ] "msdq_y_total"
+  in
+  Metrics.inc a 1;
+  Metrics.inc b 1;
+  Alcotest.(check int) "one series either order" 2 (Metrics.value a);
+  Alcotest.(check int) "cardinality 1" 1 (Metrics.series_count reg)
+
+let test_type_conflict () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "msdq_z");
+  Alcotest.check_raises "counter vs gauge"
+    (Invalid_argument "Metrics: msdq_z is a counter, requested as gauge")
+    (fun () -> ignore (Metrics.gauge reg "msdq_z"))
+
+let test_histogram_bucketing () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 1.0; 10.0; 100.0 |] "msdq_h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 99.0; 1000.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1105.5 (Metrics.histogram_sum h);
+  (match Metrics.cumulative_buckets h with
+  | [ (le1, c1); (le10, c2); (le100, c3); (inf, c4) ] ->
+    Alcotest.(check (float 0.)) "bound 1" 1.0 le1;
+    (* 0.5 and 1.0 fall in the first bucket: bounds are inclusive *)
+    Alcotest.(check int) "le 1" 2 c1;
+    Alcotest.(check (float 0.)) "bound 10" 10.0 le10;
+    Alcotest.(check int) "le 10" 3 c2;
+    Alcotest.(check (float 0.)) "bound 100" 100.0 le100;
+    Alcotest.(check int) "le 100" 4 c3;
+    Alcotest.(check bool) "last bound is +inf" true (inf = infinity);
+    Alcotest.(check int) "le inf = count" 5 c4
+  | other ->
+    Alcotest.failf "expected 4 cumulative buckets, got %d" (List.length other));
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Metrics: msdq_h2 bucket bounds must be increasing")
+    (fun () -> ignore (Metrics.histogram reg ~buckets:[| 2.0; 1.0 |] "msdq_h2"))
+
+let test_registry_json () =
+  let reg = Metrics.create () in
+  Metrics.inc (Metrics.counter reg ~labels:[ ("k", "v") ] "msdq_c_total") 5;
+  Metrics.set (Metrics.gauge reg "msdq_g") 1.5;
+  Metrics.observe (Metrics.histogram reg ~buckets:[| 1.0 |] "msdq_h") 3.0;
+  let j = Metrics.to_json reg in
+  (* must serialize (the +Inf histogram bound must not emit a bare token) *)
+  let s = Json.to_string j in
+  match Json.of_string s with
+  | Error msg -> Alcotest.failf "registry json does not parse back: %s" msg
+  | Ok j' ->
+    Alcotest.(check bool) "roundtrip" true (j = j');
+    let contains ~needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "+Inf encoded as a string" true
+      (contains ~needle:"\"+Inf\"" s)
+
+(* ---- Tracer ---- *)
+
+(* A deterministic fake clock: advances 10us per read. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 10.0;
+    v
+
+let test_with_span () =
+  let tr = Tracer.create ~clock:(fake_clock ()) () in
+  let result =
+    Tracer.with_span tr ~cat:"outer" "a" (fun () ->
+        Tracer.with_span tr "b" (fun () -> 42))
+  in
+  Alcotest.(check int) "thunk result" 42 result;
+  match Tracer.spans tr with
+  | [ inner; outer ] ->
+    (* inner closes first; spans are recorded at close in oldest-first order *)
+    Alcotest.(check string) "inner name" "b" inner.Tracer.name;
+    Alcotest.(check string) "outer name" "a" outer.Tracer.name;
+    Alcotest.(check string) "inner depth" "1"
+      (List.assoc "depth" inner.Tracer.args);
+    Alcotest.(check string) "outer depth" "0"
+      (List.assoc "depth" outer.Tracer.args);
+    Alcotest.(check int) "host pid" Tracer.host_pid outer.Tracer.pid;
+    Alcotest.(check bool) "outer encloses inner" true
+      (outer.Tracer.ts_us <= inner.Tracer.ts_us
+      && outer.Tracer.ts_us +. outer.Tracer.dur_us
+         >= inner.Tracer.ts_us +. inner.Tracer.dur_us)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_with_span_exception_safe () =
+  let tr = Tracer.create ~clock:(fake_clock ()) () in
+  (try Tracer.with_span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (Tracer.count tr);
+  (* depth restored: a subsequent span is back at depth 0 *)
+  Tracer.with_span tr "after" (fun () -> ());
+  match List.rev (Tracer.spans tr) with
+  | after :: _ ->
+    Alcotest.(check string) "depth restored" "0"
+      (List.assoc "depth" after.Tracer.args)
+  | [] -> Alcotest.fail "no spans"
+
+let test_disabled_tracer_lazy () =
+  let calls = ref 0 in
+  Tracer.addf Tracer.disabled (fun () ->
+      incr calls;
+      {
+        Tracer.name = "x";
+        cat = "c";
+        pid = 0;
+        tid = 0;
+        ts_us = 0.0;
+        dur_us = 1.0;
+        args = [];
+      });
+  Alcotest.(check int) "thunk not invoked when disabled" 0 !calls;
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.count Tracer.disabled);
+  let tr = Tracer.create ~clock:(fake_clock ()) () in
+  Tracer.addf tr (fun () ->
+      incr calls;
+      {
+        Tracer.name = "x";
+        cat = "c";
+        pid = 0;
+        tid = 0;
+        ts_us = 0.0;
+        dur_us = 1.0;
+        args = [];
+      });
+  Alcotest.(check int) "thunk invoked when enabled" 1 !calls;
+  Alcotest.(check int) "recorded" 1 (Tracer.count tr)
+
+let test_chrome_export () =
+  let spans =
+    [
+      {
+        Tracer.name = "work";
+        cat = "cpu";
+        pid = 1;
+        tid = 0;
+        ts_us = 5.0;
+        dur_us = 20.0;
+        args = [ ("strategy", "BL") ];
+      };
+    ]
+  in
+  let j = Tracer.chrome ~process_names:[ (1, "site 1") ] spans in
+  let events =
+    Option.(Json.member "traceEvents" j |> map Json.to_list |> join)
+  in
+  match events with
+  | None -> Alcotest.fail "no traceEvents"
+  | Some evs ->
+    Alcotest.(check int) "metadata + span" 2 (List.length evs);
+    let xs =
+      List.filter
+        (fun e -> Option.(Json.member "ph" e |> map Json.to_str |> join) = Some "X")
+        evs
+    in
+    (match xs with
+    | [ x ] ->
+      Alcotest.(check (option string)) "name" (Some "work")
+        Option.(Json.member "name" x |> map Json.to_str |> join);
+      Alcotest.(check bool) "args carried" true
+        (Option.(
+           Json.member "args" x
+           |> map (Json.member "strategy")
+           |> join |> map Json.to_str |> join)
+        = Some "BL")
+    | _ -> Alcotest.fail "expected exactly one complete event");
+    Alcotest.(check (option string)) "time unit" (Some "ms")
+      Option.(Json.member "displayTimeUnit" j |> map Json.to_str |> join)
+
+let suite =
+  [
+    Alcotest.test_case "json emission" `Quick test_json_emit;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counters and totals" `Quick test_counters;
+    Alcotest.test_case "label normalization" `Quick test_label_normalization;
+    Alcotest.test_case "type conflicts rejected" `Quick test_type_conflict;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "registry json" `Quick test_registry_json;
+    Alcotest.test_case "nested spans" `Quick test_with_span;
+    Alcotest.test_case "span exception safety" `Quick test_with_span_exception_safe;
+    Alcotest.test_case "disabled tracer is lazy" `Quick test_disabled_tracer_lazy;
+    Alcotest.test_case "chrome export" `Quick test_chrome_export;
+  ]

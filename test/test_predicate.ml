@@ -98,13 +98,17 @@ let test_ordering_ops () =
 
 let test_comparison_counter () =
   let db, _, _, `Students (john, _, _) = Fixtures.school_db () in
-  Predicate.reset_counters ();
+  let meter = Meter.create () in
   let p = Fixtures.pred "age" Predicate.Eq (Value.Int 31) in
-  ignore (Predicate.eval db john p);
-  ignore (Predicate.eval db john p);
-  Alcotest.(check int) "two comparisons" 2 (Predicate.count_comparisons ());
-  Predicate.reset_counters ();
-  Alcotest.(check int) "reset" 0 (Predicate.count_comparisons ())
+  ignore (Predicate.eval ~meter db john p);
+  ignore (Predicate.eval ~meter db john p);
+  Alcotest.(check int) "two comparisons" 2 (Meter.read meter).Meter.comparisons;
+  (* a second meter starts from zero: no process-global state *)
+  let fresh = Meter.create () in
+  ignore (Predicate.eval ~meter:fresh db john p);
+  Alcotest.(check int) "fresh meter" 1 (Meter.read fresh).Meter.comparisons;
+  Alcotest.(check int) "first meter unchanged" 2
+    (Meter.read meter).Meter.comparisons
 
 let test_pp () =
   let p = Fixtures.pred "advisor.name" Predicate.Eq (Value.Str "Kelly") in

@@ -1,0 +1,165 @@
+(* Exportable run reports: golden files for the JSON metrics document and
+   the Chrome trace, plus the bench schema validator.
+
+   The golden tests pin the exact bytes of the exports. Everything fed into
+   them is deterministic: simulated times, counter values, stable JSON field
+   order. Host spans carry wall-clock timestamps, so the trace golden runs
+   with host spans stripped. To regenerate after an intentional format
+   change: dune exec test/gen_golden.exe. *)
+
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_exp
+module Json = Msdq_obs.Json
+
+let bl_run () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let analysis =
+    Analysis.analyze
+      (Global_schema.schema (Federation.global_schema fed))
+      (Parser.parse Paper_example.q1)
+  in
+  Strategy.run Strategy.Bl fed analysis
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_metrics_golden () =
+  let answer, m = bl_run () in
+  let got = Json.to_string ~indent:2 (Run_report.run_to_json answer m) ^ "\n" in
+  let want = read_file "golden/bl_q1_report.json" in
+  Alcotest.(check string) "report bytes" want got
+
+let test_trace_golden () =
+  let _, m = bl_run () in
+  let sim_only = { m with Strategy.host_spans = [] } in
+  let got =
+    Json.to_string ~indent:2 (Run_report.chrome_trace [ sim_only ]) ^ "\n"
+  in
+  let want = read_file "golden/bl_q1_trace.json" in
+  Alcotest.(check string) "trace bytes" want got
+
+(* Acceptance shape: one complete event per engine task, attributed to
+   strategy, site (pid) and phase. *)
+let test_trace_attribution () =
+  let _, m = bl_run () in
+  let doc = Run_report.chrome_trace [ m ] in
+  let events =
+    match Option.(Json.member "traceEvents" doc |> map Json.to_list |> join) with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let completes =
+    List.filter
+      (fun e -> Option.(Json.member "ph" e |> map Json.to_str |> join) = Some "X")
+      events
+  in
+  let n_tasks =
+    List.length (Msdq_simkit.Trace.entries m.Strategy.trace)
+    + List.length m.Strategy.host_spans
+  in
+  Alcotest.(check int) "one complete event per task and host span" n_tasks
+    (List.length completes);
+  let sim_events =
+    List.filter
+      (fun e ->
+        Option.(Json.member "pid" e |> map Json.to_int |> join)
+        <> Some Msdq_obs.Tracer.host_pid)
+      completes
+  in
+  Alcotest.(check bool) "simulated events exist" true (sim_events <> []);
+  List.iter
+    (fun e ->
+      let arg k =
+        Option.(
+          Json.member "args" e |> map (Json.member k) |> join |> map Json.to_str
+          |> join)
+      in
+      Alcotest.(check (option string)) "strategy attributed" (Some "BL")
+        (arg "strategy");
+      match Option.(Json.member "name" e |> map Json.to_str |> join) with
+      | Some "answer" -> () (* the fence carries no phase *)
+      | _ ->
+        Alcotest.(check bool) "phase is O, P or I" true
+          (match arg "phase" with
+          | Some ("O" | "P" | "I") -> true
+          | _ -> false))
+    sim_events
+
+let test_utilization_renders () =
+  let _, m = bl_run () in
+  let s = Format.asprintf "%a" Run_report.pp_utilization m in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the global site" true (contains "global" s);
+  Alcotest.(check bool) "has the phase columns" true
+    (contains "O" s && contains "P" s && contains "I" s)
+
+let test_figure_json () =
+  let fig = Figures.fig10 ~samples:2 ~seed:7 () in
+  let j = Run_report.figure_to_json fig in
+  Alcotest.(check (option string)) "id" (Some "fig10")
+    Option.(Json.member "id" j |> map Json.to_str |> join);
+  let series =
+    match Option.(Json.member "series" j |> map Json.to_list |> join) with
+    | Some s -> s
+    | None -> Alcotest.fail "no series"
+  in
+  Alcotest.(check int) "CA, BL, PL" 3 (List.length series);
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrips" true (j = j')
+  | Error msg -> Alcotest.fail msg
+
+let test_bench_validation () =
+  let good =
+    Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z"
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[ ("msdq/parse-q1", 2500.0) ]
+  in
+  (match Run_report.validate_bench good with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid document rejected: %s" msg);
+  let reject name j =
+    match Run_report.validate_bench j with
+    | Ok () -> Alcotest.failf "%s accepted" name
+    | Error _ -> ()
+  in
+  reject "empty object" (Json.Obj []);
+  reject "wrong schema"
+    (Json.Obj
+       [
+         ("schema", Json.Str "msdq-bench/999");
+         ("generated_at", Json.Str "t");
+         ("strategies", Json.Arr [ Json.Obj [] ]);
+         ("wall", Json.Arr []);
+       ]);
+  reject "empty strategies"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema);
+         ("generated_at", Json.Str "t");
+         ("strategies", Json.Arr []);
+         ("wall", Json.Arr []);
+       ]);
+  reject "negative time"
+    (Run_report.bench_to_json ~generated_at:"t"
+       ~strategies:[ ("BL", -1.0, 0.05) ]
+       ~wall:[])
+
+let suite =
+  [
+    Alcotest.test_case "metrics golden" `Quick test_metrics_golden;
+    Alcotest.test_case "trace golden" `Quick test_trace_golden;
+    Alcotest.test_case "trace attribution" `Quick test_trace_attribution;
+    Alcotest.test_case "utilization table" `Quick test_utilization_renders;
+    Alcotest.test_case "figure json" `Quick test_figure_json;
+    Alcotest.test_case "bench validation" `Quick test_bench_validation;
+  ]
