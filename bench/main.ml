@@ -10,11 +10,13 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/1", see Run_report) with the per-strategy
-   simulated times on the demo workload and the bechamel wall-clock
-   medians; --out DIR picks the directory, --smoke runs a reduced
-   version for CI, and --check FILE validates an existing result file
-   against the schema. *)
+   (schema "msdq-bench/2", see Run_report) with the per-strategy
+   simulated times on the demo workload, the bechamel wall-clock
+   medians, the run's seed and a parallel section (jobs, measured
+   speedup of a calibration sweep); --out DIR picks the directory,
+   --jobs N sizes the domain pool (default: all cores; 1 = sequential),
+   --smoke runs a reduced version for CI, and --check FILE validates an
+   existing result file against the schema (both /1 and /2 accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -37,14 +39,69 @@ let tables () =
 (* ------------------------------------------------------------------ *)
 (* Figures 9-11 and the ablation (parametric simulation, paper method) *)
 
-let figures ~samples ~seed =
+let figures ?pool ~samples ~seed () =
   List.iter
     (fun fig ->
       section fig.Figures.id;
       Format.printf "%a@.@." Report.pp_figure fig;
       Format.printf "shape checks against the paper's findings:@.%a@."
         Report.pp_checks (Shapes.check fig))
-    (Figures.all ~samples ~seed ())
+    (Figures.all ?pool ~samples ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel calibration: time one fixed sweep sequentially and on the
+   pool, and assert the two outputs are byte-identical — the determinism
+   contract, re-checked on every bench run, on real hardware. *)
+
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let figure_bytes fig =
+  Msdq_obs.Json.to_string (Run_report.figure_to_json fig)
+
+let calibrate ?pool ~seed ~samples () =
+  section "parallel";
+  let grid fig =
+    List.length fig.Figures.series * Array.length fig.Figures.xs
+  in
+  let seq_fig, seq_s = wall_time (fun () -> Figures.fig10 ~samples ~seed ()) in
+  let p =
+    match pool with
+    | None ->
+      {
+        Run_report.jobs = 1;
+        grid_points = grid seq_fig;
+        seq_s;
+        par_s = seq_s;
+        speedup = 1.0;
+      }
+    | Some pool ->
+      let par_fig, par_s =
+        wall_time (fun () -> Figures.fig10 ~pool ~samples ~seed ())
+      in
+      if not (String.equal (figure_bytes seq_fig) (figure_bytes par_fig)) then begin
+        Format.eprintf
+          "parallel calibration diverged from the sequential sweep@.";
+        exit 1
+      end;
+      {
+        Run_report.jobs = Msdq_par.Pool.jobs pool;
+        grid_points = grid seq_fig;
+        seq_s;
+        par_s;
+        speedup = seq_s /. par_s;
+      }
+  in
+  Format.printf
+    "calibration sweep (fig10, %d samples/point, %d grid points):@." samples
+    p.Run_report.grid_points;
+  Format.printf "  jobs %d: sequential %.3fs, parallel %.3fs, speedup %.2fx@."
+    p.Run_report.jobs p.Run_report.seq_s p.Run_report.par_s
+    p.Run_report.speedup;
+  Format.printf "  parallel output identical to sequential: true@.";
+  p
 
 (* ------------------------------------------------------------------ *)
 (* Concrete-engine validation: the real executors on generated data.   *)
@@ -389,10 +446,11 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_bench_json ~out ~wall =
+let write_bench_json ~out ~seed ~parallel ~wall =
   let generated_at = timestamp () in
   let doc =
-    Run_report.bench_to_json ~generated_at ~strategies:(strategy_times ()) ~wall
+    Run_report.bench_to_json ~generated_at ~seed ~parallel
+      ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -420,7 +478,15 @@ let check_file path =
     exit 1
   | Ok doc -> (
     match Run_report.validate_bench doc with
-    | Ok () -> Format.printf "%s: valid %s document@." path Run_report.bench_schema
+    | Ok () ->
+      let schema =
+        match
+          Option.(Msdq_obs.Json.member "schema" doc |> map Msdq_obs.Json.to_str |> join)
+        with
+        | Some s -> s
+        | None -> Run_report.bench_schema
+      in
+      Format.printf "%s: valid %s document@." path schema
     | Error msg ->
       Format.eprintf "%s: %s@." path msg;
       exit 1)
@@ -433,11 +499,15 @@ let () =
   let smoke = ref false in
   let out = ref "." in
   let check = ref None in
+  let jobs = ref 0 in
   let spec =
     [
       ("--samples", Arg.Set_int samples, "N  parameter draws per point (default 500)");
       ("--quick", Arg.Unit (fun () -> samples := 120), " reduced draws for a fast run");
       ("--seed", Arg.Set_int seed, "N  random seed (default 1996)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  domain-pool size for the sweeps (default: all cores; 1 = sequential)" );
       ( "--smoke",
         Arg.Set smoke,
         " minimal run for CI: skip the sweeps, still write the JSON file" );
@@ -447,27 +517,45 @@ let () =
         "FILE  validate FILE against the bench schema and exit" );
     ]
   in
-  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick|--samples N|--smoke|--check FILE]";
+  Arg.parse spec
+    (fun _ -> ())
+    "bench/main.exe [--quick|--samples N|--jobs N|--smoke|--check FILE]";
   match !check with
   | Some path -> check_file path
   | None ->
+    let jobs =
+      if !jobs = 0 then Domain.recommended_domain_count ()
+      else if !jobs >= 1 then !jobs
+      else begin
+        Format.eprintf "--jobs must be >= 1@.";
+        exit 2
+      end
+    in
+    let pool = if jobs > 1 then Some (Msdq_par.Pool.create ~jobs ()) else None in
+    Fun.protect ~finally:(fun () -> Option.iter Msdq_par.Pool.shutdown pool)
+    @@ fun () ->
     Format.printf
       "Reproduction harness: Koh & Chen, ICDCS 1996 — every table and figure.@.";
+    Format.printf "seed: %d, jobs: %d@." !seed jobs;
     if !smoke then begin
-      Format.printf "smoke mode: strategy times + a minimal microbench only.@.";
+      Format.printf
+        "smoke mode: strategy times, parallel calibration + a minimal \
+         microbench only.@.";
       tables ();
+      let parallel = calibrate ?pool ~seed:!seed ~samples:40 () in
       let wall = microbenches ~quota:0.05 () in
-      write_bench_json ~out:!out ~wall
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
       tables ();
-      figures ~samples:!samples ~seed:!seed;
+      figures ?pool ~samples:!samples ~seed:!seed ();
       concrete_validation ();
       planner_study ();
       straggler_study ();
       throughput_study ();
+      let parallel = calibrate ?pool ~seed:!seed ~samples:!samples () in
       let wall = microbenches ~quota:0.4 () in
-      write_bench_json ~out:!out ~wall;
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~wall;
       Format.printf "@.done.@."
     end

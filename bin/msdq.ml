@@ -235,7 +235,7 @@ let query_cmd =
 
 (* ---- experiment ---- *)
 
-let experiment which samples seed csv chart json progress =
+let experiment which samples seed jobs csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -245,18 +245,29 @@ let experiment which samples seed csv chart json progress =
           if completed = total then Format.eprintf "@.")
     else None
   in
+  let jobs =
+    if jobs = 0 then Domain.recommended_domain_count ()
+    else if jobs >= 1 then jobs
+    else begin
+      Format.eprintf "--jobs must be >= 1 (or 0 for all cores)@.";
+      exit 1
+    end
+  in
+  let pool = if jobs > 1 then Some (Msdq_par.Pool.create ~jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Msdq_par.Pool.shutdown pool)
+  @@ fun () ->
   let figures =
     match which with
-    | "fig9" -> [ Figures.fig9 ~registry ?progress ~samples ~seed () ]
-    | "fig10" -> [ Figures.fig10 ~registry ?progress ~samples ~seed () ]
-    | "fig11" -> [ Figures.fig11 ~registry ?progress ~samples ~seed () ]
+    | "fig9" -> [ Figures.fig9 ?pool ~registry ?progress ~samples ~seed () ]
+    | "fig10" -> [ Figures.fig10 ?pool ~registry ?progress ~samples ~seed () ]
+    | "fig11" -> [ Figures.fig11 ?pool ~registry ?progress ~samples ~seed () ]
     | "ablation" | "ablation-signatures" ->
-      [ Figures.ablation_signatures ~registry ?progress ~samples ~seed () ]
+      [ Figures.ablation_signatures ?pool ~registry ?progress ~samples ~seed () ]
     | "ablation-checks" ->
-      [ Figures.ablation_checks ~registry ?progress ~samples ~seed () ]
+      [ Figures.ablation_checks ?pool ~registry ?progress ~samples ~seed () ]
     | "ablation-semijoin" ->
-      [ Figures.ablation_semijoin ~registry ?progress ~samples ~seed () ]
-    | "all" -> Figures.all ~registry ?progress ~samples ~seed ()
+      [ Figures.ablation_semijoin ?pool ~registry ?progress ~samples ~seed () ]
+    | "all" -> Figures.all ?pool ~registry ?progress ~samples ~seed ()
     | other ->
       Format.eprintf
         "unknown experiment %S (fig9|fig10|fig11|ablation-signatures|ablation-checks|all)@."
@@ -312,12 +323,18 @@ let experiment_cmd =
   let chart =
     Arg.(value & flag & info [ "chart" ] ~doc:"Print rough ASCII charts.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domain-pool size for the sweeps: 0 = all cores (the default),               1 = sequential. Results are identical for every setting.")
+  in
   let term =
     with_logs
       Term.(
         ret
-          (const experiment $ which $ samples_arg $ seed_arg $ csv $ chart
-         $ json_arg $ progress_arg))
+          (const experiment $ which $ samples_arg $ seed_arg $ jobs $ csv
+         $ chart $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -23,46 +23,64 @@ type figure = {
 
 let paper_strategies = [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
 
-let sweep ?registry ?progress ~id ~samples ~seed ~cost ~strategies ~xs
+(* One sweep = a flat grid of (strategy, x) points, each an independent
+   [Param_sim.average] with its own engine, rng streams and (per run) metrics
+   instances. The grid evaluates either in index order (no pool) or on the
+   pool's domains; either way the merge below walks the grid in index order,
+   so series arrays, registry counters and therefore every downstream report
+   are bit-identical for any worker count. Only the live progress/log lines
+   (serialized but unordered) depend on scheduling. *)
+let sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost ~strategies ~xs
     ~config_of () =
-  let n_points = List.length strategies * Array.length xs in
-  let completed = ref 0 in
-  let series =
-    List.map
-      (fun strategy ->
-        let totals = Array.make (Array.length xs) 0.0 in
-        let responses = Array.make (Array.length xs) 0.0 in
-        Array.iteri
-          (fun idx x ->
-            let ranges, overrides = config_of x in
-            let t =
-              Param_sim.average ~overrides ~cost ~samples ~seed ~ranges strategy
-            in
-            totals.(idx) <- Time.to_s t.Param_sim.total;
-            responses.(idx) <- Time.to_s t.Param_sim.response;
-            incr completed;
-            (match registry with
-            | Some reg ->
-              Metrics.inc
-                (Metrics.counter reg
-                   ~labels:
-                     [ ("figure", id); ("strategy", Strategy.to_string strategy) ]
-                   "msdq_param_samples_total")
-                samples
-            | None -> ());
-            Log.info (fun m ->
-                m "%s: %s x=%g done (%d/%d points)" id
-                  (Strategy.to_string strategy) x !completed n_points);
-            match progress with
-            | Some f -> f ~figure:id ~completed:!completed ~total:n_points
-            | None -> ())
-          xs;
-        { strategy; totals; responses })
-      strategies
+  let strategies_a = Array.of_list strategies in
+  let nx = Array.length xs in
+  let n_points = Array.length strategies_a * nx in
+  let completed = Atomic.make 0 in
+  let feedback_mutex = Mutex.create () in
+  let point i =
+    let strategy = strategies_a.(i / nx) and x = xs.(i mod nx) in
+    let ranges, overrides = config_of x in
+    let t = Param_sim.average ~overrides ~cost ~samples ~seed ~ranges strategy in
+    let done_now = 1 + Atomic.fetch_and_add completed 1 in
+    Mutex.lock feedback_mutex;
+    Log.info (fun m ->
+        m "%s: %s x=%g done (%d/%d points)" id (Strategy.to_string strategy) x
+          done_now n_points);
+    (match progress with
+    | Some f -> f ~figure:id ~completed:done_now ~total:n_points
+    | None -> ());
+    Mutex.unlock feedback_mutex;
+    t
   in
-  series
+  let grid = Array.init n_points (fun i -> i) in
+  let results =
+    match pool with
+    | Some pool when Msdq_par.Pool.jobs pool > 1 ->
+      Msdq_par.Pool.map_array pool ~f:(fun i _ -> point i) grid
+    | Some _ | None -> Array.map point grid
+  in
+  List.mapi
+    (fun si strategy ->
+      let totals = Array.make nx 0.0 in
+      let responses = Array.make nx 0.0 in
+      for xi = 0 to nx - 1 do
+        let t = results.((si * nx) + xi) in
+        totals.(xi) <- Time.to_s t.Param_sim.total;
+        responses.(xi) <- Time.to_s t.Param_sim.response;
+        match registry with
+        | Some reg ->
+          Metrics.inc
+            (Metrics.counter reg
+               ~labels:
+                 [ ("figure", id); ("strategy", Strategy.to_string strategy) ]
+               "msdq_param_samples_total")
+            samples
+        | None -> ()
+      done;
+      { strategy; totals; responses })
+    strategies
 
-let fig9 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig9 ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 1000.; 2000.; 4000.; 6000.; 8000.; 10000. |] in
   let config_of x =
     let n = int_of_float x in
@@ -76,11 +94,11 @@ let fig9 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.defau
     xlabel = "objects per constituent class";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let fig10 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig10 ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
@@ -92,11 +110,11 @@ let fig10 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.defa
     xlabel = "component databases";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let fig11 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let fig11 ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
   let config_of x =
     ( { Params.default with Params.n_o = (1000, 2000) },
@@ -109,11 +127,11 @@ let fig11 ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.defa
     xlabel = "selectivity of the local predicates on the root class";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:paper_strategies ~xs ~config_of ();
   }
 
-let ablation_signatures ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_signatures ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 4.; 6.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
@@ -125,12 +143,12 @@ let ablation_signatures ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(co
     xlabel = "component databases";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Bl; Strategy.Bls; Strategy.Pl; Strategy.Pls ]
         ~xs ~config_of ();
   }
 
-let ablation_checks ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_checks ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 2.; 4.; 6.; 8. |] in
   let config_of x =
     ({ Params.default with Params.n_db = int_of_float x }, Param_sim.no_overrides)
@@ -142,12 +160,12 @@ let ablation_checks ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost =
     xlabel = "component databases";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Lo; Strategy.Bl; Strategy.Pl ]
         ~xs ~config_of ();
   }
 
-let ablation_semijoin ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
+let ablation_semijoin ?pool ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost = Cost.default) () =
   let xs = [| 0.1; 0.3; 0.5; 0.7; 0.9 |] in
   let config_of x =
     ( { Params.default with Params.n_o = (1000, 2000) },
@@ -160,19 +178,19 @@ let ablation_semijoin ?registry ?progress ?(samples = 500) ?(seed = 1996) ?(cost
     xlabel = "selectivity of the local predicates on the root class";
     xs;
     series =
-      sweep ?registry ?progress ~id ~samples ~seed ~cost
+      sweep ?pool ?registry ?progress ~id ~samples ~seed ~cost
         ~strategies:[ Strategy.Ca; Strategy.Cf; Strategy.Bl ]
         ~xs ~config_of ();
   }
 
-let all ?registry ?progress ?samples ?seed ?cost () =
+let all ?pool ?registry ?progress ?samples ?seed ?cost () =
   [
-    fig9 ?registry ?progress ?samples ?seed ?cost ();
-    fig10 ?registry ?progress ?samples ?seed ?cost ();
-    fig11 ?registry ?progress ?samples ?seed ?cost ();
-    ablation_signatures ?registry ?progress ?samples ?seed ?cost ();
-    ablation_checks ?registry ?progress ?samples ?seed ?cost ();
-    ablation_semijoin ?registry ?progress ?samples ?seed ?cost ();
+    fig9 ?pool ?registry ?progress ?samples ?seed ?cost ();
+    fig10 ?pool ?registry ?progress ?samples ?seed ?cost ();
+    fig11 ?pool ?registry ?progress ?samples ?seed ?cost ();
+    ablation_signatures ?pool ?registry ?progress ?samples ?seed ?cost ();
+    ablation_checks ?pool ?registry ?progress ?samples ?seed ?cost ();
+    ablation_semijoin ?pool ?registry ?progress ?samples ?seed ?cost ();
   ]
 
 let series_of fig strategy =

@@ -9,7 +9,14 @@
     completed point, an optional [progress] callback (the CLI's [--progress]
     renders it), and — when a [registry] is supplied — an
     [msdq_param_samples_total{figure,strategy}] counter so a run's sampling
-    effort shows up in its metrics dump. *)
+    effort shows up in its metrics dump.
+
+    With [?pool], the grid points of a sweep evaluate in parallel on the
+    pool's domains. The emitted figures, registry counters and reports are
+    bit-identical to the sequential path for any worker count — the grid
+    merges in deterministic index order and every point draws from
+    index-derived rng streams (see docs/PARALLELISM.md). Progress/log lines
+    remain live and may interleave across points. *)
 
 open Msdq_exec
 
@@ -27,42 +34,42 @@ type figure = {
   series : series list;
 }
 
-val fig9 : ?registry:Msdq_obs.Metrics.t ->
+val fig9 : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the average number of objects per constituent class
     (1000..10000). *)
 
-val fig10 : ?registry:Msdq_obs.Metrics.t ->
+val fig10 : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the number of component databases (2..8). *)
 
-val fig11 : ?registry:Msdq_obs.Metrics.t ->
+val fig11 : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Varying the selectivity of one local predicate (0.1..0.9), with
     N_o in 1000..2000 as in the paper. *)
 
-val ablation_signatures : ?registry:Msdq_obs.Metrics.t ->
+val ablation_signatures : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: BL/PL against their signature-filtered variants while varying
     the number of component databases. *)
 
-val ablation_checks : ?registry:Msdq_obs.Metrics.t ->
+val ablation_checks : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: LO (localized without assistant checks) against BL and PL —
     the pure cost of phase O — while varying the number of databases. *)
 
-val ablation_semijoin : ?registry:Msdq_obs.Metrics.t ->
+val ablation_semijoin : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure
 (** Extension: CF (semijoin-filtered centralized) against CA and BL while
     varying the local selectivity — the classic semijoin trade-off. *)
 
-val all : ?registry:Msdq_obs.Metrics.t ->
+val all : ?pool:Msdq_par.Pool.t -> ?registry:Msdq_obs.Metrics.t ->
   ?progress:(figure:string -> completed:int -> total:int -> unit) ->
   ?samples:int -> ?seed:int -> ?cost:Cost.t -> unit -> figure list
 (** [fig9; fig10; fig11; ablation-signatures; ablation-checks; ablation-semijoin]. *)

@@ -423,15 +423,38 @@ let simulate ?(overrides = no_overrides) ~cost strategy (s : Params.sample) =
   let st = Engine.stats e in
   { total = Stats.total_busy st; response = Stats.makespan st }
 
-let average ?overrides ~cost ~samples ~seed ~ranges strategy =
-  let rng = Rng.create ~seed in
-  let sum_total = ref 0.0 and sum_resp = ref 0.0 in
-  for _ = 1 to samples do
+(* Sample [i] draws from [Rng.split_ix base ~i] — a private stream per index
+   rather than one shared sequential stream. Two consequences:
+
+   - parallel and sequential evaluation are bit-identical: the draw for
+     sample [i] cannot depend on which domain ran sample [i-1], or whether
+     it ran at all yet;
+   - the paired-comparison property strengthens: sample [i] sees the same
+     stream for every strategy and every sweep point, even when the ranges
+     differ in how many values one draw consumes. *)
+let average ?overrides ?pool ~cost ~samples ~seed ~ranges strategy =
+  let base = Rng.create ~seed in
+  let one rng _i () =
     let s = Params.sample rng ranges in
     let t = simulate ?overrides ~cost strategy s in
-    sum_total := !sum_total +. Time.to_us t.total;
-    sum_resp := !sum_resp +. Time.to_us t.response
-  done;
+    (Time.to_us t.total, Time.to_us t.response)
+  in
+  let times =
+    match pool with
+    | Some pool when Msdq_par.Pool.jobs pool > 1 ->
+      Msdq_par.Par.tabulate_seeded pool ~rng:base ~n:samples ~f:(fun rng i ->
+          one rng i ())
+    | Some _ | None ->
+      Array.init samples (fun i -> one (Rng.split_ix base ~i) i ())
+  in
+  (* Reduce in index order: float addition is not associative, so the merge
+     order is part of the determinism contract. *)
+  let sum_total = ref 0.0 and sum_resp = ref 0.0 in
+  Array.iter
+    (fun (t, r) ->
+      sum_total := !sum_total +. t;
+      sum_resp := !sum_resp +. r)
+    times;
   {
     total = Time.us (!sum_total /. fi samples);
     response = Time.us (!sum_resp /. fi samples);

@@ -32,7 +32,13 @@ val simulate :
   Params.sample -> times
 
 val average :
-  ?overrides:overrides -> cost:Msdq_exec.Cost.t -> samples:int -> seed:int ->
-  ranges:Params.ranges -> Msdq_exec.Strategy.t -> times
+  ?overrides:overrides -> ?pool:Msdq_par.Pool.t -> cost:Msdq_exec.Cost.t ->
+  samples:int -> seed:int -> ranges:Params.ranges -> Msdq_exec.Strategy.t ->
+  times
 (** Draws [samples] parameter sets (deterministically from [seed]) and
-    averages both metrics — the paper's 500-sample averaging. *)
+    averages both metrics — the paper's 500-sample averaging.
+
+    Sample [i] draws from its own stream, [Rng.split_ix (Rng.create ~seed) ~i],
+    and the averages reduce in index order; with [?pool] the samples evaluate
+    on the pool's domains and the result stays bit-identical to the
+    sequential path for any worker count. *)

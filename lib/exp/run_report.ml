@@ -198,13 +198,34 @@ let figures_to_json figs =
 
 (* ---- bench ---- *)
 
-let bench_schema = "msdq-bench/1"
+let bench_schema_v1 = "msdq-bench/1"
+let bench_schema = "msdq-bench/2"
 
-let bench_to_json ~generated_at ~strategies ~wall =
+type parallel = {
+  jobs : int;
+  grid_points : int;
+  seq_s : float;
+  par_s : float;
+  speedup : float;
+}
+
+let parallel_to_json p =
+  Json.Obj
+    [
+      ("jobs", Json.Int p.jobs);
+      ("grid_points", Json.Int p.grid_points);
+      ("seq_s", Json.Float p.seq_s);
+      ("par_s", Json.Float p.par_s);
+      ("speedup", Json.Float p.speedup);
+    ]
+
+let bench_to_json ~generated_at ~seed ~parallel ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
       ("generated_at", Json.Str generated_at);
+      ("seed", Json.Int seed);
+      ("parallel", parallel_to_json parallel);
       ( "strategies",
         Json.Arr
           (List.map
@@ -236,11 +257,53 @@ let nonneg what v =
     Error (Printf.sprintf "bench document: %s must be a non-negative number" what)
   else Ok ()
 
+(* The /2 additions: a seed and the parallel-sweep record. *)
+let validate_parallel j =
+  let* p = require "\"parallel\"" (Json.member "parallel" j) in
+  let* jobs =
+    require "parallel \"jobs\"" Option.(Json.member "jobs" p |> map Json.to_int |> join)
+  in
+  let* () =
+    if jobs >= 1 then Ok () else Error "bench document: parallel jobs must be >= 1"
+  in
+  let* points =
+    require "parallel \"grid_points\""
+      Option.(Json.member "grid_points" p |> map Json.to_int |> join)
+  in
+  let* () =
+    if points >= 0 then Ok ()
+    else Error "bench document: parallel grid_points must be >= 0"
+  in
+  let* () =
+    List.fold_left
+      (fun acc field ->
+        let* () = acc in
+        let* v =
+          require
+            (Printf.sprintf "parallel %S" field)
+            Option.(Json.member field p |> map Json.to_float |> join)
+        in
+        nonneg ("parallel " ^ field) v)
+      (Ok ())
+      [ "seq_s"; "par_s"; "speedup" ]
+  in
+  let* _ =
+    require "\"seed\"" Option.(Json.member "seed" j |> map Json.to_int |> join)
+  in
+  Ok ()
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let* () =
-    if String.equal schema bench_schema then Ok ()
-    else Error (Printf.sprintf "bench document: schema %S, expected %S" schema bench_schema)
+    if String.equal schema bench_schema || String.equal schema bench_schema_v1
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf "bench document: schema %S, expected %S or %S" schema
+           bench_schema bench_schema_v1)
+  in
+  let* () =
+    if String.equal schema bench_schema then validate_parallel j else Ok ()
   in
   let* _ =
     require "\"generated_at\""

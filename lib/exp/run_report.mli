@@ -41,19 +41,39 @@ val figures_to_json : Figures.figure list -> Json.t
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/1"]. *)
+(** ["msdq-bench/2"] — the schema every new document is written with. *)
+
+val bench_schema_v1 : string
+(** ["msdq-bench/1"] — still accepted by {!validate_bench}, so the perf
+    trajectory accumulated by CI stays checkable across the bump. *)
+
+type parallel = {
+  jobs : int;  (** worker domains incl. the caller ([--jobs]) *)
+  grid_points : int;  (** grid points in the timed calibration sweep *)
+  seq_s : float;  (** wall-clock of the calibration sweep at [--jobs 1] *)
+  par_s : float;  (** wall-clock of the same sweep on the pool *)
+  speedup : float;  (** [seq_s /. par_s] *)
+}
+(** The [/2] parallel section: how much the domain pool actually bought on
+    this machine, measured on a fixed calibration sweep whose output is
+    asserted identical between the two timed runs. *)
 
 val bench_to_json :
   generated_at:string ->
+  seed:int ->
+  parallel:parallel ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
 (** The [BENCH_<timestamp>.json] document. [strategies] carries one
     [(name, total_s, response_s)] triple per simulated strategy run on the
     demo workload; [wall] carries bechamel wall-clock medians as
-    [(benchmark, ns_per_run)]. [generated_at] is injected (not read from the
-    clock) so tests stay deterministic. *)
+    [(benchmark, ns_per_run)]; [seed] is the run's base rng seed.
+    [generated_at] is injected (not read from the clock) so tests stay
+    deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
-(** Structural validation of a bench document against {!bench_schema}: used
-    by the test suite and the CI smoke step. *)
+(** Structural validation of a bench document: used by the test suite and
+    the CI smoke step. Accepts both {!bench_schema_v1} and {!bench_schema}
+    payloads; the [/2]-only fields ([seed], [parallel]) are required exactly
+    when the document declares [/2]. *)

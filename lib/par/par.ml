@@ -1,0 +1,8 @@
+module Rng = Msdq_workload.Rng
+
+let map_seeded pool ~rng ~f arr =
+  Pool.map_array pool ~f:(fun i x -> f (Rng.split_ix rng ~i) i x) arr
+
+let tabulate_seeded pool ~rng ~n ~f =
+  if n < 0 then invalid_arg "Par.tabulate_seeded: negative n";
+  Pool.map_array pool ~f:(fun i () -> f (Rng.split_ix rng ~i) i) (Array.make n ())

@@ -1,0 +1,27 @@
+(** Deterministic seeded parallel mapping.
+
+    {!map_seeded} is the bridge between the {!Pool} (which guarantees
+    schedule-independent {e placement} of results) and
+    {!Msdq_workload.Rng.split_ix} (which guarantees schedule-independent
+    {e randomness}): task [i] always draws from the same stream, so the
+    output is bit-identical for any worker count — [jobs = 1] included. *)
+
+val map_seeded :
+  Pool.t ->
+  rng:Msdq_workload.Rng.t ->
+  f:(Msdq_workload.Rng.t -> int -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [map_seeded pool ~rng ~f arr] maps [f child i arr.(i)] over the array on
+    the pool, where [child = Rng.split_ix rng ~i] — a private stream per
+    task, derived without advancing [rng]. *)
+
+val tabulate_seeded :
+  Pool.t ->
+  rng:Msdq_workload.Rng.t ->
+  n:int ->
+  f:(Msdq_workload.Rng.t -> int -> 'b) ->
+  'b array
+(** [tabulate_seeded pool ~rng ~n ~f] is [map_seeded] over the indices
+    [0..n-1] with no input payload: [f child i] per index. [n] must be
+    non-negative. *)

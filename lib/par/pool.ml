@@ -1,0 +1,164 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  todo : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable shut : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+let worker t () =
+  let rec take () =
+    (* Under [t.mutex]. Drain the queue even when shutting down, so
+       [shutdown] never abandons a batch mid-flight. *)
+    match Queue.take_opt t.queue with
+    | Some job -> Some job
+    | None ->
+      if t.shut then None
+      else begin
+        Condition.wait t.todo t.mutex;
+        take ()
+      end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let job = take () in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      (* Batch runners catch their own exceptions; this is a backstop so a
+         worker can never die and strand the pool. *)
+      (try job () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let size =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Pool.create: jobs %d < 1" j)
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      todo = Condition.create ();
+      queue = Queue.create ();
+      shut = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  Queue.add job t.queue;
+  Condition.signal t.todo;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.workers <- [];
+  t.shut <- true;
+  Condition.broadcast t.todo;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One batch: chunks are claimed from [next]; the first failure (lowest
+   chunk index wins) aborts further claims and is re-raised by the caller
+   once every chunk is accounted for.
+
+   Completion counts {e chunks}, never runner jobs: a queued helper that no
+   worker ever picks up (every worker blocked in a batch of its own — the
+   nested case) must not block the caller. Every claimed chunk is claimed by
+   a runner already executing on some domain, and the caller's own pull loop
+   claims whatever is left, so [finished = nchunks] is always reached. A
+   stale helper that runs after the batch is done claims nothing and
+   retires. *)
+type batch = {
+  nchunks : int;
+  next : int Atomic.t;
+  aborted : bool Atomic.t;
+  bmutex : Mutex.t;
+  done_ : Condition.t;
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+  mutable finished : int;
+}
+
+let run_batch t ~nchunks ~run_chunk =
+  let b =
+    {
+      nchunks;
+      next = Atomic.make 0;
+      aborted = Atomic.make false;
+      bmutex = Mutex.create ();
+      done_ = Condition.create ();
+      failed = None;
+      finished = 0;
+    }
+  in
+  let rec pull () =
+    let ci = Atomic.fetch_and_add b.next 1 in
+    if ci < b.nchunks then begin
+      (if not (Atomic.get b.aborted) then
+         try run_chunk ci
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Atomic.set b.aborted true;
+           Mutex.lock b.bmutex;
+           (match b.failed with
+           | Some (c0, _, _) when c0 <= ci -> ()
+           | _ -> b.failed <- Some (ci, e, bt));
+           Mutex.unlock b.bmutex);
+      Mutex.lock b.bmutex;
+      b.finished <- b.finished + 1;
+      if b.finished = b.nchunks then Condition.broadcast b.done_;
+      Mutex.unlock b.bmutex;
+      pull ()
+    end
+  in
+  let helpers = min (t.size - 1) (max 0 (nchunks - 1)) in
+  for _ = 1 to helpers do
+    submit t pull
+  done;
+  pull ();
+  Mutex.lock b.bmutex;
+  while b.finished < b.nchunks do
+    Condition.wait b.done_ b.bmutex
+  done;
+  let failed = b.failed in
+  Mutex.unlock b.bmutex;
+  match failed with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map_array t ~f arr =
+  let n = Array.length arr in
+  if t.shut then invalid_arg "Pool.map_array: pool has been shut down";
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then Array.mapi f arr
+  else begin
+    let results = Array.make n None in
+    let chunk = max 1 (n / (t.size * 4)) in
+    let nchunks = (n + chunk - 1) / chunk in
+    let run_chunk ci =
+      let lo = ci * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        results.(i) <- Some (f i arr.(i))
+      done
+    in
+    run_batch t ~nchunks ~run_chunk;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

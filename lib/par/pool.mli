@@ -1,0 +1,44 @@
+(** A fixed-size domain pool with chunked task stealing.
+
+    The pool owns [jobs - 1] worker domains (the caller's domain is the
+    remaining worker: it always participates in its own batches, so a batch
+    completes even when every worker is busy elsewhere — which also makes
+    nested {!map_array} calls deadlock-free). Work arrives as index ranges:
+    {!map_array} cuts its input into chunks and workers steal the next chunk
+    from a shared atomic cursor until the batch is drained.
+
+    Determinism: results land in an array slot chosen by input index, so the
+    output never depends on worker count or scheduling. Anything
+    schedule-dependent (progress meters, logs) is the caller's business.
+
+    This module uses only the standard library ([Domain], [Mutex],
+    [Condition], [Atomic]); it knows nothing about the rest of the repo. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ()] sizes the pool to [Domain.recommended_domain_count ()];
+    [~jobs] overrides it. [jobs = 1] spawns no domains and makes every
+    {!map_array} run sequentially in the caller. Raises [Invalid_argument]
+    when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Total parallelism: worker domains plus the participating caller. *)
+
+val map_array : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array t ~f arr] is [Array.mapi f arr], computed on the pool.
+    Chunks are sized to roughly four per worker so stragglers rebalance.
+
+    If one or more applications of [f] raise, the batch stops pulling new
+    chunks and the exception from the lowest-indexed failing chunk that ran
+    is re-raised in the caller with its backtrace. Raises
+    [Invalid_argument] if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Waits for queued work to drain, then joins every worker domain.
+    Idempotent: a second call (even from another domain) returns
+    immediately. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

@@ -17,6 +17,13 @@ let create ~seed = { state = mix (Int64.of_int seed) }
 
 let split t = { state = next t }
 
+let split_ix t ~i =
+  if i < 0 then invalid_arg "Rng.split_ix: negative index";
+  (* The state the [i+1]-th [split] child would receive, computed without
+     advancing [t]: reads are pure, so concurrent derivations from one
+     shared parent never race. *)
+  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+
 let int t ~bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Modulo bias is negligible for the small bounds used here. *)

@@ -11,6 +11,14 @@ val create : seed:int -> t
 val split : t -> t
 (** An independent stream; the parent advances. *)
 
+val split_ix : t -> i:int -> t
+(** [split_ix t ~i] is the stream the [i+1]-th successive {!split} would
+    return, derived without advancing [t]. Because the child depends only on
+    the parent's current state and [i], tasks indexed by [i] draw identical
+    streams no matter how they are scheduled across domains — the keystone of
+    the parallel determinism contract (see docs/PARALLELISM.md). Raises
+    [Invalid_argument] when [i] is negative. *)
+
 val int : t -> bound:int -> int
 (** Uniform in [0, bound). [bound] must be positive. *)
 

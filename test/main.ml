@@ -41,6 +41,8 @@ let () =
       ("exec.wire", Test_wire.suite);
       ("exec.probe_deep", Test_probe_deep.suite);
       ("workload.rng", Test_rng.suite);
+      ("par.pool", Test_par.suite);
+      ("par.determinism", Test_par_determinism.suite);
       ("workload.params", Test_params.suite);
       ("workload.synth", Test_synth.suite);
       ("exec.equivalence", Test_equivalence.suite);

@@ -1,0 +1,156 @@
+(* The domain pool: placement, chunk stealing, exception propagation and
+   shutdown semantics. Everything runs at several worker counts — on any
+   host, a pool larger than the core count is legal and just timeshares. *)
+
+open Msdq_workload
+module Pool = Msdq_par.Pool
+module Par = Msdq_par.Par
+
+let with_pool = Pool.with_pool
+
+let test_map_matches_sequential () =
+  let arr = Array.init 103 (fun i -> i) in
+  let f i x = (i * 31) + x in
+  let want = Array.mapi f arr in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            want
+            (Pool.map_array pool ~f arr)))
+    [ 1; 2; 3; 8 ]
+
+let test_empty_input () =
+  with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.map_array pool ~f:(fun _ x -> x) [||]))
+
+let test_more_tasks_than_workers () =
+  (* 1000 tasks on 2 workers: every chunk must be claimed exactly once. *)
+  with_pool ~jobs:2 (fun pool ->
+      let hits = Array.make 1000 0 in
+      let out =
+        Pool.map_array pool
+          ~f:(fun i () ->
+            hits.(i) <- hits.(i) + 1;
+            i)
+          (Array.make 1000 ())
+      in
+      Alcotest.(check (array int)) "identity" (Array.init 1000 Fun.id) out;
+      Alcotest.(check bool) "each index computed exactly once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+let test_more_workers_than_tasks () =
+  with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (array int)) "two tasks" [| 0; 10 |]
+        (Pool.map_array pool ~f:(fun i x -> i * x) [| 7; 10 |]))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          (match
+             Pool.map_array pool
+               ~f:(fun i x -> if i = 37 then raise (Boom i) else x)
+               (Array.init 100 Fun.id)
+           with
+          | _ -> Alcotest.failf "jobs=%d: exception swallowed" jobs
+          | exception Boom 37 -> ());
+          (* the pool survives a failed batch *)
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d usable after failure" jobs)
+            [| 0; 2; 4 |]
+            (Pool.map_array pool ~f:(fun _ x -> 2 * x) [| 0; 1; 2 |])))
+    [ 1; 4 ]
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  ignore (Pool.map_array pool ~f:(fun _ x -> x + 1) (Array.make 10 0));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* and a shut pool refuses new batches instead of hanging *)
+  match Pool.map_array pool ~f:(fun _ x -> x) [| 1 |] with
+  | _ -> Alcotest.fail "map_array on a shut pool succeeded"
+  | exception Invalid_argument _ -> ()
+
+let test_create_rejects_bad_jobs () =
+  match Pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "jobs=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_with_pool_cleans_up_on_raise () =
+  match with_pool ~jobs:2 (fun _ -> raise (Boom 1)) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Boom 1 -> ()
+
+let test_nested_map () =
+  (* A task that maps on the same pool must not deadlock: the inner batch's
+     caller always participates in its own chunks. *)
+  with_pool ~jobs:2 (fun pool ->
+      let out =
+        Pool.map_array pool
+          ~f:(fun _ x ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array pool ~f:(fun _ y -> y * x) [| 1; 2; 3 |]))
+          [| 1; 10 |]
+      in
+      Alcotest.(check (array int)) "nested" [| 6; 60 |] out)
+
+let test_split_ix_matches_split () =
+  let a = Rng.create ~seed:99 in
+  let children = List.init 5 (fun i -> Rng.split_ix a ~i) in
+  let b = Rng.create ~seed:99 in
+  List.iteri
+    (fun i child ->
+      let via_split = Rng.split b in
+      Alcotest.(check int)
+        (Printf.sprintf "child %d first draw" i)
+        (Rng.int via_split ~bound:1000000)
+        (Rng.int child ~bound:1000000))
+    children;
+  (* split_ix does not advance the parent *)
+  let c = Rng.create ~seed:99 and d = Rng.create ~seed:99 in
+  ignore (Rng.split_ix c ~i:3);
+  Alcotest.(check int) "parent unadvanced" (Rng.int d ~bound:1000)
+    (Rng.int c ~bound:1000);
+  match Rng.split_ix a ~i:(-1) with
+  | _ -> Alcotest.fail "negative index accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_map_seeded_jobs_invariant () =
+  let draw rng _i () = Rng.int rng ~bound:1_000_000 in
+  let run jobs =
+    with_pool ~jobs (fun pool ->
+        Par.map_seeded pool ~rng:(Rng.create ~seed:5) ~f:draw (Array.make 64 ()))
+  in
+  let seq = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d identical" jobs)
+        seq (run jobs))
+    [ 2; 4; 7 ];
+  with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int)) "tabulate agrees" seq
+        (Par.tabulate_seeded pool ~rng:(Rng.create ~seed:5) ~n:64
+           ~f:(fun rng i -> draw rng i ())))
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "more tasks than workers" `Quick test_more_tasks_than_workers;
+    Alcotest.test_case "more workers than tasks" `Quick test_more_workers_than_tasks;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "create rejects jobs < 1" `Quick test_create_rejects_bad_jobs;
+    Alcotest.test_case "with_pool cleans up on raise" `Quick
+      test_with_pool_cleans_up_on_raise;
+    Alcotest.test_case "nested map does not deadlock" `Quick test_nested_map;
+    Alcotest.test_case "split_ix matches split" `Quick test_split_ix_matches_split;
+    Alcotest.test_case "map_seeded jobs-invariant" `Quick
+      test_map_seeded_jobs_invariant;
+  ]

@@ -118,15 +118,48 @@ let test_figure_json () =
   | Ok j' -> Alcotest.(check bool) "roundtrips" true (j = j')
   | Error msg -> Alcotest.fail msg
 
+let parallel_section =
+  {
+    Run_report.jobs = 4;
+    grid_points = 21;
+    seq_s = 1.2;
+    par_s = 0.4;
+    speedup = 3.0;
+  }
+
 let test_bench_validation () =
   let good =
-    Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z"
+    Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
+      ~parallel:parallel_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
   (match Run_report.validate_bench good with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "valid document rejected: %s" msg);
+  (* A /1 document (no seed, no parallel section) must stay valid: CI's
+     accumulated perf trajectory spans the schema bump. *)
+  let v1 =
+    Json.Obj
+      [
+        ("schema", Json.Str Run_report.bench_schema_v1);
+        ("generated_at", Json.Str "2026-01-01T00:00:00Z");
+        ( "strategies",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("name", Json.Str "BL");
+                  ("total_s", Json.Float 0.1);
+                  ("response_s", Json.Float 0.05);
+                ];
+            ] );
+        ("wall", Json.Arr []);
+      ]
+  in
+  (match Run_report.validate_bench v1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /1 document rejected: %s" msg);
   let reject name j =
     match Run_report.validate_bench j with
     | Ok () -> Alcotest.failf "%s accepted" name
@@ -150,9 +183,38 @@ let test_bench_validation () =
          ("wall", Json.Arr []);
        ]);
   reject "negative time"
-    (Run_report.bench_to_json ~generated_at:"t"
+    (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
+       ~parallel:parallel_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
-       ~wall:[])
+       ~wall:[]);
+  (* /2 declared without its sections: the validator must demand them. *)
+  reject "/2 without parallel"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema);
+         ("generated_at", Json.Str "t");
+         ("seed", Json.Int 1);
+         ( "strategies",
+           Json.Arr
+             [
+               Json.Obj
+                 [
+                   ("name", Json.Str "BL");
+                   ("total_s", Json.Float 0.1);
+                   ("response_s", Json.Float 0.05);
+                 ];
+             ] );
+         ("wall", Json.Arr []);
+       ]);
+  let with_parallel fields =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  reject "parallel jobs < 1"
+    (with_parallel { parallel_section with Run_report.jobs = 0 });
+  reject "negative speedup"
+    (with_parallel { parallel_section with Run_report.speedup = -2.0 })
 
 let suite =
   [
