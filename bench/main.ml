@@ -10,13 +10,15 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/2", see Run_report) with the per-strategy
+   (schema "msdq-bench/3", see Run_report) with the per-strategy
    simulated times on the demo workload, the bechamel wall-clock
-   medians, the run's seed and a parallel section (jobs, measured
-   speedup of a calibration sweep); --out DIR picks the directory,
-   --jobs N sizes the domain pool (default: all cores; 1 = sequential),
-   --smoke runs a reduced version for CI, and --check FILE validates an
-   existing result file against the schema (both /1 and /2 accepted). *)
+   medians, the run's seed, a parallel section (jobs, measured speedup
+   of a calibration sweep) and a fault_sweep section (certain-set
+   recall and response under injected site crashes); --out DIR picks
+   the directory, --jobs N sizes the domain pool (default: all cores;
+   1 = sequential), --smoke runs a reduced version for CI, and --check
+   FILE validates an existing result file against the schema (/1, /2
+   and /3 all accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -336,6 +338,32 @@ let throughput_study () =
     [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault sweep (robustness extension): the concrete executors under site  *)
+(* crashes and lossy links — response degradation and certain-set recall. *)
+
+let fault_study ?pool ~seed ~samples () =
+  section "fault-sweep";
+  Format.printf
+    "Fault injection (extension): random recoverable crash schedules and@.\
+     5%% lossy links on the component sites. Recall = fraction of the@.\
+     fault-free certain results the degraded run still certifies; the@.\
+     fail-stop series is a client of the same faulty BL execution that@.\
+     aborts on any loss instead of degrading.@.@.";
+  let sweep = Fault_sweep.run ?pool ~seed ~samples () in
+  Format.printf "%-10s" "series";
+  Array.iter (fun a -> Format.printf " %8s" (Printf.sprintf "a=%.2f" a)) sweep.Fault_sweep.xs;
+  Format.printf "@.";
+  List.iter
+    (fun (ser : Fault_sweep.series) ->
+      Format.printf "%-10s" (ser.Fault_sweep.label ^ " rec");
+      Array.iter (fun r -> Format.printf " %8.3f" r) ser.Fault_sweep.recalls;
+      Format.printf "@.%-10s" (ser.Fault_sweep.label ^ " rsp");
+      Array.iter (fun r -> Format.printf " %7.4fs" r) ser.Fault_sweep.responses;
+      Format.printf "@.")
+    sweep.Fault_sweep.series;
+  sweep
+
+(* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
 let strategy_times () =
@@ -446,10 +474,10 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_bench_json ~out ~seed ~parallel ~wall =
+let write_bench_json ~out ~seed ~parallel ~fault_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
-    Run_report.bench_to_json ~generated_at ~seed ~parallel
+    Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
       ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
@@ -543,8 +571,9 @@ let () =
          microbench only.@.";
       tables ();
       let parallel = calibrate ?pool ~seed:!seed ~samples:40 () in
+      let fault_sweep = fault_study ?pool ~seed:!seed ~samples:3 () in
       let wall = microbenches ~quota:0.05 () in
-      write_bench_json ~out:!out ~seed:!seed ~parallel ~wall
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -555,7 +584,8 @@ let () =
       straggler_study ();
       throughput_study ();
       let parallel = calibrate ?pool ~seed:!seed ~samples:!samples () in
+      let fault_sweep = fault_study ?pool ~seed:!seed ~samples:12 () in
       let wall = microbenches ~quota:0.4 () in
-      write_bench_json ~out:!out ~seed:!seed ~parallel ~wall;
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep ~wall;
       Format.printf "@.done.@."
     end

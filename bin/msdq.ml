@@ -83,7 +83,6 @@ let run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
       Strategy.default_options with
       Strategy.deep_certify = deep;
       multi_valued = multi;
-      trace = gantt;
     }
   in
   let runs =
@@ -235,7 +234,80 @@ let query_cmd =
 
 (* ---- experiment ---- *)
 
-let experiment which samples seed jobs csv chart json progress =
+let pp_fault_sweep ppf (sweep : Fault_sweep.sweep) =
+  Format.fprintf ppf "@[<v>%s — %s@,(%d samples per level, seed %d)@,@,"
+    sweep.Fault_sweep.id sweep.Fault_sweep.title sweep.Fault_sweep.samples
+    sweep.Fault_sweep.seed;
+  Format.fprintf ppf "%-16s" sweep.Fault_sweep.xlabel;
+  Array.iter
+    (fun a -> Format.fprintf ppf " %9s" (Printf.sprintf "%.2f" a))
+    sweep.Fault_sweep.xs;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (ser : Fault_sweep.series) ->
+      Format.fprintf ppf "%-16s" (ser.Fault_sweep.label ^ " recall");
+      Array.iter (fun r -> Format.fprintf ppf " %9.3f" r) ser.Fault_sweep.recalls;
+      Format.fprintf ppf "@,%-16s" (ser.Fault_sweep.label ^ " response");
+      Array.iter
+        (fun r -> Format.fprintf ppf " %8.4fs" r)
+        ser.Fault_sweep.responses;
+      Format.fprintf ppf "@,")
+    sweep.Fault_sweep.series;
+  Format.fprintf ppf "@]"
+
+let fault_sweep_csv (sweep : Fault_sweep.sweep) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "availability";
+  List.iter
+    (fun (ser : Fault_sweep.series) ->
+      Buffer.add_string b
+        (Printf.sprintf ",%s_recall,%s_response_s" ser.Fault_sweep.label
+           ser.Fault_sweep.label))
+    sweep.Fault_sweep.series;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i a ->
+      Buffer.add_string b (Printf.sprintf "%g" a);
+      List.iter
+        (fun (ser : Fault_sweep.series) ->
+          Buffer.add_string b
+            (Printf.sprintf ",%g,%g"
+               ser.Fault_sweep.recalls.(i)
+               ser.Fault_sweep.responses.(i)))
+        sweep.Fault_sweep.series;
+      Buffer.add_char b '\n')
+    sweep.Fault_sweep.xs;
+  Buffer.contents b
+
+let run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~csv ~json () =
+  (* The figure sweeps default to the paper's 500 draws per point; a
+     concrete-execution sweep at that scale would run six full strategy
+     executions per draw, so its default is smaller. An explicit --samples
+     below the figure default is honoured. *)
+  let samples = if samples = 500 then 12 else samples in
+  let sweep = Fault_sweep.run ?pool ~registry ?progress ~samples ~seed () in
+  if not json then Format.printf "%a@." pp_fault_sweep sweep;
+  (match csv with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (sweep.Fault_sweep.id ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (fault_sweep_csv sweep);
+    close_out oc;
+    if not json then Format.printf "wrote %s@." path);
+  if json then begin
+    let doc =
+      Msdq_obs.Json.Obj
+        [
+          ("fault_sweep", Run_report.fault_sweep_to_json sweep);
+          ("registry", Msdq_obs.Metrics.to_json registry);
+        ]
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
+  `Ok ()
+
+let experiment which fault_sweep samples seed jobs csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -256,6 +328,9 @@ let experiment which samples seed jobs csv chart json progress =
   let pool = if jobs > 1 then Some (Msdq_par.Pool.create ~jobs ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Msdq_par.Pool.shutdown pool)
   @@ fun () ->
+  if fault_sweep || String.equal which "fault-sweep" then
+    run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~csv ~json ()
+  else
   let figures =
     match which with
     | "fig9" -> [ Figures.fig9 ?pool ~registry ?progress ~samples ~seed () ]
@@ -312,7 +387,20 @@ let experiment_cmd =
       value
       & pos 0 string "all"
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"fig9, fig10, fig11, ablation-signatures, ablation-checks or all.")
+          ~doc:
+            "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
+             fault-sweep or all.")
+  in
+  let fault_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "fault-sweep" ]
+          ~doc:
+            "Run the robustness sweep instead of the figures: the concrete \
+             CA/BL/PL executors under random site crashes and lossy links, \
+             reporting response time and certain-set recall per availability \
+             level against a hard-failing baseline. Defaults to 12 samples \
+             per level; $(b,--samples) overrides.")
   in
   let csv =
     Arg.(
@@ -333,8 +421,8 @@ let experiment_cmd =
     with_logs
       Term.(
         ret
-          (const experiment $ which $ samples_arg $ seed_arg $ jobs $ csv
-         $ chart $ json_arg $ progress_arg))
+          (const experiment $ which $ fault_sweep_flag $ samples_arg $ seed_arg
+         $ jobs $ csv $ chart $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -80,7 +80,7 @@ let () =
   Format.printf "planner recommends %s@.@." (Strategy.to_string chosen);
 
   (* 3. Run it and grade the maybes. *)
-  let options = { Strategy.default_options with Strategy.trace = true } in
+  let options = Strategy.default_options in
   let answer, metrics = Strategy.run ~options chosen fed analysis in
   Format.printf "%a@." Answer.pp answer;
   let graded = Probabilistic.annotate fed analysis answer in

@@ -4,6 +4,7 @@ open Msdq_fed
 open Msdq_query
 module Metrics = Msdq_obs.Metrics
 module Tracer = Msdq_obs.Tracer
+module Fault = Msdq_fault.Fault
 
 let log_src = Logs.Src.create "msdq.exec" ~doc:"query execution strategies"
 
@@ -33,12 +34,17 @@ let of_string s =
   | "CF" -> Some Cf
   | _ -> None
 
+type retry = { timeout : Time.t; max_attempts : int; backoff : float }
+
+let default_retry = { timeout = Time.ms 1.0; max_attempts = 3; backoff = 2.0 }
+
 type options = {
   cost : Cost.t;
   deep_certify : bool;
   multi_valued : bool;
   site_speeds : (int * float) list;
-  trace : bool;
+  fault : Fault.schedule;
+  retry : retry;
 }
 
 let default_options =
@@ -47,7 +53,66 @@ let default_options =
     deep_certify = false;
     multi_valued = false;
     site_speeds = [];
-    trace = false;
+    fault = Fault.none;
+    retry = default_retry;
+  }
+
+(* Eager, readable configuration validation: a bad [site_speeds] entry or a
+   malformed fault schedule is reported before any simulated work starts,
+   naming the offending site, instead of surfacing later as an engine error
+   mid-run. *)
+let validate_options options =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (site, factor) ->
+      if site < 0 then
+        invalid_arg
+          (Printf.sprintf "Strategy: site_speeds: negative site id %d" site);
+      if Hashtbl.mem seen site then
+        invalid_arg
+          (Printf.sprintf "Strategy: site_speeds: duplicate site id %d" site);
+      Hashtbl.add seen site ();
+      if not (Float.is_finite factor) || factor <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Strategy: site_speeds: site %d has factor %g, must be positive \
+              and finite"
+             site factor))
+    options.site_speeds;
+  Fault.validate options.fault;
+  if options.retry.max_attempts < 1 then
+    invalid_arg "Strategy: retry.max_attempts must be >= 1";
+  if not (Time.is_finite options.retry.timeout)
+     || Time.compare options.retry.timeout Time.zero < 0
+  then invalid_arg "Strategy: retry.timeout must be non-negative and finite";
+  if Float.is_nan options.retry.backoff || options.retry.backoff < 1.0 then
+    invalid_arg "Strategy: retry.backoff must be >= 1"
+
+type availability = {
+  faults_active : bool;
+  failed_sites : int list;
+  drops : int;
+  retries : int;
+  checks_abandoned : int;
+  certain_fault_free : int;
+  demoted : int;
+  resurrected : int;
+  partial : bool;
+  degradation_ratio : float;
+}
+
+let no_faults_availability =
+  {
+    faults_active = false;
+    failed_sites = [];
+    drops = 0;
+    retries = 0;
+    checks_abandoned = 0;
+    certain_fault_free = 0;
+    demoted = 0;
+    resurrected = 0;
+    partial = false;
+    degradation_ratio = 0.0;
   }
 
 type metrics = {
@@ -68,6 +133,7 @@ type metrics = {
   trace : Trace.t;
   registry : Metrics.t;
   host_spans : Tracer.span list;
+  availability : availability;
 }
 
 (* Accumulator threaded through graph construction: a per-run metrics
@@ -97,12 +163,12 @@ let cpu_task e acc c ~site ~phase ?db ~label ~units ?deps () =
     ~attrs:(task_attrs acc ~phase ?db ())
     ~duration:(Cost.cpu c ~units) ()
 
-let transfer e acc c ~src ~dst ~phase ?db ~label ~bytes ?deps () =
+let transfer e acc c ?on_outcome ~src ~dst ~phase ?db ~label ~bytes ?deps () =
   if src <> dst && bytes > 0 then begin
     Metrics.inc (ctr acc ~phase "msdq_bytes_shipped_total") bytes;
     Metrics.inc (ctr acc ~phase "msdq_messages_total") 1
   end;
-  Engine.transfer e ?deps ~src ~dst ~label
+  Engine.transfer e ?deps ?on_outcome ~src ~dst ~label
     ~attrs:(task_attrs acc ~phase ?db ())
     ~duration:(Cost.net c ~bytes) ()
 
@@ -120,16 +186,25 @@ let apply_site_speeds e speeds =
       Engine.set_speed e ~site ~kind:Resource.Disk ~factor)
     speeds
 
+(* The outcome of a query once its simulated run has finished. Fault-free
+   builders know it at build time; fault-aware builders only learn which
+   transfers were delivered while the engine runs, so the record is produced
+   by a closure evaluated after [Engine.run]. *)
+type finished = {
+  f_answer : Answer.t;
+  f_check_requests : int;
+  f_checks_filtered : int;
+  f_promoted : int;
+  f_eliminated : int;
+  f_conflicts : int;
+  f_availability : availability;
+}
+
 (* A query's graph built into a (possibly shared) engine. *)
 type built_query = {
-  answer : Answer.t;
   acc : acc;
   fence : Engine.handle;  (* completes when the answer is assembled *)
-  check_requests : int;
-  checks_filtered : int;
-  promoted : int;
-  eliminated : int;
-  conflicts : int;
+  finish : unit -> finished;  (* call only after the engine has run *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -176,14 +251,19 @@ let build_ca e ?after ~acc ~tracer opts fed analysis =
       ~label:"answer" ()
   in
   {
-    answer = outcome.Ca.answer;
     acc;
     fence;
-    check_requests = 0;
-    checks_filtered = 0;
-    promoted = 0;
-    eliminated = 0;
-    conflicts = 0;
+    finish =
+      (fun () ->
+        {
+          f_answer = outcome.Ca.answer;
+          f_check_requests = 0;
+          f_checks_filtered = 0;
+          f_promoted = 0;
+          f_eliminated = 0;
+          f_conflicts = 0;
+          f_availability = no_faults_availability;
+        });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -353,14 +433,19 @@ let build_cf e ?after ~acc ~tracer opts fed analysis =
       ~label:"answer" ()
   in
   {
-    answer = outcome.Ca.answer;
     acc;
     fence;
-    check_requests = 0;
-    checks_filtered = 0;
-    promoted = 0;
-    eliminated = lo.Certify.eliminated;
-    conflicts = lo.Certify.conflicts;
+    finish =
+      (fun () ->
+        {
+          f_answer = outcome.Ca.answer;
+          f_check_requests = 0;
+          f_checks_filtered = 0;
+          f_promoted = 0;
+          f_eliminated = lo.Certify.eliminated;
+          f_conflicts = lo.Certify.conflicts;
+          f_availability = no_faults_availability;
+        });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -636,14 +721,734 @@ let build_localized e ?after ~acc ~tracer opts ~parallel ?(checks = true)
        "msdq_checks_filtered_total")
     checks_filtered;
   {
-    answer;
     acc;
     fence;
+    finish =
+      (fun () ->
+        {
+          f_answer = answer;
+          f_check_requests = check_requests;
+          f_checks_filtered = checks_filtered;
+          f_promoted = certified.Certify.promoted;
+          f_eliminated = certified.Certify.eliminated;
+          f_conflicts = certified.Certify.conflicts;
+          f_availability = no_faults_availability;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault-aware execution.
+
+   When a fault schedule is installed, transfers can be dropped by the
+   engine's judge (destination down at the would-be finish time, or the
+   lossy-link draw fired). The builders below model what the strategies do
+   about it:
+
+   - Every lost attempt charges the simulated clock: the sender waits out a
+     timeout (grown by the retry policy's backoff, capped) and retransmits a
+     fresh transfer task carrying the same bytes.
+   - Check round trips (request shipping and verdict return) retry at most
+     [retry.max_attempts] times, then the batch is abandoned: its verdicts
+     never reach the global site and the affected items are demoted to
+     uncertified maybe results with degraded provenance — LO semantics for
+     exactly those items.
+   - Result and extent shipments are critical: without them there is no
+     answer at all, so they additionally wait out a destination outage (the
+     federation directory knows site status) and only give up when the
+     destination never recovers or a safety cap trips. An abandoned critical
+     transfer turns the whole run into a partial answer: every row is
+     reported as an uncertified maybe result.
+
+   Because drop decisions are a pure hash of the schedule and the transfer's
+   (destination, label, start), retransmissions get distinct labels and the
+   whole execution stays deterministic. *)
+
+type fault_ctx = {
+  sched : Fault.schedule;
+  fretry : retry;
+  mutable f_drops : int;
+  mutable f_retries : int;
+  mutable f_abandoned : int;  (* check requests whose round trip was given up *)
+  mutable f_partial : bool;  (* a critical transfer was abandoned *)
+}
+
+let new_fault_ctx options =
+  {
+    sched = options.fault;
+    fretry = options.retry;
+    f_drops = 0;
+    f_retries = 0;
+    f_abandoned = 0;
+    f_partial = false;
+  }
+
+(* Safety cap on critical retry chains: recoverable schedules converge long
+   before this, and a permanent outage is detected directly. *)
+let fault_attempt_cap = 64
+
+(* A failable transfer with retransmission. Returns a promise that resolves
+   when the chain settles; [k] runs exactly once with whether the payload was
+   ultimately delivered, just before the promise resolves. Attempt [i > 1]
+   gets a distinct label so its drop draw is independent of attempt 1's. *)
+let retrying_transfer e acc c fx ~critical ~src ~dst ~phase ?db ~label ~bytes
+    ?(deps = []) ~k () =
+  let settled = Engine.promise e ~label:(label ^ ":settled") in
+  let finish delivered =
+    if (not delivered) && critical then fx.f_partial <- true;
+    k delivered;
+    Engine.resolve e settled
+  in
+  let cap = if critical then fault_attempt_cap else fx.fretry.max_attempts in
+  let backoff_wait i =
+    let exp = Float.min (float_of_int (i - 1)) 6.0 in
+    Time.us (Time.to_us fx.fretry.timeout *. (fx.fretry.backoff ** exp))
+  in
+  let rec attempt i ~deps =
+    let alabel = if i = 1 then label else Printf.sprintf "%s~retry%d" label i in
+    ignore
+      (transfer e acc c ~src ~dst ~phase ?db ~label:alabel ~bytes ~deps
+         ~on_outcome:(fun outcome ->
+           match outcome with
+           | Engine.Delivered -> finish true
+           | Engine.Dropped _ ->
+             fx.f_drops <- fx.f_drops + 1;
+             if i >= cap then finish false
+             else begin
+               let now = Engine.now e in
+               let wait =
+                 if critical && Fault.site_down fx.sched ~site:dst ~at:now then
+                   (* Wait for the destination to come back rather than
+                      hammering a site known to be down. *)
+                   match Fault.next_up fx.sched ~site:dst ~at:now with
+                   | None -> None  (* it never does *)
+                   | Some up ->
+                     Some (Time.add (Time.sub up now) fx.fretry.timeout)
+                 else Some (backoff_wait i)
+               in
+               match wait with
+               | None -> finish false
+               | Some wait ->
+                 fx.f_retries <- fx.f_retries + 1;
+                 let d =
+                   Engine.delay e ~label:(label ^ ":timeout") ~duration:wait ()
+                 in
+                 attempt (i + 1) ~deps:[ d ]
+             end)
+         ())
+  in
+  attempt 1 ~deps;
+  settled
+
+let availability_of fx ~ref_answer ~final_answer =
+  let refc = Answer.goids ref_answer Answer.Certain in
+  let refm = Answer.goids ref_answer Answer.Maybe in
+  let demoted =
+    Oid.Goid.Set.cardinal
+      (Oid.Goid.Set.diff refc (Answer.goids final_answer Answer.Certain))
+  in
+  let resurrected =
+    Oid.Goid.Set.cardinal
+      (Oid.Goid.Set.diff
+         (Answer.goids final_answer Answer.Maybe)
+         (Oid.Goid.Set.union refc refm))
+  in
+  let n_ref = Oid.Goid.Set.cardinal refc in
+  {
+    faults_active = true;
+    failed_sites = Fault.failed_sites fx.sched;
+    drops = fx.f_drops;
+    retries = fx.f_retries;
+    checks_abandoned = fx.f_abandoned;
+    certain_fault_free = n_ref;
+    demoted;
+    resurrected;
+    partial = fx.f_partial;
+    degradation_ratio =
+      (if n_ref = 0 then 0.0 else float_of_int demoted /. float_of_int n_ref);
+  }
+
+(* CA under faults: the extent shipments are all critical. The answer is
+   computed over host data exactly as fault-free; if any shipment was
+   abandoned the run degrades to a partial answer with every row demoted. *)
+let build_ca_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let involved = Involved.compute (Global_schema.schema gs) analysis in
+  let outcome = Ca.run ~multi_valued:opts.multi_valued ~tracer fed analysis in
+  let gsite = Federation.global_site fed in
+  let xfers =
+    List.map
+      (fun (db_name, db) ->
+        let bytes = Wire.projected_extent_bytes c involved gs ~db_name ~db in
+        let site = Federation.site_of fed db_name in
+        let read =
+          disk_task e acc c ~site ~phase:"O" ~db:db_name ~label:"read-extents"
+            ~bytes ~deps:start_deps ()
+        in
+        retrying_transfer e acc c fx ~critical:true ~src:site ~dst:gsite
+          ~phase:"O" ~db:db_name ~label:"ship-objects" ~bytes ~deps:[ read ]
+          ~k:(fun _ -> ())
+          ())
+      (Federation.databases fed)
+  in
+  let m = outcome.Ca.materialize_stats in
+  let integrate_units =
+    m.Materialize.source_objects + m.Materialize.fields_merged
+    + outcome.Ca.goid_lookups
+  in
+  bump_goid acc ~phase:"I" outcome.Ca.goid_lookups;
+  let integrate =
+    cpu_task e acc c ~site:gsite ~phase:"I" ~label:"integrate"
+      ~units:integrate_units ~deps:xfers ()
+  in
+  let eval =
+    cpu_task e acc c ~site:gsite ~phase:"P" ~label:"global-eval"
+      ~units:(units_of_work outcome.Ca.eval_work)
+      ~deps:[ integrate ] ()
+  in
+  let fence =
+    Engine.fence e ~deps:[ eval ]
+      ~attrs:[ ("strategy", acc.sname) ]
+      ~label:"answer" ()
+  in
+  {
+    acc;
+    fence;
+    finish =
+      (fun () ->
+        let ref_answer = outcome.Ca.answer in
+        let final =
+          if fx.f_partial then
+            Answer.demote ref_answer
+              ~goids:(Answer.goids ref_answer Answer.Certain)
+          else ref_answer
+        in
+        {
+          f_answer = final;
+          f_check_requests = 0;
+          f_checks_filtered = 0;
+          f_promoted = 0;
+          f_eliminated = 0;
+          f_conflicts = 0;
+          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+        });
+  }
+
+(* CF under faults: the same two-round graph as fault-free, with every
+   transfer critical (a lost GOid list or candidate broadcast is as fatal as
+   a lost extent). *)
+let build_cf_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let schema = Global_schema.schema gs in
+  let involved = Involved.compute schema analysis in
+  let gsite = Federation.global_site fed in
+  let root = analysis.Analysis.range_class in
+  let plans = Localize.plan fed analysis in
+  let results =
+    List.map
+      (fun (p : Localize.db_plan) ->
+        Local_eval.run ~tracer fed analysis ~db:p.Localize.db)
+      plans
+  in
+  let lo =
+    Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis ~results
+      ~verdicts:[]
+  in
+  let candidates = Answer.goids lo.Certify.answer Answer.Certain in
+  let candidates =
+    Oid.Goid.Set.union candidates (Answer.goids lo.Certify.answer Answer.Maybe)
+  in
+  let n_candidates = Oid.Goid.Set.cardinal candidates in
+  let outcome = Ca.run ~multi_valued:opts.multi_valued ~tracer fed analysis in
+  let width_root db_name =
+    Involved.local_projection_width involved gs ~db:db_name ~gcls:root
+  in
+  let round1 =
+    List.map2
+      (fun (p : Localize.db_plan) (r : Local_result.t) ->
+        let db_name = p.Localize.db in
+        let site = Federation.site_of fed db_name in
+        let touched = Touch.count fed analysis ~db:db_name in
+        let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
+        let read =
+          disk_task e acc c ~site ~phase:"P" ~db:db_name ~label:"read-extents"
+            ~bytes:read_bytes ~deps:start_deps ()
+        in
+        let eval =
+          cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-filter"
+            ~units:(units_of_work r.Local_result.work + List.length r.Local_result.rows)
+            ~deps:[ read ] ()
+        in
+        let ship =
+          retrying_transfer e acc c fx ~critical:true ~src:site ~dst:gsite
+            ~phase:"O" ~db:db_name ~label:"ship-goids"
+            ~bytes:(List.length r.Local_result.rows * c.Cost.s_goid)
+            ~deps:[ eval ]
+            ~k:(fun _ -> ())
+            ()
+        in
+        (db_name, r, ship))
+      plans results
+  in
+  bump_goid acc ~phase:"O" lo.Certify.goid_lookups;
+  let intersect =
+    cpu_task e acc c ~site:gsite ~phase:"O" ~label:"intersect"
+      ~units:(units_of_work lo.Certify.work + lo.Certify.goid_lookups)
+      ~deps:(List.map (fun (_, _, ship) -> ship) round1) ()
+  in
+  let xfers =
+    List.map
+      (fun (db_name, db) ->
+        let site = Federation.site_of fed db_name in
+        let bcast =
+          retrying_transfer e acc c fx ~critical:true ~src:gsite ~dst:site
+            ~phase:"O" ~db:db_name ~label:"ship-candidates"
+            ~bytes:(n_candidates * c.Cost.s_goid) ~deps:[ intersect ]
+            ~k:(fun _ -> ())
+            ()
+        in
+        let mine =
+          match List.find_opt (fun (n, _, _) -> String.equal n db_name) round1 with
+          | Some (_, r, _) ->
+            List.length
+              (List.filter
+                 (fun (row : Local_result.row) ->
+                   Oid.Goid.Set.mem row.Local_result.goid candidates)
+                 r.Local_result.rows)
+          | None -> 0
+        in
+        let root_bytes = mine * (c.Cost.s_loid + (width_root db_name * c.Cost.s_a)) in
+        let touched =
+          match Global_schema.constituent_of gs ~gcls:root ~db:db_name with
+          | Some _ -> Touch.count fed analysis ~db:db_name
+          | None -> []
+        in
+        let branch_bytes =
+          List.fold_left
+            (fun bytes gcls ->
+              if String.equal gcls root then bytes
+              else
+                match Global_schema.constituent_of gs ~gcls ~db:db_name with
+                | None -> bytes
+                | Some cls ->
+                  let width =
+                    Involved.local_projection_width involved gs ~db:db_name ~gcls
+                  in
+                  let count =
+                    match List.assoc_opt gcls touched with
+                    | Some t -> min t (max mine 1)
+                    | None -> Database.extent_size db cls
+                  in
+                  bytes + (count * (c.Cost.s_loid + (width * c.Cost.s_a))))
+            0 (Involved.classes involved)
+        in
+        let bytes = root_bytes + branch_bytes in
+        let read =
+          disk_task e acc c ~site ~phase:"O" ~db:db_name
+            ~label:"read-candidates" ~bytes ~deps:[ bcast ] ()
+        in
+        retrying_transfer e acc c fx ~critical:true ~src:site ~dst:gsite
+          ~phase:"O" ~db:db_name ~label:"ship-objects" ~bytes ~deps:[ read ]
+          ~k:(fun _ -> ())
+          ())
+      (Federation.databases fed)
+  in
+  let m = outcome.Ca.materialize_stats in
+  let root_entities =
+    max 1
+      (List.length (Goid_table.goids_of_class (Federation.goids fed) ~gcls:root))
+  in
+  let scale n = n * n_candidates / root_entities in
+  let integrate_units =
+    m.Materialize.source_objects + m.Materialize.fields_merged
+    + outcome.Ca.goid_lookups
+  in
+  bump_goid acc ~phase:"I" outcome.Ca.goid_lookups;
+  let integrate =
+    cpu_task e acc c ~site:gsite ~phase:"I" ~label:"integrate"
+      ~units:integrate_units ~deps:xfers ()
+  in
+  let eval =
+    cpu_task e acc c ~site:gsite ~phase:"P" ~label:"global-eval"
+      ~units:(scale (units_of_work outcome.Ca.eval_work))
+      ~deps:[ integrate ] ()
+  in
+  let fence =
+    Engine.fence e ~deps:[ eval ]
+      ~attrs:[ ("strategy", acc.sname) ]
+      ~label:"answer" ()
+  in
+  {
+    acc;
+    fence;
+    finish =
+      (fun () ->
+        let ref_answer = outcome.Ca.answer in
+        let final =
+          if fx.f_partial then
+            Answer.demote ref_answer
+              ~goids:(Answer.goids ref_answer Answer.Certain)
+          else ref_answer
+        in
+        {
+          f_answer = final;
+          f_check_requests = 0;
+          f_checks_filtered = 0;
+          f_promoted = 0;
+          f_eliminated = lo.Certify.eliminated;
+          f_conflicts = lo.Certify.conflicts;
+          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+        });
+  }
+
+(* Localized strategies under faults. The local phases and check serving are
+   computed host-side exactly as fault-free, but certification only sees the
+   verdicts whose round trip actually survived: requests out and verdicts
+   back use the bounded retry policy, result shipments are critical. Since
+   which batches survive depends on simulated timing, the certify task is
+   submitted dynamically once every chain has settled, and the final answer
+   fence is a promise resolved when certification (and deep resolution, if
+   enabled) completes. *)
+let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
+    ?(checks = true) ~signatures fed analysis =
+  let c = opts.cost in
+  let start_deps = match after with None -> [] | Some h -> [ h ] in
+  let gs = Federation.global_schema fed in
+  let involved = Involved.compute (Global_schema.schema gs) analysis in
+  let plans = Localize.plan fed analysis in
+  let signatures = if signatures then Some (Sig_catalog.build fed) else None in
+  let phases =
+    compute_local_phases ~parallel ~checks ~signatures ~tracer fed analysis
+      plans
+  in
+  let batches : (string * string, Checks.request list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let batch_order = ref [] in
+  List.iter
+    (fun ph ->
+      List.iter
+        (fun (r : Checks.request) ->
+          let key = (r.Checks.origin_db, r.Checks.target_db) in
+          match Hashtbl.find_opt batches key with
+          | Some l -> l := r :: !l
+          | None ->
+            Hashtbl.add batches key (ref [ r ]);
+            batch_order := key :: !batch_order)
+        ph.built.Checks.requests)
+    phases;
+  let batch_order = List.rev !batch_order in
+  let served =
+    List.map
+      (fun ((_, target) as key) ->
+        let reqs = List.rev !(Hashtbl.find batches key) in
+        (key, reqs, Checks.serve ~tracer fed ~db:target reqs))
+      batch_order
+  in
+  let local_verdicts =
+    List.concat_map (fun ph -> ph.built.Checks.local_verdicts) phases
+  in
+  let all_verdicts =
+    local_verdicts @ List.concat_map (fun (_, _, s) -> s.Checks.verdicts) served
+  in
+  let results = List.map (fun ph -> ph.result) phases in
+  (* The fault-free reference: what full delivery would have certified. The
+     availability report and the degradation invariants are stated against
+     it. *)
+  let certified_ref =
+    Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis ~results
+      ~verdicts:all_verdicts
+  in
+  let ref_answer =
+    if opts.deep_certify then
+      (Deep.resolve ~multi_valued:opts.multi_valued ~tracer fed analysis
+         certified_ref.Certify.answer)
+        .Deep.answer
+    else certified_ref.Certify.answer
+  in
+  (* ---- Replay onto the simulator, failure-aware. ---- *)
+  let gsite = Federation.global_site fed in
+  let n_targets = List.length analysis.Analysis.targets in
+  let dispatch_tasks : (string, Engine.handle) Hashtbl.t = Hashtbl.create 8 in
+  let settle_deps = ref [] in
+  List.iter
+    (fun ph ->
+      let db_name = ph.plan.Localize.db in
+      let site = Federation.site_of fed db_name in
+      let touched = Touch.count fed analysis ~db:db_name in
+      let read_bytes = Wire.localized_read_bytes c involved gs ~db_name ~touched in
+      let read =
+        disk_task e acc c ~site ~phase:"P" ~db:db_name ~label:"read-extents"
+          ~bytes:read_bytes ~deps:start_deps ()
+      in
+      bump_goid acc ~phase:"O" ph.built.Checks.goid_lookups;
+      let eval_units =
+        units_of_work ph.result.Local_result.work
+        + List.length ph.result.Local_result.rows
+      in
+      let dispatch_units =
+        ph.built.Checks.goid_lookups + units_of_work ph.built.Checks.work
+      in
+      let dispatch =
+        if parallel then begin
+          let probe_units =
+            match ph.probe_work with Some w -> units_of_work w | None -> 0
+          in
+          let probe =
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name ~label:"probe"
+              ~units:probe_units ~deps:[ read ] ()
+          in
+          let dispatch =
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name
+              ~label:"dispatch-checks" ~units:dispatch_units ~deps:[ probe ] ()
+          in
+          let eval =
+            cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-eval"
+              ~units:eval_units ~deps:[ dispatch ] ()
+          in
+          Hashtbl.replace dispatch_tasks db_name dispatch;
+          eval
+        end
+        else begin
+          let eval =
+            cpu_task e acc c ~site ~phase:"P" ~db:db_name ~label:"local-eval"
+              ~units:eval_units ~deps:[ read ] ()
+          in
+          let dispatch =
+            cpu_task e acc c ~site ~phase:"O" ~db:db_name
+              ~label:"dispatch-checks" ~units:dispatch_units ~deps:[ eval ] ()
+          in
+          Hashtbl.replace dispatch_tasks db_name dispatch;
+          dispatch
+        end
+      in
+      let results_bytes =
+        Wire.results_bytes c ~n_targets ph.result
+        + List.length ph.built.Checks.local_verdicts * Wire.verdict_bytes c
+      in
+      let settled =
+        retrying_transfer e acc c fx ~critical:true ~src:site ~dst:gsite
+          ~phase:"I" ~db:db_name ~label:"ship-results" ~bytes:results_bytes
+          ~deps:[ dispatch ]
+          ~k:(fun _ -> ())
+          ()
+      in
+      settle_deps := settled :: !settle_deps)
+    phases;
+  (* Check round trips. A batch abandoned at either leg loses its verdicts;
+     a delivered request batch is served at the target (reads and evaluation
+     are unaffected by link faults) and its verdicts travel back under the
+     same bounded policy. *)
+  let n_batches = List.length served in
+  let batch_delivered = Array.make (max 1 n_batches) false in
+  List.iteri
+    (fun bi ((origin, target), reqs, (s : Checks.served)) ->
+      let osite = Federation.site_of fed origin in
+      let tsite = Federation.site_of fed target in
+      let dispatch = Hashtbl.find dispatch_tasks origin in
+      let batch_settled =
+        Engine.promise e ~label:(Printf.sprintf "checks:%s->%s" origin target)
+      in
+      let abandon () =
+        fx.f_abandoned <- fx.f_abandoned + List.length reqs;
+        Engine.resolve e batch_settled
+      in
+      ignore
+        (retrying_transfer e acc c fx ~critical:false ~src:osite ~dst:tsite
+           ~phase:"O" ~db:target ~label:"ship-requests"
+           ~bytes:(Wire.requests_bytes c reqs) ~deps:[ dispatch ]
+           ~k:(fun delivered ->
+             if not delivered then abandon ()
+             else begin
+               let read =
+                 disk_task e acc c ~site:tsite ~phase:"O" ~db:target
+                   ~label:"check-read" ~bytes:(Wire.check_read_bytes c reqs) ()
+               in
+               let eval =
+                 cpu_task e acc c ~site:tsite ~phase:"O" ~db:target
+                   ~label:"check-eval" ~units:(units_of_work s.Checks.work)
+                   ~deps:[ read ] ()
+               in
+               ignore
+                 (retrying_transfer e acc c fx ~critical:false ~src:tsite
+                    ~dst:gsite ~phase:"O" ~db:target ~label:"ship-verdicts"
+                    ~bytes:(List.length s.Checks.verdicts * Wire.verdict_bytes c)
+                    ~deps:[ eval ]
+                    ~k:(fun delivered ->
+                      if delivered then begin
+                        batch_delivered.(bi) <- true;
+                        Engine.resolve e batch_settled
+                      end
+                      else abandon ())
+                    ())
+             end)
+           ());
+      settle_deps := batch_settled :: !settle_deps)
+    served;
+  (* Certification waits for every chain to settle; only then is the set of
+     delivered verdicts known, so the certify task (and the deep-resolution
+     round, if enabled) is submitted from the join's completion callback. *)
+  let certified_faulty = ref None in
+  let deep_faulty = ref None in
+  let answer_fence = Engine.promise e ~label:"answer" in
+  let finish_after last =
+    ignore
+      (Engine.fence e ~deps:[ last ]
+         ~attrs:[ ("strategy", acc.sname) ]
+         ~label:"answer-ready"
+         ~on_complete:(fun () -> Engine.resolve e answer_fence)
+         ())
+  in
+  ignore
+    (Engine.fence e
+       ~deps:(List.rev !settle_deps)
+       ~label:"collect"
+       ~on_complete:(fun () ->
+         let delivered =
+           local_verdicts
+           @ List.concat
+               (List.mapi
+                  (fun bi (_, _, (s : Checks.served)) ->
+                    if batch_delivered.(bi) then s.Checks.verdicts else [])
+                  served)
+         in
+         let cf =
+           Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis
+             ~results ~verdicts:delivered
+         in
+         certified_faulty := Some cf;
+         bump_goid acc ~phase:"I" cf.Certify.goid_lookups;
+         let certify_task =
+           cpu_task e acc c ~site:gsite ~phase:"I" ~label:"certify"
+             ~units:(units_of_work cf.Certify.work + cf.Certify.goid_lookups)
+             ()
+         in
+         if not opts.deep_certify then finish_after certify_task
+         else begin
+           let deep =
+             Deep.resolve ~multi_valued:opts.multi_valued ~tracer fed analysis
+               cf.Certify.answer
+           in
+           deep_faulty := Some deep;
+           let residual = deep.Deep.residual in
+           let per_entity_bytes =
+             List.fold_left
+               (fun bytes gcls ->
+                 bytes + c.Cost.s_loid
+                 + (List.length (Involved.attrs_of_class involved gcls) * c.Cost.s_a))
+               0 (Involved.classes involved)
+           in
+           let deep_deps =
+             List.map
+               (fun (db_name, _) ->
+                 let site = Federation.site_of fed db_name in
+                 let bytes = residual * per_entity_bytes in
+                 let read =
+                   disk_task e acc c ~site ~phase:"I" ~db:db_name
+                     ~label:"deep-read" ~bytes ~deps:[ certify_task ] ()
+                 in
+                 retrying_transfer e acc c fx ~critical:true ~src:site
+                   ~dst:gsite ~phase:"I" ~db:db_name ~label:"deep-ship" ~bytes
+                   ~deps:[ read ]
+                   ~k:(fun _ -> ())
+                   ())
+               (Federation.databases fed)
+           in
+           let deep_task =
+             cpu_task e acc c ~site:gsite ~phase:"I" ~label:"deep-certify"
+               ~units:(units_of_work deep.Deep.work) ~deps:deep_deps ()
+           in
+           finish_after deep_task
+         end)
+       ());
+  let check_requests =
+    List.fold_left (fun n ph -> n + List.length ph.built.Checks.requests) 0 phases
+  in
+  let checks_filtered =
+    List.fold_left (fun n ph -> n + ph.built.Checks.filtered) 0 phases
+  in
+  Metrics.inc
+    (Metrics.counter acc.reg
+       ~labels:[ ("strategy", acc.sname) ]
+       "msdq_check_requests_total")
     check_requests;
+  Metrics.inc
+    (Metrics.counter acc.reg
+       ~labels:[ ("strategy", acc.sname) ]
+       "msdq_checks_filtered_total")
     checks_filtered;
-    promoted = certified.Certify.promoted;
-    eliminated = certified.Certify.eliminated;
-    conflicts = certified.Certify.conflicts;
+  (* Rows whose unsolved items had a check abandoned: the executor knows it
+     never heard back about them, so it refuses to certify them and marks
+     them degraded — this is what keeps certified(faulty) inside
+     certified(fault-free) even when a lost verdict was an eliminating
+     one. *)
+  let affected () =
+    let abandoned_keys = Hashtbl.create 16 in
+    List.iteri
+      (fun bi (_, reqs, _) ->
+        if not batch_delivered.(bi) then
+          List.iter
+            (fun (r : Checks.request) ->
+              Hashtbl.replace abandoned_keys (r.Checks.origin_db, r.Checks.item) ())
+            reqs)
+      served;
+    List.fold_left
+      (fun acc_set ph ->
+        List.fold_left
+          (fun acc_set (row : Local_result.row) ->
+            if
+              List.exists
+                (fun (u : Local_result.unsolved) ->
+                  Hashtbl.mem abandoned_keys
+                    (row.Local_result.db, Dbobject.loid u.Local_result.item))
+                row.Local_result.unsolved
+            then Oid.Goid.Set.add row.Local_result.goid acc_set
+            else acc_set)
+          acc_set ph.result.Local_result.rows)
+      Oid.Goid.Set.empty phases
+  in
+  {
+    acc;
+    fence = answer_fence;
+    finish =
+      (fun () ->
+        let cf =
+          match !certified_faulty with Some cf -> cf | None -> certified_ref
+        in
+        let pre =
+          match !deep_faulty with
+          | Some d -> d.Deep.answer
+          | None -> cf.Certify.answer
+        in
+        let refc = Answer.goids ref_answer Answer.Certain in
+        let refm = Answer.goids ref_answer Answer.Maybe in
+        (* Suspect promotions (certain although the reference is not — a
+           lost eliminating verdict) and resurrections (eliminated by the
+           reference but kept as maybe here) are always demoted/marked. *)
+        let base =
+          Oid.Goid.Set.union
+            (Oid.Goid.Set.diff (Answer.goids pre Answer.Certain) refc)
+            (Oid.Goid.Set.diff (Answer.goids pre Answer.Maybe)
+               (Oid.Goid.Set.union refc refm))
+        in
+        let mark =
+          if fx.f_partial then
+            Oid.Goid.Set.union base (Answer.goids pre Answer.Certain)
+          else Oid.Goid.Set.union base (affected ())
+        in
+        let final = Answer.demote pre ~goids:mark in
+        {
+          f_answer = final;
+          f_check_requests = check_requests;
+          f_checks_filtered = checks_filtered;
+          f_promoted = cf.Certify.promoted;
+          f_eliminated = cf.Certify.eliminated;
+          f_conflicts = cf.Certify.conflicts;
+          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+        });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -654,24 +1459,45 @@ let build e ?after ~reg ~tracer options strategy fed analysis =
     ~args:[ ("strategy", acc.sname) ]
     ("build:" ^ acc.sname)
   @@ fun () ->
-  match strategy with
-  | Ca -> build_ca e ?after ~acc ~tracer options fed analysis
-  | Bl ->
-    build_localized e ?after ~acc ~tracer options ~parallel:false
-      ~signatures:false fed analysis
-  | Pl ->
-    build_localized e ?after ~acc ~tracer options ~parallel:true
-      ~signatures:false fed analysis
-  | Bls ->
-    build_localized e ?after ~acc ~tracer options ~parallel:false
-      ~signatures:true fed analysis
-  | Pls ->
-    build_localized e ?after ~acc ~tracer options ~parallel:true
-      ~signatures:true fed analysis
-  | Lo ->
-    build_localized e ?after ~acc ~tracer options ~parallel:false ~checks:false
-      ~signatures:false fed analysis
-  | Cf -> build_cf e ?after ~acc ~tracer options fed analysis
+  if Fault.is_none options.fault then
+    match strategy with
+    | Ca -> build_ca e ?after ~acc ~tracer options fed analysis
+    | Bl ->
+      build_localized e ?after ~acc ~tracer options ~parallel:false
+        ~signatures:false fed analysis
+    | Pl ->
+      build_localized e ?after ~acc ~tracer options ~parallel:true
+        ~signatures:false fed analysis
+    | Bls ->
+      build_localized e ?after ~acc ~tracer options ~parallel:false
+        ~signatures:true fed analysis
+    | Pls ->
+      build_localized e ?after ~acc ~tracer options ~parallel:true
+        ~signatures:true fed analysis
+    | Lo ->
+      build_localized e ?after ~acc ~tracer options ~parallel:false
+        ~checks:false ~signatures:false fed analysis
+    | Cf -> build_cf e ?after ~acc ~tracer options fed analysis
+  else
+    let fx = new_fault_ctx options in
+    match strategy with
+    | Ca -> build_ca_faulty e ?after ~acc ~tracer ~fx options fed analysis
+    | Bl ->
+      build_localized_faulty e ?after ~acc ~tracer ~fx options ~parallel:false
+        ~signatures:false fed analysis
+    | Pl ->
+      build_localized_faulty e ?after ~acc ~tracer ~fx options ~parallel:true
+        ~signatures:false fed analysis
+    | Bls ->
+      build_localized_faulty e ?after ~acc ~tracer ~fx options ~parallel:false
+        ~signatures:true fed analysis
+    | Pls ->
+      build_localized_faulty e ?after ~acc ~tracer ~fx options ~parallel:true
+        ~signatures:true fed analysis
+    | Lo ->
+      build_localized_faulty e ?after ~acc ~tracer ~fx options ~parallel:false
+        ~checks:false ~signatures:false fed analysis
+    | Cf -> build_cf_faulty e ?after ~acc ~tracer ~fx options fed analysis
 
 let finalize_registry reg strategy ~total ~response =
   let labels = [ ("strategy", to_string strategy) ] in
@@ -679,6 +1505,7 @@ let finalize_registry reg strategy ~total ~response =
   Metrics.set (Metrics.gauge reg ~labels "msdq_response_us") (Time.to_us response)
 
 let run ?(options = default_options) strategy fed analysis =
+  validate_options options;
   Log.debug (fun m ->
       m "running %s over %d databases, query on %s" (to_string strategy)
         (List.length (Federation.databases fed))
@@ -687,12 +1514,27 @@ let run ?(options = default_options) strategy fed analysis =
   let tracer = Tracer.create () in
   let e = Engine.create ~trace:true () in
   apply_site_speeds e options.site_speeds;
+  Fault.install options.fault e;
   let b = build e ~reg ~tracer options strategy fed analysis in
   Engine.run e;
+  let f = b.finish () in
   let stats = Engine.stats e in
   let total = Stats.total_busy stats in
   let response = Stats.makespan stats in
   finalize_registry reg strategy ~total ~response;
+  if f.f_availability.faults_active then begin
+    (* Fault counters only materialize on faulty runs, so fault-free
+       registry dumps stay byte-identical to the pre-fault-injection ones. *)
+    let fc name v =
+      Metrics.inc
+        (Metrics.counter reg ~labels:[ ("strategy", to_string strategy) ] name)
+        v
+    in
+    fc "msdq_fault_drops_total" f.f_availability.drops;
+    fc "msdq_fault_retries_total" f.f_availability.retries;
+    fc "msdq_fault_abandoned_checks_total" f.f_availability.checks_abandoned;
+    fc "msdq_fault_demotions_total" f.f_availability.demoted
+  end;
   let metrics =
     {
       strategy;
@@ -701,26 +1543,27 @@ let run ?(options = default_options) strategy fed analysis =
       bytes_shipped = Metrics.total reg "msdq_bytes_shipped_total";
       disk_bytes = Metrics.total reg "msdq_disk_bytes_total";
       messages = Metrics.total reg "msdq_messages_total";
-      check_requests = b.check_requests;
-      checks_filtered = b.checks_filtered;
+      check_requests = f.f_check_requests;
+      checks_filtered = f.f_checks_filtered;
       work_units = Metrics.total reg "msdq_work_units_total";
       goid_lookups = Metrics.total reg "msdq_goid_lookups_total";
-      promoted = b.promoted;
-      eliminated_at_global = b.eliminated;
-      conflicts = b.conflicts;
+      promoted = f.f_promoted;
+      eliminated_at_global = f.f_eliminated;
+      conflicts = f.f_conflicts;
       breakdown = Stats.by_label stats;
       trace = Engine.trace e;
       registry = reg;
       host_spans = Tracer.spans tracer;
+      availability = f.f_availability;
     }
   in
   Log.info (fun m ->
       m "%s: %d certain, %d maybe; total %a, response %a, %d checks"
         (to_string strategy)
-        (List.length (Answer.certain b.answer))
-        (List.length (Answer.maybe b.answer))
-        Time.pp metrics.total Time.pp metrics.response b.check_requests);
-  (b.answer, metrics)
+        (List.length (Answer.certain f.f_answer))
+        (List.length (Answer.maybe f.f_answer))
+        Time.pp metrics.total Time.pp metrics.response f.f_check_requests);
+  (f.f_answer, metrics)
 
 let phase_breakdown m =
   let tbl = Hashtbl.create 4 in
@@ -765,8 +1608,10 @@ type concurrent_outcome = {
 }
 
 let run_concurrent ?(options = default_options) fed jobs =
+  validate_options options;
   let e = Engine.create ~trace:true () in
   apply_site_speeds e options.site_speeds;
+  Fault.install options.fault e;
   let built =
     List.map
       (fun (strategy, analysis, arrival) ->
@@ -789,11 +1634,12 @@ let run_concurrent ?(options = default_options) fed jobs =
     queries =
       List.map
         (fun (strategy, arrival, reg, b) ->
+          let f = b.finish () in
           {
             started = arrival;
             completed = Engine.finish_time e b.fence;
             q_strategy = strategy;
-            q_answer = b.answer;
+            q_answer = f.f_answer;
             q_registry = reg;
             q_work_units = Metrics.total reg "msdq_work_units_total";
             q_bytes_shipped = Metrics.total reg "msdq_bytes_shipped_total";
@@ -813,6 +1659,18 @@ let run_query ?options strategy fed src =
     | exception Analysis.Error msg -> Error msg
     | analysis -> Ok (run ?options strategy fed analysis))
 
+let pp_availability ppf a =
+  (* Prints nothing for fault-free runs, so their plain-text output is
+     byte-identical to the pre-fault-injection layout. *)
+  if a.faults_active then
+    Format.fprintf ppf
+      "@,availability: sites [%s] faulty; %d drops, %d retries, %d checks \
+       abandoned@,degradation: %d/%d certain demoted (%.2f), %d resurrected%s"
+      (String.concat "," (List.map string_of_int a.failed_sites))
+      a.drops a.retries a.checks_abandoned a.demoted a.certain_fault_free
+      a.degradation_ratio a.resurrected
+      (if a.partial then "; PARTIAL ANSWER" else "")
+
 let pp_metrics ppf m =
   let phases = phase_breakdown m in
   let pp_phases ppf () =
@@ -824,8 +1682,9 @@ let pp_metrics ppf m =
   Format.fprintf ppf
     "@[<v>%s: total %a, response %a@,phases %a@,shipped %d bytes in %d \
      messages; disk %d bytes@,work %d units, %d goid lookups, %d checks (%d \
-     filtered)@,promoted %d, eliminated at global %d%s@]"
+     filtered)@,promoted %d, eliminated at global %d%s%a@]"
     (to_string m.strategy) Time.pp m.total Time.pp m.response pp_phases ()
     m.bytes_shipped m.messages m.disk_bytes m.work_units m.goid_lookups
     m.check_requests m.checks_filtered m.promoted m.eliminated_at_global
     (if m.conflicts > 0 then Printf.sprintf ", %d CONFLICTS" m.conflicts else "")
+    pp_availability m.availability

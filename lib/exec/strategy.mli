@@ -39,6 +39,10 @@ open Msdq_simkit
 open Msdq_fed
 open Msdq_query
 
+module Fault = Msdq_fault.Fault
+(** Re-exported so callers can write [Strategy.Fault.none] without a second
+    open. *)
+
 type t = Ca | Bl | Pl | Bls | Pls | Lo | Cf
 
 val all : t list
@@ -46,6 +50,18 @@ val all : t list
 val to_string : t -> string
 
 val of_string : string -> t option
+
+type retry = {
+  timeout : Time.t;
+      (** how long the sender waits after a lost transfer before
+          retransmitting (the first attempt's wait; later waits grow by
+          [backoff]) *)
+  max_attempts : int;  (** attempts per check round-trip leg, >= 1 *)
+  backoff : float;  (** multiplicative wait growth per attempt, >= 1 *)
+}
+
+val default_retry : retry
+(** 1 ms timeout, 3 attempts, doubling backoff. *)
 
 type options = {
   cost : Cost.t;
@@ -58,14 +74,48 @@ type options = {
   site_speeds : (int * float) list;
       (** heterogeneous hardware: [(site, factor)] scales the site's CPU and
           disk speed (factor 0.5 = half speed; site 0 is the global
-          processing site, database i lives at site i+1) *)
-  trace : bool;
-      (** kept for compatibility; task traces are now always recorded (they
-          feed the per-phase breakdown and the Chrome trace export) *)
+          processing site, database i lives at site i+1). Validated eagerly:
+          duplicate site ids and non-positive or non-finite factors raise
+          [Invalid_argument] before any simulated work happens. *)
+  fault : Fault.schedule;
+      (** fault injection (see {!Msdq_fault.Fault}): with {!Fault.none} (the
+          default) the execution is exactly the fault-free one *)
+  retry : retry;
+      (** retransmission policy for check round trips under faults; result
+          and extent shipments are critical and additionally wait out
+          destination outages *)
 }
 
 val default_options : options
-(** Table 1 costs, no deep certification. *)
+(** Table 1 costs, no deep certification, no faults, {!default_retry}. *)
+
+type availability = {
+  faults_active : bool;  (** a non-empty fault schedule was installed *)
+  failed_sites : int list;  (** sites with at least one outage window *)
+  drops : int;  (** transfers lost (including lost retransmissions) *)
+  retries : int;  (** retransmission attempts *)
+  checks_abandoned : int;
+      (** check requests whose round trip was given up after
+          [retry.max_attempts] *)
+  certain_fault_free : int;
+      (** certain results the fault-free execution produces *)
+  demoted : int;
+      (** fault-free certain results reported as uncertified maybe results;
+          reconciliation: certain(faulty) + demoted = certain(fault-free) *)
+  resurrected : int;
+      (** entities the fault-free execution eliminates but that stay visible
+          as maybe results because an eliminating verdict was lost *)
+  partial : bool;
+      (** a critical transfer was abandoned (a site never recovered): every
+          row is reported as an uncertified maybe result *)
+  degradation_ratio : float;  (** [demoted / certain_fault_free] *)
+}
+(** The availability section of a run: what the faults did and what the
+    degraded answer admits to. Demoted and resurrected entities carry
+    per-item provenance in {!Answer.degraded}. *)
+
+val pp_availability : Format.formatter -> availability -> unit
+(** Prints nothing when [faults_active] is false. *)
 
 type metrics = {
   strategy : t;
@@ -91,6 +141,9 @@ type metrics = {
   host_spans : Msdq_obs.Tracer.span list;
       (** host-side spans recorded while building/executing the run
           (materialization, local evaluation, check serving, certification) *)
+  availability : availability;
+      (** the run's fault/degradation report; [faults_active = false] and
+          all-zero for fault-free runs *)
 }
 
 val run : ?options:options -> t -> Federation.t -> Analysis.t -> Answer.t * metrics

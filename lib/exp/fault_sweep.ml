@@ -1,0 +1,229 @@
+open Msdq_simkit
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+module Metrics = Msdq_obs.Metrics
+module Fault = Msdq_fault.Fault
+
+let log_src = Logs.Src.create "msdq.exp.fault" ~doc:"fault-injection sweeps"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type series = {
+  label : string;
+  responses : float array;
+  recalls : float array;
+}
+
+type sweep = {
+  id : string;
+  title : string;
+  xlabel : string;
+  xs : float array;
+  samples : int;
+  seed : int;
+  series : series list;
+}
+
+let strategies = [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+let availabilities = [| 0.7; 0.8; 0.9; 0.95; 1.0 |]
+
+(* A random concrete case: a synthetic federation plus a query that analyzes
+   against its global schema. A random path may name an attribute no
+   constituent kept; retry with fresh draws, like the equivalence suite. *)
+let rec make_case seed attempt =
+  if attempt > 20 then None
+  else
+    (* Denser than [Synth.default]: every database hosts every class and a
+       quarter of the attributes are missing, so local evaluation leaves
+       real maybe sets and the strategies actually exercise checks,
+       shipping and certification — the machinery faults can hurt. *)
+    let cfg =
+      {
+        Synth.default with
+        Synth.seed = (seed * 37) + attempt;
+        n_entities = 60;
+        p_host = 1.0;
+        p_attr_present = 0.75;
+        p_null = 0.12;
+        p_copy = 0.4;
+      }
+    in
+    let fed = Synth.generate cfg in
+    let rng = Rng.create ~seed:(seed + (attempt * 1013)) in
+    let query = Synth.random_query rng cfg ~disjunctive:false in
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    match Analysis.analyze schema query with
+    | analysis -> Some (fed, analysis)
+    | exception Analysis.Error _ -> make_case seed (attempt + 1)
+
+(* Certain-set recall of a degraded run against its fault-free reference:
+   the fraction of fault-free certain results the faulty run still
+   certifies. An empty reference certain set recalls trivially. *)
+let recall ~reference ~faulty =
+  let ref_c = Answer.goids reference Answer.Certain in
+  let got_c = Answer.goids faulty Answer.Certain in
+  let n_ref = Oid.Goid.Set.cardinal ref_c in
+  if n_ref = 0 then 1.0
+  else
+    float_of_int (Oid.Goid.Set.cardinal (Oid.Goid.Set.inter ref_c got_c))
+    /. float_of_int n_ref
+
+type point_result = {
+  (* per strategy, in [strategies] order *)
+  p_responses : float array;
+  p_recalls : float array;
+  (* the hard-failing client observing the BL faulty run *)
+  p_hard_response : float;
+  p_hard_recall : float;
+}
+
+let point ~seed ~cost ~idx ~si ~availability =
+  match make_case (Rng.int (Rng.split_ix (Rng.create ~seed) ~i:si) ~bound:100_000) 0 with
+  | None ->
+    (* no analyzable query for this stream: a vacuous, neutral sample *)
+    {
+      p_responses = Array.make (List.length strategies) 0.0;
+      p_recalls = Array.make (List.length strategies) 1.0;
+      p_hard_response = 0.0;
+      p_hard_recall = 1.0;
+    }
+  | Some (fed, analysis) ->
+    let fault_free =
+      List.map
+        (fun s ->
+          let answer, m = Strategy.run ~options:{ Strategy.default_options with Strategy.cost } s fed analysis in
+          (answer, m.Strategy.response))
+        strategies
+    in
+    let horizon =
+      let longest =
+        List.fold_left (fun acc (_, r) -> Time.max acc r) (Time.ms 1.0) fault_free
+      in
+      Time.us (2.0 *. Time.to_us longest)
+    in
+    let n_db = List.length (Federation.databases fed) in
+    let component_sites = List.init n_db (fun i -> i + 1) in
+    let fault_rng =
+      (* keyed by the flat (level, sample) index so every grid point draws
+         an independent schedule, order-independently *)
+      Rng.split_ix (Rng.create ~seed:(seed + 7919)) ~i:idx
+    in
+    let fault =
+      if availability >= 1.0 then Fault.none
+      else
+        let sched =
+          Fault.random ~rng:fault_rng ~sites:component_sites ~availability
+            ~horizon ~drop:0.05 ()
+        in
+        (* The global site never crashes (it hosts the client), but its
+           incoming link is as lossy as the others — otherwise CA, whose
+           transfers all terminate there, would be trivially immune. *)
+        {
+          sched with
+          Fault.links =
+            { Fault.dst = 0; drop = 0.05; inflate = 1.0 } :: sched.Fault.links;
+        }
+    in
+    let options = { Strategy.default_options with Strategy.cost; Strategy.fault } in
+    let faulty =
+      List.map (fun s -> Strategy.run ~options s fed analysis) strategies
+    in
+    let p_responses =
+      Array.of_list
+        (List.map (fun (_, m) -> Time.to_s m.Strategy.response) faulty)
+    in
+    let p_recalls =
+      Array.of_list
+        (List.map2
+           (fun (reference, _) (got, _) -> recall ~reference ~faulty:got)
+           fault_free faulty)
+    in
+    (* The hard-failing baseline: a client of the same faulty BL execution
+       that has no degraded-answer mode. Any loss aborts the query — recall
+       collapses to zero instead of degrading. [strategies] is CA; BL; PL,
+       so BL is index 1. *)
+    let _, bl_metrics = List.nth faulty 1 in
+    let bl_av = bl_metrics.Strategy.availability in
+    let p_hard_recall =
+      if bl_av.Strategy.drops > 0 || bl_av.Strategy.partial then 0.0
+      else p_recalls.(1)
+    in
+    { p_responses; p_recalls; p_hard_response = p_responses.(1); p_hard_recall }
+
+let run ?pool ?registry ?progress ?(samples = 12) ?(seed = 1996)
+    ?(cost = Cost.default) () =
+  let xs = availabilities in
+  let nx = Array.length xs in
+  let n_points = nx * samples in
+  let completed = Atomic.make 0 in
+  let feedback_mutex = Mutex.create () in
+  let id = "fault-sweep" in
+  let point_at i =
+    let li = i / samples and si = i mod samples in
+    let r = point ~seed ~cost ~idx:i ~si ~availability:xs.(li) in
+    let done_now = 1 + Atomic.fetch_and_add completed 1 in
+    Mutex.lock feedback_mutex;
+    Log.info (fun m ->
+        m "%s: availability=%g sample %d done (%d/%d points)" id xs.(li) si
+          done_now n_points);
+    (match progress with
+    | Some f -> f ~figure:id ~completed:done_now ~total:n_points
+    | None -> ());
+    Mutex.unlock feedback_mutex;
+    r
+  in
+  let grid = Array.init n_points (fun i -> i) in
+  let results =
+    match pool with
+    | Some pool when Msdq_par.Pool.jobs pool > 1 ->
+      Msdq_par.Pool.map_array pool ~f:(fun i _ -> point_at i) grid
+    | Some _ | None -> Array.map point_at grid
+  in
+  (match registry with
+  | Some reg ->
+    Metrics.inc
+      (Metrics.counter reg ~labels:[ ("figure", id) ] "msdq_fault_samples_total")
+      n_points
+  | None -> ());
+  let mean f li =
+    let acc = ref 0.0 in
+    for si = 0 to samples - 1 do
+      acc := !acc +. f results.((li * samples) + si)
+    done;
+    !acc /. float_of_int samples
+  in
+  let strategy_series =
+    List.mapi
+      (fun k s ->
+        {
+          label = Strategy.to_string s;
+          responses = Array.init nx (fun li -> mean (fun r -> r.p_responses.(k)) li);
+          recalls = Array.init nx (fun li -> mean (fun r -> r.p_recalls.(k)) li);
+        })
+      strategies
+  in
+  let hard =
+    {
+      label = "fail-stop";
+      responses = Array.init nx (fun li -> mean (fun r -> r.p_hard_response) li);
+      recalls = Array.init nx (fun li -> mean (fun r -> r.p_hard_recall) li);
+    }
+  in
+  {
+    id;
+    title =
+      "Response time and certain-set recall under site crashes and lossy links";
+    xlabel = "site availability";
+    xs;
+    samples;
+    seed;
+    series = strategy_series @ [ hard ];
+  }
+
+let series_of sweep label =
+  match List.find_opt (fun s -> String.equal s.label label) sweep.series with
+  | Some s -> s
+  | None -> raise Not_found

@@ -1,0 +1,63 @@
+(** The fault sweep (robustness extension): response time and certain-set
+    recall of the concrete executors against decreasing site availability.
+
+    Unlike {!Figures} (which drives the parametric simulator), this sweep
+    runs the {e concrete} strategies on synthetic federations with a random
+    recoverable {!Msdq_fault.Fault.random} schedule per sample: site crash
+    windows covering an expected [1 - availability] of the run plus a 5%
+    lossy incoming link on every site — including the global one, which
+    never crashes but whose link losses make CA wait on retransmissions.
+    Each sample's faulty runs are compared against their own fault-free
+    reference executions:
+
+    {ul
+    {- {e response time} — the degraded run's makespan, including
+       retransmission waits and recovery waits;}
+    {- {e certain-set recall} — the fraction of the fault-free certain
+       results the degraded run still certifies. Degradation soundness
+       guarantees the faulty certain set is a subset of the fault-free one,
+       so recall is exactly the complement of the demotion ratio.}}
+
+    Four series: CA, BL and PL, plus a ["fail-stop"] baseline — a client of
+    the same faulty BL execution with no degraded-answer mode, whose query
+    simply aborts (recall 0) whenever any transfer was lost. The gap between
+    BL/PL and fail-stop is what sound degraded answers buy.
+
+    Determinism matches {!Figures}: the (availability, sample) grid merges
+    in index order and every point draws from index-derived rng streams, so
+    results are bit-identical for any [?pool] worker count. *)
+
+open Msdq_exec
+
+type series = {
+  label : string;  (** strategy name, or ["fail-stop"] for the baseline *)
+  responses : float array;  (** mean response time per availability, seconds *)
+  recalls : float array;  (** mean certain-set recall per availability *)
+}
+
+type sweep = {
+  id : string;  (** ["fault-sweep"] *)
+  title : string;
+  xlabel : string;
+  xs : float array;  (** availability levels, ascending, ending at 1.0 *)
+  samples : int;
+  seed : int;
+  series : series list;  (** CA; BL; PL; fail-stop *)
+}
+
+val run :
+  ?pool:Msdq_par.Pool.t ->
+  ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int ->
+  ?seed:int ->
+  ?cost:Cost.t ->
+  unit ->
+  sweep
+(** Availability levels 0.7, 0.8, 0.9, 0.95 and 1.0; [samples] (default 12)
+    federation/query draws per level. At availability 1.0 every schedule is
+    {!Msdq_fault.Fault.none}, so that column doubles as the fault-free
+    anchor: recall 1 everywhere. *)
+
+val series_of : sweep -> string -> series
+(** Raises [Not_found] when the sweep has no series with that label. *)

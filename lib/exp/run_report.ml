@@ -26,9 +26,30 @@ let breakdown_json breakdown =
            ])
        breakdown)
 
-let metrics_to_json (m : Strategy.metrics) =
+(* Emitted only when a fault schedule was installed, so fault-free reports
+   keep their exact historical bytes (golden-tested). *)
+let availability_to_json (a : Strategy.availability) =
   Json.Obj
     [
+      ("failed_sites", Json.Arr (List.map (fun s -> Json.Int s) a.Strategy.failed_sites));
+      ("drops", Json.Int a.Strategy.drops);
+      ("retries", Json.Int a.Strategy.retries);
+      ("checks_abandoned", Json.Int a.Strategy.checks_abandoned);
+      ("certain_fault_free", Json.Int a.Strategy.certain_fault_free);
+      ("demoted", Json.Int a.Strategy.demoted);
+      ("resurrected", Json.Int a.Strategy.resurrected);
+      ("partial", Json.Bool a.Strategy.partial);
+      ("degradation_ratio", Json.Float a.Strategy.degradation_ratio);
+    ]
+
+let metrics_to_json (m : Strategy.metrics) =
+  let availability =
+    if m.Strategy.availability.Strategy.faults_active then
+      [ ("availability", availability_to_json m.Strategy.availability) ]
+    else []
+  in
+  Json.Obj
+    ([
       ("strategy", Json.Str (Strategy.to_string m.Strategy.strategy));
       ("total_s", Json.Float (Time.to_s m.Strategy.total));
       ("response_s", Json.Float (Time.to_s m.Strategy.response));
@@ -56,6 +77,7 @@ let metrics_to_json (m : Strategy.metrics) =
       ("breakdown", breakdown_json m.Strategy.breakdown);
       ("registry", Metrics.to_json m.Strategy.registry);
     ]
+    @ availability)
 
 let run_to_json answer (m : Strategy.metrics) =
   Json.Obj
@@ -196,10 +218,36 @@ let figure_to_json (fig : Figures.figure) =
 let figures_to_json figs =
   Json.Obj [ ("figures", Json.Arr (List.map figure_to_json figs)) ]
 
+(* ---- fault sweep ---- *)
+
+let fault_sweep_to_json (s : Fault_sweep.sweep) =
+  let floats a = Json.Arr (Array.to_list (Array.map (fun x -> Json.Float x) a)) in
+  Json.Obj
+    [
+      ("id", Json.Str s.Fault_sweep.id);
+      ("title", Json.Str s.Fault_sweep.title);
+      ("xlabel", Json.Str s.Fault_sweep.xlabel);
+      ("availabilities", floats s.Fault_sweep.xs);
+      ("samples", Json.Int s.Fault_sweep.samples);
+      ("seed", Json.Int s.Fault_sweep.seed);
+      ( "series",
+        Json.Arr
+          (List.map
+             (fun (ser : Fault_sweep.series) ->
+               Json.Obj
+                 [
+                   ("label", Json.Str ser.Fault_sweep.label);
+                   ("responses_s", floats ser.Fault_sweep.responses);
+                   ("recalls", floats ser.Fault_sweep.recalls);
+                 ])
+             s.Fault_sweep.series) );
+    ]
+
 (* ---- bench ---- *)
 
 let bench_schema_v1 = "msdq-bench/1"
-let bench_schema = "msdq-bench/2"
+let bench_schema_v2 = "msdq-bench/2"
+let bench_schema = "msdq-bench/3"
 
 type parallel = {
   jobs : int;
@@ -219,13 +267,14 @@ let parallel_to_json p =
       ("speedup", Json.Float p.speedup);
     ]
 
-let bench_to_json ~generated_at ~seed ~parallel ~strategies ~wall =
+let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
       ("generated_at", Json.Str generated_at);
       ("seed", Json.Int seed);
       ("parallel", parallel_to_json parallel);
+      ("fault_sweep", fault_sweep_to_json fault_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -292,18 +341,92 @@ let validate_parallel j =
   in
   Ok ()
 
+(* The /3 addition: the fault-sweep section — availability levels and one
+   (responses, recalls) series per strategy plus the fail-stop baseline,
+   recalls inside [0, 1]. *)
+let validate_fault_sweep j =
+  let* fs = require "\"fault_sweep\"" (Json.member "fault_sweep" j) in
+  let* xs =
+    require "fault_sweep \"availabilities\""
+      Option.(Json.member "availabilities" fs |> map Json.to_list |> join)
+  in
+  let* () =
+    if xs = [] then Error "bench document: fault_sweep \"availabilities\" is empty"
+    else Ok ()
+  in
+  let* series =
+    require "fault_sweep \"series\""
+      Option.(Json.member "series" fs |> map Json.to_list |> join)
+  in
+  let* () =
+    if series = [] then Error "bench document: fault_sweep \"series\" is empty"
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc ser ->
+      let* () = acc in
+      let* label =
+        require "fault_sweep series \"label\""
+          Option.(Json.member "label" ser |> map Json.to_str |> join)
+      in
+      let* arrays =
+        List.fold_left
+          (fun acc field ->
+            let* acc = acc in
+            let* a =
+              require
+                (Printf.sprintf "fault_sweep %s %S" label field)
+                Option.(Json.member field ser |> map Json.to_list |> join)
+            in
+            Ok (a :: acc))
+          (Ok []) [ "responses_s"; "recalls" ]
+      in
+      let* () =
+        List.fold_left
+          (fun acc a ->
+            let* () = acc in
+            if List.length a <> List.length xs then
+              Error
+                (Printf.sprintf
+                   "bench document: fault_sweep %s series length differs from \
+                    availabilities"
+                   label)
+            else Ok ())
+          (Ok ()) arrays
+      in
+      let recalls = List.filter_map Json.to_float (List.hd arrays) in
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          if Float.is_nan r || r < 0.0 || r > 1.0 then
+            Error
+              (Printf.sprintf
+                 "bench document: fault_sweep %s recall outside [0, 1]" label)
+          else Ok ())
+        (Ok ()) recalls)
+    (Ok ()) series
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let* () =
-    if String.equal schema bench_schema || String.equal schema bench_schema_v1
+    if
+      String.equal schema bench_schema
+      || String.equal schema bench_schema_v2
+      || String.equal schema bench_schema_v1
     then Ok ()
     else
       Error
-        (Printf.sprintf "bench document: schema %S, expected %S or %S" schema
-           bench_schema bench_schema_v1)
+        (Printf.sprintf "bench document: schema %S, expected %S, %S or %S"
+           schema bench_schema bench_schema_v2 bench_schema_v1)
   in
   let* () =
-    if String.equal schema bench_schema then validate_parallel j else Ok ()
+    if
+      String.equal schema bench_schema || String.equal schema bench_schema_v2
+    then validate_parallel j
+    else Ok ()
+  in
+  let* () =
+    if String.equal schema bench_schema then validate_fault_sweep j else Ok ()
   in
   let* _ =
     require "\"generated_at\""

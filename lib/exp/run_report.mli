@@ -12,7 +12,14 @@ module Json = Msdq_obs.Json
 val metrics_to_json : Strategy.metrics -> Json.t
 (** One strategy run: totals, per-phase (O/P/I) busy time and task counts,
     shipping/disk/message/check counters, the per-label breakdown, and the
-    full metrics registry dump. *)
+    full metrics registry dump. When the run had a fault schedule installed,
+    an extra ["availability"] object carries the fault/degradation report
+    (failed sites, drops, retries, abandoned checks, demotions,
+    resurrections, the partial flag and the degradation ratio); fault-free
+    documents are byte-identical to what earlier versions emitted. *)
+
+val availability_to_json : Strategy.availability -> Json.t
+(** The ["availability"] section alone. *)
 
 val run_to_json : Answer.t -> Strategy.metrics -> Json.t
 (** {!metrics_to_json} plus an answer summary (certain/maybe counts). *)
@@ -38,14 +45,22 @@ val figure_to_json : Figures.figure -> Json.t
 val figures_to_json : Figures.figure list -> Json.t
 (** The [msdq experiment --json] document. *)
 
+val fault_sweep_to_json : Fault_sweep.sweep -> Json.t
+(** The [msdq experiment --fault-sweep --json] document: availability
+    levels plus one (responses, recalls) series per strategy and the
+    fail-stop baseline. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/2"] — the schema every new document is written with. *)
+(** ["msdq-bench/3"] — the schema every new document is written with. *)
+
+val bench_schema_v2 : string
+(** ["msdq-bench/2"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v1 : string
 (** ["msdq-bench/1"] — still accepted by {!validate_bench}, so the perf
-    trajectory accumulated by CI stays checkable across the bump. *)
+    trajectory accumulated by CI stays checkable across the bumps. *)
 
 type parallel = {
   jobs : int;  (** worker domains incl. the caller ([--jobs]) *)
@@ -62,18 +77,21 @@ val bench_to_json :
   generated_at:string ->
   seed:int ->
   parallel:parallel ->
+  fault_sweep:Fault_sweep.sweep ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
 (** The [BENCH_<timestamp>.json] document. [strategies] carries one
     [(name, total_s, response_s)] triple per simulated strategy run on the
     demo workload; [wall] carries bechamel wall-clock medians as
-    [(benchmark, ns_per_run)]; [seed] is the run's base rng seed.
+    [(benchmark, ns_per_run)]; [seed] is the run's base rng seed;
+    [fault_sweep] is the run's (possibly reduced) robustness sweep.
     [generated_at] is injected (not read from the clock) so tests stay
     deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
 (** Structural validation of a bench document: used by the test suite and
-    the CI smoke step. Accepts both {!bench_schema_v1} and {!bench_schema}
-    payloads; the [/2]-only fields ([seed], [parallel]) are required exactly
-    when the document declares [/2]. *)
+    the CI smoke step. Accepts {!bench_schema_v1}, {!bench_schema_v2} and
+    {!bench_schema} payloads; [seed]/[parallel] are required from [/2] on
+    and the [fault_sweep] section exactly from [/3] on (non-empty
+    availability grid, equal-length series, recalls inside [0, 1]). *)

@@ -1,0 +1,193 @@
+open Msdq_simkit
+
+type window = { down : Time.t; up : Time.t }
+
+type site_faults = { site : int; outages : window list }
+
+type link_faults = { dst : int; drop : float; inflate : float }
+
+type schedule = {
+  seed : int;
+  sites : site_faults list;
+  links : link_faults list;
+}
+
+let none = { seed = 0; sites = []; links = [] }
+
+let is_none s = s.sites = [] && s.links = []
+
+let validate s =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  List.iter
+    (fun sf ->
+      if sf.site < 0 then fail "Fault.validate: negative site id %d" sf.site;
+      let rec windows prev = function
+        | [] -> ()
+        | w :: rest ->
+          if Time.compare w.down Time.zero < 0 then
+            fail "Fault.validate: site %d: window starts before time zero" sf.site;
+          if Time.compare w.up w.down <= 0 then
+            fail "Fault.validate: site %d: window recovers at %g, not after crash at %g"
+              sf.site (Time.to_us w.up) (Time.to_us w.down);
+          (match prev with
+          | Some p when Time.compare w.down p.up < 0 ->
+            fail "Fault.validate: site %d: windows overlap or are unordered" sf.site
+          | _ -> ());
+          windows (Some w) rest
+      in
+      windows None sf.outages)
+    s.sites;
+  List.iter
+    (fun lf ->
+      if lf.dst < 0 then fail "Fault.validate: negative link site id %d" lf.dst;
+      if not (Float.is_finite lf.drop) || lf.drop < 0.0 || lf.drop > 1.0 then
+        fail "Fault.validate: link to %d: drop probability %g outside [0,1]"
+          lf.dst lf.drop;
+      if Float.is_nan lf.inflate || lf.inflate < 1.0 then
+        fail "Fault.validate: link to %d: inflation %g below 1" lf.dst lf.inflate)
+    s.links
+
+let outages_of s site =
+  match List.find_opt (fun sf -> sf.site = site) s.sites with
+  | Some sf -> sf.outages
+  | None -> []
+
+let covering s ~site ~at =
+  List.find_opt
+    (fun w -> Time.compare w.down at <= 0 && Time.compare at w.up < 0)
+    (outages_of s site)
+
+let site_down s ~site ~at = covering s ~site ~at <> None
+
+let next_up s ~site ~at =
+  match covering s ~site ~at with
+  | None -> Some at
+  | Some w -> if Float.is_finite w.up then Some w.up else None
+
+let permanently_down s ~site ~at =
+  match covering s ~site ~at with
+  | None -> false
+  | Some w -> not (Float.is_finite w.up)
+
+let failed_sites s =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun sf -> if sf.outages <> [] then Some sf.site else None)
+       s.sites)
+
+let link_of s dst = List.find_opt (fun lf -> lf.dst = dst) s.links
+
+(* The per-transfer loss draw. SplitMix64-style avalanche over the transfer's
+   identity; purely functional in (seed, dst, label, start), so it cannot
+   depend on evaluation order. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let drop_draw s ~dst ~label ~start ~p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else begin
+    let h = ref (mix64 (Int64.of_int s.seed)) in
+    let absorb i = h := mix64 (Int64.logxor !h i) in
+    absorb (Int64.of_int dst);
+    String.iter (fun c -> absorb (Int64.of_int (Char.code c))) label;
+    absorb (Int64.bits_of_float (Time.to_us start));
+    let bits = Int64.shift_right_logical !h 11 in
+    Int64.to_float bits /. 9007199254740992.0 < p
+  end
+
+let judge s : Engine.judge =
+ fun ~site ~kind ~label ~start ~duration ->
+  match kind with
+  | Resource.Cpu | Resource.Disk -> None
+  | Resource.Link ->
+    let duration =
+      match link_of s site with
+      | Some lf when lf.inflate > 1.0 -> Time.us (Time.to_us duration *. lf.inflate)
+      | Some _ | None -> duration
+    in
+    let finish = Time.add start duration in
+    let drop =
+      if site_down s ~site ~at:finish then
+        Some (Printf.sprintf "site %d down" site)
+      else
+        match link_of s site with
+        | Some lf when drop_draw s ~dst:site ~label ~start ~p:lf.drop ->
+          Some (Printf.sprintf "link to %d lossy" site)
+        | Some _ | None -> None
+    in
+    Some { Engine.fault_duration = duration; fault_drop = drop }
+
+let install s e = if not (is_none s) then Engine.set_judge e (judge s)
+
+let random ~rng ~sites ~availability ~horizon ?(drop = 0.0) ?(inflate = 1.0) () =
+  if
+    (not (Float.is_finite availability))
+    || availability <= 0.0 || availability > 1.0
+  then invalid_arg "Fault.random: availability must be in (0, 1]";
+  if not (Time.is_finite horizon) || Time.compare horizon Time.zero <= 0 then
+    invalid_arg "Fault.random: horizon must be positive and finite";
+  let seed = Msdq_workload.Rng.int rng ~bound:0x3FFFFFFF in
+  let h = Time.to_us horizon in
+  let site_plans =
+    if availability >= 1.0 then []
+    else
+      List.mapi
+        (fun rank site ->
+          let srng = Msdq_workload.Rng.split_ix rng ~i:rank in
+          (* Alternating up/down periods: the mean cycle is a tenth of the
+             horizon, split so the expected down share is 1 - availability. *)
+          let cycle = h /. 10.0 in
+          let mean_down = cycle *. (1.0 -. availability) in
+          let mean_up = cycle *. availability in
+          let duration mean =
+            (* uniform in [0.5, 1.5) x mean: bounded, never zero *)
+            mean *. Msdq_workload.Rng.frange srng ~lo:0.5 ~hi:1.5
+          in
+          let rec build t acc =
+            if t >= h then List.rev acc
+            else
+              let up_for = duration mean_up in
+              let down_at = t +. up_for in
+              if down_at >= h then List.rev acc
+              else
+                let down_for = Float.max 1.0 (duration mean_down) in
+                let up_at = Float.min h (down_at +. down_for) in
+                build up_at ({ down = Time.us down_at; up = Time.us up_at } :: acc)
+          in
+          { site; outages = build 0.0 [] })
+        sites
+  in
+  let links =
+    if drop > 0.0 || inflate > 1.0 then
+      List.map (fun site -> { dst = site; drop; inflate }) sites
+    else []
+  in
+  let s = { seed; sites = site_plans; links } in
+  validate s;
+  s
+
+let pp ppf s =
+  if is_none s then Format.fprintf ppf "no faults"
+  else begin
+    Format.fprintf ppf "@[<v>fault schedule (seed %d):@," s.seed;
+    List.iter
+      (fun sf ->
+        Format.fprintf ppf "  site %d down:" sf.site;
+        List.iter
+          (fun w ->
+            if Float.is_finite w.up then
+              Format.fprintf ppf " [%a, %a)" Time.pp w.down Time.pp w.up
+            else Format.fprintf ppf " [%a, forever)" Time.pp w.down)
+          sf.outages;
+        Format.fprintf ppf "@,")
+      s.sites;
+    List.iter
+      (fun lf ->
+        Format.fprintf ppf "  link to %d: drop %.2f, inflate %.2fx@," lf.dst
+          lf.drop lf.inflate)
+      s.links;
+    Format.fprintf ppf "@]"
+  end

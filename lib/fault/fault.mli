@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the simulated federation.
+
+    A {!schedule} describes how the federation misbehaves during one run:
+    per-site crash/recover windows and per-link loss (drop probability and
+    latency inflation). Interpreted by the engine through {!judge}, it makes
+    transfers {e into} a crashed site and transfers across a lossy link fail
+    at their would-be finish time; CPU and disk work is unaffected (a
+    crashed site's work simply never pays off, because nothing can be
+    shipped out of or into it while it is down).
+
+    Everything is deterministic. Crash windows are explicit data; the
+    per-transfer drop draw hashes the schedule's [seed] together with the
+    transfer's destination, label and start time, so a decision depends only
+    on the schedule and on {e when and what} is transferred — never on
+    evaluation order, host scheduling or a hidden global RNG. Two runs with
+    the same schedule and the same task timeline fail identically; parallel
+    sweeps stay reproducible point by point (the same contract as
+    [Rng.split_ix], see docs/PARALLELISM.md).
+
+    {!random} draws a schedule from a seeded {!Msdq_workload.Rng} — the
+    chaos-testing and fault-sweep entry point. *)
+
+open Msdq_simkit
+
+type window = {
+  down : Time.t;  (** crash instant (inclusive) *)
+  up : Time.t;  (** recovery instant (exclusive); [infinity] = never *)
+}
+
+type site_faults = {
+  site : int;
+  outages : window list;  (** disjoint, in increasing time order *)
+}
+
+type link_faults = {
+  dst : int;  (** the incoming link of this site *)
+  drop : float;  (** probability a transfer across the link is lost *)
+  inflate : float;  (** latency multiplier, >= 1.0 *)
+}
+
+type schedule = {
+  seed : int;  (** decides the per-transfer drop draws *)
+  sites : site_faults list;
+  links : link_faults list;
+}
+
+val none : schedule
+(** The empty schedule: nothing fails. Strategies treat it as "fault
+    injection off" and build exactly the fault-free task graph. *)
+
+val is_none : schedule -> bool
+
+val validate : schedule -> unit
+(** Raises [Invalid_argument] with a readable message on malformed
+    schedules: overlapping or unordered windows, [up <= down], drop
+    probabilities outside [0,1], inflation < 1, negative sites. *)
+
+val site_down : schedule -> site:int -> at:Time.t -> bool
+
+val next_up : schedule -> site:int -> at:Time.t -> Time.t option
+(** The earliest instant [>= at] at which [site] is up, or [None] if it
+    never recovers ([up = infinity] on the covering window). *)
+
+val permanently_down : schedule -> site:int -> at:Time.t -> bool
+(** The site is down at [at] and never recovers. *)
+
+val failed_sites : schedule -> int list
+(** Sites with at least one outage window, sorted. *)
+
+val drop_draw : schedule -> dst:int -> label:string -> start:Time.t -> p:float -> bool
+(** The deterministic per-transfer loss draw: a pure hash of [(seed, dst,
+    label, start)] against probability [p]. Exposed for tests. *)
+
+val judge : schedule -> Engine.judge
+(** The engine interpretation. Only [Link] tasks are affected: the duration
+    is stretched by the link's inflation factor; the task is dropped when
+    the destination site is down at the stretched finish time (reason
+    ["site N down"]) or when the link's loss draw fires (reason
+    ["link to N lossy"]). *)
+
+val install : schedule -> Engine.t -> unit
+(** [Engine.set_judge] with {!judge} — a no-op for {!none}. *)
+
+val random :
+  rng:Msdq_workload.Rng.t ->
+  sites:int list ->
+  availability:float ->
+  horizon:Time.t ->
+  ?drop:float ->
+  ?inflate:float ->
+  unit ->
+  schedule
+(** A random recoverable schedule: each listed site is down for an expected
+    fraction [1 - availability] of [0, horizon], as alternating up/down
+    periods drawn from per-site streams ([Rng.split_ix] on the site's rank,
+    so one site's windows never depend on another's draws). Every window
+    recovers within the horizon. [drop]/[inflate] (default 0 / 1) apply to
+    every listed site's incoming link. [availability] must be in (0, 1]; 1
+    yields no outages. The schedule's drop seed is drawn from [rng]. *)
+
+val pp : Format.formatter -> schedule -> unit

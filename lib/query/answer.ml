@@ -4,7 +4,12 @@ type status = Certain | Maybe
 
 type row = { goid : Oid.Goid.t; values : Value.t list; status : status }
 
-type t = { targets : Path.t list; rows : row list; index : status Oid.Goid.Map.t }
+type t = {
+  targets : Path.t list;
+  rows : row list;
+  index : status Oid.Goid.Map.t;
+  degraded : Oid.Goid.Set.t;
+}
 
 let make ~targets rows =
   let sorted = List.sort (fun a b -> Oid.Goid.compare a.goid b.goid) rows in
@@ -18,7 +23,27 @@ let make ~targets rows =
         else Oid.Goid.Map.add r.goid r.status acc)
       Oid.Goid.Map.empty sorted
   in
-  { targets; rows = sorted; index }
+  { targets; rows = sorted; index; degraded = Oid.Goid.Set.empty }
+
+let degraded t = t.degraded
+
+let demote t ~goids =
+  let rows =
+    List.map
+      (fun r ->
+        if r.status = Certain && Oid.Goid.Set.mem r.goid goids then
+          { r with status = Maybe }
+        else r)
+      t.rows
+  in
+  let index =
+    List.fold_left (fun acc r -> Oid.Goid.Map.add r.goid r.status acc)
+      Oid.Goid.Map.empty rows
+  in
+  let present =
+    Oid.Goid.Set.filter (fun g -> Oid.Goid.Map.mem g index) goids
+  in
+  { t with rows; index; degraded = Oid.Goid.Set.union t.degraded present }
 
 let targets t = t.targets
 let rows t = t.rows
@@ -49,14 +74,16 @@ let subsumes ~strong ~weak =
 let equal_status (a : status) (b : status) = a = b
 let status_to_string = function Certain -> "certain" | Maybe -> "maybe"
 
-let pp_row ppf r =
-  Format.fprintf ppf "%a [%s]: %s" Oid.Goid.pp r.goid (status_to_string r.status)
+let pp_row degraded ppf r =
+  Format.fprintf ppf "%a [%s%s]: %s" Oid.Goid.pp r.goid
+    (status_to_string r.status)
+    (if Oid.Goid.Set.mem r.goid degraded then ", degraded" else "")
     (String.concat ", " (List.map Value.to_string r.values))
 
 let pp ppf t =
   let certain_rows = certain t and maybe_rows = maybe t in
   Format.fprintf ppf "@[<v>certain results (%d):@," (List.length certain_rows);
-  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) certain_rows;
+  List.iter (fun r -> Format.fprintf ppf "  %a@," (pp_row t.degraded) r) certain_rows;
   Format.fprintf ppf "maybe results (%d):@," (List.length maybe_rows);
-  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) maybe_rows;
+  List.iter (fun r -> Format.fprintf ppf "  %a@," (pp_row t.degraded) r) maybe_rows;
   Format.fprintf ppf "@]"

@@ -34,6 +34,16 @@ val status_of : t -> Oid.Goid.t -> status option
 
 val goids : t -> status -> Oid.Goid.Set.t
 
+val degraded : t -> Oid.Goid.Set.t
+(** Entities whose classification was degraded by execution faults: they are
+    reported maybe (uncertified) although a fault-free execution might have
+    certified or eliminated them. Empty for fault-free runs. *)
+
+val demote : t -> goids:Oid.Goid.Set.t -> t
+(** Fault degradation: every listed row that is certain becomes maybe, and
+    every listed GOid present in the answer gains degraded provenance
+    (see {!degraded}). GOids absent from the answer are ignored. *)
+
 val same_statuses : t -> t -> bool
 (** Whether two answers classify exactly the same GOids as certain and as
     maybe (projected values are not compared). *)

@@ -8,6 +8,8 @@ type state =
   | Running
   | Finished
 
+type outcome = Delivered | Dropped of string
+
 type task = {
   tid : int;
   label : string;
@@ -17,11 +19,25 @@ type task = {
   mutable state : state;
   mutable dependents : task list;
   mutable callbacks : (unit -> unit) list;  (* reversed registration order *)
+  mutable outcome_callbacks : (outcome -> unit) list;
   mutable start_time : Time.t;
   mutable finish_time : Time.t;
+  mutable drop : string option;  (* set by the fault judge at start time *)
+  mutable awaiting : task list;  (* unfinished deps, for stuck diagnostics *)
+  is_promise : bool;
 }
 
 type handle = task
+
+type decision = { fault_duration : Time.t; fault_drop : string option }
+
+type judge =
+  site:int ->
+  kind:Resource.kind ->
+  label:string ->
+  start:Time.t ->
+  duration:Time.t ->
+  decision option
 
 (* One FIFO resource instance: at most one running task, the rest queued. *)
 type rsrc = { mutable current : task option; waiting : task Queue.t }
@@ -35,6 +51,8 @@ type t = {
   trace : Trace.t;
   mutable next_tid : int;
   mutable unfinished : int;
+  live : (int, task) Hashtbl.t;  (* every unfinished task, by tid *)
+  mutable judge : judge option;
 }
 
 exception Stuck of string list
@@ -49,11 +67,15 @@ let create ?(trace = false) () =
     trace = Trace.create ~enabled:trace;
     next_tid = 0;
     unfinished = 0;
+    live = Hashtbl.create 64;
+    judge = None;
   }
 
 let now t = t.clock
 let stats t = t.stats
 let trace t = t.trace
+
+let set_judge t judge = t.judge <- Some judge
 
 let set_speed t ~site ~kind ~factor =
   if not (Float.is_finite factor) || factor <= 0.0 then
@@ -78,12 +100,31 @@ let resource t site kind =
 
 (* Schedules the completion event of [task], which starts right now. The
    site's speed factor scales the effective duration; the scaled duration is
-   what the statistics account (it is the time the resource is busy). *)
+   what the statistics account (it is the time the resource is busy). When a
+   fault judge is installed it sees the scaled duration and may stretch it
+   (latency inflation) and doom the task: a doomed task still occupies its
+   resource for the full (possibly stretched) duration and is reported
+   [Dropped] at its would-be finish time — the receiver never learns earlier
+   that a message is lost. *)
 let start t task =
   task.state <- Running;
   task.start_time <- t.clock;
   let factor = speed_of t task in
   if factor <> 1.0 then task.duration <- Time.us (Time.to_us task.duration /. factor);
+  (match (t.judge, task.where) with
+  | Some judge, On (site, kind) -> (
+    match
+      judge ~site ~kind ~label:task.label ~start:t.clock ~duration:task.duration
+    with
+    | None -> ()
+    | Some { fault_duration; fault_drop } ->
+      if not (Time.is_finite fault_duration) || fault_duration < Time.zero then
+        invalid_arg
+          (Printf.sprintf "Engine: judge gave task %S invalid duration %g"
+             task.label fault_duration);
+      task.duration <- fault_duration;
+      task.drop <- fault_drop)
+  | _ -> ());
   let finish = Time.add t.clock task.duration in
   task.finish_time <- finish;
   Heap.push t.events ~priority:finish task
@@ -103,7 +144,8 @@ let activate t task =
       task.state <- Queued;
       Queue.add task r.waiting)
 
-let submit t ?(deps = []) ?on_complete ?(attrs = []) ~where ~label ~duration () =
+let submit t ?(deps = []) ?on_complete ?on_outcome ?(attrs = []) ~where ~label
+    ~duration () =
   if not (Time.is_finite duration) || duration < Time.zero then
     invalid_arg
       (Printf.sprintf "Engine: task %S has invalid duration %g" label duration);
@@ -117,12 +159,17 @@ let submit t ?(deps = []) ?on_complete ?(attrs = []) ~where ~label ~duration () 
       state = Blocked 0;
       dependents = [];
       callbacks = (match on_complete with None -> [] | Some f -> [ f ]);
+      outcome_callbacks = (match on_outcome with None -> [] | Some f -> [ f ]);
       start_time = Time.zero;
       finish_time = Time.zero;
+      drop = None;
+      awaiting = [];
+      is_promise = false;
     }
   in
   t.next_tid <- t.next_tid + 1;
   t.unfinished <- t.unfinished + 1;
+  Hashtbl.add t.live task.tid task;
   let pending =
     List.fold_left
       (fun n dep ->
@@ -130,27 +177,64 @@ let submit t ?(deps = []) ?on_complete ?(attrs = []) ~where ~label ~duration () 
         | Finished -> n
         | Blocked _ | Queued | Running ->
           dep.dependents <- task :: dep.dependents;
+          task.awaiting <- dep :: task.awaiting;
           n + 1)
       0 deps
   in
   if pending = 0 then activate t task else task.state <- Blocked pending;
   task
 
-let task t ?deps ?on_complete ?attrs ~site ~kind ~label ~duration () =
-  submit t ?deps ?on_complete ?attrs ~where:(On (site, kind)) ~label ~duration ()
+let task t ?deps ?on_complete ?on_outcome ?attrs ~site ~kind ~label ~duration () =
+  submit t ?deps ?on_complete ?on_outcome ?attrs ~where:(On (site, kind)) ~label
+    ~duration ()
 
-let transfer t ?deps ?on_complete ?attrs ~src ~dst ~label ~duration () =
+let transfer t ?deps ?on_complete ?on_outcome ?attrs ~src ~dst ~label ~duration () =
   if src = dst then
-    submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration:Time.zero ()
+    submit t ?deps ?on_complete ?on_outcome ?attrs ~where:Nowhere ~label
+      ~duration:Time.zero ()
   else
-    submit t ?deps ?on_complete ?attrs ~where:(On (dst, Resource.Link)) ~label
-      ~duration ()
+    submit t ?deps ?on_complete ?on_outcome ?attrs ~where:(On (dst, Resource.Link))
+      ~label ~duration ()
 
 let fence t ?deps ?on_complete ?attrs ~label () =
   submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration:Time.zero ()
 
 let delay t ?deps ?on_complete ?attrs ~label ~duration () =
   submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration ()
+
+let promise t ~label =
+  let task =
+    {
+      tid = t.next_tid;
+      label;
+      where = Nowhere;
+      attrs = [];
+      duration = Time.zero;
+      state = Blocked 1;  (* the one pending "dependency" is [resolve] *)
+      dependents = [];
+      callbacks = [];
+      outcome_callbacks = [];
+      start_time = Time.zero;
+      finish_time = Time.zero;
+      drop = None;
+      awaiting = [];
+      is_promise = true;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.unfinished <- t.unfinished + 1;
+  Hashtbl.add t.live task.tid task;
+  task
+
+let resolve t task =
+  if not task.is_promise then
+    invalid_arg
+      (Printf.sprintf "Engine.resolve: task %S is not a promise" task.label);
+  match task.state with
+  | Blocked 1 -> activate t task
+  | Blocked _ | Queued | Running | Finished ->
+    invalid_arg
+      (Printf.sprintf "Engine.resolve: promise %S already resolved" task.label)
 
 let finished _t task = task.state = Finished
 
@@ -160,9 +244,22 @@ let finish_time _t task =
   | Blocked _ | Queued | Running ->
     invalid_arg (Printf.sprintf "Engine.finish_time: task %S not finished" task.label)
 
+let outcome_of _t task =
+  match task.state with
+  | Finished -> (
+    match task.drop with None -> Delivered | Some reason -> Dropped reason)
+  | Blocked _ | Queued | Running ->
+    invalid_arg (Printf.sprintf "Engine.outcome_of: task %S not finished" task.label)
+
 let complete t task =
   task.state <- Finished;
   t.unfinished <- t.unfinished - 1;
+  Hashtbl.remove t.live task.tid;
+  let trace_attrs =
+    match task.drop with
+    | None -> task.attrs
+    | Some reason -> ("dropped", reason) :: task.attrs
+  in
   (match task.where with
   | On (site, kind) ->
     Stats.record t.stats ~site ~kind ~label:task.label ~duration:task.duration
@@ -175,7 +272,7 @@ let complete t task =
           kind = Some kind;
           start = task.start_time;
           finish = task.finish_time;
-          attrs = task.attrs;
+          attrs = trace_attrs;
         });
     (* Hand the resource to the next queued task. *)
     let r = resource t site kind in
@@ -195,9 +292,12 @@ let complete t task =
           kind = None;
           start = task.start_time;
           finish = task.finish_time;
-          attrs = task.attrs;
+          attrs = trace_attrs;
         }));
-  (* Unblock dependents in submission order (they were consed in reverse). *)
+  (* Unblock dependents in submission order (they were consed in reverse).
+     A dropped task still unblocks its dependents: the failure is signalled
+     through the outcome callbacks, and retry chains are modelled as fresh
+     tasks, not as re-runs of this one. *)
   let dependents = List.rev task.dependents in
   task.dependents <- [];
   let unblock dep =
@@ -207,7 +307,14 @@ let complete t task =
     | Queued | Running | Finished -> assert false
   in
   List.iter unblock dependents;
-  List.iter (fun f -> f ()) (List.rev task.callbacks)
+  List.iter (fun f -> f ()) (List.rev task.callbacks);
+  match task.outcome_callbacks with
+  | [] -> ()
+  | cbs ->
+    let outcome =
+      match task.drop with None -> Delivered | Some reason -> Dropped reason
+    in
+    List.iter (fun f -> f outcome) (List.rev cbs)
 
 let rec drain t =
   match Heap.pop t.events with
@@ -217,20 +324,48 @@ let rec drain t =
     complete t task;
     drain t
 
-(* Collects the labels of tasks that can never finish, for error reporting.
-   We only know them through resource queues and dependents, so walk the
-   resources; blocked tasks hanging off finished deps are unreachable here,
-   hence the generic message fallback. *)
-let stuck_labels t =
-  let labels = ref [] in
-  Hashtbl.iter
-    (fun _ r ->
-      (match r.current with Some task -> labels := task.label :: !labels | None -> ());
-      Queue.iter (fun task -> labels := task.label :: !labels) r.waiting)
-    t.resources;
-  if !labels = [] then [ Printf.sprintf "%d task(s) blocked on unfinished dependencies" t.unfinished ]
-  else !labels
+let where_to_string = function
+  | Nowhere -> "fence"
+  | On (site, kind) ->
+    Printf.sprintf "site %d %s" site (Resource.kind_to_string kind)
+
+(* Describes every task that can never finish: its own label and site plus
+   the labels (and sites) of the dependencies it is still waiting for, so a
+   deadlock introduced by a failed or never-resolved task names the culprit
+   instead of just the victim. *)
+let stuck_descriptions t =
+  let tasks =
+    Hashtbl.fold (fun _ task acc -> task :: acc) t.live []
+    |> List.sort (fun a b -> compare a.tid b.tid)
+  in
+  List.map
+    (fun task ->
+      let self = Printf.sprintf "%s (%s)" task.label (where_to_string task.where) in
+      match task.state with
+      | Running -> self ^ ": running"
+      | Queued -> self ^ ": queued behind the running task"
+      | Finished -> assert false
+      | Blocked _ when task.is_promise -> self ^ ": promise never resolved"
+      | Blocked n ->
+        let unmet =
+          List.filter (fun dep -> dep.state <> Finished) (List.rev task.awaiting)
+        in
+        let names =
+          List.map
+            (fun dep ->
+              Printf.sprintf "%s (%s)" dep.label (where_to_string dep.where))
+            unmet
+        in
+        let names =
+          (* Dependencies are recorded at submission; a dependency created
+             before tracking began (or an inconsistent count) still reports
+             honestly. *)
+          if names = [] then [ Printf.sprintf "%d untracked dependenc(ies)" n ]
+          else names
+        in
+        Printf.sprintf "%s: awaiting %s" self (String.concat ", " names))
+    tasks
 
 let run t =
   drain t;
-  if t.unfinished > 0 then raise (Stuck (stuck_labels t))
+  if t.unfinished > 0 then raise (Stuck (stuck_descriptions t))

@@ -12,6 +12,15 @@
     CA/BL/PL strategies compute real answers while being charged simulated
     time.
 
+    {b Fault injection.} An installed {!judge} inspects every resource task
+    as it starts and may stretch its duration (latency inflation on a lossy
+    link) or doom it. A doomed task occupies its resource for the full
+    stretched duration and completes {!Dropped} at its would-be finish time
+    — the sender only learns of the loss then, exactly like a lost message
+    under a timeout. Dropped tasks still unblock their dependents; the
+    failure travels through [on_outcome], and retry chains are modelled as
+    fresh tasks submitted from those callbacks (see {!Msdq_fault.Fault}).
+
     Runs are deterministic: simultaneous events fire in submission order. *)
 
 type t
@@ -19,9 +28,35 @@ type t
 type handle
 (** Identifies a submitted task. *)
 
+type outcome =
+  | Delivered  (** the task finished normally *)
+  | Dropped of string  (** doomed by the fault judge; carries the reason *)
+
+type decision = {
+  fault_duration : Time.t;
+      (** effective duration, e.g. the original stretched by a lossy link's
+          inflation factor *)
+  fault_drop : string option;
+      (** [Some reason] dooms the task: it completes [Dropped reason] *)
+}
+
+type judge =
+  site:int ->
+  kind:Resource.kind ->
+  label:string ->
+  start:Time.t ->
+  duration:Time.t ->
+  decision option
+(** Consulted when a resource task starts ([duration] is already scaled by
+    the site's speed factor). [None] leaves the task untouched. *)
+
 val create : ?trace:bool -> unit -> t
 (** A fresh engine with clock at zero. Sites are implicit: any non-negative
     integer used as a site id materializes its resources on first use. *)
+
+val set_judge : t -> judge -> unit
+(** Installs the fault judge. Applies to tasks that {e start} after the
+    call. *)
 
 val set_speed : t -> site:int -> kind:Resource.kind -> factor:float -> unit
 (** Heterogeneous hardware: a resource with factor [f] executes tasks [f]
@@ -35,20 +70,24 @@ val now : t -> Time.t
 
 val task :
   t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
-  ?attrs:(string * string) list -> site:int -> kind:Resource.kind ->
-  label:string -> duration:Time.t -> unit -> handle
+  ?on_outcome:(outcome -> unit) -> ?attrs:(string * string) list ->
+  site:int -> kind:Resource.kind -> label:string -> duration:Time.t -> unit ->
+  handle
 (** Occupies [kind] at [site] for [duration] once all [deps] have finished.
     [attrs] is free-form attribution (strategy, phase, database) copied onto
     the task's trace entry; it costs nothing when tracing is disabled.
-    Raises [Invalid_argument] on a negative or non-finite duration. *)
+    [on_outcome] runs at completion with the task's {!outcome} — the
+    failable-task API. Raises [Invalid_argument] on a negative or
+    non-finite duration. *)
 
 val transfer :
   t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
-  ?attrs:(string * string) list -> src:int -> dst:int -> label:string ->
-  duration:Time.t -> unit -> handle
+  ?on_outcome:(outcome -> unit) -> ?attrs:(string * string) list ->
+  src:int -> dst:int -> label:string -> duration:Time.t -> unit -> handle
 (** A network transfer from [src] to [dst]: occupies [dst]'s incoming link
     for [duration]. A transfer between a site and itself costs nothing (local
-    data never crosses the network) and degenerates to a fence. *)
+    data never crosses the network), degenerates to a fence and can never be
+    dropped. *)
 
 val fence :
   t -> ?deps:handle list -> ?on_complete:(unit -> unit) ->
@@ -62,15 +101,33 @@ val delay :
 (** Like {!fence} but finishes [duration] after becoming eligible, without
     occupying any resource. *)
 
+val promise : t -> label:string -> handle
+(** A join point with no pre-declared dependencies: stays pending until
+    {!resolve} is called, then completes instantly at the current clock.
+    Lets a retry chain of unknown length gate downstream tasks — submit the
+    dependents against the promise, resolve it from the callback that ends
+    the chain. An unresolved promise makes {!run} raise {!Stuck}. *)
+
+val resolve : t -> handle -> unit
+(** Completes a {!promise} at the current simulated time. Raises
+    [Invalid_argument] if the handle is not a promise or was already
+    resolved. *)
+
 val finished : t -> handle -> bool
 
 val finish_time : t -> handle -> Time.t
 (** Raises [Invalid_argument] if the task has not finished. *)
 
+val outcome_of : t -> handle -> outcome
+(** Raises [Invalid_argument] if the task has not finished. *)
+
 exception Stuck of string list
 (** Raised by {!run} when the event queue drains while tasks remain
-    unfinished — i.e. the dependency graph has a cycle or a dependency on a
-    task that was never made eligible. Carries the labels of stuck tasks. *)
+    unfinished — i.e. the dependency graph has a cycle, a dependency was
+    never made eligible, or a {!promise} was never resolved. Each entry
+    describes one stuck task: its label and site plus the labels and sites
+    of the unmet dependencies it is awaiting (or that it is an unresolved
+    promise), so the culprit of a deadlock is named, not just the victim. *)
 
 val run : t -> unit
 (** Processes events until quiescence. May be called again after submitting

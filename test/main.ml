@@ -46,6 +46,7 @@ let () =
       ("workload.params", Test_params.suite);
       ("workload.synth", Test_synth.suite);
       ("exec.equivalence", Test_equivalence.suite);
+      ("fault", Test_fault.suite);
       ("exp.param_sim", Test_param_sim.suite);
       ("exp.figures", Test_figures.suite);
       ("exp.planner", Test_planner.suite);

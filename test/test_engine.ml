@@ -135,6 +135,86 @@ let test_trace () =
   Alcotest.(check bool) "renders" true
     (String.length (Format.asprintf "%a" Trace.pp (Engine.trace e)) > 0)
 
+(* A drained queue with unfinished tasks raises Stuck, and each entry names
+   the stuck task, its site and the unmet dependencies (or the unresolved
+   promise) it is awaiting — the culprit, not just the victim. *)
+let test_stuck_diagnostics () =
+  let e = Engine.create () in
+  let p = Engine.promise e ~label:"never" in
+  let _ =
+    Engine.task e ~deps:[ p ] ~site:1 ~kind:Resource.Cpu ~label:"work"
+      ~duration:(Time.us 5.0) ()
+  in
+  match Engine.run e with
+  | () -> Alcotest.fail "expected Stuck"
+  | exception Engine.Stuck entries ->
+    Alcotest.(check (list string))
+      "each stuck task names its site and unmet dependencies"
+      [
+        "never (fence): promise never resolved";
+        "work (site 1 cpu): awaiting never (fence)";
+      ]
+      entries
+
+let test_stuck_names_failed_chain () =
+  let e = Engine.create () in
+  let a =
+    Engine.task e ~site:2 ~kind:Resource.Disk ~label:"read" ~duration:(Time.us 1.0) ()
+  in
+  let p = Engine.promise e ~label:"settled" in
+  let _ = Engine.fence e ~deps:[ a; p ] ~label:"collect" () in
+  match Engine.run e with
+  | () -> Alcotest.fail "expected Stuck"
+  | exception Engine.Stuck entries ->
+    Alcotest.(check (list string))
+      "finished dependencies are not listed as unmet"
+      [
+        "settled (fence): promise never resolved";
+        "collect (fence): awaiting settled (fence)";
+      ]
+      entries
+
+(* The failable-task API: a judged transfer completes Dropped at its
+   would-be finish time; untouched transfers complete Delivered. *)
+let test_judge_outcomes () =
+  let e = Engine.create () in
+  Engine.set_judge e (fun ~site:_ ~kind:_ ~label ~start:_ ~duration ->
+      if String.equal label "doomed" then
+        Some { Engine.fault_duration = duration; fault_drop = Some "lossy" }
+      else None);
+  let doomed_outcome = ref None and ok_outcome = ref None in
+  let d =
+    Engine.transfer e ~src:1 ~dst:0 ~label:"doomed" ~duration:(Time.us 8.0)
+      ~on_outcome:(fun o -> doomed_outcome := Some o)
+      ()
+  in
+  let ok =
+    Engine.transfer e ~src:2 ~dst:3 ~label:"fine" ~duration:(Time.us 4.0)
+      ~on_outcome:(fun o -> ok_outcome := Some o)
+      ()
+  in
+  Engine.run e;
+  Alcotest.(check bool) "dropped outcome" true
+    (!doomed_outcome = Some (Engine.Dropped "lossy"));
+  Alcotest.(check bool) "delivered outcome" true (!ok_outcome = Some Engine.Delivered);
+  check_time "doomed still occupies the link until its finish" 8.0
+    (Time.to_us (Engine.finish_time e d));
+  check_time "unjudged transfer unaffected" 4.0 (Time.to_us (Engine.finish_time e ok))
+
+let test_judge_inflation () =
+  let e = Engine.create () in
+  Engine.set_judge e (fun ~site:_ ~kind ~label:_ ~start:_ ~duration ->
+      if kind = Resource.Link then
+        Some { Engine.fault_duration = Time.us (2.5 *. Time.to_us duration); fault_drop = None }
+      else None);
+  let t = Engine.transfer e ~src:1 ~dst:0 ~label:"t" ~duration:(Time.us 10.0) () in
+  let c = Engine.task e ~site:0 ~kind:Resource.Cpu ~label:"c" ~duration:(Time.us 10.0) () in
+  Engine.run e;
+  check_time "link stretched" 25.0 (Time.to_us (Engine.finish_time e t));
+  check_time "cpu untouched" 10.0 (Time.to_us (Engine.finish_time e c));
+  Alcotest.(check bool) "stretched transfer still delivers" true
+    (Engine.outcome_of e t = Engine.Delivered)
+
 (* Response time never exceeds total execution time (with >= 1 task). *)
 let prop_response_le_total =
   QCheck.Test.make ~name:"makespan <= total busy time" ~count:100
@@ -234,6 +314,10 @@ let suite =
     Alcotest.test_case "invalid durations rejected" `Quick test_invalid_duration;
     Alcotest.test_case "stats breakdown" `Quick test_stats_breakdown;
     Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "stuck diagnostics" `Quick test_stuck_diagnostics;
+    Alcotest.test_case "stuck skips finished deps" `Quick test_stuck_names_failed_chain;
+    Alcotest.test_case "judge outcomes" `Quick test_judge_outcomes;
+    Alcotest.test_case "judge inflation" `Quick test_judge_inflation;
     QCheck_alcotest.to_alcotest prop_response_le_total;
     QCheck_alcotest.to_alcotest prop_deterministic;
   ]

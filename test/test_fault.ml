@@ -1,0 +1,348 @@
+(* Fault injection: schedule validation, the deterministic drop draw, the
+   engine-level failure semantics, and the chaos properties — for any seeded
+   fault schedule the degraded answer is sound:
+
+     certain(faulty) ⊆ certain(fault-free)
+     certain(faulty) ∪ maybe(faulty) ⊇ certain(fault-free)
+
+   and the availability section reconciles exactly with the fault-free run:
+   |certain(faulty)| + demoted = |certain(fault-free)|.
+
+   The chaos suite honours QCHECK_SEED (qcheck-alcotest), which CI rotates
+   and prints per job for reproduction. *)
+
+open Msdq_simkit
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_workload
+module Fault = Msdq_fault.Fault
+
+let ms = Time.ms
+
+let paper_case () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let analysis =
+    Analysis.analyze
+      (Global_schema.schema (Federation.global_schema fed))
+      (Parser.parse Paper_example.q1)
+  in
+  (fed, analysis)
+
+let run_with fault s fed analysis =
+  let options = { Strategy.default_options with Strategy.fault } in
+  Strategy.run ~options s fed analysis
+
+(* ---- validation ---- *)
+
+let rejects name schedule =
+  match Fault.validate schedule with
+  | () -> Alcotest.failf "%s accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_validate () =
+  Fault.validate Fault.none;
+  Fault.validate
+    {
+      Fault.seed = 1;
+      sites = [ { Fault.site = 2; outages = [ { Fault.down = ms 1.0; up = ms 2.0 } ] } ];
+      links = [ { Fault.dst = 0; drop = 0.5; inflate = 2.0 } ];
+    };
+  rejects "negative site"
+    { Fault.none with Fault.sites = [ { Fault.site = -1; outages = [] } ] };
+  rejects "up <= down"
+    {
+      Fault.none with
+      Fault.sites =
+        [ { Fault.site = 1; outages = [ { Fault.down = ms 2.0; up = ms 2.0 } ] } ];
+    };
+  rejects "overlapping windows"
+    {
+      Fault.none with
+      Fault.sites =
+        [
+          {
+            Fault.site = 1;
+            outages =
+              [
+                { Fault.down = ms 1.0; up = ms 3.0 };
+                { Fault.down = ms 2.0; up = ms 4.0 };
+              ];
+          };
+        ];
+    };
+  rejects "drop > 1"
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.5; inflate = 1.0 } ] };
+  rejects "inflate < 1"
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 0.0; inflate = 0.5 } ] }
+
+let test_windows () =
+  let sched =
+    {
+      Fault.seed = 0;
+      sites =
+        [
+          {
+            Fault.site = 2;
+            outages =
+              [
+                { Fault.down = ms 1.0; up = ms 2.0 };
+                { Fault.down = ms 5.0; up = Time.us Float.infinity };
+              ];
+          };
+        ];
+      links = [];
+    }
+  in
+  Fault.validate sched;
+  Alcotest.(check bool) "up before first window" false
+    (Fault.site_down sched ~site:2 ~at:(ms 0.5));
+  Alcotest.(check bool) "down inside window" true
+    (Fault.site_down sched ~site:2 ~at:(ms 1.5));
+  Alcotest.(check bool) "recovery instant is up" false
+    (Fault.site_down sched ~site:2 ~at:(ms 2.0));
+  Alcotest.(check bool) "other sites unaffected" false
+    (Fault.site_down sched ~site:1 ~at:(ms 1.5));
+  (match Fault.next_up sched ~site:2 ~at:(ms 1.5) with
+  | Some t -> Alcotest.(check (float 1e-9)) "next_up inside window" 2000.0 (Time.to_us t)
+  | None -> Alcotest.fail "expected recovery");
+  Alcotest.(check bool) "permanent outage never recovers" true
+    (Fault.next_up sched ~site:2 ~at:(ms 6.0) = None);
+  Alcotest.(check bool) "permanently down" true
+    (Fault.permanently_down sched ~site:2 ~at:(ms 6.0));
+  Alcotest.(check (list int)) "failed sites" [ 2 ] (Fault.failed_sites sched)
+
+(* ---- the deterministic drop draw ---- *)
+
+let test_drop_draw () =
+  let sched = { Fault.none with Fault.seed = 1234 } in
+  let draw i p =
+    Fault.drop_draw sched ~dst:0
+      ~label:(Printf.sprintf "transfer-%d" i)
+      ~start:(Time.us (float_of_int (i * 17)))
+      ~p
+  in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "p=0 never drops" false (draw i 0.0);
+    Alcotest.(check bool) "p=1 always drops" true (draw i 1.0);
+    Alcotest.(check bool) "deterministic" (draw i 0.3) (draw i 0.3)
+  done;
+  let n = 2000 in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    if draw i 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "drop frequency %.3f near 0.3" freq)
+    true
+    (freq > 0.25 && freq < 0.35)
+
+(* ---- engine-level semantics on the paper example ---- *)
+
+let test_link_loss_ca () =
+  let fed, analysis = paper_case () in
+  let ff_answer, ff = Strategy.run Strategy.Ca fed analysis in
+  let fault =
+    {
+      Fault.seed = 5;
+      sites = [];
+      links = [ { Fault.dst = 0; drop = 0.9; inflate = 1.0 } ];
+    }
+  in
+  let answer, m = run_with fault Strategy.Ca fed analysis in
+  let a = m.Strategy.availability in
+  Alcotest.(check bool) "faults active" true a.Strategy.faults_active;
+  Alcotest.(check bool) "transfers were lost" true (a.Strategy.drops > 0);
+  Alcotest.(check bool) "retries happened" true (a.Strategy.retries > 0);
+  (* critical transfers retry until delivered: the answer survives intact *)
+  Alcotest.(check bool) "answer statuses preserved" true
+    (Answer.same_statuses ff_answer answer);
+  Alcotest.(check int) "nothing demoted" 0 a.Strategy.demoted;
+  Alcotest.(check bool) "losses cost simulated time" true
+    (Time.compare m.Strategy.response ff.Strategy.response > 0)
+
+let test_latency_inflation () =
+  let fed, analysis = paper_case () in
+  let _, ff = Strategy.run Strategy.Ca fed analysis in
+  let fault =
+    {
+      Fault.seed = 1;
+      sites = [];
+      links = [ { Fault.dst = 0; drop = 0.0; inflate = 3.0 } ];
+    }
+  in
+  let answer, m = run_with fault Strategy.Ca fed analysis in
+  Alcotest.(check bool) "no drops from pure inflation" true
+    (m.Strategy.availability.Strategy.drops = 0);
+  Alcotest.(check bool) "inflation slows the response" true
+    (Time.compare m.Strategy.response ff.Strategy.response > 0);
+  Alcotest.(check bool) "answer intact" true
+    (Answer.same_statuses answer (fst (Strategy.run Strategy.Ca fed analysis)))
+
+(* A component site that stays down forever: every check round trip into it
+   is abandoned, and the affected entities are demoted — never silently
+   promoted. *)
+let test_crash_demotes () =
+  let fed, analysis = paper_case () in
+  let ff_answer, _ = Strategy.run Strategy.Bl fed analysis in
+  let fault =
+    {
+      Fault.seed = 2;
+      sites =
+        [
+          {
+            Fault.site = 2;
+            outages = [ { Fault.down = Time.zero; up = Time.us Float.infinity } ];
+          };
+        ];
+      links = [];
+    }
+  in
+  let answer, m = run_with fault Strategy.Bl fed analysis in
+  let a = m.Strategy.availability in
+  Alcotest.(check (list int)) "failed site reported" [ 2 ] a.Strategy.failed_sites;
+  Alcotest.(check bool) "checks were abandoned" true (a.Strategy.checks_abandoned > 0);
+  let ffc = Answer.goids ff_answer Answer.Certain in
+  let fc = Answer.goids answer Answer.Certain in
+  Alcotest.(check bool) "certain(faulty) subset of certain(fault-free)" true
+    (Oid.Goid.Set.subset fc ffc);
+  Alcotest.(check int) "reconciliation: certain + demoted = fault-free certain"
+    (Oid.Goid.Set.cardinal ffc)
+    (Oid.Goid.Set.cardinal fc + a.Strategy.demoted);
+  Alcotest.(check int) "demotions carry provenance" a.Strategy.demoted
+    (Oid.Goid.Set.cardinal
+       (Oid.Goid.Set.filter (fun g -> Oid.Goid.Set.mem g ffc)
+          (Answer.degraded answer)))
+
+(* ---- fault-free byte identity ---- *)
+
+let test_none_is_identity () =
+  let fed, analysis = paper_case () in
+  List.iter
+    (fun s ->
+      let default_answer, default_m = Strategy.run s fed analysis in
+      let explicit_answer, explicit_m = run_with Fault.none s fed analysis in
+      let bytes (a, m) =
+        Msdq_obs.Json.to_string (Msdq_exp.Run_report.run_to_json a m)
+      in
+      Alcotest.(check string)
+        (Strategy.to_string s ^ ": Fault.none report is byte-identical")
+        (bytes (default_answer, default_m))
+        (bytes (explicit_answer, explicit_m));
+      Alcotest.(check bool) "availability silent" false
+        explicit_m.Strategy.availability.Strategy.faults_active)
+    Strategy.all
+
+(* ---- chaos properties ---- *)
+
+(* A federation and query that analyze; denser than Synth.default so checks
+   and shipping actually happen (same shape as the equivalence suite). *)
+let rec make_case seed attempt =
+  if attempt > 20 then None
+  else
+    let cfg =
+      {
+        Synth.default with
+        Synth.seed = (seed * 37) + attempt;
+        p_host = 1.0;
+        p_attr_present = 0.7;
+        p_null = 0.15;
+        p_copy = 0.4;
+      }
+    in
+    let fed = Synth.generate cfg in
+    let rng = Rng.create ~seed:(seed + (attempt * 1013)) in
+    let query = Synth.random_query rng cfg ~disjunctive:false in
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    match Analysis.analyze schema query with
+    | analysis -> Some (fed, analysis)
+    | exception Analysis.Error _ -> make_case seed (attempt + 1)
+
+let random_schedule ~seed ~n_db ~horizon =
+  let rng = Rng.create ~seed in
+  let availability = 0.5 +. (0.5 *. Rng.float rng) in
+  if availability >= 0.999 then Fault.none
+  else
+    let sched =
+      Fault.random ~rng
+        ~sites:(List.init n_db (fun i -> i + 1))
+        ~availability ~horizon ~drop:(0.3 *. Rng.float rng) ()
+    in
+    { sched with Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links }
+
+let chaos_strategies =
+  [ Strategy.Ca; Strategy.Bl; Strategy.Pl; Strategy.Bls; Strategy.Pls; Strategy.Cf ]
+
+let prop_chaos_soundness =
+  QCheck.Test.make ~name:"chaos: degraded answers are sound" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        List.for_all
+          (fun s ->
+            let ff_answer, ff = Strategy.run s fed analysis in
+            let horizon =
+              Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+            in
+            let fault =
+              random_schedule ~seed:(seed + 31)
+                ~n_db:(List.length (Federation.databases fed))
+                ~horizon
+            in
+            let answer, m = run_with fault s fed analysis in
+            let a = m.Strategy.availability in
+            let ffc = Answer.goids ff_answer Answer.Certain in
+            let fc = Answer.goids answer Answer.Certain in
+            let fm = Answer.goids answer Answer.Maybe in
+            (* soundness: nothing falsely certified *)
+            Oid.Goid.Set.subset fc ffc
+            (* completeness: nothing certain vanished entirely *)
+            && Oid.Goid.Set.subset ffc (Oid.Goid.Set.union fc fm)
+            (* reconciliation *)
+            && Oid.Goid.Set.cardinal fc + a.Strategy.demoted
+               = Oid.Goid.Set.cardinal ffc
+            && a.Strategy.certain_fault_free = Oid.Goid.Set.cardinal ffc
+            && (Fault.is_none fault || a.Strategy.faults_active)
+            && a.Strategy.degradation_ratio >= 0.0
+            && a.Strategy.degradation_ratio <= 1.0)
+          chaos_strategies)
+
+let prop_chaos_deterministic =
+  QCheck.Test.make ~name:"chaos: faulty runs are reproducible" ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        let _, ff = Strategy.run Strategy.Bl fed analysis in
+        let horizon =
+          Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+        in
+        let fault =
+          random_schedule ~seed:(seed + 7)
+            ~n_db:(List.length (Federation.databases fed))
+            ~horizon
+        in
+        let bytes () =
+          let a, m = run_with fault Strategy.Bl fed analysis in
+          Msdq_obs.Json.to_string (Msdq_exp.Run_report.run_to_json a m)
+        in
+        String.equal (bytes ()) (bytes ()))
+
+let suite =
+  [
+    Alcotest.test_case "schedule validation" `Quick test_validate;
+    Alcotest.test_case "crash windows" `Quick test_windows;
+    Alcotest.test_case "drop draw" `Quick test_drop_draw;
+    Alcotest.test_case "link loss: CA retries" `Quick test_link_loss_ca;
+    Alcotest.test_case "latency inflation" `Quick test_latency_inflation;
+    Alcotest.test_case "crash demotes checks" `Quick test_crash_demotes;
+    Alcotest.test_case "empty schedule is identity" `Quick test_none_is_identity;
+    QCheck_alcotest.to_alcotest prop_chaos_soundness;
+    QCheck_alcotest.to_alcotest prop_chaos_deterministic;
+  ]

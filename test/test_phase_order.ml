@@ -13,8 +13,7 @@ let traced strategy =
   let fed = ex.Paper_example.federation in
   let schema = Global_schema.schema (Federation.global_schema fed) in
   let analysis = Analysis.analyze schema (Parser.parse Paper_example.q1) in
-  let options = { Strategy.default_options with Strategy.trace = true } in
-  let _, metrics = Strategy.run ~options strategy fed analysis in
+  let _, metrics = Strategy.run strategy fed analysis in
   Trace.entries metrics.Strategy.trace
 
 let find_all label entries =

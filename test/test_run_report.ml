@@ -127,10 +127,43 @@ let parallel_section =
     speedup = 3.0;
   }
 
+let fault_sweep_section =
+  {
+    Fault_sweep.id = "fault-sweep";
+    title = "robustness";
+    xlabel = "site availability";
+    xs = [| 0.8; 1.0 |];
+    samples = 2;
+    seed = 1;
+    series =
+      [
+        {
+          Fault_sweep.label = "BL";
+          responses = [| 0.2; 0.1 |];
+          recalls = [| 0.9; 1.0 |];
+        };
+        {
+          Fault_sweep.label = "fail-stop";
+          responses = [| 0.2; 0.1 |];
+          recalls = [| 0.0; 1.0 |];
+        };
+      ];
+  }
+
+let parallel_json =
+  Json.Obj
+    [
+      ("jobs", Json.Int 4);
+      ("grid_points", Json.Int 21);
+      ("seq_s", Json.Float 1.2);
+      ("par_s", Json.Float 0.4);
+      ("speedup", Json.Float 3.0);
+    ]
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
-      ~parallel:parallel_section
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -160,6 +193,32 @@ let test_bench_validation () =
   (match Run_report.validate_bench v1 with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "valid /1 document rejected: %s" msg);
+  (* Likewise a /2 document (no fault_sweep section). *)
+  let strategies_json =
+    Json.Arr
+      [
+        Json.Obj
+          [
+            ("name", Json.Str "BL");
+            ("total_s", Json.Float 0.1);
+            ("response_s", Json.Float 0.05);
+          ];
+      ]
+  in
+  let v2 =
+    Json.Obj
+      [
+        ("schema", Json.Str Run_report.bench_schema_v2);
+        ("generated_at", Json.Str "2026-01-01T00:00:00Z");
+        ("seed", Json.Int 1996);
+        ("parallel", parallel_json);
+        ("strategies", strategies_json);
+        ("wall", Json.Arr []);
+      ]
+  in
+  (match Run_report.validate_bench v2 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /2 document rejected: %s" msg);
   let reject name j =
     match Run_report.validate_bench j with
     | Ok () -> Alcotest.failf "%s accepted" name
@@ -184,37 +243,54 @@ let test_bench_validation () =
        ]);
   reject "negative time"
     (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
-       ~parallel:parallel_section
+       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
-  (* /2 declared without its sections: the validator must demand them. *)
+  (* Newer schemas declared without their sections: the validator must
+     demand them. *)
   reject "/2 without parallel"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema_v2);
+         ("generated_at", Json.Str "t");
+         ("seed", Json.Int 1);
+         ("strategies", strategies_json);
+         ("wall", Json.Arr []);
+       ]);
+  reject "/3 without fault_sweep"
     (Json.Obj
        [
          ("schema", Json.Str Run_report.bench_schema);
          ("generated_at", Json.Str "t");
          ("seed", Json.Int 1);
-         ( "strategies",
-           Json.Arr
-             [
-               Json.Obj
-                 [
-                   ("name", Json.Str "BL");
-                   ("total_s", Json.Float 0.1);
-                   ("response_s", Json.Float 0.05);
-                 ];
-             ] );
+         ("parallel", parallel_json);
+         ("strategies", strategies_json);
          ("wall", Json.Arr []);
        ]);
   let with_parallel fields =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
+      ~fault_sweep:fault_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
   reject "parallel jobs < 1"
     (with_parallel { parallel_section with Run_report.jobs = 0 });
   reject "negative speedup"
-    (with_parallel { parallel_section with Run_report.speedup = -2.0 })
+    (with_parallel { parallel_section with Run_report.speedup = -2.0 });
+  let with_sweep series =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section
+      ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  reject "empty fault_sweep series" (with_sweep []);
+  reject "recall above 1"
+    (with_sweep
+       [ { Fault_sweep.label = "BL"; responses = [| 0.1; 0.1 |]; recalls = [| 1.5; 1.0 |] } ]);
+  reject "series length mismatch"
+    (with_sweep
+       [ { Fault_sweep.label = "BL"; responses = [| 0.1 |]; recalls = [| 1.0 |] } ])
 
 let suite =
   [

@@ -203,6 +203,46 @@ let test_names () =
   Alcotest.(check bool) "case-insensitive" true
     (Strategy.of_string "bl" = Some Strategy.Bl)
 
+(* Malformed options fail eagerly — a readable Invalid_argument before any
+   simulated work, not a crash (or silent nonsense) mid-run. *)
+let test_options_validation () =
+  let _, fed, analysis = setup () in
+  let run_with options () =
+    ignore (Strategy.run ~options Strategy.Bl fed analysis)
+  in
+  let speeds site_speeds =
+    { Strategy.default_options with Strategy.site_speeds }
+  in
+  let rejected name ~mentions options =
+    match run_with options () with
+    | () -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message %S mentions %S" name msg mentions)
+        true
+        (Testutil.contains ~needle:mentions msg)
+  in
+  rejected "duplicate site id" ~mentions:"duplicate site id 1"
+    (speeds [ (1, 0.5); (2, 1.0); (1, 2.0) ]);
+  rejected "negative site id" ~mentions:"negative site id" (speeds [ (-3, 1.0) ]);
+  rejected "zero factor" ~mentions:"must be positive" (speeds [ (1, 0.0) ]);
+  rejected "negative factor" ~mentions:"must be positive" (speeds [ (1, -2.0) ]);
+  rejected "nan factor" ~mentions:"must be positive" (speeds [ (1, Float.nan) ]);
+  rejected "infinite factor" ~mentions:"must be positive"
+    (speeds [ (1, Float.infinity) ]);
+  rejected "zero retry attempts" ~mentions:"max_attempts"
+    {
+      Strategy.default_options with
+      Strategy.retry = { Strategy.default_retry with Strategy.max_attempts = 0 };
+    };
+  rejected "backoff below 1" ~mentions:"backoff"
+    {
+      Strategy.default_options with
+      Strategy.retry = { Strategy.default_retry with Strategy.backoff = 0.5 };
+    };
+  (* valid settings still run *)
+  run_with (speeds [ (0, 2.0); (1, 0.25) ]) ()
+
 let test_metrics_render () =
   let _, fed, analysis = setup () in
   let _, m = Strategy.run Strategy.Bl fed analysis in
@@ -224,5 +264,6 @@ let suite =
     Alcotest.test_case "no predicates" `Quick test_no_predicates;
     Alcotest.test_case "disjunctive extension" `Quick test_disjunctive;
     Alcotest.test_case "strategy names" `Quick test_names;
+    Alcotest.test_case "eager options validation" `Quick test_options_validation;
     Alcotest.test_case "metrics rendering" `Quick test_metrics_render;
   ]

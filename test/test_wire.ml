@@ -109,6 +109,67 @@ let test_request_bytes () =
     Alcotest.(check int) "verdict bytes" 18 (Wire.verdict_bytes c)
   | _ -> Alcotest.fail "expected two requests"
 
+(* Edge cases: empty batches ship nothing and read nothing; a query with no
+   targets still pays for identification and unsolved annotations. *)
+let test_empty_batches () =
+  Alcotest.(check int) "empty request batch ships nothing" 0
+    (Wire.requests_bytes c []);
+  Alcotest.(check int) "empty request batch reads nothing" 0
+    (Wire.check_read_bytes c []);
+  let _, fed, _, analysis, _ = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB1" in
+  let empty = { r with Local_result.rows = [] } in
+  Alcotest.(check int) "no rows, no bytes" 0
+    (Wire.results_bytes c ~n_targets:2 empty)
+
+let test_zero_target_rows () =
+  let _, fed, _, analysis, _ = setup () in
+  let r = Local_eval.run fed analysis ~db:"DB1" in
+  match r.Local_result.rows with
+  | row :: _ ->
+    let zero = Wire.local_row_bytes c ~n_targets:0 row in
+    (* identification (goid + loid) plus the unsolved annotations remain *)
+    let expect = 16 + 16 + (List.length row.Local_result.unsolved * (16 + 32)) in
+    Alcotest.(check int) "zero-target row bytes" expect zero;
+    Alcotest.(check bool) "targets only add bytes" true
+      (zero <= Wire.local_row_bytes c ~n_targets:2 row)
+  | [] -> Alcotest.fail "no rows"
+
+(* Batch of requests drawn (with repetition) from the paper example's check
+   phase: every byte size is non-negative, and adding a request to a batch
+   never shrinks it. *)
+let request_pool () =
+  let _, fed, _, analysis, _ = setup () in
+  let items =
+    List.concat_map
+      (fun (row : Local_result.row) -> row.Local_result.unsolved)
+      (Local_eval.run fed analysis ~db:"DB1").Local_result.rows
+  in
+  (Checks.build fed analysis ~db:"DB1" ~root_class:"Student" ~items).Checks.requests
+
+let prop_bytes_nonneg_monotone =
+  let pool = lazy (Array.of_list (request_pool ())) in
+  QCheck.Test.make
+    ~name:"wire bytes are non-negative and monotone in batch length" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 30) (int_bound 1000))
+    (fun picks ->
+      let pool = Lazy.force pool in
+      let batch =
+        List.map (fun i -> pool.(i mod Array.length pool)) picks
+      in
+      let bytes = Wire.requests_bytes c batch in
+      let read = Wire.check_read_bytes c batch in
+      bytes >= 0 && read >= 0
+      && List.for_all (fun r -> Wire.request_bytes c r >= 0) batch
+      &&
+      (* dropping the last request never increases either size *)
+      match List.rev batch with
+      | [] -> bytes = 0 && read = 0
+      | _ :: shorter_rev ->
+        let shorter = List.rev shorter_rev in
+        Wire.requests_bytes c shorter <= bytes
+        && Wire.check_read_bytes c shorter <= read)
+
 let suite =
   [
     Alcotest.test_case "involved attributes" `Quick test_involved;
@@ -117,4 +178,7 @@ let suite =
     Alcotest.test_case "touch and localized bytes" `Quick test_touch_and_localized_bytes;
     Alcotest.test_case "row bytes" `Quick test_row_bytes;
     Alcotest.test_case "request bytes" `Quick test_request_bytes;
+    Alcotest.test_case "empty batches" `Quick test_empty_batches;
+    Alcotest.test_case "zero-target rows" `Quick test_zero_target_rows;
+    QCheck_alcotest.to_alcotest prop_bytes_nonneg_monotone;
   ]
