@@ -10,15 +10,16 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/3", see Run_report) with the per-strategy
+   (schema "msdq-bench/4", see Run_report) with the per-strategy
    simulated times on the demo workload, the bechamel wall-clock
    medians, the run's seed, a parallel section (jobs, measured speedup
-   of a calibration sweep) and a fault_sweep section (certain-set
-   recall and response under injected site crashes); --out DIR picks
-   the directory, --jobs N sizes the domain pool (default: all cores;
-   1 = sequential), --smoke runs a reduced version for CI, and --check
-   FILE validates an existing result file against the schema (/1, /2
-   and /3 all accepted). *)
+   of a calibration sweep), a fault_sweep section (certain-set recall
+   and response under injected site crashes) and a recovery_sweep
+   section (retry-only vs failover vs failover+hedging recall and
+   demotion counts); --out DIR picks the directory, --jobs N sizes the
+   domain pool (default: all cores; 1 = sequential), --smoke runs a
+   reduced version for CI, and --check FILE validates an existing
+   result file against the schema (/1, /2, /3 and /4 all accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -364,6 +365,35 @@ let fault_study ?pool ~seed ~samples () =
   sweep
 
 (* ------------------------------------------------------------------ *)
+(* Recovery sweep (failover extension): retry-only vs failover vs        *)
+(* failover+hedging on the same faulty executions.                       *)
+
+let recovery_study ?pool ~seed ~samples () =
+  section "recovery-sweep";
+  Format.printf
+    "Failover recovery (extension): the same chaos grid, comparing the@.\
+     recovery policies on each faulty execution. retry = per-link retries@.\
+     only; failover adds replica re-routing behind per-link circuit@.\
+     breakers; hedged also races a duplicate check to the second-best@.\
+     replica. CA has no check round trips, so its triple is the flat@.\
+     control. The a=1.00 column is lossy-link-only, not fault-free.@.@.";
+  let sweep = Fault_sweep.run_recovery ?pool ~seed ~samples () in
+  Format.printf "%-14s" "series";
+  Array.iter
+    (fun a -> Format.printf " %8s" (Printf.sprintf "a=%.2f" a))
+    sweep.Fault_sweep.rxs;
+  Format.printf "@.";
+  List.iter
+    (fun (ser : Fault_sweep.rseries) ->
+      Format.printf "%-14s" (ser.Fault_sweep.r_label ^ " rec");
+      Array.iter (fun r -> Format.printf " %8.3f" r) ser.Fault_sweep.r_recalls;
+      Format.printf "@.%-14s" (ser.Fault_sweep.r_label ^ " dem");
+      Array.iter (fun d -> Format.printf " %8.2f" d) ser.Fault_sweep.r_demoted;
+      Format.printf "@.")
+    sweep.Fault_sweep.rseries;
+  sweep
+
+(* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
 let strategy_times () =
@@ -474,11 +504,11 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_bench_json ~out ~seed ~parallel ~fault_sweep ~wall =
+let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
-      ~strategies:(strategy_times ()) ~wall
+      ~recovery_sweep ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -542,7 +572,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema and exit" );
+        "FILE  validate FILE against the bench schema (/1../4) and exit" );
     ]
   in
   Arg.parse spec
@@ -572,8 +602,10 @@ let () =
       tables ();
       let parallel = calibrate ?pool ~seed:!seed ~samples:40 () in
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:3 () in
+      let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:2 () in
       let wall = microbenches ~quota:0.05 () in
-      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep ~wall
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
+        ~recovery_sweep ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -585,7 +617,9 @@ let () =
       throughput_study ();
       let parallel = calibrate ?pool ~seed:!seed ~samples:!samples () in
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:12 () in
+      let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:8 () in
       let wall = microbenches ~quota:0.4 () in
-      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep ~wall;
+      write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
+        ~recovery_sweep ~wall;
       Format.printf "@.done.@."
     end

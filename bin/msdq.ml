@@ -279,13 +279,17 @@ let fault_sweep_csv (sweep : Fault_sweep.sweep) =
     sweep.Fault_sweep.xs;
   Buffer.contents b
 
-let run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~csv ~json () =
+let run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
+    ~csv ~json () =
   (* The figure sweeps default to the paper's 500 draws per point; a
      concrete-execution sweep at that scale would run six full strategy
      executions per draw, so its default is smaller. An explicit --samples
      below the figure default is honoured. *)
   let samples = if samples = 500 then 12 else samples in
-  let sweep = Fault_sweep.run ?pool ~registry ?progress ~samples ~seed () in
+  let drop = Option.value drop ~default:0.05 in
+  let sweep =
+    Fault_sweep.run ?pool ~registry ?progress ~samples ~seed ~drop ~inflate ()
+  in
   if not json then Format.printf "%a@." pp_fault_sweep sweep;
   (match csv with
   | None -> ()
@@ -307,7 +311,88 @@ let run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~csv ~json () =
   end;
   `Ok ()
 
-let experiment which fault_sweep samples seed jobs csv chart json progress =
+let pp_recovery_sweep ppf (sweep : Fault_sweep.recovery_sweep) =
+  Format.fprintf ppf "@[<v>%s — %s@,(%d samples per level, seed %d)@,@,"
+    sweep.Fault_sweep.rid sweep.Fault_sweep.rtitle sweep.Fault_sweep.rsamples
+    sweep.Fault_sweep.rseed;
+  Format.fprintf ppf "%-20s" sweep.Fault_sweep.rxlabel;
+  Array.iter
+    (fun a -> Format.fprintf ppf " %9s" (Printf.sprintf "%.2f" a))
+    sweep.Fault_sweep.rxs;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (ser : Fault_sweep.rseries) ->
+      Format.fprintf ppf "%-20s" (ser.Fault_sweep.r_label ^ " recall");
+      Array.iter
+        (fun r -> Format.fprintf ppf " %9.3f" r)
+        ser.Fault_sweep.r_recalls;
+      Format.fprintf ppf "@,%-20s" (ser.Fault_sweep.r_label ^ " demoted");
+      Array.iter
+        (fun d -> Format.fprintf ppf " %9.2f" d)
+        ser.Fault_sweep.r_demoted;
+      Format.fprintf ppf "@,")
+    sweep.Fault_sweep.rseries;
+  Format.fprintf ppf "@]"
+
+let recovery_sweep_csv (sweep : Fault_sweep.recovery_sweep) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "availability";
+  List.iter
+    (fun (ser : Fault_sweep.rseries) ->
+      Buffer.add_string b
+        (Printf.sprintf ",%s_recall,%s_demoted,%s_response_s"
+           ser.Fault_sweep.r_label ser.Fault_sweep.r_label
+           ser.Fault_sweep.r_label))
+    sweep.Fault_sweep.rseries;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i a ->
+      Buffer.add_string b (Printf.sprintf "%g" a);
+      List.iter
+        (fun (ser : Fault_sweep.rseries) ->
+          Buffer.add_string b
+            (Printf.sprintf ",%g,%g,%g"
+               ser.Fault_sweep.r_recalls.(i)
+               ser.Fault_sweep.r_demoted.(i)
+               ser.Fault_sweep.r_responses.(i)))
+        sweep.Fault_sweep.rseries;
+      Buffer.add_char b '\n')
+    sweep.Fault_sweep.rxs;
+  Buffer.contents b
+
+let run_recovery_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
+    ~csv ~json () =
+  (* Nine series of full strategy executions per draw: the default sample
+     count is smaller still than the fault sweep's. *)
+  let samples = if samples = 500 then 8 else samples in
+  let drop = Option.value drop ~default:0.2 in
+  let sweep =
+    Fault_sweep.run_recovery ?pool ~registry ?progress ~samples ~seed ~drop
+      ~inflate ()
+  in
+  if not json then Format.printf "%a@." pp_recovery_sweep sweep;
+  (match csv with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (sweep.Fault_sweep.rid ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (recovery_sweep_csv sweep);
+    close_out oc;
+    if not json then Format.printf "wrote %s@." path);
+  if json then begin
+    let doc =
+      Msdq_obs.Json.Obj
+        [
+          ("recovery_sweep", Run_report.recovery_sweep_to_json sweep);
+          ("registry", Msdq_obs.Metrics.to_json registry);
+        ]
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
+  `Ok ()
+
+let experiment which fault_sweep recovery_sweep samples seed jobs drop inflate
+    csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -329,7 +414,11 @@ let experiment which fault_sweep samples seed jobs csv chart json progress =
   Fun.protect ~finally:(fun () -> Option.iter Msdq_par.Pool.shutdown pool)
   @@ fun () ->
   if fault_sweep || String.equal which "fault-sweep" then
-    run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~csv ~json ()
+    run_fault_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
+      ~csv ~json ()
+  else if recovery_sweep || String.equal which "recovery-sweep" then
+    run_recovery_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
+      ~csv ~json ()
   else
   let figures =
     match which with
@@ -389,7 +478,7 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
-             fault-sweep or all.")
+             fault-sweep, recovery-sweep or all.")
   in
   let fault_sweep_flag =
     Arg.(
@@ -398,9 +487,43 @@ let experiment_cmd =
           ~doc:
             "Run the robustness sweep instead of the figures: the concrete \
              CA/BL/PL executors under random site crashes and lossy links, \
-             reporting response time and certain-set recall per availability \
-             level against a hard-failing baseline. Defaults to 12 samples \
-             per level; $(b,--samples) overrides.")
+             reporting response time and certain-set recall per \
+             (availability, drop, inflate) point against a hard-failing \
+             baseline. Only availability is swept; the link knobs are fixed \
+             across the grid at $(b,--drop) (default 0.05) and \
+             $(b,--inflate) (default 1). Defaults to 12 samples per level; \
+             $(b,--samples) overrides.")
+  in
+  let recovery_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "recovery-sweep" ]
+          ~doc:
+            "Run the failover-recovery sweep instead of the figures: \
+             retry-only vs failover vs failover+hedging on the same faulty \
+             executions, reporting certain-set recall and mean demoted rows \
+             per availability level for CA, BL and PL. The availability-1.0 \
+             column keeps its lossy links ($(b,--drop), default 0.2 here) \
+             instead of going fault-free. Defaults to 8 samples per level; \
+             $(b,--samples) overrides.")
+  in
+  let drop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drop" ] ~docv:"P"
+          ~doc:
+            "Loss probability of every site's incoming link in the sweeps \
+             (default 0.05 for $(b,--fault-sweep), 0.2 for \
+             $(b,--recovery-sweep)).")
+  in
+  let inflate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "inflate" ] ~docv:"F"
+          ~doc:
+            "Latency inflation factor of every site's incoming link in the \
+             sweeps (default 1: no inflation).")
   in
   let csv =
     Arg.(
@@ -421,8 +544,9 @@ let experiment_cmd =
     with_logs
       Term.(
         ret
-          (const experiment $ which $ fault_sweep_flag $ samples_arg $ seed_arg
-         $ jobs $ csv $ chart $ json_arg $ progress_arg))
+          (const experiment $ which $ fault_sweep_flag $ recovery_sweep_flag
+         $ samples_arg $ seed_arg $ jobs $ drop $ inflate $ csv $ chart
+         $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"

@@ -1,0 +1,118 @@
+(* Failover recovery: policy knobs + per-link circuit breakers.
+   See recovery.mli for the contract; Strategy wires this into the
+   localized strategies' faulty builders. *)
+
+open Msdq_simkit
+module Fault = Msdq_fault.Fault
+
+type policy = {
+  failover : bool;
+  breaker_threshold : int;
+  hedge_after : Time.t option;
+}
+
+let disabled = { failover = false; breaker_threshold = 3; hedge_after = None }
+let default = { disabled with failover = true }
+let hedged after = { default with hedge_after = Some after }
+
+let validate p =
+  if p.breaker_threshold < 1 then
+    invalid_arg
+      (Printf.sprintf "Recovery.validate: breaker_threshold %d < 1"
+         p.breaker_threshold);
+  match p.hedge_after with
+  | None -> ()
+  | Some d ->
+      if (not (Time.is_finite d)) || Time.to_us d < 0.0 then
+        invalid_arg "Recovery.validate: hedge_after must be finite and >= 0"
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type event =
+    | Opened of { site : int; at : Time.t; probe_at : Time.t option }
+    | Probing of { site : int; at : Time.t }
+
+  type entry = {
+    mutable st : state;
+    mutable consecutive : int; (* failures since the last success *)
+    mutable probe_at : Time.t option; (* Open: earliest probe; None = never *)
+  }
+
+  type t = {
+    threshold : int;
+    sched : Fault.schedule;
+    entries : (int, entry) Hashtbl.t;
+    on_event : event -> unit;
+    mutable opened : int;
+    mutable probes : int;
+  }
+
+  let create ?(on_event = fun _ -> ()) ~threshold ~sched () =
+    if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+    { threshold; sched; entries = Hashtbl.create 8; on_event;
+      opened = 0; probes = 0 }
+
+  let entry t site =
+    match Hashtbl.find_opt t.entries site with
+    | Some e -> e
+    | None ->
+        let e = { st = Closed; consecutive = 0; probe_at = None } in
+        Hashtbl.replace t.entries site e;
+        e
+
+  let state t ~site = (entry t site).st
+
+  let probe_due e ~at =
+    match e.probe_at with
+    | None -> false
+    | Some p -> Time.compare at p >= 0
+
+  let live t ~site ~at =
+    let e = entry t site in
+    match e.st with
+    | Closed -> true
+    | Half_open -> false
+    | Open -> probe_due e ~at
+
+  let allow t ~site ~at =
+    let e = entry t site in
+    match e.st with
+    | Closed -> true
+    | Half_open -> false
+    | Open ->
+        if probe_due e ~at then begin
+          e.st <- Half_open;
+          t.probes <- t.probes + 1;
+          t.on_event (Probing { site; at });
+          true
+        end
+        else false
+
+  let success t ~site =
+    let e = entry t site in
+    e.st <- Closed;
+    e.consecutive <- 0;
+    e.probe_at <- None
+
+  let open_now t e ~site ~at =
+    e.st <- Open;
+    (* the probe never makes sense before the schedule says the site is
+       back; if the site is up right now [next_up] returns [at] and the
+       breaker half-opens on the next allow — drops can come from the lossy
+       link alone, not just crash windows *)
+    e.probe_at <- Fault.next_up t.sched ~site ~at;
+    t.opened <- t.opened + 1;
+    t.on_event (Opened { site; at; probe_at = e.probe_at })
+
+  let failure t ~site ~at =
+    let e = entry t site in
+    e.consecutive <- e.consecutive + 1;
+    match e.st with
+    | Half_open -> open_now t e ~site ~at (* failed probe: reopen *)
+    | Closed -> if e.consecutive >= t.threshold then open_now t e ~site ~at
+    | Open -> () (* a transfer already in flight when we opened; ignore *)
+
+  let opened_total t = t.opened
+  let probes_total t = t.probes
+end

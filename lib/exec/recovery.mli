@@ -1,0 +1,123 @@
+(** Failover recovery for assistant checks.
+
+    PR 3's fault layer is passive: a check batch that exhausts its retries is
+    abandoned and every item it carried demotes to uncertified maybe. This
+    module supplies the active half — the policy knobs and the per-link
+    circuit breaker — used by {!Strategy} to upgrade the localized strategies
+    (BL/PL/BLS/PLS) from fail-demote to fail-over:
+
+    - {b Replica-aware re-routing.} Isomeric objects sharing a GOid are
+      natural replicas: the per-target check requests built by {!Checks.build}
+      double as a routing table, and when the last in-flight batch for a
+      [(origin, item, atom)] key fails unanswered, the dispatcher re-issues
+      the check to the next live candidate site, charging the simulated clock
+      for the extra round trip. Only when no live replica can answer does the
+      item demote (with the failover chain recorded in the answer's degraded
+      provenance).
+    - {b Per-link circuit breakers} ({!Breaker}): after [breaker_threshold]
+      consecutive drops on a destination's incoming link the breaker opens
+      and routing skips that destination until a half-open probe succeeds at
+      the schedule's next-up instant — replacing blind retransmission storms.
+      Openings and probes surface as [msdq_breaker_{opened,probes}_total]
+      counters and ["breaker"] span events.
+    - {b Hedged dispatch}: with [hedge_after = Some d], a failover batch
+      still unanswered [d] after dispatch races a duplicate batch to the next
+      live candidate; the first answer wins and the loser's verdict is
+      discarded idempotently (certification is insensitive to duplicate
+      identical verdicts — qcheck-pinned).
+
+    Everything here is plain deterministic data + state machines; all
+    simulated-time behaviour lives in {!Strategy}. *)
+
+open Msdq_simkit
+module Fault = Msdq_fault.Fault
+
+type policy = {
+  failover : bool;
+      (** master switch: re-route abandoned checks to isomeric replicas *)
+  breaker_threshold : int;
+      (** consecutive drops on a link before its breaker opens; >= 1 *)
+  hedge_after : Time.t option;
+      (** race a duplicate failover batch to the next candidate after this
+          long without an answer; [None] disables hedging *)
+}
+
+val disabled : policy
+(** Recovery off — byte-identical to the PR 3 retry-only behaviour. *)
+
+val default : policy
+(** Failover on, breaker threshold 3, no hedging. *)
+
+val hedged : Time.t -> policy
+(** {!default} plus hedged dispatch after the given delay. *)
+
+val validate : policy -> unit
+(** Raises [Invalid_argument] on [breaker_threshold < 1] or a negative /
+    non-finite [hedge_after]. *)
+
+(** Per-destination-link circuit breaker.
+
+    One state machine per destination site, fed only by {e check request}
+    legs (verdict return legs terminate at the global site, which has no
+    alternative route — gating them could only lose answers):
+
+    {v
+              k consecutive drops
+      Closed ----------------------> Open
+        ^  ^                          |  allow? at >= probe_at
+        |  |                          v  (probe_at = Fault.next_up)
+        |  '--------- success ---- Half_open
+        |                             |
+        '------- (reopen) <--- failure'
+    v}
+
+    While [Open], [live] and [allow] reject the destination until the
+    schedule's next-up instant; the first [allow] at or after it grants a
+    single half-open probe. A successful probe closes the breaker; a failed
+    one reopens it. A link whose site never recovers ([next_up = None]) stays
+    open forever. *)
+module Breaker : sig
+  type state = Closed | Open | Half_open
+
+  type event =
+    | Opened of { site : int; at : Time.t; probe_at : Time.t option }
+        (** the breaker for [site] opened (or reopened after a failed
+            probe); [probe_at] is the earliest half-open probe instant,
+            [None] if the site never recovers *)
+    | Probing of { site : int; at : Time.t }
+        (** a half-open probe was granted *)
+
+  type t
+
+  val create :
+    ?on_event:(event -> unit) -> threshold:int -> sched:Fault.schedule ->
+    unit -> t
+  (** All links start [Closed]. [on_event] fires synchronously on every
+      opening and probe grant (used for span events). *)
+
+  val state : t -> site:int -> state
+
+  val live : t -> site:int -> at:Time.t -> bool
+  (** Non-mutating routing check: would a dispatch to [site] at [at] be
+      allowed? [Closed] yes; [Half_open] no (a probe is in flight); [Open]
+      only once [at] reaches the probe instant. *)
+
+  val allow : t -> site:int -> at:Time.t -> bool
+  (** Dispatch gate. Like {!live}, but an [Open] breaker whose probe instant
+      has arrived transitions to [Half_open] and grants exactly one probe
+      (counted, evented) — concurrent dispatchers racing [allow] serialize. *)
+
+  val success : t -> site:int -> unit
+  (** A transfer to [site] was delivered: close the breaker, reset the
+      consecutive-failure count. *)
+
+  val failure : t -> site:int -> at:Time.t -> unit
+  (** A transfer to [site] was dropped at [at]: count it; open at
+      [threshold] consecutive failures, reopen on a failed probe. *)
+
+  val opened_total : t -> int
+  (** Openings, including reopenings after failed probes. *)
+
+  val probes_total : t -> int
+  (** Half-open probes granted. *)
+end

@@ -34,6 +34,8 @@ let of_string s =
   | "CF" -> Some Cf
   | _ -> None
 
+module Recovery = Recovery
+
 type retry = { timeout : Time.t; max_attempts : int; backoff : float }
 
 let default_retry = { timeout = Time.ms 1.0; max_attempts = 3; backoff = 2.0 }
@@ -45,6 +47,7 @@ type options = {
   site_speeds : (int * float) list;
   fault : Fault.schedule;
   retry : retry;
+  recovery : Recovery.policy;
 }
 
 let default_options =
@@ -55,6 +58,7 @@ let default_options =
     site_speeds = [];
     fault = Fault.none;
     retry = default_retry;
+    recovery = Recovery.disabled;
   }
 
 (* Eager, readable configuration validation: a bad [site_speeds] entry or a
@@ -86,7 +90,8 @@ let validate_options options =
      || Time.compare options.retry.timeout Time.zero < 0
   then invalid_arg "Strategy: retry.timeout must be non-negative and finite";
   if Float.is_nan options.retry.backoff || options.retry.backoff < 1.0 then
-    invalid_arg "Strategy: retry.backoff must be >= 1"
+    invalid_arg "Strategy: retry.backoff must be >= 1";
+  Recovery.validate options.recovery
 
 type availability = {
   faults_active : bool;
@@ -96,6 +101,7 @@ type availability = {
   checks_abandoned : int;
   certain_fault_free : int;
   demoted : int;
+  recovered : int;
   resurrected : int;
   partial : bool;
   degradation_ratio : float;
@@ -110,6 +116,7 @@ let no_faults_availability =
     checks_abandoned = 0;
     certain_fault_free = 0;
     demoted = 0;
+    recovered = 0;
     resurrected = 0;
     partial = false;
     degradation_ratio = 0.0;
@@ -770,6 +777,9 @@ type fault_ctx = {
   mutable f_retries : int;
   mutable f_abandoned : int;  (* check requests whose round trip was given up *)
   mutable f_partial : bool;  (* a critical transfer was abandoned *)
+  mutable f_failovers : int;  (* failover batches dispatched to replicas *)
+  mutable f_hedges : int;  (* hedged duplicate batches dispatched *)
+  mutable f_recovered : int;  (* rows a retry-only run would have demoted *)
 }
 
 let new_fault_ctx options =
@@ -780,6 +790,9 @@ let new_fault_ctx options =
     f_retries = 0;
     f_abandoned = 0;
     f_partial = false;
+    f_failovers = 0;
+    f_hedges = 0;
+    f_recovered = 0;
   }
 
 (* Safety cap on critical retry chains: recoverable schedules converge long
@@ -789,9 +802,16 @@ let fault_attempt_cap = 64
 (* A failable transfer with retransmission. Returns a promise that resolves
    when the chain settles; [k] runs exactly once with whether the payload was
    ultimately delivered, just before the promise resolves. Attempt [i > 1]
-   gets a distinct label so its drop draw is independent of attempt 1's. *)
-let retrying_transfer e acc c fx ~critical ~src ~dst ~phase ?db ~label ~bytes
-    ?(deps = []) ~k () =
+   gets a distinct label so its drop draw is independent of attempt 1's.
+
+   When a [breaker] is supplied (check request legs under a recovery
+   policy), every outcome feeds the breaker's consecutive-failure count for
+   the destination. The breaker never *gates* these primary legs — gating
+   them could abandon a chain the retry-only policy would have delivered,
+   which would break the dominance invariant; only the recovery layer's own
+   extra traffic consults the breaker before dispatching. *)
+let retrying_transfer e acc c fx ?breaker ~critical ~src ~dst ~phase ?db
+    ~label ~bytes ?(deps = []) ~k () =
   let settled = Engine.promise e ~label:(label ^ ":settled") in
   let finish delivered =
     if (not delivered) && critical then fx.f_partial <- true;
@@ -803,11 +823,21 @@ let retrying_transfer e acc c fx ~critical ~src ~dst ~phase ?db ~label ~bytes
     let exp = Float.min (float_of_int (i - 1)) 6.0 in
     Time.us (Time.to_us fx.fretry.timeout *. (fx.fretry.backoff ** exp))
   in
+  let feed outcome =
+    match breaker with
+    | None -> ()
+    | Some b -> (
+      match outcome with
+      | Engine.Delivered -> Recovery.Breaker.success b ~site:dst
+      | Engine.Dropped _ ->
+        Recovery.Breaker.failure b ~site:dst ~at:(Engine.now e))
+  in
   let rec attempt i ~deps =
     let alabel = if i = 1 then label else Printf.sprintf "%s~retry%d" label i in
     ignore
       (transfer e acc c ~src ~dst ~phase ?db ~label:alabel ~bytes ~deps
          ~on_outcome:(fun outcome ->
+           feed outcome;
            match outcome with
            | Engine.Delivered -> finish true
            | Engine.Dropped _ ->
@@ -839,7 +869,103 @@ let retrying_transfer e acc c fx ~critical ~src ~dst ~phase ?db ~label ~bytes
   attempt 1 ~deps;
   settled
 
-let availability_of fx ~ref_answer ~final_answer =
+(* A failover/hedge leg. Recovery traffic is modelled as pure latency: each
+   leg charges the simulated clock, the lossy link's inflation factor and
+   the same deterministic drop draw as a real transfer into [dst] — site
+   crashes at the would-be arrival drop it, retries back off under the same
+   [retry] policy — but it occupies no link resource. That keeps the
+   primary task schedule of a recovery-enabled run bit-identical to its
+   retry-only counterpart: recovery can only add answers, never perturb a
+   primary leg's start time (and hence its drop draw), which is what makes
+   the dominance invariant demoted(recovery) <= demoted(retry-only)
+   structural rather than statistical.
+
+   When a [breaker] is supplied (request legs), the attempt is gated at
+   submission: an open breaker fails the leg without charging anything, and
+   every outcome feeds the destination's consecutive-failure count. *)
+let recovery_transfer e acc c fx ?breaker ~src ~dst ~phase ?db ~label ~bytes
+    ?(deps = []) ~k () =
+  let settled = Engine.promise e ~label:(label ^ ":settled") in
+  let finish delivered =
+    k delivered;
+    Engine.resolve e settled
+  in
+  let gate_allows () =
+    match breaker with
+    | None -> true
+    | Some b -> Recovery.Breaker.allow b ~site:dst ~at:(Engine.now e)
+  in
+  let feed delivered =
+    match breaker with
+    | None -> ()
+    | Some b ->
+      if delivered then Recovery.Breaker.success b ~site:dst
+      else Recovery.Breaker.failure b ~site:dst ~at:(Engine.now e)
+  in
+  let backoff_wait i =
+    let exp = Float.min (float_of_int (i - 1)) 6.0 in
+    Time.us (Time.to_us fx.fretry.timeout *. (fx.fretry.backoff ** exp))
+  in
+  let link = List.find_opt (fun l -> l.Fault.dst = dst) fx.sched.Fault.links in
+  let rec attempt i ~deps =
+    let alabel = if i = 1 then label else Printf.sprintf "%s~retry%d" label i in
+    ignore
+      (Engine.fence e ~deps ~label:(alabel ^ ":go")
+         ~on_complete:(fun () ->
+           if not (gate_allows ()) then finish false
+           else if src = dst || bytes = 0 then begin
+             (* local or empty: free and infallible, like Engine.transfer *)
+             feed true;
+             finish true
+           end
+           else begin
+             Metrics.inc (ctr acc ~phase "msdq_bytes_shipped_total") bytes;
+             Metrics.inc (ctr acc ~phase "msdq_messages_total") 1;
+             let start = Engine.now e in
+             let base = Cost.net c ~bytes in
+             let duration =
+               match link with
+               | Some l when l.Fault.inflate > 1.0 ->
+                 Time.us (Time.to_us base *. l.Fault.inflate)
+               | Some _ | None -> base
+             in
+             let dropped =
+               Fault.site_down fx.sched ~site:dst
+                 ~at:(Time.add start duration)
+               ||
+               match link with
+               | Some l ->
+                 Fault.drop_draw fx.sched ~dst ~label:alabel ~start
+                   ~p:l.Fault.drop
+               | None -> false
+             in
+             ignore
+               (Engine.delay e ~label:alabel
+                  ~attrs:(task_attrs acc ~phase ?db ())
+                  ~duration
+                  ~on_complete:(fun () ->
+                    feed (not dropped);
+                    if not dropped then finish true
+                    else begin
+                      fx.f_drops <- fx.f_drops + 1;
+                      if i >= fx.fretry.max_attempts then finish false
+                      else begin
+                        fx.f_retries <- fx.f_retries + 1;
+                        let d =
+                          Engine.delay e ~label:(label ^ ":timeout")
+                            ~duration:(backoff_wait i) ()
+                        in
+                        attempt (i + 1) ~deps:[ d ]
+                      end
+                    end)
+                  ())
+           end)
+         ())
+  in
+  attempt 1 ~deps;
+  settled
+
+let availability_of fx ?(recovered = 0) ~ref_answer ~final_answer () =
   let refc = Answer.goids ref_answer Answer.Certain in
   let refm = Answer.goids ref_answer Answer.Maybe in
   let demoted =
@@ -861,6 +987,7 @@ let availability_of fx ~ref_answer ~final_answer =
     checks_abandoned = fx.f_abandoned;
     certain_fault_free = n_ref;
     demoted;
+    recovered;
     resurrected;
     partial = fx.f_partial;
     degradation_ratio =
@@ -931,7 +1058,7 @@ let build_ca_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
           f_promoted = 0;
           f_eliminated = 0;
           f_conflicts = 0;
-          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+          f_availability = availability_of fx ~ref_answer ~final_answer:final ();
         });
   }
 
@@ -1100,9 +1227,20 @@ let build_cf_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
           f_promoted = 0;
           f_eliminated = lo.Certify.eliminated;
           f_conflicts = lo.Certify.conflicts;
-          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+          f_availability = availability_of fx ~ref_answer ~final_answer:final ();
         });
   }
+
+(* Per-check-key recovery state: one entry per (origin_db, item, atom)
+   check key, shared by every batch — primary, failover or hedge — that
+   carries the key. *)
+type key_state = {
+  mutable inflight : string list;  (* target dbs with an in-flight batch *)
+  mutable answered : bool;  (* some batch delivered this key's verdict *)
+  mutable k_failed : bool;  (* some batch carrying it was abandoned *)
+  mutable budget : int;  (* remaining failover/hedge dispatches *)
+  mutable chain : string list;  (* recovery hops taken, newest first *)
+}
 
 (* Localized strategies under faults. The local phases and check serving are
    computed host-side exactly as fault-free, but certification only sees the
@@ -1111,7 +1249,10 @@ let build_cf_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
    which batches survive depends on simulated timing, the certify task is
    submitted dynamically once every chain has settled, and the final answer
    fence is a promise resolved when certification (and deep resolution, if
-   enabled) completes. *)
+   enabled) completes.
+
+   With [options.recovery.failover] set, abandonment is no longer terminal:
+   see the recovery block below. *)
 let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
     ?(checks = true) ~signatures fed analysis =
   let c = opts.cost in
@@ -1241,9 +1382,293 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
   (* Check round trips. A batch abandoned at either leg loses its verdicts;
      a delivered request batch is served at the target (reads and evaluation
      are unaffected by link faults) and its verdicts travel back under the
-     same bounded policy. *)
+     same bounded policy.
+
+     With a recovery policy ([options.recovery.failover]) abandonment stops
+     being the end of the story. Isomeric objects sharing a GOid are natural
+     replicas, so the per-target requests built above double as a routing
+     table keyed by (origin, item, atom): when the last in-flight batch
+     carrying a key fails unanswered, the dispatcher re-issues the key's
+     check to the next live candidate site — rotating past the one that just
+     failed, skipping destinations whose circuit breaker is open or that are
+     down for good — and charges the simulated clock for the extra round
+     trip ([recovery_transfer]: latency, inflation and drop draws like any
+     transfer, but off the FIFO resources, so the primary schedule stays
+     bit-identical to the retry-only run's). Primary request legs feed the
+     breaker's per-destination failure counts; only recovery request legs
+     are gated by it (verdict legs terminate at the global site, which has
+     no alternative route, so gating them could only lose answers — and
+     gating primary legs could abandon a chain retry-only would have
+     delivered). An optional hedged duplicate races each
+     failover batch after [hedge_after]; the first answer wins, and duplicate
+     identical verdicts are harmless to certification (qcheck-pinned). Only
+     keys no live replica could answer demote their rows. *)
   let n_batches = List.length served in
   let batch_delivered = Array.make (max 1 n_batches) false in
+  let recovery_on = opts.recovery.failover in
+  let breaker =
+    if not recovery_on then None
+    else
+      Some
+        (Recovery.Breaker.create
+           ~on_event:(fun ev ->
+             Tracer.addf tracer (fun () ->
+                 match ev with
+                 | Recovery.Breaker.Opened { site; at; probe_at } ->
+                   {
+                     Tracer.name = "breaker.open";
+                     cat = "breaker";
+                     pid = site;
+                     tid = 2;
+                     ts_us = Time.to_us at;
+                     dur_us = 0.0;
+                     args =
+                       [
+                         ("strategy", acc.sname);
+                         ("site", string_of_int site);
+                         ( "probe_at",
+                           match probe_at with
+                           | None -> "never"
+                           | Some p -> Printf.sprintf "%gus" (Time.to_us p) );
+                       ];
+                   }
+                 | Recovery.Breaker.Probing { site; at } ->
+                   {
+                     Tracer.name = "breaker.probe";
+                     cat = "breaker";
+                     pid = site;
+                     tid = 2;
+                     ts_us = Time.to_us at;
+                     dur_us = 0.0;
+                     args =
+                       [ ("strategy", acc.sname); ("site", string_of_int site) ];
+                   }))
+           ~threshold:opts.recovery.breaker_threshold ~sched:fx.sched ())
+  in
+  let key_of (r : Checks.request) =
+    (r.Checks.origin_db, r.Checks.item, r.Checks.atom)
+  in
+  (* routing table: candidate requests per key, in fan-out order *)
+  let route = Hashtbl.create 64 in
+  if recovery_on then
+    List.iter
+      (fun (_, reqs, _) ->
+        List.iter
+          (fun (r : Checks.request) ->
+            match Hashtbl.find_opt route (key_of r) with
+            | Some l -> l := r :: !l
+            | None -> Hashtbl.add route (key_of r) (ref [ r ]))
+          reqs)
+      served;
+  let candidates key =
+    match Hashtbl.find_opt route key with
+    | Some l -> List.rev !l
+    | None -> []
+  in
+  let kstates = Hashtbl.create 64 in
+  let korder = ref [] in
+  let kstate key =
+    match Hashtbl.find_opt kstates key with
+    | Some ks -> ks
+    | None ->
+      let ks =
+        {
+          inflight = [];
+          answered = false;
+          k_failed = false;
+          budget = List.length (candidates key);
+          chain = [];
+        }
+      in
+      Hashtbl.replace kstates key ks;
+      korder := key :: !korder;
+      ks
+  in
+  let remove_inflight l tdb =
+    List.filter (fun t -> not (String.equal t tdb)) l
+  in
+  let breaker_live site ~at =
+    match breaker with
+    | None -> true
+    | Some b -> Recovery.Breaker.live b ~site ~at
+  in
+  (* the next candidate for [key]: routing-table order rotated past the
+     target that just failed, skipping targets already in flight for the
+     key, open breakers, and sites that never come back *)
+  let next_candidate key ~rotate_past ~at =
+    let ks = kstate key in
+    let rec split acc = function
+      | [] -> (List.rev acc, [])
+      | (r : Checks.request) :: tl
+        when String.equal r.Checks.target_db rotate_past ->
+        (List.rev (r :: acc), tl)
+      | r :: tl -> split (r :: acc) tl
+    in
+    let upto, after = split [] (candidates key) in
+    List.find_opt
+      (fun (r : Checks.request) ->
+        let tsite = Federation.site_of fed r.Checks.target_db in
+        (not (List.mem r.Checks.target_db ks.inflight))
+        && breaker_live tsite ~at
+        && not (Fault.permanently_down fx.sched ~site:tsite ~at))
+      (after @ upto)
+  in
+  let extra_verdicts : Checks.verdict list list ref = ref [] in
+  let fo_seq = ref 0 in
+  (* Serving a recovery batch at the replica site is charged as latency too
+     (see [recovery_transfer]): same disk/CPU durations and counters as the
+     primary serve path, scaled by the site's speed factor, but off the
+     site's FIFO resources so primary serve tasks never queue behind
+     recovery work. *)
+  let speed_factor site =
+    match List.assoc_opt site opts.site_speeds with Some f -> f | None -> 1.0
+  in
+  let recovery_serve ~site ~db ~label ~disk_bytes ~units ?(deps = []) () =
+    Metrics.inc (ctr acc ~phase:"O" "msdq_disk_bytes_total") disk_bytes;
+    Metrics.inc (ctr acc ~phase:"O" "msdq_work_units_total") units;
+    let duration =
+      Time.us
+        ((Time.to_us (Cost.disk c ~bytes:disk_bytes)
+         +. Time.to_us (Cost.cpu c ~units))
+        /. speed_factor site)
+    in
+    Engine.delay e ~label
+      ~attrs:(task_attrs acc ~phase:"O" ~db ())
+      ~duration ~deps ()
+  in
+  (* Dispatch [reqs] (all [origin] -> [tdb]) as a recovery batch; [settle]
+     runs exactly once, when the batch and everything it spawned (deeper
+     failovers, hedges) has settled. *)
+  let rec recovery_dispatch ~origin ~tdb ~reqs ~hedge ~settle =
+    incr fo_seq;
+    let seq = !fo_seq in
+    let tag = if hedge then "hedge" else "failover" in
+    if hedge then fx.f_hedges <- fx.f_hedges + 1
+    else fx.f_failovers <- fx.f_failovers + 1;
+    let osite = Federation.site_of fed origin in
+    let tsite = Federation.site_of fed tdb in
+    let s = Checks.serve ~tracer fed ~db:tdb reqs in
+    let outstanding = ref 1 in
+    let done_one () =
+      decr outstanding;
+      if !outstanding = 0 then settle ()
+    in
+    List.iter
+      (fun (r : Checks.request) ->
+        let ks = kstate (key_of r) in
+        ks.inflight <- tdb :: ks.inflight;
+        ks.budget <- ks.budget - 1;
+        ks.chain <- Printf.sprintf "%s to %s" tag tdb :: ks.chain)
+      reqs;
+    (match opts.recovery.hedge_after with
+     | Some after when not hedge ->
+       incr outstanding;
+       ignore
+         (Engine.delay e
+            ~label:(Printf.sprintf "hedge-timer#%d" seq)
+            ~duration:after
+            ~on_complete:(fun () ->
+              let unanswered =
+                List.filter
+                  (fun (r : Checks.request) ->
+                    not (kstate (key_of r)).answered)
+                  reqs
+              in
+              spawn_recovery ~origin ~reqs:unanswered ~rotate_past:tdb
+                ~hedge:true ~settle:done_one)
+            ())
+     | _ -> ());
+    let abandon () =
+      fx.f_abandoned <- fx.f_abandoned + List.length reqs;
+      List.iter
+        (fun (r : Checks.request) ->
+          let ks = kstate (key_of r) in
+          ks.inflight <- remove_inflight ks.inflight tdb;
+          ks.k_failed <- true)
+        reqs;
+      let ready =
+        List.filter
+          (fun (r : Checks.request) ->
+            let ks = kstate (key_of r) in
+            (not ks.answered) && ks.inflight = [])
+          reqs
+      in
+      spawn_recovery ~origin ~reqs:ready ~rotate_past:tdb ~hedge:false
+        ~settle:done_one
+    in
+    ignore
+      (recovery_transfer e acc c fx ?breaker ~src:osite
+         ~dst:tsite ~phase:"O" ~db:tdb
+         ~label:(Printf.sprintf "ship-requests~%s%d" tag seq)
+         ~bytes:(Wire.requests_bytes c reqs)
+         ~k:(fun delivered ->
+           if not delivered then abandon ()
+           else begin
+             let serve =
+               recovery_serve ~site:tsite ~db:tdb
+                 ~label:(Printf.sprintf "check-serve~%s%d" tag seq)
+                 ~disk_bytes:(Wire.check_read_bytes c reqs)
+                 ~units:(units_of_work s.Checks.work) ()
+             in
+             ignore
+               (recovery_transfer e acc c fx ~src:tsite
+                  ~dst:gsite ~phase:"O" ~db:tdb
+                  ~label:(Printf.sprintf "ship-verdicts~%s%d" tag seq)
+                  ~bytes:(List.length s.Checks.verdicts * Wire.verdict_bytes c)
+                  ~deps:[ serve ]
+                  ~k:(fun delivered ->
+                    if delivered then begin
+                      List.iter
+                        (fun (r : Checks.request) ->
+                          let ks = kstate (key_of r) in
+                          ks.inflight <- remove_inflight ks.inflight tdb;
+                          ks.answered <- true)
+                        reqs;
+                      extra_verdicts := s.Checks.verdicts :: !extra_verdicts;
+                      done_one ()
+                    end
+                    else abandon ())
+                  ())
+           end)
+         ())
+  (* Re-route [reqs] (unanswered, no batch in flight, budget left) to their
+     next candidates, grouped per target; [settle] runs once every spawned
+     batch has settled — immediately if nothing can be spawned. *)
+  and spawn_recovery ~origin ~reqs ~rotate_past ~hedge ~settle =
+    let now = Engine.now e in
+    let picked =
+      List.filter_map
+        (fun (r : Checks.request) ->
+          let key = key_of r in
+          if (kstate key).budget <= 0 then None
+          else next_candidate key ~rotate_past ~at:now)
+        reqs
+    in
+    (* group per target, preserving pick order *)
+    let groups = Hashtbl.create 4 in
+    let group_order = ref [] in
+    List.iter
+      (fun (r : Checks.request) ->
+        match Hashtbl.find_opt groups r.Checks.target_db with
+        | Some l -> l := r :: !l
+        | None ->
+          Hashtbl.add groups r.Checks.target_db (ref [ r ]);
+          group_order := r.Checks.target_db :: !group_order)
+      picked;
+    match List.rev !group_order with
+    | [] -> settle ()
+    | order ->
+      let n = ref (List.length order) in
+      let settle_one () =
+        decr n;
+        if !n = 0 then settle ()
+      in
+      List.iter
+        (fun tdb ->
+          let greqs = List.rev !(Hashtbl.find groups tdb) in
+          recovery_dispatch ~origin ~tdb ~reqs:greqs ~hedge ~settle:settle_one)
+        order
+  in
   List.iteri
     (fun bi ((origin, target), reqs, (s : Checks.served)) ->
       let osite = Federation.site_of fed origin in
@@ -1252,13 +1677,36 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
       let batch_settled =
         Engine.promise e ~label:(Printf.sprintf "checks:%s->%s" origin target)
       in
+      if recovery_on then
+        List.iter
+          (fun (r : Checks.request) ->
+            let ks = kstate (key_of r) in
+            ks.inflight <- target :: ks.inflight)
+          reqs;
       let abandon () =
         fx.f_abandoned <- fx.f_abandoned + List.length reqs;
-        Engine.resolve e batch_settled
+        if not recovery_on then Engine.resolve e batch_settled
+        else begin
+          List.iter
+            (fun (r : Checks.request) ->
+              let ks = kstate (key_of r) in
+              ks.inflight <- remove_inflight ks.inflight target;
+              ks.k_failed <- true)
+            reqs;
+          let ready =
+            List.filter
+              (fun (r : Checks.request) ->
+                let ks = kstate (key_of r) in
+                (not ks.answered) && ks.inflight = [])
+              reqs
+          in
+          spawn_recovery ~origin ~reqs:ready ~rotate_past:target ~hedge:false
+            ~settle:(fun () -> Engine.resolve e batch_settled)
+        end
       in
       ignore
-        (retrying_transfer e acc c fx ~critical:false ~src:osite ~dst:tsite
-           ~phase:"O" ~db:target ~label:"ship-requests"
+        (retrying_transfer e acc c fx ?breaker ~critical:false ~src:osite
+           ~dst:tsite ~phase:"O" ~db:target ~label:"ship-requests"
            ~bytes:(Wire.requests_bytes c reqs) ~deps:[ dispatch ]
            ~k:(fun delivered ->
              if not delivered then abandon ()
@@ -1280,6 +1728,13 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
                     ~k:(fun delivered ->
                       if delivered then begin
                         batch_delivered.(bi) <- true;
+                        if recovery_on then
+                          List.iter
+                            (fun (r : Checks.request) ->
+                              let ks = kstate (key_of r) in
+                              ks.inflight <- remove_inflight ks.inflight target;
+                              ks.answered <- true)
+                            reqs;
                         Engine.resolve e batch_settled
                       end
                       else abandon ())
@@ -1314,6 +1769,12 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
                   (fun bi (_, _, (s : Checks.served)) ->
                     if batch_delivered.(bi) then s.Checks.verdicts else [])
                   served)
+           (* verdicts recovered by failover/hedge batches; duplicates of
+              delivered primaries cannot arise (recovery only targets
+              unanswered keys), and a hedge racing its failover twin yields
+              independent per-target verdicts, exactly as full delivery
+              would have *)
+           @ List.concat (List.rev !extra_verdicts)
          in
          let cf =
            Certify.run ~multi_valued:opts.multi_valued ~tracer fed analysis
@@ -1380,11 +1841,28 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
        ~labels:[ ("strategy", acc.sname) ]
        "msdq_checks_filtered_total")
     checks_filtered;
-  (* Rows whose unsolved items had a check abandoned: the executor knows it
-     never heard back about them, so it refuses to certify them and marks
-     them degraded — this is what keeps certified(faulty) inside
+  (* Rows whose unsolved items match a (db, item) in [items]: the executor
+     knows it never heard back about them, so it refuses to certify them and
+     marks them degraded — this is what keeps certified(faulty) inside
      certified(fault-free) even when a lost verdict was an eliminating
      one. *)
+  let rows_with_items items =
+    List.fold_left
+      (fun acc_set ph ->
+        List.fold_left
+          (fun acc_set (row : Local_result.row) ->
+            if
+              List.exists
+                (fun (u : Local_result.unsolved) ->
+                  Hashtbl.mem items
+                    (row.Local_result.db, Dbobject.loid u.Local_result.item))
+                row.Local_result.unsolved
+            then Oid.Goid.Set.add row.Local_result.goid acc_set
+            else acc_set)
+          acc_set ph.result.Local_result.rows)
+      Oid.Goid.Set.empty phases
+  in
+  (* Retry-only demotion set: any unsolved item in any abandoned batch. *)
   let affected () =
     let abandoned_keys = Hashtbl.create 16 in
     List.iteri
@@ -1395,20 +1873,7 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
               Hashtbl.replace abandoned_keys (r.Checks.origin_db, r.Checks.item) ())
             reqs)
       served;
-    List.fold_left
-      (fun acc_set ph ->
-        List.fold_left
-          (fun acc_set (row : Local_result.row) ->
-            if
-              List.exists
-                (fun (u : Local_result.unsolved) ->
-                  Hashtbl.mem abandoned_keys
-                    (row.Local_result.db, Dbobject.loid u.Local_result.item))
-                row.Local_result.unsolved
-            then Oid.Goid.Set.add row.Local_result.goid acc_set
-            else acc_set)
-          acc_set ph.result.Local_result.rows)
-      Oid.Goid.Set.empty phases
+    rows_with_items abandoned_keys
   in
   {
     acc;
@@ -1434,12 +1899,92 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
             (Oid.Goid.Set.diff (Answer.goids pre Answer.Maybe)
                (Oid.Goid.Set.union refc refm))
         in
-        let mark =
+        let mark, recovered_rows =
           if fx.f_partial then
-            Oid.Goid.Set.union base (Answer.goids pre Answer.Certain)
-          else Oid.Goid.Set.union base (affected ())
+            (Oid.Goid.Set.union base (Answer.goids pre Answer.Certain),
+             Oid.Goid.Set.empty)
+          else if not recovery_on then
+            (Oid.Goid.Set.union base (affected ()), Oid.Goid.Set.empty)
+          else begin
+            (* With failover, a key only demotes its rows if it ended the
+               run unanswered — no batch, primary or recovery, delivered a
+               verdict for it. Rows that were touched by an abandonment but
+               whose keys all got answered after all are the recovery win,
+               reported as [recovered]. *)
+            let failed_items = Hashtbl.create 16 in
+            let unanswered_items = Hashtbl.create 16 in
+            Hashtbl.iter
+              (fun (origin, item, _atom) ks ->
+                if ks.k_failed then
+                  Hashtbl.replace failed_items (origin, item) ();
+                if not ks.answered then
+                  Hashtbl.replace unanswered_items (origin, item) ())
+              kstates;
+            let mark =
+              Oid.Goid.Set.union base (rows_with_items unanswered_items)
+            in
+            (mark, Oid.Goid.Set.diff (rows_with_items failed_items) mark)
+          end
         in
+        fx.f_recovered <- Oid.Goid.Set.cardinal recovered_rows;
         let final = Answer.demote pre ~goids:mark in
+        let final =
+          if not recovery_on then final
+          else begin
+            (* Failover-chain provenance for the rows that still demoted. *)
+            let chain_of = Hashtbl.create 16 in
+            List.iter
+              (fun ((origin, item, _atom) as key) ->
+                let ks = kstate key in
+                if (not ks.answered) && not (Hashtbl.mem chain_of (origin, item))
+                then begin
+                  let hops = List.rev ks.chain in
+                  let why =
+                    match hops with
+                    | [] -> "check dropped; no live replica to re-route to"
+                    | hops ->
+                      "check dropped; " ^ String.concat "; " hops
+                      ^ "; no live replica answered"
+                  in
+                  Hashtbl.add chain_of (origin, item) why
+                end)
+              (List.rev !korder);
+            let reasons =
+              List.concat_map
+                (fun ph ->
+                  List.filter_map
+                    (fun (row : Local_result.row) ->
+                      if Oid.Goid.Set.mem row.Local_result.goid (Answer.degraded final)
+                      then
+                        List.find_map
+                          (fun (u : Local_result.unsolved) ->
+                            Hashtbl.find_opt chain_of
+                              (row.Local_result.db,
+                               Dbobject.loid u.Local_result.item))
+                          row.Local_result.unsolved
+                        |> Option.map (fun why -> (row.Local_result.goid, why))
+                      else None)
+                    ph.result.Local_result.rows)
+                phases
+            in
+            Answer.annotate_degraded final ~reasons
+          end
+        in
+        if recovery_on then begin
+          let bc name v =
+            Metrics.inc
+              (Metrics.counter acc.reg ~labels:[ ("strategy", acc.sname) ] name)
+              v
+          in
+          (match breaker with
+           | Some b ->
+             bc "msdq_breaker_opened_total" (Recovery.Breaker.opened_total b);
+             bc "msdq_breaker_probes_total" (Recovery.Breaker.probes_total b)
+           | None -> ());
+          bc "msdq_recovery_failovers_total" fx.f_failovers;
+          bc "msdq_recovery_hedges_total" fx.f_hedges;
+          bc "msdq_recovery_recovered_total" fx.f_recovered
+        end;
         {
           f_answer = final;
           f_check_requests = check_requests;
@@ -1447,7 +1992,9 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
           f_promoted = cf.Certify.promoted;
           f_eliminated = cf.Certify.eliminated;
           f_conflicts = cf.Certify.conflicts;
-          f_availability = availability_of fx ~ref_answer ~final_answer:final;
+          f_availability =
+            availability_of fx ~recovered:fx.f_recovered ~ref_answer
+              ~final_answer:final ();
         });
   }
 
@@ -1665,11 +2212,15 @@ let pp_availability ppf a =
   if a.faults_active then
     Format.fprintf ppf
       "@,availability: sites [%s] faulty; %d drops, %d retries, %d checks \
-       abandoned@,degradation: %d/%d certain demoted (%.2f), %d resurrected%s"
+       abandoned@,degradation: %d/%d certain demoted (%.2f), %d resurrected%s\
+       @,reconciliation: %d certain(faulty) + %d demoted = %d \
+       certain(fault-free); %d recovered by failover"
       (String.concat "," (List.map string_of_int a.failed_sites))
       a.drops a.retries a.checks_abandoned a.demoted a.certain_fault_free
       a.degradation_ratio a.resurrected
       (if a.partial then "; PARTIAL ANSWER" else "")
+      (a.certain_fault_free - a.demoted)
+      a.demoted a.certain_fault_free a.recovered
 
 let pp_metrics ppf m =
   let phases = phase_breakdown m in

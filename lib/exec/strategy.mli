@@ -43,6 +43,10 @@ module Fault = Msdq_fault.Fault
 (** Re-exported so callers can write [Strategy.Fault.none] without a second
     open. *)
 
+module Recovery = Recovery
+(** Failover recovery policy + per-link circuit breakers (see
+    {!Recovery.policy}); selected through [options.recovery]. *)
+
 type t = Ca | Bl | Pl | Bls | Pls | Lo | Cf
 
 val all : t list
@@ -84,10 +88,19 @@ type options = {
       (** retransmission policy for check round trips under faults; result
           and extent shipments are critical and additionally wait out
           destination outages *)
+  recovery : Recovery.policy;
+      (** failover recovery for the localized strategies' checks (see
+          {!Recovery}): with [failover] set, a check whose round trip was
+          abandoned is re-issued to the next live site holding an isomeric
+          replica (per-link circuit breakers gate the routing; optional
+          hedged duplicates race the failover batch), and only keys no live
+          replica could answer demote their rows. {!Recovery.disabled} (the
+          default) reproduces the retry-only behaviour exactly. *)
 }
 
 val default_options : options
-(** Table 1 costs, no deep certification, no faults, {!default_retry}. *)
+(** Table 1 costs, no deep certification, no faults, {!default_retry},
+    {!Recovery.disabled}. *)
 
 type availability = {
   faults_active : bool;  (** a non-empty fault schedule was installed *)
@@ -102,6 +115,10 @@ type availability = {
   demoted : int;
       (** fault-free certain results reported as uncertified maybe results;
           reconciliation: certain(faulty) + demoted = certain(fault-free) *)
+  recovered : int;
+      (** rows touched by an abandoned check batch that failover re-routing
+          nevertheless answered — what a retry-only run would have demoted;
+          0 unless [options.recovery.failover] is set *)
   resurrected : int;
       (** entities the fault-free execution eliminates but that stay visible
           as maybe results because an eliminating verdict was lost *)
@@ -115,7 +132,10 @@ type availability = {
     per-item provenance in {!Answer.degraded}. *)
 
 val pp_availability : Format.formatter -> availability -> unit
-(** Prints nothing when [faults_active] is false. *)
+(** Prints nothing when [faults_active] is false. For faulty runs, ends with
+    the reconciliation line [certain(faulty) + demoted = certain(fault-free)]
+    with the actual numbers, so degraded runs are auditable from the CLI
+    without [--json]. *)
 
 type metrics = {
   strategy : t;

@@ -80,7 +80,7 @@ type point_result = {
   p_hard_recall : float;
 }
 
-let point ~seed ~cost ~idx ~si ~availability =
+let point ~seed ~cost ~idx ~si ~availability ~drop ~inflate =
   match make_case (Rng.int (Rng.split_ix (Rng.create ~seed) ~i:si) ~bound:100_000) 0 with
   | None ->
     (* no analyzable query for this stream: a vacuous, neutral sample *)
@@ -112,11 +112,12 @@ let point ~seed ~cost ~idx ~si ~availability =
       Rng.split_ix (Rng.create ~seed:(seed + 7919)) ~i:idx
     in
     let fault =
+      (* the 1.0 column is the fault-free anchor, whatever the link knobs *)
       if availability >= 1.0 then Fault.none
       else
         let sched =
           Fault.random ~rng:fault_rng ~sites:component_sites ~availability
-            ~horizon ~drop:0.05 ()
+            ~horizon ~drop ~inflate ()
         in
         (* The global site never crashes (it hosts the client), but its
            incoming link is as lossy as the others — otherwise CA, whose
@@ -124,7 +125,7 @@ let point ~seed ~cost ~idx ~si ~availability =
         {
           sched with
           Fault.links =
-            { Fault.dst = 0; drop = 0.05; inflate = 1.0 } :: sched.Fault.links;
+            { Fault.dst = 0; drop; inflate } :: sched.Fault.links;
         }
     in
     let options = { Strategy.default_options with Strategy.cost; Strategy.fault } in
@@ -154,7 +155,7 @@ let point ~seed ~cost ~idx ~si ~availability =
     { p_responses; p_recalls; p_hard_response = p_responses.(1); p_hard_recall }
 
 let run ?pool ?registry ?progress ?(samples = 12) ?(seed = 1996)
-    ?(cost = Cost.default) () =
+    ?(cost = Cost.default) ?(drop = 0.05) ?(inflate = 1.0) () =
   let xs = availabilities in
   let nx = Array.length xs in
   let n_points = nx * samples in
@@ -163,7 +164,7 @@ let run ?pool ?registry ?progress ?(samples = 12) ?(seed = 1996)
   let id = "fault-sweep" in
   let point_at i =
     let li = i / samples and si = i mod samples in
-    let r = point ~seed ~cost ~idx:i ~si ~availability:xs.(li) in
+    let r = point ~seed ~cost ~idx:i ~si ~availability:xs.(li) ~drop ~inflate in
     let done_now = 1 + Atomic.fetch_and_add completed 1 in
     Mutex.lock feedback_mutex;
     Log.info (fun m ->
@@ -225,5 +226,201 @@ let run ?pool ?registry ?progress ?(samples = 12) ?(seed = 1996)
 
 let series_of sweep label =
   match List.find_opt (fun s -> String.equal s.label label) sweep.series with
+  | Some s -> s
+  | None -> raise Not_found
+
+(* ---- the recovery sweep: retry-only vs failover vs failover+hedging ---- *)
+
+type rmode = Retry_only | Failover | Hedged
+
+let rmodes = [ Retry_only; Failover; Hedged ]
+
+let rmode_label = function
+  | Retry_only -> "retry"
+  | Failover -> "failover"
+  | Hedged -> "hedged"
+
+let rmode_policy = function
+  | Retry_only -> Strategy.Recovery.disabled
+  | Failover -> Strategy.Recovery.default
+  | Hedged -> Strategy.Recovery.hedged (Time.ms 0.5)
+
+type rseries = {
+  r_label : string;
+  r_responses : float array;
+  r_recalls : float array;
+  r_demoted : float array;
+}
+
+type recovery_sweep = {
+  rid : string;
+  rtitle : string;
+  rxlabel : string;
+  rxs : float array;
+  rsamples : int;
+  rseed : int;
+  rseries : rseries list;
+}
+
+type rpoint_result = {
+  (* per (strategy, mode), flattened strategy-major *)
+  rp_responses : float array;
+  rp_recalls : float array;
+  rp_demoted : float array;
+}
+
+let rpoint ~seed ~cost ~idx ~si ~availability ~drop ~inflate =
+  let n_cells = List.length strategies * List.length rmodes in
+  match
+    make_case
+      (Rng.int (Rng.split_ix (Rng.create ~seed) ~i:si) ~bound:100_000)
+      0
+  with
+  | None ->
+    {
+      rp_responses = Array.make n_cells 0.0;
+      rp_recalls = Array.make n_cells 1.0;
+      rp_demoted = Array.make n_cells 0.0;
+    }
+  | Some (fed, analysis) ->
+    let fault_free =
+      List.map
+        (fun s ->
+          let answer, m =
+            Strategy.run
+              ~options:{ Strategy.default_options with Strategy.cost }
+              s fed analysis
+          in
+          (answer, m.Strategy.response))
+        strategies
+    in
+    let horizon =
+      let longest =
+        List.fold_left (fun acc (_, r) -> Time.max acc r) (Time.ms 1.0) fault_free
+      in
+      Time.us (2.0 *. Time.to_us longest)
+    in
+    let n_db = List.length (Federation.databases fed) in
+    let component_sites = List.init n_db (fun i -> i + 1) in
+    let fault_rng = Rng.split_ix (Rng.create ~seed:(seed + 6271)) ~i:idx in
+    (* unlike the fault sweep, the 1.0 column is NOT fault-free: sites never
+       crash but links stay lossy (Fault.random at availability 1.0), so the
+       column isolates what failover buys against pure message loss *)
+    let fault =
+      let sched =
+        Fault.random ~rng:fault_rng ~sites:component_sites ~availability
+          ~horizon ~drop ~inflate ()
+      in
+      {
+        sched with
+        Fault.links = { Fault.dst = 0; drop; inflate } :: sched.Fault.links;
+      }
+    in
+    let cells =
+      List.concat_map
+        (fun (s, (reference, _)) ->
+          List.map
+            (fun mode ->
+              let options =
+                {
+                  Strategy.default_options with
+                  Strategy.cost;
+                  Strategy.fault;
+                  Strategy.recovery = rmode_policy mode;
+                }
+              in
+              let got, m = Strategy.run ~options s fed analysis in
+              ( Time.to_s m.Strategy.response,
+                recall ~reference ~faulty:got,
+                float_of_int m.Strategy.availability.Strategy.demoted ))
+            rmodes)
+        (List.combine strategies fault_free)
+    in
+    {
+      rp_responses = Array.of_list (List.map (fun (r, _, _) -> r) cells);
+      rp_recalls = Array.of_list (List.map (fun (_, r, _) -> r) cells);
+      rp_demoted = Array.of_list (List.map (fun (_, _, d) -> d) cells);
+    }
+
+let run_recovery ?pool ?registry ?progress ?(samples = 12) ?(seed = 2024)
+    ?(cost = Cost.default) ?(drop = 0.2) ?(inflate = 1.0) () =
+  let xs = availabilities in
+  let nx = Array.length xs in
+  let n_points = nx * samples in
+  let completed = Atomic.make 0 in
+  let feedback_mutex = Mutex.create () in
+  let id = "recovery-sweep" in
+  let point_at i =
+    let li = i / samples and si = i mod samples in
+    let r = rpoint ~seed ~cost ~idx:i ~si ~availability:xs.(li) ~drop ~inflate in
+    let done_now = 1 + Atomic.fetch_and_add completed 1 in
+    Mutex.lock feedback_mutex;
+    Log.info (fun m ->
+        m "%s: availability=%g sample %d done (%d/%d points)" id xs.(li) si
+          done_now n_points);
+    (match progress with
+    | Some f -> f ~figure:id ~completed:done_now ~total:n_points
+    | None -> ());
+    Mutex.unlock feedback_mutex;
+    r
+  in
+  let grid = Array.init n_points (fun i -> i) in
+  let results =
+    match pool with
+    | Some pool when Msdq_par.Pool.jobs pool > 1 ->
+      Msdq_par.Pool.map_array pool ~f:(fun i _ -> point_at i) grid
+    | Some _ | None -> Array.map point_at grid
+  in
+  (match registry with
+  | Some reg ->
+    Metrics.inc
+      (Metrics.counter reg
+         ~labels:[ ("figure", id) ]
+         "msdq_recovery_samples_total")
+      n_points
+  | None -> ());
+  let mean f li =
+    let acc = ref 0.0 in
+    for si = 0 to samples - 1 do
+      acc := !acc +. f results.((li * samples) + si)
+    done;
+    !acc /. float_of_int samples
+  in
+  let rseries =
+    List.concat
+      (List.mapi
+         (fun k s ->
+           List.mapi
+             (fun j mode ->
+               let cell = (k * List.length rmodes) + j in
+               {
+                 r_label =
+                   Strategy.to_string s ^ "+" ^ rmode_label mode;
+                 r_responses =
+                   Array.init nx (fun li -> mean (fun r -> r.rp_responses.(cell)) li);
+                 r_recalls =
+                   Array.init nx (fun li -> mean (fun r -> r.rp_recalls.(cell)) li);
+                 r_demoted =
+                   Array.init nx (fun li -> mean (fun r -> r.rp_demoted.(cell)) li);
+               })
+             rmodes)
+         strategies)
+  in
+  {
+    rid = id;
+    rtitle =
+      "Certain-set recall vs availability: retry-only vs failover vs \
+       failover+hedging";
+    rxlabel = "site availability";
+    rxs = xs;
+    rsamples = samples;
+    rseed = seed;
+    rseries;
+  }
+
+let rseries_of sweep label =
+  match
+    List.find_opt (fun s -> String.equal s.r_label label) sweep.rseries
+  with
   | Some s -> s
   | None -> raise Not_found

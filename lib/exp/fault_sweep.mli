@@ -52,12 +52,73 @@ val run :
   ?samples:int ->
   ?seed:int ->
   ?cost:Cost.t ->
+  ?drop:float ->
+  ?inflate:float ->
   unit ->
   sweep
 (** Availability levels 0.7, 0.8, 0.9, 0.95 and 1.0; [samples] (default 12)
-    federation/query draws per level. At availability 1.0 every schedule is
-    {!Msdq_fault.Fault.none}, so that column doubles as the fault-free
-    anchor: recall 1 everywhere. *)
+    federation/query draws per level. [drop] (default 0.05) is the loss
+    probability and [inflate] (default 1) the latency inflation factor of
+    every site's incoming link on the faulty levels. At availability 1.0
+    every schedule is {!Msdq_fault.Fault.none} whatever the link knobs, so
+    that column doubles as the fault-free anchor: recall 1 everywhere. *)
 
 val series_of : sweep -> string -> series
+(** Raises [Not_found] when the sweep has no series with that label. *)
+
+(** {1 The recovery sweep}
+
+    Same grid and case generation as {!run}, but comparing the recovery
+    policies on each faulty execution: retry-only
+    ({!Msdq_exec.Recovery.disabled}), failover
+    ({!Msdq_exec.Recovery.default}) and failover+hedging
+    ({!Msdq_exec.Recovery.hedged} at 0.5 ms). One series per
+    (strategy, mode) cell, labelled ["BL+failover"] etc. CA has no check
+    round trips to re-route, so its three modes coincide — the flat CA
+    triple is the control that recovery is a localized-strategy feature. *)
+
+type rmode = Retry_only | Failover | Hedged
+
+val rmodes : rmode list
+(** [Retry_only]; [Failover]; [Hedged] — series order within a strategy. *)
+
+val rmode_label : rmode -> string
+(** ["retry"], ["failover"], ["hedged"]. *)
+
+type rseries = {
+  r_label : string;  (** ["<STRATEGY>+<mode>"], e.g. ["BL+failover"] *)
+  r_responses : float array;  (** mean response per availability, seconds *)
+  r_recalls : float array;  (** mean certain-set recall per availability *)
+  r_demoted : float array;  (** mean demoted rows per availability *)
+}
+
+type recovery_sweep = {
+  rid : string;  (** ["recovery-sweep"] *)
+  rtitle : string;
+  rxlabel : string;
+  rxs : float array;  (** availability levels, same grid as {!run} *)
+  rsamples : int;
+  rseed : int;
+  rseries : rseries list;  (** strategy-major: CA+retry .. PL+hedged *)
+}
+
+val run_recovery :
+  ?pool:Msdq_par.Pool.t ->
+  ?registry:Msdq_obs.Metrics.t ->
+  ?progress:(figure:string -> completed:int -> total:int -> unit) ->
+  ?samples:int ->
+  ?seed:int ->
+  ?cost:Cost.t ->
+  ?drop:float ->
+  ?inflate:float ->
+  unit ->
+  recovery_sweep
+(** Unlike {!run}, the availability-1.0 column is {e not} fault-free: the
+    schedule is {!Msdq_fault.Fault.random} at availability 1.0, i.e.
+    lossy-link-only — sites never crash but messages still drop (default
+    [drop] 0.2) — so that column isolates what failover buys against pure
+    message loss. Deterministic for any [?pool] worker count, like
+    {!run}. *)
+
+val rseries_of : recovery_sweep -> string -> rseries
 (** Raises [Not_found] when the sweep has no series with that label. *)

@@ -37,6 +37,7 @@ let availability_to_json (a : Strategy.availability) =
       ("checks_abandoned", Json.Int a.Strategy.checks_abandoned);
       ("certain_fault_free", Json.Int a.Strategy.certain_fault_free);
       ("demoted", Json.Int a.Strategy.demoted);
+      ("recovered", Json.Int a.Strategy.recovered);
       ("resurrected", Json.Int a.Strategy.resurrected);
       ("partial", Json.Bool a.Strategy.partial);
       ("degradation_ratio", Json.Float a.Strategy.degradation_ratio);
@@ -243,11 +244,38 @@ let fault_sweep_to_json (s : Fault_sweep.sweep) =
              s.Fault_sweep.series) );
     ]
 
+(* ---- recovery sweep ---- *)
+
+let recovery_sweep_to_json (s : Fault_sweep.recovery_sweep) =
+  let floats a = Json.Arr (Array.to_list (Array.map (fun x -> Json.Float x) a)) in
+  Json.Obj
+    [
+      ("id", Json.Str s.Fault_sweep.rid);
+      ("title", Json.Str s.Fault_sweep.rtitle);
+      ("xlabel", Json.Str s.Fault_sweep.rxlabel);
+      ("availabilities", floats s.Fault_sweep.rxs);
+      ("samples", Json.Int s.Fault_sweep.rsamples);
+      ("seed", Json.Int s.Fault_sweep.rseed);
+      ( "series",
+        Json.Arr
+          (List.map
+             (fun (ser : Fault_sweep.rseries) ->
+               Json.Obj
+                 [
+                   ("label", Json.Str ser.Fault_sweep.r_label);
+                   ("responses_s", floats ser.Fault_sweep.r_responses);
+                   ("recalls", floats ser.Fault_sweep.r_recalls);
+                   ("demoted", floats ser.Fault_sweep.r_demoted);
+                 ])
+             s.Fault_sweep.rseries) );
+    ]
+
 (* ---- bench ---- *)
 
 let bench_schema_v1 = "msdq-bench/1"
 let bench_schema_v2 = "msdq-bench/2"
-let bench_schema = "msdq-bench/3"
+let bench_schema_v3 = "msdq-bench/3"
+let bench_schema = "msdq-bench/4"
 
 type parallel = {
   jobs : int;
@@ -267,7 +295,8 @@ let parallel_to_json p =
       ("speedup", Json.Float p.speedup);
     ]
 
-let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~strategies ~wall =
+let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
+    ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -275,6 +304,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~strategies ~wall =
       ("seed", Json.Int seed);
       ("parallel", parallel_to_json parallel);
       ("fault_sweep", fault_sweep_to_json fault_sweep);
+      ("recovery_sweep", recovery_sweep_to_json recovery_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -406,27 +436,112 @@ let validate_fault_sweep j =
         (Ok ()) recalls)
     (Ok ()) series
 
+(* The /4 addition: the recovery-sweep section — same shape as the fault
+   sweep plus a mean-demoted array per (strategy, recovery-mode) series. *)
+let validate_recovery_sweep j =
+  let* rs = require "\"recovery_sweep\"" (Json.member "recovery_sweep" j) in
+  let* xs =
+    require "recovery_sweep \"availabilities\""
+      Option.(Json.member "availabilities" rs |> map Json.to_list |> join)
+  in
+  let* () =
+    if xs = [] then
+      Error "bench document: recovery_sweep \"availabilities\" is empty"
+    else Ok ()
+  in
+  let* series =
+    require "recovery_sweep \"series\""
+      Option.(Json.member "series" rs |> map Json.to_list |> join)
+  in
+  let* () =
+    if series = [] then Error "bench document: recovery_sweep \"series\" is empty"
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc ser ->
+      let* () = acc in
+      let* label =
+        require "recovery_sweep series \"label\""
+          Option.(Json.member "label" ser |> map Json.to_str |> join)
+      in
+      let* arrays =
+        List.fold_left
+          (fun acc field ->
+            let* acc = acc in
+            let* a =
+              require
+                (Printf.sprintf "recovery_sweep %s %S" label field)
+                Option.(Json.member field ser |> map Json.to_list |> join)
+            in
+            Ok ((field, a) :: acc))
+          (Ok [])
+          [ "responses_s"; "recalls"; "demoted" ]
+      in
+      let* () =
+        List.fold_left
+          (fun acc (field, a) ->
+            let* () = acc in
+            if List.length a <> List.length xs then
+              Error
+                (Printf.sprintf
+                   "bench document: recovery_sweep %s %s length differs from \
+                    availabilities"
+                   label field)
+            else Ok ())
+          (Ok ()) arrays
+      in
+      let recalls = List.filter_map Json.to_float (List.assoc "recalls" arrays) in
+      let* () =
+        List.fold_left
+          (fun acc r ->
+            let* () = acc in
+            if Float.is_nan r || r < 0.0 || r > 1.0 then
+              Error
+                (Printf.sprintf
+                   "bench document: recovery_sweep %s recall outside [0, 1]"
+                   label)
+            else Ok ())
+          (Ok ()) recalls
+      in
+      let demoted = List.filter_map Json.to_float (List.assoc "demoted" arrays) in
+      List.fold_left
+        (fun acc d ->
+          let* () = acc in
+          nonneg (Printf.sprintf "recovery_sweep %s demoted" label) d)
+        (Ok ()) demoted)
+    (Ok ()) series
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let* () =
     if
       String.equal schema bench_schema
+      || String.equal schema bench_schema_v3
       || String.equal schema bench_schema_v2
       || String.equal schema bench_schema_v1
     then Ok ()
     else
       Error
-        (Printf.sprintf "bench document: schema %S, expected %S, %S or %S"
-           schema bench_schema bench_schema_v2 bench_schema_v1)
+        (Printf.sprintf "bench document: schema %S, expected %S, %S, %S or %S"
+           schema bench_schema bench_schema_v3 bench_schema_v2 bench_schema_v1)
   in
   let* () =
     if
-      String.equal schema bench_schema || String.equal schema bench_schema_v2
+      String.equal schema bench_schema
+      || String.equal schema bench_schema_v3
+      || String.equal schema bench_schema_v2
     then validate_parallel j
     else Ok ()
   in
   let* () =
-    if String.equal schema bench_schema then validate_fault_sweep j else Ok ()
+    if
+      String.equal schema bench_schema || String.equal schema bench_schema_v3
+    then validate_fault_sweep j
+    else Ok ()
+  in
+  let* () =
+    if String.equal schema bench_schema then validate_recovery_sweep j
+    else Ok ()
   in
   let* _ =
     require "\"generated_at\""

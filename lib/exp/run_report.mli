@@ -50,10 +50,18 @@ val fault_sweep_to_json : Fault_sweep.sweep -> Json.t
     levels plus one (responses, recalls) series per strategy and the
     fail-stop baseline. *)
 
+val recovery_sweep_to_json : Fault_sweep.recovery_sweep -> Json.t
+(** The [msdq experiment --recovery-sweep --json] document: availability
+    levels plus one (responses, recalls, demoted) series per
+    (strategy, recovery-mode) cell. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/3"] — the schema every new document is written with. *)
+(** ["msdq-bench/4"] — the schema every new document is written with. *)
+
+val bench_schema_v3 : string
+(** ["msdq-bench/3"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v2 : string
 (** ["msdq-bench/2"] — still accepted by {!validate_bench}. *)
@@ -78,6 +86,7 @@ val bench_to_json :
   seed:int ->
   parallel:parallel ->
   fault_sweep:Fault_sweep.sweep ->
+  recovery_sweep:Fault_sweep.recovery_sweep ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -85,13 +94,15 @@ val bench_to_json :
     [(name, total_s, response_s)] triple per simulated strategy run on the
     demo workload; [wall] carries bechamel wall-clock medians as
     [(benchmark, ns_per_run)]; [seed] is the run's base rng seed;
-    [fault_sweep] is the run's (possibly reduced) robustness sweep.
-    [generated_at] is injected (not read from the clock) so tests stay
-    deterministic. *)
+    [fault_sweep] and [recovery_sweep] are the run's (possibly reduced)
+    robustness sweeps. [generated_at] is injected (not read from the clock)
+    so tests stay deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
 (** Structural validation of a bench document: used by the test suite and
-    the CI smoke step. Accepts {!bench_schema_v1}, {!bench_schema_v2} and
-    {!bench_schema} payloads; [seed]/[parallel] are required from [/2] on
-    and the [fault_sweep] section exactly from [/3] on (non-empty
-    availability grid, equal-length series, recalls inside [0, 1]). *)
+    the CI smoke step. Accepts {!bench_schema_v1}, {!bench_schema_v2},
+    {!bench_schema_v3} and {!bench_schema} payloads; [seed]/[parallel] are
+    required from [/2] on, the [fault_sweep] section from [/3] on
+    (non-empty availability grid, equal-length series, recalls inside
+    [0, 1]) and the [recovery_sweep] section exactly from [/4] on (same
+    shape plus a non-negative mean-demoted array per series). *)

@@ -95,7 +95,11 @@ val random :
     periods drawn from per-site streams ([Rng.split_ix] on the site's rank,
     so one site's windows never depend on another's draws). Every window
     recovers within the horizon. [drop]/[inflate] (default 0 / 1) apply to
-    every listed site's incoming link. [availability] must be in (0, 1]; 1
-    yields no outages. The schedule's drop seed is drawn from [rng]. *)
+    every listed site's incoming link. [availability] must be in (0, 1].
+    Availability 1 yields no outage windows at all, so [~availability:1.0]
+    with a non-zero [drop] builds a {e lossy-link-only} schedule: no site
+    ever crashes, but messages are still lost — the chaos point that
+    exercises retransmission and failover without any crash recovery. The
+    schedule's drop seed is drawn from [rng]. *)
 
 val pp : Format.formatter -> schedule -> unit

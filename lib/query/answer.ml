@@ -9,6 +9,7 @@ type t = {
   rows : row list;
   index : status Oid.Goid.Map.t;
   degraded : Oid.Goid.Set.t;
+  reasons : string Oid.Goid.Map.t; (* degraded provenance, per entity *)
 }
 
 let make ~targets rows =
@@ -23,9 +24,22 @@ let make ~targets rows =
         else Oid.Goid.Map.add r.goid r.status acc)
       Oid.Goid.Map.empty sorted
   in
-  { targets; rows = sorted; index; degraded = Oid.Goid.Set.empty }
+  { targets; rows = sorted; index; degraded = Oid.Goid.Set.empty;
+    reasons = Oid.Goid.Map.empty }
 
 let degraded t = t.degraded
+let degraded_reason t goid = Oid.Goid.Map.find_opt goid t.reasons
+
+let annotate_degraded t ~reasons =
+  let reasons =
+    List.fold_left
+      (fun acc (g, why) ->
+        if Oid.Goid.Set.mem g t.degraded && not (Oid.Goid.Map.mem g acc) then
+          Oid.Goid.Map.add g why acc
+        else acc)
+      t.reasons reasons
+  in
+  { t with reasons }
 
 let demote t ~goids =
   let rows =

@@ -44,6 +44,15 @@ val demote : t -> goids:Oid.Goid.Set.t -> t
     every listed GOid present in the answer gains degraded provenance
     (see {!degraded}). GOids absent from the answer are ignored. *)
 
+val annotate_degraded : t -> reasons:(Oid.Goid.t * string) list -> t
+(** Attach a human-readable reason to already-degraded entities — e.g. the
+    failover chain that failed to answer a check ("check vs DB2 dropped;
+    failover DB3 dropped; no live replica"). Entities not in {!degraded},
+    and entities that already carry a reason, are left untouched. *)
+
+val degraded_reason : t -> Oid.Goid.t -> string option
+(** The provenance recorded by {!annotate_degraded}, if any. *)
+
 val same_statuses : t -> t -> bool
 (** Whether two answers classify exactly the same GOids as certain and as
     maybe (projected values are not compared). *)

@@ -47,6 +47,7 @@ let () =
       ("workload.synth", Test_synth.suite);
       ("exec.equivalence", Test_equivalence.suite);
       ("fault", Test_fault.suite);
+      ("recovery", Test_recovery.suite);
       ("exp.param_sim", Test_param_sim.suite);
       ("exp.figures", Test_figures.suite);
       ("exp.planner", Test_planner.suite);

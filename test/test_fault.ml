@@ -140,6 +140,66 @@ let test_drop_draw () =
     true
     (freq > 0.25 && freq < 0.35)
 
+(* The draw is a pure hash of (seed, dst, label, start): the order in which
+   the schedule happens to list its sites and links is immaterial. *)
+let prop_drop_draw_permutation =
+  QCheck.Test.make
+    ~name:"drop draw is stable under sites/links permutation" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_bound 1_000))
+    (fun (seed, salt) ->
+      let sites =
+        List.init 4 (fun i ->
+            {
+              Fault.site = i + 1;
+              outages = [ { Fault.down = ms (float_of_int (i + 1)); up = ms 9.0 } ];
+            })
+      in
+      let links =
+        List.init 5 (fun i ->
+            { Fault.dst = i; drop = 0.1 *. float_of_int (i + 1); inflate = 1.0 })
+      in
+      let shuffle l =
+        let rng = Rng.create ~seed:salt in
+        List.map snd
+          (List.sort compare
+             (List.map (fun x -> (Rng.int rng ~bound:1_000_000, x)) l))
+      in
+      let a = { Fault.seed; sites; links } in
+      let b = { Fault.seed; sites = shuffle sites; links = shuffle links } in
+      List.for_all
+        (fun i ->
+          let draw s =
+            Fault.drop_draw s ~dst:(i mod 6)
+              ~label:(Printf.sprintf "leg-%d" i)
+              ~start:(Time.us (float_of_int (salt + (i * 13))))
+              ~p:0.4
+          in
+          draw a = draw b)
+        (List.init 50 Fun.id))
+
+(* Availability 1.0 with a non-zero drop: a lossy-link-only schedule — no
+   outage windows, every listed site's incoming link lossy. *)
+let test_drop_only_schedule () =
+  let rng = Rng.create ~seed:42 in
+  let sched =
+    Fault.random ~rng ~sites:[ 1; 2; 3 ] ~availability:1.0 ~horizon:(ms 10.0)
+      ~drop:0.4 ()
+  in
+  Fault.validate sched;
+  Alcotest.(check bool) "no outage windows" true (sched.Fault.sites = []);
+  Alcotest.(check int) "one lossy link per site" 3 (List.length sched.Fault.links);
+  Alcotest.(check (list int)) "no failed sites" [] (Fault.failed_sites sched);
+  let fed, analysis = paper_case () in
+  let ff_answer, _ = Strategy.run Strategy.Bl fed analysis in
+  let answer, m = run_with sched Strategy.Bl fed analysis in
+  let a = m.Strategy.availability in
+  Alcotest.(check bool) "faults active" true a.Strategy.faults_active;
+  Alcotest.(check bool) "messages were lost" true (a.Strategy.drops > 0);
+  Alcotest.(check bool) "sound" true
+    (Oid.Goid.Set.subset
+       (Answer.goids answer Answer.Certain)
+       (Answer.goids ff_answer Answer.Certain))
+
 (* ---- engine-level semantics on the paper example ---- *)
 
 let test_link_loss_ca () =
@@ -264,14 +324,15 @@ let rec make_case seed attempt =
 let random_schedule ~seed ~n_db ~horizon =
   let rng = Rng.create ~seed in
   let availability = 0.5 +. (0.5 *. Rng.float rng) in
-  if availability >= 0.999 then Fault.none
-  else
-    let sched =
-      Fault.random ~rng
-        ~sites:(List.init n_db (fun i -> i + 1))
-        ~availability ~horizon ~drop:(0.3 *. Rng.float rng) ()
-    in
-    { sched with Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links }
+  (* near-perfect availability degenerates to the lossy-link-only chaos
+     point: no crash windows, drops still flowing *)
+  let availability = if availability >= 0.999 then 1.0 else availability in
+  let sched =
+    Fault.random ~rng
+      ~sites:(List.init n_db (fun i -> i + 1))
+      ~availability ~horizon ~drop:(0.3 *. Rng.float rng) ()
+  in
+  { sched with Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links }
 
 let chaos_strategies =
   [ Strategy.Ca; Strategy.Bl; Strategy.Pl; Strategy.Bls; Strategy.Pls; Strategy.Cf ]
@@ -339,6 +400,8 @@ let suite =
     Alcotest.test_case "schedule validation" `Quick test_validate;
     Alcotest.test_case "crash windows" `Quick test_windows;
     Alcotest.test_case "drop draw" `Quick test_drop_draw;
+    Alcotest.test_case "drop-only schedule" `Quick test_drop_only_schedule;
+    QCheck_alcotest.to_alcotest prop_drop_draw_permutation;
     Alcotest.test_case "link loss: CA retries" `Quick test_link_loss_ca;
     Alcotest.test_case "latency inflation" `Quick test_latency_inflation;
     Alcotest.test_case "crash demotes checks" `Quick test_crash_demotes;

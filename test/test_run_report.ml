@@ -150,6 +150,31 @@ let fault_sweep_section =
       ];
   }
 
+let recovery_sweep_section =
+  {
+    Fault_sweep.rid = "recovery-sweep";
+    rtitle = "recovery";
+    rxlabel = "site availability";
+    rxs = [| 0.8; 1.0 |];
+    rsamples = 2;
+    rseed = 1;
+    rseries =
+      [
+        {
+          Fault_sweep.r_label = "BL+retry";
+          r_responses = [| 0.2; 0.1 |];
+          r_recalls = [| 0.8; 0.9 |];
+          r_demoted = [| 1.5; 0.5 |];
+        };
+        {
+          Fault_sweep.r_label = "BL+failover";
+          r_responses = [| 0.2; 0.1 |];
+          r_recalls = [| 0.95; 1.0 |];
+          r_demoted = [| 0.5; 0.0 |];
+        };
+      ];
+  }
+
 let parallel_json =
   Json.Obj
     [
@@ -164,6 +189,7 @@ let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -244,6 +270,7 @@ let test_bench_validation () =
   reject "negative time"
     (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+       ~recovery_sweep:recovery_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -260,16 +287,27 @@ let test_bench_validation () =
   reject "/3 without fault_sweep"
     (Json.Obj
        [
-         ("schema", Json.Str Run_report.bench_schema);
+         ("schema", Json.Str Run_report.bench_schema_v3);
          ("generated_at", Json.Str "t");
          ("seed", Json.Int 1);
          ("parallel", parallel_json);
          ("strategies", strategies_json);
          ("wall", Json.Arr []);
        ]);
+  reject "/4 without recovery_sweep"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema);
+         ("generated_at", Json.Str "t");
+         ("seed", Json.Int 1);
+         ("parallel", parallel_json);
+         ("fault_sweep", Run_report.fault_sweep_to_json fault_sweep_section);
+         ("strategies", strategies_json);
+         ("wall", Json.Arr []);
+       ]);
   let with_parallel fields =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
-      ~fault_sweep:fault_sweep_section
+      ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -281,6 +319,7 @@ let test_bench_validation () =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1
       ~parallel:parallel_section
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
+      ~recovery_sweep:recovery_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -290,7 +329,45 @@ let test_bench_validation () =
        [ { Fault_sweep.label = "BL"; responses = [| 0.1; 0.1 |]; recalls = [| 1.5; 1.0 |] } ]);
   reject "series length mismatch"
     (with_sweep
-       [ { Fault_sweep.label = "BL"; responses = [| 0.1 |]; recalls = [| 1.0 |] } ])
+       [ { Fault_sweep.label = "BL"; responses = [| 0.1 |]; recalls = [| 1.0 |] } ]);
+  let with_rsweep rseries =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  reject "empty recovery_sweep series" (with_rsweep []);
+  reject "recovery recall above 1"
+    (with_rsweep
+       [
+         {
+           Fault_sweep.r_label = "BL+failover";
+           r_responses = [| 0.1; 0.1 |];
+           r_recalls = [| 1.5; 1.0 |];
+           r_demoted = [| 0.0; 0.0 |];
+         };
+       ]);
+  reject "negative demoted mean"
+    (with_rsweep
+       [
+         {
+           Fault_sweep.r_label = "BL+failover";
+           r_responses = [| 0.1; 0.1 |];
+           r_recalls = [| 1.0; 1.0 |];
+           r_demoted = [| -1.0; 0.0 |];
+         };
+       ]);
+  reject "recovery series length mismatch"
+    (with_rsweep
+       [
+         {
+           Fault_sweep.r_label = "BL+failover";
+           r_responses = [| 0.1 |];
+           r_recalls = [| 1.0 |];
+           r_demoted = [| 0.0 |];
+         };
+       ])
 
 let suite =
   [
