@@ -10,16 +10,18 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/4", see Run_report) with the per-strategy
+   (schema "msdq-bench/5", see Run_report) with the per-strategy
    simulated times on the demo workload, the bechamel wall-clock
    medians, the run's seed, a parallel section (jobs, measured speedup
    of a calibration sweep), a fault_sweep section (certain-set recall
-   and response under injected site crashes) and a recovery_sweep
+   and response under injected site crashes), a recovery_sweep
    section (retry-only vs failover vs failover+hedging recall and
-   demotion counts); --out DIR picks the directory, --jobs N sizes the
-   domain pool (default: all cores; 1 = sequential), --smoke runs a
-   reduced version for CI, and --check FILE validates an existing
-   result file against the schema (/1, /2, /3 and /4 all accepted). *)
+   demotion counts) and a serve_sweep section (workload-engine
+   throughput vs cache capacity and admission window); --out DIR picks
+   the directory, --jobs N sizes the domain pool (default: all cores;
+   1 = sequential), --smoke runs a reduced version for CI, and --check
+   FILE validates an existing result file against the schema (/1../5
+   all accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -393,6 +395,30 @@ let recovery_study ?pool ~seed ~samples () =
     sweep.Fault_sweep.rseries;
   sweep
 
+let serve_study ?pool ~seed ~samples () =
+  section "serve-sweep";
+  Format.printf
+    "Workload engine (extension): repeated-query streams through the@.\
+     multi-query serve layer. Throughput = queries per simulated second;@.\
+     speedup = warm-over-cold makespan ratio at each cache capacity@.\
+     (capacity 0 is the cold anchor). Caching and batching never change@.\
+     an answer — the cache-soundness property the test suite checks.@.@.";
+  let sweep = Serve_sweep.run ?pool ~seed ~samples () in
+  Format.printf "%-12s" "series";
+  Array.iter
+    (fun kib -> Format.printf " %10s" (Printf.sprintf "%gKiB" kib))
+    sweep.Serve_sweep.xs;
+  Format.printf "@.";
+  List.iter
+    (fun (ser : Serve_sweep.series) ->
+      Format.printf "%-12s" (ser.Serve_sweep.label ^ " q/s");
+      Array.iter (fun t -> Format.printf " %10.2f" t) ser.Serve_sweep.throughputs;
+      Format.printf "@.%-12s" (ser.Serve_sweep.label ^ " spd");
+      Array.iter (fun s -> Format.printf " %10.3f" s) ser.Serve_sweep.speedups;
+      Format.printf "@.")
+    sweep.Serve_sweep.series;
+  sweep
+
 (* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
@@ -504,11 +530,12 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep ~wall =
+let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep
+    ~serve_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
-      ~recovery_sweep ~strategies:(strategy_times ()) ~wall
+      ~recovery_sweep ~serve_sweep ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -572,7 +599,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema (/1../4) and exit" );
+        "FILE  validate FILE against the bench schema (/1../5) and exit" );
     ]
   in
   Arg.parse spec
@@ -603,9 +630,10 @@ let () =
       let parallel = calibrate ?pool ~seed:!seed ~samples:40 () in
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:3 () in
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:2 () in
+      let serve_sweep = serve_study ?pool ~seed:!seed ~samples:2 () in
       let wall = microbenches ~quota:0.05 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~wall
+        ~recovery_sweep ~serve_sweep ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -618,8 +646,9 @@ let () =
       let parallel = calibrate ?pool ~seed:!seed ~samples:!samples () in
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:12 () in
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:8 () in
+      let serve_sweep = serve_study ?pool ~seed:!seed ~samples:6 () in
       let wall = microbenches ~quota:0.4 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~wall;
+        ~recovery_sweep ~serve_sweep ~wall;
       Format.printf "@.done.@."
     end

@@ -4,6 +4,7 @@
      demo        the paper's running example (DB1/DB2/DB3, query Q1)
      query       run a SQL/X query against the demo or a synthetic federation
      experiment  regenerate the paper's figures with the parametric simulator
+     serve       run a multi-query workload through the caching/batching engine
      params      print the Table 1 / Table 2 settings
      generate    summarize a synthetic federation
      validate    cross-check the strategies on random federations *)
@@ -553,6 +554,285 @@ let experiment_cmd =
        ~doc:"Regenerate the paper's figures with the parametric simulator.")
     term
 
+(* ---- serve ---- *)
+
+let pp_serve_sweep ppf (sweep : Serve_sweep.sweep) =
+  Format.fprintf ppf
+    "@[<v>%s — %s@,\
+     (%d queries per workload, %d samples, seed %d; speedup = cold/warm \
+     makespan)@,@,"
+    sweep.Serve_sweep.id sweep.Serve_sweep.title sweep.Serve_sweep.queries
+    sweep.Serve_sweep.samples sweep.Serve_sweep.seed;
+  Format.fprintf ppf "%-18s" sweep.Serve_sweep.xlabel;
+  Array.iter
+    (fun kib -> Format.fprintf ppf " %10s" (Printf.sprintf "%gKiB" kib))
+    sweep.Serve_sweep.xs;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (ser : Serve_sweep.series) ->
+      Format.fprintf ppf "%-18s" (ser.Serve_sweep.label ^ " q/s");
+      Array.iter
+        (fun t -> Format.fprintf ppf " %10.2f" t)
+        ser.Serve_sweep.throughputs;
+      Format.fprintf ppf "@,%-18s" (ser.Serve_sweep.label ^ " speedup");
+      Array.iter (fun s -> Format.fprintf ppf " %10.3f" s) ser.Serve_sweep.speedups;
+      Format.fprintf ppf "@,")
+    sweep.Serve_sweep.series;
+  Format.fprintf ppf "@]"
+
+let serve_outcome_to_json ~query cfg (out : Msdq_serve.Serve.outcome) =
+  let module Serve = Msdq_serve.Serve in
+  let module Lru = Msdq_serve.Lru in
+  let module Json = Msdq_obs.Json in
+  let time t = Json.Float (Msdq_simkit.Time.to_us t) in
+  let cache (s : Lru.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.Lru.hits);
+        ("misses", Json.Int s.Lru.misses);
+        ("evictions", Json.Int s.Lru.evictions);
+        ("invalidations", Json.Int s.Lru.invalidations);
+        ("entries", Json.Int s.Lru.entries);
+        ("bytes", Json.Int s.Lru.bytes);
+      ]
+  in
+  Json.Obj
+    [
+      ("query", Json.Str query);
+      ("cache_bytes", Json.Int cfg.Serve.cache_bytes);
+      ("window_us", Json.Float (Msdq_simkit.Time.to_us cfg.Serve.window));
+      ( "reports",
+        Json.Arr
+          (List.map
+             (fun (r : Serve.query_report) ->
+               Json.Obj
+                 [
+                   ("index", Json.Int r.Serve.index);
+                   ("strategy", Json.Str (Strategy.to_string r.Serve.strategy));
+                   ("arrival_us", time r.Serve.arrival);
+                   ("completed_us", time r.Serve.completed);
+                   ("latency_us", time r.Serve.latency);
+                   ("rows", Json.Int (Answer.size r.Serve.answer));
+                   ( "certain",
+                     Json.Int (List.length (Answer.certain r.Serve.answer)) );
+                   ("maybe", Json.Int (List.length (Answer.maybe r.Serve.answer)));
+                   ( "degraded",
+                     Json.Int
+                       (Msdq_odb.Oid.Goid.Set.cardinal
+                          (Answer.degraded r.Serve.answer)) );
+                   ( "cached",
+                     Json.Int
+                       (Msdq_odb.Oid.Goid.Set.cardinal
+                          (Answer.cached r.Serve.answer)) );
+                   ("extent_hits", Json.Int r.Serve.extent_hits);
+                   ("verdict_hits", Json.Int r.Serve.verdict_hits);
+                 ])
+             out.Serve.reports) );
+      ("makespan_us", time out.Serve.makespan);
+      ("throughput_qps", Json.Float out.Serve.throughput);
+      ("extent_cache", cache out.Serve.extent_cache);
+      ("verdict_cache", cache out.Serve.verdict_cache);
+      ("messages", Json.Int out.Serve.messages);
+      ("coalesced_checks", Json.Int out.Serve.coalesced_checks);
+      ("registry", Msdq_obs.Metrics.to_json out.Serve.registry);
+    ]
+
+let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
+    samples jobs json sql =
+  let module Serve = Msdq_serve.Serve in
+  let module Lru = Msdq_serve.Lru in
+  if sweep then begin
+    let jobs =
+      if jobs = 0 then Domain.recommended_domain_count ()
+      else if jobs >= 1 then jobs
+      else begin
+        Format.eprintf "--jobs must be >= 1 (or 0 for all cores)@.";
+        exit 1
+      end
+    in
+    let pool = if jobs > 1 then Some (Msdq_par.Pool.create ~jobs ()) else None in
+    Fun.protect ~finally:(fun () -> Option.iter Msdq_par.Pool.shutdown pool)
+    @@ fun () ->
+    let sweep = Serve_sweep.run ?pool ~samples ~seed () in
+    if json then
+      print_endline
+        (Msdq_obs.Json.to_string ~indent:2 (Run_report.serve_sweep_to_json sweep))
+    else Format.printf "%a@." pp_serve_sweep sweep;
+    `Ok ()
+  end
+  else begin
+    if queries < 1 then begin
+      Format.eprintf "--queries must be >= 1@.";
+      exit 1
+    end;
+    if arrival <= 0.0 || Float.is_nan arrival then begin
+      Format.eprintf "--arrival must be a positive rate@.";
+      exit 1
+    end;
+    if cache_mb < 0.0 || Float.is_nan cache_mb then begin
+      Format.eprintf "--cache-mb must be >= 0@.";
+      exit 1
+    end;
+    let fed = federation_of ~data ~synthetic ~seed in
+    let src = match sql with Some s -> s | None -> Paper_example.q1 in
+    let analysis = analyze_or_exit fed src in
+    let inter_us = 1e6 /. arrival in
+    let jobs_list =
+      List.init queries (fun i ->
+          {
+            Serve.strategy;
+            analysis;
+            arrival = Msdq_simkit.Time.us (float_of_int i *. inter_us);
+          })
+    in
+    let cfg =
+      {
+        Serve.default_config with
+        Serve.cache_bytes = int_of_float (cache_mb *. 1024.0 *. 1024.0);
+        window = Msdq_simkit.Time.us window_us;
+      }
+    in
+    let out =
+      try Serve.run cfg fed jobs_list
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+    in
+    if json then
+      print_endline
+        (Msdq_obs.Json.to_string ~indent:2 (serve_outcome_to_json ~query:src cfg out))
+    else begin
+      Format.printf
+        "workload: %d x %s under %s, arrival %.1f q/s, cache %.1f MiB, window \
+         %.0f us@.@."
+        queries src
+        (Strategy.to_string strategy)
+        arrival cache_mb window_us;
+      Format.printf "%-3s %12s %12s %12s %7s %7s %7s %9s@." "#" "arrival"
+        "completed" "latency" "xhits" "vhits" "cached" "degraded";
+      List.iter
+        (fun (r : Serve.query_report) ->
+          Format.printf "%-3d %12s %12s %12s %7d %7d %7d %9d@." r.Serve.index
+            (Format.asprintf "%a" Msdq_simkit.Time.pp r.Serve.arrival)
+            (Format.asprintf "%a" Msdq_simkit.Time.pp r.Serve.completed)
+            (Format.asprintf "%a" Msdq_simkit.Time.pp r.Serve.latency)
+            r.Serve.extent_hits r.Serve.verdict_hits
+            (Msdq_odb.Oid.Goid.Set.cardinal (Answer.cached r.Serve.answer))
+            (Msdq_odb.Oid.Goid.Set.cardinal (Answer.degraded r.Serve.answer)))
+        out.Serve.reports;
+      let pp_cache name (s : Lru.stats) =
+        Format.printf
+          "%s cache: %d hits, %d misses, %d evictions, %d invalidations, %d \
+           entries (%d bytes)@."
+          name s.Lru.hits s.Lru.misses s.Lru.evictions s.Lru.invalidations
+          s.Lru.entries s.Lru.bytes
+      in
+      Format.printf "@.makespan %a, throughput %.2f queries/simulated-second@."
+        Msdq_simkit.Time.pp out.Serve.makespan out.Serve.throughput;
+      pp_cache "extent" out.Serve.extent_cache;
+      pp_cache "verdict" out.Serve.verdict_cache;
+      Format.printf "%d serve-path messages, %d coalesced check requests@."
+        out.Serve.messages out.Serve.coalesced_checks
+    end;
+    `Ok ()
+  end
+
+let serve_cmd =
+  let queries =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "queries" ] ~docv:"N"
+          ~doc:"Number of queries in the stream.")
+  in
+  let arrival =
+    Arg.(
+      value & opt float 50.0
+      & info [ "arrival" ] ~docv:"RATE"
+          ~doc:
+            "Arrival rate in queries per simulated second; the stream is \
+             evenly spaced at 1/RATE.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt float 4.0
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Capacity of each site's extent cache and of the global verdict \
+             cache, in MiB. 0 disables caching (every query runs cold).")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "window" ] ~docv:"US"
+          ~doc:
+            "Check-batching admission window in simulated microseconds: \
+             check requests reaching the same target site within the window \
+             coalesce into one message. 0 disables cross-query batching.")
+  in
+  let strategy =
+    Arg.(
+      value & opt strategy_conv Strategy.Bl
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Strategy for every query in the stream: CA, BL, PL, BLS, PLS or \
+             LO (CF has no serve-path integration). Default: BL.")
+  in
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the throughput sweep instead of one workload: synthetic \
+             repeated-query streams over cache capacities 0..4MiB and \
+             admission windows 0/500us for CA, BL and PL, reporting \
+             queries per simulated second and warm-over-cold makespan \
+             speedup. $(b,--samples) workloads per cell (default 4).")
+  in
+  let samples =
+    Arg.(
+      value & opt int 4
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Workload draws per sweep cell (with $(b,--sweep)).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for $(b,--sweep): 0 = all cores (the default), \
+             1 = sequential. Results are identical for every setting.")
+  in
+  let synthetic =
+    Arg.(
+      value & flag
+      & info [ "synthetic" ]
+          ~doc:
+            "Serve against a generated synthetic federation (pass QUERY \
+             explicitly; the demo query names demo classes).")
+  in
+  let sql =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"SQL/X query repeated by the stream. Default: the demo's Q1.")
+  in
+  let term =
+    with_logs
+      Term.(
+        ret
+          (const serve $ queries $ arrival $ cache_mb $ window $ strategy
+         $ data_arg $ synthetic $ seed_arg $ sweep_flag $ samples $ jobs
+         $ json_arg $ sql))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a multi-query workload through the serve engine: shared \
+          simulated system, cross-query GOid/extent and verdict caching, \
+          and check batching.")
+    term
+
 (* ---- params ---- *)
 
 let params () =
@@ -734,6 +1014,7 @@ let main_cmd =
       query_cmd;
       plan_cmd;
       experiment_cmd;
+      serve_cmd;
       params_cmd;
       generate_cmd;
       validate_cmd;

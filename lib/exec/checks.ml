@@ -179,3 +179,13 @@ let serve ?(tracer = Tracer.disabled) fed ~db:db_name requests =
   { verdicts; objects_read = List.length requests; work = Meter.read meter }
 
 let verdict_key v = (v.origin_db, Oid.Loid.to_int v.item, v.atom)
+
+(* The verdict-cache key of the workload engine (lib/serve). A verdict is a
+   pure function of the assistant object and the relative predicate, so the
+   key must name exactly those two plus the site holding the assistant —
+   never the querying context (origin item, atom index), which is what makes
+   one query's verdict reusable by another query. *)
+let request_signature (r : request) =
+  Printf.sprintf "%s#%s?%s" r.target_db
+    (Oid.Loid.to_string r.assistant)
+    (Predicate.to_string r.pred)

@@ -75,3 +75,11 @@ val serve :
 
 val verdict_key : verdict -> string * int * int
 (** [(origin_db, item loid, atom)] — the key certification joins on. *)
+
+val request_signature : request -> string
+(** The verdict-cache key used by the workload engine ([Msdq_serve]):
+    [target_db], assistant LOid and the full relative predicate (path
+    suffix, operator and operand). Deliberately excludes the origin item and
+    atom index — a verdict depends only on the assistant object's attribute
+    values and the relative predicate, never on the querying context, which
+    is exactly why one query's verdict can certify another query's row. *)

@@ -102,6 +102,15 @@ val default_options : options
 (** Table 1 costs, no deep certification, no faults, {!default_retry},
     {!Recovery.disabled}. *)
 
+val validate_options : options -> unit
+(** Eager configuration validation: raises [Invalid_argument] with a
+    readable message on duplicate or non-positive [site_speeds] entries, a
+    malformed fault schedule, a retry policy with [max_attempts < 1],
+    negative timeout or [backoff < 1], or an invalid recovery policy.
+    {!run} calls this itself; it is exposed so other executors sharing
+    [options] — the workload engine [Msdq_serve] — can fail just as early
+    with the same diagnostics. *)
+
 type availability = {
   faults_active : bool;  (** a non-empty fault schedule was installed *)
   failed_sites : int list;  (** sites with at least one outage window *)

@@ -270,12 +270,43 @@ let recovery_sweep_to_json (s : Fault_sweep.recovery_sweep) =
              s.Fault_sweep.rseries) );
     ]
 
+(* ---- serve sweep ---- *)
+
+let serve_sweep_to_json (s : Serve_sweep.sweep) =
+  let floats a = Json.Arr (Array.to_list (Array.map (fun x -> Json.Float x) a)) in
+  Json.Obj
+    [
+      ("id", Json.Str s.Serve_sweep.id);
+      ("title", Json.Str s.Serve_sweep.title);
+      ("xlabel", Json.Str s.Serve_sweep.xlabel);
+      ("cache_kib", floats s.Serve_sweep.xs);
+      ("windows_us", floats s.Serve_sweep.windows_us);
+      ("queries", Json.Int s.Serve_sweep.queries);
+      ("samples", Json.Int s.Serve_sweep.samples);
+      ("seed", Json.Int s.Serve_sweep.seed);
+      ( "series",
+        Json.Arr
+          (List.map
+             (fun (ser : Serve_sweep.series) ->
+               Json.Obj
+                 [
+                   ("label", Json.Str ser.Serve_sweep.label);
+                   ("strategy", Json.Str ser.Serve_sweep.strategy);
+                   ("window_us", Json.Float ser.Serve_sweep.window_us);
+                   ("throughputs", floats ser.Serve_sweep.throughputs);
+                   ("speedups", floats ser.Serve_sweep.speedups);
+                   ("hits_per_query", floats ser.Serve_sweep.hits);
+                 ])
+             s.Serve_sweep.series) );
+    ]
+
 (* ---- bench ---- *)
 
 let bench_schema_v1 = "msdq-bench/1"
 let bench_schema_v2 = "msdq-bench/2"
 let bench_schema_v3 = "msdq-bench/3"
-let bench_schema = "msdq-bench/4"
+let bench_schema_v4 = "msdq-bench/4"
+let bench_schema = "msdq-bench/5"
 
 type parallel = {
   jobs : int;
@@ -296,7 +327,7 @@ let parallel_to_json p =
     ]
 
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~strategies ~wall =
+    ~serve_sweep ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -305,6 +336,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("parallel", parallel_to_json parallel);
       ("fault_sweep", fault_sweep_to_json fault_sweep);
       ("recovery_sweep", recovery_sweep_to_json recovery_sweep);
+      ("serve_sweep", serve_sweep_to_json serve_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -511,38 +543,92 @@ let validate_recovery_sweep j =
         (Ok ()) demoted)
     (Ok ()) series
 
+(* The /5 addition: the serve-sweep section — cache capacities and one
+   (throughputs, speedups, hits) series per (strategy, window) cell, all
+   non-negative. *)
+let validate_serve_sweep j =
+  let* ss = require "\"serve_sweep\"" (Json.member "serve_sweep" j) in
+  let* xs =
+    require "serve_sweep \"cache_kib\""
+      Option.(Json.member "cache_kib" ss |> map Json.to_list |> join)
+  in
+  let* () =
+    if xs = [] then Error "bench document: serve_sweep \"cache_kib\" is empty"
+    else Ok ()
+  in
+  let* series =
+    require "serve_sweep \"series\""
+      Option.(Json.member "series" ss |> map Json.to_list |> join)
+  in
+  let* () =
+    if series = [] then Error "bench document: serve_sweep \"series\" is empty"
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc ser ->
+      let* () = acc in
+      let* label =
+        require "serve_sweep series \"label\""
+          Option.(Json.member "label" ser |> map Json.to_str |> join)
+      in
+      List.fold_left
+        (fun acc field ->
+          let* () = acc in
+          let* a =
+            require
+              (Printf.sprintf "serve_sweep %s %S" label field)
+              Option.(Json.member field ser |> map Json.to_list |> join)
+          in
+          let* () =
+            if List.length a <> List.length xs then
+              Error
+                (Printf.sprintf
+                   "bench document: serve_sweep %s %s length differs from \
+                    cache_kib"
+                   label field)
+            else Ok ()
+          in
+          List.fold_left
+            (fun acc v ->
+              let* () = acc in
+              nonneg (Printf.sprintf "serve_sweep %s %s" label field) v)
+            (Ok ())
+            (List.filter_map Json.to_float a))
+        (Ok ())
+        [ "throughputs"; "speedups"; "hits_per_query" ])
+    (Ok ()) series
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
+  let known =
+    [
+      bench_schema; bench_schema_v4; bench_schema_v3; bench_schema_v2;
+      bench_schema_v1;
+    ]
+  in
   let* () =
-    if
-      String.equal schema bench_schema
-      || String.equal schema bench_schema_v3
-      || String.equal schema bench_schema_v2
-      || String.equal schema bench_schema_v1
-    then Ok ()
+    if List.exists (String.equal schema) known then Ok ()
     else
       Error
-        (Printf.sprintf "bench document: schema %S, expected %S, %S, %S or %S"
-           schema bench_schema bench_schema_v3 bench_schema_v2 bench_schema_v1)
+        (Printf.sprintf "bench document: schema %S, expected one of %s" schema
+           (String.concat ", " (List.map (Printf.sprintf "%S") known)))
   in
-  let* () =
-    if
-      String.equal schema bench_schema
-      || String.equal schema bench_schema_v3
-      || String.equal schema bench_schema_v2
-    then validate_parallel j
-    else Ok ()
+  (* versions are ordered: everything from the introducing version on
+     requires the section *)
+  let at_least v =
+    let rank s =
+      if String.equal s bench_schema_v1 then 1
+      else if String.equal s bench_schema_v2 then 2
+      else if String.equal s bench_schema_v3 then 3
+      else if String.equal s bench_schema_v4 then 4
+      else 5
+    in
+    rank schema >= v
   in
-  let* () =
-    if
-      String.equal schema bench_schema || String.equal schema bench_schema_v3
-    then validate_fault_sweep j
-    else Ok ()
-  in
-  let* () =
-    if String.equal schema bench_schema then validate_recovery_sweep j
-    else Ok ()
-  in
+  let* () = if at_least 2 then validate_parallel j else Ok () in
+  let* () = if at_least 3 then validate_fault_sweep j else Ok () in
+  let* () = if at_least 4 then validate_recovery_sweep j else Ok () in
+  let* () = if at_least 5 then validate_serve_sweep j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)

@@ -55,10 +55,17 @@ val recovery_sweep_to_json : Fault_sweep.recovery_sweep -> Json.t
     levels plus one (responses, recalls, demoted) series per
     (strategy, recovery-mode) cell. *)
 
+val serve_sweep_to_json : Serve_sweep.sweep -> Json.t
+(** The [msdq serve --sweep --json] document: cache capacities plus one
+    (throughputs, speedups, hits) series per (strategy, window) cell. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/4"] — the schema every new document is written with. *)
+(** ["msdq-bench/5"] — the schema every new document is written with. *)
+
+val bench_schema_v4 : string
+(** ["msdq-bench/4"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v3 : string
 (** ["msdq-bench/3"] — still accepted by {!validate_bench}. *)
@@ -87,6 +94,7 @@ val bench_to_json :
   parallel:parallel ->
   fault_sweep:Fault_sweep.sweep ->
   recovery_sweep:Fault_sweep.recovery_sweep ->
+  serve_sweep:Serve_sweep.sweep ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -95,14 +103,17 @@ val bench_to_json :
     demo workload; [wall] carries bechamel wall-clock medians as
     [(benchmark, ns_per_run)]; [seed] is the run's base rng seed;
     [fault_sweep] and [recovery_sweep] are the run's (possibly reduced)
-    robustness sweeps. [generated_at] is injected (not read from the clock)
-    so tests stay deterministic. *)
+    robustness sweeps and [serve_sweep] its workload-engine sweep.
+    [generated_at] is injected (not read from the clock) so tests stay
+    deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
 (** Structural validation of a bench document: used by the test suite and
     the CI smoke step. Accepts {!bench_schema_v1}, {!bench_schema_v2},
-    {!bench_schema_v3} and {!bench_schema} payloads; [seed]/[parallel] are
-    required from [/2] on, the [fault_sweep] section from [/3] on
-    (non-empty availability grid, equal-length series, recalls inside
-    [0, 1]) and the [recovery_sweep] section exactly from [/4] on (same
-    shape plus a non-negative mean-demoted array per series). *)
+    {!bench_schema_v3}, {!bench_schema_v4} and {!bench_schema} payloads;
+    [seed]/[parallel] are required from [/2] on, the [fault_sweep] section
+    from [/3] on (non-empty availability grid, equal-length series, recalls
+    inside [0, 1]), the [recovery_sweep] section from [/4] on (same shape
+    plus a non-negative mean-demoted array per series) and the
+    [serve_sweep] section exactly from [/5] on (non-empty cache grid,
+    equal-length series, non-negative throughputs and speedups). *)

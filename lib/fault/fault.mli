@@ -17,7 +17,7 @@
     sweeps stay reproducible point by point (the same contract as
     [Rng.split_ix], see docs/PARALLELISM.md).
 
-    {!random} draws a schedule from a seeded {!Msdq_workload.Rng} — the
+    {!random} draws a schedule from a seeded [Msdq_workload.Rng] — the
     chaos-testing and fault-sweep entry point. *)
 
 open Msdq_simkit

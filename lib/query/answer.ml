@@ -10,6 +10,7 @@ type t = {
   index : status Oid.Goid.Map.t;
   degraded : Oid.Goid.Set.t;
   reasons : string Oid.Goid.Map.t; (* degraded provenance, per entity *)
+  cached : Oid.Goid.Set.t; (* certified via cache-served verdicts *)
 }
 
 let make ~targets rows =
@@ -25,7 +26,7 @@ let make ~targets rows =
       Oid.Goid.Map.empty sorted
   in
   { targets; rows = sorted; index; degraded = Oid.Goid.Set.empty;
-    reasons = Oid.Goid.Map.empty }
+    reasons = Oid.Goid.Map.empty; cached = Oid.Goid.Set.empty }
 
 let degraded t = t.degraded
 let degraded_reason t goid = Oid.Goid.Map.find_opt goid t.reasons
@@ -59,6 +60,12 @@ let demote t ~goids =
   in
   { t with rows; index; degraded = Oid.Goid.Set.union t.degraded present }
 
+let cached t = t.cached
+
+let mark_cached t ~goids =
+  let present = Oid.Goid.Set.filter (fun g -> Oid.Goid.Map.mem g t.index) goids in
+  { t with cached = Oid.Goid.Set.union t.cached present }
+
 let targets t = t.targets
 let rows t = t.rows
 let certain t = List.filter (fun r -> r.status = Certain) t.rows
@@ -88,16 +95,18 @@ let subsumes ~strong ~weak =
 let equal_status (a : status) (b : status) = a = b
 let status_to_string = function Certain -> "certain" | Maybe -> "maybe"
 
-let pp_row degraded ppf r =
-  Format.fprintf ppf "%a [%s%s]: %s" Oid.Goid.pp r.goid
+let pp_row degraded cached ppf r =
+  Format.fprintf ppf "%a [%s%s%s]: %s" Oid.Goid.pp r.goid
     (status_to_string r.status)
     (if Oid.Goid.Set.mem r.goid degraded then ", degraded" else "")
+    (if Oid.Goid.Set.mem r.goid cached then ", cached" else "")
     (String.concat ", " (List.map Value.to_string r.values))
 
 let pp ppf t =
   let certain_rows = certain t and maybe_rows = maybe t in
+  let pp_row = pp_row t.degraded t.cached in
   Format.fprintf ppf "@[<v>certain results (%d):@," (List.length certain_rows);
-  List.iter (fun r -> Format.fprintf ppf "  %a@," (pp_row t.degraded) r) certain_rows;
+  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) certain_rows;
   Format.fprintf ppf "maybe results (%d):@," (List.length maybe_rows);
-  List.iter (fun r -> Format.fprintf ppf "  %a@," (pp_row t.degraded) r) maybe_rows;
+  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_row r) maybe_rows;
   Format.fprintf ppf "@]"

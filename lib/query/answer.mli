@@ -53,6 +53,19 @@ val annotate_degraded : t -> reasons:(Oid.Goid.t * string) list -> t
 val degraded_reason : t -> Oid.Goid.t -> string option
 (** The provenance recorded by {!annotate_degraded}, if any. *)
 
+val mark_cached : t -> goids:Oid.Goid.Set.t -> t
+(** Cache provenance (workload engine): the listed entities were certified
+    using at least one verdict served from the cross-query verdict cache
+    rather than a fresh assistant round trip. Pure metadata — the rows,
+    statuses and values are untouched, and {!same_statuses}/{!subsumes}
+    ignore it — but {!pp} flags the rows, honouring the completeness
+    contract of reporting which answers were served from cache. GOids
+    absent from the answer are ignored. *)
+
+val cached : t -> Oid.Goid.Set.t
+(** Entities marked by {!mark_cached}. Empty unless a caching executor
+    produced the answer. *)
+
 val same_statuses : t -> t -> bool
 (** Whether two answers classify exactly the same GOids as certain and as
     maybe (projected values are not compared). *)

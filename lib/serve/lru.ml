@@ -1,0 +1,124 @@
+(* Classic doubly-linked-list-over-hashtable LRU, with two twists the
+   workload engine needs: capacity is measured in payload bytes (cost-model
+   sizes, not entry counts), and every entry carries the generation current
+   at insertion so a site crash invalidates lazily — stale entries are
+   discarded on first touch instead of eagerly sweeping the table. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  bytes : int;
+  gen : int;
+  mutable prev : 'a node option; (* towards most-recently-used *)
+  mutable next : 'a node option; (* towards least-recently-used *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most-recently-used *)
+  mutable tail : 'a node option; (* least-recently-used *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+}
+
+let create ~capacity_bytes =
+  {
+    capacity = capacity_bytes;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity_bytes t = t.capacity
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let remove t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  t.bytes <- t.bytes - node.bytes
+
+(* Returns the live node for [key] under generation [gen], dropping (and
+   counting) a stale one. Shared by [find] and [mem]. *)
+let live_node t ~gen key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node when node.gen < gen ->
+      remove t node;
+      t.invalidations <- t.invalidations + 1;
+      None
+  | Some node -> Some node
+
+let find t ~gen key =
+  match live_node t ~gen key with
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      t.hits <- t.hits + 1;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t ~gen key = Option.is_some (live_node t ~gen key)
+
+let add t ~gen ~key ~bytes value =
+  if bytes < 0 then invalid_arg "Lru.add: negative size";
+  (match Hashtbl.find_opt t.table key with
+  | Some node -> remove t node
+  | None -> ());
+  if bytes <= t.capacity then begin
+    let node = { key; value; bytes; gen; prev = None; next = None } in
+    while t.bytes + bytes > t.capacity do
+      match t.tail with
+      | Some lru ->
+          remove t lru;
+          t.evictions <- t.evictions + 1
+      | None -> assert false (* bytes <= capacity, so the loop terminates *)
+    done;
+    Hashtbl.add t.table key node;
+    push_front t node;
+    t.bytes <- t.bytes + bytes
+  end
+
+let stats (t : 'a t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.table;
+    bytes = t.bytes;
+  }

@@ -1,0 +1,50 @@
+(** Byte-capacity LRU cache with generation-based invalidation.
+
+    The workload engine ([Serve]) keeps one of these per cached artifact
+    family: localized extent projections at each component site and
+    assistant-check verdicts at the global site. Entries are keyed by
+    string, sized in bytes, and tagged with the {e generation} current when
+    they were inserted. A lookup supplies the caller's current generation;
+    an entry whose generation is older was inserted before a site crash
+    wiped the cache, so it is discarded and the lookup misses — this is the
+    invalidation rule of docs/SERVE.md.
+
+    Accounting is explicit so [Serve] can export
+    [msdq_cache_hits_total] / [msdq_cache_misses_total] /
+    [msdq_cache_evictions_total]: every {!find} is either one hit or one
+    miss, every capacity eviction and every generation invalidation is
+    counted. All operations are O(1) amortized. *)
+
+type 'a t
+
+val create : capacity_bytes:int -> 'a t
+(** A fresh cache holding at most [capacity_bytes] of entry payload.
+    [capacity_bytes <= 0] creates a cache on which every {!find} misses and
+    every {!add} is a no-op (caching disabled). *)
+
+val capacity_bytes : 'a t -> int
+
+val find : 'a t -> gen:int -> string -> 'a option
+(** [find t ~gen key] returns the cached value and promotes the entry to
+    most-recently-used. An entry stored under an older generation than
+    [gen] is removed, counted as an invalidation, and the lookup misses. *)
+
+val add : 'a t -> gen:int -> key:string -> bytes:int -> 'a -> unit
+(** Inserts (or replaces) the entry and evicts least-recently-used entries
+    until the payload fits. A value larger than the whole capacity is not
+    stored. Raises [Invalid_argument] on negative [bytes]. *)
+
+val mem : 'a t -> gen:int -> string -> bool
+(** Like {!find} but without promoting the entry or touching the hit/miss
+    counters; stale entries still count as invalidated and are dropped. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries pushed out by capacity pressure *)
+  invalidations : int;  (** entries dropped by a generation mismatch *)
+  entries : int;  (** current population *)
+  bytes : int;  (** current payload total *)
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,1072 @@
+open Msdq_odb
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+module Fault = Msdq_fault.Fault
+module Metrics = Msdq_obs.Metrics
+module Tracer = Msdq_obs.Tracer
+
+type config = {
+  options : Strategy.options;
+  cache_bytes : int;
+  window : Time.t;
+  msg_header_bytes : int;
+}
+
+let default_config =
+  {
+    options = Strategy.default_options;
+    cache_bytes = 4 * 1024 * 1024;
+    window = Time.zero;
+    msg_header_bytes = 64;
+  }
+
+type job = { strategy : Strategy.t; analysis : Analysis.t; arrival : Time.t }
+
+type query_report = {
+  index : int;
+  strategy : Strategy.t;
+  arrival : Time.t;
+  completed : Time.t;
+  latency : Time.t;
+  answer : Answer.t;
+  extent_hits : int;
+  verdict_hits : int;
+  registry : Metrics.t;
+}
+
+type outcome = {
+  reports : query_report list;
+  makespan : Time.t;
+  throughput : float;
+  extent_cache : Lru.stats;
+  verdict_cache : Lru.stats;
+  messages : int;
+  coalesced_checks : int;
+  registry : Metrics.t;
+}
+
+let throughput (o : outcome) = o.throughput
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate cfg jobs =
+  Strategy.validate_options cfg.options;
+  if cfg.options.Strategy.deep_certify then
+    invalid_arg "Serve: deep_certify is not supported by the workload engine";
+  if cfg.cache_bytes < 0 then invalid_arg "Serve: negative cache_bytes";
+  if cfg.msg_header_bytes < 0 then invalid_arg "Serve: negative msg_header_bytes";
+  if (not (Time.is_finite cfg.window)) || Time.compare cfg.window Time.zero < 0
+  then invalid_arg "Serve: window must be non-negative and finite";
+  let _ =
+    List.fold_left
+      (fun prev (j : job) ->
+        if j.strategy = Strategy.Cf then
+          invalid_arg "Serve: strategy CF has no serve-path integration";
+        if (not (Time.is_finite j.arrival))
+           || Time.compare j.arrival Time.zero < 0
+        then invalid_arg "Serve: job arrivals must be non-negative and finite";
+        if Time.compare j.arrival prev < 0 then
+          invalid_arg "Serve: jobs must be listed in non-decreasing arrival order";
+        j.arrival)
+      Time.zero jobs
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault fating — pure, timing-independent.
+
+   Every check round trip's fate is a function of the schedule and the
+   query's arrival instant only: drop draws use the schedule's pure hash
+   with synthetic per-(query, leg, attempt) labels and the arrival as the
+   draw's [start]. Caching can therefore never change which rows demote. *)
+
+let site_generation (s : Fault.schedule) ~site ~at =
+  List.fold_left
+    (fun acc (sf : Fault.site_faults) ->
+      if sf.Fault.site = site then
+        acc
+        + List.length
+            (List.filter
+               (fun (w : Fault.window) -> Time.compare w.Fault.up at <= 0)
+               sf.Fault.outages)
+      else acc)
+    0 s.Fault.sites
+
+let link_drop (s : Fault.schedule) ~dst =
+  match List.find_opt (fun (l : Fault.link_faults) -> l.Fault.dst = dst) s.Fault.links with
+  | Some l -> l.Fault.drop
+  | None -> 0.0
+
+let link_inflate (s : Fault.schedule) ~dst =
+  match List.find_opt (fun (l : Fault.link_faults) -> l.Fault.dst = dst) s.Fault.links with
+  | Some l -> l.Fault.inflate
+  | None -> 1.0
+
+type leg = {
+  delivered : bool;
+  attempts : int;  (** attempts consumed, including the successful one *)
+  extra_wait : Time.t;  (** retransmission waits accumulated before giving
+                            up or succeeding *)
+}
+
+let leg_fate sched (retry : Strategy.retry) ~dst ~label ~at =
+  let p = link_drop sched ~dst in
+  let down = Fault.site_down sched ~site:dst ~at in
+  let wait_of k =
+    Time.us
+      (Time.to_us retry.Strategy.timeout
+      *. (retry.Strategy.backoff ** float_of_int (k - 1)))
+  in
+  let rec go k wait =
+    let dropped =
+      down
+      || Fault.drop_draw sched ~dst
+           ~label:(Printf.sprintf "%s:a%d" label k)
+           ~start:at ~p
+    in
+    if not dropped then { delivered = true; attempts = k; extra_wait = wait }
+    else
+      let wait = Time.add wait (wait_of k) in
+      if k >= retry.Strategy.max_attempts then
+        { delivered = false; attempts = k; extra_wait = wait }
+      else go (k + 1) wait
+  in
+  go 1 Time.zero
+
+(* ------------------------------------------------------------------ *)
+(* Host-side preparation: real answers, cache decisions, fault fates.
+
+   All data decisions happen here, in job-admission order, before any
+   simulated time elapses — the engine pass below only charges durations.
+   This is what makes the whole workload's answers independent of engine
+   interleaving, cache capacity and batching window by construction. *)
+
+type check_group = {
+  g_origin : string;
+  g_target : string;
+  g_all : Checks.request list;
+  g_wire : Checks.request list;  (* cache misses actually shipped *)
+  g_hits : Checks.verdict list;  (* served from the verdict cache *)
+  g_full_verdicts : Checks.verdict list;  (* every request answered *)
+  g_wire_read_bytes : int;
+  g_wire_serve_units : int;
+  g_wire_verdicts : int;
+  g_req_leg : leg;
+  g_ver_leg : leg;
+}
+
+let group_lost g = not (g.g_req_leg.delivered && g.g_ver_leg.delivered)
+
+type local_db = {
+  l_db : string;
+  l_site : int;
+  l_result : Local_result.t;
+  l_built : Checks.built;
+  l_probe_units : int option;  (* PL only *)
+  l_read_bytes : int;
+  l_read_hit : bool;
+  l_eval_units : int;
+  l_dispatch_units : int;
+  l_ship_bytes : int;
+}
+
+type qplan =
+  | Centralized of {
+      ca_ships : (string * int * int * bool) list;
+          (* db, site, extent bytes, cache hit *)
+      ca_units : int;  (* integrate + eval + lookups, at the global site *)
+    }
+  | Localized of { locals : local_db list; groups : check_group list }
+
+type prepared = {
+  p_index : int;
+  p_strategy : Strategy.t;
+  p_arrival : Time.t;
+  p_plan : qplan;
+  p_answer : Answer.t;
+  p_certify_units : int;
+  p_extent_hits : int;
+  p_verdict_hits : int;
+  p_registry : Metrics.t;
+}
+
+let involved_sig involved =
+  String.concat ";"
+    (List.map
+       (fun gcls ->
+         gcls ^ ":" ^ String.concat "," (Involved.attrs_of_class involved gcls))
+       (Involved.classes involved))
+
+let units_of_work = Meter.units
+
+(* One extent cache per site: each site owns [cache_bytes] of cache RAM. *)
+let extent_cache_of caches ~cache_bytes ~site =
+  match Hashtbl.find_opt caches site with
+  | Some c -> c
+  | None ->
+      let c = Lru.create ~capacity_bytes:cache_bytes in
+      Hashtbl.add caches site c;
+      c
+
+let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
+    (j : job) =
+  let opts = cfg.options in
+  let sched = opts.Strategy.fault in
+  let c = opts.Strategy.cost in
+  let caching = cfg.cache_bytes > 0 in
+  let gs = Federation.global_schema fed in
+  let gsite = Federation.global_site fed in
+  let analysis = j.analysis in
+  let involved = Involved.compute (Global_schema.schema gs) analysis in
+  let isig = involved_sig involved in
+  let at = j.arrival in
+  let registry = Metrics.create () in
+  let extent_hits = ref 0 in
+  let verdict_hits = ref 0 in
+  (* Generation of a cache at [holder]: the holder's crashes wipe its RAM;
+     for artifacts derived from another site's data ([source]), that site's
+     crashes stale the copy too. *)
+  let gen ~holder ~source =
+    site_generation sched ~site:holder ~at
+    + if source = holder then 0 else site_generation sched ~site:source ~at
+  in
+  match j.strategy with
+  | Strategy.Cf -> assert false (* rejected by [validate] *)
+  | Strategy.Ca ->
+      let outcome = Ca.run ~multi_valued:opts.Strategy.multi_valued ~tracer fed analysis in
+      let ca_ships =
+        List.map
+          (fun (db_name, db) ->
+            let site = Federation.site_of fed db_name in
+            let bytes = Wire.projected_extent_bytes c involved gs ~db_name ~db in
+            let hit =
+              caching
+              &&
+              let cache = extent_cache_of extent_caches ~cache_bytes:cfg.cache_bytes ~site:gsite in
+              let g = gen ~holder:gsite ~source:site in
+              let key = Printf.sprintf "ca|%s|%s" db_name isig in
+              match Lru.find cache ~gen:g key with
+              | Some () -> true
+              | None ->
+                  Lru.add cache ~gen:g ~key ~bytes ();
+                  false
+            in
+            if hit then incr extent_hits;
+            (db_name, site, bytes, hit))
+          (Federation.databases fed)
+      in
+      let m = outcome.Ca.materialize_stats in
+      let ca_units =
+        m.Materialize.source_objects + m.Materialize.fields_merged
+        + outcome.Ca.goid_lookups
+        + units_of_work outcome.Ca.eval_work
+        + !extent_hits
+      in
+      {
+        p_index = index;
+        p_strategy = j.strategy;
+        p_arrival = at;
+        p_plan = Centralized { ca_ships; ca_units };
+        p_answer = outcome.Ca.answer;
+        p_certify_units = ca_units;
+        p_extent_hits = !extent_hits;
+        p_verdict_hits = 0;
+        p_registry = registry;
+      }
+  | (Strategy.Bl | Strategy.Pl | Strategy.Bls | Strategy.Pls | Strategy.Lo) as st ->
+      let parallel = st = Strategy.Pl || st = Strategy.Pls in
+      let signed = st = Strategy.Bls || st = Strategy.Pls in
+      let checks_on = st <> Strategy.Lo in
+      let signatures = if signed then Some (Lazy.force signatures) else None in
+      let plans = Localize.plan fed analysis in
+      let n_targets = List.length analysis.Analysis.targets in
+      let locals =
+        List.map
+          (fun (plan : Localize.db_plan) ->
+            let db_name = plan.Localize.db in
+            let site = Federation.site_of fed db_name in
+            let touched = Touch.count fed analysis ~db:db_name in
+            let read_bytes =
+              Wire.localized_read_bytes c involved gs ~db_name ~touched
+            in
+            let read_hit =
+              caching
+              &&
+              let cache = extent_cache_of extent_caches ~cache_bytes:cfg.cache_bytes ~site in
+              let g = gen ~holder:site ~source:site in
+              let key = Printf.sprintf "loc|%s|%s" db_name isig in
+              match Lru.find cache ~gen:g key with
+              | Some () -> true
+              | None ->
+                  Lru.add cache ~gen:g ~key ~bytes:read_bytes ();
+                  false
+            in
+            if read_hit then incr extent_hits;
+            let probe =
+              if parallel then Some (Probe.run ~tracer fed analysis ~db:db_name)
+              else None
+            in
+            let result = Local_eval.run ~tracer fed analysis ~db:db_name in
+            let built =
+              if not checks_on then
+                {
+                  Checks.requests = [];
+                  local_verdicts = [];
+                  filtered = 0;
+                  incapable = 0;
+                  root_level = 0;
+                  goid_lookups = 0;
+                  work = Meter.zero;
+                }
+              else
+                let items =
+                  match probe with
+                  | Some p -> p.Probe.items
+                  | None ->
+                      List.concat_map
+                        (fun (row : Local_result.row) -> row.Local_result.unsolved)
+                        result.Local_result.rows
+                in
+                Checks.build ?signatures ~tracer fed analysis ~db:db_name
+                  ~root_class:plan.Localize.local_class ~items
+            in
+            {
+              l_db = db_name;
+              l_site = site;
+              l_result = result;
+              l_built = built;
+              l_probe_units =
+                Option.map (fun p -> units_of_work p.Probe.work) probe;
+              l_read_bytes = read_bytes;
+              l_read_hit = read_hit;
+              l_eval_units =
+                units_of_work result.Local_result.work
+                + List.length result.Local_result.rows;
+              l_dispatch_units =
+                built.Checks.goid_lookups + units_of_work built.Checks.work;
+              l_ship_bytes =
+                Wire.results_bytes c ~n_targets result
+                + List.length built.Checks.local_verdicts * Wire.verdict_bytes c;
+            })
+          plans
+      in
+      (* Check batches per (origin, target), in discovery order. *)
+      let batches : (string * string, Checks.request list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref [] in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun (r : Checks.request) ->
+              let key = (r.Checks.origin_db, r.Checks.target_db) in
+              match Hashtbl.find_opt batches key with
+              | Some acc -> acc := r :: !acc
+              | None ->
+                  Hashtbl.add batches key (ref [ r ]);
+                  order := key :: !order)
+            l.l_built.Checks.requests)
+        locals;
+      let retry = opts.Strategy.retry in
+      let groups =
+        List.map
+          (fun ((origin, target) as key) ->
+            let reqs = List.rev !(Hashtbl.find batches key) in
+            let tsite = Federation.site_of fed target in
+            (* Fate first — a doomed round trip never consults the cache,
+               so warm demotions coincide with cold ones. *)
+            let req_leg =
+              leg_fate sched retry ~dst:tsite
+                ~label:(Printf.sprintf "serve:q%d:%s->%s:req" index origin target)
+                ~at
+            in
+            let ver_leg =
+              leg_fate sched retry ~dst:gsite
+                ~label:(Printf.sprintf "serve:q%d:%s->%s:verdict" index origin target)
+                ~at
+            in
+            let lost = not (req_leg.delivered && ver_leg.delivered) in
+            let wire, hits =
+              if lost || not caching then (reqs, [])
+              else
+                let g = gen ~holder:gsite ~source:tsite in
+                List.fold_left
+                  (fun (wire, hits) (r : Checks.request) ->
+                    match
+                      Lru.find verdict_cache ~gen:g (Checks.request_signature r)
+                    with
+                    | Some truth ->
+                        ( wire,
+                          {
+                            Checks.origin_db = r.Checks.origin_db;
+                            item = r.Checks.item;
+                            atom = r.Checks.atom;
+                            truth;
+                          }
+                          :: hits )
+                    | None -> (r :: wire, hits))
+                  ([], []) reqs
+                |> fun (w, h) -> (List.rev w, List.rev h)
+            in
+            verdict_hits := !verdict_hits + List.length hits;
+            (* Serve the shipped subset; the full set is additionally served
+               host-side to anchor the fault-free reference answer. *)
+            let served_wire = Checks.serve ~tracer fed ~db:target wire in
+            let full =
+              if lost || hits = [] then
+                (Checks.serve ~tracer fed ~db:target reqs).Checks.verdicts
+              else hits @ served_wire.Checks.verdicts
+            in
+            if (not lost) && caching then
+              List.iter2
+                (fun (r : Checks.request) (v : Checks.verdict) ->
+                  let g = gen ~holder:gsite ~source:tsite in
+                  Lru.add verdict_cache ~gen:g
+                    ~key:(Checks.request_signature r)
+                    ~bytes:(Wire.verdict_bytes c) v.Checks.truth)
+                wire served_wire.Checks.verdicts;
+            {
+              g_origin = origin;
+              g_target = target;
+              g_all = reqs;
+              g_wire = (if lost then reqs else wire);
+              g_hits = (if lost then [] else hits);
+              g_full_verdicts = full;
+              g_wire_read_bytes =
+                Wire.check_read_bytes c (if lost then reqs else wire);
+              g_wire_serve_units = units_of_work served_wire.Checks.work;
+              g_wire_verdicts = List.length served_wire.Checks.verdicts;
+              g_req_leg = req_leg;
+              g_ver_leg = ver_leg;
+            })
+          (List.rev !order)
+      in
+      (* Certification: the fault-free reference uses every verdict; lost
+         batches are withheld to find exactly which rows demote. *)
+      let results = List.map (fun l -> l.l_result) locals in
+      let local_verdicts =
+        List.concat_map (fun l -> l.l_built.Checks.local_verdicts) locals
+      in
+      let full_verdicts =
+        local_verdicts @ List.concat_map (fun g -> g.g_full_verdicts) groups
+      in
+      let ff =
+        Certify.run ~multi_valued:opts.Strategy.multi_valued ~tracer fed
+          analysis ~results ~verdicts:full_verdicts
+      in
+      let lost_groups = List.filter group_lost groups in
+      let answer =
+        if lost_groups = [] then ff.Certify.answer
+        else begin
+          let surviving =
+            local_verdicts
+            @ List.concat_map
+                (fun g -> if group_lost g then [] else g.g_full_verdicts)
+                groups
+          in
+          let degraded_run =
+            Certify.run ~multi_valued:opts.Strategy.multi_valued ~tracer fed
+              analysis ~results ~verdicts:surviving
+          in
+          let demoted =
+            Oid.Goid.Set.diff
+              (Answer.goids ff.Certify.answer Answer.Certain)
+              (Answer.goids degraded_run.Certify.answer Answer.Certain)
+          in
+          let reason =
+            Printf.sprintf "check batch lost: %s"
+              (String.concat "; "
+                 (List.map
+                    (fun g ->
+                      Printf.sprintf "%s->%s after %d attempts" g.g_origin
+                        g.g_target
+                        (max g.g_req_leg.attempts g.g_ver_leg.attempts))
+                    lost_groups))
+          in
+          let demoted_answer = Answer.demote ff.Certify.answer ~goids:demoted in
+          Answer.annotate_degraded demoted_answer
+            ~reasons:
+              (List.map (fun g -> (g, reason)) (Oid.Goid.Set.elements demoted))
+        end
+      in
+      (* Cache provenance: rows certified through at least one cache-served
+         verdict. *)
+      let answer =
+        let hit_keys =
+          List.concat_map
+            (fun g ->
+              List.map
+                (fun (v : Checks.verdict) ->
+                  (v.Checks.origin_db, Oid.Loid.to_int v.Checks.item, v.Checks.atom))
+                g.g_hits)
+            groups
+        in
+        if hit_keys = [] then answer
+        else
+          let key_set = Hashtbl.create 16 in
+          List.iter (fun k -> Hashtbl.replace key_set k ()) hit_keys;
+          let goids =
+            List.fold_left
+              (fun acc (res : Local_result.t) ->
+                List.fold_left
+                  (fun acc (row : Local_result.row) ->
+                    if
+                      List.exists
+                        (fun (u : Local_result.unsolved) ->
+                          Hashtbl.mem key_set
+                            ( res.Local_result.db,
+                              Oid.Loid.to_int (Dbobject.loid u.Local_result.item),
+                              u.Local_result.atom ))
+                        row.Local_result.unsolved
+                    then Oid.Goid.Set.add row.Local_result.goid acc
+                    else acc)
+                  acc res.Local_result.rows)
+              Oid.Goid.Set.empty results
+          in
+          Answer.mark_cached answer ~goids
+      in
+      {
+        p_index = index;
+        p_strategy = st;
+        p_arrival = at;
+        p_plan = Localized { locals; groups };
+        p_answer = answer;
+        p_certify_units =
+          units_of_work ff.Certify.work + ff.Certify.goid_lookups
+          + !verdict_hits;
+        p_extent_hits = !extent_hits;
+        p_verdict_hits = !verdict_hits;
+        p_registry = registry;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Engine pass: charge the shared simulated clock. *)
+
+type contrib = {
+  b_query : int;
+  b_origin_site : int;
+  b_n_reqs : int;  (* wire requests carried *)
+  b_payload : int;  (* request bytes, without framing *)
+  b_read_bytes : int;
+  b_serve_units : int;
+  b_verdict_bytes : int;  (* without framing *)
+  b_promise : Engine.handle;
+  b_reg : Metrics.t;
+  b_strategy : string;
+}
+
+type batch_state = { mutable contribs : contrib list (* reverse order *) }
+
+type ctx = {
+  cfg : config;
+  fed : Federation.t;
+  eng : Engine.t;
+  wl : Metrics.t;
+  gsite : int;
+  batchers : (int, batch_state) Hashtbl.t;
+  mutable messages : int;
+  mutable coalesced : int;
+}
+
+let sched_of ctx = ctx.cfg.options.Strategy.fault
+let cost_of ctx = ctx.cfg.options.Strategy.cost
+
+let bump reg name labels n =
+  if n <> 0 then Metrics.inc (Metrics.counter reg ~labels name) n
+
+let q_labels st phase = [ ("strategy", Strategy.to_string st); ("phase", phase) ]
+
+let disk_task ctx reg st ~site ~phase ~label ~bytes ~deps =
+  bump reg "msdq_disk_bytes_total" (q_labels st phase) bytes;
+  Engine.task ctx.eng ~deps ~site ~kind:Resource.Disk ~label
+    ~attrs:[ ("strategy", Strategy.to_string st); ("phase", phase) ]
+    ~duration:(Cost.disk (cost_of ctx) ~bytes)
+    ()
+
+let cpu_task ctx reg st ~site ~phase ~label ~units ~deps =
+  bump reg "msdq_work_units_total" (q_labels st phase) units;
+  Engine.task ctx.eng ~deps ~site ~kind:Resource.Cpu ~label
+    ~attrs:[ ("strategy", Strategy.to_string st); ("phase", phase) ]
+    ~duration:(Cost.cpu (cost_of ctx) ~units)
+    ()
+
+let net_duration ctx ~dst ~bytes =
+  let base = Cost.net (cost_of ctx) ~bytes in
+  Time.us (Time.to_us base *. link_inflate (sched_of ctx) ~dst)
+
+(* A serve-path message that is never lost: waits out a destination outage
+   (computed at send time from the schedule), then occupies the
+   destination's link. [payload] excludes the framing header; callers
+   attribute shipped bytes to the owning queries' registries themselves
+   (a coalesced message splits its payload across contributors). Returns a
+   promise completed at delivery. *)
+let critical_transfer ctx ~src ~dst ~payload ~label ~deps
+    ?(on_delivered = fun () -> ()) () =
+  let sched = sched_of ctx in
+  let bytes = payload + ctx.cfg.msg_header_bytes in
+  ctx.messages <- ctx.messages + 1;
+  bump ctx.wl "msdq_messages_total" [ ("path", "serve") ] 1;
+  let p = Engine.promise ctx.eng ~label:(label ^ ":done") in
+  let send () =
+    let now = Engine.now ctx.eng in
+    let deps =
+      if Fault.site_down sched ~site:dst ~at:now then
+        match Fault.next_up sched ~site:dst ~at:now with
+        | Some up ->
+            [
+              Engine.delay ctx.eng ~label:(label ^ ":wait-up")
+                ~duration:(Time.sub up now) ();
+            ]
+        | None -> [] (* permanent outage: documented as unreachable-for-
+                        checks only; critical sends proceed *)
+      else []
+    in
+    ignore
+      (Engine.transfer ctx.eng ~deps ~src ~dst ~label
+         ~duration:(net_duration ctx ~dst ~bytes)
+         ~on_complete:(fun () ->
+           on_delivered ();
+           Engine.resolve ctx.eng p)
+         ())
+  in
+  ignore (Engine.fence ctx.eng ~deps ~label:(label ^ ":ready") ~on_complete:send ());
+  p
+
+(* Flush one coalesced batch to [tsite]: one request message per
+   contributing origin site, one read + serve at the target, one verdict
+   message to the global site, then every contributor's promise resolves. *)
+let flush ctx ~target_db ~tsite contribs =
+  let contribs = List.rev contribs in
+  let by_origin = Hashtbl.create 4 in
+  let origin_order = ref [] in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt by_origin c.b_origin_site with
+      | Some acc -> acc := c :: !acc
+      | None ->
+          Hashtbl.add by_origin c.b_origin_site (ref [ c ]);
+          origin_order := c.b_origin_site :: !origin_order)
+    contribs;
+  let req_done =
+    List.map
+      (fun osite ->
+        let cs = List.rev !(Hashtbl.find by_origin osite) in
+        let queries =
+          List.sort_uniq compare (List.map (fun c -> c.b_query) cs)
+        in
+        (* Checks that shared a message with another query's checks. *)
+        if List.length queries > 1 then
+          ctx.coalesced <-
+            ctx.coalesced + List.fold_left (fun acc c -> acc + c.b_n_reqs) 0 cs;
+        (* Per-query payloads share one message and one header. *)
+        let payload = List.fold_left (fun acc c -> acc + c.b_payload) 0 cs in
+        List.iter
+          (fun c ->
+            bump c.b_reg "msdq_bytes_shipped_total"
+              [ ("strategy", c.b_strategy); ("phase", "O") ]
+              c.b_payload)
+          cs;
+        critical_transfer ctx ~src:osite ~dst:tsite ~payload
+          ~label:(Printf.sprintf "serve:ship-requests:%s" target_db)
+          ~deps:[] ())
+      (List.rev !origin_order)
+  in
+  (* The target's disk and CPU are FIFO, so per-contributor tasks keep the
+     timing of one fused batch task while attributing work to the query
+     that caused it. *)
+  let evals =
+    List.map
+      (fun c ->
+        let st =
+          match Strategy.of_string c.b_strategy with
+          | Some s -> s
+          | None -> Strategy.Bl
+        in
+        let read =
+          disk_task ctx c.b_reg st ~site:tsite ~phase:"O"
+            ~label:(Printf.sprintf "serve:check-read:%s" target_db)
+            ~bytes:c.b_read_bytes ~deps:req_done
+        in
+        cpu_task ctx c.b_reg st ~site:tsite ~phase:"O"
+          ~label:(Printf.sprintf "serve:check-eval:%s" target_db)
+          ~units:c.b_serve_units ~deps:[ read ])
+      contribs
+  in
+  let verdict_payload =
+    List.fold_left (fun acc c -> acc + c.b_verdict_bytes) 0 contribs
+  in
+  List.iter
+    (fun c ->
+      bump c.b_reg "msdq_bytes_shipped_total"
+        [ ("strategy", c.b_strategy); ("phase", "O") ]
+        c.b_verdict_bytes)
+    contribs;
+  ignore
+    (critical_transfer ctx ~src:tsite ~dst:ctx.gsite
+       ~payload:verdict_payload
+       ~label:(Printf.sprintf "serve:ship-verdicts:%s" target_db)
+       ~deps:evals
+       ~on_delivered:(fun () ->
+         List.iter (fun c -> Engine.resolve ctx.eng c.b_promise) contribs)
+       ())
+
+(* Hand a contribution to the target site's admission window. With a zero
+   window it flushes alone; otherwise the first contribution opens the
+   window and every contribution arriving before expiry rides along. *)
+let batcher_add ctx ~target_db ~tsite contrib =
+  if Time.compare ctx.cfg.window Time.zero <= 0 then
+    flush ctx ~target_db ~tsite [ contrib ]
+  else
+    match Hashtbl.find_opt ctx.batchers tsite with
+    | Some b -> b.contribs <- contrib :: b.contribs
+    | None ->
+        let b = { contribs = [ contrib ] } in
+        Hashtbl.add ctx.batchers tsite b;
+        ignore
+          (Engine.delay ctx.eng
+             ~label:(Printf.sprintf "serve:window:%s" target_db)
+             ~duration:ctx.cfg.window
+             ~on_complete:(fun () ->
+               Hashtbl.remove ctx.batchers tsite;
+               flush ctx ~target_db ~tsite b.contribs)
+             ())
+
+let build_query ctx (p : prepared) ~completed =
+  let st = p.p_strategy in
+  let reg = p.p_registry in
+  let arrive =
+    Engine.delay ctx.eng
+      ~label:(Printf.sprintf "serve:q%d:arrival" p.p_index)
+      ~duration:p.p_arrival ()
+  in
+  let finishf handle =
+    ignore
+      (Engine.fence ctx.eng ~deps:[ handle ]
+         ~label:(Printf.sprintf "serve:q%d:answer" p.p_index)
+         ~on_complete:(fun () -> completed p.p_index (Engine.now ctx.eng))
+         ())
+  in
+  match p.p_plan with
+  | Centralized { ca_ships; ca_units } ->
+      let deps =
+        List.map
+          (fun (db_name, site, bytes, hit) ->
+            if hit then
+              cpu_task ctx reg st ~site:ctx.gsite ~phase:"O"
+                ~label:(Printf.sprintf "serve:q%d:cache-extents:%s" p.p_index db_name)
+                ~units:1 ~deps:[ arrive ]
+            else
+              let read =
+                disk_task ctx reg st ~site ~phase:"O"
+                  ~label:(Printf.sprintf "serve:q%d:read-extents:%s" p.p_index db_name)
+                  ~bytes ~deps:[ arrive ]
+              in
+              bump reg "msdq_bytes_shipped_total" (q_labels st "O") bytes;
+              critical_transfer ctx ~src:site ~dst:ctx.gsite ~payload:bytes
+                ~label:(Printf.sprintf "serve:q%d:ship-objects:%s" p.p_index db_name)
+                ~deps:[ read ] ())
+          ca_ships
+      in
+      let integrate =
+        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I"
+          ~label:(Printf.sprintf "serve:q%d:integrate-eval" p.p_index)
+          ~units:ca_units ~deps
+      in
+      finishf integrate
+  | Localized { locals; groups } ->
+      let dispatch_of : (string, Engine.handle) Hashtbl.t = Hashtbl.create 4 in
+      let ships =
+        List.map
+          (fun l ->
+            let read =
+              if l.l_read_hit then
+                cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                  ~label:(Printf.sprintf "serve:q%d:cache-extents:%s" p.p_index l.l_db)
+                  ~units:1 ~deps:[ arrive ]
+              else
+                disk_task ctx reg st ~site:l.l_site ~phase:"P"
+                  ~label:(Printf.sprintf "serve:q%d:read-extents:%s" p.p_index l.l_db)
+                  ~bytes:l.l_read_bytes ~deps:[ arrive ]
+            in
+            let last =
+              match l.l_probe_units with
+              | Some probe_units ->
+                  (* PL: probe + dispatch overlap evaluation. *)
+                  let probe =
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                      ~label:(Printf.sprintf "serve:q%d:probe:%s" p.p_index l.l_db)
+                      ~units:probe_units ~deps:[ read ]
+                  in
+                  let dispatch =
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                      ~label:(Printf.sprintf "serve:q%d:dispatch:%s" p.p_index l.l_db)
+                      ~units:l.l_dispatch_units ~deps:[ probe ]
+                  in
+                  Hashtbl.replace dispatch_of l.l_db dispatch;
+                  cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                    ~label:(Printf.sprintf "serve:q%d:local-eval:%s" p.p_index l.l_db)
+                    ~units:l.l_eval_units ~deps:[ dispatch ]
+              | None ->
+                  let eval =
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                      ~label:(Printf.sprintf "serve:q%d:local-eval:%s" p.p_index l.l_db)
+                      ~units:l.l_eval_units ~deps:[ read ]
+                  in
+                  if l.l_dispatch_units > 0 || l.l_built.Checks.requests <> []
+                  then begin
+                    let dispatch =
+                      cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                        ~label:(Printf.sprintf "serve:q%d:dispatch:%s" p.p_index l.l_db)
+                        ~units:l.l_dispatch_units ~deps:[ eval ]
+                    in
+                    Hashtbl.replace dispatch_of l.l_db dispatch;
+                    dispatch
+                  end
+                  else eval
+            in
+            bump reg "msdq_bytes_shipped_total" (q_labels st "I")
+              l.l_ship_bytes;
+            critical_transfer ctx ~src:l.l_site ~dst:ctx.gsite
+              ~payload:l.l_ship_bytes
+              ~label:(Printf.sprintf "serve:q%d:ship-results:%s" p.p_index l.l_db)
+              ~deps:[ last ] ())
+          locals
+      in
+      let c = cost_of ctx in
+      let group_promises =
+        List.filter_map
+          (fun g ->
+            if g.g_wire = [] && not (group_lost g) then None
+            else begin
+              let osite = Federation.site_of ctx.fed g.g_origin in
+              let tsite = Federation.site_of ctx.fed g.g_target in
+              let dispatch =
+                match Hashtbl.find_opt dispatch_of g.g_origin with
+                | Some h -> h
+                | None -> arrive
+              in
+              let promise =
+                Engine.promise ctx.eng
+                  ~label:
+                    (Printf.sprintf "serve:q%d:checks:%s->%s" p.p_index
+                       g.g_origin g.g_target)
+              in
+              if group_lost g then begin
+                (* Abandoned round trip: its retransmission waits are pure
+                   latency (PR-4 precedent); the rows already demoted. *)
+                let wait = Time.add g.g_req_leg.extra_wait g.g_ver_leg.extra_wait in
+                bump ctx.wl "msdq_fault_drops_total" []
+                  (g.g_req_leg.attempts
+                  + if g.g_req_leg.delivered then g.g_ver_leg.attempts else 0);
+                bump ctx.wl "msdq_checks_abandoned_total" []
+                  (List.length g.g_all);
+                ignore
+                  (Engine.fence ctx.eng ~deps:[ dispatch ]
+                     ~label:(Printf.sprintf "serve:q%d:lost:%s->%s" p.p_index g.g_origin g.g_target)
+                     ~on_complete:(fun () ->
+                       ignore
+                         (Engine.delay ctx.eng
+                            ~label:
+                              (Printf.sprintf "serve:q%d:abandon:%s->%s"
+                                 p.p_index g.g_origin g.g_target)
+                            ~duration:wait
+                            ~on_complete:(fun () ->
+                              Engine.resolve ctx.eng promise)
+                            ()))
+                     ())
+              end
+              else begin
+                let retries = g.g_req_leg.attempts - 1 + (g.g_ver_leg.attempts - 1) in
+                bump ctx.wl "msdq_fault_retries_total" [] retries;
+                bump ctx.wl "msdq_fault_drops_total" [] retries;
+                let payload = Wire.requests_bytes c g.g_wire in
+                let contrib =
+                  {
+                    b_query = p.p_index;
+                    b_origin_site = osite;
+                    b_n_reqs = List.length g.g_wire;
+                    b_payload = payload;
+                    b_read_bytes = g.g_wire_read_bytes;
+                    b_serve_units = g.g_wire_serve_units;
+                    b_verdict_bytes = g.g_wire_verdicts * Wire.verdict_bytes c;
+                    b_promise = promise;
+                    b_reg = reg;
+                    b_strategy = Strategy.to_string st;
+                  }
+                in
+                let clean = retries = 0 in
+                ignore
+                  (Engine.fence ctx.eng ~deps:[ dispatch ]
+                     ~label:
+                       (Printf.sprintf "serve:q%d:dispatch:%s->%s" p.p_index
+                          g.g_origin g.g_target)
+                     ~on_complete:(fun () ->
+                       if clean then
+                         batcher_add ctx ~target_db:g.g_target ~tsite contrib
+                       else
+                         (* A retry-laden round trip cannot share the
+                            window: it replays its own waits first, then
+                            flushes alone. *)
+                         ignore
+                           (Engine.delay ctx.eng
+                              ~label:
+                                (Printf.sprintf "serve:q%d:retry-wait:%s->%s"
+                                   p.p_index g.g_origin g.g_target)
+                              ~duration:
+                                (Time.add g.g_req_leg.extra_wait
+                                   g.g_ver_leg.extra_wait)
+                              ~on_complete:(fun () ->
+                                flush ctx ~target_db:g.g_target ~tsite
+                                  [ contrib ])
+                              ()))
+                     ())
+              end;
+              Some promise
+            end)
+          groups
+      in
+      let certify =
+        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I"
+          ~label:(Printf.sprintf "serve:q%d:certify" p.p_index)
+          ~units:p.p_certify_units
+          ~deps:(ships @ group_promises)
+      in
+      finishf certify
+
+(* ------------------------------------------------------------------ *)
+
+let answer_fingerprint answer =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (r : Answer.row) ->
+      Buffer.add_string buf (Oid.Goid.to_string r.Answer.goid);
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Answer.status_to_string r.Answer.status);
+      Buffer.add_char buf '|';
+      List.iter
+        (fun v ->
+          Buffer.add_string buf (Value.to_string v);
+          Buffer.add_char buf ',')
+        r.Answer.values;
+      Buffer.add_char buf '\n')
+    (Answer.rows answer);
+  Oid.Goid.Set.iter
+    (fun g ->
+      Buffer.add_string buf "degraded ";
+      Buffer.add_string buf (Oid.Goid.to_string g);
+      (match Answer.degraded_reason answer g with
+      | Some why ->
+          Buffer.add_string buf ": ";
+          Buffer.add_string buf why
+      | None -> ());
+      Buffer.add_char buf '\n')
+    (Answer.degraded answer);
+  Buffer.contents buf
+
+let run ?(tracer = Tracer.disabled) ?registry cfg fed jobs =
+  validate cfg jobs;
+  let wl = match registry with Some r -> r | None -> Metrics.create () in
+  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
+  let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
+  let signatures = lazy (Sig_catalog.build fed) in
+  let prepared =
+    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
+    List.mapi
+      (fun i j ->
+        Tracer.with_span tracer ~cat:"serve"
+          ~args:[ ("query", string_of_int i) ]
+          "serve.prepare.query"
+        @@ fun () ->
+        prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i j)
+      jobs
+  in
+  let eng = Engine.create () in
+  List.iter
+    (fun (site, factor) ->
+      Engine.set_speed eng ~site ~kind:Resource.Cpu ~factor;
+      Engine.set_speed eng ~site ~kind:Resource.Disk ~factor)
+    cfg.options.Strategy.site_speeds;
+  let ctx =
+    {
+      cfg;
+      fed;
+      eng;
+      wl;
+      gsite = Federation.global_site fed;
+      batchers = Hashtbl.create 4;
+      messages = 0;
+      coalesced = 0;
+    }
+  in
+  let n = List.length prepared in
+  let completions = Array.make (max n 1) Time.zero in
+  let completed i t = completions.(i) <- t in
+  Tracer.with_span tracer ~cat:"serve" "serve.build" (fun () ->
+      List.iter (fun p -> build_query ctx p ~completed) prepared);
+  Tracer.with_span tracer ~cat:"serve" "serve.run" (fun () -> Engine.run eng);
+  let makespan = Array.fold_left Time.max Time.zero completions in
+  let reports =
+    List.map
+      (fun p ->
+        {
+          index = p.p_index;
+          strategy = p.p_strategy;
+          arrival = p.p_arrival;
+          completed = completions.(p.p_index);
+          latency = Time.sub completions.(p.p_index) p.p_arrival;
+          answer = p.p_answer;
+          extent_hits = p.p_extent_hits;
+          verdict_hits = p.p_verdict_hits;
+          registry = p.p_registry;
+        })
+      prepared
+  in
+  let extent_stats =
+    Hashtbl.fold
+      (fun _ cache (acc : Lru.stats) ->
+        let s = Lru.stats cache in
+        {
+          Lru.hits = acc.Lru.hits + s.Lru.hits;
+          misses = acc.Lru.misses + s.Lru.misses;
+          evictions = acc.Lru.evictions + s.Lru.evictions;
+          invalidations = acc.Lru.invalidations + s.Lru.invalidations;
+          entries = acc.Lru.entries + s.Lru.entries;
+          bytes = acc.Lru.bytes + s.Lru.bytes;
+        })
+      extent_caches
+      {
+        Lru.hits = 0;
+        misses = 0;
+        evictions = 0;
+        invalidations = 0;
+        entries = 0;
+        bytes = 0;
+      }
+  in
+  let verdict_stats = Lru.stats verdict_cache in
+  let cache_counters label (s : Lru.stats) =
+    bump wl "msdq_cache_hits_total" [ ("cache", label) ] s.Lru.hits;
+    bump wl "msdq_cache_misses_total" [ ("cache", label) ] s.Lru.misses;
+    bump wl "msdq_cache_evictions_total" [ ("cache", label) ] s.Lru.evictions;
+    bump wl "msdq_cache_invalidations_total" [ ("cache", label) ]
+      s.Lru.invalidations
+  in
+  cache_counters "extent" extent_stats;
+  cache_counters "verdict" verdict_stats;
+  bump wl "msdq_coalesced_checks_total" [] ctx.coalesced;
+  {
+    reports;
+    makespan;
+    throughput =
+      (if Time.compare makespan Time.zero > 0 then
+         float_of_int n /. Time.to_s makespan
+       else 0.0);
+    extent_cache = extent_stats;
+    verdict_cache = verdict_stats;
+    messages = ctx.messages;
+    coalesced_checks = ctx.coalesced;
+    registry = wl;
+  }

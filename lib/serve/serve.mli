@@ -1,0 +1,149 @@
+(** Multi-query workload engine: shared-work execution of a query stream.
+
+    The paper evaluates each strategy on one query at a time; this engine
+    admits a {e stream} of analyzed queries against one federation and
+    executes them over the same simulated system, sharing work across
+    queries through three mechanisms:
+
+    {ul
+    {- an {e extent cache} — one {!Lru} per site, holding the projected
+       extents a query's localization (or CA's shipping) read, so a later
+       query over the same root classes stops re-charging disk I/O;}
+    {- a {e verdict cache} at the global site — assistant-check verdicts
+       keyed by (target database, assistant LOid, relative predicate), so
+       one query's certification round trip certifies the same maybe row in
+       later queries. Cache-served certifications are marked on the answer
+       ([Msdq_query.Answer.cached]);}
+    {- {e cross-query check batching} — check requests destined for the
+       same site within an admission [config.window] coalesce into
+       one message, amortizing the per-message framing constant
+       ([config.msg_header_bytes]) across queries.}}
+
+    Everything is charged to the simulated clock of one shared engine, so
+    queries contend for the same FIFO resources exactly where real
+    executions would.
+
+    {2 Faults, and why caching never changes an answer}
+
+    The engine composes with the fault schedule in
+    [config.options.fault]. The fate of every check round trip is decided
+    by {e timing-independent} draws — the schedule's pure per-transfer hash
+    keyed by the query's arrival time — {e before} any cache is consulted:
+
+    {ul
+    {- a doomed round trip suppresses cache hits for its requests, so its
+       rows demote to uncertified maybe results exactly as they would in a
+       cold run — a cached verdict can never resurrect a row that fault
+       demotion made uncertified;}
+    {- a surviving round trip may serve any of its verdicts from cache,
+       which changes {e only} simulated time, never the verdict (a verdict
+       is a pure function of the assistant object and the relative
+       predicate).}}
+
+    Answers are therefore structurally independent of cache capacity and
+    admission window — the cache-soundness property the test suite checks
+    over random workloads and random fault schedules. Site crashes
+    invalidate: each cache entry is tagged with its site's {e generation}
+    (the number of outage windows ended by the inserting query's arrival),
+    and a later generation discards the entry — a crash wipes the site's
+    cache RAM.
+
+    Modelling simplifications, documented in docs/SERVE.md: loss fates are
+    drawn at the query's arrival instant rather than each transfer's start;
+    critical messages (result and extent shipments, batch flushes) wait out
+    destination outages instead of failing; retransmission waits of check
+    legs are charged as pure latency. *)
+
+open Msdq_simkit
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+
+type config = {
+  options : Strategy.options;
+      (** cost constants, site speeds, fault schedule and retry policy —
+          the same record the single-query strategies take.
+          [options.deep_certify] is unsupported here and rejected. *)
+  cache_bytes : int;
+      (** capacity of {e each} site's extent cache and of the global
+          verdict cache, in bytes; [0] disables caching entirely (every
+          run is a cold run) *)
+  window : Time.t;
+      (** check-batching admission window: requests reaching the same
+          target site within [window] of the first coalesce into one
+          message; [Time.zero] disables cross-query batching *)
+  msg_header_bytes : int;
+      (** per-message framing constant amortized by batching; charged on
+          every serve-path message, on top of the Table 1 byte costs *)
+}
+
+val default_config : config
+(** [Strategy.default_options], 4 MiB caches, no batching window, 64-byte
+    message header. *)
+
+type job = {
+  strategy : Strategy.t;
+  analysis : Analysis.t;
+  arrival : Time.t;  (** admission instant on the shared simulated clock *)
+}
+
+type query_report = {
+  index : int;  (** position in the submitted job list *)
+  strategy : Strategy.t;
+  arrival : Time.t;
+  completed : Time.t;  (** when the answer was assembled *)
+  latency : Time.t;  (** [completed - arrival] *)
+  answer : Answer.t;
+      (** carries degraded provenance for fault demotions and cached
+          provenance ([Answer.cached]) for cache-served certifications *)
+  extent_hits : int;  (** extent-cache hits this query scored *)
+  verdict_hits : int;  (** verdicts this query served from cache *)
+  registry : Msdq_obs.Metrics.t;
+      (** the query's private registry: [msdq_disk_bytes_total],
+          [msdq_bytes_shipped_total], [msdq_work_units_total], labelled by
+          strategy and paper phase *)
+}
+
+type outcome = {
+  reports : query_report list;  (** in submission order *)
+  makespan : Time.t;  (** completion instant of the last query *)
+  throughput : float;  (** queries per simulated second, [n / makespan] *)
+  extent_cache : Lru.stats;  (** aggregated over all per-site caches *)
+  verdict_cache : Lru.stats;
+  messages : int;  (** serve-path messages actually sent *)
+  coalesced_checks : int;
+      (** check requests that rode a message also carrying another query's
+          requests — what the admission window bought *)
+  registry : Msdq_obs.Metrics.t;
+      (** the workload registry: [msdq_cache_hits_total] /
+          [msdq_cache_misses_total] / [msdq_cache_evictions_total]
+          (labelled [cache=extent|verdict]),
+          [msdq_coalesced_checks_total], [msdq_messages_total] and the
+          fault counters *)
+}
+
+val run :
+  ?tracer:Msdq_obs.Tracer.t ->
+  ?registry:Msdq_obs.Metrics.t ->
+  config ->
+  Federation.t ->
+  job list ->
+  outcome
+(** Executes the whole workload on one shared engine. Jobs must be listed
+    in non-decreasing arrival order — cache admission follows list order —
+    and may mix strategies ([Ca], [Bl], [Pl], [Bls], [Pls], [Lo]; [Cf] has
+    no serve-path integration and is rejected). Raises [Invalid_argument]
+    on invalid configuration (negative capacities, negative or non-finite
+    window, [deep_certify], unsorted arrivals, a [Cf] job) with a readable
+    message, before any simulated work happens. *)
+
+val answer_fingerprint : Answer.t -> string
+(** Canonical bytes of an answer's {e result content}: every row's GOid,
+    status and projected values, plus the degraded set and its reasons.
+    Cache provenance is deliberately excluded — it is metadata about {e
+    how} a row was certified, not {e what} was answered — so the
+    cache-soundness property "warm and cold runs answer identically" is
+    exactly [answer_fingerprint] equality. *)
+
+val throughput : outcome -> float
+(** [outcome.throughput], for symmetry with the sweep tables. *)

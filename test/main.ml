@@ -36,6 +36,7 @@ let () =
       ("exec.inconsistent", Test_inconsistent.suite);
       ("exec.projection_merge", Test_projection_merge.suite);
       ("exec.concurrent", Test_concurrent.suite);
+      ("serve", Test_serve.suite);
       ("exec.phase_order", Test_phase_order.suite);
       ("exec.cf", Test_cf.suite);
       ("exec.wire", Test_wire.suite);

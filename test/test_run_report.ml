@@ -175,6 +175,29 @@ let recovery_sweep_section =
       ];
   }
 
+let serve_sweep_section =
+  {
+    Serve_sweep.id = "serve-sweep";
+    title = "serve";
+    xlabel = "cache capacity (KiB)";
+    xs = [| 0.0; 16.0 |];
+    windows_us = [| 0.0; 500.0 |];
+    queries = 6;
+    samples = 2;
+    seed = 1;
+    series =
+      [
+        {
+          Serve_sweep.label = "BL w=0us";
+          strategy = "BL";
+          window_us = 0.0;
+          throughputs = [| 120.0; 150.0 |];
+          speedups = [| 1.0; 1.25 |];
+          hits = [| 0.0; 2.5 |];
+        };
+      ];
+  }
+
 let parallel_json =
   Json.Obj
     [
@@ -189,7 +212,7 @@ let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
-      ~recovery_sweep:recovery_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -270,7 +293,7 @@ let test_bench_validation () =
   reject "negative time"
     (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
-       ~recovery_sweep:recovery_sweep_section
+       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -297,7 +320,7 @@ let test_bench_validation () =
   reject "/4 without recovery_sweep"
     (Json.Obj
        [
-         ("schema", Json.Str Run_report.bench_schema);
+         ("schema", Json.Str Run_report.bench_schema_v4);
          ("generated_at", Json.Str "t");
          ("seed", Json.Int 1);
          ("parallel", parallel_json);
@@ -305,9 +328,22 @@ let test_bench_validation () =
          ("strategies", strategies_json);
          ("wall", Json.Arr []);
        ]);
+  reject "/5 without serve_sweep"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema);
+         ("generated_at", Json.Str "t");
+         ("seed", Json.Int 1);
+         ("parallel", parallel_json);
+         ("fault_sweep", Run_report.fault_sweep_to_json fault_sweep_section);
+         ( "recovery_sweep",
+           Run_report.recovery_sweep_to_json recovery_sweep_section );
+         ("strategies", strategies_json);
+         ("wall", Json.Arr []);
+       ]);
   let with_parallel fields =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
-      ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
+      ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -319,7 +355,7 @@ let test_bench_validation () =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1
       ~parallel:parallel_section
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
-      ~recovery_sweep:recovery_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -334,6 +370,7 @@ let test_bench_validation () =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
+      ~serve_sweep:serve_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -367,7 +404,32 @@ let test_bench_validation () =
            r_recalls = [| 1.0 |];
            r_demoted = [| 0.0 |];
          };
-       ])
+       ]);
+  let with_ssweep series =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section
+      ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  reject "empty serve_sweep series" (with_ssweep []);
+  let sserie throughputs speedups hits =
+    {
+      Serve_sweep.label = "BL w=0us";
+      strategy = "BL";
+      window_us = 0.0;
+      throughputs;
+      speedups;
+      hits;
+    }
+  in
+  reject "negative throughput"
+    (with_ssweep [ sserie [| -1.0; 1.0 |] [| 1.0; 1.0 |] [| 0.0; 0.0 |] ]);
+  reject "negative speedup mean"
+    (with_ssweep [ sserie [| 1.0; 1.0 |] [| 1.0; -0.5 |] [| 0.0; 0.0 |] ]);
+  reject "serve series length mismatch"
+    (with_ssweep [ sserie [| 1.0 |] [| 1.0 |] [| 0.0 |] ])
 
 let suite =
   [

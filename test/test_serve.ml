@@ -1,0 +1,509 @@
+(* Workload engine (lib/serve): LRU mechanics, serve-vs-Strategy answer
+   equivalence, warm-vs-cold speedup, cross-query check batching, fault
+   composition, and the cache-soundness property — for any workload and any
+   seeded fault schedule, a warm run's per-query answers are byte-identical
+   (Serve.answer_fingerprint) to the same workload run cold. *)
+
+open Msdq_simkit
+open Msdq_odb
+open Msdq_fed
+open Msdq_query
+open Msdq_exec
+open Msdq_serve
+open Msdq_workload
+module Fault = Msdq_fault.Fault
+
+let ms = Time.ms
+let us = Time.us
+
+(* ---- setup helpers ---- *)
+
+let setup () =
+  let ex = Paper_example.build () in
+  let fed = ex.Paper_example.federation in
+  let schema = Global_schema.schema (Federation.global_schema fed) in
+  let analyze src = Analysis.analyze schema (Parser.parse src) in
+  (fed, analyze)
+
+let job ?(arrival = Time.zero) s analysis =
+  { Serve.strategy = s; analysis; arrival }
+
+let config ?(options = Strategy.default_options) ?(cache_bytes = 0)
+    ?(window = Time.zero) () =
+  { Serve.default_config with Serve.options; cache_bytes; window }
+
+let fingerprints out =
+  List.map (fun r -> Serve.answer_fingerprint r.Serve.answer) out.Serve.reports
+
+let big_cache = 8 * 1024 * 1024
+
+(* Arrivals spaced wide enough that identical queries do not contend; the
+   cache effects stand out as pure makespan savings. *)
+let spaced n s analysis =
+  List.init n (fun i -> job ~arrival:(us (float_of_int i *. 50_000.0)) s analysis)
+
+(* ---- Lru unit tests ---- *)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.add l ~gen:0 ~key:"a" ~bytes:40 1;
+  Lru.add l ~gen:0 ~key:"b" ~bytes:40 2;
+  (* touch a: b becomes the LRU entry *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find l ~gen:0 "a");
+  Lru.add l ~gen:0 ~key:"c" ~bytes:40 3;
+  Alcotest.(check bool) "b evicted" false (Lru.mem l ~gen:0 "b");
+  Alcotest.(check bool) "a survives (was promoted)" true (Lru.mem l ~gen:0 "a");
+  Alcotest.(check bool) "c present" true (Lru.mem l ~gen:0 "c");
+  let s = Lru.stats l in
+  Alcotest.(check int) "one eviction" 1 s.Lru.evictions;
+  Alcotest.(check int) "one hit" 1 s.Lru.hits;
+  Alcotest.(check int) "two entries" 2 s.Lru.entries;
+  Alcotest.(check int) "80 bytes" 80 s.Lru.bytes
+
+let test_lru_generation () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.add l ~gen:0 ~key:"x" ~bytes:10 1;
+  Alcotest.(check (option int)) "same gen hits" (Some 1) (Lru.find l ~gen:0 "x");
+  Alcotest.(check (option int)) "newer gen invalidates" None (Lru.find l ~gen:1 "x");
+  Alcotest.(check bool) "entry dropped" false (Lru.mem l ~gen:1 "x");
+  let s = Lru.stats l in
+  Alcotest.(check int) "invalidation counted" 1 s.Lru.invalidations;
+  Alcotest.(check int) "invalidation is also a miss" 1 s.Lru.misses;
+  (* re-inserting at the new generation works *)
+  Lru.add l ~gen:1 ~key:"x" ~bytes:10 2;
+  Alcotest.(check (option int)) "fresh entry" (Some 2) (Lru.find l ~gen:1 "x")
+
+let test_lru_oversized_and_disabled () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.add l ~gen:0 ~key:"huge" ~bytes:200 1;
+  Alcotest.(check bool) "oversized not stored" false (Lru.mem l ~gen:0 "huge");
+  Alcotest.(check int) "cache intact" 0 (Lru.stats l).Lru.entries;
+  let off = Lru.create ~capacity_bytes:0 in
+  Lru.add off ~gen:0 ~key:"k" ~bytes:1 1;
+  Alcotest.(check (option int)) "disabled cache never stores" None
+    (Lru.find off ~gen:0 "k");
+  (match Lru.add l ~gen:0 ~key:"neg" ~bytes:(-1) 1 with
+  | () -> Alcotest.fail "negative bytes accepted"
+  | exception Invalid_argument _ -> ())
+
+(* ---- exec-layer hooks ---- *)
+
+let items_of fed analysis db =
+  let r = Local_eval.run fed analysis ~db in
+  List.concat_map
+    (fun (row : Local_result.row) -> row.Local_result.unsolved)
+    r.Local_result.rows
+
+let q1_requests fed analysis =
+  let built =
+    Checks.build fed analysis ~db:"DB1" ~root_class:"Student"
+      ~items:(items_of fed analysis "DB1")
+  in
+  built.Checks.requests
+
+let test_request_signature () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let requests = q1_requests fed analysis in
+  Alcotest.(check bool) "q1 produces check requests" true (requests <> []);
+  List.iter
+    (fun (r : Checks.request) ->
+      let s = Checks.request_signature r in
+      Alcotest.(check bool) "signature names the target db" true
+        (String.length s > String.length r.Checks.target_db
+        && String.sub s 0 (String.length r.Checks.target_db) = r.Checks.target_db);
+      Alcotest.(check bool) "signature separates loid and predicate" true
+        (String.contains s '#' && String.contains s '?'))
+    requests;
+  (* the signature is a pure function of the request *)
+  let r0 = List.hd requests in
+  Alcotest.(check string) "deterministic"
+    (Checks.request_signature r0)
+    (Checks.request_signature r0)
+
+let test_coalesced_requests_bytes () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let reqs = q1_requests fed analysis in
+  let c = Cost.default in
+  let solo = Wire.requests_bytes c reqs in
+  Alcotest.(check int) "one group = payload + one header"
+    (solo + 64)
+    (Wire.coalesced_requests_bytes c ~header_bytes:64 [ reqs ]);
+  Alcotest.(check int) "two groups share one header"
+    ((2 * solo) + 64)
+    (Wire.coalesced_requests_bytes c ~header_bytes:64 [ reqs; reqs ]);
+  Alcotest.(check int) "empty batch is just framing" 64
+    (Wire.coalesced_requests_bytes c ~header_bytes:64 []);
+  (match Wire.coalesced_requests_bytes c ~header_bytes:(-1) [] with
+  | _ -> Alcotest.fail "negative header accepted"
+  | exception Invalid_argument _ -> ())
+
+(* ---- cold serve equals the single-query strategies ---- *)
+
+let serve_strategies =
+  [ Strategy.Ca; Strategy.Bl; Strategy.Pl; Strategy.Bls; Strategy.Pls; Strategy.Lo ]
+
+let test_cold_equals_strategy () =
+  let fed, analyze = setup () in
+  List.iter
+    (fun q ->
+      let analysis = analyze q in
+      List.iter
+        (fun s ->
+          let solo_answer, _ = Strategy.run s fed analysis in
+          let out = Serve.run (config ()) fed [ job s analysis ] in
+          match out.Serve.reports with
+          | [ r ] ->
+            Alcotest.(check string)
+              (Strategy.to_string s ^ ": cold serve answers like Strategy.run")
+              (Serve.answer_fingerprint solo_answer)
+              (Serve.answer_fingerprint r.Serve.answer);
+            Alcotest.(check bool) "no cache activity when disabled" true
+              (r.Serve.extent_hits = 0 && r.Serve.verdict_hits = 0);
+            Alcotest.(check bool) "no cached provenance" true
+              (Oid.Goid.Set.is_empty (Answer.cached r.Serve.answer))
+          | _ -> Alcotest.fail "one report expected")
+        serve_strategies)
+    [ Paper_example.q1; "select X.name from Student X where X.age > 25" ]
+
+(* ---- validation ---- *)
+
+let test_validation () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let rejects name f =
+    match f () with
+    | (_ : Serve.outcome) -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "Cf job" (fun () -> Serve.run (config ()) fed [ job Strategy.Cf analysis ]);
+  rejects "deep_certify" (fun () ->
+      let options =
+        { Strategy.default_options with Strategy.deep_certify = true }
+      in
+      Serve.run (config ~options ()) fed [ job Strategy.Bl analysis ]);
+  rejects "negative cache" (fun () ->
+      Serve.run (config ~cache_bytes:(-1) ()) fed [ job Strategy.Bl analysis ]);
+  rejects "negative window" (fun () ->
+      Serve.run (config ~window:(us (-1.0)) ()) fed [ job Strategy.Bl analysis ]);
+  rejects "non-finite window" (fun () ->
+      Serve.run (config ~window:(us Float.infinity) ()) fed [ job Strategy.Bl analysis ]);
+  rejects "unsorted arrivals" (fun () ->
+      Serve.run (config ()) fed
+        [ job ~arrival:(us 10.0) Strategy.Bl analysis; job Strategy.Bl analysis ]);
+  rejects "negative arrival" (fun () ->
+      Serve.run (config ()) fed [ job ~arrival:(us (-5.0)) Strategy.Bl analysis ]);
+  rejects "negative header" (fun () ->
+      let cfg = { (config ()) with Serve.msg_header_bytes = -1 } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ])
+
+(* ---- warm vs cold: same answers, strictly less simulated time ---- *)
+
+let test_warm_beats_cold () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let jobs = spaced 6 Strategy.Bl analysis in
+  let cold = Serve.run (config ()) fed jobs in
+  let warm = Serve.run (config ~cache_bytes:big_cache ()) fed jobs in
+  Alcotest.(check (list string)) "identical per-query answers"
+    (fingerprints cold) (fingerprints warm);
+  Alcotest.(check bool) "warm makespan strictly below cold" true
+    (Time.to_us warm.Serve.makespan < Time.to_us cold.Serve.makespan);
+  Alcotest.(check bool) "warm throughput strictly above cold" true
+    (warm.Serve.throughput > cold.Serve.throughput);
+  Alcotest.(check bool) "extent cache hit" true (warm.Serve.extent_cache.Lru.hits > 0);
+  Alcotest.(check bool) "verdict cache hit" true (warm.Serve.verdict_cache.Lru.hits > 0);
+  Alcotest.(check int) "cold run never hits" 0
+    (cold.Serve.extent_cache.Lru.hits + cold.Serve.verdict_cache.Lru.hits);
+  (* counters mirror the aggregated stats *)
+  let reg = warm.Serve.registry in
+  Alcotest.(check int) "extent hits exported"
+    warm.Serve.extent_cache.Lru.hits
+    (Option.value ~default:0
+       (Msdq_obs.Metrics.find_counter reg
+          ~labels:[ ("cache", "extent") ]
+          "msdq_cache_hits_total"));
+  Alcotest.(check int) "verdict hits exported"
+    warm.Serve.verdict_cache.Lru.hits
+    (Option.value ~default:0
+       (Msdq_obs.Metrics.find_counter reg
+          ~labels:[ ("cache", "verdict") ]
+          "msdq_cache_hits_total"));
+  (* later queries carry cached provenance; the first cannot *)
+  (match warm.Serve.reports with
+  | first :: rest ->
+    Alcotest.(check bool) "first query served nothing from cache" true
+      (Oid.Goid.Set.is_empty (Answer.cached first.Serve.answer));
+    Alcotest.(check bool) "a later query was certified from cache" true
+      (List.exists
+         (fun r -> not (Oid.Goid.Set.is_empty (Answer.cached r.Serve.answer)))
+         rest)
+  | [] -> Alcotest.fail "reports expected");
+  (* provenance is metadata only: statuses agree with the cold run *)
+  List.iter2
+    (fun (c : Serve.query_report) (w : Serve.query_report) ->
+      Alcotest.(check bool) "same statuses" true
+        (Answer.same_statuses c.Serve.answer w.Serve.answer))
+    cold.Serve.reports warm.Serve.reports
+
+(* A tiny cache (one byte) cannot hold anything: behaves exactly cold. *)
+let test_tiny_cache_is_cold () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let jobs = spaced 3 Strategy.Bl analysis in
+  let cold = Serve.run (config ()) fed jobs in
+  let tiny = Serve.run (config ~cache_bytes:1 ()) fed jobs in
+  Alcotest.(check (list string)) "answers identical"
+    (fingerprints cold) (fingerprints tiny);
+  Alcotest.(check int) "no hits" 0
+    (tiny.Serve.extent_cache.Lru.hits + tiny.Serve.verdict_cache.Lru.hits);
+  Alcotest.(check (float 1e-6)) "same makespan"
+    (Time.to_us cold.Serve.makespan)
+    (Time.to_us tiny.Serve.makespan)
+
+(* ---- cross-query check batching ---- *)
+
+let test_batching_coalesces () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  (* two queries close together; caching off so both actually go to the
+     wire *)
+  let jobs =
+    [ job Strategy.Bl analysis; job ~arrival:(us 10.0) Strategy.Bl analysis ]
+  in
+  let solo = Serve.run (config ()) fed jobs in
+  let batched = Serve.run (config ~window:(ms 50.0) ()) fed jobs in
+  Alcotest.(check (list string)) "batching never changes answers"
+    (fingerprints solo) (fingerprints batched);
+  Alcotest.(check int) "no coalescing without a window" 0 solo.Serve.coalesced_checks;
+  Alcotest.(check bool) "checks coalesced" true (batched.Serve.coalesced_checks > 0);
+  Alcotest.(check bool) "strictly fewer messages" true
+    (batched.Serve.messages < solo.Serve.messages);
+  Alcotest.(check bool) "coalescing exported" true
+    (Msdq_obs.Metrics.total batched.Serve.registry "msdq_coalesced_checks_total" > 0)
+
+(* ---- generation-based invalidation ---- *)
+
+let test_crash_invalidates_cache () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  (* every database site crashes between the two arrivals: whatever query 1
+     cached is gone when query 2 arrives *)
+  let n_db = List.length (Federation.databases fed) in
+  let fault =
+    {
+      Fault.none with
+      Fault.sites =
+        List.init n_db (fun i ->
+            {
+              Fault.site = i + 1;
+              outages = [ { Fault.down = ms 30.0; up = ms 40.0 } ];
+            });
+    }
+  in
+  let options = { Strategy.default_options with Strategy.fault } in
+  let jobs =
+    [ job Strategy.Bl analysis; job ~arrival:(ms 50.0) Strategy.Bl analysis ]
+  in
+  let cold = Serve.run (config ~options ()) fed jobs in
+  let warm = Serve.run (config ~options ~cache_bytes:big_cache ()) fed jobs in
+  Alcotest.(check (list string)) "answers unaffected"
+    (fingerprints cold) (fingerprints warm);
+  Alcotest.(check bool) "crash invalidated extent entries" true
+    (warm.Serve.extent_cache.Lru.invalidations > 0);
+  Alcotest.(check int) "no stale extent hits" 0 warm.Serve.extent_cache.Lru.hits
+
+(* ---- fault composition: cached verdicts never resurrect demoted rows ---- *)
+
+let test_lost_verdicts_demote_warm_and_cold () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  (* every verdict return to the global site is lost: all check round trips
+     fail, so check-certified rows demote — with or without a cache *)
+  let fault =
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.0; inflate = 1.0 } ] }
+  in
+  let options = { Strategy.default_options with Strategy.fault } in
+  let jobs = spaced 3 Strategy.Bl analysis in
+  let cold = Serve.run (config ~options ()) fed jobs in
+  let warm = Serve.run (config ~options ~cache_bytes:big_cache ()) fed jobs in
+  Alcotest.(check (list string)) "degraded answers byte-identical"
+    (fingerprints cold) (fingerprints warm);
+  List.iter2
+    (fun (c : Serve.query_report) (w : Serve.query_report) ->
+      let cd = Answer.degraded c.Serve.answer
+      and wd = Answer.degraded w.Serve.answer in
+      Alcotest.(check bool) "rows demoted" true (not (Oid.Goid.Set.is_empty cd));
+      Alcotest.(check bool) "same demotions" true (Oid.Goid.Set.equal cd wd);
+      Alcotest.(check int) "doomed round trips suppress verdict hits" 0
+        w.Serve.verdict_hits;
+      (* demotion provenance names the lost batch *)
+      let g = Oid.Goid.Set.min_elt wd in
+      (match Answer.degraded_reason w.Serve.answer g with
+      | Some why ->
+        Alcotest.(check bool) "reason mentions the lost batch" true
+          (String.length why > 0)
+      | None -> Alcotest.fail "degraded row without provenance"))
+    cold.Serve.reports warm.Serve.reports;
+  Alcotest.(check bool) "drops surfaced in the workload registry" true
+    (Msdq_obs.Metrics.total warm.Serve.registry "msdq_fault_drops_total" > 0)
+
+(* ---- mixed-strategy stream sanity ---- *)
+
+let test_mixed_stream () =
+  let fed, analyze = setup () in
+  let a1 = analyze Paper_example.q1 in
+  let a2 = analyze "select X.name from Student X where X.age > 25" in
+  let jobs =
+    [
+      job Strategy.Ca a1;
+      job ~arrival:(us 50_000.0) Strategy.Bl a2;
+      job ~arrival:(us 100_000.0) Strategy.Pl a1;
+      job ~arrival:(us 150_000.0) Strategy.Lo a2;
+    ]
+  in
+  let out = Serve.run (config ~cache_bytes:big_cache ~window:(ms 1.0) ()) fed jobs in
+  Alcotest.(check int) "all queries answered" 4 (List.length out.Serve.reports);
+  Alcotest.(check bool) "throughput positive" true (out.Serve.throughput > 0.0);
+  Alcotest.(check bool) "messages flowed" true (out.Serve.messages > 0);
+  List.iteri
+    (fun i (r : Serve.query_report) ->
+      Alcotest.(check int) "report order" i r.Serve.index;
+      Alcotest.(check bool) "completion after arrival" true
+        (Time.to_us r.Serve.completed >= Time.to_us r.Serve.arrival);
+      Alcotest.(check (float 1e-9)) "latency consistent"
+        (Time.to_us r.Serve.completed -. Time.to_us r.Serve.arrival)
+        (Time.to_us r.Serve.latency))
+    out.Serve.reports;
+  (* per-strategy answers still match the single-query engines *)
+  List.iter2
+    (fun (s, a) (r : Serve.query_report) ->
+      let solo_answer, _ = Strategy.run s fed a in
+      Alcotest.(check bool)
+        (Strategy.to_string s ^ " statuses match solo run")
+        true
+        (Answer.same_statuses solo_answer r.Serve.answer))
+    [ (Strategy.Ca, a1); (Strategy.Bl, a2); (Strategy.Pl, a1); (Strategy.Lo, a2) ]
+    out.Serve.reports
+
+(* Determinism: the exact same workload reproduces byte-identically. *)
+let test_deterministic () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let run () =
+    let out =
+      Serve.run (config ~cache_bytes:big_cache ~window:(ms 1.0) ()) fed
+        (spaced 4 Strategy.Pl analysis)
+    in
+    ( fingerprints out,
+      Time.to_us out.Serve.makespan,
+      out.Serve.messages,
+      out.Serve.coalesced_checks )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "reproducible" true (a = b)
+
+(* ---- the cache-soundness property ----
+
+   For any synthesized federation/query, any strategy, any admission window
+   and any seeded fault schedule: a warm run's per-query answers are
+   byte-identical to the cold run's. Fault-free cases additionally match
+   Strategy.run. 200+ cases as the acceptance criterion demands. *)
+
+let rec make_case seed attempt =
+  if attempt > 20 then None
+  else
+    let cfg =
+      {
+        Synth.default with
+        Synth.seed = (seed * 37) + attempt;
+        p_host = 1.0;
+        p_attr_present = 0.7;
+        p_null = 0.15;
+        p_copy = 0.4;
+      }
+    in
+    let fed = Synth.generate cfg in
+    let rng = Rng.create ~seed:(seed + (attempt * 1013)) in
+    let query = Synth.random_query rng cfg ~disjunctive:false in
+    let schema = Global_schema.schema (Federation.global_schema fed) in
+    match Analysis.analyze schema query with
+    | analysis -> Some (fed, analysis)
+    | exception Analysis.Error _ -> make_case seed (attempt + 1)
+
+let random_schedule ~seed ~n_db ~horizon =
+  let rng = Rng.create ~seed in
+  let availability = 0.5 +. (0.5 *. Rng.float rng) in
+  let availability = if availability >= 0.999 then 1.0 else availability in
+  let sched =
+    Fault.random ~rng
+      ~sites:(List.init n_db (fun i -> i + 1))
+      ~availability ~horizon ~drop:(0.3 *. Rng.float rng) ()
+  in
+  {
+    sched with
+    Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links;
+  }
+
+let prop_cache_soundness =
+  QCheck.Test.make
+    ~name:"serve: warm answers byte-identical to cold, incl. faulty schedules"
+    ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        let strategies = Array.of_list serve_strategies in
+        let s = strategies.(seed mod Array.length strategies) in
+        let ff_answer, ff = Strategy.run s fed analysis in
+        let horizon =
+          Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+        in
+        let fault =
+          if seed mod 3 = 0 then Fault.none
+          else
+            random_schedule ~seed:(seed + 11)
+              ~n_db:(List.length (Federation.databases fed))
+              ~horizon
+        in
+        let options = { Strategy.default_options with Strategy.fault } in
+        let window = if seed mod 2 = 0 then Time.zero else us 500.0 in
+        let jobs =
+          List.init 3 (fun i ->
+              job ~arrival:(us (float_of_int i *. 300.0)) s analysis)
+        in
+        let cold = Serve.run (config ~options ~window ()) fed jobs in
+        let warm =
+          Serve.run (config ~options ~window ~cache_bytes:(1 lsl 20) ()) fed jobs
+        in
+        let cold_fp = fingerprints cold and warm_fp = fingerprints warm in
+        cold_fp = warm_fp
+        && (not (Fault.is_none fault)
+           || List.for_all
+                (fun fp -> fp = Serve.answer_fingerprint ff_answer)
+                cold_fp))
+
+let suite =
+  [
+    Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru: generation invalidation" `Quick test_lru_generation;
+    Alcotest.test_case "lru: oversized and disabled" `Quick
+      test_lru_oversized_and_disabled;
+    Alcotest.test_case "checks: request signature" `Quick test_request_signature;
+    Alcotest.test_case "wire: coalesced request bytes" `Quick
+      test_coalesced_requests_bytes;
+    Alcotest.test_case "cold serve equals Strategy.run" `Quick
+      test_cold_equals_strategy;
+    Alcotest.test_case "configuration validation" `Quick test_validation;
+    Alcotest.test_case "warm beats cold" `Quick test_warm_beats_cold;
+    Alcotest.test_case "tiny cache behaves cold" `Quick test_tiny_cache_is_cold;
+    Alcotest.test_case "check batching coalesces" `Quick test_batching_coalesces;
+    Alcotest.test_case "crash invalidates cache" `Quick test_crash_invalidates_cache;
+    Alcotest.test_case "lost verdicts demote warm and cold" `Quick
+      test_lost_verdicts_demote_warm_and_cold;
+    Alcotest.test_case "mixed-strategy stream" `Quick test_mixed_stream;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    QCheck_alcotest.to_alcotest prop_cache_soundness;
+  ]

@@ -1,0 +1,90 @@
+(* docs_lint: check that every relative markdown link in the repo resolves.
+
+   Walks the tree from the current directory (skipping _build, .git and
+   node_modules), collects *.md files, extracts inline links and images
+   ([text](target) / ![alt](target)), and verifies that each relative
+   target exists on disk, resolved against the file's directory. External
+   schemes (http:, https:, mailto:) and pure in-page anchors (#...) are
+   ignored; a #fragment on a relative target is stripped before the
+   existence check.
+
+   Exit status 0 when every link resolves, 1 otherwise (one line per
+   broken link). Run with: dune exec tools/docs_lint.exe *)
+
+let skip_dirs = [ "_build"; ".git"; "node_modules" ]
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if List.mem entry skip_dirs then acc else walk path acc
+      else if Filename.check_suffix entry ".md" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Matches [text](target) and ![alt](target); target is everything up to
+   the first ')' or whitespace, which covers the links our docs write
+   (no nested parens, optional "title" rejected as broken — we don't use
+   them). *)
+let link_re = Str.regexp "!?\\[[^]]*\\](\\([^) \t\n]+\\))"
+
+let targets_of text =
+  let rec collect pos acc =
+    match Str.search_forward link_re text pos with
+    | exception Not_found -> List.rev acc
+    | _ ->
+      let target = Str.matched_group 1 text in
+      collect (Str.match_end ()) (target :: acc)
+  in
+  collect 0 []
+
+let external_target t =
+  String.length t = 0
+  || t.[0] = '#'
+  || List.exists
+       (fun p -> String.length t >= String.length p
+                 && String.sub t 0 (String.length p) = p)
+       [ "http://"; "https://"; "mailto:" ]
+
+let strip_fragment t =
+  match String.index_opt t '#' with
+  | None -> t
+  | Some i -> String.sub t 0 i
+
+let () =
+  let files = List.sort compare (walk "." []) in
+  let broken = ref 0 in
+  List.iter
+    (fun file ->
+      let dir = Filename.dirname file in
+      List.iter
+        (fun target ->
+          if not (external_target target) then begin
+            let rel = strip_fragment target in
+            let resolved =
+              if Filename.is_relative rel then Filename.concat dir rel
+              else Filename.concat "." rel
+            in
+            if rel <> "" && not (Sys.file_exists resolved) then begin
+              incr broken;
+              Printf.printf "%s: broken link -> %s\n" file target
+            end
+          end)
+        (targets_of (read_file file)))
+    files;
+  if !broken > 0 then begin
+    Printf.printf "%d broken link(s) across %d markdown file(s)\n" !broken
+      (List.length files);
+    exit 1
+  end
+  else
+    Printf.printf "docs-lint: %d markdown file(s), all relative links resolve\n"
+      (List.length files)
