@@ -10,17 +10,19 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/5", see Run_report) with the per-strategy
+   (schema "msdq-bench/6", see Run_report) with the per-strategy
    simulated times on the demo workload, the bechamel wall-clock
    medians, the run's seed, a parallel section (jobs, measured speedup
    of a calibration sweep), a fault_sweep section (certain-set recall
    and response under injected site crashes), a recovery_sweep
    section (retry-only vs failover vs failover+hedging recall and
-   demotion counts) and a serve_sweep section (workload-engine
-   throughput vs cache capacity and admission window); --out DIR picks
-   the directory, --jobs N sizes the domain pool (default: all cores;
+   demotion counts), a serve_sweep section (workload-engine
+   throughput vs cache capacity and admission window) and a latency
+   section (per-strategy query-latency quantiles from a
+   telemetry-enabled serve run); --out DIR picks the directory,
+   --jobs N sizes the domain pool (default: all cores;
    1 = sequential), --smoke runs a reduced version for CI, and --check
-   FILE validates an existing result file against the schema (/1../5
+   FILE validates an existing result file against the schema (/1../6
    all accepted). *)
 
 open Msdq_fed
@@ -420,6 +422,80 @@ let serve_study ?pool ~seed ~samples () =
   sweep
 
 (* ------------------------------------------------------------------ *)
+(* Latency quantiles (telemetry extension): a telemetry-enabled serve run  *)
+(* per strategy; the per-query latency summaries become the bench file's   *)
+(* /6 "latency" section, so CI tracks tail latency across commits.         *)
+
+let latency_study () =
+  section "latency";
+  Format.printf
+    "Query-latency quantiles (telemetry): 8-query streams through the@.\
+     workload engine with telemetry histograms enabled; per-strategy@.\
+     p50/p90/p99/max of query latency (arrival to answer).@.@.";
+  let module Serve = Msdq_serve.Serve in
+  let cfg =
+    {
+      Synth.default with
+      Synth.seed = 23;
+      n_entities = 200;
+      p_host = 1.0;
+      p_attr_present = 0.75;
+      p_null = 0.12;
+    }
+  in
+  let fed = Synth.generate cfg in
+  let queries =
+    [
+      "select X.key from K0 X where X.p0 = 2 and X.next.p1 = 1";
+      "select X.key from K0 X where X.p1 = 3";
+      "select X.key from K0 X where X.next.p0 = 0 and X.p2 = 1";
+      "select X.key from K0 X where X.p0 = 1 or X.p1 = 2";
+    ]
+  in
+  let analyses =
+    List.map
+      (fun q ->
+        Analysis.analyze (Global_schema.schema (Federation.global_schema fed))
+          (Parser.parse q))
+      queries
+  in
+  let scfg =
+    {
+      Serve.default_config with
+      Serve.options =
+        { Strategy.default_options with Strategy.telemetry = true };
+    }
+  in
+  Format.printf "%-6s %10s %10s %10s %10s@." "strat" "p50" "p90" "p99" "max";
+  let summaries =
+    List.map
+      (fun strategy ->
+        let jobs =
+          List.init 8 (fun i ->
+              {
+                Serve.strategy;
+                analysis = List.nth analyses (i mod List.length analyses);
+                arrival = Msdq_simkit.Time.ms (float_of_int i *. 50.0);
+              })
+        in
+        let out = Serve.run scfg fed jobs in
+        let lats =
+          List.map
+            (fun (r : Serve.query_report) ->
+              Msdq_simkit.Time.to_us r.Serve.latency)
+            out.Serve.reports
+        in
+        let s = Msdq_simkit.Stats.summarize lats in
+        Format.printf "%-6s %8.0fus %8.0fus %8.0fus %8.0fus@."
+          (Strategy.to_string strategy) s.Msdq_simkit.Stats.p50_us
+          s.Msdq_simkit.Stats.p90_us s.Msdq_simkit.Stats.p99_us
+          s.Msdq_simkit.Stats.max_us;
+        (Strategy.to_string strategy, s))
+      [ Strategy.Ca; Strategy.Bl; Strategy.Pl ]
+  in
+  summaries
+
+(* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
 let strategy_times () =
@@ -531,11 +607,12 @@ let timestamp () =
     tm.Unix.tm_sec
 
 let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~wall =
+    ~serve_sweep ~latency ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
-      ~recovery_sweep ~serve_sweep ~strategies:(strategy_times ()) ~wall
+      ~recovery_sweep ~serve_sweep ~latency ~strategies:(strategy_times ())
+      ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -599,7 +676,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema (/1../5) and exit" );
+        "FILE  validate FILE against the bench schema (/1../6) and exit" );
     ]
   in
   Arg.parse spec
@@ -631,9 +708,10 @@ let () =
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:3 () in
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:2 () in
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:2 () in
+      let latency = latency_study () in
       let wall = microbenches ~quota:0.05 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~wall
+        ~recovery_sweep ~serve_sweep ~latency ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -647,8 +725,9 @@ let () =
       let fault_sweep = fault_study ?pool ~seed:!seed ~samples:12 () in
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:8 () in
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:6 () in
+      let latency = latency_study () in
       let wall = microbenches ~quota:0.4 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~wall;
+        ~recovery_sweep ~serve_sweep ~latency ~wall;
       Format.printf "@.done.@."
     end

@@ -5,6 +5,7 @@
      query       run a SQL/X query against the demo or a synthetic federation
      experiment  regenerate the paper's figures with the parametric simulator
      serve       run a multi-query workload through the caching/batching engine
+     metrics     expose a telemetry-enabled workload as OpenMetrics text
      params      print the Table 1 / Table 2 settings
      generate    summarize a synthetic federation
      validate    cross-check the strategies on random federations *)
@@ -78,12 +79,13 @@ let write_json path json =
     close_out oc
 
 let run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
-    ~trace_out =
+    ~telemetry ~explain ~critical_path ~trace_out =
   let options =
     {
       Strategy.default_options with
       Strategy.deep_certify = deep;
       multi_valued = multi;
+      telemetry;
     }
   in
   let runs =
@@ -95,6 +97,11 @@ let run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
         Format.printf "@.--- %s ---@.%a@.%a@." (Strategy.to_string s) Answer.pp
           answer Strategy.pp_metrics metrics;
         Format.printf "@.%a@." Run_report.pp_utilization metrics;
+        if explain then Format.printf "@.%a@." Run_report.pp_explain answer;
+        if critical_path then
+          Format.printf "@.%a@." Msdq_telemetry.Critical_path.pp
+            (Msdq_telemetry.Critical_path.analyze
+               (Msdq_simkit.Trace.entries metrics.Strategy.trace));
         if gantt then
           Format.printf "@.%a@.%a@."
             (Msdq_simkit.Gantt.pp ~width:72)
@@ -158,9 +165,49 @@ let progress_arg =
     value & flag
     & info [ "progress" ] ~doc:"Report progress on stderr while computing.")
 
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Record latency histograms per (strategy, site, resource, phase) \
+           into the metrics registry. Off by default so existing JSON \
+           reports stay byte-identical.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print per-row provenance: why each maybe row is maybe (missing \
+           data vs a degraded check) and which certain rows were certified \
+           from cached verdicts.")
+
+let critical_path_arg =
+  Arg.(
+    value & flag
+    & info [ "critical-path" ]
+        ~doc:
+          "Analyze each run's task trace and print the critical path: the \
+           causal chain of tasks and transfers whose durations and queue \
+           waits sum to the response time, plus the dominant site, resource \
+           and phase.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Persistent telemetry store: merge this run's observed statistics \
+           (check latency, drop rate, cache hit rate, demotions per \
+           strategy) into FILE with exponential decay, creating it if \
+           missing.")
+
 (* ---- demo ---- *)
 
-let demo strategy deep multi gantt json trace_out =
+let demo strategy deep multi gantt json telemetry explain critical_path
+    trace_out =
   let ex = Paper_example.build () in
   let fed = ex.Paper_example.federation in
   if not json then begin
@@ -175,7 +222,8 @@ let demo strategy deep multi gantt json trace_out =
   let analysis = analyze_or_exit fed Paper_example.q1 in
   let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
   let runs =
-    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json ~trace_out
+    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
+      ~telemetry ~explain ~critical_path ~trace_out
   in
   if json then
     print_endline
@@ -189,19 +237,22 @@ let demo_cmd =
       Term.(
         ret
           (const demo $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg
-         $ json_arg $ trace_out_arg))
+         $ json_arg $ telemetry_arg $ explain_arg $ critical_path_arg
+         $ trace_out_arg))
   in
   Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running example end to end.") term
 
 (* ---- query ---- *)
 
-let query strategy deep multi gantt json trace_out data synthetic seed sql =
+let query strategy deep multi gantt json telemetry explain critical_path
+    trace_out data synthetic seed sql =
   let fed = federation_of ~data ~synthetic ~seed in
   let analysis = analyze_or_exit fed sql in
   let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
   if not json then Format.printf "query: %a@." Ast.pp analysis.Analysis.query;
   let runs =
-    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json ~trace_out
+    run_strategies fed analysis ~strategies ~deep ~multi ~gantt ~json
+      ~telemetry ~explain ~critical_path ~trace_out
   in
   if json then
     print_endline
@@ -226,7 +277,8 @@ let query_cmd =
       Term.(
         ret
           (const query $ strategy_arg $ deep_arg $ multi_arg $ gantt_arg
-         $ json_arg $ trace_out_arg $ data_arg $ synthetic $ seed_arg $ sql))
+         $ json_arg $ telemetry_arg $ explain_arg $ critical_path_arg
+         $ trace_out_arg $ data_arg $ synthetic $ seed_arg $ sql))
   in
   Cmd.v
     (Cmd.info "query"
@@ -637,8 +689,86 @@ let serve_outcome_to_json ~query cfg (out : Msdq_serve.Serve.outcome) =
       ("registry", Msdq_obs.Metrics.to_json out.Serve.registry);
     ]
 
+(* One dashboard frame per query completion, replayed in arrival order. The
+   engine reports exact per-query latencies, cache hits and arrival times;
+   workload-global totals (lookups, messages) are only known at the end, so
+   intermediate frames prorate them by completion fraction — the final frame
+   is exact. *)
+let dashboard_frames (out : Msdq_serve.Serve.outcome) =
+  let module Serve = Msdq_serve.Serve in
+  let module Lru = Msdq_serve.Lru in
+  let module T = Msdq_simkit.Time in
+  let reports =
+    List.sort
+      (fun (a : Serve.query_report) (b : Serve.query_report) ->
+        compare (T.to_us a.Serve.completed) (T.to_us b.Serve.completed))
+      out.Serve.reports
+  in
+  let total = List.length reports in
+  let arrivals =
+    List.map
+      (fun (r : Serve.query_report) ->
+        (Strategy.to_string r.Serve.strategy, T.to_us r.Serve.arrival))
+      out.Serve.reports
+  in
+  let names = List.sort_uniq compare (List.map fst arrivals) in
+  let ext_lookups =
+    out.Serve.extent_cache.Lru.hits + out.Serve.extent_cache.Lru.misses
+  in
+  let ver_lookups =
+    out.Serve.verdict_cache.Lru.hits + out.Serve.verdict_cache.Lru.misses
+  in
+  let done_ = ref [] in
+  List.mapi
+    (fun i (r : Serve.query_report) ->
+      done_ := r :: !done_;
+      let k = i + 1 in
+      let now_us = T.to_us r.Serve.completed in
+      let admitted name =
+        List.length
+          (List.filter
+             (fun (s, a) -> (name = "" || String.equal s name) && a <= now_us)
+             arrivals)
+      in
+      let completed_of name =
+        List.length
+          (List.filter
+             (fun (q : Serve.query_report) ->
+               String.equal (Strategy.to_string q.Serve.strategy) name)
+             !done_)
+      in
+      let sum f = List.fold_left (fun acc q -> acc + f q) 0 !done_ in
+      let scale n =
+        if k = total then n
+        else
+          int_of_float
+            (Float.round (float_of_int n *. float_of_int k /. float_of_int total))
+      in
+      let ehits = sum (fun (q : Serve.query_report) -> q.Serve.extent_hits) in
+      let vhits = sum (fun (q : Serve.query_report) -> q.Serve.verdict_hits) in
+      {
+        Msdq_telemetry.Dashboard.now_us;
+        admitted = admitted "";
+        completed = k;
+        total;
+        extent_hits = ehits;
+        extent_lookups = max ehits (scale ext_lookups);
+        verdict_hits = vhits;
+        verdict_lookups = max vhits (scale ver_lookups);
+        breakers_open = 0;
+        messages = scale out.Serve.messages;
+        latency =
+          Msdq_simkit.Stats.summarize
+            (List.map
+               (fun (q : Serve.query_report) -> T.to_us q.Serve.latency)
+               !done_);
+        per_strategy =
+          List.map (fun name -> (name, admitted name, completed_of name)) names;
+      })
+    reports
+
 let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
-    samples jobs json sql =
+    samples jobs json dashboard store trace_out sql =
   let module Serve = Msdq_serve.Serve in
   let module Lru = Msdq_serve.Lru in
   if sweep then begin
@@ -685,15 +815,17 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
             arrival = Msdq_simkit.Time.us (float_of_int i *. inter_us);
           })
     in
+    let telemetry = dashboard || store <> None in
     let cfg =
       {
         Serve.default_config with
         Serve.cache_bytes = int_of_float (cache_mb *. 1024.0 *. 1024.0);
         window = Msdq_simkit.Time.us window_us;
+        options = { Strategy.default_options with Strategy.telemetry };
       }
     in
     let out =
-      try Serve.run cfg fed jobs_list
+      try Serve.run ~trace:(trace_out <> None) cfg fed jobs_list
       with Invalid_argument msg ->
         Format.eprintf "%s@." msg;
         exit 1
@@ -734,6 +866,51 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
       Format.printf "%d serve-path messages, %d coalesced check requests@."
         out.Serve.messages out.Serve.coalesced_checks
     end;
+    if dashboard && not json then begin
+      let frames = dashboard_frames out in
+      let live = Unix.isatty Unix.stdout in
+      let replay f =
+        print_string Msdq_telemetry.Dashboard.clear;
+        print_string (Msdq_telemetry.Dashboard.render f);
+        flush stdout;
+        Unix.sleepf 0.08
+      in
+      match frames with
+      | [] -> ()
+      | frames when live -> List.iter replay frames
+      | frames ->
+        (* not a terminal: print the final (exact) frame once *)
+        print_string
+          (Msdq_telemetry.Dashboard.render
+             (List.nth frames (List.length frames - 1)))
+    end;
+    (match store with
+    | None -> ()
+    | Some path ->
+      let fresh = Msdq_telemetry.Store.create () in
+      Run_report.record_serve_stats ~store:fresh out;
+      let merged =
+        if Sys.file_exists path then
+          match Msdq_telemetry.Store.load path with
+          | Ok old -> Msdq_telemetry.Store.merge old fresh
+          | Error msg ->
+            Format.eprintf "cannot load %s: %s@." path msg;
+            exit 1
+        else fresh
+      in
+      (try Msdq_telemetry.Store.save merged path
+       with Sys_error msg ->
+         Format.eprintf "cannot write %s: %s@." path msg;
+         exit 1);
+      if not json then
+        Format.printf "@.telemetry store %s (%d runs):@.%a@." path
+          (Msdq_telemetry.Store.runs merged)
+          Msdq_telemetry.Store.pp merged);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      write_json path (Run_report.chrome_trace_of_entries out.Serve.trace);
+      if not json then Format.printf "wrote %s@." path);
     `Ok ()
   end
 
@@ -817,13 +994,34 @@ let serve_cmd =
       & info [] ~docv:"QUERY"
           ~doc:"SQL/X query repeated by the stream. Default: the demo's Q1.")
   in
+  let dashboard =
+    Arg.(
+      value & flag
+      & info [ "dashboard" ]
+          ~doc:
+            "Replay the workload as a live TTY dashboard after the tables: \
+             one frame per query completion with admitted/completed \
+             progress, cache hit rates, message counts and latency \
+             quantiles. When stdout is not a terminal only the final \
+             (exact) frame is printed, so the flag is CI-safe.")
+  in
+  let serve_trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event file of the whole workload to FILE: \
+             every task and transfer carries its query's trace id, and flow \
+             events draw the causal edges across sites.")
+  in
   let term =
     with_logs
       Term.(
         ret
           (const serve $ queries $ arrival $ cache_mb $ window $ strategy
          $ data_arg $ synthetic $ seed_arg $ sweep_flag $ samples $ jobs
-         $ json_arg $ sql))
+         $ json_arg $ dashboard $ store_arg $ serve_trace_out $ sql))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -831,6 +1029,110 @@ let serve_cmd =
          "Run a multi-query workload through the serve engine: shared \
           simulated system, cross-query GOid/extent and verdict caching, \
           and check batching.")
+    term
+
+(* ---- metrics ---- *)
+
+let metrics queries arrival strategy data synthetic seed store sql =
+  let module Serve = Msdq_serve.Serve in
+  if queries < 1 then begin
+    Format.eprintf "--queries must be >= 1@.";
+    exit 1
+  end;
+  if arrival <= 0.0 || Float.is_nan arrival then begin
+    Format.eprintf "--arrival must be a positive rate@.";
+    exit 1
+  end;
+  let fed = federation_of ~data ~synthetic ~seed in
+  let src = match sql with Some s -> s | None -> Paper_example.q1 in
+  let analysis = analyze_or_exit fed src in
+  let inter_us = 1e6 /. arrival in
+  let jobs_list =
+    List.init queries (fun i ->
+        {
+          Serve.strategy;
+          analysis;
+          arrival = Msdq_simkit.Time.us (float_of_int i *. inter_us);
+        })
+  in
+  let cfg =
+    {
+      Serve.default_config with
+      Serve.options = { Strategy.default_options with Strategy.telemetry = true };
+    }
+  in
+  let out =
+    try Serve.run cfg fed jobs_list
+    with Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+  in
+  let fresh_store () =
+    let s = Msdq_telemetry.Store.create () in
+    Run_report.record_serve_stats ~store:s out;
+    s
+  in
+  let store =
+    match store with
+    | None -> None
+    | Some path when Sys.file_exists path -> (
+      match Msdq_telemetry.Store.load path with
+      | Ok old -> Some (Msdq_telemetry.Store.merge old (fresh_store ()))
+      | Error msg ->
+        Format.eprintf "cannot load %s: %s@." path msg;
+        exit 1)
+    | Some _ -> Some (fresh_store ())
+  in
+  print_string (Msdq_telemetry.Openmetrics.render ?store out.Serve.registry);
+  `Ok ()
+
+let metrics_cmd =
+  let queries =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "queries" ] ~docv:"N"
+          ~doc:"Number of queries in the sampled workload.")
+  in
+  let arrival =
+    Arg.(
+      value & opt float 50.0
+      & info [ "arrival" ] ~docv:"RATE"
+          ~doc:"Arrival rate in queries per simulated second.")
+  in
+  let strategy =
+    Arg.(
+      value & opt strategy_conv Strategy.Bl
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Strategy for every query in the stream. Default: BL.")
+  in
+  let synthetic =
+    Arg.(
+      value & flag
+      & info [ "synthetic" ]
+          ~doc:"Sample a generated synthetic federation instead of the demo.")
+  in
+  let sql =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"SQL/X query repeated by the stream. Default: the demo's Q1.")
+  in
+  let term =
+    with_logs
+      Term.(
+        ret
+          (const metrics $ queries $ arrival $ strategy $ data_arg $ synthetic
+         $ seed_arg $ store_arg $ sql))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a telemetry-enabled serve workload and print its metrics \
+          registry in the OpenMetrics text format (counters, gauges and \
+          latency histograms with cumulative buckets). With $(b,--store) \
+          the persistent statistics store is merged in and exposed as \
+          msdq_store_* gauges.")
     term
 
 (* ---- params ---- *)
@@ -1015,6 +1317,7 @@ let main_cmd =
       plan_cmd;
       experiment_cmd;
       serve_cmd;
+      metrics_cmd;
       params_cmd;
       generate_cmd;
       validate_cmd;

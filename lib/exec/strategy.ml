@@ -48,6 +48,7 @@ type options = {
   fault : Fault.schedule;
   retry : retry;
   recovery : Recovery.policy;
+  telemetry : bool;
 }
 
 let default_options =
@@ -59,6 +60,7 @@ let default_options =
     fault = Fault.none;
     retry = default_retry;
     recovery = Recovery.disabled;
+    telemetry = false;
   }
 
 (* Eager, readable configuration validation: a bad [site_speeds] entry or a
@@ -144,10 +146,15 @@ type metrics = {
 }
 
 (* Accumulator threaded through graph construction: a per-run metrics
-   registry plus the strategy label every series and task carries. *)
-type acc = { reg : Metrics.t; sname : string }
+   registry plus the strategy label every series and task carries, and the
+   query's span context — the trace id every engine task is tagged with, so
+   the causal tree of one query stays separable even when several queries
+   share an engine (the parent edges themselves are the dependency tids the
+   engine records in each trace entry). *)
+type acc = { reg : Metrics.t; sname : string; qid : string }
 
-let new_acc reg strategy = { reg; sname = to_string strategy }
+let new_acc ?(trace_id = "q0") reg strategy =
+  { reg; sname = to_string strategy; qid = trace_id }
 
 let ctr acc ~phase name =
   Metrics.counter acc.reg
@@ -155,8 +162,12 @@ let ctr acc ~phase name =
     name
 
 let task_attrs acc ~phase ?db () =
-  let base = [ ("strategy", acc.sname); ("phase", phase) ] in
+  let base = [ ("strategy", acc.sname); ("phase", phase); ("trace", acc.qid) ] in
   match db with Some d -> ("db", d) :: base | None -> base
+
+(* Attrs of fences and other phase-less tasks: still strategy-tagged and
+   still inside the query's causal tree. *)
+let fence_attrs acc = [ ("strategy", acc.sname); ("trace", acc.qid) ]
 
 let disk_task e acc c ~site ~phase ?db ~label ~bytes ?deps () =
   Metrics.inc (ctr acc ~phase "msdq_disk_bytes_total") bytes;
@@ -254,7 +265,7 @@ let build_ca e ?after ~acc ~tracer opts fed analysis =
   in
   let fence =
     Engine.fence e ~deps:[ eval ]
-      ~attrs:[ ("strategy", acc.sname) ]
+      ~attrs:(fence_attrs acc)
       ~label:"answer" ()
   in
   {
@@ -436,7 +447,7 @@ let build_cf e ?after ~acc ~tracer opts fed analysis =
   in
   let fence =
     Engine.fence e ~deps:[ eval ]
-      ~attrs:[ ("strategy", acc.sname) ]
+      ~attrs:(fence_attrs acc)
       ~label:"answer" ()
   in
   {
@@ -703,7 +714,7 @@ let build_localized e ?after ~acc ~tracer opts ~parallel ?(checks = true)
   in
   let fence =
     Engine.fence e ~deps:[ last ]
-      ~attrs:[ ("strategy", acc.sname) ]
+      ~attrs:(fence_attrs acc)
       ~label:"answer" ()
   in
   let answer =
@@ -1036,7 +1047,7 @@ let build_ca_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
   in
   let fence =
     Engine.fence e ~deps:[ eval ]
-      ~attrs:[ ("strategy", acc.sname) ]
+      ~attrs:(fence_attrs acc)
       ~label:"answer" ()
   in
   {
@@ -1205,7 +1216,7 @@ let build_cf_faulty e ?after ~acc ~tracer ~fx opts fed analysis =
   in
   let fence =
     Engine.fence e ~deps:[ eval ]
-      ~attrs:[ ("strategy", acc.sname) ]
+      ~attrs:(fence_attrs acc)
       ~label:"answer" ()
   in
   {
@@ -1752,7 +1763,7 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
   let finish_after last =
     ignore
       (Engine.fence e ~deps:[ last ]
-         ~attrs:[ ("strategy", acc.sname) ]
+         ~attrs:(fence_attrs acc)
          ~label:"answer-ready"
          ~on_complete:(fun () -> Engine.resolve e answer_fence)
          ())
@@ -2000,8 +2011,8 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
 
 (* ------------------------------------------------------------------ *)
 
-let build e ?after ~reg ~tracer options strategy fed analysis =
-  let acc = new_acc reg strategy in
+let build e ?after ?trace_id ~reg ~tracer options strategy fed analysis =
+  let acc = new_acc ?trace_id reg strategy in
   Tracer.with_span tracer ~cat:"build"
     ~args:[ ("strategy", acc.sname) ]
     ("build:" ^ acc.sname)
@@ -2051,6 +2062,49 @@ let finalize_registry reg strategy ~total ~response =
   Metrics.set (Metrics.gauge reg ~labels "msdq_total_us") (Time.to_us total);
   Metrics.set (Metrics.gauge reg ~labels "msdq_response_us") (Time.to_us response)
 
+(* Telemetry histograms: log-bucketed per-task latency distributions,
+   recorded per (strategy, site, resource, phase) from the engine trace.
+   Opt-in via [options.telemetry]: when off, nothing is registered, so
+   registry dumps stay byte-identical to pre-telemetry ones
+   (golden-pinned). [only_trace] scopes the walk to one query's span tree
+   when several queries shared the engine. *)
+let record_latency_histograms reg ~sname ?only_trace entries =
+  List.iter
+    (fun (e : Trace.entry) ->
+      let in_scope =
+        match only_trace with
+        | None -> true
+        | Some qid -> List.assoc_opt "trace" e.Trace.attrs = Some qid
+      in
+      match (e.Trace.site, e.Trace.kind) with
+      | Some site, Some kind when in_scope ->
+        let phase =
+          match List.assoc_opt "phase" e.Trace.attrs with
+          | Some p -> p
+          | None -> "-"
+        in
+        let h =
+          Metrics.histogram reg
+            ~labels:
+              [
+                ("strategy", sname);
+                ("site", string_of_int site);
+                ("resource", Resource.kind_to_string kind);
+                ("phase", phase);
+              ]
+            "msdq_task_duration_us"
+        in
+        Metrics.observe h (Time.to_us (Time.sub e.Trace.finish e.Trace.start))
+      | _ -> ())
+    entries
+
+let observe_query_latency reg ~sname latency =
+  Metrics.observe
+    (Metrics.histogram reg
+       ~labels:[ ("strategy", sname) ]
+       "msdq_query_latency_us")
+    (Time.to_us latency)
+
 let run ?(options = default_options) strategy fed analysis =
   validate_options options;
   Log.debug (fun m ->
@@ -2069,6 +2123,11 @@ let run ?(options = default_options) strategy fed analysis =
   let total = Stats.total_busy stats in
   let response = Stats.makespan stats in
   finalize_registry reg strategy ~total ~response;
+  if options.telemetry then begin
+    record_latency_histograms reg ~sname:(to_string strategy)
+      (Trace.entries (Engine.trace e));
+    observe_query_latency reg ~sname:(to_string strategy) response
+  end;
   if f.f_availability.faults_active then begin
     (* Fault counters only materialize on faulty runs, so fault-free
        registry dumps stay byte-identical to the pre-fault-injection ones. *)
@@ -2160,8 +2219,8 @@ let run_concurrent ?(options = default_options) fed jobs =
   apply_site_speeds e options.site_speeds;
   Fault.install options.fault e;
   let built =
-    List.map
-      (fun (strategy, analysis, arrival) ->
+    List.mapi
+      (fun i (strategy, analysis, arrival) ->
         let after =
           if Time.compare arrival Time.zero > 0 then
             Some (Engine.delay e ~label:"arrival" ~duration:arrival ())
@@ -2169,10 +2228,16 @@ let run_concurrent ?(options = default_options) fed jobs =
         in
         (* Each job owns its registry and tracer: one query's counters can
            never bleed into another's, no matter how the engine interleaves
-           their tasks. *)
+           their tasks. The per-job trace id keeps the causal trees
+           separable in the shared engine trace. *)
         let reg = Metrics.create () in
         let tracer = Tracer.create () in
-        (strategy, arrival, reg, build e ?after ~reg ~tracer options strategy fed analysis))
+        let trace_id = Printf.sprintf "q%d" i in
+        ( strategy,
+          arrival,
+          reg,
+          trace_id,
+          build e ?after ~trace_id ~reg ~tracer options strategy fed analysis ))
       jobs
   in
   Engine.run e;
@@ -2180,11 +2245,19 @@ let run_concurrent ?(options = default_options) fed jobs =
   {
     queries =
       List.map
-        (fun (strategy, arrival, reg, b) ->
+        (fun (strategy, arrival, reg, trace_id, b) ->
           let f = b.finish () in
+          let completed = Engine.finish_time e b.fence in
+          if options.telemetry then begin
+            record_latency_histograms reg ~sname:(to_string strategy)
+              ~only_trace:trace_id
+              (Trace.entries (Engine.trace e));
+            observe_query_latency reg ~sname:(to_string strategy)
+              (Time.sub completed arrival)
+          end;
           {
             started = arrival;
-            completed = Engine.finish_time e b.fence;
+            completed;
             q_strategy = strategy;
             q_answer = f.f_answer;
             q_registry = reg;

@@ -96,6 +96,13 @@ type options = {
           hedged duplicates race the failover batch), and only keys no live
           replica could answer demote their rows. {!Recovery.disabled} (the
           default) reproduces the retry-only behaviour exactly. *)
+  telemetry : bool;
+      (** record latency histograms into the run's registry:
+          [msdq_task_duration_us{strategy, site, resource, phase}]
+          (log-bucketed, from the engine trace) and
+          [msdq_query_latency_us{strategy}]. Off by default so existing
+          registry dumps and [--json] reports stay byte-identical
+          (golden-pinned). *)
 }
 
 val default_options : options

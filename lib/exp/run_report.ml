@@ -124,15 +124,38 @@ let span_of_entry (e : Trace.entry) : Tracer.span =
     args = e.Trace.attrs;
   }
 
-let chrome_trace ms =
-  let sim_spans =
-    List.concat_map
-      (fun (m : Strategy.metrics) ->
-        List.map span_of_entry (Trace.entries m.Strategy.trace))
-      ms
-  in
-  let host_spans = List.concat_map (fun m -> m.Strategy.host_spans) ms in
-  let spans = sim_spans @ host_spans in
+let site_pid (e : Trace.entry) =
+  match e.Trace.site with Some s -> s | None -> 0
+
+(* One Chrome flow edge per recorded dependency: from the end of the
+   predecessor's span to the start of the dependent's. Flow ids only need
+   to be unique within the document; [id_base] keeps several traces'
+   edges apart when their tid spaces overlap. *)
+let flow_events_of_entries ~id_base entries =
+  let by_tid = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.entry) -> Hashtbl.replace by_tid e.Trace.tid e)
+    entries;
+  let next = ref id_base in
+  List.concat_map
+    (fun (e : Trace.entry) ->
+      List.concat_map
+        (fun d ->
+          match Hashtbl.find_opt by_tid d with
+          | None -> []
+          | Some (src : Trace.entry) ->
+              incr next;
+              Tracer.flow_pair ~id:!next
+                ~src:
+                  ( site_pid src,
+                    kind_tid src.Trace.kind,
+                    Time.to_us src.Trace.finish )
+                ~dst:(site_pid e, kind_tid e.Trace.kind, Time.to_us e.Trace.start)
+                ())
+        e.Trace.deps)
+    entries
+
+let chrome_of ~spans ~flows =
   let pids =
     List.sort_uniq compare (List.map (fun (s : Tracer.span) -> s.Tracer.pid) spans)
   in
@@ -152,7 +175,30 @@ let chrome_trace ms =
           [ (pid, 0, "cpu"); (pid, 1, "disk"); (pid, 2, "link"); (pid, 3, "sync") ])
       pids
   in
-  Tracer.chrome ~process_names ~thread_names spans
+  Tracer.chrome ~process_names ~thread_names ~extra:flows spans
+
+let chrome_trace ms =
+  let sim_spans =
+    List.concat_map
+      (fun (m : Strategy.metrics) ->
+        List.map span_of_entry (Trace.entries m.Strategy.trace))
+      ms
+  in
+  let host_spans = List.concat_map (fun m -> m.Strategy.host_spans) ms in
+  let flows =
+    List.concat
+      (List.mapi
+         (fun i (m : Strategy.metrics) ->
+           flow_events_of_entries ~id_base:(i * 1_000_000)
+             (Trace.entries m.Strategy.trace))
+         ms)
+  in
+  chrome_of ~spans:(sim_spans @ host_spans) ~flows
+
+let chrome_trace_of_entries entries =
+  chrome_of
+    ~spans:(List.map span_of_entry entries)
+    ~flows:(flow_events_of_entries ~id_base:0 entries)
 
 (* ---- utilization ---- *)
 
@@ -306,7 +352,8 @@ let bench_schema_v1 = "msdq-bench/1"
 let bench_schema_v2 = "msdq-bench/2"
 let bench_schema_v3 = "msdq-bench/3"
 let bench_schema_v4 = "msdq-bench/4"
-let bench_schema = "msdq-bench/5"
+let bench_schema_v5 = "msdq-bench/5"
+let bench_schema = "msdq-bench/6"
 
 type parallel = {
   jobs : int;
@@ -326,8 +373,25 @@ let parallel_to_json p =
       ("speedup", Json.Float p.speedup);
     ]
 
+(* The /6 addition: per-strategy latency quantiles from a telemetry-enabled
+   serve run — the histogram summary CI tracks across commits. *)
+let latency_to_json latency =
+  Json.Arr
+    (List.map
+       (fun (name, (s : Stats.summary)) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("count", Json.Int s.Stats.n);
+             ("p50_us", Json.Float s.Stats.p50_us);
+             ("p90_us", Json.Float s.Stats.p90_us);
+             ("p99_us", Json.Float s.Stats.p99_us);
+             ("max_us", Json.Float s.Stats.max_us);
+           ])
+       latency)
+
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~strategies ~wall =
+    ~serve_sweep ~latency ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -337,6 +401,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("fault_sweep", fault_sweep_to_json fault_sweep);
       ("recovery_sweep", recovery_sweep_to_json recovery_sweep);
       ("serve_sweep", serve_sweep_to_json serve_sweep);
+      ("latency", latency_to_json latency);
       ( "strategies",
         Json.Arr
           (List.map
@@ -598,12 +663,63 @@ let validate_serve_sweep j =
         [ "throughputs"; "speedups"; "hits_per_query" ])
     (Ok ()) series
 
+(* The /6 addition: the latency section — one quantile summary per
+   strategy from a telemetry-enabled serve run, all values non-negative
+   and ordered p50 <= p90 <= p99 <= max whenever any sample was taken. *)
+let validate_latency j =
+  let* lat =
+    require "\"latency\"" Option.(Json.member "latency" j |> map Json.to_list |> join)
+  in
+  let* () =
+    if lat = [] then Error "bench document: \"latency\" is empty" else Ok ()
+  in
+  List.fold_left
+    (fun acc entry ->
+      let* () = acc in
+      let* name =
+        require "latency \"name\""
+          Option.(Json.member "name" entry |> map Json.to_str |> join)
+      in
+      let* count =
+        require
+          (Printf.sprintf "latency %s \"count\"" name)
+          Option.(Json.member "count" entry |> map Json.to_int |> join)
+      in
+      let* () =
+        if count >= 0 then Ok ()
+        else Error (Printf.sprintf "bench document: latency %s count must be >= 0" name)
+      in
+      let* qs =
+        List.fold_left
+          (fun acc field ->
+            let* acc = acc in
+            let* v =
+              require
+                (Printf.sprintf "latency %s %S" name field)
+                Option.(Json.member field entry |> map Json.to_float |> join)
+            in
+            let* () = nonneg (Printf.sprintf "latency %s %s" name field) v in
+            Ok (v :: acc))
+          (Ok [])
+          [ "p50_us"; "p90_us"; "p99_us"; "max_us" ]
+      in
+      match List.rev qs with
+      | [ p50; p90; p99 ] | [ p50; p90; p99; _ ] ->
+          if count > 0 && not (p50 <= p90 && p90 <= p99) then
+            Error
+              (Printf.sprintf
+                 "bench document: latency %s quantiles must be non-decreasing"
+                 name)
+          else Ok ()
+      | _ -> Ok ())
+    (Ok ()) lat
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let known =
     [
-      bench_schema; bench_schema_v4; bench_schema_v3; bench_schema_v2;
-      bench_schema_v1;
+      bench_schema; bench_schema_v5; bench_schema_v4; bench_schema_v3;
+      bench_schema_v2; bench_schema_v1;
     ]
   in
   let* () =
@@ -621,7 +737,8 @@ let validate_bench j =
       else if String.equal s bench_schema_v2 then 2
       else if String.equal s bench_schema_v3 then 3
       else if String.equal s bench_schema_v4 then 4
-      else 5
+      else if String.equal s bench_schema_v5 then 5
+      else 6
     in
     rank schema >= v
   in
@@ -629,6 +746,7 @@ let validate_bench j =
   let* () = if at_least 3 then validate_fault_sweep j else Ok () in
   let* () = if at_least 4 then validate_recovery_sweep j else Ok () in
   let* () = if at_least 5 then validate_serve_sweep j else Ok () in
+  let* () = if at_least 6 then validate_latency j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)
@@ -675,3 +793,97 @@ let validate_bench j =
       in
       nonneg (name ^ " ns_per_run") ns)
     (Ok ()) wall
+
+(* ---- explain ---- *)
+
+(* Per-row provenance of an answer: what each maybe row is waiting on.
+   Degraded rows name the check round trip that never returned; cached
+   rows name the verdict cache; the rest of the maybe rows are honest
+   missing-data maybes (their predicate is Unknown on the available
+   attributes). *)
+let pp_explain ppf answer =
+  let open Msdq_odb in
+  let cached = Answer.cached answer in
+  let rows = Answer.rows answer in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%-14s %-8s provenance@," "goid" "status";
+  List.iter
+    (fun (r : Answer.row) ->
+      let goid = r.Answer.goid in
+      let provenance =
+        match Answer.degraded_reason answer goid with
+        | Some why -> Printf.sprintf "degraded: %s" why
+        | None -> (
+            match r.Answer.status with
+            | Answer.Maybe ->
+                "missing data: predicate unknown on the available attributes"
+            | Answer.Certain ->
+                if Oid.Goid.Set.mem goid cached then
+                  "certified using cache-served verdicts"
+                else "certified")
+      in
+      Format.fprintf ppf "%-14s %-8s %s@," (Oid.Goid.to_string goid)
+        (Answer.status_to_string r.Answer.status)
+        provenance)
+    rows;
+  let d = Oid.Goid.Set.cardinal (Answer.degraded answer) in
+  Format.fprintf ppf "%d rows, %d certain, %d maybe (%d degraded, %d cached)@]"
+    (List.length rows)
+    (List.length (Answer.certain answer))
+    (List.length (Answer.maybe answer))
+    d
+    (Oid.Goid.Set.cardinal cached)
+
+(* ---- telemetry store feed ---- *)
+
+module Store = Msdq_telemetry.Store
+
+(* Fold one serve outcome into a telemetry store: one (db="*", site=0,
+   link=0, strategy) entry per strategy in the workload, carrying the
+   strategy's mean query latency and demotion count plus the workload's
+   drop and cache-hit rates. These are the observed statistics the AUTO
+   strategy selector (ROADMAP item 2) will consume. *)
+let record_serve_stats ~store (o : Msdq_serve.Serve.outcome) =
+  let open Msdq_serve in
+  let lookups (s : Lru.stats) = s.Lru.hits + s.Lru.misses in
+  let hits = o.Serve.extent_cache.Lru.hits + o.Serve.verdict_cache.Lru.hits in
+  let looks = lookups o.Serve.extent_cache + lookups o.Serve.verdict_cache in
+  let cache_hit_rate =
+    if looks = 0 then 0.0 else float_of_int hits /. float_of_int looks
+  in
+  let drops = Metrics.total o.Serve.registry "msdq_fault_drops_total" in
+  let drop_rate =
+    if o.Serve.messages + drops = 0 then 0.0
+    else float_of_int drops /. float_of_int (o.Serve.messages + drops)
+  in
+  let by_strategy = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Serve.query_report) ->
+      let name = Strategy.to_string r.Serve.strategy in
+      let lat = Time.to_us r.Serve.latency in
+      let dem =
+        Msdq_odb.Oid.Goid.Set.cardinal (Answer.degraded r.Serve.answer)
+      in
+      match Hashtbl.find_opt by_strategy name with
+      | Some (n, lat_sum, dem_sum) ->
+          Hashtbl.replace by_strategy name (n + 1, lat_sum +. lat, dem_sum + dem)
+      | None ->
+          Hashtbl.replace by_strategy name (1, lat, dem);
+          order := name :: !order)
+    o.Serve.reports;
+  List.iter
+    (fun name ->
+      let n, lat_sum, dem_sum = Hashtbl.find by_strategy name in
+      let fn = float_of_int n in
+      Store.observe store
+        { Store.db = "*"; site = 0; link = 0; strategy = name }
+        {
+          Store.weight = fn;
+          check_latency_us = lat_sum /. fn;
+          drop_rate;
+          cache_hit_rate;
+          demotions = float_of_int dem_sum /. fn;
+        })
+    (List.rev !order);
+  Store.record_run store

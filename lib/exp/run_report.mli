@@ -33,8 +33,14 @@ val chrome_trace : Strategy.metrics list -> Json.t
 (** Chrome [trace_event] document for one or several runs sharing a site
     numbering: one complete event per engine task (pid = site, tid =
     resource, args = strategy/phase/db attribution), fences on a separate
-    lane, host spans under {!Msdq_obs.Tracer.host_pid}. Opens in
+    lane, host spans under {!Msdq_obs.Tracer.host_pid}, plus one flow
+    event pair per recorded task dependency — the causal edges that let
+    Perfetto draw each query's tree across sites. Opens in
     [chrome://tracing] or Perfetto. *)
+
+val chrome_trace_of_entries : Msdq_simkit.Trace.entry list -> Json.t
+(** Same document for a raw engine trace (no host spans) — the serve
+    path's [outcome.trace], where the whole workload shares one engine. *)
 
 val pp_utilization : Format.formatter -> Strategy.metrics -> unit
 (** Per-site, per-phase busy-time table computed from the task trace. *)
@@ -62,7 +68,10 @@ val serve_sweep_to_json : Serve_sweep.sweep -> Json.t
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/5"] — the schema every new document is written with. *)
+(** ["msdq-bench/6"] — the schema every new document is written with. *)
+
+val bench_schema_v5 : string
+(** ["msdq-bench/5"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v4 : string
 (** ["msdq-bench/4"] — still accepted by {!validate_bench}. *)
@@ -95,6 +104,7 @@ val bench_to_json :
   fault_sweep:Fault_sweep.sweep ->
   recovery_sweep:Fault_sweep.recovery_sweep ->
   serve_sweep:Serve_sweep.sweep ->
+  latency:(string * Msdq_simkit.Stats.summary) list ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -103,17 +113,33 @@ val bench_to_json :
     demo workload; [wall] carries bechamel wall-clock medians as
     [(benchmark, ns_per_run)]; [seed] is the run's base rng seed;
     [fault_sweep] and [recovery_sweep] are the run's (possibly reduced)
-    robustness sweeps and [serve_sweep] its workload-engine sweep.
-    [generated_at] is injected (not read from the clock) so tests stay
-    deterministic. *)
+    robustness sweeps, [serve_sweep] its workload-engine sweep and
+    [latency] its per-strategy query-latency quantile summaries
+    ([(name, summary)], the [/6] histogram section). [generated_at] is
+    injected (not read from the clock) so tests stay deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
 (** Structural validation of a bench document: used by the test suite and
-    the CI smoke step. Accepts {!bench_schema_v1}, {!bench_schema_v2},
-    {!bench_schema_v3}, {!bench_schema_v4} and {!bench_schema} payloads;
-    [seed]/[parallel] are required from [/2] on, the [fault_sweep] section
-    from [/3] on (non-empty availability grid, equal-length series, recalls
-    inside [0, 1]), the [recovery_sweep] section from [/4] on (same shape
-    plus a non-negative mean-demoted array per series) and the
-    [serve_sweep] section exactly from [/5] on (non-empty cache grid,
-    equal-length series, non-negative throughputs and speedups). *)
+    the CI smoke step. Accepts {!bench_schema_v1} through {!bench_schema}
+    payloads; [seed]/[parallel] are required from [/2] on, the
+    [fault_sweep] section from [/3] on (non-empty availability grid,
+    equal-length series, recalls inside [0, 1]), the [recovery_sweep]
+    section from [/4] on (same shape plus a non-negative mean-demoted
+    array per series), the [serve_sweep] section from [/5] on (non-empty
+    cache grid, equal-length series, non-negative throughputs and
+    speedups) and the [latency] section from [/6] on (non-empty, one
+    quantile summary per strategy, non-negative and non-decreasing
+    p50 <= p90 <= p99 whenever the count is positive). *)
+
+val pp_explain : Format.formatter -> Answer.t -> unit
+(** Per-row provenance table ([msdq query --explain]): every row's GOid and
+    status plus {e why} — degraded rows print the recorded reason (the
+    check round trip that never returned), cache-certified rows say so,
+    and the remaining maybe rows are honest missing-data maybes. *)
+
+val record_serve_stats : store:Msdq_telemetry.Store.t -> Msdq_serve.Serve.outcome -> unit
+(** Fold one serve outcome into a persistent telemetry store: one entry
+    per strategy in the workload (keyed [db="*", site=0, link=0]) carrying
+    the strategy's mean query latency and mean demotions plus the
+    workload's drop and cache-hit rates, then counts the run. Inputs for
+    the AUTO strategy selector (ROADMAP item 2). *)

@@ -6,6 +6,7 @@ type histogram = {
   counts : int array; (* length = Array.length bounds + 1 (overflow) *)
   mutable sum : float;
   mutable n : int;
+  mutable hmax : float; (* largest observation; 0.0 while empty *)
 }
 
 type cell = Counter of counter | Gauge of gauge | Hist of histogram
@@ -73,6 +74,7 @@ let histogram t ?(labels = []) ?(help = "") ?(buckets = default_buckets) name =
         counts = Array.make (Array.length buckets + 1) 0;
         sum = 0.0;
         n = 0;
+        hmax = 0.0;
       }
   in
   let s = series t ~name ~labels ~help make in
@@ -84,10 +86,37 @@ let observe h x =
   let i = slot 0 in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. x;
-  h.n <- h.n + 1
+  h.n <- h.n + 1;
+  if x > h.hmax then h.hmax <- x
 
 let histogram_count h = h.n
 let histogram_sum h = h.sum
+let histogram_max h = h.hmax
+
+(* Bucket-interpolated quantile estimate, Prometheus-style: find the bucket
+   the q-th observation falls in and interpolate linearly inside it. The
+   overflow bucket is capped at the recorded maximum. Empty histograms
+   yield 0.0 — never NaN. *)
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = q *. float_of_int h.n in
+    let nb = Array.length h.bounds in
+    let rec go i seen =
+      if i > nb then h.hmax
+      else
+        let here = h.counts.(i) in
+        let upto = seen + here in
+        if float_of_int upto >= rank && here > 0 then
+          let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+          let hi = if i = nb then h.hmax else h.bounds.(i) in
+          let hi = Float.max lo hi in
+          lo +. ((hi -. lo) *. ((rank -. float_of_int seen) /. float_of_int here))
+        else go (i + 1) upto
+    in
+    go 0 0
+  end
 
 let cumulative_buckets h =
   let acc = ref 0 in
@@ -135,6 +164,19 @@ let counters t =
       | _ -> None)
     (sorted_series t)
 
+let histograms t =
+  List.filter_map
+    (fun s ->
+      match s.s_cell with
+      | Hist h -> Some (s.s_name, s.s_labels, h)
+      | _ -> None)
+    (sorted_series t)
+
+let find_histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (name, normalize labels) with
+  | Some { s_cell = Hist h; _ } -> Some h
+  | _ -> None
+
 let series_count t = Hashtbl.length t.tbl
 
 let labels_json labels =
@@ -180,6 +222,7 @@ let to_json t =
                  ("labels", labels_json s.s_labels);
                  ("count", Json.Int h.n);
                  ("sum", Json.Float h.sum);
+                 ("max", Json.Float h.hmax);
                  ( "buckets",
                    Json.Arr
                      (List.map

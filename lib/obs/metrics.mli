@@ -50,6 +50,16 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_max : histogram -> float
+(** Largest observation so far; [0.0] while the histogram is empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] is the bucket-interpolated [q]-quantile estimate
+    (Prometheus-style: linear interpolation inside the bucket the rank
+    falls in; the overflow bucket is capped at {!histogram_max}). Total:
+    an empty histogram yields [0.0], never NaN; [q] is clamped to
+    [0, 1]. *)
+
 val cumulative_buckets : histogram -> (float * int) list
 (** [(le, count)] pairs in Prometheus style: [count] is the number of
     observations [<= le], cumulative; the final pair has [le = infinity]
@@ -67,6 +77,14 @@ val counters : t -> (string * (string * string) list * int) list
 (** All counter series as [(name, labels, value)], sorted by name then
     labels — the stable order used by {!to_json}. *)
 
+val histograms : t -> (string * (string * string) list * histogram) list
+(** All histogram series as [(name, labels, histogram)], in the same
+    stable order. *)
+
+val find_histogram :
+  t -> ?labels:(string * string) list -> string -> histogram option
+(** One specific histogram series, if registered. *)
+
 val series_count : t -> int
 (** Number of distinct [(name, labels)] series of any type — the registry's
     label cardinality. *)
@@ -75,5 +93,5 @@ val to_json : t -> Json.t
 (** Deterministic export:
     [{"counters": [{"name", "labels", "value"}...],
       "gauges": [...],
-      "histograms": [{"name", "labels", "count", "sum", "buckets": [{"le", "count"}...]}...]}]
+      "histograms": [{"name", "labels", "count", "sum", "max", "buckets": [{"le", "count"}...]}...]}]
     sorted by name then labels. *)

@@ -73,6 +73,34 @@ let span_event s =
       ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.args));
     ]
 
+(* A flow arrow between two lanes: a ["ph":"s"] start event at the source
+   point and a ["ph":"f"] (binding point "e": enclosing slice) finish event
+   at the destination, tied together by [id]. Viewers draw the arrow from
+   the span enclosing the start point to the span enclosing the finish. *)
+let flow_pair ~id ?(name = "dep") ?(cat = "flow") ~src:(spid, stid, sts)
+    ~dst:(dpid, dtid, dts) () =
+  let event ph extra =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("cat", Json.Str cat);
+         ("ph", Json.Str ph);
+         ("id", Json.Int id);
+       ]
+      @ extra)
+  in
+  [
+    event "s"
+      [ ("ts", Json.Float sts); ("pid", Json.Int spid); ("tid", Json.Int stid) ];
+    event "f"
+      [
+        ("bp", Json.Str "e");
+        ("ts", Json.Float dts);
+        ("pid", Json.Int dpid);
+        ("tid", Json.Int dtid);
+      ];
+  ]
+
 let metadata ~name ~pid ~tid ~value =
   Json.Obj
     [
@@ -83,7 +111,7 @@ let metadata ~name ~pid ~tid ~value =
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let chrome ?(process_names = []) ?(thread_names = []) spans =
+let chrome ?(process_names = []) ?(thread_names = []) ?(extra = []) spans =
   let procs =
     List.map
       (fun (pid, v) -> metadata ~name:"process_name" ~pid ~tid:0 ~value:v)
@@ -96,6 +124,7 @@ let chrome ?(process_names = []) ?(thread_names = []) spans =
   in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (procs @ threads @ List.map span_event spans));
+      ( "traceEvents",
+        Json.Arr (procs @ threads @ List.map span_event spans @ extra) );
       ("displayTimeUnit", Json.Str "ms");
     ]

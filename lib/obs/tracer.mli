@@ -60,10 +60,26 @@ val count : t -> int
 val span_event : span -> Json.t
 (** One ["ph":"X"] complete event. *)
 
+val flow_pair :
+  id:int ->
+  ?name:string ->
+  ?cat:string ->
+  src:int * int * float ->
+  dst:int * int * float ->
+  unit ->
+  Json.t list
+(** [flow_pair ~id ~src:(pid, tid, ts) ~dst:(pid', tid', ts') ()] is the
+    ["ph":"s"] / ["ph":"f"] event pair of one causal flow arrow: viewers
+    (Perfetto, [chrome://tracing]) draw it from the span enclosing the
+    source point to the span enclosing the destination point. Both events
+    share [id]; the finish event binds to the enclosing slice
+    ([{"bp":"e"}]). *)
+
 val chrome :
   ?process_names:(int * string) list -> ?thread_names:(int * int * string) list ->
-  span list -> Json.t
+  ?extra:Json.t list -> span list -> Json.t
 (** Full trace document:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}].
     [process_names] and [thread_names] become ["ph":"M"] metadata events so
-    viewers label the lanes. *)
+    viewers label the lanes; [extra] events (e.g. {!flow_pair} arrows) are
+    appended after the spans. *)

@@ -45,6 +45,7 @@ type outcome = {
   messages : int;
   coalesced_checks : int;
   registry : Metrics.t;
+  trace : Trace.entry list;
 }
 
 let throughput (o : outcome) = o.throughput
@@ -579,17 +580,22 @@ let bump reg name labels n =
 
 let q_labels st phase = [ ("strategy", Strategy.to_string st); ("phase", phase) ]
 
-let disk_task ctx reg st ~site ~phase ~label ~bytes ~deps =
+(* The span context every serve-path engine task carries: the owning
+   query's trace id (the causal parent edges are the dependency tids the
+   engine records on its own). *)
+let qattr index = [ ("trace", Printf.sprintf "q%d" index) ]
+
+let disk_task ctx reg st ~site ~phase ~attrs ~label ~bytes ~deps =
   bump reg "msdq_disk_bytes_total" (q_labels st phase) bytes;
   Engine.task ctx.eng ~deps ~site ~kind:Resource.Disk ~label
-    ~attrs:[ ("strategy", Strategy.to_string st); ("phase", phase) ]
+    ~attrs:(("strategy", Strategy.to_string st) :: ("phase", phase) :: attrs)
     ~duration:(Cost.disk (cost_of ctx) ~bytes)
     ()
 
-let cpu_task ctx reg st ~site ~phase ~label ~units ~deps =
+let cpu_task ctx reg st ~site ~phase ~attrs ~label ~units ~deps =
   bump reg "msdq_work_units_total" (q_labels st phase) units;
   Engine.task ctx.eng ~deps ~site ~kind:Resource.Cpu ~label
-    ~attrs:[ ("strategy", Strategy.to_string st); ("phase", phase) ]
+    ~attrs:(("strategy", Strategy.to_string st) :: ("phase", phase) :: attrs)
     ~duration:(Cost.cpu (cost_of ctx) ~units)
     ()
 
@@ -603,7 +609,7 @@ let net_duration ctx ~dst ~bytes =
    attribute shipped bytes to the owning queries' registries themselves
    (a coalesced message splits its payload across contributors). Returns a
    promise completed at delivery. *)
-let critical_transfer ctx ~src ~dst ~payload ~label ~deps
+let critical_transfer ctx ~src ~dst ~payload ~label ~deps ?(attrs = [])
     ?(on_delivered = fun () -> ()) () =
   let sched = sched_of ctx in
   let bytes = payload + ctx.cfg.msg_header_bytes in
@@ -617,7 +623,7 @@ let critical_transfer ctx ~src ~dst ~payload ~label ~deps
         match Fault.next_up sched ~site:dst ~at:now with
         | Some up ->
             [
-              Engine.delay ctx.eng ~label:(label ^ ":wait-up")
+              Engine.delay ctx.eng ~label:(label ^ ":wait-up") ~attrs
                 ~duration:(Time.sub up now) ();
             ]
         | None -> [] (* permanent outage: documented as unreachable-for-
@@ -625,14 +631,16 @@ let critical_transfer ctx ~src ~dst ~payload ~label ~deps
       else []
     in
     ignore
-      (Engine.transfer ctx.eng ~deps ~src ~dst ~label
+      (Engine.transfer ctx.eng ~deps ~src ~dst ~label ~attrs
          ~duration:(net_duration ctx ~dst ~bytes)
          ~on_complete:(fun () ->
            on_delivered ();
            Engine.resolve ctx.eng p)
          ())
   in
-  ignore (Engine.fence ctx.eng ~deps ~label:(label ^ ":ready") ~on_complete:send ());
+  ignore
+    (Engine.fence ctx.eng ~deps ~label:(label ^ ":ready") ~attrs
+       ~on_complete:send ());
   p
 
 (* Flush one coalesced batch to [tsite]: one request message per
@@ -650,6 +658,13 @@ let flush ctx ~target_db ~tsite contribs =
           Hashtbl.add by_origin c.b_origin_site (ref [ c ]);
           origin_order := c.b_origin_site :: !origin_order)
     contribs;
+  (* A coalesced message belongs to one query's trace when it carries a
+     single query's checks, and to the shared [batch] trace otherwise. *)
+  let trace_of cs =
+    match List.sort_uniq compare (List.map (fun c -> c.b_query) cs) with
+    | [ q ] -> qattr q
+    | _ -> [ ("trace", "batch") ]
+  in
   let req_done =
     List.map
       (fun osite ->
@@ -671,7 +686,7 @@ let flush ctx ~target_db ~tsite contribs =
           cs;
         critical_transfer ctx ~src:osite ~dst:tsite ~payload
           ~label:(Printf.sprintf "serve:ship-requests:%s" target_db)
-          ~deps:[] ())
+          ~attrs:(trace_of cs) ~deps:[] ())
       (List.rev !origin_order)
   in
   (* The target's disk and CPU are FIFO, so per-contributor tasks keep the
@@ -687,10 +702,12 @@ let flush ctx ~target_db ~tsite contribs =
         in
         let read =
           disk_task ctx c.b_reg st ~site:tsite ~phase:"O"
+            ~attrs:(qattr c.b_query)
             ~label:(Printf.sprintf "serve:check-read:%s" target_db)
             ~bytes:c.b_read_bytes ~deps:req_done
         in
         cpu_task ctx c.b_reg st ~site:tsite ~phase:"O"
+          ~attrs:(qattr c.b_query)
           ~label:(Printf.sprintf "serve:check-eval:%s" target_db)
           ~units:c.b_serve_units ~deps:[ read ])
       contribs
@@ -708,7 +725,7 @@ let flush ctx ~target_db ~tsite contribs =
     (critical_transfer ctx ~src:tsite ~dst:ctx.gsite
        ~payload:verdict_payload
        ~label:(Printf.sprintf "serve:ship-verdicts:%s" target_db)
-       ~deps:evals
+       ~attrs:(trace_of contribs) ~deps:evals
        ~on_delivered:(fun () ->
          List.iter (fun c -> Engine.resolve ctx.eng c.b_promise) contribs)
        ())
@@ -737,15 +754,17 @@ let batcher_add ctx ~target_db ~tsite contrib =
 let build_query ctx (p : prepared) ~completed =
   let st = p.p_strategy in
   let reg = p.p_registry in
+  let q = qattr p.p_index in
   let arrive =
     Engine.delay ctx.eng
       ~label:(Printf.sprintf "serve:q%d:arrival" p.p_index)
-      ~duration:p.p_arrival ()
+      ~attrs:q ~duration:p.p_arrival ()
   in
   let finishf handle =
     ignore
       (Engine.fence ctx.eng ~deps:[ handle ]
          ~label:(Printf.sprintf "serve:q%d:answer" p.p_index)
+         ~attrs:q
          ~on_complete:(fun () -> completed p.p_index (Engine.now ctx.eng))
          ())
   in
@@ -755,23 +774,23 @@ let build_query ctx (p : prepared) ~completed =
         List.map
           (fun (db_name, site, bytes, hit) ->
             if hit then
-              cpu_task ctx reg st ~site:ctx.gsite ~phase:"O"
+              cpu_task ctx reg st ~site:ctx.gsite ~phase:"O" ~attrs:q
                 ~label:(Printf.sprintf "serve:q%d:cache-extents:%s" p.p_index db_name)
                 ~units:1 ~deps:[ arrive ]
             else
               let read =
-                disk_task ctx reg st ~site ~phase:"O"
+                disk_task ctx reg st ~site ~phase:"O" ~attrs:q
                   ~label:(Printf.sprintf "serve:q%d:read-extents:%s" p.p_index db_name)
                   ~bytes ~deps:[ arrive ]
               in
               bump reg "msdq_bytes_shipped_total" (q_labels st "O") bytes;
               critical_transfer ctx ~src:site ~dst:ctx.gsite ~payload:bytes
                 ~label:(Printf.sprintf "serve:q%d:ship-objects:%s" p.p_index db_name)
-                ~deps:[ read ] ())
+                ~attrs:q ~deps:[ read ] ())
           ca_ships
       in
       let integrate =
-        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I"
+        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I" ~attrs:q
           ~label:(Printf.sprintf "serve:q%d:integrate-eval" p.p_index)
           ~units:ca_units ~deps
       in
@@ -783,11 +802,11 @@ let build_query ctx (p : prepared) ~completed =
           (fun l ->
             let read =
               if l.l_read_hit then
-                cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                cpu_task ctx reg st ~site:l.l_site ~phase:"P" ~attrs:q
                   ~label:(Printf.sprintf "serve:q%d:cache-extents:%s" p.p_index l.l_db)
                   ~units:1 ~deps:[ arrive ]
               else
-                disk_task ctx reg st ~site:l.l_site ~phase:"P"
+                disk_task ctx reg st ~site:l.l_site ~phase:"P" ~attrs:q
                   ~label:(Printf.sprintf "serve:q%d:read-extents:%s" p.p_index l.l_db)
                   ~bytes:l.l_read_bytes ~deps:[ arrive ]
             in
@@ -796,29 +815,29 @@ let build_query ctx (p : prepared) ~completed =
               | Some probe_units ->
                   (* PL: probe + dispatch overlap evaluation. *)
                   let probe =
-                    cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"O" ~attrs:q
                       ~label:(Printf.sprintf "serve:q%d:probe:%s" p.p_index l.l_db)
                       ~units:probe_units ~deps:[ read ]
                   in
                   let dispatch =
-                    cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"O" ~attrs:q
                       ~label:(Printf.sprintf "serve:q%d:dispatch:%s" p.p_index l.l_db)
                       ~units:l.l_dispatch_units ~deps:[ probe ]
                   in
                   Hashtbl.replace dispatch_of l.l_db dispatch;
-                  cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                  cpu_task ctx reg st ~site:l.l_site ~phase:"P" ~attrs:q
                     ~label:(Printf.sprintf "serve:q%d:local-eval:%s" p.p_index l.l_db)
                     ~units:l.l_eval_units ~deps:[ dispatch ]
               | None ->
                   let eval =
-                    cpu_task ctx reg st ~site:l.l_site ~phase:"P"
+                    cpu_task ctx reg st ~site:l.l_site ~phase:"P" ~attrs:q
                       ~label:(Printf.sprintf "serve:q%d:local-eval:%s" p.p_index l.l_db)
                       ~units:l.l_eval_units ~deps:[ read ]
                   in
                   if l.l_dispatch_units > 0 || l.l_built.Checks.requests <> []
                   then begin
                     let dispatch =
-                      cpu_task ctx reg st ~site:l.l_site ~phase:"O"
+                      cpu_task ctx reg st ~site:l.l_site ~phase:"O" ~attrs:q
                         ~label:(Printf.sprintf "serve:q%d:dispatch:%s" p.p_index l.l_db)
                         ~units:l.l_dispatch_units ~deps:[ eval ]
                     in
@@ -832,7 +851,7 @@ let build_query ctx (p : prepared) ~completed =
             critical_transfer ctx ~src:l.l_site ~dst:ctx.gsite
               ~payload:l.l_ship_bytes
               ~label:(Printf.sprintf "serve:q%d:ship-results:%s" p.p_index l.l_db)
-              ~deps:[ last ] ())
+              ~attrs:q ~deps:[ last ] ())
           locals
       in
       let c = cost_of ctx in
@@ -864,7 +883,7 @@ let build_query ctx (p : prepared) ~completed =
                 bump ctx.wl "msdq_checks_abandoned_total" []
                   (List.length g.g_all);
                 ignore
-                  (Engine.fence ctx.eng ~deps:[ dispatch ]
+                  (Engine.fence ctx.eng ~deps:[ dispatch ] ~attrs:q
                      ~label:(Printf.sprintf "serve:q%d:lost:%s->%s" p.p_index g.g_origin g.g_target)
                      ~on_complete:(fun () ->
                        ignore
@@ -872,7 +891,7 @@ let build_query ctx (p : prepared) ~completed =
                             ~label:
                               (Printf.sprintf "serve:q%d:abandon:%s->%s"
                                  p.p_index g.g_origin g.g_target)
-                            ~duration:wait
+                            ~attrs:q ~duration:wait
                             ~on_complete:(fun () ->
                               Engine.resolve ctx.eng promise)
                             ()))
@@ -899,7 +918,7 @@ let build_query ctx (p : prepared) ~completed =
                 in
                 let clean = retries = 0 in
                 ignore
-                  (Engine.fence ctx.eng ~deps:[ dispatch ]
+                  (Engine.fence ctx.eng ~deps:[ dispatch ] ~attrs:q
                      ~label:
                        (Printf.sprintf "serve:q%d:dispatch:%s->%s" p.p_index
                           g.g_origin g.g_target)
@@ -915,6 +934,7 @@ let build_query ctx (p : prepared) ~completed =
                               ~label:
                                 (Printf.sprintf "serve:q%d:retry-wait:%s->%s"
                                    p.p_index g.g_origin g.g_target)
+                              ~attrs:q
                               ~duration:
                                 (Time.add g.g_req_leg.extra_wait
                                    g.g_ver_leg.extra_wait)
@@ -929,7 +949,7 @@ let build_query ctx (p : prepared) ~completed =
           groups
       in
       let certify =
-        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I"
+        cpu_task ctx reg st ~site:ctx.gsite ~phase:"I" ~attrs:q
           ~label:(Printf.sprintf "serve:q%d:certify" p.p_index)
           ~units:p.p_certify_units
           ~deps:(ships @ group_promises)
@@ -966,7 +986,34 @@ let answer_fingerprint answer =
     (Answer.degraded answer);
   Buffer.contents buf
 
-let run ?(tracer = Tracer.disabled) ?registry cfg fed jobs =
+(* Telemetry pass over the engine trace: per-(strategy, site, resource,
+   phase) task-duration histograms, read back from each entry's attrs.
+   Gated behind [options.telemetry] so default registry dumps keep their
+   golden bytes. *)
+let record_task_histograms wl entries =
+  List.iter
+    (fun (e : Trace.entry) ->
+      match (e.Trace.site, e.Trace.kind) with
+      | Some site, Some kind ->
+          let attr k =
+            Option.value ~default:"-" (List.assoc_opt k e.Trace.attrs)
+          in
+          let h =
+            Metrics.histogram wl
+              ~labels:
+                [
+                  ("strategy", attr "strategy");
+                  ("site", string_of_int site);
+                  ("resource", Resource.kind_to_string kind);
+                  ("phase", attr "phase");
+                ]
+              "msdq_task_duration_us"
+          in
+          Metrics.observe h (Time.to_us (Time.sub e.Trace.finish e.Trace.start))
+      | _ -> ())
+    entries
+
+let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
   validate cfg jobs;
   let wl = match registry with Some r -> r | None -> Metrics.create () in
   let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
@@ -983,7 +1030,8 @@ let run ?(tracer = Tracer.disabled) ?registry cfg fed jobs =
         prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i j)
       jobs
   in
-  let eng = Engine.create () in
+  let telemetry = cfg.options.Strategy.telemetry in
+  let eng = Engine.create ~trace:(trace || telemetry) () in
   List.iter
     (fun (site, factor) ->
       Engine.set_speed eng ~site ~kind:Resource.Cpu ~factor;
@@ -1057,6 +1105,19 @@ let run ?(tracer = Tracer.disabled) ?registry cfg fed jobs =
   cache_counters "extent" extent_stats;
   cache_counters "verdict" verdict_stats;
   bump wl "msdq_coalesced_checks_total" [] ctx.coalesced;
+  let entries = Trace.entries (Engine.trace eng) in
+  if telemetry then begin
+    record_task_histograms wl entries;
+    List.iter
+      (fun r ->
+        let h =
+          Metrics.histogram wl
+            ~labels:[ ("strategy", Strategy.to_string r.strategy) ]
+            "msdq_query_latency_us"
+        in
+        Metrics.observe h (Time.to_us r.latency))
+      reports
+  end;
   {
     reports;
     makespan;
@@ -1069,4 +1130,5 @@ let run ?(tracer = Tracer.disabled) ?registry cfg fed jobs =
     messages = ctx.messages;
     coalesced_checks = ctx.coalesced;
     registry = wl;
+    trace = entries;
   }

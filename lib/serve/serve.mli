@@ -119,12 +119,23 @@ type outcome = {
           [msdq_cache_misses_total] / [msdq_cache_evictions_total]
           (labelled [cache=extent|verdict]),
           [msdq_coalesced_checks_total], [msdq_messages_total] and the
-          fault counters *)
+          fault counters. With [options.telemetry] set it additionally
+          holds the [msdq_task_duration_us] and [msdq_query_latency_us]
+          latency histograms. *)
+  trace : Trace.entry list;
+      (** the engine's task trace, for Chrome export and critical-path
+          analysis. Every serve-path task carries a
+          [("trace", "q<index>")] attribute naming the owning query (a
+          coalesced message shared by several queries carries
+          [("trace", "batch")]), so per-query causal trees can be
+          recovered from the shared engine's trace. Empty unless {!run}
+          was called with [~trace:true] or [options.telemetry] is set. *)
 }
 
 val run :
   ?tracer:Msdq_obs.Tracer.t ->
   ?registry:Msdq_obs.Metrics.t ->
+  ?trace:bool ->
   config ->
   Federation.t ->
   job list ->
@@ -132,10 +143,13 @@ val run :
 (** Executes the whole workload on one shared engine. Jobs must be listed
     in non-decreasing arrival order — cache admission follows list order —
     and may mix strategies ([Ca], [Bl], [Pl], [Bls], [Pls], [Lo]; [Cf] has
-    no serve-path integration and is rejected). Raises [Invalid_argument]
-    on invalid configuration (negative capacities, negative or non-finite
-    window, [deep_certify], unsorted arrivals, a [Cf] job) with a readable
-    message, before any simulated work happens. *)
+    no serve-path integration and is rejected). [~trace:true] enables the
+    engine's task trace (also enabled implicitly by [options.telemetry]);
+    it changes only the [trace] field of the outcome, never timing or
+    answers. Raises [Invalid_argument] on invalid configuration (negative
+    capacities, negative or non-finite window, [deep_certify], unsorted
+    arrivals, a [Cf] job) with a readable message, before any simulated
+    work happens. *)
 
 val answer_fingerprint : Answer.t -> string
 (** Canonical bytes of an answer's {e result content}: every row's GOid,

@@ -24,6 +24,7 @@ type task = {
   mutable finish_time : Time.t;
   mutable drop : string option;  (* set by the fault judge at start time *)
   mutable awaiting : task list;  (* unfinished deps, for stuck diagnostics *)
+  mutable dep_tids : int list;  (* causal parents, for the trace *)
   is_promise : bool;
 }
 
@@ -53,6 +54,9 @@ type t = {
   mutable unfinished : int;
   live : (int, task) Hashtbl.t;  (* every unfinished task, by tid *)
   mutable judge : judge option;
+  mutable completing : int option;
+      (* tid of the task whose completion callbacks are running: a promise
+         resolved from inside one inherits it as its causal parent *)
 }
 
 exception Stuck of string list
@@ -69,6 +73,7 @@ let create ?(trace = false) () =
     unfinished = 0;
     live = Hashtbl.create 64;
     judge = None;
+    completing = None;
   }
 
 let now t = t.clock
@@ -164,6 +169,7 @@ let submit t ?(deps = []) ?on_complete ?on_outcome ?(attrs = []) ~where ~label
       finish_time = Time.zero;
       drop = None;
       awaiting = [];
+      dep_tids = List.map (fun d -> d.tid) deps;
       is_promise = false;
     }
   in
@@ -218,6 +224,7 @@ let promise t ~label =
       finish_time = Time.zero;
       drop = None;
       awaiting = [];
+      dep_tids = [];
       is_promise = true;
     }
   in
@@ -231,7 +238,13 @@ let resolve t task =
     invalid_arg
       (Printf.sprintf "Engine.resolve: task %S is not a promise" task.label);
   match task.state with
-  | Blocked 1 -> activate t task
+  | Blocked 1 ->
+    (* A promise resolved from inside a completion callback is causally
+       downstream of the completing task; record the edge for the trace. *)
+    (match t.completing with
+    | Some tid -> task.dep_tids <- tid :: task.dep_tids
+    | None -> ());
+    activate t task
   | Blocked _ | Queued | Running | Finished ->
     invalid_arg
       (Printf.sprintf "Engine.resolve: promise %S already resolved" task.label)
@@ -254,6 +267,7 @@ let outcome_of _t task =
 let complete t task =
   task.state <- Finished;
   t.unfinished <- t.unfinished - 1;
+  t.completing <- Some task.tid;
   Hashtbl.remove t.live task.tid;
   let trace_attrs =
     match task.drop with
@@ -272,6 +286,7 @@ let complete t task =
           kind = Some kind;
           start = task.start_time;
           finish = task.finish_time;
+          deps = task.dep_tids;
           attrs = trace_attrs;
         });
     (* Hand the resource to the next queued task. *)
@@ -292,6 +307,7 @@ let complete t task =
           kind = None;
           start = task.start_time;
           finish = task.finish_time;
+          deps = task.dep_tids;
           attrs = trace_attrs;
         }));
   (* Unblock dependents in submission order (they were consed in reverse).
@@ -308,13 +324,14 @@ let complete t task =
   in
   List.iter unblock dependents;
   List.iter (fun f -> f ()) (List.rev task.callbacks);
-  match task.outcome_callbacks with
+  (match task.outcome_callbacks with
   | [] -> ()
   | cbs ->
     let outcome =
       match task.drop with None -> Delivered | Some reason -> Dropped reason
     in
-    List.iter (fun f -> f outcome) (List.rev cbs)
+    List.iter (fun f -> f outcome) (List.rev cbs));
+  t.completing <- None
 
 let rec drain t =
   match Heap.pop t.events with

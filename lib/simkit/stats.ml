@@ -61,6 +61,53 @@ let by_label t =
   Hashtbl.fold (fun label c acc -> (label, c.busy, c.count) :: acc) t.by_label []
   |> List.sort (fun (_, a, _) (_, b, _) -> Time.compare b a)
 
+(* ---- Sample summaries ----
+
+   Guarded against the empty case throughout: a summary of zero
+   observations is all-zero, never an exception and never a NaN that
+   would poison a JSON report. *)
+
+type summary = {
+  n : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let empty_summary =
+  { n = 0; mean_us = 0.0; p50_us = 0.0; p90_us = 0.0; p99_us = 0.0; max_us = 0.0 }
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Nearest-rank percentile on a sorted copy; [q] is clamped to [0, 1]. *)
+let percentile xs q =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    a.(Int.max 0 (Int.min (n - 1) rank))
+
+let summarize xs =
+  match xs with
+  | [] -> empty_summary
+  | xs ->
+    {
+      n = List.length xs;
+      mean_us = mean xs;
+      p50_us = percentile xs 0.50;
+      p90_us = percentile xs 0.90;
+      p99_us = percentile xs 0.99;
+      max_us = List.fold_left Float.max neg_infinity xs;
+    }
+
 let pp_summary ppf t =
   Format.fprintf ppf "@[<v>total execution time: %a@,response time: %a@,tasks: %d@]"
     Time.pp t.total_busy Time.pp t.makespan t.task_count

@@ -5,6 +5,7 @@ type entry = {
   kind : Resource.kind option;
   start : Time.t;
   finish : Time.t;
+  deps : int list;
   attrs : (string * string) list;
 }
 

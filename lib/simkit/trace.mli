@@ -7,6 +7,11 @@ type entry = {
   kind : Resource.kind option;
   start : Time.t;
   finish : Time.t;
+  deps : int list;
+      (** tids of the tasks this one waited for (its span parents): the
+          causal edges that turn the flat entry list into one tree per
+          query, exported as Chrome flow events and consumed by
+          [Telemetry.Critical_path] *)
   attrs : (string * string) list;
       (** free-form attribution (strategy, phase, database) carried through
           to exporters; empty unless the submitter tagged the task *)

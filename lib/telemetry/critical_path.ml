@@ -1,0 +1,225 @@
+open Msdq_simkit
+
+type hop = {
+  tid : int;
+  label : string;
+  site : int option;
+  kind : Resource.kind option;
+  phase : string option;
+  start_us : float;
+  dur_us : float;
+  wait_us : float;
+}
+
+type report = {
+  response_us : float;
+  path : hop list;
+  dominant_site : int option;
+  dominant_kind : Resource.kind option;
+  dominant_phase : string option;
+}
+
+let empty =
+  {
+    response_us = 0.0;
+    path = [];
+    dominant_site = None;
+    dominant_kind = None;
+    dominant_phase = None;
+  }
+
+let us = Time.to_us
+
+(* The predecessor that actually gated [e]'s start: among its causal
+   dependencies and the task that held its FIFO resource right before it,
+   the one finishing last. The engine is work-conserving, so
+   [e.start = max (latest dep finish) (resource free instant)] — walking
+   to the argmax therefore reconstructs the true critical chain. *)
+let gating_pred ~by_tid ~resource_pred (e : Trace.entry) =
+  let dep_entries = List.filter_map (fun d -> Hashtbl.find_opt by_tid d) e.deps in
+  let candidates =
+    match resource_pred e with Some p -> p :: dep_entries | None -> dep_entries
+  in
+  List.fold_left
+    (fun best (c : Trace.entry) ->
+      match best with
+      | None -> Some c
+      | Some (b : Trace.entry) ->
+        if
+          Time.compare c.finish b.finish > 0
+          || (Time.compare c.finish b.finish = 0 && c.tid > b.tid)
+        then Some c
+        else best)
+    None candidates
+
+let analyze entries =
+  match entries with
+  | [] -> empty
+  | entries ->
+    let by_tid = Hashtbl.create 64 in
+    List.iter (fun (e : Trace.entry) -> Hashtbl.add by_tid e.Trace.tid e) entries;
+    (* Per-resource occupancy, in start order: FIFO resources run their
+       tasks back to back, so the previous occupant is a gating candidate
+       even without an explicit dependency edge. *)
+    let by_rsrc = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Trace.entry) ->
+        match (e.site, e.kind) with
+        | Some s, Some k ->
+          let prev = try Hashtbl.find by_rsrc (s, k) with Not_found -> [] in
+          Hashtbl.replace by_rsrc (s, k) (e :: prev)
+        | _ -> ())
+      entries;
+    Hashtbl.iter
+      (fun key es ->
+        Hashtbl.replace by_rsrc key
+          (List.sort
+             (fun (a : Trace.entry) (b : Trace.entry) ->
+               match Time.compare a.start b.start with
+               | 0 -> compare a.tid b.tid
+               | c -> c)
+             es))
+      by_rsrc;
+    let resource_pred (e : Trace.entry) =
+      match (e.site, e.kind) with
+      | Some s, Some k ->
+        let es = try Hashtbl.find by_rsrc (s, k) with Not_found -> [] in
+        let rec last_before best = function
+          | [] -> best
+          | (c : Trace.entry) :: rest ->
+            if c.tid = e.tid || Time.compare c.start e.start > 0 then best
+            else if Time.compare c.finish e.start <= 0 then
+              last_before (Some c) rest
+            else last_before best rest
+        in
+        last_before None es
+      | _ -> None
+    in
+    let final =
+      List.fold_left
+        (fun (best : Trace.entry) (e : Trace.entry) ->
+          if
+            Time.compare e.finish best.finish > 0
+            || (Time.compare e.finish best.finish = 0 && e.tid > best.tid)
+          then e
+          else best)
+        (List.hd entries) (List.tl entries)
+    in
+    (* Walk back along gating predecessors; [seen] guards against cycles,
+       which cannot arise from a well-formed engine trace but must not
+       hang the analyzer on a hand-built one. *)
+    let seen = Hashtbl.create 64 in
+    let rec walk acc (e : Trace.entry) =
+      if Hashtbl.mem seen e.tid then acc
+      else begin
+        Hashtbl.add seen e.tid ();
+        match gating_pred ~by_tid ~resource_pred e with
+        | Some p -> walk (e :: acc) p
+        | None -> e :: acc
+      end
+    in
+    let chain = walk [] final in
+    let hop prev_finish (e : Trace.entry) =
+      {
+        tid = e.tid;
+        label = e.label;
+        site = e.site;
+        kind = e.kind;
+        phase = List.assoc_opt "phase" e.attrs;
+        start_us = us e.start;
+        dur_us = us e.finish -. us e.start;
+        wait_us = Float.max 0.0 (us e.start -. prev_finish);
+      }
+    in
+    let _, path =
+      List.fold_left
+        (fun (prev_finish, acc) (e : Trace.entry) ->
+          (us e.finish, hop prev_finish e :: acc))
+        (0.0, []) chain
+    in
+    let path = List.rev path in
+    let argmax tbl =
+      Hashtbl.fold
+        (fun k v best ->
+          match best with
+          | Some (_, bv) when bv >= v -> best
+          | _ -> Some (k, v))
+        tbl None
+    in
+    let weigh pick =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun h ->
+          match pick h with
+          | None -> ()
+          | Some k ->
+            let cur = try Hashtbl.find tbl k with Not_found -> 0.0 in
+            Hashtbl.replace tbl k (cur +. h.dur_us))
+        path;
+      Option.map fst (argmax tbl)
+    in
+    {
+      response_us = us final.finish;
+      path;
+      dominant_site = weigh (fun h -> h.site);
+      dominant_kind = weigh (fun h -> h.kind);
+      dominant_phase = weigh (fun h -> h.phase);
+    }
+
+let total_us r = List.fold_left (fun acc h -> acc +. h.dur_us +. h.wait_us) 0.0 r.path
+
+let to_json r =
+  let module Json = Msdq_obs.Json in
+  let opt f = function None -> Json.Null | Some v -> f v in
+  Json.Obj
+    [
+      ("response_us", Json.Float r.response_us);
+      ("dominant_site", opt (fun s -> Json.Int s) r.dominant_site);
+      ( "dominant_resource",
+        opt (fun k -> Json.Str (Resource.kind_to_string k)) r.dominant_kind );
+      ("dominant_phase", opt (fun p -> Json.Str p) r.dominant_phase);
+      ( "path",
+        Json.Arr
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [
+                   ("tid", Json.Int h.tid);
+                   ("label", Json.Str h.label);
+                   ("site", opt (fun s -> Json.Int s) h.site);
+                   ( "resource",
+                     opt (fun k -> Json.Str (Resource.kind_to_string k)) h.kind );
+                   ("phase", opt (fun p -> Json.Str p) h.phase);
+                   ("start_us", Json.Float h.start_us);
+                   ("dur_us", Json.Float h.dur_us);
+                   ("wait_us", Json.Float h.wait_us);
+                 ])
+             r.path) );
+    ]
+
+let pp_where ppf h =
+  match (h.site, h.kind) with
+  | Some s, Some k -> Format.fprintf ppf "site%d/%a" s Resource.pp_kind k
+  | _ -> Format.pp_print_string ppf "sync"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>critical path (%.0f us response):@," r.response_us;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "  %8.0f us" h.dur_us;
+      if h.wait_us > 0.0 then Format.fprintf ppf " (+%.0f wait)" h.wait_us;
+      Format.fprintf ppf "  %a  %s" pp_where h h.label;
+      (match h.phase with
+      | Some p -> Format.fprintf ppf "  [%s]" p
+      | None -> ());
+      Format.pp_print_cut ppf ())
+    r.path;
+  (match r.dominant_site with
+  | Some s -> Format.fprintf ppf "dominant site: %d@," s
+  | None -> ());
+  (match r.dominant_kind with
+  | Some k -> Format.fprintf ppf "dominant resource: %a@," Resource.pp_kind k
+  | None -> ());
+  match r.dominant_phase with
+  | Some p -> Format.fprintf ppf "dominant phase: %s@]" p
+  | None -> Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Critical-path analysis over an engine trace.
+
+    The engine records, for every task, both its causal dependency edges
+    ([Trace.entry.deps]) and its resource placement. Because every FIFO
+    resource is work-conserving, a task's start instant is exactly
+    [max (latest dependency finish) (instant its resource freed)] — so
+    walking back along the later of the two from the last-finishing task
+    reconstructs the chain of spans that actually determined the response
+    time. The per-hop [wait_us] is queueing/idle time in front of the hop;
+    the sum of [dur_us + wait_us] over the path equals the response time
+    (pinned by a unit test). *)
+
+open Msdq_simkit
+
+type hop = {
+  tid : int;
+  label : string;
+  site : int option;  (** [None] for fences/delays *)
+  kind : Resource.kind option;
+  phase : string option;  (** the task's ["phase"] attr, when tagged *)
+  start_us : float;
+  dur_us : float;
+  wait_us : float;
+      (** gap between the previous hop's finish and this hop's start:
+          queueing behind the resource, retransmission backoff, or
+          admission delay *)
+}
+
+type report = {
+  response_us : float;
+  path : hop list;  (** oldest first; ends at the last-finishing task *)
+  dominant_site : int option;
+      (** the site whose on-path busy time is largest *)
+  dominant_kind : Resource.kind option;
+  dominant_phase : string option;
+}
+
+val empty : report
+
+val analyze : Trace.entry list -> report
+(** Total: an empty trace yields {!empty}. *)
+
+val total_us : report -> float
+(** Sum of [dur_us + wait_us] over the path — equals [response_us] for a
+    trace that starts at simulated time zero. *)
+
+val to_json : report -> Msdq_obs.Json.t
+
+val pp : Format.formatter -> report -> unit

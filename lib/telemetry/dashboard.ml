@@ -1,0 +1,94 @@
+open Msdq_simkit
+
+type frame = {
+  now_us : float;
+  admitted : int;
+  completed : int;
+  total : int;
+  extent_hits : int;
+  extent_lookups : int;
+  verdict_hits : int;
+  verdict_lookups : int;
+  breakers_open : int;
+  messages : int;
+  latency : Stats.summary;
+  per_strategy : (string * int * int) list;
+}
+
+let clear = "\027[H\027[2J"
+
+let rate hits lookups =
+  if lookups <= 0 then 0.0 else float_of_int hits /. float_of_int lookups
+
+(* ASCII fill: row padding counts bytes, so the bar must stay single-byte
+   per column to keep the box aligned. *)
+let bar ~width frac =
+  let frac = Float.min 1.0 (Float.max 0.0 frac) in
+  let full = int_of_float (frac *. float_of_int width) in
+  String.make full '#' ^ String.make (width - full) ' '
+
+(* Display columns are UTF-8 code points here: the only multi-byte glyphs
+   emitted (the box rules and the '·' separators) are all single-column, so
+   counting code points instead of bytes keeps the right border aligned. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+(* First [width] code points of [s] — the guard that keeps the right border
+   closed even when a row's content is wider than the box. *)
+let take_display s width =
+  let buf = Buffer.create (String.length s) in
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      if Char.code c land 0xC0 <> 0x80 then incr n;
+      if !n <= width then Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Latencies arrive in microseconds but serve workloads live in the
+   millisecond range: switch units so quantile rows stay narrow. *)
+let pp_lat v =
+  if v >= 1000.0 then Printf.sprintf "%.1fms" (v /. 1000.0)
+  else Printf.sprintf "%.0fus" v
+
+let render ?(width = 62) f =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let rule = String.concat "" (List.init width (fun _ -> "─")) in
+  line "┌%s┐" rule;
+  let pad s =
+    let n = width - display_width s in
+    if n > 0 then s ^ String.make n ' '
+    else if n < 0 then take_display s width
+    else s
+  in
+  let row fmt = Printf.ksprintf (fun s -> line "│%s│" (pad s)) fmt in
+  row " msdq serve · t=%.0f us" f.now_us;
+  line "├%s┤" rule;
+  let frac =
+    if f.total <= 0 then 1.0 else float_of_int f.completed /. float_of_int f.total
+  in
+  row " queries   %d admitted · %d/%d completed" f.admitted f.completed f.total;
+  row " [%s] %3.0f%%" (bar ~width:(width - 10) frac) (100.0 *. frac);
+  row " caches    extent %4.0f%% (%d/%d) · verdict %4.0f%% (%d/%d)"
+    (100.0 *. rate f.extent_hits f.extent_lookups)
+    f.extent_hits f.extent_lookups
+    (100.0 *. rate f.verdict_hits f.verdict_lookups)
+    f.verdict_hits f.verdict_lookups;
+  row " breakers  %d open · %d messages" f.breakers_open f.messages;
+  row " latency   p50 %s · p90 %s · p99 %s · max %s"
+    (pp_lat f.latency.Stats.p50_us)
+    (pp_lat f.latency.Stats.p90_us)
+    (pp_lat f.latency.Stats.p99_us)
+    (pp_lat f.latency.Stats.max_us);
+  if f.per_strategy <> [] then begin
+    line "├%s┤" rule;
+    List.iter
+      (fun (name, admitted, completed) ->
+        row " %-4s      %d admitted · %d completed" name admitted completed)
+      f.per_strategy
+  end;
+  line "└%s┘" rule;
+  Buffer.contents buf

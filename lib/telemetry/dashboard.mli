@@ -1,0 +1,32 @@
+(** Pure TTY dashboard renderer for the serve path.
+
+    A {!frame} is one snapshot of the workload engine's state (admitted and
+    completed queries, cache hit rates, breaker states, latency quantiles);
+    {!render} turns it into a boxed ASCII view. The driver in [bin/msdq]
+    replays the run's completion events frame by frame on a TTY (prefixing
+    {!clear}), or prints the final frame once when stdout is not a TTY
+    (CI). Rendering is pure, so frames are unit-testable. *)
+
+open Msdq_simkit
+
+type frame = {
+  now_us : float;  (** simulated instant the frame depicts *)
+  admitted : int;
+  completed : int;
+  total : int;
+  extent_hits : int;
+  extent_lookups : int;
+  verdict_hits : int;
+  verdict_lookups : int;
+  breakers_open : int;
+  messages : int;
+  latency : Stats.summary;  (** over the queries completed so far *)
+  per_strategy : (string * int * int) list;
+      (** [(strategy, admitted, completed)] rows *)
+}
+
+val clear : string
+(** ANSI home + clear-screen prefix for live redraws. *)
+
+val render : ?width:int -> frame -> string
+(** Deterministic multi-line view of one frame. *)

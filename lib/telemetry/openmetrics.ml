@@ -1,0 +1,161 @@
+module Json = Msdq_obs.Json
+module Metrics = Msdq_obs.Metrics
+
+(* Prometheus/OpenMetrics text exposition: label values escape backslash,
+   double quote and newline. *)
+let escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_str ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) kvs)
+    ^ "}"
+
+let num x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%g" x
+
+let render_store buf store =
+  let family name help line_of =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+    List.iter
+      (fun (k, (v : Store.sample)) ->
+        let labels =
+          labels_str
+            [
+              ("db", k.Store.db);
+              ("site", string_of_int k.Store.site);
+              ("link", string_of_int k.Store.link);
+              ("strategy", k.Store.strategy);
+            ]
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name labels (num (line_of v))))
+      (Store.entries store)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP msdq_store_runs runs aggregated by the store\n");
+  Buffer.add_string buf "# TYPE msdq_store_runs gauge\n";
+  Buffer.add_string buf
+    (Printf.sprintf "msdq_store_runs %d\n" (Store.runs store));
+  family "msdq_store_check_latency_us" "EWMA observed check latency"
+    (fun s -> s.Store.check_latency_us);
+  family "msdq_store_drop_rate" "EWMA observed drop rate" (fun s ->
+      s.Store.drop_rate);
+  family "msdq_store_cache_hit_rate" "EWMA observed cache hit rate" (fun s ->
+      s.Store.cache_hit_rate);
+  family "msdq_store_demotions" "EWMA rows demoted per query" (fun s ->
+      s.Store.demotions)
+
+(* The registry serializes deterministically ({!Metrics.to_json}: sorted by
+   name then labels, one section per metric type); rendering from that tree
+   keeps this exporter decoupled from the registry internals. *)
+let render ?store reg =
+  let j = Metrics.to_json reg in
+  let buf = Buffer.create 1024 in
+  let section sec emit =
+    match Option.bind (Json.member sec j) Json.to_list with
+    | None -> ()
+    | Some items ->
+      let last_family = ref "" in
+      List.iter
+        (fun item ->
+          let name =
+            match Option.bind (Json.member "name" item) Json.to_str with
+            | Some n -> n
+            | None -> ""
+          in
+          let labels =
+            match Json.member "labels" item with
+            | Some (Json.Obj kvs) ->
+              List.filter_map
+                (fun (k, v) -> Option.map (fun v -> (k, v)) (Json.to_str v))
+                kvs
+            | _ -> []
+          in
+          if name <> !last_family then begin
+            last_family := name;
+            Buffer.add_string buf
+              (Printf.sprintf "# TYPE %s %s\n" name
+                 (match sec with
+                 | "counters" -> "counter"
+                 | "gauges" -> "gauge"
+                 | _ -> "histogram"))
+          end;
+          emit item name labels)
+        items
+  in
+  section "counters" (fun item name labels ->
+      let v =
+        match Option.bind (Json.member "value" item) Json.to_int with
+        | Some v -> v
+        | None -> 0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" name (labels_str labels) v));
+  section "gauges" (fun item name labels ->
+      let v =
+        match Option.bind (Json.member "value" item) Json.to_float with
+        | Some v -> v
+        | None -> 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (labels_str labels) (num v)));
+  section "histograms" (fun item name labels ->
+      (match Option.bind (Json.member "buckets" item) Json.to_list with
+      | None -> ()
+      | Some buckets ->
+        List.iter
+          (fun b ->
+            let le =
+              match Json.member "le" b with
+              | Some (Json.Str s) -> s
+              | Some (Json.Float f) -> num f
+              | Some (Json.Int i) -> string_of_int i
+              | _ -> "+Inf"
+            in
+            let c =
+              match Option.bind (Json.member "count" b) Json.to_int with
+              | Some c -> c
+              | None -> 0
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (labels_str ~extra:("le", le) labels)
+                 c))
+          buckets);
+      let float_field f =
+        match Option.bind (Json.member f item) Json.to_float with
+        | Some v -> v
+        | None -> 0.0
+      in
+      let int_field f =
+        match Option.bind (Json.member f item) Json.to_int with
+        | Some v -> v
+        | None -> 0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" name (labels_str labels)
+           (num (float_field "sum")));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (labels_str labels)
+           (int_field "count")));
+  (match store with None -> () | Some s -> render_store buf s);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** OpenMetrics-style text exposition of a metrics registry.
+
+    [render reg] walks the registry's deterministic JSON dump and emits the
+    Prometheus text format: one [# TYPE] line per family, then one sample
+    line per series, histogram series expanded into cumulative [_bucket]
+    lines plus [_sum]/[_count], terminated by [# EOF]. Output order is the
+    registry's stable (name, labels) order, so the text is byte-stable for
+    a deterministic run.
+
+    With [?store], the persistent statistics store's aggregates are
+    appended as [msdq_store_*] gauge families labelled
+    [{db, site, link, strategy}]. *)
+
+val render : ?store:Store.t -> Msdq_obs.Metrics.t -> string
+
+val escape : string -> string
+(** Label-value escaping (backslash, double quote, newline) — exposed for
+    tests. *)

@@ -1,0 +1,195 @@
+module Json = Msdq_obs.Json
+
+let schema = "msdq-telemetry/1"
+let default_alpha = 0.7
+
+type key = { db : string; site : int; link : int; strategy : string }
+
+type sample = {
+  weight : float;
+  check_latency_us : float;
+  drop_rate : float;
+  cache_hit_rate : float;
+  demotions : float;
+}
+
+type t = {
+  alpha : float;
+  mutable runs : int;
+  tbl : (key, sample) Hashtbl.t;
+}
+
+let create ?(alpha = default_alpha) () =
+  if not (Float.is_finite alpha) || alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Telemetry.Store: alpha must be inside [0, 1]";
+  { alpha; runs = 0; tbl = Hashtbl.create 16 }
+
+let alpha t = t.alpha
+let runs t = t.runs
+let record_run t = t.runs <- t.runs + 1
+let size t = Hashtbl.length t.tbl
+let find t key = Hashtbl.find_opt t.tbl key
+
+(* Weighted mean of two samples, [wa] discounted by [retain]. *)
+let blend ~retain a b =
+  let wa = retain *. a.weight and wb = b.weight in
+  let w = wa +. wb in
+  if w <= 0.0 then { b with weight = 0.0 }
+  else
+    let mix fa fb = ((wa *. fa) +. (wb *. fb)) /. w in
+    {
+      weight = w;
+      check_latency_us = mix a.check_latency_us b.check_latency_us;
+      drop_rate = mix a.drop_rate b.drop_rate;
+      cache_hit_rate = mix a.cache_hit_rate b.cache_hit_rate;
+      demotions = mix a.demotions b.demotions;
+    }
+
+let observe t key sample =
+  if sample.weight < 0.0 || not (Float.is_finite sample.weight) then
+    invalid_arg "Telemetry.Store.observe: weight must be non-negative and finite";
+  match Hashtbl.find_opt t.tbl key with
+  | None -> Hashtbl.replace t.tbl key sample
+  (* Within one run, observations accumulate as a plain weighted mean:
+     the EWMA discount only applies across runs, in {!merge}. *)
+  | Some old -> Hashtbl.replace t.tbl key (blend ~retain:1.0 old sample)
+
+let compare_keys a b =
+  match String.compare a.db b.db with
+  | 0 -> (
+    match compare a.site b.site with
+    | 0 -> (
+      match compare a.link b.link with
+      | 0 -> String.compare a.strategy b.strategy
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_keys a b)
+
+let fold f t init = List.fold_left (fun acc (k, v) -> f k v acc) init (entries t)
+
+(* Cross-run merge. [alpha] is the retention of the older store's sample
+   weight: entries present on both sides combine as a weighted mean with
+   the old side's weight scaled by [alpha], entries present on one side
+   only are kept verbatim. At [alpha = 1] the merge degenerates to the
+   plain sample-weighted mean, which is commutative and associative —
+   the order-insensitivity the qcheck property pins; at [alpha < 1] the
+   past decays by [alpha] each time fresher data arrives for its key. *)
+let merge ?alpha:a old fresh =
+  let alpha = match a with Some a -> a | None -> old.alpha in
+  if not (Float.is_finite alpha) || alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Telemetry.Store.merge: alpha must be inside [0, 1]";
+  let out = { alpha = old.alpha; runs = old.runs + fresh.runs; tbl = Hashtbl.create 16 } in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out.tbl k v) old.tbl;
+  Hashtbl.iter
+    (fun k fresh_v ->
+      match Hashtbl.find_opt out.tbl k with
+      | None -> Hashtbl.replace out.tbl k fresh_v
+      | Some old_v -> Hashtbl.replace out.tbl k (blend ~retain:alpha old_v fresh_v))
+    fresh.tbl;
+  out
+
+(* ---- JSON ---- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("alpha", Json.Float t.alpha);
+      ("runs", Json.Int t.runs);
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun (k, v) ->
+               Json.Obj
+                 [
+                   ("db", Json.Str k.db);
+                   ("site", Json.Int k.site);
+                   ("link", Json.Int k.link);
+                   ("strategy", Json.Str k.strategy);
+                   ("weight", Json.Float v.weight);
+                   ("check_latency_us", Json.Float v.check_latency_us);
+                   ("drop_rate", Json.Float v.drop_rate);
+                   ("cache_hit_rate", Json.Float v.cache_hit_rate);
+                   ("demotions", Json.Float v.demotions);
+                 ])
+             (entries t)) );
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let req_of what conv name j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "telemetry store: %s needs %S" what name)
+
+let of_json j =
+  let* s = req_of "document" Json.to_str "schema" j in
+  if s <> schema then
+    Error (Printf.sprintf "telemetry store: unsupported schema %S (want %S)" s schema)
+  else
+    let* alpha = req_of "document" Json.to_float "alpha" j in
+    let* runs = req_of "document" Json.to_int "runs" j in
+    let* entries =
+      match Option.bind (Json.member "entries" j) Json.to_list with
+      | Some l -> Ok l
+      | None -> Error "telemetry store: document needs \"entries\""
+    in
+    let t = create ~alpha () in
+    t.runs <- runs;
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          let* db = req_of "entry" Json.to_str "db" e in
+          let* site = req_of "entry" Json.to_int "site" e in
+          let* link = req_of "entry" Json.to_int "link" e in
+          let* strategy = req_of "entry" Json.to_str "strategy" e in
+          let* weight = req_of "entry" Json.to_float "weight" e in
+          let* check_latency_us = req_of "entry" Json.to_float "check_latency_us" e in
+          let* drop_rate = req_of "entry" Json.to_float "drop_rate" e in
+          let* cache_hit_rate = req_of "entry" Json.to_float "cache_hit_rate" e in
+          let* demotions = req_of "entry" Json.to_float "demotions" e in
+          Hashtbl.replace t.tbl { db; site; link; strategy }
+            { weight; check_latency_us; drop_rate; cache_hit_rate; demotions };
+          Ok ())
+        (Ok ()) entries
+    in
+    Ok t
+
+let to_string t = Json.to_string ~indent:2 (to_json t) ^ "\n"
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | s -> of_string s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>telemetry store: %d run(s), %d entr(ies), alpha %.2f@,"
+    t.runs (size t) t.alpha;
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf ppf
+        "  %-10s site%d link%d %-4s  lat %8.0f us  drop %5.3f  hit %5.3f  demoted %.2f  (w %.1f)@,"
+        k.db k.site k.link k.strategy v.check_latency_us v.drop_rate
+        v.cache_hit_rate v.demotions v.weight)
+    (entries t);
+  Format.fprintf ppf "@]"

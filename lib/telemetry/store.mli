@@ -1,0 +1,79 @@
+(** Persistent cross-run statistics: the observed inputs the adaptive AUTO
+    strategy selector will consume (ROADMAP item 2).
+
+    One store holds EWMA-style aggregates keyed by
+    [(db, site, link, strategy)]: observed check latency, drop rate, cache
+    hit rate, and demotion counts. Within a run, {!observe} accumulates a
+    plain sample-weighted mean per key; across runs, {!merge} folds a fresh
+    run's store into a loaded one, discounting the past by [alpha]
+    (retention factor). At [alpha = 1] the merge is the plain weighted
+    mean — commutative and associative, so merging runs in any order gives
+    the same store (qcheck-pinned); at [alpha < 1] older runs decay every
+    time fresher data arrives for their key.
+
+    The on-disk format is versioned JSON ([msdq-telemetry/1]) written
+    deterministically (entries sorted by key), so
+    [save → load → merge identity] is byte-stable. *)
+
+type key = { db : string; site : int; link : int; strategy : string }
+
+type sample = {
+  weight : float;  (** how many query observations this aggregates *)
+  check_latency_us : float;  (** mean observed check/query latency *)
+  drop_rate : float;  (** dropped transfers / messages sent, in [0, 1] *)
+  cache_hit_rate : float;  (** cache hits / lookups, in [0, 1] *)
+  demotions : float;  (** mean rows demoted to uncertified maybe *)
+}
+
+type t
+
+val schema : string
+(** ["msdq-telemetry/1"]. *)
+
+val default_alpha : float
+(** [0.7]: each merge keeps 70% of the accumulated past weight. *)
+
+val create : ?alpha:float -> unit -> t
+(** Raises [Invalid_argument] when [alpha] is outside [0, 1]. *)
+
+val alpha : t -> float
+
+val runs : t -> int
+(** How many runs this store aggregates. *)
+
+val record_run : t -> unit
+(** Count one run into {!runs} (call once per recorded run). *)
+
+val size : t -> int
+
+val observe : t -> key -> sample -> unit
+(** Accumulate one observation (weighted mean within the run). Raises
+    [Invalid_argument] on a negative or non-finite weight. *)
+
+val find : t -> key -> sample option
+
+val entries : t -> (key * sample) list
+(** Sorted by key — the deterministic order {!to_json} uses. *)
+
+val fold : (key -> sample -> 'a -> 'a) -> t -> 'a -> 'a
+
+val merge : ?alpha:float -> t -> t -> t
+(** [merge old fresh] — see the module description. [alpha] defaults to
+    [old]'s stored alpha. Run counts add; entries present on only one side
+    are kept verbatim. *)
+
+(** {2 Persistence} *)
+
+val to_json : t -> Msdq_obs.Json.t
+val of_json : Msdq_obs.Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Pretty-printed JSON document, trailing newline included — the exact
+    bytes {!save} writes. *)
+
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -53,5 +53,6 @@ let () =
       ("exp.figures", Test_figures.suite);
       ("exp.planner", Test_planner.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("exp.run_report", Test_run_report.suite);
     ]

@@ -258,6 +258,7 @@ let test_trace_addf_lazy () =
       kind = None;
       start = Time.zero;
       finish = Time.zero;
+      deps = [];
       attrs = [];
     }
   in

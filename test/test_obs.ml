@@ -255,6 +255,92 @@ let test_chrome_export () =
     Alcotest.(check (option string)) "time unit" (Some "ms")
       Option.(Json.member "displayTimeUnit" j |> map Json.to_str |> join)
 
+let test_chrome_empty () =
+  (* an empty span tree still yields a well-formed document *)
+  let j = Tracer.chrome [] in
+  (match Option.(Json.member "traceEvents" j |> map Json.to_list |> join) with
+  | Some [] -> ()
+  | Some evs -> Alcotest.failf "expected no events, got %d" (List.length evs)
+  | None -> Alcotest.fail "no traceEvents member");
+  match Json.of_string (Json.to_string j) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "empty trace does not parse back: %s" msg
+
+let test_chrome_label_escaping () =
+  let span name args =
+    { Tracer.name; cat = "c"; pid = 1; tid = 0; ts_us = 0.0; dur_us = 1.0; args }
+  in
+  let j =
+    Tracer.chrome
+      ~process_names:[ (1, "site \"one\"\n") ]
+      [ span "a\"b\\c\nd" [ ("k", "v\"w\n") ] ]
+  in
+  (* hostile names must survive serialize -> parse unchanged *)
+  match Json.of_string (Json.to_string j) with
+  | Error msg -> Alcotest.failf "escaped trace does not parse back: %s" msg
+  | Ok j' ->
+    let names =
+      Option.(Json.member "traceEvents" j' |> map Json.to_list |> join)
+      |> Option.value ~default:[]
+      |> List.filter_map (fun e ->
+             Option.(Json.member "name" e |> map Json.to_str |> join))
+    in
+    Alcotest.(check bool) "span name round-trips" true
+      (List.mem "a\"b\\c\nd" names)
+
+let test_chrome_flow_pairing () =
+  let evs =
+    Tracer.flow_pair ~id:7 ~src:(1, 0, 10.0) ~dst:(2, 1, 25.0) ()
+  in
+  let str m e = Option.(Json.member m e |> map Json.to_str |> join) in
+  let int m e = Option.(Json.member m e |> map Json.to_int |> join) in
+  match evs with
+  | [ s; f ] ->
+    Alcotest.(check (option string)) "start phase" (Some "s") (str "ph" s);
+    Alcotest.(check (option string)) "finish phase" (Some "f") (str "ph" f);
+    Alcotest.(check (option int)) "shared id (start)" (Some 7) (int "id" s);
+    Alcotest.(check (option int)) "shared id (finish)" (Some 7) (int "id" f);
+    Alcotest.(check (option int)) "source pid" (Some 1) (int "pid" s);
+    Alcotest.(check (option int)) "destination pid" (Some 2) (int "pid" f);
+    Alcotest.(check (option int)) "destination tid" (Some 1) (int "tid" f);
+    (* the finish event binds to the enclosing slice so viewers draw the
+       arrow into the destination span, not to its start point *)
+    Alcotest.(check (option string)) "binding point" (Some "e") (str "bp" f)
+  | evs -> Alcotest.failf "expected an s/f pair, got %d events" (List.length evs)
+
+let test_chrome_duplicate_names_across_sites () =
+  (* the same label on two sites must stay two distinct events in their own
+     pid lanes — chrome export must not key anything by name *)
+  let span pid =
+    {
+      Tracer.name = "read extent";
+      cat = "disk";
+      pid;
+      tid = 0;
+      ts_us = 0.0;
+      dur_us = 5.0;
+      args = [];
+    }
+  in
+  let j = Tracer.chrome [ span 1; span 2 ] in
+  let evs =
+    Option.(Json.member "traceEvents" j |> map Json.to_list |> join)
+    |> Option.value ~default:[]
+  in
+  let xs =
+    List.filter
+      (fun e -> Option.(Json.member "ph" e |> map Json.to_str |> join) = Some "X")
+      evs
+  in
+  Alcotest.(check int) "both events survive" 2 (List.length xs);
+  let pids =
+    List.sort compare
+      (List.filter_map
+         (fun e -> Option.(Json.member "pid" e |> map Json.to_int |> join))
+         xs)
+  in
+  Alcotest.(check (list int)) "each keeps its site lane" [ 1; 2 ] pids
+
 let suite =
   [
     Alcotest.test_case "json emission" `Quick test_json_emit;
@@ -269,4 +355,11 @@ let suite =
     Alcotest.test_case "span exception safety" `Quick test_with_span_exception_safe;
     Alcotest.test_case "disabled tracer is lazy" `Quick test_disabled_tracer_lazy;
     Alcotest.test_case "chrome export" `Quick test_chrome_export;
+    Alcotest.test_case "chrome export: empty span tree" `Quick test_chrome_empty;
+    Alcotest.test_case "chrome export: label escaping" `Quick
+      test_chrome_label_escaping;
+    Alcotest.test_case "chrome export: flow-event pairing" `Quick
+      test_chrome_flow_pairing;
+    Alcotest.test_case "chrome export: duplicate names across sites" `Quick
+      test_chrome_duplicate_names_across_sites;
   ]

@@ -208,11 +208,25 @@ let parallel_json =
       ("speedup", Json.Float 3.0);
     ]
 
+let latency_section =
+  [
+    ( "BL",
+      {
+        Msdq_simkit.Stats.n = 8;
+        mean_us = 5000.0;
+        p50_us = 4000.0;
+        p90_us = 9000.0;
+        p99_us = 9500.0;
+        max_us = 9800.0;
+      } );
+  ]
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency:latency_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -294,6 +308,7 @@ let test_bench_validation () =
     (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
        ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+       ~latency:latency_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -331,7 +346,7 @@ let test_bench_validation () =
   reject "/5 without serve_sweep"
     (Json.Obj
        [
-         ("schema", Json.Str Run_report.bench_schema);
+         ("schema", Json.Str Run_report.bench_schema_v5);
          ("generated_at", Json.Str "t");
          ("seed", Json.Int 1);
          ("parallel", parallel_json);
@@ -341,9 +356,43 @@ let test_bench_validation () =
          ("strategies", strategies_json);
          ("wall", Json.Arr []);
        ]);
+  reject "/6 without latency"
+    (Json.Obj
+       [
+         ("schema", Json.Str Run_report.bench_schema);
+         ("generated_at", Json.Str "t");
+         ("seed", Json.Int 1);
+         ("parallel", parallel_json);
+         ("fault_sweep", Run_report.fault_sweep_to_json fault_sweep_section);
+         ( "recovery_sweep",
+           Run_report.recovery_sweep_to_json recovery_sweep_section );
+         ("serve_sweep", Run_report.serve_sweep_to_json serve_sweep_section);
+         ("strategies", strategies_json);
+         ("wall", Json.Arr []);
+       ]);
+  (* A /5 document without the latency section stays valid. *)
+  (match
+     Run_report.validate_bench
+       (Json.Obj
+          [
+            ("schema", Json.Str Run_report.bench_schema_v5);
+            ("generated_at", Json.Str "t");
+            ("seed", Json.Int 1);
+            ("parallel", parallel_json);
+            ("fault_sweep", Run_report.fault_sweep_to_json fault_sweep_section);
+            ( "recovery_sweep",
+              Run_report.recovery_sweep_to_json recovery_sweep_section );
+            ("serve_sweep", Run_report.serve_sweep_to_json serve_sweep_section);
+            ("strategies", strategies_json);
+            ("wall", Json.Arr []);
+          ])
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /5 document rejected: %s" msg);
   let with_parallel fields =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
-      ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
+      ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -356,6 +405,7 @@ let test_bench_validation () =
       ~parallel:parallel_section
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency:latency_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -370,7 +420,7 @@ let test_bench_validation () =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
-      ~serve_sweep:serve_sweep_section
+      ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -410,6 +460,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
+      ~latency:latency_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -429,7 +480,34 @@ let test_bench_validation () =
   reject "negative speedup mean"
     (with_ssweep [ sserie [| 1.0; 1.0 |] [| 1.0; -0.5 |] [| 0.0; 0.0 |] ]);
   reject "serve series length mismatch"
-    (with_ssweep [ sserie [| 1.0 |] [| 1.0 |] [| 0.0 |] ])
+    (with_ssweep [ sserie [| 1.0 |] [| 1.0 |] [| 0.0 |] ]);
+  let with_latency latency =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  let summary n p50 p90 p99 =
+    {
+      Msdq_simkit.Stats.n;
+      mean_us = p50;
+      p50_us = p50;
+      p90_us = p90;
+      p99_us = p99;
+      max_us = p99;
+    }
+  in
+  reject "empty latency section" (with_latency []);
+  reject "negative latency quantile"
+    (with_latency [ ("BL", summary 4 (-1.0) 2.0 3.0) ]);
+  reject "non-monotone latency quantiles"
+    (with_latency [ ("BL", summary 4 5.0 2.0 3.0) ]);
+  (* An all-zero summary from an empty sample is fine. *)
+  match Run_report.validate_bench (with_latency [ ("BL", summary 0 0.0 0.0 0.0) ]) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "empty-sample latency summary rejected: %s" msg
 
 let suite =
   [

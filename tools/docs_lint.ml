@@ -36,6 +36,24 @@ let read_file path =
    them). *)
 let link_re = Str.regexp "!?\\[[^]]*\\](\\([^) \t\n]+\\))"
 
+(* Code is not prose: a literal [text](path) shown inside a fenced block
+   or an inline `code span` is an example, not a link to resolve. Blank
+   out fenced blocks line by line, then inline spans, before matching. *)
+let fence_re = Str.regexp "^[ \t]*```"
+let span_re = Str.regexp "`[^`\n]*`"
+
+let strip_code text =
+  let lines = String.split_on_char '\n' text in
+  let _, stripped =
+    List.fold_left
+      (fun (in_fence, acc) line ->
+        if Str.string_match fence_re line 0 then (not in_fence, "" :: acc)
+        else if in_fence then (in_fence, "" :: acc)
+        else (in_fence, Str.global_replace span_re "" line :: acc))
+      (false, []) lines
+  in
+  String.concat "\n" (List.rev stripped)
+
 let targets_of text =
   let rec collect pos acc =
     match Str.search_forward link_re text pos with
@@ -78,7 +96,7 @@ let () =
               Printf.printf "%s: broken link -> %s\n" file target
             end
           end)
-        (targets_of (read_file file)))
+        (targets_of (strip_code (read_file file))))
     files;
   if !broken > 0 then begin
     Printf.printf "%d broken link(s) across %d markdown file(s)\n" !broken
