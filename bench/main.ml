@@ -10,26 +10,29 @@
    The paper's setting is 500 parameter draws per point (the default).
 
    Every run also writes a machine-readable BENCH_<timestamp>.json
-   (schema "msdq-bench/6", see Run_report) with the per-strategy
+   (schema "msdq-bench/7", see Run_report) with the per-strategy
    simulated times on the demo workload, the bechamel wall-clock
    medians, the run's seed, a parallel section (jobs, measured speedup
    of a calibration sweep), a fault_sweep section (certain-set recall
    and response under injected site crashes), a recovery_sweep
    section (retry-only vs failover vs failover+hedging recall and
    demotion counts), a serve_sweep section (workload-engine
-   throughput vs cache capacity and admission window) and a latency
+   throughput vs cache capacity and admission window), a latency
    section (per-strategy query-latency quantiles from a
-   telemetry-enabled serve run); --out DIR picks the directory,
-   --jobs N sizes the domain pool (default: all cores;
-   1 = sequential), --smoke runs a reduced version for CI, and --check
-   FILE validates an existing result file against the schema (/1../6
-   all accepted). *)
+   telemetry-enabled serve run) and an auto_sweep section (AUTO's
+   adaptive selection vs every fixed strategy — the validator enforces
+   the win condition); --out DIR picks the directory, --jobs N sizes
+   the domain pool (default: all cores; 1 = sequential), --smoke runs
+   a reduced version for CI, and --check FILE validates an existing
+   result file against the schema (/1../7 all accepted). *)
 
 open Msdq_fed
 open Msdq_query
 open Msdq_exec
 open Msdq_workload
 open Msdq_exp
+module Planner = Msdq_opt.Planner
+module Param_sim = Msdq_opt.Param_sim
 
 let section name = Format.printf "@.======== [%s] ========@.@." name
 
@@ -496,6 +499,36 @@ let latency_study () =
   summaries
 
 (* ------------------------------------------------------------------ *)
+(* AUTO vs fixed strategies: the optimizer's win condition, recorded in the
+   JSON file's auto_sweep section. Smoke and full runs use identical
+   parameters so the CI bench gate can compare results across runs. *)
+
+let auto_study ~seed () =
+  section "auto";
+  Format.printf
+    "Adaptive strategy selection (AUTO): one mixed workload served once@.\
+     per fixed candidate strategy and once under the cost-based@.\
+     optimizer. Win condition: AUTO makespan <= best fixed makespan.@.@.";
+  let a = Auto_sweep.run ~seed () in
+  Format.printf "%-8s %12s@." "strategy" "makespan";
+  List.iter
+    (fun f ->
+      Format.printf "%-8s %10.2fms@."
+        (Strategy.to_string f.Auto_sweep.f_strategy)
+        (f.Auto_sweep.f_makespan_s *. 1e3))
+    a.Auto_sweep.fixed;
+  Format.printf "%-8s %10.2fms@." "AUTO" (a.Auto_sweep.auto_makespan_s *. 1e3);
+  Format.printf "@.decisions:";
+  List.iter
+    (fun (s, n) -> Format.printf " %s=%d" s n)
+    a.Auto_sweep.decisions;
+  Format.printf "  switches=%d@." a.Auto_sweep.switches;
+  Format.printf "estimator rank matches: %d/%d (%.0f%%)@."
+    a.Auto_sweep.rank_matches a.Auto_sweep.distinct
+    (a.Auto_sweep.rank_match_rate *. 100.0);
+  a
+
+(* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
 let strategy_times () =
@@ -607,12 +640,12 @@ let timestamp () =
     tm.Unix.tm_sec
 
 let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
-      ~recovery_sweep ~serve_sweep ~latency ~strategies:(strategy_times ())
-      ~wall
+      ~recovery_sweep ~serve_sweep ~latency ~auto_sweep
+      ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -676,7 +709,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema (/1../6) and exit" );
+        "FILE  validate FILE against the bench schema (/1../7) and exit" );
     ]
   in
   Arg.parse spec
@@ -709,9 +742,10 @@ let () =
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:2 () in
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:2 () in
       let latency = latency_study () in
+      let auto_sweep = auto_study ~seed:!seed () in
       let wall = microbenches ~quota:0.05 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~latency ~wall
+        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -726,8 +760,9 @@ let () =
       let recovery_sweep = recovery_study ?pool ~seed:!seed ~samples:8 () in
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:6 () in
       let latency = latency_study () in
+      let auto_sweep = auto_study ~seed:!seed () in
       let wall = microbenches ~quota:0.4 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~latency ~wall;
+        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~wall;
       Format.printf "@.done.@."
     end

@@ -16,6 +16,7 @@ open Msdq_query
 open Msdq_exec
 open Msdq_workload
 open Msdq_exp
+module Planner = Msdq_opt.Planner
 
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -42,6 +43,19 @@ let strategy_arg =
     & opt (some strategy_conv) None
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
         ~doc:"Execution strategy: CA, BL, PL, BLS, PLS, LO or CF. Default: all of them.")
+
+(* Serve accepts AUTO on top of the fixed strategies; the error message
+   lists the full accepted set (Strategy.selection_of_string). *)
+let selection_conv =
+  let parse s =
+    match Strategy.selection_of_string s with
+    | Ok sel -> Ok sel
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf sel ->
+        Format.pp_print_string ppf (Strategy.selection_to_string sel) )
 
 let multi_arg =
   Arg.(
@@ -444,8 +458,48 @@ let run_recovery_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
   end;
   `Ok ()
 
-let experiment which fault_sweep recovery_sweep samples seed jobs drop inflate
-    csv chart json progress =
+let pp_auto_sweep ppf (a : Auto_sweep.outcome) =
+  Format.fprintf ppf "%s — %s@.@." a.Auto_sweep.id a.Auto_sweep.title;
+  Format.fprintf ppf "%d queries (%d distinct), seed %d, %.0fms arrival spacing@.@."
+    a.Auto_sweep.queries a.Auto_sweep.distinct a.Auto_sweep.seed
+    (a.Auto_sweep.spacing_us /. 1e3);
+  Format.fprintf ppf "%-8s %12s@." "strategy" "makespan";
+  List.iter
+    (fun (f : Auto_sweep.fixed_run) ->
+      Format.fprintf ppf "%-8s %10.2fms@."
+        (Strategy.to_string f.Auto_sweep.f_strategy)
+        (f.Auto_sweep.f_makespan_s *. 1e3))
+    a.Auto_sweep.fixed;
+  Format.fprintf ppf "%-8s %10.2fms@." "AUTO"
+    (a.Auto_sweep.auto_makespan_s *. 1e3);
+  Format.fprintf ppf "@.decisions:";
+  List.iter
+    (fun (s, n) -> Format.fprintf ppf " %s=%d" s n)
+    a.Auto_sweep.decisions;
+  Format.fprintf ppf "  switches=%d@." a.Auto_sweep.switches;
+  Format.fprintf ppf "estimator rank matches: %d/%d (%.0f%%)@."
+    a.Auto_sweep.rank_matches a.Auto_sweep.distinct
+    (a.Auto_sweep.rank_match_rate *. 100.0)
+
+let run_auto_sweep ~registry ?progress ~seed ~json () =
+  (* The sweep is a handful of serve runs on one fixed-size federation; it
+     needs no domain pool and ignores --samples. *)
+  let a = Auto_sweep.run ~registry ?progress ~seed () in
+  if not json then Format.printf "%a@." pp_auto_sweep a
+  else begin
+    let doc =
+      Msdq_obs.Json.Obj
+        [
+          ("auto_sweep", Run_report.auto_sweep_to_json a);
+          ("registry", Msdq_obs.Metrics.to_json registry);
+        ]
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
+  `Ok ()
+
+let experiment which fault_sweep recovery_sweep auto_sweep samples seed jobs
+    drop inflate csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -472,6 +526,8 @@ let experiment which fault_sweep recovery_sweep samples seed jobs drop inflate
   else if recovery_sweep || String.equal which "recovery-sweep" then
     run_recovery_sweep ?pool ~registry ?progress ~samples ~seed ~drop ~inflate
       ~csv ~json ()
+  else if auto_sweep || String.equal which "auto-sweep" then
+    run_auto_sweep ~registry ?progress ~seed ~json ()
   else
   let figures =
     match which with
@@ -531,7 +587,7 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
-             fault-sweep, recovery-sweep or all.")
+             fault-sweep, recovery-sweep, auto-sweep or all.")
   in
   let fault_sweep_flag =
     Arg.(
@@ -559,6 +615,18 @@ let experiment_cmd =
              column keeps its lossy links ($(b,--drop), default 0.2 here) \
              instead of going fault-free. Defaults to 8 samples per level; \
              $(b,--samples) overrides.")
+  in
+  let auto_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "auto-sweep" ]
+          ~doc:
+            "Run the adaptive-selection experiment instead of the figures: \
+             one mixed workload served once per fixed candidate strategy \
+             (CA, BL, PL) and once under the cost-based AUTO selector, \
+             reporting makespans, per-strategy decision counts and the \
+             estimator's rank-match rate. Uses $(b,--seed); \
+             $(b,--samples) is ignored.")
   in
   let drop =
     Arg.(
@@ -598,8 +666,8 @@ let experiment_cmd =
       Term.(
         ret
           (const experiment $ which $ fault_sweep_flag $ recovery_sweep_flag
-         $ samples_arg $ seed_arg $ jobs $ drop $ inflate $ csv $ chart
-         $ json_arg $ progress_arg))
+         $ auto_sweep_flag $ samples_arg $ seed_arg $ jobs $ drop $ inflate
+         $ csv $ chart $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -807,14 +875,7 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
     let src = match sql with Some s -> s | None -> Paper_example.q1 in
     let analysis = analyze_or_exit fed src in
     let inter_us = 1e6 /. arrival in
-    let jobs_list =
-      List.init queries (fun i ->
-          {
-            Serve.strategy;
-            analysis;
-            arrival = Msdq_simkit.Time.us (float_of_int i *. inter_us);
-          })
-    in
+    let arrival_of i = Msdq_simkit.Time.us (float_of_int i *. inter_us) in
     let telemetry = dashboard || store <> None in
     let cfg =
       {
@@ -824,21 +885,79 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
         options = { Strategy.default_options with Strategy.telemetry };
       }
     in
-    let out =
-      try Serve.run ~trace:(trace_out <> None) cfg fed jobs_list
+    let out, auto_info =
+      try
+        match strategy with
+        | Strategy.Fixed strategy ->
+          let jobs_list =
+            List.init queries (fun i ->
+                { Serve.strategy; analysis; arrival = arrival_of i })
+          in
+          (Serve.run ~trace:(trace_out <> None) cfg fed jobs_list, None)
+        | Strategy.Auto ->
+          (* An existing --store file also feeds selection: observed
+             per-strategy latencies blend into the model's estimates. *)
+          let sel_store =
+            match store with
+            | Some path when Sys.file_exists path -> (
+              match Msdq_telemetry.Store.load path with
+              | Ok s -> Some s
+              | Error msg ->
+                Format.eprintf "cannot load %s: %s@." path msg;
+                exit 1)
+            | _ -> None
+          in
+          let a =
+            Serve.run_auto ?store:sel_store ~trace:(trace_out <> None) cfg fed
+              (List.init queries (fun i -> (analysis, arrival_of i)))
+          in
+          (a.Serve.auto, Some a)
       with Invalid_argument msg ->
         Format.eprintf "%s@." msg;
         exit 1
     in
-    if json then
-      print_endline
-        (Msdq_obs.Json.to_string ~indent:2 (serve_outcome_to_json ~query:src cfg out))
+    if json then begin
+      let doc = serve_outcome_to_json ~query:src cfg out in
+      let doc =
+        match (auto_info, doc) with
+        | Some a, Msdq_obs.Json.Obj fields ->
+          Msdq_obs.Json.Obj
+            (fields
+            @ [
+                ( "auto",
+                  Msdq_obs.Json.Obj
+                    [
+                      ( "decisions",
+                        Msdq_obs.Json.Arr
+                          (List.map
+                             (fun (d : Serve.auto_decision) ->
+                               Msdq_obs.Json.Obj
+                                 [
+                                   ("index", Msdq_obs.Json.Int d.Serve.d_index);
+                                   ( "preferred",
+                                     Msdq_obs.Json.Str
+                                       (Strategy.to_string d.Serve.d_preferred)
+                                   );
+                                   ( "chosen",
+                                     Msdq_obs.Json.Str
+                                       (Strategy.to_string d.Serve.d_chosen) );
+                                   ( "switched",
+                                     Msdq_obs.Json.Bool d.Serve.d_switched );
+                                 ])
+                             a.Serve.decisions) );
+                      ("switches", Msdq_obs.Json.Int a.Serve.switches);
+                    ] );
+              ])
+        | _, doc -> doc
+      in
+      print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+    end
     else begin
       Format.printf
         "workload: %d x %s under %s, arrival %.1f q/s, cache %.1f MiB, window \
          %.0f us@.@."
         queries src
-        (Strategy.to_string strategy)
+        (Strategy.selection_to_string strategy)
         arrival cache_mb window_us;
       Format.printf "%-3s %12s %12s %12s %7s %7s %7s %9s@." "#" "arrival"
         "completed" "latency" "xhits" "vhits" "cached" "degraded";
@@ -864,7 +983,21 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
       pp_cache "extent" out.Serve.extent_cache;
       pp_cache "verdict" out.Serve.verdict_cache;
       Format.printf "%d serve-path messages, %d coalesced check requests@."
-        out.Serve.messages out.Serve.coalesced_checks
+        out.Serve.messages out.Serve.coalesced_checks;
+      match auto_info with
+      | None -> ()
+      | Some a ->
+        let count s =
+          List.length
+            (List.filter
+               (fun (d : Serve.auto_decision) -> d.Serve.d_chosen = s)
+               a.Serve.decisions)
+        in
+        Format.printf "AUTO decisions:";
+        List.iter
+          (fun s -> Format.printf " %s=%d" (Strategy.to_string s) (count s))
+          [ Strategy.Ca; Strategy.Bl; Strategy.Pl ];
+        Format.printf ", strategy switches: %d@." a.Serve.switches
     end;
     if dashboard && not json then begin
       let frames = dashboard_frames out in
@@ -948,11 +1081,15 @@ let serve_cmd =
   in
   let strategy =
     Arg.(
-      value & opt strategy_conv Strategy.Bl
+      value
+      & opt selection_conv (Strategy.Fixed Strategy.Bl)
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
           ~doc:
-            "Strategy for every query in the stream: CA, BL, PL, BLS, PLS or \
-             LO (CF has no serve-path integration). Default: BL.")
+            "Strategy for every query in the stream: CA, BL, PL, BLS, PLS, \
+             LO (CF has no serve-path integration) or AUTO — the cost-based \
+             optimizer picks per query, blending the model's estimates with \
+             observed latencies from $(b,--store) when the store file \
+             already exists. Default: BL.")
   in
   let sweep_flag =
     Arg.(

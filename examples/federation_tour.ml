@@ -13,7 +13,7 @@
 open Msdq_fed
 open Msdq_query
 open Msdq_exec
-open Msdq_exp
+module Planner = Msdq_opt.Planner
 
 let library_federation =
   {|# three library branches; only some track genres or conditions

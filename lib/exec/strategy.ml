@@ -34,6 +34,22 @@ let of_string s =
   | "CF" -> Some Cf
   | _ -> None
 
+type selection = Fixed of t | Auto
+
+let selection_to_string = function Auto -> "AUTO" | Fixed s -> to_string s
+
+let selection_of_string s =
+  match String.uppercase_ascii s with
+  | "AUTO" -> Ok Auto
+  | other -> (
+    match of_string other with
+    | Some st -> Ok (Fixed st)
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (accepted: %s, AUTO)" s
+           (String.concat ", " (List.map to_string all))))
+
 module Recovery = Recovery
 
 type retry = { timeout : Time.t; max_attempts : int; backoff : float }

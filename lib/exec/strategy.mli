@@ -55,6 +55,19 @@ val to_string : t -> string
 
 val of_string : string -> t option
 
+type selection = Fixed of t | Auto
+(** What a caller asks for: one fixed strategy, or adaptive cost-based
+    selection per query ([Auto], implemented by [Msdq_opt.Optimizer] and
+    the workload engine's [Msdq_serve.Serve.run_auto]). The enum lives
+    here so command-line front ends can parse it without depending on the
+    optimizer library. *)
+
+val selection_to_string : selection -> string
+
+val selection_of_string : string -> (selection, string) result
+(** Case-insensitive. The error message lists the accepted set
+    ([CA, BL, PL, BLS, PLS, LO, CF, AUTO]). *)
+
 type retry = {
   timeout : Time.t;
       (** how long the sender waits after a lost transfer before

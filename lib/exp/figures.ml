@@ -2,6 +2,7 @@ open Msdq_simkit
 open Msdq_workload
 open Msdq_exec
 module Metrics = Msdq_obs.Metrics
+module Param_sim = Msdq_opt.Param_sim
 
 let log_src = Logs.Src.create "msdq.exp" ~doc:"experiment sweeps"
 

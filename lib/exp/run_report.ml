@@ -353,7 +353,8 @@ let bench_schema_v2 = "msdq-bench/2"
 let bench_schema_v3 = "msdq-bench/3"
 let bench_schema_v4 = "msdq-bench/4"
 let bench_schema_v5 = "msdq-bench/5"
-let bench_schema = "msdq-bench/6"
+let bench_schema_v6 = "msdq-bench/6"
+let bench_schema = "msdq-bench/7"
 
 type parallel = {
   jobs : int;
@@ -390,8 +391,45 @@ let latency_to_json latency =
            ])
        latency)
 
+(* The /7 addition: the AUTO-vs-fixed comparison — makespans, decision
+   counts and the estimator's rank-match rate from the mixed workload. *)
+let auto_sweep_to_json (a : Auto_sweep.outcome) =
+  Json.Obj
+    [
+      ("id", Json.Str a.Auto_sweep.id);
+      ("title", Json.Str a.Auto_sweep.title);
+      ("queries", Json.Int a.Auto_sweep.queries);
+      ("distinct", Json.Int a.Auto_sweep.distinct);
+      ("seed", Json.Int a.Auto_sweep.seed);
+      ("spacing_us", Json.Float a.Auto_sweep.spacing_us);
+      ( "fixed",
+        Json.Arr
+          (List.map
+             (fun (f : Auto_sweep.fixed_run) ->
+               Json.Obj
+                 [
+                   ( "strategy",
+                     Json.Str
+                       (Msdq_exec.Strategy.to_string f.Auto_sweep.f_strategy)
+                   );
+                   ("makespan_s", Json.Float f.Auto_sweep.f_makespan_s);
+                 ])
+             a.Auto_sweep.fixed) );
+      ("auto_makespan_s", Json.Float a.Auto_sweep.auto_makespan_s);
+      ( "decisions",
+        Json.Arr
+          (List.map
+             (fun (strategy, count) ->
+               Json.Obj
+                 [ ("strategy", Json.Str strategy); ("count", Json.Int count) ])
+             a.Auto_sweep.decisions) );
+      ("switches", Json.Int a.Auto_sweep.switches);
+      ("rank_matches", Json.Int a.Auto_sweep.rank_matches);
+      ("rank_match_rate", Json.Float a.Auto_sweep.rank_match_rate);
+    ]
+
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~strategies ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -402,6 +440,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("recovery_sweep", recovery_sweep_to_json recovery_sweep);
       ("serve_sweep", serve_sweep_to_json serve_sweep);
       ("latency", latency_to_json latency);
+      ("auto_sweep", auto_sweep_to_json auto_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -714,12 +753,111 @@ let validate_latency j =
       | _ -> Ok ())
     (Ok ()) lat
 
+(* The /7 addition: the auto_sweep section. Beyond shape checks this
+   validator enforces the experiment's win condition — AUTO's makespan is
+   no worse than the best fixed strategy's (tiny relative epsilon for
+   float formatting round trips) and the estimator's rank-match rate is a
+   valid fraction — so a regressing optimizer fails [--check], not just a
+   human reading the numbers. *)
+let validate_auto_sweep j =
+  let* a = require "\"auto_sweep\"" (Json.member "auto_sweep" j) in
+  let* queries =
+    require "auto_sweep \"queries\""
+      Option.(Json.member "queries" a |> map Json.to_int |> join)
+  in
+  let* distinct =
+    require "auto_sweep \"distinct\""
+      Option.(Json.member "distinct" a |> map Json.to_int |> join)
+  in
+  let* () =
+    if queries > 0 && distinct > 0 then Ok ()
+    else Error "bench document: auto_sweep queries and distinct must be positive"
+  in
+  let* fixed =
+    require "auto_sweep \"fixed\""
+      Option.(Json.member "fixed" a |> map Json.to_list |> join)
+  in
+  let* () =
+    if fixed = [] then Error "bench document: auto_sweep \"fixed\" is empty"
+    else Ok ()
+  in
+  let* min_fixed =
+    List.fold_left
+      (fun acc entry ->
+        let* acc = acc in
+        let* name =
+          require "auto_sweep fixed \"strategy\""
+            Option.(Json.member "strategy" entry |> map Json.to_str |> join)
+        in
+        let* m =
+          require
+            (Printf.sprintf "auto_sweep %s \"makespan_s\"" name)
+            Option.(Json.member "makespan_s" entry |> map Json.to_float |> join)
+        in
+        let* () = nonneg (Printf.sprintf "auto_sweep %s makespan_s" name) m in
+        Ok (Float.min acc m))
+      (Ok Float.infinity) fixed
+  in
+  let* auto_makespan =
+    require "auto_sweep \"auto_makespan_s\""
+      Option.(Json.member "auto_makespan_s" a |> map Json.to_float |> join)
+  in
+  let* () = nonneg "auto_sweep auto_makespan_s" auto_makespan in
+  let* () =
+    if auto_makespan <= min_fixed *. (1.0 +. 1e-9) then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "bench document: auto_sweep regression — AUTO makespan %g s \
+            exceeds the best fixed strategy's %g s"
+           auto_makespan min_fixed)
+  in
+  let* decisions =
+    require "auto_sweep \"decisions\""
+      Option.(Json.member "decisions" a |> map Json.to_list |> join)
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* name =
+          require "auto_sweep decision \"strategy\""
+            Option.(Json.member "strategy" entry |> map Json.to_str |> join)
+        in
+        let* count =
+          require
+            (Printf.sprintf "auto_sweep decision %s \"count\"" name)
+            Option.(Json.member "count" entry |> map Json.to_int |> join)
+        in
+        if count >= 0 then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "bench document: auto_sweep decision %s count must be >= 0" name))
+      (Ok ()) decisions
+  in
+  let* switches =
+    require "auto_sweep \"switches\""
+      Option.(Json.member "switches" a |> map Json.to_int |> join)
+  in
+  let* () =
+    if switches >= 0 then Ok ()
+    else Error "bench document: auto_sweep switches must be >= 0"
+  in
+  let* rate =
+    require "auto_sweep \"rank_match_rate\""
+      Option.(Json.member "rank_match_rate" a |> map Json.to_float |> join)
+  in
+  if Float.is_nan rate || rate < 0.0 || rate > 1.0 then
+    Error "bench document: auto_sweep rank_match_rate must be inside [0, 1]"
+  else Ok ()
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let known =
     [
-      bench_schema; bench_schema_v5; bench_schema_v4; bench_schema_v3;
-      bench_schema_v2; bench_schema_v1;
+      bench_schema; bench_schema_v6; bench_schema_v5; bench_schema_v4;
+      bench_schema_v3; bench_schema_v2; bench_schema_v1;
     ]
   in
   let* () =
@@ -738,7 +876,8 @@ let validate_bench j =
       else if String.equal s bench_schema_v3 then 3
       else if String.equal s bench_schema_v4 then 4
       else if String.equal s bench_schema_v5 then 5
-      else 6
+      else if String.equal s bench_schema_v6 then 6
+      else 7
     in
     rank schema >= v
   in
@@ -747,6 +886,7 @@ let validate_bench j =
   let* () = if at_least 4 then validate_recovery_sweep j else Ok () in
   let* () = if at_least 5 then validate_serve_sweep j else Ok () in
   let* () = if at_least 6 then validate_latency j else Ok () in
+  let* () = if at_least 7 then validate_auto_sweep j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)

@@ -65,10 +65,18 @@ val serve_sweep_to_json : Serve_sweep.sweep -> Json.t
 (** The [msdq serve --sweep --json] document: cache capacities plus one
     (throughputs, speedups, hits) series per (strategy, window) cell. *)
 
+val auto_sweep_to_json : Auto_sweep.outcome -> Json.t
+(** The [msdq experiment --auto-sweep --json] document: fixed-strategy
+    makespans, AUTO's makespan, per-strategy decision counts, breaker
+    switches and the estimator's rank-match rate. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/6"] — the schema every new document is written with. *)
+(** ["msdq-bench/7"] — the schema every new document is written with. *)
+
+val bench_schema_v6 : string
+(** ["msdq-bench/6"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v5 : string
 (** ["msdq-bench/5"] — still accepted by {!validate_bench}. *)
@@ -105,6 +113,7 @@ val bench_to_json :
   recovery_sweep:Fault_sweep.recovery_sweep ->
   serve_sweep:Serve_sweep.sweep ->
   latency:(string * Msdq_simkit.Stats.summary) list ->
+  auto_sweep:Auto_sweep.outcome ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -115,7 +124,8 @@ val bench_to_json :
     [fault_sweep] and [recovery_sweep] are the run's (possibly reduced)
     robustness sweeps, [serve_sweep] its workload-engine sweep and
     [latency] its per-strategy query-latency quantile summaries
-    ([(name, summary)], the [/6] histogram section). [generated_at] is
+    ([(name, summary)], the [/6] histogram section) and [auto_sweep] the
+    AUTO-vs-fixed comparison (the [/7] section). [generated_at] is
     injected (not read from the clock) so tests stay deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
@@ -127,9 +137,12 @@ val validate_bench : Json.t -> (unit, string) result
     section from [/4] on (same shape plus a non-negative mean-demoted
     array per series), the [serve_sweep] section from [/5] on (non-empty
     cache grid, equal-length series, non-negative throughputs and
-    speedups) and the [latency] section from [/6] on (non-empty, one
+    speedups), the [latency] section from [/6] on (non-empty, one
     quantile summary per strategy, non-negative and non-decreasing
-    p50 <= p90 <= p99 whenever the count is positive). *)
+    p50 <= p90 <= p99 whenever the count is positive) and the
+    [auto_sweep] section from [/7] on — which additionally enforces the
+    experiment's win condition: AUTO's makespan must not exceed the best
+    fixed strategy's, so an optimizer regression fails validation. *)
 
 val pp_explain : Format.formatter -> Answer.t -> unit
 (** Per-row provenance table ([msdq query --explain]): every row's GOid and

@@ -9,9 +9,9 @@
     cheapest strategy under the chosen objective is recommended.
 
     Profiling scans extents (catalog statistics would normally be maintained
-    incrementally); predictions reuse [Msdq_exp]'s formulas through the
-    {!profile} sample, so planner and experiment harness can never drift
-    apart. *)
+    incrementally); predictions reuse the experiment harness's formulas
+    through the {!profile} sample and {!Param_sim}, so planner and
+    experiment harness can never drift apart. *)
 
 open Msdq_fed
 open Msdq_query

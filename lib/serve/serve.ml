@@ -1013,23 +1013,11 @@ let record_task_histograms wl entries =
       | _ -> ())
     entries
 
-let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
-  validate cfg jobs;
-  let wl = match registry with Some r -> r | None -> Metrics.create () in
-  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
-  let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
-  let signatures = lazy (Sig_catalog.build fed) in
-  let prepared =
-    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
-    List.mapi
-      (fun i j ->
-        Tracer.with_span tracer ~cat:"serve"
-          ~args:[ ("query", string_of_int i) ]
-          "serve.prepare.query"
-        @@ fun () ->
-        prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i j)
-      jobs
-  in
+(* Engine half: charge the prepared workload to one shared simulated clock
+   and assemble the outcome. Shared by {!run} (fixed per-job strategies)
+   and {!run_auto} (per-query optimizer decisions) — both prepare first,
+   then execute, so AUTO can never change what is answered, only when. *)
+let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
   let telemetry = cfg.options.Strategy.telemetry in
   let eng = Engine.create ~trace:(trace || telemetry) () in
   List.iter
@@ -1132,3 +1120,135 @@ let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
     registry = wl;
     trace = entries;
   }
+
+let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
+  validate cfg jobs;
+  let wl = match registry with Some r -> r | None -> Metrics.create () in
+  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
+  let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
+  let signatures = lazy (Sig_catalog.build fed) in
+  let prepared =
+    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
+    List.mapi
+      (fun i j ->
+        Tracer.with_span tracer ~cat:"serve"
+          ~args:[ ("query", string_of_int i) ]
+          "serve.prepare.query"
+        @@ fun () ->
+        prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i j)
+      jobs
+  in
+  execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared
+
+(* ------------------------------------------------------------------ *)
+(* AUTO: adaptive per-query strategy selection with breaker-driven
+   re-planning. *)
+
+module Optimizer = Msdq_opt.Optimizer
+
+type auto_decision = {
+  d_index : int;
+  d_arrival : Time.t;
+  d_preferred : Strategy.t;
+  d_chosen : Strategy.t;
+  d_switched : bool;
+  d_reason : string option;
+}
+
+type auto_outcome = {
+  auto : outcome;
+  decisions : auto_decision list;
+  switches : int;
+}
+
+let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
+    ?objective cfg fed jobs =
+  (* The optimizer only ever picks serve-supported strategies
+     ([Optimizer.candidates] = CA, BL, PL), so validation with a fixed
+     placeholder checks exactly the config and arrival constraints. *)
+  validate cfg
+    (List.map
+       (fun (analysis, arrival) ->
+         { strategy = Strategy.Bl; analysis; arrival })
+       jobs);
+  let wl = match registry with Some r -> r | None -> Metrics.create () in
+  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
+  let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
+  let signatures = lazy (Sig_catalog.build fed) in
+  let sched = cfg.options.Strategy.fault in
+  let breaker =
+    Recovery.Breaker.create
+      ~threshold:cfg.options.Strategy.recovery.Recovery.breaker_threshold
+      ~sched ()
+  in
+  let switches = ref 0 in
+  let rev_decisions = ref [] in
+  let prepared =
+    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
+    List.mapi
+      (fun i (analysis, arrival) ->
+        (* Mid-stream re-planning: a link whose breaker opened on earlier
+           queries' check legs is degraded for every query admitted before
+           its half-open probe instant. *)
+        let degraded =
+          List.filter_map
+            (fun (db_name, _) ->
+              let site = Federation.site_of fed db_name in
+              if Recovery.Breaker.live breaker ~site ~at:arrival then None
+              else Some site)
+            (Federation.databases fed)
+        in
+        let d = Optimizer.decide ?store ?objective ~degraded fed analysis in
+        if d.Optimizer.switched then incr switches;
+        bump wl "msdq_auto_decisions_total"
+          [ ("strategy", Strategy.to_string d.Optimizer.chosen) ]
+          1;
+        rev_decisions :=
+          {
+            d_index = i;
+            d_arrival = arrival;
+            d_preferred = d.Optimizer.preferred;
+            d_chosen = d.Optimizer.chosen;
+            d_switched = d.Optimizer.switched;
+            d_reason = d.Optimizer.reason;
+          }
+          :: !rev_decisions;
+        let p =
+          Tracer.with_span tracer ~cat:"serve"
+            ~args:
+              [
+                ("query", string_of_int i);
+                ("strategy", Strategy.to_string d.Optimizer.chosen);
+              ]
+            "serve.prepare.query"
+          @@ fun () ->
+          prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i
+            { strategy = d.Optimizer.chosen; analysis; arrival }
+        in
+        (* Feed the breaker from this query's check-request legs (request
+           legs only — verdict legs terminate at the global site, which has
+           no alternative route; see {!Recovery.Breaker}). *)
+        (match p.p_plan with
+        | Centralized _ -> ()
+        | Localized { groups; _ } ->
+          List.iter
+            (fun g ->
+              let tsite = Federation.site_of fed g.g_target in
+              let leg = g.g_req_leg in
+              let failures =
+                if leg.delivered then leg.attempts - 1 else leg.attempts
+              in
+              for _ = 1 to failures do
+                Recovery.Breaker.failure breaker ~site:tsite ~at:arrival
+              done;
+              if leg.delivered then
+                Recovery.Breaker.success breaker ~site:tsite)
+            groups);
+        p)
+      jobs
+  in
+  bump wl "msdq_auto_switches_total" [] !switches;
+  let outcome =
+    execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared
+  in
+  { auto = outcome; decisions = List.rev !rev_decisions; switches = !switches }

@@ -151,6 +151,56 @@ val run :
     arrivals, a [Cf] job) with a readable message, before any simulated
     work happens. *)
 
+(** {2 AUTO: adaptive per-query strategy selection}
+
+    {!run_auto} lets the cost-based optimizer ({!Msdq_opt.Optimizer}) pick
+    each query's strategy at admission: model predictions from the
+    federation's catalog statistics, blended with observed latencies from
+    a telemetry store, choose among CA, BL and PL. A per-destination-link
+    circuit breaker ({!Msdq_exec.Recovery.Breaker}) is fed by every
+    admitted query's check-request leg fates; while a link's breaker is
+    open, later queries whose checks could target it are re-planned onto
+    CA (whose critical transfers wait out outages instead of dropping).
+
+    Selection never changes semantics: each query's answer is
+    byte-identical ({!answer_fingerprint}) to the answer a fixed-strategy
+    run of the chosen strategy produces — the optimizer only decides {e
+    which} prepared plan executes. *)
+
+type auto_decision = {
+  d_index : int;  (** position in the submitted job list *)
+  d_arrival : Time.t;
+  d_preferred : Strategy.t;
+      (** the optimizer's unconstrained pick for this query *)
+  d_chosen : Strategy.t;  (** what actually ran, after breaker fallback *)
+  d_switched : bool;  (** an open breaker forced [d_chosen <> d_preferred] *)
+  d_reason : string option;  (** why, when it switched *)
+}
+
+type auto_outcome = {
+  auto : outcome;  (** the workload outcome, as {!run} would report it *)
+  decisions : auto_decision list;  (** in submission order *)
+  switches : int;  (** decisions the breaker re-planned *)
+}
+
+val run_auto :
+  ?tracer:Msdq_obs.Tracer.t ->
+  ?registry:Msdq_obs.Metrics.t ->
+  ?trace:bool ->
+  ?store:Msdq_telemetry.Store.t ->
+  ?objective:Msdq_opt.Planner.objective ->
+  config ->
+  Federation.t ->
+  (Analysis.t * Time.t) list ->
+  auto_outcome
+(** Like {!run}, but each job is just (analyzed query, arrival) and the
+    strategy is chosen per query at admission. [store] supplies observed
+    per-strategy latencies (see {!Msdq_telemetry.Store.strategy_latency});
+    without it selection is purely model-driven. [objective] defaults to
+    response time. The workload registry additionally carries
+    [msdq_auto_decisions_total{strategy}] and (when any decision switched)
+    [msdq_auto_switches_total]. Validation rules are {!run}'s. *)
+
 val answer_fingerprint : Answer.t -> string
 (** Canonical bytes of an answer's {e result content}: every row's GOid,
     status and projected values, plus the degraded set and its reasons.

@@ -71,6 +71,21 @@ let entries t =
 
 let fold f t init = List.fold_left (fun acc (k, v) -> f k v acc) init (entries t)
 
+(* Estimator read path: the weighted mean latency observed for a strategy,
+   aggregated over every key that carries it (serve-level rollups use the
+   wildcard key [{db = "*"; site = 0; link = 0}], but per-link entries
+   contribute too — weight does the bookkeeping). *)
+let strategy_latency t ~strategy =
+  let w, acc =
+    Hashtbl.fold
+      (fun k v (w, acc) ->
+        if String.equal k.strategy strategy && v.weight > 0.0 then
+          (w +. v.weight, acc +. (v.weight *. v.check_latency_us))
+        else (w, acc))
+      t.tbl (0.0, 0.0)
+  in
+  if w > 0.0 then Some (acc /. w, w) else None
+
 (* Cross-run merge. [alpha] is the retention of the older store's sample
    weight: entries present on both sides combine as a weighted mean with
    the old side's weight scaled by [alpha], entries present on one side

@@ -57,6 +57,12 @@ val entries : t -> (key * sample) list
 
 val fold : (key -> sample -> 'a -> 'a) -> t -> 'a -> 'a
 
+val strategy_latency : t -> strategy:string -> (float * float) option
+(** [(mean latency in us, total observation weight)] aggregated over every
+    entry keyed with [strategy] — the estimator read path the AUTO
+    selector blends with its model predictions. [None] when the store has
+    no positive-weight observation for the strategy. *)
+
 val merge : ?alpha:float -> t -> t -> t
 (** [merge old fresh] — see the module description. [alpha] defaults to
     [old]'s stored alpha. Run counts add; entries present on only one side

@@ -60,16 +60,16 @@ let test_selectivity_tradeoff () =
   let cost = Cost.default in
   let ranges = { Params.default with Params.n_o = (1000, 2000) } in
   let run strategy sel =
-    Msdq_exp.Param_sim.average
-      ~overrides:{ Msdq_exp.Param_sim.root_local_selectivity = Some sel }
+    Msdq_opt.Param_sim.average
+      ~overrides:{ Msdq_opt.Param_sim.root_local_selectivity = Some sel }
       ~cost ~samples:60 ~seed:9 ~ranges strategy
   in
   let ca_low = run Strategy.Ca 0.1 and cf_low = run Strategy.Cf 0.1 in
   Alcotest.(check bool) "CF beats CA at low selectivity" true
-    (Time.compare cf_low.Msdq_exp.Param_sim.total ca_low.Msdq_exp.Param_sim.total < 0);
+    (Time.compare cf_low.Msdq_opt.Param_sim.total ca_low.Msdq_opt.Param_sim.total < 0);
   let cf_high = run Strategy.Cf 0.9 in
   Alcotest.(check bool) "CF grows with selectivity" true
-    (Time.compare cf_low.Msdq_exp.Param_sim.total cf_high.Msdq_exp.Param_sim.total < 0)
+    (Time.compare cf_low.Msdq_opt.Param_sim.total cf_high.Msdq_opt.Param_sim.total < 0)
 
 let suite =
   [

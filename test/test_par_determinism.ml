@@ -5,6 +5,7 @@
 
 open Msdq_exp
 module Json = Msdq_obs.Json
+module Param_sim = Msdq_opt.Param_sim
 module Metrics = Msdq_obs.Metrics
 module Pool = Msdq_par.Pool
 

@@ -1,7 +1,7 @@
 open Msdq_simkit
 open Msdq_workload
 open Msdq_exec
-open Msdq_exp
+module Param_sim = Msdq_opt.Param_sim
 
 let sample_of seed =
   let rng = Rng.create ~seed in

@@ -3,7 +3,7 @@ open Msdq_fed
 open Msdq_query
 open Msdq_exec
 open Msdq_workload
-open Msdq_exp
+module Planner = Msdq_opt.Planner
 
 let analyze fed src =
   Analysis.analyze (Global_schema.schema (Federation.global_schema fed)) (Parser.parse src)

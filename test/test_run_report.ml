@@ -221,12 +221,33 @@ let latency_section =
       } );
   ]
 
+let auto_sweep_section =
+  {
+    Auto_sweep.id = "auto-sweep";
+    title = "AUTO vs fixed strategies";
+    queries = 8;
+    distinct = 4;
+    seed = 1;
+    spacing_us = 20_000.0;
+    fixed =
+      [
+        { Auto_sweep.f_strategy = Strategy.Ca; f_makespan_s = 0.30 };
+        { Auto_sweep.f_strategy = Strategy.Bl; f_makespan_s = 0.25 };
+        { Auto_sweep.f_strategy = Strategy.Pl; f_makespan_s = 0.28 };
+      ];
+    auto_makespan_s = 0.24;
+    decisions = [ ("CA", 2); ("BL", 4); ("PL", 2) ];
+    switches = 0;
+    rank_matches = 4;
+    rank_match_rate = 1.0;
+  }
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
-      ~latency:latency_section
+      ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -308,7 +329,7 @@ let test_bench_validation () =
     (Run_report.bench_to_json ~generated_at:"t" ~seed:1996
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
        ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
-       ~latency:latency_section
+       ~latency:latency_section ~auto_sweep:auto_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -359,7 +380,7 @@ let test_bench_validation () =
   reject "/6 without latency"
     (Json.Obj
        [
-         ("schema", Json.Str Run_report.bench_schema);
+         ("schema", Json.Str Run_report.bench_schema_v6);
          ("generated_at", Json.Str "t");
          ("seed", Json.Int 1);
          ("parallel", parallel_json);
@@ -389,10 +410,26 @@ let test_bench_validation () =
    with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "valid /5 document rejected: %s" msg);
+  (* The /7 section: a /7 document must carry it, a /6 one need not. *)
+  let obj_map f = function Json.Obj l -> Json.Obj (f l) | j -> j in
+  let without key = obj_map (List.filter (fun (k, _) -> k <> key)) in
+  let with_schema s =
+    obj_map
+      (List.map (fun (k, v) ->
+           if String.equal k "schema" then (k, Json.Str s) else (k, v)))
+  in
+  reject "/7 without auto_sweep" (without "auto_sweep" good);
+  (match
+     Run_report.validate_bench
+       (with_schema Run_report.bench_schema_v6 (without "auto_sweep" good))
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /6 document rejected: %s" msg);
   let with_parallel fields =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1 ~parallel:fields
       ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:serve_sweep_section ~latency:latency_section
+      ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -405,7 +442,7 @@ let test_bench_validation () =
       ~parallel:parallel_section
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
-      ~latency:latency_section
+      ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -421,6 +458,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
       ~serve_sweep:serve_sweep_section ~latency:latency_section
+      ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -460,7 +498,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
-      ~latency:latency_section
+      ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -485,7 +523,7 @@ let test_bench_validation () =
     Run_report.bench_to_json ~generated_at:"t" ~seed:1
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
-      ~latency
+      ~latency ~auto_sweep:auto_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -505,9 +543,37 @@ let test_bench_validation () =
   reject "non-monotone latency quantiles"
     (with_latency [ ("BL", summary 4 5.0 2.0 3.0) ]);
   (* An all-zero summary from an empty sample is fine. *)
-  match Run_report.validate_bench (with_latency [ ("BL", summary 0 0.0 0.0 0.0) ]) with
+  (match
+     Run_report.validate_bench (with_latency [ ("BL", summary 0 0.0 0.0 0.0) ])
+   with
   | Ok () -> ()
-  | Error msg -> Alcotest.failf "empty-sample latency summary rejected: %s" msg
+  | Error msg -> Alcotest.failf "empty-sample latency summary rejected: %s" msg);
+  let with_auto auto =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency:latency_section ~auto_sweep:auto
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  (* The win condition is enforced: AUTO slower than the best fixed
+     strategy fails validation. *)
+  reject "auto_sweep regression"
+    (with_auto { auto_sweep_section with Auto_sweep.auto_makespan_s = 0.26 });
+  reject "auto_sweep empty fixed"
+    (with_auto { auto_sweep_section with Auto_sweep.fixed = [] });
+  reject "auto_sweep rank rate above 1"
+    (with_auto { auto_sweep_section with Auto_sweep.rank_match_rate = 1.5 });
+  reject "auto_sweep negative switches"
+    (with_auto { auto_sweep_section with Auto_sweep.switches = -1 });
+  (* AUTO exactly matching the best fixed strategy passes (the tolerance
+     admits ties). *)
+  match
+    Run_report.validate_bench
+      (with_auto { auto_sweep_section with Auto_sweep.auto_makespan_s = 0.25 })
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "AUTO tie with best fixed rejected: %s" msg
 
 let suite =
   [
