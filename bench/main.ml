@@ -19,12 +19,13 @@
    demotion counts), a serve_sweep section (workload-engine
    throughput vs cache capacity and admission window), a latency
    section (per-strategy query-latency quantiles from a
-   telemetry-enabled serve run) and an auto_sweep section (AUTO's
+   telemetry-enabled serve run), an overload_sweep section (goodput and
+   tail latency vs offered load per shed policy) and an auto_sweep section (AUTO's
    adaptive selection vs every fixed strategy — the validator enforces
    the win condition); --out DIR picks the directory, --jobs N sizes
    the domain pool (default: all cores; 1 = sequential), --smoke runs
    a reduced version for CI, and --check FILE validates an existing
-   result file against the schema (/1../7 all accepted). *)
+   result file against the schema (/1../8 all accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -479,6 +480,7 @@ let latency_study () =
                 Serve.strategy;
                 analysis = List.nth analyses (i mod List.length analyses);
                 arrival = Msdq_simkit.Time.ms (float_of_int i *. 50.0);
+                deadline = None;
               })
         in
         let out = Serve.run scfg fed jobs in
@@ -527,6 +529,41 @@ let auto_study ~seed () =
     a.Auto_sweep.rank_matches a.Auto_sweep.distinct
     (a.Auto_sweep.rank_match_rate *. 100.0);
   a
+
+(* ------------------------------------------------------------------ *)
+(* Overload robustness: goodput and tail latency vs offered load per shed
+   policy, recorded in the JSON file's overload_sweep section. Every cell
+   is pure in (seed, policy, multiplier), so smoke and full runs produce
+   identical sections the CI bench gate can compare across commits. *)
+
+let overload_study ?pool ~seed () =
+  section "overload";
+  Format.printf
+    "Overload robustness: one BL workload offered at 0.5x..3x capacity,@.\
+     served naively (unbounded queue, no deadline) and under each shed@.\
+     policy with a depth-bounded queue and a deadline budget. Win@.\
+     condition: admitted p99 under rejecting policies stays within 2x@.\
+     the at-capacity p99 while the naive tail grows without bound.@.@.";
+  let o = Overload_sweep.run ?pool ~seed () in
+  Format.printf
+    "capacity (solo response) %.2fms, deadline %.2fms, queue depth %d@.@."
+    o.Overload_sweep.solo_response_ms o.Overload_sweep.deadline_ms
+    o.Overload_sweep.queue_limit;
+  Format.printf "%-14s %5s %8s %5s %9s %5s %9s %9s@." "policy" "load"
+    "admitted" "shed" "goodput" "hit" "p50" "p99";
+  List.iter
+    (fun (p : Overload_sweep.point) ->
+      Format.printf "%-14s %4.1fx %5d/%-2d %5d %7.1f/s %5.2f %7.2fms %7.2fms@."
+        p.Overload_sweep.pt_policy p.Overload_sweep.pt_multiplier
+        p.Overload_sweep.pt_admitted p.Overload_sweep.pt_offered
+        p.Overload_sweep.pt_shed p.Overload_sweep.pt_goodput
+        p.Overload_sweep.pt_hit_rate p.Overload_sweep.pt_p50_ms
+        p.Overload_sweep.pt_p99_ms)
+    o.Overload_sweep.points;
+  Format.printf "@.at-capacity p99 %.2fms, tail bound %.2fms@."
+    o.Overload_sweep.cap_p99_ms
+    (2.0 *. o.Overload_sweep.cap_p99_ms);
+  o
 
 (* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
@@ -640,11 +677,11 @@ let timestamp () =
     tm.Unix.tm_sec
 
 let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~auto_sweep ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
-      ~recovery_sweep ~serve_sweep ~latency ~auto_sweep
+      ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
       ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
@@ -709,7 +746,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema (/1../7) and exit" );
+        "FILE  validate FILE against the bench schema (/1../8) and exit" );
     ]
   in
   Arg.parse spec
@@ -743,9 +780,11 @@ let () =
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:2 () in
       let latency = latency_study () in
       let auto_sweep = auto_study ~seed:!seed () in
+      let overload_sweep = overload_study ?pool ~seed:!seed () in
       let wall = microbenches ~quota:0.05 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~wall
+        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
+        ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -761,8 +800,10 @@ let () =
       let serve_sweep = serve_study ?pool ~seed:!seed ~samples:6 () in
       let latency = latency_study () in
       let auto_sweep = auto_study ~seed:!seed () in
+      let overload_sweep = overload_study ?pool ~seed:!seed () in
       let wall = microbenches ~quota:0.4 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
-        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~wall;
+        ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
+        ~wall;
       Format.printf "@.done.@."
     end

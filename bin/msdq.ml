@@ -498,8 +498,49 @@ let run_auto_sweep ~registry ?progress ~seed ~json () =
   end;
   `Ok ()
 
-let experiment which fault_sweep recovery_sweep auto_sweep samples seed jobs
-    drop inflate csv chart json progress =
+let pp_overload_sweep ppf (o : Overload_sweep.outcome) =
+  Format.fprintf ppf "%s — %s@.@." o.Overload_sweep.id o.Overload_sweep.title;
+  Format.fprintf ppf
+    "%d queries per cell, seed %d; capacity (solo response) %.2fms, deadline \
+     %.2fms, queue depth %d@.@."
+    o.Overload_sweep.queries o.Overload_sweep.seed
+    o.Overload_sweep.solo_response_ms o.Overload_sweep.deadline_ms
+    o.Overload_sweep.queue_limit;
+  Format.fprintf ppf "%-14s %5s %8s %5s %9s %5s %9s %9s %8s@." "policy" "load"
+    "admitted" "shed" "goodput" "hit" "p50" "p99" "abandon";
+  List.iter
+    (fun (pt : Overload_sweep.point) ->
+      Format.fprintf ppf
+        "%-14s %4.1fx %5d/%-2d %5d %7.1f/s %5.2f %7.2fms %7.2fms %8d@."
+        pt.Overload_sweep.pt_policy pt.Overload_sweep.pt_multiplier
+        pt.Overload_sweep.pt_admitted pt.Overload_sweep.pt_offered
+        pt.Overload_sweep.pt_shed pt.Overload_sweep.pt_goodput
+        pt.Overload_sweep.pt_hit_rate pt.Overload_sweep.pt_p50_ms
+        pt.Overload_sweep.pt_p99_ms pt.Overload_sweep.pt_abandoned_checks)
+    o.Overload_sweep.points;
+  Format.fprintf ppf
+    "@.at-capacity p99 %.2fms; rejecting policies hold p99 within %.2fms at \
+     every overloaded point@."
+    o.Overload_sweep.cap_p99_ms
+    (2.0 *. o.Overload_sweep.cap_p99_ms)
+
+let run_overload_sweep ?pool ~registry ?progress ~seed ~json () =
+  let o = Overload_sweep.run ?pool ~registry ?progress ~seed () in
+  if not json then Format.printf "%a@." pp_overload_sweep o
+  else begin
+    let doc =
+      Msdq_obs.Json.Obj
+        [
+          ("overload_sweep", Run_report.overload_sweep_to_json o);
+          ("registry", Msdq_obs.Metrics.to_json registry);
+        ]
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
+  `Ok ()
+
+let experiment which fault_sweep recovery_sweep auto_sweep overload_sweep
+    samples seed jobs drop inflate csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -528,6 +569,8 @@ let experiment which fault_sweep recovery_sweep auto_sweep samples seed jobs
       ~csv ~json ()
   else if auto_sweep || String.equal which "auto-sweep" then
     run_auto_sweep ~registry ?progress ~seed ~json ()
+  else if overload_sweep || String.equal which "overload-sweep" then
+    run_overload_sweep ?pool ~registry ?progress ~seed ~json ()
   else
   let figures =
     match which with
@@ -587,7 +630,8 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
-             fault-sweep, recovery-sweep, auto-sweep or all.")
+             fault-sweep, recovery-sweep, auto-sweep, overload-sweep or \
+             all.")
   in
   let fault_sweep_flag =
     Arg.(
@@ -628,6 +672,19 @@ let experiment_cmd =
              estimator's rank-match rate. Uses $(b,--seed); \
              $(b,--samples) is ignored.")
   in
+  let overload_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "overload-sweep" ]
+          ~doc:
+            "Run the overload-robustness experiment instead of the figures: \
+             one BL workload offered at 0.5x..3x the calibrated capacity, \
+             served naively (unbounded queue, no deadline) and under each \
+             shed policy with a bounded queue and a deadline budget, \
+             reporting goodput, deadline-hit rate and p50/p99 of admitted \
+             latency per (policy, load) cell. Uses $(b,--seed) and \
+             $(b,--jobs); $(b,--samples) is ignored.")
+  in
   let drop =
     Arg.(
       value
@@ -666,8 +723,8 @@ let experiment_cmd =
       Term.(
         ret
           (const experiment $ which $ fault_sweep_flag $ recovery_sweep_flag
-         $ auto_sweep_flag $ samples_arg $ seed_arg $ jobs $ drop $ inflate
-         $ csv $ chart $ json_arg $ progress_arg))
+         $ auto_sweep_flag $ overload_sweep_flag $ samples_arg $ seed_arg
+         $ jobs $ drop $ inflate $ csv $ chart $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -746,8 +803,25 @@ let serve_outcome_to_json ~query cfg (out : Msdq_serve.Serve.outcome) =
                           (Answer.cached r.Serve.answer)) );
                    ("extent_hits", Json.Int r.Serve.extent_hits);
                    ("verdict_hits", Json.Int r.Serve.verdict_hits);
+                   ("deadline_demoted", Json.Int r.Serve.deadline_demoted);
                  ])
              out.Serve.reports) );
+      ( "shed",
+        Json.Arr
+          (List.map
+             (fun (sr : Serve.shed_report) ->
+               Json.Obj
+                 [
+                   ("index", Json.Int sr.Serve.s_index);
+                   ( "strategy",
+                     Json.Str (Strategy.to_string sr.Serve.s_strategy) );
+                   ("arrival_us", time sr.Serve.s_arrival);
+                   ( "policy",
+                     Json.Str (Serve.shed_policy_to_string sr.Serve.s_policy)
+                   );
+                 ])
+             out.Serve.shed) );
+      ("max_queue_depth", Json.Int out.Serve.max_queue_depth);
       ("makespan_us", time out.Serve.makespan);
       ("throughput_qps", Json.Float out.Serve.throughput);
       ("extent_cache", cache out.Serve.extent_cache);
@@ -825,6 +899,18 @@ let dashboard_frames (out : Msdq_serve.Serve.outcome) =
         verdict_lookups = max vhits (scale ver_lookups);
         breakers_open = 0;
         messages = scale out.Serve.messages;
+        shed =
+          (* sheds can arrive after the last admitted completion, so the
+             final frame takes the full count *)
+          (if k = total then List.length out.Serve.shed
+           else
+             List.length
+               (List.filter
+                  (fun (s : Serve.shed_report) ->
+                    T.to_us s.Serve.s_arrival <= now_us)
+                  out.Serve.shed));
+        deadline_demotions =
+          sum (fun (q : Serve.query_report) -> q.Serve.deadline_demoted);
         latency =
           Msdq_simkit.Stats.summarize
             (List.map
@@ -835,8 +921,9 @@ let dashboard_frames (out : Msdq_serve.Serve.outcome) =
       })
     reports
 
-let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
-    samples jobs json dashboard store trace_out sql =
+let serve queries arrival cache_mb window_us deadline_ms queue_limit
+    shed_policy strategy data synthetic seed sweep samples jobs json dashboard
+    store trace_out sql =
   let module Serve = Msdq_serve.Serve in
   let module Lru = Msdq_serve.Lru in
   if sweep then begin
@@ -871,6 +958,26 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
       Format.eprintf "--cache-mb must be >= 0@.";
       exit 1
     end;
+    (match deadline_ms with
+    | Some d when Float.is_nan d || d <= 0.0 || not (Float.is_finite d) ->
+      Format.eprintf "--deadline must be a positive budget in milliseconds@.";
+      exit 1
+    | _ -> ());
+    (match queue_limit with
+    | Some q when q < 1 ->
+      Format.eprintf "--queue-limit must be >= 1@.";
+      exit 1
+    | _ -> ());
+    let shed_policy =
+      match shed_policy with
+      | None -> Msdq_serve.Serve.default_config.Serve.shed_policy
+      | Some name -> (
+        match Serve.shed_policy_of_string name with
+        | Ok p -> p
+        | Error msg ->
+          Format.eprintf "--shed-policy: %s@." msg;
+          exit 1)
+    in
     let fed = federation_of ~data ~synthetic ~seed in
     let src = match sql with Some s -> s | None -> Paper_example.q1 in
     let analysis = analyze_or_exit fed src in
@@ -883,6 +990,9 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
         Serve.cache_bytes = int_of_float (cache_mb *. 1024.0 *. 1024.0);
         window = Msdq_simkit.Time.us window_us;
         options = { Strategy.default_options with Strategy.telemetry };
+        deadline = Option.map (fun d -> Msdq_simkit.Time.ms d) deadline_ms;
+        queue_limit;
+        shed_policy;
       }
     in
     let out, auto_info =
@@ -891,7 +1001,7 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
         | Strategy.Fixed strategy ->
           let jobs_list =
             List.init queries (fun i ->
-                { Serve.strategy; analysis; arrival = arrival_of i })
+                { Serve.strategy; analysis; arrival = arrival_of i; deadline = None })
           in
           (Serve.run ~trace:(trace_out <> None) cfg fed jobs_list, None)
         | Strategy.Auto ->
@@ -984,6 +1094,27 @@ let serve queries arrival cache_mb window_us strategy data synthetic seed sweep
       pp_cache "verdict" out.Serve.verdict_cache;
       Format.printf "%d serve-path messages, %d coalesced check requests@."
         out.Serve.messages out.Serve.coalesced_checks;
+      let demoted =
+        List.fold_left
+          (fun acc (r : Serve.query_report) -> acc + r.Serve.deadline_demoted)
+          0 out.Serve.reports
+      in
+      if out.Serve.shed <> [] || demoted > 0 || out.Serve.max_queue_depth > 0
+      then begin
+        Format.printf
+          "overload: %d shed, %d rows demoted at the deadline, peak queue \
+           depth %d@."
+          (List.length out.Serve.shed)
+          demoted out.Serve.max_queue_depth;
+        List.iter
+          (fun (sr : Serve.shed_report) ->
+            Format.printf "  shed #%d (%s arrival %a, policy %s)@."
+              sr.Serve.s_index
+              (Strategy.to_string sr.Serve.s_strategy)
+              Msdq_simkit.Time.pp sr.Serve.s_arrival
+              (Serve.shed_policy_to_string sr.Serve.s_policy))
+          out.Serve.shed
+      end;
       match auto_info with
       | None -> ()
       | Some a ->
@@ -1091,6 +1222,40 @@ let serve_cmd =
              observed latencies from $(b,--store) when the store file \
              already exists. Default: BL.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-query deadline budget in simulated milliseconds. At \
+             expiry outstanding check round trips are abandoned and their \
+             rows demote to uncertified maybe with a Deadline reason; rows \
+             already certified are returned as-is (anytime answers). \
+             Default: unbounded.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission-queue depth bound: an arrival finding N queries \
+             queued or in service is handled by $(b,--shed-policy). \
+             Default: unbounded.")
+  in
+  let shed_policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What to do with an over-capacity arrival (with \
+             $(b,--queue-limit)): $(b,reject-newest) sheds it, \
+             $(b,reject-oldest) evicts the oldest still-queued query in its \
+             favor, $(b,degrade) admits it but forces the cheapest \
+             predicted strategy. Default: reject-newest.")
+  in
   let sweep_flag =
     Arg.(
       value & flag
@@ -1156,16 +1321,18 @@ let serve_cmd =
     with_logs
       Term.(
         ret
-          (const serve $ queries $ arrival $ cache_mb $ window $ strategy
-         $ data_arg $ synthetic $ seed_arg $ sweep_flag $ samples $ jobs
-         $ json_arg $ dashboard $ store_arg $ serve_trace_out $ sql))
+          (const serve $ queries $ arrival $ cache_mb $ window $ deadline
+         $ queue_limit $ shed_policy $ strategy $ data_arg $ synthetic
+         $ seed_arg $ sweep_flag $ samples $ jobs $ json_arg $ dashboard
+         $ store_arg $ serve_trace_out $ sql))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a multi-query workload through the serve engine: shared \
           simulated system, cross-query GOid/extent and verdict caching, \
-          and check batching.")
+          check batching, and overload controls (deadline budgets, bounded \
+          admission with load shedding).")
     term
 
 (* ---- metrics ---- *)
@@ -1190,6 +1357,7 @@ let metrics queries arrival strategy data synthetic seed store sql =
           Serve.strategy;
           analysis;
           arrival = Msdq_simkit.Time.us (float_of_int i *. inter_us);
+          deadline = None;
         })
   in
   let cfg =

@@ -28,6 +28,7 @@ let jobs analysis =
         Serve.strategy = Strategy.Bl;
         analysis;
         arrival = Time.ms (spacing_ms *. float_of_int i);
+        deadline = None;
       })
 
 let run_stream ~label ?fault ~cache_bytes ~window fed analysis =

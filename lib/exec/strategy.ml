@@ -1989,7 +1989,8 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
                               (row.Local_result.db,
                                Dbobject.loid u.Local_result.item))
                           row.Local_result.unsolved
-                        |> Option.map (fun why -> (row.Local_result.goid, why))
+                        |> Option.map (fun why ->
+                               (row.Local_result.goid, Answer.Fault why))
                       else None)
                     ph.result.Local_result.rows)
                 phases

@@ -173,7 +173,7 @@ let run ?registry ?progress ?(queries = 8) ?(distinct = 4) ?(seed = 1996)
       (fun s ->
         let jobs =
           List.map
-            (fun (analysis, arrival) -> { Serve.strategy = s; analysis; arrival })
+            (fun (analysis, arrival) -> { Serve.strategy = s; analysis; arrival; deadline = None })
             arrivals
         in
         let out = Serve.run serve_cfg fed jobs in

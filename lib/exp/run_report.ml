@@ -354,7 +354,8 @@ let bench_schema_v3 = "msdq-bench/3"
 let bench_schema_v4 = "msdq-bench/4"
 let bench_schema_v5 = "msdq-bench/5"
 let bench_schema_v6 = "msdq-bench/6"
-let bench_schema = "msdq-bench/7"
+let bench_schema_v7 = "msdq-bench/7"
+let bench_schema = "msdq-bench/8"
 
 type parallel = {
   jobs : int;
@@ -428,8 +429,52 @@ let auto_sweep_to_json (a : Auto_sweep.outcome) =
       ("rank_match_rate", Json.Float a.Auto_sweep.rank_match_rate);
     ]
 
+(* The /8 addition: the overload experiment — goodput, deadline-hit rate
+   and tail latency vs offered load per shed policy, plus the at-capacity
+   p99 the validator's tail bound is measured against. *)
+let overload_sweep_to_json (o : Overload_sweep.outcome) =
+  Json.Obj
+    [
+      ("id", Json.Str o.Overload_sweep.id);
+      ("title", Json.Str o.Overload_sweep.title);
+      ("seed", Json.Int o.Overload_sweep.seed);
+      ("queries", Json.Int o.Overload_sweep.queries);
+      ("queue_limit", Json.Int o.Overload_sweep.queue_limit);
+      ("solo_response_ms", Json.Float o.Overload_sweep.solo_response_ms);
+      ("deadline_ms", Json.Float o.Overload_sweep.deadline_ms);
+      ("cap_p99_ms", Json.Float o.Overload_sweep.cap_p99_ms);
+      ( "multipliers",
+        Json.Arr
+          (List.map
+             (fun m -> Json.Float m)
+             (Array.to_list o.Overload_sweep.multipliers)) );
+      ( "policies",
+        Json.Arr (List.map (fun p -> Json.Str p) o.Overload_sweep.policies) );
+      ( "points",
+        Json.Arr
+          (List.map
+             (fun (p : Overload_sweep.point) ->
+               Json.Obj
+                 [
+                   ("policy", Json.Str p.Overload_sweep.pt_policy);
+                   ("multiplier", Json.Float p.Overload_sweep.pt_multiplier);
+                   ("offered", Json.Int p.Overload_sweep.pt_offered);
+                   ("admitted", Json.Int p.Overload_sweep.pt_admitted);
+                   ("shed", Json.Int p.Overload_sweep.pt_shed);
+                   ("goodput_qps", Json.Float p.Overload_sweep.pt_goodput);
+                   ("deadline_hits", Json.Int p.Overload_sweep.pt_deadline_hits);
+                   ("hit_rate", Json.Float p.Overload_sweep.pt_hit_rate);
+                   ("p50_ms", Json.Float p.Overload_sweep.pt_p50_ms);
+                   ("p99_ms", Json.Float p.Overload_sweep.pt_p99_ms);
+                   ("demoted_rows", Json.Int p.Overload_sweep.pt_demoted_rows);
+                   ( "abandoned_checks",
+                     Json.Int p.Overload_sweep.pt_abandoned_checks );
+                 ])
+             o.Overload_sweep.points) );
+    ]
+
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~auto_sweep ~strategies ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -441,6 +486,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("serve_sweep", serve_sweep_to_json serve_sweep);
       ("latency", latency_to_json latency);
       ("auto_sweep", auto_sweep_to_json auto_sweep);
+      ("overload_sweep", overload_sweep_to_json overload_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -852,12 +898,138 @@ let validate_auto_sweep j =
     Error "bench document: auto_sweep rank_match_rate must be inside [0, 1]"
   else Ok ()
 
+(* The /8 addition: the overload_sweep section. Beyond shape checks this
+   validator enforces the robustness win condition — the naive unbounded
+   baseline's p99 grows monotonically with offered load and blows past
+   twice the at-capacity p99, while every rejecting shed policy keeps the
+   p99 of admitted queries within that 2x bound at every overloaded
+   point. [degrade] admits everything and trades latency for it, so its
+   rows are reported but not bounded. A serving engine whose admission
+   control stops holding the tail fails [--check], not just a human
+   reading the table. *)
+let validate_overload_sweep j =
+  let* o = require "\"overload_sweep\"" (Json.member "overload_sweep" j) in
+  let* cap =
+    require "overload_sweep \"cap_p99_ms\""
+      Option.(Json.member "cap_p99_ms" o |> map Json.to_float |> join)
+  in
+  let* () =
+    if Float.is_nan cap || cap <= 0.0 then
+      Error "bench document: overload_sweep cap_p99_ms must be positive"
+    else Ok ()
+  in
+  let* points =
+    require "overload_sweep \"points\""
+      Option.(Json.member "points" o |> map Json.to_list |> join)
+  in
+  let* () =
+    if points = [] then Error "bench document: overload_sweep \"points\" is empty"
+    else Ok ()
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc entry ->
+        let* acc = acc in
+        let* policy =
+          require "overload_sweep point \"policy\""
+            Option.(Json.member "policy" entry |> map Json.to_str |> join)
+        in
+        let* multiplier =
+          require
+            (Printf.sprintf "overload_sweep %s \"multiplier\"" policy)
+            Option.(Json.member "multiplier" entry |> map Json.to_float |> join)
+        in
+        let* p99 =
+          require
+            (Printf.sprintf "overload_sweep %s \"p99_ms\"" policy)
+            Option.(Json.member "p99_ms" entry |> map Json.to_float |> join)
+        in
+        let* () =
+          nonneg
+            (Printf.sprintf "overload_sweep %s x%g p99_ms" policy multiplier)
+            p99
+        in
+        let* admitted =
+          require
+            (Printf.sprintf "overload_sweep %s \"admitted\"" policy)
+            Option.(Json.member "admitted" entry |> map Json.to_int |> join)
+        in
+        let* shed =
+          require
+            (Printf.sprintf "overload_sweep %s \"shed\"" policy)
+            Option.(Json.member "shed" entry |> map Json.to_int |> join)
+        in
+        let* () =
+          if admitted >= 0 && shed >= 0 then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "bench document: overload_sweep %s x%g admitted and shed must \
+                  be >= 0"
+                 policy multiplier)
+        in
+        Ok ((policy, multiplier, p99) :: acc))
+      (Ok []) points
+  in
+  let parsed = List.rev parsed in
+  let row policy =
+    List.sort
+      (fun (_, a, _) (_, b, _) -> Float.compare a b)
+      (List.filter (fun (p, _, _) -> String.equal p policy) parsed)
+  in
+  let naive = row "naive" in
+  let* () =
+    if naive = [] then
+      Error "bench document: overload_sweep has no \"naive\" baseline row"
+    else Ok ()
+  in
+  let* _ =
+    List.fold_left
+      (fun acc (_, m, p99) ->
+        let* prev = acc in
+        if p99 +. 1e-9 >= prev then Ok p99
+        else
+          Error
+            (Printf.sprintf
+               "bench document: overload_sweep naive p99 must grow with load \
+                but drops to %g ms at x%g"
+               p99 m))
+      (Ok 0.0) naive
+  in
+  let* () =
+    let _, _, worst = List.nth naive (List.length naive - 1) in
+    if worst > 2.0 *. cap then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "bench document: overload_sweep naive p99 %g ms never exceeds \
+            twice the at-capacity p99 %g ms — the sweep is not overloaded"
+           worst cap)
+  in
+  let bound = 2.0 *. cap *. (1.0 +. 1e-9) in
+  List.fold_left
+    (fun acc policy ->
+      let* () = acc in
+      List.fold_left
+        (fun acc (_, m, p99) ->
+          let* () = acc in
+          if m < 2.0 || p99 <= bound then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "bench document: overload_sweep tail-bound regression — %s \
+                  p99 %g ms at x%g exceeds twice the at-capacity p99 %g ms"
+                 policy p99 m cap))
+        (Ok ()) (row policy))
+    (Ok ())
+    [ "reject-newest"; "reject-oldest" ]
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let known =
     [
-      bench_schema; bench_schema_v6; bench_schema_v5; bench_schema_v4;
-      bench_schema_v3; bench_schema_v2; bench_schema_v1;
+      bench_schema; bench_schema_v7; bench_schema_v6; bench_schema_v5;
+      bench_schema_v4; bench_schema_v3; bench_schema_v2; bench_schema_v1;
     ]
   in
   let* () =
@@ -877,7 +1049,8 @@ let validate_bench j =
       else if String.equal s bench_schema_v4 then 4
       else if String.equal s bench_schema_v5 then 5
       else if String.equal s bench_schema_v6 then 6
-      else 7
+      else if String.equal s bench_schema_v7 then 7
+      else 8
     in
     rank schema >= v
   in
@@ -887,6 +1060,7 @@ let validate_bench j =
   let* () = if at_least 5 then validate_serve_sweep j else Ok () in
   let* () = if at_least 6 then validate_latency j else Ok () in
   let* () = if at_least 7 then validate_auto_sweep j else Ok () in
+  let* () = if at_least 8 then validate_overload_sweep j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)
@@ -952,7 +1126,7 @@ let pp_explain ppf answer =
       let goid = r.Answer.goid in
       let provenance =
         match Answer.degraded_reason answer goid with
-        | Some why -> Printf.sprintf "degraded: %s" why
+        | Some why -> Printf.sprintf "degraded: %s" (Answer.reason_to_string why)
         | None -> (
             match r.Answer.status with
             | Answer.Maybe ->

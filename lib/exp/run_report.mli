@@ -70,10 +70,21 @@ val auto_sweep_to_json : Auto_sweep.outcome -> Json.t
     makespans, AUTO's makespan, per-strategy decision counts, breaker
     switches and the estimator's rank-match rate. *)
 
+val overload_sweep_to_json : Overload_sweep.outcome -> Json.t
+(** The [msdq experiment --overload-sweep --json] document: calibration
+    (solo response, deadline budget, queue depth), the load grid and one
+    point per (policy, multiplier) cell — admitted/shed counts, goodput,
+    deadline-hit rate, p50/p99 of admitted latency, demoted rows and
+    abandoned checks — plus the at-capacity p99 the validator's tail
+    bound is measured against. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/7"] — the schema every new document is written with. *)
+(** ["msdq-bench/8"] — the schema every new document is written with. *)
+
+val bench_schema_v7 : string
+(** ["msdq-bench/7"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v6 : string
 (** ["msdq-bench/6"] — still accepted by {!validate_bench}. *)
@@ -114,6 +125,7 @@ val bench_to_json :
   serve_sweep:Serve_sweep.sweep ->
   latency:(string * Msdq_simkit.Stats.summary) list ->
   auto_sweep:Auto_sweep.outcome ->
+  overload_sweep:Overload_sweep.outcome ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -124,8 +136,9 @@ val bench_to_json :
     [fault_sweep] and [recovery_sweep] are the run's (possibly reduced)
     robustness sweeps, [serve_sweep] its workload-engine sweep and
     [latency] its per-strategy query-latency quantile summaries
-    ([(name, summary)], the [/6] histogram section) and [auto_sweep] the
-    AUTO-vs-fixed comparison (the [/7] section). [generated_at] is
+    ([(name, summary)], the [/6] histogram section), [auto_sweep] the
+    AUTO-vs-fixed comparison (the [/7] section) and [overload_sweep] the
+    overload-robustness sweep (the [/8] section). [generated_at] is
     injected (not read from the clock) so tests stay deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
@@ -142,7 +155,12 @@ val validate_bench : Json.t -> (unit, string) result
     p50 <= p90 <= p99 whenever the count is positive) and the
     [auto_sweep] section from [/7] on — which additionally enforces the
     experiment's win condition: AUTO's makespan must not exceed the best
-    fixed strategy's, so an optimizer regression fails validation. *)
+    fixed strategy's, so an optimizer regression fails validation — and
+    the [overload_sweep] section from [/8] on, which enforces the
+    robustness win condition: the naive baseline's p99 grows
+    monotonically and blows past twice the at-capacity p99 while every
+    rejecting shed policy keeps admitted p99 within that bound at every
+    overloaded point ([degrade] is reported but not bounded). *)
 
 val pp_explain : Format.formatter -> Answer.t -> unit
 (** Per-row provenance table ([msdq query --explain]): every row's GOid and

@@ -96,6 +96,7 @@ let point ~seed ~cost ~queries ~si =
                           Serve.strategy = s;
                           analysis;
                           arrival = Time.us (float_of_int i *. 500.0);
+                          deadline = None;
                         })
                   in
                   let out = Serve.run cfg fed jobs in

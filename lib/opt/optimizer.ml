@@ -55,7 +55,9 @@ let argmin scores =
       first rest
 
 let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
-    fed analysis =
+    ?(overload = 0.0) fed analysis =
+  if not (Float.is_finite overload) || overload < 0.0 then
+    invalid_arg "Optimizer.decide: overload must be non-negative and finite";
   let predictions =
     Planner.predict ?cost ~strategies:candidates fed analysis
   in
@@ -89,6 +91,11 @@ let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
             ((1.0 -. beta) *. pred_ratio) +. (beta *. (lat /. m))
           | _ -> pred_ratio
         in
+        (* Backpressure: under overload, expensive plans are penalized in
+           proportion to their predicted cost, shifting the argmin toward
+           the cheapest candidate as pressure rises. Zero overload leaves
+           every score untouched. *)
+        let blended = blended +. (overload *. pred_ratio) in
         { strategy = st; predicted_us = pred_us; pred_ratio; observed = obs;
           blended })
       preds

@@ -63,13 +63,19 @@ val decide :
   ?store:Msdq_telemetry.Store.t ->
   ?objective:Planner.objective ->
   ?degraded:int list ->
+  ?overload:float ->
   Federation.t ->
   Analysis.t ->
   decision
 (** Pick a strategy for one query. [objective] defaults to
     [Response_time] (a served query's latency is its response time);
-    [degraded] lists sites whose breakers are currently open. Deterministic:
-    same federation, analysis, store contents and degraded set — same
-    decision. *)
+    [degraded] lists sites whose breakers are currently open. [overload]
+    (default 0) is a backpressure score — the serve engine feeds queue
+    depth and its deadline-miss EWMA here — added to each candidate's
+    blended score as [overload * pred_ratio], so rising pressure shifts
+    the argmin toward the cheapest plan while zero leaves the ranking
+    untouched; it must be non-negative and finite or the call raises
+    [Invalid_argument]. Deterministic: same federation, analysis, store
+    contents, degraded set and overload — same decision. *)
 
 val pp_decision : Format.formatter -> decision -> unit

@@ -4,12 +4,23 @@ type status = Certain | Maybe
 
 type row = { goid : Oid.Goid.t; values : Value.t list; status : status }
 
+type reason =
+  | Fault of string
+  | Deadline of { elapsed_us : float; budget_us : float }
+
+let reason_to_string = function
+  | Fault why -> why
+  | Deadline { elapsed_us; budget_us } ->
+      Printf.sprintf
+        "deadline exceeded: checks abandoned at %.0f us of a %.0f us budget"
+        elapsed_us budget_us
+
 type t = {
   targets : Path.t list;
   rows : row list;
   index : status Oid.Goid.Map.t;
   degraded : Oid.Goid.Set.t;
-  reasons : string Oid.Goid.Map.t; (* degraded provenance, per entity *)
+  reasons : reason Oid.Goid.Map.t; (* degraded provenance, per entity *)
   cached : Oid.Goid.Set.t; (* certified via cache-served verdicts *)
 }
 

@@ -12,6 +12,18 @@ type status = Certain | Maybe
 
 type row = { goid : Oid.Goid.t; values : Value.t list; status : status }
 
+type reason =
+  | Fault of string
+      (** degraded by an execution fault; carries a human-readable account
+          of the lost round trip or failover chain *)
+  | Deadline of { elapsed_us : float; budget_us : float }
+      (** degraded by a latency budget: the query's outstanding assistant
+          checks were abandoned when its elapsed time would have reached
+          [elapsed_us] against a [budget_us] deadline *)
+
+val reason_to_string : reason -> string
+(** One-line rendering of the provenance, stable across runs. *)
+
 type t
 
 val make : targets:Path.t list -> row list -> t
@@ -44,13 +56,14 @@ val demote : t -> goids:Oid.Goid.Set.t -> t
     every listed GOid present in the answer gains degraded provenance
     (see {!degraded}). GOids absent from the answer are ignored. *)
 
-val annotate_degraded : t -> reasons:(Oid.Goid.t * string) list -> t
-(** Attach a human-readable reason to already-degraded entities — e.g. the
-    failover chain that failed to answer a check ("check vs DB2 dropped;
-    failover DB3 dropped; no live replica"). Entities not in {!degraded},
+val annotate_degraded : t -> reasons:(Oid.Goid.t * reason) list -> t
+(** Attach structured provenance to already-degraded entities — e.g. the
+    failover chain that failed to answer a check ([Fault "check vs DB2
+    dropped; failover DB3 dropped; no live replica"]) or the latency
+    budget that abandoned it ([Deadline _]). Entities not in {!degraded},
     and entities that already carry a reason, are left untouched. *)
 
-val degraded_reason : t -> Oid.Goid.t -> string option
+val degraded_reason : t -> Oid.Goid.t -> reason option
 (** The provenance recorded by {!annotate_degraded}, if any. *)
 
 val mark_cached : t -> goids:Oid.Goid.Set.t -> t

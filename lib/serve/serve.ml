@@ -6,12 +6,36 @@ open Msdq_exec
 module Fault = Msdq_fault.Fault
 module Metrics = Msdq_obs.Metrics
 module Tracer = Msdq_obs.Tracer
+module Optimizer = Msdq_opt.Optimizer
+module Planner = Msdq_opt.Planner
+
+type shed_policy = Reject_newest | Reject_oldest | Degrade
+
+let shed_policies = [ Reject_newest; Reject_oldest; Degrade ]
+
+let shed_policy_to_string = function
+  | Reject_newest -> "reject-newest"
+  | Reject_oldest -> "reject-oldest"
+  | Degrade -> "degrade"
+
+let shed_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "reject-newest" -> Ok Reject_newest
+  | "reject-oldest" -> Ok Reject_oldest
+  | "degrade" -> Ok Degrade
+  | other ->
+      Error
+        (Printf.sprintf "unknown shed policy %S (accepted: %s)" other
+           (String.concat " | " (List.map shed_policy_to_string shed_policies)))
 
 type config = {
   options : Strategy.options;
   cache_bytes : int;
   window : Time.t;
   msg_header_bytes : int;
+  deadline : Time.t option;
+  queue_limit : int option;
+  shed_policy : shed_policy;
 }
 
 let default_config =
@@ -20,9 +44,17 @@ let default_config =
     cache_bytes = 4 * 1024 * 1024;
     window = Time.zero;
     msg_header_bytes = 64;
+    deadline = None;
+    queue_limit = None;
+    shed_policy = Reject_newest;
   }
 
-type job = { strategy : Strategy.t; analysis : Analysis.t; arrival : Time.t }
+type job = {
+  strategy : Strategy.t;
+  analysis : Analysis.t;
+  arrival : Time.t;
+  deadline : Time.t option;
+}
 
 type query_report = {
   index : int;
@@ -33,17 +65,27 @@ type query_report = {
   answer : Answer.t;
   extent_hits : int;
   verdict_hits : int;
+  deadline_demoted : int;
   registry : Metrics.t;
+}
+
+type shed_report = {
+  s_index : int;
+  s_strategy : Strategy.t;
+  s_arrival : Time.t;
+  s_policy : shed_policy;
 }
 
 type outcome = {
   reports : query_report list;
+  shed : shed_report list;
   makespan : Time.t;
   throughput : float;
   extent_cache : Lru.stats;
   verdict_cache : Lru.stats;
   messages : int;
   coalesced_checks : int;
+  max_queue_depth : int;
   registry : Metrics.t;
   trace : Trace.entry list;
 }
@@ -53,6 +95,17 @@ let throughput (o : outcome) = o.throughput
 (* ------------------------------------------------------------------ *)
 (* Validation *)
 
+let validate_deadline what = function
+  | None -> ()
+  | Some d ->
+      if (not (Time.is_finite d)) || Time.compare d Time.zero <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Serve: %s must be a positive, finite duration (got %s)" what
+             (if Time.is_finite d then
+                Printf.sprintf "%.0f us" (Time.to_us d)
+              else "a non-finite value"))
+
 let validate cfg jobs =
   Strategy.validate_options cfg.options;
   if cfg.options.Strategy.deep_certify then
@@ -61,6 +114,15 @@ let validate cfg jobs =
   if cfg.msg_header_bytes < 0 then invalid_arg "Serve: negative msg_header_bytes";
   if (not (Time.is_finite cfg.window)) || Time.compare cfg.window Time.zero < 0
   then invalid_arg "Serve: window must be non-negative and finite";
+  validate_deadline "deadline" cfg.deadline;
+  (match cfg.queue_limit with
+  | Some l when l < 1 ->
+      invalid_arg
+        (Printf.sprintf
+           "Serve: queue_limit must be >= 1 (got %d); omit it for an \
+            unbounded queue"
+           l)
+  | Some _ | None -> ());
   let _ =
     List.fold_left
       (fun prev (j : job) ->
@@ -71,6 +133,7 @@ let validate cfg jobs =
         then invalid_arg "Serve: job arrivals must be non-negative and finite";
         if Time.compare j.arrival prev < 0 then
           invalid_arg "Serve: jobs must be listed in non-decreasing arrival order";
+        validate_deadline "job deadline" j.deadline;
         j.arrival)
       Time.zero jobs
   in
@@ -138,6 +201,115 @@ let leg_fate sched (retry : Strategy.retry) ~dst ~label ~at =
   go 1 Time.zero
 
 (* ------------------------------------------------------------------ *)
+(* Admission control — pure, timing-independent.
+
+   Arrivals walk a deterministic virtual single-server FIFO queue over
+   Planner-predicted response times: entry [i] virtually starts at
+   [max arrival_i (previous virtual finish)] and finishes one predicted
+   service later. The queue depth seen by an arrival (entries whose
+   virtual finish lies beyond it) drives the shed decision and, together
+   with the deadline-miss EWMA, the overload score fed back to the
+   optimizer. Everything here is a function of arrivals and catalog-only
+   predictions — never of engine timing or cache state — so admission
+   decisions, like fault fates, are identical warm and cold. *)
+
+let miss_alpha = 0.2
+
+type vq_entry = {
+  e_index : int;
+  e_arrival : Time.t;
+  e_service : Time.t;
+  mutable e_vstart : Time.t;
+  mutable e_vfinish : Time.t;
+}
+
+type admission = {
+  a_limit : int option;
+  mutable a_entries : vq_entry list;  (* admitted, oldest first *)
+  mutable a_miss_ewma : float;  (* predicted deadline misses, EWMA *)
+  mutable a_max_depth : int;
+}
+
+let admission_create cfg =
+  {
+    a_limit = cfg.queue_limit;
+    a_entries = [];
+    a_miss_ewma = 0.0;
+    a_max_depth = 0;
+  }
+
+(* Recompute the virtual start/finish chain after a structural change. *)
+let vq_rechain adm =
+  ignore
+    (List.fold_left
+       (fun last e ->
+         e.e_vstart <- Time.max e.e_arrival last;
+         e.e_vfinish <- Time.add e.e_vstart e.e_service;
+         e.e_vfinish)
+       Time.zero adm.a_entries)
+
+let admission_depth adm ~at =
+  let d =
+    List.length
+      (List.filter
+         (fun e -> Time.compare e.e_vfinish at > 0)
+         adm.a_entries)
+  in
+  if d > adm.a_max_depth then adm.a_max_depth <- d;
+  d
+
+let admission_overload adm ~at =
+  (match adm.a_limit with
+  | Some l -> float_of_int (admission_depth adm ~at) /. float_of_int l
+  | None -> 0.0)
+  +. adm.a_miss_ewma
+
+let over_capacity adm ~at =
+  match adm.a_limit with
+  | Some l -> admission_depth adm ~at >= l
+  | None -> false
+
+(* Admit one job; returns its predicted queueing delay. *)
+let admission_push adm ~index ~arrival ~service =
+  let e =
+    {
+      e_index = index;
+      e_arrival = arrival;
+      e_service = service;
+      e_vstart = arrival;
+      e_vfinish = arrival;
+    }
+  in
+  adm.a_entries <- adm.a_entries @ [ e ];
+  vq_rechain adm;
+  Time.sub e.e_vstart arrival
+
+(* Reject_oldest: drop the oldest admitted job that has not virtually
+   started (the queue head); [None] when every earlier job is already in
+   virtual service, in which case the arrival itself must shed. *)
+let admission_evict_oldest adm ~at =
+  let rec split acc = function
+    | [] -> None
+    | e :: tl ->
+        if Time.compare e.e_vstart at > 0 then begin
+          adm.a_entries <- List.rev_append acc tl;
+          vq_rechain adm;
+          Some e.e_index
+        end
+        else split (e :: acc) tl
+  in
+  split [] adm.a_entries
+
+let admission_observe_miss adm ~deadline ~qdelay ~service =
+  let miss =
+    match deadline with
+    | Some budget when Time.compare (Time.add qdelay service) budget > 0 -> 1.0
+    | Some _ | None -> 0.0
+  in
+  adm.a_miss_ewma <-
+    ((1.0 -. miss_alpha) *. adm.a_miss_ewma) +. (miss_alpha *. miss)
+
+(* ------------------------------------------------------------------ *)
 (* Host-side preparation: real answers, cache decisions, fault fates.
 
    All data decisions happen here, in job-admission order, before any
@@ -157,6 +329,8 @@ type check_group = {
   g_wire_verdicts : int;
   g_req_leg : leg;
   g_ver_leg : leg;
+  g_doomed : bool;  (* abandoned at the query's deadline *)
+  g_deadline_est : Time.t;  (* estimated completion that blew the budget *)
 }
 
 let group_lost g = not (g.g_req_leg.delivered && g.g_ver_leg.delivered)
@@ -186,11 +360,13 @@ type prepared = {
   p_index : int;
   p_strategy : Strategy.t;
   p_arrival : Time.t;
+  p_deadline : Time.t option;  (* effective latency budget *)
   p_plan : qplan;
   p_answer : Answer.t;
   p_certify_units : int;
   p_extent_hits : int;
   p_verdict_hits : int;
+  p_deadline_demoted : int;
   p_registry : Metrics.t;
 }
 
@@ -212,8 +388,16 @@ let extent_cache_of caches ~cache_bytes ~site =
       Hashtbl.add caches site c;
       c
 
-let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
-    (j : job) =
+(* [qdelay] is the admission queue's predicted queueing delay for this
+   query and [predicted] the Planner-predicted response of its strategy;
+   both are zero when neither deadline nor queue limit is configured.
+   Together with each group's retry waits they decide — at admission,
+   timing-independently — which check round trips the deadline abandons. *)
+let prepare (cfg : config) fed tracer ~extent_caches ~verdict_cache
+    ~signatures ~qdelay ~predicted index (j : job) =
+  let deadline =
+    match j.deadline with Some _ as d -> d | None -> cfg.deadline
+  in
   let opts = cfg.options in
   let sched = opts.Strategy.fault in
   let c = opts.Strategy.cost in
@@ -270,11 +454,13 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
         p_index = index;
         p_strategy = j.strategy;
         p_arrival = at;
+        p_deadline = deadline;
         p_plan = Centralized { ca_ships; ca_units };
         p_answer = outcome.Ca.answer;
         p_certify_units = ca_units;
         p_extent_hits = !extent_hits;
         p_verdict_hits = 0;
+        p_deadline_demoted = 0;
         p_registry = registry;
       }
   | (Strategy.Bl | Strategy.Pl | Strategy.Bls | Strategy.Pls | Strategy.Lo) as st ->
@@ -390,8 +576,26 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
                 ~at
             in
             let lost = not (req_leg.delivered && ver_leg.delivered) in
+            (* Deadline fate, decided at admission like loss fates: the
+               round trip is abandoned iff its estimated completion —
+               predicted queueing delay + predicted response + this
+               group's retry waits — blows the query's budget. A doomed
+               round trip never consults or populates the cache either,
+               so cached verdicts can never resurrect a deadline-demoted
+               row (the fault-dooming suppression rule). *)
+            let est =
+              Time.add qdelay
+                (Time.add predicted
+                   (Time.add req_leg.extra_wait ver_leg.extra_wait))
+            in
+            let doomed =
+              match deadline with
+              | None -> false
+              | Some budget -> Time.compare est budget > 0
+            in
+            let dead = lost || doomed in
             let wire, hits =
-              if lost || not caching then (reqs, [])
+              if dead || not caching then (reqs, [])
               else
                 let g = gen ~holder:gsite ~source:tsite in
                 List.fold_left
@@ -417,11 +621,11 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
                host-side to anchor the fault-free reference answer. *)
             let served_wire = Checks.serve ~tracer fed ~db:target wire in
             let full =
-              if lost || hits = [] then
+              if dead || hits = [] then
                 (Checks.serve ~tracer fed ~db:target reqs).Checks.verdicts
               else hits @ served_wire.Checks.verdicts
             in
-            if (not lost) && caching then
+            if (not dead) && caching then
               List.iter2
                 (fun (r : Checks.request) (v : Checks.verdict) ->
                   let g = gen ~holder:gsite ~source:tsite in
@@ -433,15 +637,17 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
               g_origin = origin;
               g_target = target;
               g_all = reqs;
-              g_wire = (if lost then reqs else wire);
-              g_hits = (if lost then [] else hits);
+              g_wire = (if dead then reqs else wire);
+              g_hits = (if dead then [] else hits);
               g_full_verdicts = full;
               g_wire_read_bytes =
-                Wire.check_read_bytes c (if lost then reqs else wire);
+                Wire.check_read_bytes c (if dead then reqs else wire);
               g_wire_serve_units = units_of_work served_wire.Checks.work;
               g_wire_verdicts = List.length served_wire.Checks.verdicts;
               g_req_leg = req_leg;
               g_ver_leg = ver_leg;
+              g_doomed = doomed;
+              g_deadline_est = (if doomed then est else Time.zero);
             })
           (List.rev !order)
       in
@@ -459,38 +665,82 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
           analysis ~results ~verdicts:full_verdicts
       in
       let lost_groups = List.filter group_lost groups in
-      let answer =
-        if lost_groups = [] then ff.Certify.answer
+      let doomed_groups =
+        List.filter (fun g -> g.g_doomed && not (group_lost g)) groups
+      in
+      (* Demotion by construction, in two layers: withholding the lost
+         batches' verdicts finds the fault demotions; additionally
+         withholding the deadline-doomed batches' verdicts finds the rows
+         the budget demotes on top. certain(final) ⊆ certain(fault-only)
+         ⊆ certain(fault-free), and the deadline demotions are exactly
+         certain(fault-only) minus certain(final) — the reconciliation
+         the soundness property pins. *)
+      let answer, deadline_demoted_count =
+        if lost_groups = [] && doomed_groups = [] then (ff.Certify.answer, 0)
         else begin
-          let surviving =
-            local_verdicts
-            @ List.concat_map
-                (fun g -> if group_lost g then [] else g.g_full_verdicts)
-                groups
+          let certain_with keep =
+            let verdicts =
+              local_verdicts
+              @ List.concat_map
+                  (fun g -> if keep g then g.g_full_verdicts else [])
+                  groups
+            in
+            let r =
+              Certify.run ~multi_valued:opts.Strategy.multi_valued ~tracer fed
+                analysis ~results ~verdicts
+            in
+            Answer.goids r.Certify.answer Answer.Certain
           in
-          let degraded_run =
-            Certify.run ~multi_valued:opts.Strategy.multi_valued ~tracer fed
-              analysis ~results ~verdicts:surviving
+          let ff_certain = Answer.goids ff.Certify.answer Answer.Certain in
+          let fault_certain =
+            if lost_groups = [] then ff_certain
+            else certain_with (fun g -> not (group_lost g))
           in
-          let demoted =
-            Oid.Goid.Set.diff
-              (Answer.goids ff.Certify.answer Answer.Certain)
-              (Answer.goids degraded_run.Certify.answer Answer.Certain)
+          let final_certain =
+            if doomed_groups = [] then fault_certain
+            else certain_with (fun g -> not (group_lost g || g.g_doomed))
           in
-          let reason =
-            Printf.sprintf "check batch lost: %s"
-              (String.concat "; "
-                 (List.map
-                    (fun g ->
-                      Printf.sprintf "%s->%s after %d attempts" g.g_origin
-                        g.g_target
-                        (max g.g_req_leg.attempts g.g_ver_leg.attempts))
-                    lost_groups))
+          let fault_demoted = Oid.Goid.Set.diff ff_certain fault_certain in
+          let deadline_demoted =
+            Oid.Goid.Set.diff fault_certain final_certain
           in
+          let fault_reason =
+            Answer.Fault
+              (Printf.sprintf "check batch lost: %s"
+                 (String.concat "; "
+                    (List.map
+                       (fun g ->
+                         Printf.sprintf "%s->%s after %d attempts" g.g_origin
+                           g.g_target
+                           (max g.g_req_leg.attempts g.g_ver_leg.attempts))
+                       lost_groups)))
+          in
+          let deadline_reason =
+            let elapsed =
+              List.fold_left
+                (fun acc g -> Time.max acc g.g_deadline_est)
+                Time.zero doomed_groups
+            in
+            Answer.Deadline
+              {
+                elapsed_us = Time.to_us elapsed;
+                budget_us =
+                  (match deadline with
+                  | Some b -> Time.to_us b
+                  | None -> 0.0);
+              }
+          in
+          let demoted = Oid.Goid.Set.union fault_demoted deadline_demoted in
           let demoted_answer = Answer.demote ff.Certify.answer ~goids:demoted in
-          Answer.annotate_degraded demoted_answer
-            ~reasons:
-              (List.map (fun g -> (g, reason)) (Oid.Goid.Set.elements demoted))
+          ( Answer.annotate_degraded demoted_answer
+              ~reasons:
+                (List.map
+                   (fun g -> (g, fault_reason))
+                   (Oid.Goid.Set.elements fault_demoted)
+                @ List.map
+                    (fun g -> (g, deadline_reason))
+                    (Oid.Goid.Set.elements deadline_demoted)),
+            Oid.Goid.Set.cardinal deadline_demoted )
         end
       in
       (* Cache provenance: rows certified through at least one cache-served
@@ -533,6 +783,7 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
         p_index = index;
         p_strategy = st;
         p_arrival = at;
+        p_deadline = deadline;
         p_plan = Localized { locals; groups };
         p_answer = answer;
         p_certify_units =
@@ -540,6 +791,7 @@ let prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures index
           + !verdict_hits;
         p_extent_hits = !extent_hits;
         p_verdict_hits = !verdict_hits;
+        p_deadline_demoted = deadline_demoted_count;
         p_registry = registry;
       }
 
@@ -858,7 +1110,7 @@ let build_query ctx (p : prepared) ~completed =
       let group_promises =
         List.filter_map
           (fun g ->
-            if g.g_wire = [] && not (group_lost g) then None
+            if g.g_wire = [] && not (group_lost g) && not g.g_doomed then None
             else begin
               let osite = Federation.site_of ctx.fed g.g_origin in
               let tsite = Federation.site_of ctx.fed g.g_target in
@@ -873,7 +1125,28 @@ let build_query ctx (p : prepared) ~completed =
                     (Printf.sprintf "serve:q%d:checks:%s->%s" p.p_index
                        g.g_origin g.g_target)
               in
-              if group_lost g then begin
+              if g.g_doomed then begin
+                (* Deadline abandonment: the anytime answer waits out the
+                   query's budget from its arrival, then gives up the round
+                   trip without putting anything on the wire. The rows it
+                   alone certified already demoted in [prepare]; the local
+                   result ships still feed certification — that is the
+                   anytime floor. *)
+                bump ctx.wl "msdq_checks_abandoned_total" []
+                  (List.length g.g_all);
+                let budget =
+                  match p.p_deadline with Some b -> b | None -> Time.zero
+                in
+                ignore
+                  (Engine.delay ctx.eng ~deps:[ arrive ] ~attrs:q
+                     ~label:
+                       (Printf.sprintf "serve:q%d:deadline:%s->%s" p.p_index
+                          g.g_origin g.g_target)
+                     ~duration:budget
+                     ~on_complete:(fun () -> Engine.resolve ctx.eng promise)
+                     ())
+              end
+              else if group_lost g then begin
                 (* Abandoned round trip: its retransmission waits are pure
                    latency (PR-4 precedent); the rows already demoted. *)
                 let wait = Time.add g.g_req_leg.extra_wait g.g_ver_leg.extra_wait in
@@ -980,7 +1253,7 @@ let answer_fingerprint answer =
       (match Answer.degraded_reason answer g with
       | Some why ->
           Buffer.add_string buf ": ";
-          Buffer.add_string buf why
+          Buffer.add_string buf (Answer.reason_to_string why)
       | None -> ());
       Buffer.add_char buf '\n')
     (Answer.degraded answer);
@@ -1017,7 +1290,8 @@ let record_task_histograms wl entries =
    and assemble the outcome. Shared by {!run} (fixed per-job strategies)
    and {!run_auto} (per-query optimizer decisions) — both prepare first,
    then execute, so AUTO can never change what is answered, only when. *)
-let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
+let execute ~tracer ~wl ~trace ~shed ~max_queue_depth cfg fed ~extent_caches
+    ~verdict_cache prepared =
   let telemetry = cfg.options.Strategy.telemetry in
   let eng = Engine.create ~trace:(trace || telemetry) () in
   List.iter
@@ -1038,7 +1312,12 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
     }
   in
   let n = List.length prepared in
-  let completions = Array.make (max n 1) Time.zero in
+  (* Shedding leaves holes in the index space: size completions by the
+     largest admitted index, not the admitted count. *)
+  let slots =
+    List.fold_left (fun m (p : prepared) -> max m (p.p_index + 1)) 1 prepared
+  in
+  let completions = Array.make slots Time.zero in
   let completed i t = completions.(i) <- t in
   Tracer.with_span tracer ~cat:"serve" "serve.build" (fun () ->
       List.iter (fun p -> build_query ctx p ~completed) prepared);
@@ -1047,6 +1326,9 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
   let reports =
     List.map
       (fun p ->
+        bump wl "msdq_deadline_demotions_total"
+          [ ("strategy", Strategy.to_string p.p_strategy) ]
+          p.p_deadline_demoted;
         {
           index = p.p_index;
           strategy = p.p_strategy;
@@ -1056,6 +1338,7 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
           answer = p.p_answer;
           extent_hits = p.p_extent_hits;
           verdict_hits = p.p_verdict_hits;
+          deadline_demoted = p.p_deadline_demoted;
           registry = p.p_registry;
         })
       prepared
@@ -1093,6 +1376,15 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
   cache_counters "extent" extent_stats;
   cache_counters "verdict" verdict_stats;
   bump wl "msdq_coalesced_checks_total" [] ctx.coalesced;
+  List.iter
+    (fun s ->
+      bump wl "msdq_shed_total"
+        [ ("policy", shed_policy_to_string s.s_policy) ]
+        1)
+    shed;
+  Metrics.set
+    (Metrics.gauge wl "msdq_queue_depth")
+    (float_of_int max_queue_depth);
   let entries = Trace.entries (Engine.trace eng) in
   if telemetry then begin
     record_task_histograms wl entries;
@@ -1108,6 +1400,7 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
   end;
   {
     reports;
+    shed;
     makespan;
     throughput =
       (if Time.compare makespan Time.zero > 0 then
@@ -1117,9 +1410,40 @@ let execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared =
     verdict_cache = verdict_stats;
     messages = ctx.messages;
     coalesced_checks = ctx.coalesced;
+    max_queue_depth;
     registry = wl;
     trace = entries;
   }
+
+(* One arrival through the bounded queue. Returns [`Shed] or
+   [`Admit (strategy, qdelay, predicted response, evicted index)].
+   [degrade_to] supplies the cheapest predicted plan (only consulted when
+   the Degrade policy fires over capacity); [predicted] maps a strategy to
+   its [(total, response)] Planner prediction. The virtual single-server
+   queue charges each query its predicted {e total} work: a single server
+   has no idle parallelism to exploit, so total charged work — not the
+   critical-path response the model credits with cross-site overlap — is
+   the occupancy unit, and over-estimating service sheds early, the safe
+   direction for a tail-latency bound. Deadline fating keeps using the
+   response: the budget races the verdicts' critical path, not the
+   server's occupancy. *)
+let admission_step adm cfg ~index ~arrival ~deadline ~strategy ~degrade_to
+    ~predicted =
+  let admit ~evicted st =
+    let service, response = predicted st in
+    let qdelay = admission_push adm ~index ~arrival ~service in
+    admission_observe_miss adm ~deadline ~qdelay ~service:response;
+    `Admit (st, qdelay, response, evicted)
+  in
+  if not (over_capacity adm ~at:arrival) then admit ~evicted:None strategy
+  else
+    match cfg.shed_policy with
+    | Degrade -> admit ~evicted:None (degrade_to ())
+    | Reject_newest -> `Shed
+    | Reject_oldest -> (
+        match admission_evict_oldest adm ~at:arrival with
+        | Some victim -> admit ~evicted:(Some victim) strategy
+        | None -> `Shed)
 
 let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
   validate cfg jobs;
@@ -1127,24 +1451,90 @@ let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
   let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
   let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
   let signatures = lazy (Sig_catalog.build fed) in
-  let prepared =
-    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
-    List.mapi
-      (fun i j ->
-        Tracer.with_span tracer ~cat:"serve"
-          ~args:[ ("query", string_of_int i) ]
-          "serve.prepare.query"
-        @@ fun () ->
-        prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i j)
-      jobs
+  let cost = cfg.options.Strategy.cost in
+  let adm = admission_create cfg in
+  (* Predictions cost catalog work; skip them entirely when no overload
+     control is configured, so unbounded serving is byte-for-byte the
+     pre-overload engine. *)
+  let need_pred =
+    cfg.deadline <> None || cfg.queue_limit <> None
+    || List.exists (fun (j : job) -> j.deadline <> None) jobs
   in
-  execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared
+  let predicted_of st analysis =
+    if not need_pred then (Time.zero, Time.zero)
+    else
+      match Planner.predict ~cost ~strategies:[ st ] fed analysis with
+      | [ pr ] -> (pr.Planner.total, pr.Planner.response)
+      | _ -> (Time.zero, Time.zero)
+  in
+  let rev_shed = ref [] in
+  let rev_prepared = ref [] in
+  let shed_victim ~policy victim =
+    match
+      List.find_opt (fun p -> p.p_index = victim) !rev_prepared
+    with
+    | Some vp ->
+        rev_prepared :=
+          List.filter (fun p -> p.p_index <> victim) !rev_prepared;
+        rev_shed :=
+          {
+            s_index = victim;
+            s_strategy = vp.p_strategy;
+            s_arrival = vp.p_arrival;
+            s_policy = policy;
+          }
+          :: !rev_shed
+    | None -> ()
+  in
+  Tracer.with_span tracer ~cat:"serve" "serve.prepare" (fun () ->
+      List.iteri
+        (fun i (j : job) ->
+          let deadline =
+            match j.deadline with Some _ as d -> d | None -> cfg.deadline
+          in
+          match
+            admission_step adm cfg ~index:i ~arrival:j.arrival ~deadline
+              ~strategy:j.strategy
+              ~degrade_to:(fun () ->
+                fst
+                  (Planner.choose ~cost ~strategies:Optimizer.candidates
+                     ~objective:Planner.Response_time fed j.analysis))
+              ~predicted:(fun st -> predicted_of st j.analysis)
+          with
+          | `Shed ->
+              rev_shed :=
+                {
+                  s_index = i;
+                  s_strategy = j.strategy;
+                  s_arrival = j.arrival;
+                  s_policy = cfg.shed_policy;
+                }
+                :: !rev_shed
+          | `Admit (st, qdelay, response, evicted) ->
+              (match evicted with
+              | Some victim -> shed_victim ~policy:cfg.shed_policy victim
+              | None -> ());
+              let p =
+                Tracer.with_span tracer ~cat:"serve"
+                  ~args:[ ("query", string_of_int i) ]
+                  "serve.prepare.query"
+                @@ fun () ->
+                prepare cfg fed tracer ~extent_caches ~verdict_cache
+                  ~signatures ~qdelay ~predicted:response i
+                  { j with strategy = st }
+              in
+              rev_prepared := p :: !rev_prepared)
+        jobs);
+  let prepared = List.rev !rev_prepared in
+  let shed =
+    List.sort (fun a b -> compare a.s_index b.s_index) !rev_shed
+  in
+  execute ~tracer ~wl ~trace ~shed ~max_queue_depth:adm.a_max_depth cfg fed
+    ~extent_caches ~verdict_cache prepared
 
 (* ------------------------------------------------------------------ *)
 (* AUTO: adaptive per-query strategy selection with breaker-driven
    re-planning. *)
-
-module Optimizer = Msdq_opt.Optimizer
 
 type auto_decision = {
   d_index : int;
@@ -1169,13 +1559,15 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
   validate cfg
     (List.map
        (fun (analysis, arrival) ->
-         { strategy = Strategy.Bl; analysis; arrival })
+         { strategy = Strategy.Bl; analysis; arrival; deadline = None })
        jobs);
   let wl = match registry with Some r -> r | None -> Metrics.create () in
   let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
   let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
   let signatures = lazy (Sig_catalog.build fed) in
   let sched = cfg.options.Strategy.fault in
+  let cost = cfg.options.Strategy.cost in
+  let adm = admission_create cfg in
   let breaker =
     Recovery.Breaker.create
       ~threshold:cfg.options.Strategy.recovery.Recovery.breaker_threshold
@@ -1183,72 +1575,151 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
   in
   let switches = ref 0 in
   let rev_decisions = ref [] in
-  let prepared =
-    Tracer.with_span tracer ~cat:"serve" "serve.prepare" @@ fun () ->
-    List.mapi
-      (fun i (analysis, arrival) ->
-        (* Mid-stream re-planning: a link whose breaker opened on earlier
-           queries' check legs is degraded for every query admitted before
-           its half-open probe instant. *)
-        let degraded =
-          List.filter_map
-            (fun (db_name, _) ->
-              let site = Federation.site_of fed db_name in
-              if Recovery.Breaker.live breaker ~site ~at:arrival then None
-              else Some site)
-            (Federation.databases fed)
-        in
-        let d = Optimizer.decide ?store ?objective ~degraded fed analysis in
-        if d.Optimizer.switched then incr switches;
-        bump wl "msdq_auto_decisions_total"
-          [ ("strategy", Strategy.to_string d.Optimizer.chosen) ]
-          1;
-        rev_decisions :=
-          {
-            d_index = i;
-            d_arrival = arrival;
-            d_preferred = d.Optimizer.preferred;
-            d_chosen = d.Optimizer.chosen;
-            d_switched = d.Optimizer.switched;
-            d_reason = d.Optimizer.reason;
-          }
-          :: !rev_decisions;
-        let p =
-          Tracer.with_span tracer ~cat:"serve"
-            ~args:
-              [
-                ("query", string_of_int i);
-                ("strategy", Strategy.to_string d.Optimizer.chosen);
-              ]
-            "serve.prepare.query"
-          @@ fun () ->
-          prepare cfg fed tracer ~extent_caches ~verdict_cache ~signatures i
-            { strategy = d.Optimizer.chosen; analysis; arrival }
-        in
-        (* Feed the breaker from this query's check-request legs (request
-           legs only — verdict legs terminate at the global site, which has
-           no alternative route; see {!Recovery.Breaker}). *)
-        (match p.p_plan with
-        | Centralized _ -> ()
-        | Localized { groups; _ } ->
-          List.iter
-            (fun g ->
-              let tsite = Federation.site_of fed g.g_target in
-              let leg = g.g_req_leg in
-              let failures =
-                if leg.delivered then leg.attempts - 1 else leg.attempts
+  let rev_shed = ref [] in
+  let rev_prepared = ref [] in
+  Tracer.with_span tracer ~cat:"serve" "serve.prepare" (fun () ->
+      List.iteri
+        (fun i (analysis, arrival) ->
+          (* Mid-stream re-planning: a link whose breaker opened on earlier
+             queries' check legs is degraded for every query admitted before
+             its half-open probe instant. *)
+          let degraded =
+            List.filter_map
+              (fun (db_name, _) ->
+                let site = Federation.site_of fed db_name in
+                if Recovery.Breaker.live breaker ~site ~at:arrival then None
+                else Some site)
+              (Federation.databases fed)
+          in
+          (* Backpressure: the virtual queue's depth plus the deadline-miss
+             EWMA penalize expensive candidates inside the optimizer. *)
+          let overload = admission_overload adm ~at:arrival in
+          let d =
+            Optimizer.decide ?store ?objective ~degraded ~overload fed
+              analysis
+          in
+          let predicted_of st =
+            match
+              List.find_opt
+                (fun pr -> pr.Planner.strategy = st)
+                d.Optimizer.predictions
+            with
+            | Some pr -> (pr.Planner.total, pr.Planner.response)
+            | None -> (
+                match Planner.predict ~cost ~strategies:[ st ] fed analysis with
+                | [ pr ] -> (pr.Planner.total, pr.Planner.response)
+                | _ -> (Time.zero, Time.zero))
+          in
+          match
+            admission_step adm cfg ~index:i ~arrival ~deadline:cfg.deadline
+              ~strategy:d.Optimizer.chosen
+              ~degrade_to:(fun () ->
+                match
+                  List.sort
+                    (fun a b ->
+                      Float.compare
+                        (Time.to_us a.Planner.response)
+                        (Time.to_us b.Planner.response))
+                    d.Optimizer.predictions
+                with
+                | best :: _ -> best.Planner.strategy
+                | [] -> d.Optimizer.chosen)
+              ~predicted:predicted_of
+          with
+          | `Shed ->
+              rev_shed :=
+                {
+                  s_index = i;
+                  s_strategy = d.Optimizer.chosen;
+                  s_arrival = arrival;
+                  s_policy = cfg.shed_policy;
+                }
+                :: !rev_shed
+          | `Admit (st, qdelay, response, evicted) ->
+              (match evicted with
+              | Some victim -> (
+                  match
+                    List.find_opt (fun p -> p.p_index = victim) !rev_prepared
+                  with
+                  | Some vp ->
+                      rev_prepared :=
+                        List.filter
+                          (fun p -> p.p_index <> victim)
+                          !rev_prepared;
+                      rev_shed :=
+                        {
+                          s_index = victim;
+                          s_strategy = vp.p_strategy;
+                          s_arrival = vp.p_arrival;
+                          s_policy = cfg.shed_policy;
+                        }
+                        :: !rev_shed
+                  | None -> ())
+              | None -> ());
+              let forced = st <> d.Optimizer.chosen in
+              if d.Optimizer.switched || forced then incr switches;
+              bump wl "msdq_auto_decisions_total"
+                [ ("strategy", Strategy.to_string st) ]
+                1;
+              rev_decisions :=
+                {
+                  d_index = i;
+                  d_arrival = arrival;
+                  d_preferred = d.Optimizer.preferred;
+                  d_chosen = st;
+                  d_switched = d.Optimizer.switched || forced;
+                  d_reason =
+                    (if forced then
+                       Some
+                         (Printf.sprintf
+                            "over capacity: degraded plan to cheapest \
+                             predicted (%s)"
+                            (Strategy.to_string st))
+                     else d.Optimizer.reason);
+                }
+                :: !rev_decisions;
+              let p =
+                Tracer.with_span tracer ~cat:"serve"
+                  ~args:
+                    [
+                      ("query", string_of_int i);
+                      ("strategy", Strategy.to_string st);
+                    ]
+                  "serve.prepare.query"
+                @@ fun () ->
+                prepare cfg fed tracer ~extent_caches ~verdict_cache
+                  ~signatures ~qdelay ~predicted:response i
+                  { strategy = st; analysis; arrival; deadline = None }
               in
-              for _ = 1 to failures do
-                Recovery.Breaker.failure breaker ~site:tsite ~at:arrival
-              done;
-              if leg.delivered then
-                Recovery.Breaker.success breaker ~site:tsite)
-            groups);
-        p)
-      jobs
-  in
+              (* Feed the breaker from this query's check-request legs
+                 (request legs only — verdict legs terminate at the global
+                 site, which has no alternative route; see
+                 {!Recovery.Breaker}). *)
+              (match p.p_plan with
+              | Centralized _ -> ()
+              | Localized { groups; _ } ->
+                List.iter
+                  (fun g ->
+                    let tsite = Federation.site_of fed g.g_target in
+                    let leg = g.g_req_leg in
+                    let failures =
+                      if leg.delivered then leg.attempts - 1 else leg.attempts
+                    in
+                    for _ = 1 to failures do
+                      Recovery.Breaker.failure breaker ~site:tsite ~at:arrival
+                    done;
+                    if leg.delivered then
+                      Recovery.Breaker.success breaker ~site:tsite)
+                  groups);
+              rev_prepared := p :: !rev_prepared)
+        jobs);
   bump wl "msdq_auto_switches_total" [] !switches;
+  let prepared = List.rev !rev_prepared in
+  let shed =
+    List.sort (fun a b -> compare a.s_index b.s_index) !rev_shed
+  in
   let outcome =
-    execute ~tracer ~wl ~trace cfg fed ~extent_caches ~verdict_cache prepared
+    execute ~tracer ~wl ~trace ~shed ~max_queue_depth:adm.a_max_depth cfg fed
+      ~extent_caches ~verdict_cache prepared
   in
   { auto = outcome; decisions = List.rev !rev_decisions; switches = !switches }

@@ -48,16 +48,68 @@
     and a later generation discards the entry — a crash wipes the site's
     cache RAM.
 
+    {2 Overload control}
+
+    Three optional knobs make the engine overload-robust, all charged to
+    the same simulated clock:
+
+    {ul
+    {- {e deadline budgets} — [config.deadline] (or a per-job override)
+       bounds each query's latency. A check round trip predicted to land
+       past the budget is {e abandoned at admission}: its rows demote to
+       uncertified maybes carrying an {!Msdq_query.Answer.Deadline} reason
+       (elapsed vs budget), while everything already certain is returned
+       as-is — an {e anytime} answer. Deadline fates, like loss fates, are
+       drawn before any cache is consulted, so warm and cold runs demote
+       identically;}
+    {- {e bounded-queue admission} — [config.queue_limit] caps the depth
+       of a virtual single-server FIFO over predicted service times.
+       Over-capacity arrivals are shed per [config.shed_policy]: rejected
+       outright ([Reject_newest]), admitted by evicting the oldest
+       still-queued query ([Reject_oldest]), or admitted degraded to the
+       cheapest predicted plan ([Degrade]). Shed queries never touch the
+       engine and surface as {!shed_report}s;}
+    {- {e backpressure} — queue depth plus a deadline-miss EWMA feed
+       {!Msdq_opt.Optimizer.decide}'s [overload] score in {!run_auto}, so
+       AUTO shifts toward cheaper plans as pressure rises.}}
+
     Modelling simplifications, documented in docs/SERVE.md: loss fates are
     drawn at the query's arrival instant rather than each transfer's start;
     critical messages (result and extent shipments, batch flushes) wait out
     destination outages instead of failing; retransmission waits of check
-    legs are charged as pure latency. *)
+    legs are charged as pure latency; deadline fates are likewise drawn at
+    admission from the queueing delay and the cost model's predicted
+    response (plus any retry waits already fated), not from realized
+    execution time — the budget expiry itself is still charged on the
+    simulated clock; and the queue is a virtual single-server FIFO that
+    charges each query its predicted {e total} work (a single server has
+    no idle parallelism, and over-estimating service sheds early — the
+    safe direction for a tail bound), not the engine's own resource
+    contention. *)
 
 open Msdq_simkit
 open Msdq_fed
 open Msdq_query
 open Msdq_exec
+
+type shed_policy =
+  | Reject_newest  (** shed the over-capacity arrival itself *)
+  | Reject_oldest
+      (** evict the oldest still-queued query to admit the arrival (sheds
+          the arrival when nothing is left queued) *)
+  | Degrade
+      (** admit everything, but force over-capacity arrivals onto the
+          cheapest predicted plan (CA/BL/PL under the cost model) *)
+
+val shed_policies : shed_policy list
+(** All policies, in the order above. *)
+
+val shed_policy_to_string : shed_policy -> string
+(** ["reject-newest"], ["reject-oldest"], ["degrade"]. *)
+
+val shed_policy_of_string : string -> (shed_policy, string) result
+(** Inverse of {!shed_policy_to_string}; the error message lists the
+    accepted set. *)
 
 type config = {
   options : Strategy.options;
@@ -75,16 +127,30 @@ type config = {
   msg_header_bytes : int;
       (** per-message framing constant amortized by batching; charged on
           every serve-path message, on top of the Table 1 byte costs *)
+  deadline : Time.t option;
+      (** per-query latency budget; checks predicted to land past it are
+          abandoned at admission and their rows demoted with a
+          [Answer.Deadline] reason. [None] (the default) disables
+          deadlines. Must be positive and finite when set. *)
+  queue_limit : int option;
+      (** admission-queue depth bound; arrivals finding [queue_limit]
+          queries still queued are shed per [shed_policy]. [None] (the
+          default) leaves the queue unbounded. Must be [>= 1] when set. *)
+  shed_policy : shed_policy;
+      (** what to do with an over-capacity arrival; only consulted when
+          [queue_limit] is set. Default [Reject_newest]. *)
 }
 
 val default_config : config
 (** [Strategy.default_options], 4 MiB caches, no batching window, 64-byte
-    message header. *)
+    message header, no deadline, unbounded queue, [Reject_newest]. *)
 
 type job = {
   strategy : Strategy.t;
   analysis : Analysis.t;
   arrival : Time.t;  (** admission instant on the shared simulated clock *)
+  deadline : Time.t option;
+      (** per-job deadline override; [None] inherits [config.deadline] *)
 }
 
 type query_report = {
@@ -98,14 +164,31 @@ type query_report = {
           provenance ([Answer.cached]) for cache-served certifications *)
   extent_hits : int;  (** extent-cache hits this query scored *)
   verdict_hits : int;  (** verdicts this query served from cache *)
+  deadline_demoted : int;
+      (** rows demoted to uncertified maybe because their check round
+          trips were abandoned at the deadline (each carries an
+          [Answer.Deadline] reason with elapsed vs budget) *)
   registry : Msdq_obs.Metrics.t;
       (** the query's private registry: [msdq_disk_bytes_total],
           [msdq_bytes_shipped_total], [msdq_work_units_total], labelled by
           strategy and paper phase *)
 }
 
+type shed_report = {
+  s_index : int;  (** position in the submitted job list *)
+  s_strategy : Strategy.t;  (** what would have run *)
+  s_arrival : Time.t;
+  s_policy : shed_policy;  (** the policy that shed it *)
+}
+(** A query the admission queue refused: it never touched the engine, has
+    no {!query_report}, and its absence is an explicit outcome rather than
+    an unbounded wait. *)
+
 type outcome = {
-  reports : query_report list;  (** in submission order *)
+  reports : query_report list;
+      (** admitted queries, in submission order *)
+  shed : shed_report list;
+      (** shed queries, in submission order; empty without [queue_limit] *)
   makespan : Time.t;  (** completion instant of the last query *)
   throughput : float;  (** queries per simulated second, [n / makespan] *)
   extent_cache : Lru.stats;  (** aggregated over all per-site caches *)
@@ -114,6 +197,10 @@ type outcome = {
   coalesced_checks : int;
       (** check requests that rode a message also carrying another query's
           requests — what the admission window bought *)
+  max_queue_depth : int;
+      (** deepest the virtual admission queue got at any arrival instant;
+          [0] when no overload knob is configured or queries never
+          overlapped *)
   registry : Msdq_obs.Metrics.t;
       (** the workload registry: [msdq_cache_hits_total] /
           [msdq_cache_misses_total] / [msdq_cache_evictions_total]
@@ -148,8 +235,13 @@ val run :
     it changes only the [trace] field of the outcome, never timing or
     answers. Raises [Invalid_argument] on invalid configuration (negative
     capacities, negative or non-finite window, [deep_certify], unsorted
-    arrivals, a [Cf] job) with a readable message, before any simulated
-    work happens. *)
+    arrivals, a [Cf] job, a non-positive or non-finite deadline, a
+    [queue_limit < 1]) with a readable message, before any simulated work
+    happens.
+
+    With overload knobs set, the workload registry additionally carries
+    [msdq_shed_total{policy}], [msdq_deadline_demotions_total{strategy}]
+    and the [msdq_queue_depth] gauge (the outcome's [max_queue_depth]). *)
 
 (** {2 AUTO: adaptive per-query strategy selection}
 
@@ -172,8 +264,11 @@ type auto_decision = {
   d_arrival : Time.t;
   d_preferred : Strategy.t;
       (** the optimizer's unconstrained pick for this query *)
-  d_chosen : Strategy.t;  (** what actually ran, after breaker fallback *)
-  d_switched : bool;  (** an open breaker forced [d_chosen <> d_preferred] *)
+  d_chosen : Strategy.t;
+      (** what actually ran, after breaker fallback and (under the
+          [Degrade] shed policy) over-capacity degradation *)
+  d_switched : bool;
+      (** a breaker or overload forced [d_chosen <> d_preferred] *)
   d_reason : string option;  (** why, when it switched *)
 }
 
@@ -199,7 +294,12 @@ val run_auto :
     without it selection is purely model-driven. [objective] defaults to
     response time. The workload registry additionally carries
     [msdq_auto_decisions_total{strategy}] and (when any decision switched)
-    [msdq_auto_switches_total]. Validation rules are {!run}'s. *)
+    [msdq_auto_switches_total]. Validation rules are {!run}'s. Overload
+    control composes: queue depth plus the deadline-miss EWMA feed
+    {!Msdq_opt.Optimizer.decide}'s [overload] backpressure score, shed
+    arrivals produce no decision, and under the [Degrade] policy an
+    over-capacity arrival is forced onto its cheapest predicted candidate
+    (recorded as a switched decision). *)
 
 val answer_fingerprint : Answer.t -> string
 (** Canonical bytes of an answer's {e result content}: every row's GOid,

@@ -11,6 +11,8 @@ type frame = {
   verdict_lookups : int;
   breakers_open : int;
   messages : int;
+  shed : int;
+  deadline_demotions : int;
   latency : Stats.summary;
   per_strategy : (string * int * int) list;
 }
@@ -78,6 +80,9 @@ let render ?(width = 62) f =
     (100.0 *. rate f.verdict_hits f.verdict_lookups)
     f.verdict_hits f.verdict_lookups;
   row " breakers  %d open · %d messages" f.breakers_open f.messages;
+  if f.shed > 0 || f.deadline_demotions > 0 then
+    row " overload  %d shed · %d deadline demotions" f.shed
+      f.deadline_demotions;
   row " latency   p50 %s · p90 %s · p99 %s · max %s"
     (pp_lat f.latency.Stats.p50_us)
     (pp_lat f.latency.Stats.p90_us)

@@ -20,6 +20,9 @@ type frame = {
   verdict_lookups : int;
   breakers_open : int;
   messages : int;
+  shed : int;  (** queries the admission queue refused so far *)
+  deadline_demotions : int;
+      (** rows demoted because their checks were abandoned at a deadline *)
   latency : Stats.summary;  (** over the queries completed so far *)
   per_strategy : (string * int * int) list;
       (** [(strategy, admitted, completed)] rows *)

@@ -302,8 +302,6 @@ let test_degraded_falls_back_to_ca () =
     "a CA preference never switches" true
     (d2.Optimizer.chosen = Strategy.Ca && not d2.Optimizer.switched)
 
-(* ---- breaker-driven re-planning through the serve path ---- *)
-
 let serve_config ?(options = Strategy.default_options) () =
   {
     Serve.default_config with
@@ -311,6 +309,104 @@ let serve_config ?(options = Strategy.default_options) () =
     cache_bytes = 0;
     window = Time.zero;
   }
+
+(* ---- overload backpressure ---- *)
+
+let test_overload_shifts_decide () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let store = store_preferring Strategy.Pl in
+  let base = Optimizer.decide ~store fed analysis in
+  Alcotest.check strategy "store evidence prefers PL" Strategy.Pl
+    base.Optimizer.preferred;
+  Alcotest.(check bool)
+    "zero overload changes nothing" true
+    (Optimizer.decide ~store ~overload:0.0 fed analysis = base);
+  (* overwhelming backpressure: the model's cheapest candidate wins no
+     matter what the store observed *)
+  let cheapest =
+    (List.fold_left
+       (fun best s ->
+         if s.Optimizer.pred_ratio < best.Optimizer.pred_ratio then s
+         else best)
+       (List.hd base.Optimizer.scores)
+       base.Optimizer.scores)
+      .Optimizer.strategy
+  in
+  let loaded = Optimizer.decide ~store ~overload:1000.0 fed analysis in
+  Alcotest.check strategy "heavy overload picks the cheapest plan" cheapest
+    loaded.Optimizer.preferred;
+  (* monotone: the penalty grows with the prediction ratio *)
+  List.iter2
+    (fun (b : Optimizer.score) (l : Optimizer.score) ->
+      Alcotest.(check bool) "score penalized in proportion to cost" true
+        (l.Optimizer.blended >= b.Optimizer.blended))
+    base.Optimizer.scores loaded.Optimizer.scores;
+  let rejects o =
+    match Optimizer.decide ~overload:o fed analysis with
+    | (_ : Optimizer.decision) -> Alcotest.failf "overload %f accepted" o
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (-1.0);
+  rejects Float.nan;
+  rejects Float.infinity
+
+let test_auto_overload_control () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  (* arrivals 1 us apart vs multi-ms service: a depth-1 queue saturates *)
+  let jobs = List.init 5 (fun i -> (analysis, us (float_of_int i))) in
+  let store = store_preferring Strategy.Pl in
+  (* Degrade: everything admitted; over-capacity queries forced to the
+     model's cheapest candidate *)
+  let cfg =
+    {
+      (serve_config ()) with
+      Serve.queue_limit = Some 1;
+      shed_policy = Serve.Degrade;
+    }
+  in
+  let a = Serve.run_auto ~store cfg fed jobs in
+  Alcotest.(check int) "every query decided" 5 (List.length a.Serve.decisions);
+  Alcotest.(check int) "nothing shed" 0 (List.length a.Serve.auto.Serve.shed);
+  let cheapest =
+    let preds =
+      Msdq_opt.Planner.predict ~strategies:Optimizer.candidates fed analysis
+    in
+    (List.fold_left
+       (fun best p ->
+         if
+           Time.to_us p.Msdq_opt.Planner.response
+           < Time.to_us best.Msdq_opt.Planner.response
+         then p
+         else best)
+       (List.hd preds) preds)
+      .Msdq_opt.Planner.strategy
+  in
+  List.iteri
+    (fun i d ->
+      if i > 0 then
+        Alcotest.check strategy "over capacity runs the cheapest plan"
+          cheapest d.Serve.d_chosen)
+    a.Serve.decisions;
+  (* Reject_newest: over-capacity arrivals shed, producing no decision *)
+  let rj =
+    Serve.run_auto ~store
+      {
+        (serve_config ()) with
+        Serve.queue_limit = Some 1;
+        shed_policy = Serve.Reject_newest;
+      }
+      fed jobs
+  in
+  Alcotest.(check int) "one admitted decision" 1
+    (List.length rj.Serve.decisions);
+  Alcotest.(check int) "the rest shed" 4
+    (List.length rj.Serve.auto.Serve.shed);
+  Alcotest.(check int) "one report" 1
+    (List.length rj.Serve.auto.Serve.reports)
+
+(* ---- breaker-driven re-planning through the serve path ---- *)
 
 let test_breaker_forces_ca () =
   let fed, analyze = setup () in
@@ -432,7 +528,7 @@ let prop_auto_equals_fixed =
         let fixed_jobs =
           List.map2
             (fun (analysis, arrival) d ->
-              { Serve.strategy = d.Serve.d_chosen; analysis; arrival })
+              { Serve.strategy = d.Serve.d_chosen; analysis; arrival; deadline = None })
             jobs a.Serve.decisions
         in
         let fixed = Serve.run cfg fed fixed_jobs in
@@ -472,6 +568,10 @@ let suite =
       test_decide_argmin;
     Alcotest.test_case "decide: store evidence flips the pick" `Quick
       test_store_blending_flips;
+    Alcotest.test_case "decide: overload shifts toward cheap plans" `Quick
+      test_overload_shifts_decide;
+    Alcotest.test_case "auto: overload control composes" `Quick
+      test_auto_overload_control;
     Alcotest.test_case "decide: degraded sites fall back to CA" `Quick
       test_degraded_falls_back_to_ca;
     Alcotest.test_case "serve: breaker re-plans onto CA" `Quick

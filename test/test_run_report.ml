@@ -242,12 +242,51 @@ let auto_sweep_section =
     rank_match_rate = 1.0;
   }
 
+let overload_sweep_section =
+  let point policy multiplier p99 =
+    {
+      Overload_sweep.pt_policy = policy;
+      pt_multiplier = multiplier;
+      pt_offered = 8;
+      pt_admitted = 6;
+      pt_shed = 2;
+      pt_goodput = 5.0;
+      pt_deadline_hits = 6;
+      pt_hit_rate = 1.0;
+      pt_p50_ms = p99 /. 2.0;
+      pt_p99_ms = p99;
+      pt_demoted_rows = 0;
+      pt_abandoned_checks = 0;
+    }
+  in
+  let row policy p99s =
+    List.map2 (fun m p -> point policy m p) [ 0.5; 1.0; 2.0; 3.0 ] p99s
+  in
+  {
+    Overload_sweep.id = "overload-sweep";
+    title = "Goodput and tail latency vs offered load and shed policy";
+    seed = 1;
+    queries = 8;
+    queue_limit = 2;
+    solo_response_ms = 10.0;
+    deadline_ms = 18.0;
+    multipliers = [| 0.5; 1.0; 2.0; 3.0 |];
+    policies = [ "naive"; "reject-newest"; "reject-oldest"; "degrade" ];
+    points =
+      row "naive" [ 10.0; 10.0; 15.0; 30.0 ]
+      @ row "reject-newest" [ 10.0; 10.0; 18.0; 19.0 ]
+      @ row "reject-oldest" [ 10.0; 10.0; 12.0; 10.0 ]
+      @ row "degrade" [ 10.0; 12.0; 40.0; 50.0 ];
+    cap_p99_ms = 10.0;
+  }
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -330,6 +369,7 @@ let test_bench_validation () =
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
        ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
        ~latency:latency_section ~auto_sweep:auto_sweep_section
+       ~overload_sweep:overload_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -430,6 +470,7 @@ let test_bench_validation () =
       ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -443,6 +484,7 @@ let test_bench_validation () =
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -459,6 +501,7 @@ let test_bench_validation () =
       ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -499,6 +542,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
       ~latency:latency_section ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -524,6 +568,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -553,6 +598,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto
+      ~overload_sweep:overload_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -568,12 +614,62 @@ let test_bench_validation () =
     (with_auto { auto_sweep_section with Auto_sweep.switches = -1 });
   (* AUTO exactly matching the best fixed strategy passes (the tolerance
      admits ties). *)
+  (match
+     Run_report.validate_bench
+       (with_auto { auto_sweep_section with Auto_sweep.auto_makespan_s = 0.25 })
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "AUTO tie with best fixed rejected: %s" msg);
+  (* The /8 section: required at /8, not at /7; its robustness win
+     condition is enforced on the document, not just printed. *)
+  reject "/8 without overload_sweep" (without "overload_sweep" good);
+  (match
+     Run_report.validate_bench
+       (with_schema Run_report.bench_schema_v7 (without "overload_sweep" good))
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /7 document rejected: %s" msg);
+  let with_overload o =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency:latency_section ~auto_sweep:auto_sweep_section ~overload_sweep:o
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  let set_p99 policy multiplier p99 o =
+    {
+      o with
+      Overload_sweep.points =
+        List.map
+          (fun (p : Overload_sweep.point) ->
+            if
+              String.equal p.Overload_sweep.pt_policy policy
+              && p.Overload_sweep.pt_multiplier = multiplier
+            then { p with Overload_sweep.pt_p99_ms = p99 }
+            else p)
+          o.Overload_sweep.points;
+    }
+  in
+  (* A rejecting policy's p99 escaping twice the at-capacity p99 at an
+     overloaded point is the regression the section exists to catch. *)
+  reject "overload tail-bound regression"
+    (with_overload (set_p99 "reject-newest" 3.0 25.0 overload_sweep_section));
+  reject "overload naive p99 drops under load"
+    (with_overload (set_p99 "naive" 2.0 5.0 overload_sweep_section));
+  reject "overload sweep never overloaded"
+    (with_overload (set_p99 "naive" 3.0 15.0 overload_sweep_section));
+  reject "overload nonpositive cap_p99"
+    (with_overload
+       { overload_sweep_section with Overload_sweep.cap_p99_ms = 0.0 });
+  (* degrade admits everything and is reported but exempt from the tail
+     bound. *)
   match
     Run_report.validate_bench
-      (with_auto { auto_sweep_section with Auto_sweep.auto_makespan_s = 0.25 })
+      (with_overload (set_p99 "degrade" 3.0 500.0 overload_sweep_section))
   with
   | Ok () -> ()
-  | Error msg -> Alcotest.failf "AUTO tie with best fixed rejected: %s" msg
+  | Error msg -> Alcotest.failf "degrade row wrongly held to the bound: %s" msg
 
 let suite =
   [

@@ -25,8 +25,8 @@ let setup () =
   let analyze src = Analysis.analyze schema (Parser.parse src) in
   (fed, analyze)
 
-let job ?(arrival = Time.zero) s analysis =
-  { Serve.strategy = s; analysis; arrival }
+let job ?(arrival = Time.zero) ?deadline s analysis =
+  { Serve.strategy = s; analysis; arrival; deadline }
 
 let config ?(options = Strategy.default_options) ?(cache_bytes = 0)
     ?(window = Time.zero) () =
@@ -196,7 +196,47 @@ let test_validation () =
       Serve.run (config ()) fed [ job ~arrival:(us (-5.0)) Strategy.Bl analysis ]);
   rejects "negative header" (fun () ->
       let cfg = { (config ()) with Serve.msg_header_bytes = -1 } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ]);
+  rejects "zero deadline" (fun () ->
+      let cfg = { (config ()) with Serve.deadline = Some Time.zero } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ]);
+  rejects "negative deadline" (fun () ->
+      let cfg = { (config ()) with Serve.deadline = Some (us (-3.0)) } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ]);
+  rejects "non-finite deadline" (fun () ->
+      let cfg = { (config ()) with Serve.deadline = Some (us Float.nan) } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ]);
+  rejects "per-job zero deadline" (fun () ->
+      Serve.run (config ()) fed
+        [ job ~deadline:Time.zero Strategy.Bl analysis ]);
+  rejects "zero queue limit" (fun () ->
+      let cfg = { (config ()) with Serve.queue_limit = Some 0 } in
+      Serve.run cfg fed [ job Strategy.Bl analysis ]);
+  rejects "negative queue limit" (fun () ->
+      let cfg = { (config ()) with Serve.queue_limit = Some (-2) } in
       Serve.run cfg fed [ job Strategy.Bl analysis ])
+
+let test_shed_policy_parse () =
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun p ->
+      match Serve.shed_policy_of_string (Serve.shed_policy_to_string p) with
+      | Ok p' ->
+        Alcotest.(check bool) "round trip" true (p = p')
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    Serve.shed_policies;
+  match Serve.shed_policy_of_string "drop-table" with
+  | Ok _ -> Alcotest.fail "bogus policy accepted"
+  | Error msg ->
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "error lists accepted policies" true
+          (contains ~needle:(Serve.shed_policy_to_string p) msg))
+      Serve.shed_policies
 
 (* ---- warm vs cold: same answers, strictly less simulated time ---- *)
 
@@ -341,9 +381,11 @@ let test_lost_verdicts_demote_warm_and_cold () =
       (* demotion provenance names the lost batch *)
       let g = Oid.Goid.Set.min_elt wd in
       (match Answer.degraded_reason w.Serve.answer g with
-      | Some why ->
+      | Some (Answer.Fault why) ->
         Alcotest.(check bool) "reason mentions the lost batch" true
           (String.length why > 0)
+      | Some (Answer.Deadline _) ->
+        Alcotest.fail "fault demotion carries a deadline reason"
       | None -> Alcotest.fail "degraded row without provenance"))
     cold.Serve.reports warm.Serve.reports;
   Alcotest.(check bool) "drops surfaced in the workload registry" true
@@ -403,6 +445,195 @@ let test_deterministic () =
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "reproducible" true (a = b)
+
+(* ---- overload control: deadline budgets ---- *)
+
+(* A one-microsecond budget dooms every check round trip: all
+   check-certified rows demote with Deadline provenance, everything
+   locally certain survives (the anytime floor), and the truncated run is
+   never slower than the unbounded one. *)
+let test_tight_deadline_demotes () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let jobs = spaced 3 Strategy.Bl analysis in
+  let unbounded = Serve.run (config ()) fed jobs in
+  let budget = us 1.0 in
+  let bounded =
+    Serve.run { (config ()) with Serve.deadline = Some budget } fed jobs
+  in
+  List.iter2
+    (fun (u : Serve.query_report) (b : Serve.query_report) ->
+      Alcotest.(check bool) "rows demoted at the deadline" true
+        (b.Serve.deadline_demoted > 0);
+      let du = Answer.degraded u.Serve.answer
+      and db = Answer.degraded b.Serve.answer in
+      Alcotest.(check bool) "unbounded demotions are a subset" true
+        (Oid.Goid.Set.subset du db);
+      let extra = Oid.Goid.Set.diff db du in
+      Alcotest.(check int) "every extra demotion is deadline-attributed"
+        b.Serve.deadline_demoted
+        (Oid.Goid.Set.cardinal extra);
+      Oid.Goid.Set.iter
+        (fun g ->
+          match Answer.degraded_reason b.Serve.answer g with
+          | Some (Answer.Deadline { elapsed_us; budget_us }) ->
+            Alcotest.(check (float 1e-9)) "budget recorded" 1.0 budget_us;
+            Alcotest.(check bool) "elapsed exceeds budget" true
+              (elapsed_us > budget_us)
+          | Some (Answer.Fault _) ->
+            Alcotest.fail "deadline demotion carries a fault reason"
+          | None -> Alcotest.fail "deadline demotion without provenance")
+        extra;
+      Alcotest.(check bool) "anytime answer is never slower" true
+        (Time.to_us b.Serve.latency <= Time.to_us u.Serve.latency))
+    unbounded.Serve.reports bounded.Serve.reports;
+  Alcotest.(check bool) "demotions surfaced in the workload registry" true
+    (Msdq_obs.Metrics.total bounded.Serve.registry
+       "msdq_deadline_demotions_total"
+    > 0)
+
+(* A generous budget changes nothing: byte-identical answers, zero
+   demotions. *)
+let test_generous_deadline_noop () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let jobs = spaced 3 Strategy.Bl analysis in
+  let unbounded = Serve.run (config ()) fed jobs in
+  let bounded =
+    Serve.run
+      { (config ()) with Serve.deadline = Some (ms 3_600_000.0) }
+      fed jobs
+  in
+  Alcotest.(check (list string)) "identical answers"
+    (fingerprints unbounded) (fingerprints bounded);
+  List.iter
+    (fun (r : Serve.query_report) ->
+      Alcotest.(check int) "no demotions" 0 r.Serve.deadline_demoted)
+    bounded.Serve.reports
+
+(* Per-job deadlines override the config; jobs without one inherit it. *)
+let test_per_job_deadline_override () =
+  let fed, analyze = setup () in
+  let analysis = analyze Paper_example.q1 in
+  let mk d = [ job ?deadline:d Strategy.Bl analysis ] in
+  let tight = Serve.run (config ()) fed (mk (Some (us 1.0))) in
+  let loose =
+    Serve.run
+      { (config ()) with Serve.deadline = Some (us 1.0) }
+      fed
+      (mk (Some (ms 3_600_000.0)))
+  in
+  (match tight.Serve.reports with
+  | [ r ] ->
+    Alcotest.(check bool) "job deadline demotes without a config one" true
+      (r.Serve.deadline_demoted > 0)
+  | _ -> Alcotest.fail "one report expected");
+  match loose.Serve.reports with
+  | [ r ] ->
+    Alcotest.(check int) "job override beats the tight config deadline" 0
+      r.Serve.deadline_demoted
+  | _ -> Alcotest.fail "one report expected"
+
+(* ---- overload control: bounded-queue admission ---- *)
+
+(* Arrivals 1 us apart against multi-ms service times overflow a depth-1
+   queue immediately. *)
+let overload_jobs fed_analyze n s =
+  let _, analyze = fed_analyze in
+  let analysis = analyze Paper_example.q1 in
+  List.init n (fun i -> job ~arrival:(us (float_of_int i)) s analysis)
+
+let test_shed_reject_newest () =
+  let fed, analyze = setup () in
+  let jobs = overload_jobs (fed, analyze) 3 Strategy.Bl in
+  let cfg =
+    {
+      (config ()) with
+      Serve.queue_limit = Some 1;
+      shed_policy = Serve.Reject_newest;
+    }
+  in
+  let out = Serve.run cfg fed jobs in
+  Alcotest.(check int) "one admitted" 1 (List.length out.Serve.reports);
+  Alcotest.(check (list int)) "later arrivals shed" [ 1; 2 ]
+    (List.map (fun s -> s.Serve.s_index) out.Serve.shed);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "policy recorded" true
+        (s.Serve.s_policy = Serve.Reject_newest))
+    out.Serve.shed;
+  Alcotest.(check (option int)) "sheds counted by policy" (Some 2)
+    (Msdq_obs.Metrics.find_counter out.Serve.registry
+       ~labels:[ ("policy", "reject-newest") ]
+       "msdq_shed_total");
+  Alcotest.(check bool) "queue depth gauge exported" true
+    (Msdq_obs.Metrics.gauge_value
+       (Msdq_obs.Metrics.gauge out.Serve.registry "msdq_queue_depth")
+    >= 1.0);
+  Alcotest.(check bool) "max depth observed" true
+    (out.Serve.max_queue_depth >= 1);
+  (* the admitted query answers exactly like a solo run *)
+  let solo = Serve.run (config ()) fed [ List.hd jobs ] in
+  Alcotest.(check (list string)) "admitted answer untouched by shedding"
+    (fingerprints solo) (fingerprints out)
+
+let test_shed_reject_oldest_evicts () =
+  let fed, analyze = setup () in
+  let jobs = overload_jobs (fed, analyze) 3 Strategy.Bl in
+  let cfg =
+    {
+      (config ()) with
+      Serve.queue_limit = Some 2;
+      shed_policy = Serve.Reject_oldest;
+    }
+  in
+  let out = Serve.run cfg fed jobs in
+  (* q0 is in service when q2 arrives; q1 is the oldest still queued and
+     gets evicted to admit q2 *)
+  Alcotest.(check (list int)) "q0 and q2 served" [ 0; 2 ]
+    (List.map (fun (r : Serve.query_report) -> r.Serve.index) out.Serve.reports);
+  Alcotest.(check (list int)) "the queued q1 was evicted" [ 1 ]
+    (List.map (fun s -> s.Serve.s_index) out.Serve.shed);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "policy recorded" true
+        (s.Serve.s_policy = Serve.Reject_oldest))
+    out.Serve.shed
+
+let test_shed_degrade_admits_all () =
+  let fed, analyze = setup () in
+  let jobs = overload_jobs (fed, analyze) 3 Strategy.Lo in
+  let cfg =
+    {
+      (config ()) with
+      Serve.queue_limit = Some 1;
+      shed_policy = Serve.Degrade;
+    }
+  in
+  let out = Serve.run cfg fed jobs in
+  Alcotest.(check int) "everything admitted" 3 (List.length out.Serve.reports);
+  Alcotest.(check int) "nothing shed" 0 (List.length out.Serve.shed);
+  (match out.Serve.reports with
+  | first :: rest ->
+    Alcotest.(check bool) "under-capacity query keeps its strategy" true
+      (first.Serve.strategy = Strategy.Lo);
+    List.iter
+      (fun (r : Serve.query_report) ->
+        Alcotest.(check bool)
+          "over-capacity queries degraded to a cheapest predicted candidate"
+          true
+          (List.mem r.Serve.strategy Msdq_opt.Optimizer.candidates))
+      rest
+  | [] -> Alcotest.fail "reports expected")
+
+(* Without overload knobs the queue never sheds — the engine is exactly
+   the pre-overload engine. *)
+let test_unbounded_never_sheds () =
+  let fed, analyze = setup () in
+  let jobs = overload_jobs (fed, analyze) 4 Strategy.Bl in
+  let out = Serve.run (config ()) fed jobs in
+  Alcotest.(check int) "nothing shed" 0 (List.length out.Serve.shed);
+  Alcotest.(check int) "no queue tracked" 0 out.Serve.max_queue_depth
 
 (* ---- the cache-soundness property ----
 
@@ -485,6 +716,132 @@ let prop_cache_soundness =
                 (fun fp -> fp = Serve.answer_fingerprint ff_answer)
                 cold_fp))
 
+(* ---- the deadline-soundness property ----
+
+   For any synthesized case, any strategy, any seeded fault schedule and
+   any budget: the deadline run's demotions are a superset of the
+   unbounded run's (a deadline never resurrects certainty), every extra
+   demotion is deadline-attributed and counted, and warm answers stay
+   byte-identical to cold under deadlines. *)
+
+let prop_deadline_soundness =
+  QCheck.Test.make
+    ~name:
+      "serve: deadline demotions reconcile with the unbounded run; warm = \
+       cold under deadlines"
+    ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        let strategies = Array.of_list serve_strategies in
+        let s = strategies.(seed mod Array.length strategies) in
+        let _, ff = Strategy.run s fed analysis in
+        let horizon =
+          Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+        in
+        let fault =
+          if seed mod 3 = 0 then Fault.none
+          else
+            random_schedule ~seed:(seed + 29)
+              ~n_db:(List.length (Federation.databases fed))
+              ~horizon
+        in
+        let options = { Strategy.default_options with Strategy.fault } in
+        (* budgets from well under the predicted response to well past it *)
+        let frac = float_of_int (1 + (seed mod 8)) /. 4.0 in
+        let budget =
+          Time.us (Float.max 1.0 (frac *. Time.to_us ff.Strategy.response))
+        in
+        let jobs =
+          List.init 3 (fun i ->
+              job ~arrival:(us (float_of_int i *. 300.0)) s analysis)
+        in
+        let base = Serve.run (config ~options ()) fed jobs in
+        let cfg_d =
+          { (config ~options ()) with Serve.deadline = Some budget }
+        in
+        let cold = Serve.run cfg_d fed jobs in
+        let warm =
+          Serve.run { cfg_d with Serve.cache_bytes = 1 lsl 20 } fed jobs
+        in
+        fingerprints cold = fingerprints warm
+        && List.for_all2
+             (fun (u : Serve.query_report) (b : Serve.query_report) ->
+               let du = Answer.degraded u.Serve.answer
+               and db = Answer.degraded b.Serve.answer in
+               let extra = Oid.Goid.Set.diff db du in
+               Oid.Goid.Set.subset du db
+               && Oid.Goid.Set.cardinal extra = b.Serve.deadline_demoted
+               && Oid.Goid.Set.for_all
+                    (fun g ->
+                      match Answer.degraded_reason b.Serve.answer g with
+                      | Some (Answer.Deadline _) -> true
+                      | _ -> false)
+                    extra)
+             base.Serve.reports cold.Serve.reports)
+
+(* ---- the overload experiment: win condition and jobs invariance ---- *)
+
+let test_overload_sweep_win_condition () =
+  let module O = Msdq_exp.Overload_sweep in
+  let registry = Msdq_obs.Metrics.create () in
+  let o = O.run ~registry () in
+  Alcotest.(check bool) "positive at-capacity p99" true (o.O.cap_p99_ms > 0.0);
+  let bound = 2.0 *. o.O.cap_p99_ms in
+  (* The naive unbounded baseline's tail grows monotonically with load
+     and escapes the bound... *)
+  let naive = List.map (fun p -> p.O.pt_p99_ms) (O.points_of o O.naive_policy) in
+  ignore
+    (List.fold_left
+       (fun prev p99 ->
+         Alcotest.(check bool) "naive p99 nondecreasing" true
+           (p99 +. 1e-9 >= prev);
+         p99)
+       0.0 naive);
+  Alcotest.(check bool) "naive tail escapes twice the at-capacity p99" true
+    (List.nth naive (List.length naive - 1) > bound);
+  (* ...while rejecting policies hold it at every overloaded point. *)
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (p : O.point) ->
+          if p.O.pt_multiplier >= 2.0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s p99 bounded at x%g" policy p.O.pt_multiplier)
+              true
+              (p.O.pt_p99_ms <= bound *. (1.0 +. 1e-9)))
+        (O.points_of o policy))
+    [ "reject-newest"; "reject-oldest" ];
+  List.iter
+    (fun (p : O.point) ->
+      Alcotest.(check int) "admitted + shed = offered" p.O.pt_offered
+        (p.O.pt_admitted + p.O.pt_shed))
+    o.O.points;
+  Alcotest.(check bool) "reject-newest sheds under overload" true
+    (List.exists
+       (fun (p : O.point) -> p.O.pt_multiplier >= 2.0 && p.O.pt_shed > 0)
+       (O.points_of o "reject-newest"));
+  List.iter
+    (fun (p : O.point) ->
+      Alcotest.(check int)
+        (Printf.sprintf "degrade sheds nothing at x%g" p.O.pt_multiplier)
+        0 p.O.pt_shed)
+    (O.points_of o "degrade");
+  Alcotest.(check int) "one grid point per (policy, multiplier)"
+    (List.length o.O.policies * Array.length o.O.multipliers)
+    (Msdq_obs.Metrics.total registry "msdq_overload_points_total")
+
+let test_overload_sweep_jobs_invariant () =
+  let module O = Msdq_exp.Overload_sweep in
+  let sequential = O.run ~queries:8 () in
+  let pool = Msdq_par.Pool.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Msdq_par.Pool.shutdown pool) @@ fun () ->
+  let pooled = O.run ~pool ~queries:8 () in
+  Alcotest.(check bool) "pool run bit-identical to the sequential run" true
+    (sequential = pooled)
+
 let suite =
   [
     Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction_order;
@@ -505,5 +862,24 @@ let suite =
       test_lost_verdicts_demote_warm_and_cold;
     Alcotest.test_case "mixed-strategy stream" `Quick test_mixed_stream;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "shed policy parsing" `Quick test_shed_policy_parse;
+    Alcotest.test_case "tight deadline demotes with provenance" `Quick
+      test_tight_deadline_demotes;
+    Alcotest.test_case "generous deadline is a no-op" `Quick
+      test_generous_deadline_noop;
+    Alcotest.test_case "per-job deadline override" `Quick
+      test_per_job_deadline_override;
+    Alcotest.test_case "shed: reject-newest" `Quick test_shed_reject_newest;
+    Alcotest.test_case "shed: reject-oldest evicts the queued" `Quick
+      test_shed_reject_oldest_evicts;
+    Alcotest.test_case "shed: degrade admits everything" `Quick
+      test_shed_degrade_admits_all;
+    Alcotest.test_case "unbounded queue never sheds" `Quick
+      test_unbounded_never_sheds;
+    Alcotest.test_case "overload sweep win condition" `Quick
+      test_overload_sweep_win_condition;
+    Alcotest.test_case "overload sweep jobs-invariant" `Quick
+      test_overload_sweep_jobs_invariant;
     QCheck_alcotest.to_alcotest prop_cache_soundness;
+    QCheck_alcotest.to_alcotest prop_deadline_soundness;
   ]

@@ -328,6 +328,8 @@ let test_dashboard_render () =
       verdict_lookups = 12;
       breakers_open = 0;
       messages = 14;
+      shed = 2;
+      deadline_demotions = 3;
       latency = Stats.summarize [ 9000.0; 11000.0; 8000.0; 9500.0; 10000.0 ];
       per_strategy = [ ("BL", 8, 5) ];
     }
@@ -337,7 +339,10 @@ let test_dashboard_render () =
     (fun needle ->
       Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
         (contains ~needle s))
-    [ "8 admitted"; "5/8 completed"; "75%"; "(6/8)"; "14 messages"; "BL" ];
+    [
+      "8 admitted"; "5/8 completed"; "75%"; "(6/8)"; "14 messages";
+      "2 shed"; "3 deadline demotions"; "BL";
+    ];
   (* every line of the box pads to the same display width *)
   let display_width line =
     (* count UTF-8 code points, not bytes: the rules are drawn with
@@ -368,6 +373,8 @@ let test_dashboard_render () =
       verdict_lookups = 0;
       breakers_open = 0;
       messages = 0;
+      shed = 0;
+      deadline_demotions = 0;
       latency = Stats.empty_summary;
       per_strategy = [];
     }
@@ -388,6 +395,7 @@ let serve_outcome () =
           Serve.strategy = Strategy.Bl;
           analysis;
           arrival = Time.us (float_of_int i *. 20000.0);
+          deadline = None;
         })
   in
   Serve.run Serve.default_config fed jobs

@@ -6,8 +6,11 @@
    - schema violations in either document (Run_report.validate_bench);
    - rank inversions in the fresh document's sweep sections: a recovery
      strategy's certain-set recall falling below the fail-stop baseline's,
-     a serve-sweep speedup ending below its cold-cache starting point, or
-     AUTO's makespan exceeding the best fixed strategy's;
+     a serve-sweep speedup ending below its cold-cache starting point,
+     AUTO's makespan exceeding the best fixed strategy's, or an
+     overload-sweep tail bound breaking (a rejecting shed policy's
+     admitted p99 escaping twice the at-capacity p99, or the naive
+     baseline's p99 failing to grow monotonically past it);
    - per-section simulated-time regressions beyond --tolerance (default
      0.2 = 20%) against the baseline.
 
@@ -174,6 +177,67 @@ let check_auto_ranks fresh =
       else pass "auto ranks: AUTO makespan %g s <= best fixed %g s" auto best
     | _ -> skip "auto ranks: auto_sweep section incomplete")
 
+(* The serving engine's robustness win condition, restated so a gate run
+   over any pair of documents enforces it even if the validator's schema
+   rank did not: the naive unbounded baseline's p99 grows monotonically
+   with load and blows past twice the at-capacity p99, while rejecting
+   shed policies keep admitted p99 within that bound at every overloaded
+   point (degrade admits everything and is exempt). *)
+let overload_points sweep =
+  match arr "points" sweep with
+  | None -> []
+  | Some pts ->
+    List.filter_map
+      (fun p ->
+        match (str "policy" p, num "multiplier" p, num "p99_ms" p) with
+        | Some policy, Some m, Some p99 -> Some (policy, m, p99)
+        | _ -> None)
+      pts
+
+let check_overload_ranks fresh =
+  match Json.member "overload_sweep" fresh with
+  | None -> skip "overload ranks: fresh document has no overload_sweep section"
+  | Some sweep -> (
+    match num "cap_p99_ms" sweep with
+    | None -> skip "overload ranks: overload_sweep section incomplete"
+    | Some cap ->
+      let points = overload_points sweep in
+      let row policy =
+        List.sort
+          (fun (_, a, _) (_, b, _) -> Float.compare a b)
+          (List.filter (fun (p, _, _) -> String.equal p policy) points)
+      in
+      (match row "naive" with
+      | [] -> skip "overload ranks: no naive baseline row to rank against"
+      | naive ->
+        ignore
+          (List.fold_left
+             (fun prev (_, m, p99) ->
+               if p99 +. 1e-9 < prev then
+                 fail "overload ranks: naive p99 %.2f ms drops at x%g" p99 m;
+               p99)
+             0.0 naive);
+        let _, _, worst = List.nth naive (List.length naive - 1) in
+        if worst <= 2.0 *. cap then
+          fail
+            "overload ranks: naive p99 %.2f ms never exceeds twice the \
+             at-capacity p99 %.2f ms"
+            worst cap);
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun (_, m, p99) ->
+              if m >= 2.0 && p99 > 2.0 *. cap *. (1.0 +. 1e-9) then
+                fail
+                  "overload ranks: %s p99 %.2f ms at x%g exceeds twice the \
+                   at-capacity p99 %.2f ms"
+                  policy p99 m cap)
+            (row policy))
+        [ "reject-newest"; "reject-oldest" ];
+      pass
+        "overload ranks: rejecting policies hold the 2x tail bound the \
+         naive baseline breaks")
+
 (* ---- regression comparisons against the baseline ---- *)
 
 (* Lower-is-better metric: fresh must stay within (1 + tolerance) of the
@@ -310,6 +374,39 @@ let compare_auto_sweep ~tolerance ~base ~fresh =
     | _ -> ());
     pass "auto_sweep: AUTO makespan and rank-match rate within tolerance"
 
+let compare_overload_sweep ~tolerance ~base ~fresh =
+  match
+    comparable ~section:"overload_sweep"
+      ~fields:[ "seed"; "queries"; "queue_limit" ]
+      ~base ~fresh
+  with
+  | Error reason -> skip "%s" reason
+  | Ok (b, f) ->
+    (match (num "cap_p99_ms" b, num "cap_p99_ms" f) with
+    | Some baseline, Some fresh when baseline > 0.0 ->
+      check_time ~tolerance ~what:"overload_sweep at-capacity p99" ~baseline
+        ~fresh
+    | _ -> ());
+    let controlled doc =
+      match arr "points" doc with
+      | None -> []
+      | Some pts ->
+        List.filter_map
+          (fun p ->
+            match (str "policy" p, num "goodput_qps" p) with
+            | Some policy, Some g when policy <> "naive" -> Some g
+            | _ -> None)
+          pts
+    in
+    (match (controlled b, controlled f) with
+    | (_ :: _ as bs), (_ :: _ as fs) ->
+      check_rate ~tolerance ~what:"overload_sweep mean controlled goodput"
+        ~baseline:(mean bs) ~fresh:(mean fs)
+    | _ -> ());
+    pass
+      "overload_sweep: at-capacity p99 and controlled goodput within \
+       tolerance"
+
 (* ---- driver ---- *)
 
 let () =
@@ -349,13 +446,15 @@ let () =
       check_fault_ranks fresh;
       check_serve_ranks fresh;
       check_auto_ranks fresh;
+      check_overload_ranks fresh;
       compare_strategies ~tolerance ~base ~fresh;
       compare_latency ~tolerance ~base ~fresh;
       compare_sweep_responses ~tolerance ~section:"fault_sweep" ~base ~fresh;
       compare_sweep_responses ~tolerance ~section:"recovery_sweep" ~base
         ~fresh;
       compare_serve_sweep ~tolerance ~base ~fresh;
-      compare_auto_sweep ~tolerance ~base ~fresh
+      compare_auto_sweep ~tolerance ~base ~fresh;
+      compare_overload_sweep ~tolerance ~base ~fresh
     | _ -> ()));
   if !failed then begin
     Format.printf "@.bench gate: FAILED@.";
