@@ -25,7 +25,7 @@
    the win condition); --out DIR picks the directory, --jobs N sizes
    the domain pool (default: all cores; 1 = sequential), --smoke runs
    a reduced version for CI, and --check FILE validates an existing
-   result file against the schema (/1../8 all accepted). *)
+   result file against the schema (/1../9 all accepted). *)
 
 open Msdq_fed
 open Msdq_query
@@ -566,6 +566,35 @@ let overload_study ?pool ~seed () =
   o
 
 (* ------------------------------------------------------------------ *)
+(* Gray-failure tolerance: static vs adaptive retry timeouts across the
+   gray fault kinds, recorded in the JSON file's gray_sweep section. Every
+   cell is pure in (seed, policy, kind, severity), so smoke and full runs
+   produce identical sections the CI bench gate can compare across
+   commits. *)
+
+let gray_study ?pool ~seed () =
+  section "gray";
+  Format.printf
+    "Gray-failure tolerance: one BL workload served per (timeout policy,@.\
+     fault kind, severity) cell over a lossy link. Win condition: the@.\
+     adaptive arm demotes no more rows than the static arm on every cell@.\
+     and cuts mean response on the slowdown cells by at least %.0f%%.@.@."
+    (100.0 *. Gray_sweep.response_margin);
+  let g = Gray_sweep.run ?pool ~seed () in
+  Format.printf "static timeout %.2fms, baseline drop %.2f@.@."
+    g.Gray_sweep.static_timeout_ms g.Gray_sweep.drop;
+  Format.printf "%-9s %-9s %-7s %8s %6s %9s %9s@." "policy" "kind" "sev"
+    "demoted" "aband" "mean" "p99";
+  List.iter
+    (fun (p : Gray_sweep.point) ->
+      Format.printf "%-9s %-9s %-7s %8d %6d %7.2fms %7.2fms@."
+        p.Gray_sweep.pt_policy p.Gray_sweep.pt_kind p.Gray_sweep.pt_severity
+        p.Gray_sweep.pt_demoted_rows p.Gray_sweep.pt_abandoned_checks
+        p.Gray_sweep.pt_mean_ms p.Gray_sweep.pt_p99_ms)
+    g.Gray_sweep.points;
+  g
+
+(* ------------------------------------------------------------------ *)
 (* Per-strategy simulated times on the demo workload, for the JSON file. *)
 
 let strategy_times () =
@@ -677,12 +706,12 @@ let timestamp () =
     tm.Unix.tm_sec
 
 let write_bench_json ~out ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~gray_sweep ~wall =
   let generated_at = timestamp () in
   let doc =
     Run_report.bench_to_json ~generated_at ~seed ~parallel ~fault_sweep
       ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
-      ~strategies:(strategy_times ()) ~wall
+      ~gray_sweep ~strategies:(strategy_times ()) ~wall
   in
   (match Run_report.validate_bench doc with
   | Ok () -> ()
@@ -746,7 +775,7 @@ let () =
       ("--out", Arg.Set_string out, "DIR  directory for BENCH_<timestamp>.json (default .)");
       ( "--check",
         Arg.String (fun f -> check := Some f),
-        "FILE  validate FILE against the bench schema (/1../8) and exit" );
+        "FILE  validate FILE against the bench schema (/1../9) and exit" );
     ]
   in
   Arg.parse spec
@@ -781,10 +810,11 @@ let () =
       let latency = latency_study () in
       let auto_sweep = auto_study ~seed:!seed () in
       let overload_sweep = overload_study ?pool ~seed:!seed () in
+      let gray_sweep = gray_study ?pool ~seed:!seed () in
       let wall = microbenches ~quota:0.05 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
         ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
-        ~wall
+        ~gray_sweep ~wall
     end
     else begin
       Format.printf "parameter draws per point: %d@." !samples;
@@ -801,9 +831,10 @@ let () =
       let latency = latency_study () in
       let auto_sweep = auto_study ~seed:!seed () in
       let overload_sweep = overload_study ?pool ~seed:!seed () in
+      let gray_sweep = gray_study ?pool ~seed:!seed () in
       let wall = microbenches ~quota:0.4 () in
       write_bench_json ~out:!out ~seed:!seed ~parallel ~fault_sweep
         ~recovery_sweep ~serve_sweep ~latency ~auto_sweep ~overload_sweep
-        ~wall;
+        ~gray_sweep ~wall;
       Format.printf "@.done.@."
     end

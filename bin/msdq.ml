@@ -539,8 +539,45 @@ let run_overload_sweep ?pool ~registry ?progress ~seed ~json () =
   end;
   `Ok ()
 
+let pp_gray_sweep ppf (o : Gray_sweep.outcome) =
+  Format.fprintf ppf "%s — %s@.@." o.Gray_sweep.id o.Gray_sweep.title;
+  Format.fprintf ppf
+    "%d queries per cell, seed %d; static timeout %.2fms, baseline drop \
+     %.2f@.@."
+    o.Gray_sweep.queries o.Gray_sweep.seed o.Gray_sweep.static_timeout_ms
+    o.Gray_sweep.drop;
+  Format.fprintf ppf "%-9s %-9s %-7s %8s %6s %9s %9s %5s@." "policy" "kind"
+    "sev" "demoted" "aband" "mean" "p99" "gray";
+  List.iter
+    (fun (pt : Gray_sweep.point) ->
+      Format.fprintf ppf "%-9s %-9s %-7s %8d %6d %7.2fms %7.2fms %5d@."
+        pt.Gray_sweep.pt_policy pt.Gray_sweep.pt_kind pt.Gray_sweep.pt_severity
+        pt.Gray_sweep.pt_demoted_rows pt.Gray_sweep.pt_abandoned_checks
+        pt.Gray_sweep.pt_mean_ms pt.Gray_sweep.pt_p99_ms
+        pt.Gray_sweep.pt_gray_sites)
+    o.Gray_sweep.points;
+  Format.fprintf ppf
+    "@.win condition: adaptive demotes no more rows than static on every \
+     cell and cuts mean response on the slowdown cells by at least %.0f%%@."
+    (100.0 *. Gray_sweep.response_margin)
+
+let run_gray_sweep ?pool ~registry ?progress ~seed ~json () =
+  let o = Gray_sweep.run ?pool ~registry ?progress ~seed () in
+  if not json then Format.printf "%a@." pp_gray_sweep o
+  else begin
+    let doc =
+      Msdq_obs.Json.Obj
+        [
+          ("gray_sweep", Run_report.gray_sweep_to_json o);
+          ("registry", Msdq_obs.Metrics.to_json registry);
+        ]
+    in
+    print_endline (Msdq_obs.Json.to_string ~indent:2 doc)
+  end;
+  `Ok ()
+
 let experiment which fault_sweep recovery_sweep auto_sweep overload_sweep
-    samples seed jobs drop inflate csv chart json progress =
+    gray_sweep samples seed jobs drop inflate csv chart json progress =
   let registry = Msdq_obs.Metrics.create () in
   let progress =
     if progress then
@@ -571,6 +608,8 @@ let experiment which fault_sweep recovery_sweep auto_sweep overload_sweep
     run_auto_sweep ~registry ?progress ~seed ~json ()
   else if overload_sweep || String.equal which "overload-sweep" then
     run_overload_sweep ?pool ~registry ?progress ~seed ~json ()
+  else if gray_sweep || String.equal which "gray-sweep" then
+    run_gray_sweep ?pool ~registry ?progress ~seed ~json ()
   else
   let figures =
     match which with
@@ -630,8 +669,8 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
-             fault-sweep, recovery-sweep, auto-sweep, overload-sweep or \
-             all.")
+             fault-sweep, recovery-sweep, auto-sweep, overload-sweep, \
+             gray-sweep or all.")
   in
   let fault_sweep_flag =
     Arg.(
@@ -685,6 +724,20 @@ let experiment_cmd =
              latency per (policy, load) cell. Uses $(b,--seed) and \
              $(b,--jobs); $(b,--samples) is ignored.")
   in
+  let gray_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "gray-sweep" ]
+          ~doc:
+            "Run the gray-failure tolerance experiment instead of the \
+             figures: one BL workload served per (timeout policy, fault \
+             kind, severity) cell — slowdown, jitter, flapping and one-way \
+             partitions over a lossy link — comparing a conservative static \
+             retransmission timeout against the telemetry-driven adaptive \
+             one, reporting demoted rows, abandoned checks and mean/p99 \
+             response per cell. Uses $(b,--seed) and $(b,--jobs); \
+             $(b,--samples) is ignored.")
+  in
   let drop =
     Arg.(
       value
@@ -723,8 +776,9 @@ let experiment_cmd =
       Term.(
         ret
           (const experiment $ which $ fault_sweep_flag $ recovery_sweep_flag
-         $ auto_sweep_flag $ overload_sweep_flag $ samples_arg $ seed_arg
-         $ jobs $ drop $ inflate $ csv $ chart $ json_arg $ progress_arg))
+         $ auto_sweep_flag $ overload_sweep_flag $ gray_sweep_flag
+         $ samples_arg $ seed_arg $ jobs $ drop $ inflate $ csv $ chart
+         $ json_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -860,6 +914,12 @@ let dashboard_frames (out : Msdq_serve.Serve.outcome) =
   let ver_lookups =
     out.Serve.verdict_cache.Lru.hits + out.Serve.verdict_cache.Lru.misses
   in
+  let gray_slow_legs =
+    Msdq_obs.Metrics.total out.Serve.registry "msdq_gray_slow_legs_total"
+  in
+  let gray_fallbacks =
+    Msdq_obs.Metrics.total out.Serve.registry "msdq_gray_fallbacks_total"
+  in
   let done_ = ref [] in
   List.mapi
     (fun i (r : Serve.query_report) ->
@@ -911,6 +971,8 @@ let dashboard_frames (out : Msdq_serve.Serve.outcome) =
                   out.Serve.shed));
         deadline_demotions =
           sum (fun (q : Serve.query_report) -> q.Serve.deadline_demoted);
+        gray_slow_legs = scale gray_slow_legs;
+        gray_fallbacks = scale gray_fallbacks;
         latency =
           Msdq_simkit.Stats.summarize
             (List.map
@@ -922,8 +984,8 @@ let dashboard_frames (out : Msdq_serve.Serve.outcome) =
     reports
 
 let serve queries arrival cache_mb window_us deadline_ms queue_limit
-    shed_policy strategy data synthetic seed sweep samples jobs json dashboard
-    store trace_out sql =
+    shed_policy strategy data synthetic seed sweep samples jobs drop inflate
+    flap_ms adaptive json dashboard store trace_out sql =
   let module Serve = Msdq_serve.Serve in
   let module Lru = Msdq_serve.Lru in
   if sweep then begin
@@ -984,12 +1046,58 @@ let serve queries arrival cache_mb window_us deadline_ms queue_limit
     let inter_us = 1e6 /. arrival in
     let arrival_of i = Msdq_simkit.Time.us (float_of_int i *. inter_us) in
     let telemetry = dashboard || store <> None in
+    let fault =
+      let module Fault = Msdq_fault.Fault in
+      if drop = 0.0 && inflate = 1.0 && flap_ms = 0.0 then Fault.none
+      else begin
+        let sites =
+          List.map
+            (fun (db, _) -> Federation.site_of fed db)
+            (Federation.databases fed)
+        in
+        let links =
+          if drop > 0.0 || inflate <> 1.0 then
+            List.map
+              (fun s -> { Fault.dst = s; drop; inflate; jitter = 0.0 })
+              sites
+          else []
+        in
+        let flapping =
+          if flap_ms > 0.0 then begin
+            let horizon = float_of_int queries *. inter_us in
+            let train =
+              Fault.flap_train ~from:Msdq_simkit.Time.zero
+                ~until:(Msdq_simkit.Time.us horizon)
+                ~period:(Msdq_simkit.Time.ms flap_ms)
+                ~duty:0.3
+            in
+            List.map (fun s -> { Fault.site = s; outages = train }) sites
+          end
+          else []
+        in
+        {
+          Fault.seed;
+          sites = flapping;
+          links;
+          slowdowns = [];
+          partitions = [];
+        }
+      end
+    in
+    let retry =
+      {
+        Strategy.default_retry with
+        Strategy.adaptive =
+          (if adaptive then Some Strategy.default_adaptive else None);
+      }
+    in
     let cfg =
       {
         Serve.default_config with
         Serve.cache_bytes = int_of_float (cache_mb *. 1024.0 *. 1024.0);
         window = Msdq_simkit.Time.us window_us;
-        options = { Strategy.default_options with Strategy.telemetry };
+        options =
+          { Strategy.default_options with Strategy.telemetry; fault; retry };
         deadline = Option.map (fun d -> Msdq_simkit.Time.ms d) deadline_ms;
         queue_limit;
         shed_policy;
@@ -1296,6 +1404,44 @@ let serve_cmd =
       & info [] ~docv:"QUERY"
           ~doc:"SQL/X query repeated by the stream. Default: the demo's Q1.")
   in
+  let serve_drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:
+            "Loss probability of every database site's incoming link \
+             (default 0: lossless). Dropped check legs retransmit after \
+             the retry timeout; see $(b,--adaptive).")
+  in
+  let serve_inflate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "inflate" ] ~docv:"F"
+          ~doc:
+            "Latency inflation factor of every database site's incoming \
+             link (default 1: no inflation). Factors at or beyond the \
+             gray-slowness ratio make delivered check legs count as slow \
+             for AUTO's gray-site detection.")
+  in
+  let serve_flap =
+    Arg.(
+      value & opt float 0.0
+      & info [ "flap-ms" ] ~docv:"PERIOD"
+          ~doc:
+            "Flap every database site with the given period in simulated \
+             milliseconds (down 30% of each period), over the whole \
+             stream. 0 disables flapping (the default).")
+  in
+  let serve_adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Use telemetry-driven adaptive retry timeouts instead of the \
+             static default: each destination's timeout is clamp(lo, k x \
+             observed check latency, hi), falling back to the ceiling for \
+             sites with no observations yet.")
+  in
   let dashboard =
     Arg.(
       value & flag
@@ -1323,7 +1469,8 @@ let serve_cmd =
         ret
           (const serve $ queries $ arrival $ cache_mb $ window $ deadline
          $ queue_limit $ shed_policy $ strategy $ data_arg $ synthetic
-         $ seed_arg $ sweep_flag $ samples $ jobs $ json_arg $ dashboard
+         $ seed_arg $ sweep_flag $ samples $ jobs $ serve_drop
+         $ serve_inflate $ serve_flap $ serve_adaptive $ json_arg $ dashboard
          $ store_arg $ serve_trace_out $ sql))
   in
   Cmd.v

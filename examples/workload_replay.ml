@@ -92,9 +92,11 @@ let () =
   let schedule =
     {
       Fault.seed = 7;
+      slowdowns = [];
+      partitions = [];
       sites =
         List.init 3 (fun i -> { Fault.site = i + 1; outages = [ outage ] });
-      links = [ { Fault.dst = 0; drop = 0.25; inflate = 1.5 } ];
+      links = [ { Fault.dst = 0; drop = 0.25; inflate = 1.5; jitter = 0.0 } ];
     }
   in
   let faulty_cold =

@@ -46,12 +46,13 @@ module Breaker = struct
     on_event : event -> unit;
     mutable opened : int;
     mutable probes : int;
+    mutable slow : int;
   }
 
   let create ?(on_event = fun _ -> ()) ~threshold ~sched () =
     if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
     { threshold; sched; entries = Hashtbl.create 8; on_event;
-      opened = 0; probes = 0 }
+      opened = 0; probes = 0; slow = 0 }
 
   let entry t site =
     match Hashtbl.find_opt t.entries site with
@@ -105,7 +106,7 @@ module Breaker = struct
     t.opened <- t.opened + 1;
     t.on_event (Opened { site; at; probe_at = e.probe_at })
 
-  let failure t ~site ~at =
+  let trip t ~site ~at =
     let e = entry t site in
     e.consecutive <- e.consecutive + 1;
     match e.st with
@@ -113,6 +114,17 @@ module Breaker = struct
     | Closed -> if e.consecutive >= t.threshold then open_now t e ~site ~at
     | Open -> () (* a transfer already in flight when we opened; ignore *)
 
+  let failure t ~site ~at = trip t ~site ~at
+
+  (* Latency-aware tripping: a round trip that completed but exceeded the
+     adaptive threshold counts toward opening exactly like a drop, so a
+     slow-but-up (gray) destination gets routed around just like a dead
+     one. Unlike [success], it never resets the consecutive count. *)
+  let slow t ~site ~at =
+    t.slow <- t.slow + 1;
+    trip t ~site ~at
+
   let opened_total t = t.opened
   let probes_total t = t.probes
+  let slow_total t = t.slow
 end

@@ -115,9 +115,21 @@ module Breaker : sig
   (** A transfer to [site] was dropped at [at]: count it; open at
       [threshold] consecutive failures, reopen on a failed probe. *)
 
+  val slow : t -> site:int -> at:Time.t -> unit
+  (** Latency-aware tripping: a round trip to [site] {e completed} at [at]
+      but exceeded the adaptive latency threshold. Counts toward opening
+      exactly like {!failure} (and is additionally tallied in
+      {!slow_total}), so a gray destination — up, answering, but far slower
+      than its observed baseline — is routed around just like a dead one.
+      Callers that consider a delivered round trip fast enough call
+      {!success} instead; the two are mutually exclusive per round trip. *)
+
   val opened_total : t -> int
   (** Openings, including reopenings after failed probes. *)
 
   val probes_total : t -> int
   (** Half-open probes granted. *)
+
+  val slow_total : t -> int
+  (** Slow round trips counted toward tripping via {!slow}. *)
 end

@@ -52,9 +52,19 @@ let selection_of_string s =
 
 module Recovery = Recovery
 
-type retry = { timeout : Time.t; max_attempts : int; backoff : float }
+type adaptive = { k : float; lo : Time.t; hi : Time.t }
 
-let default_retry = { timeout = Time.ms 1.0; max_attempts = 3; backoff = 2.0 }
+type retry = {
+  timeout : Time.t;
+  max_attempts : int;
+  backoff : float;
+  adaptive : adaptive option;
+}
+
+let default_retry =
+  { timeout = Time.ms 1.0; max_attempts = 3; backoff = 2.0; adaptive = None }
+
+let default_adaptive = { k = 2.0; lo = Time.us 200.0; hi = Time.ms 4.0 }
 
 type options = {
   cost : Cost.t;
@@ -65,6 +75,7 @@ type options = {
   retry : retry;
   recovery : Recovery.policy;
   telemetry : bool;
+  latency_of : (int -> float option) option;
 }
 
 let default_options =
@@ -77,7 +88,24 @@ let default_options =
     retry = default_retry;
     recovery = Recovery.disabled;
     telemetry = false;
+    latency_of = None;
   }
+
+(* The telemetry-driven per-destination retry timeout: clamp(lo, k x ewma,
+   hi) over the destination's observed check round-trip latency, falling
+   back to the generous [hi] when no observation exists (a new site should
+   not be spuriously demoted by an aggressive guess). With [adaptive =
+   None] this is the static [retry.timeout] — the historical behaviour. *)
+let effective_timeout ?latency_of (r : retry) ~dst =
+  match r.adaptive with
+  | None -> r.timeout
+  | Some a -> (
+    match (match latency_of with Some f -> f dst | None -> None) with
+    | Some obs_us when Float.is_finite obs_us && obs_us > 0.0 ->
+      Time.us
+        (Float.max (Time.to_us a.lo)
+           (Float.min (Time.to_us a.hi) (a.k *. obs_us)))
+    | _ -> a.hi)
 
 (* Eager, readable configuration validation: a bad [site_speeds] entry or a
    malformed fault schedule is reported before any simulated work starts,
@@ -109,6 +137,15 @@ let validate_options options =
   then invalid_arg "Strategy: retry.timeout must be non-negative and finite";
   if Float.is_nan options.retry.backoff || options.retry.backoff < 1.0 then
     invalid_arg "Strategy: retry.backoff must be >= 1";
+  (match options.retry.adaptive with
+  | None -> ()
+  | Some a ->
+    if not (Float.is_finite a.k) || a.k <= 0.0 then
+      invalid_arg "Strategy: retry.adaptive.k must be positive and finite";
+    if not (Time.is_finite a.lo) || Time.compare a.lo Time.zero < 0 then
+      invalid_arg "Strategy: retry.adaptive.lo must be non-negative and finite";
+    if not (Time.is_finite a.hi) || Time.compare a.hi a.lo < 0 then
+      invalid_arg "Strategy: retry.adaptive.hi must be >= lo and finite");
   Recovery.validate options.recovery
 
 type availability = {
@@ -800,6 +837,7 @@ let build_localized e ?after ~acc ~tracer opts ~parallel ?(checks = true)
 type fault_ctx = {
   sched : Fault.schedule;
   fretry : retry;
+  f_timeout_of : int -> Time.t;  (* per-destination effective retry timeout *)
   mutable f_drops : int;
   mutable f_retries : int;
   mutable f_abandoned : int;  (* check requests whose round trip was given up *)
@@ -807,12 +845,16 @@ type fault_ctx = {
   mutable f_failovers : int;  (* failover batches dispatched to replicas *)
   mutable f_hedges : int;  (* hedged duplicate batches dispatched *)
   mutable f_recovered : int;  (* rows a retry-only run would have demoted *)
+  mutable f_slow : int;  (* delivered round trips over the adaptive threshold *)
 }
 
 let new_fault_ctx options =
   {
     sched = options.fault;
     fretry = options.retry;
+    f_timeout_of =
+      (fun dst ->
+        effective_timeout ?latency_of:options.latency_of options.retry ~dst);
     f_drops = 0;
     f_retries = 0;
     f_abandoned = 0;
@@ -820,7 +862,25 @@ let new_fault_ctx options =
     f_failovers = 0;
     f_hedges = 0;
     f_recovered = 0;
+    f_slow = 0;
   }
+
+(* A delivered check round trip to [dst] still counts toward tripping the
+   breaker when the destination is gray: its (deterministically) inflated
+   round-trip model exceeds the adaptive latency threshold. Benign
+   per-transfer jitter is deliberately excluded — only the link's persistent
+   inflation factor, the gray signal, trips. *)
+let round_trip_slow fx c ~dst ~bytes =
+  match fx.fretry.adaptive with
+  | None -> false
+  | Some _ -> (
+    match Fault.link_of fx.sched dst with
+    | Some lf when lf.Fault.inflate > 1.0 ->
+      Time.compare
+        (Time.us (Time.to_us (Cost.net c ~bytes) *. lf.Fault.inflate))
+        (fx.f_timeout_of dst)
+      > 0
+    | Some _ | None -> false)
 
 (* Safety cap on critical retry chains: recoverable schedules converge long
    before this, and a permanent outage is detected directly. *)
@@ -846,16 +906,30 @@ let retrying_transfer e acc c fx ?breaker ~critical ~src ~dst ~phase ?db
     Engine.resolve e settled
   in
   let cap = if critical then fault_attempt_cap else fx.fretry.max_attempts in
+  let base_timeout = fx.f_timeout_of dst in
+  (match fx.fretry.adaptive with
+  | None -> ()
+  | Some _ ->
+    Metrics.set
+      (Metrics.gauge acc.reg
+         ~labels:[ ("strategy", acc.sname); ("site", string_of_int dst) ]
+         "msdq_adaptive_timeout_us")
+      (Time.to_us base_timeout));
   let backoff_wait i =
     let exp = Float.min (float_of_int (i - 1)) 6.0 in
-    Time.us (Time.to_us fx.fretry.timeout *. (fx.fretry.backoff ** exp))
+    Time.us (Time.to_us base_timeout *. (fx.fretry.backoff ** exp))
   in
   let feed outcome =
     match breaker with
     | None -> ()
     | Some b -> (
       match outcome with
-      | Engine.Delivered -> Recovery.Breaker.success b ~site:dst
+      | Engine.Delivered ->
+        if round_trip_slow fx c ~dst ~bytes then begin
+          fx.f_slow <- fx.f_slow + 1;
+          Recovery.Breaker.slow b ~site:dst ~at:(Engine.now e)
+        end
+        else Recovery.Breaker.success b ~site:dst
       | Engine.Dropped _ ->
         Recovery.Breaker.failure b ~site:dst ~at:(Engine.now e))
   in
@@ -878,8 +952,7 @@ let retrying_transfer e acc c fx ?breaker ~critical ~src ~dst ~phase ?db
                       hammering a site known to be down. *)
                    match Fault.next_up fx.sched ~site:dst ~at:now with
                    | None -> None  (* it never does *)
-                   | Some up ->
-                     Some (Time.add (Time.sub up now) fx.fretry.timeout)
+                   | Some up -> Some (Time.add (Time.sub up now) base_timeout)
                  else Some (backoff_wait i)
                in
                match wait with
@@ -926,14 +999,19 @@ let recovery_transfer e acc c fx ?breaker ~src ~dst ~phase ?db ~label ~bytes
     match breaker with
     | None -> ()
     | Some b ->
-      if delivered then Recovery.Breaker.success b ~site:dst
+      if delivered then
+        if round_trip_slow fx c ~dst ~bytes then begin
+          fx.f_slow <- fx.f_slow + 1;
+          Recovery.Breaker.slow b ~site:dst ~at:(Engine.now e)
+        end
+        else Recovery.Breaker.success b ~site:dst
       else Recovery.Breaker.failure b ~site:dst ~at:(Engine.now e)
   in
+  let base_timeout = fx.f_timeout_of dst in
   let backoff_wait i =
     let exp = Float.min (float_of_int (i - 1)) 6.0 in
-    Time.us (Time.to_us fx.fretry.timeout *. (fx.fretry.backoff ** exp))
+    Time.us (Time.to_us base_timeout *. (fx.fretry.backoff ** exp))
   in
-  let link = List.find_opt (fun l -> l.Fault.dst = dst) fx.sched.Fault.links in
   let rec attempt i ~deps =
     let alabel = if i = 1 then label else Printf.sprintf "%s~retry%d" label i in
     ignore
@@ -950,22 +1028,11 @@ let recovery_transfer e acc c fx ?breaker ~src ~dst ~phase ?db ~label ~bytes
              Metrics.inc (ctr acc ~phase "msdq_messages_total") 1;
              let start = Engine.now e in
              let base = Cost.net c ~bytes in
-             let duration =
-               match link with
-               | Some l when l.Fault.inflate > 1.0 ->
-                 Time.us (Time.to_us base *. l.Fault.inflate)
-               | Some _ | None -> base
+             let duration, drop_reason =
+               Fault.link_fate fx.sched ~src ~dst ~label:alabel ~start
+                 ~duration:base ()
              in
-             let dropped =
-               Fault.site_down fx.sched ~site:dst
-                 ~at:(Time.add start duration)
-               ||
-               match link with
-               | Some l ->
-                 Fault.drop_draw fx.sched ~dst ~label:alabel ~start
-                   ~p:l.Fault.drop
-               | None -> false
-             in
+             let dropped = drop_reason <> None in
              ignore
                (Engine.delay e ~label:alabel
                   ~attrs:(task_attrs acc ~phase ?db ())
@@ -1590,6 +1657,15 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
     (match opts.recovery.hedge_after with
      | Some after when not hedge ->
        incr outstanding;
+       (* Straggler-triggered hedging: under adaptive timeouts the hedge
+          delay is the target's telemetry-derived timeout, not the
+          hand-picked constant — a destination observed to be slow is
+          hedged later, a fast one sooner. *)
+       let after =
+         match opts.retry.adaptive with
+         | Some _ -> fx.f_timeout_of tsite
+         | None -> after
+       in
        ignore
          (Engine.delay e
             ~label:(Printf.sprintf "hedge-timer#%d" seq)
@@ -2007,11 +2083,13 @@ let build_localized_faulty e ?after ~acc ~tracer ~fx opts ~parallel
           (match breaker with
            | Some b ->
              bc "msdq_breaker_opened_total" (Recovery.Breaker.opened_total b);
-             bc "msdq_breaker_probes_total" (Recovery.Breaker.probes_total b)
+             bc "msdq_breaker_probes_total" (Recovery.Breaker.probes_total b);
+             bc "msdq_gray_slow_trips_total" (Recovery.Breaker.slow_total b)
            | None -> ());
           bc "msdq_recovery_failovers_total" fx.f_failovers;
           bc "msdq_recovery_hedges_total" fx.f_hedges;
-          bc "msdq_recovery_recovered_total" fx.f_recovered
+          bc "msdq_recovery_recovered_total" fx.f_recovered;
+          bc "msdq_gray_slow_legs_total" fx.f_slow
         end;
         {
           f_answer = final;

@@ -68,17 +68,44 @@ val selection_of_string : string -> (selection, string) result
 (** Case-insensitive. The error message lists the accepted set
     ([CA, BL, PL, BLS, PLS, LO, CF, AUTO]). *)
 
+type adaptive = {
+  k : float;  (** multiplier over the observed latency, > 0 *)
+  lo : Time.t;  (** timeout floor, >= 0 *)
+  hi : Time.t;  (** timeout ceiling, >= [lo]; also the no-observation default *)
+}
+(** Telemetry-driven per-destination retry timeouts:
+    [clamp(lo, k x ewma(dst), hi)] over the destination's observed check
+    round-trip latency (supplied through [options.latency_of], typically the
+    telemetry store's per-link EWMA). A destination with no observation uses
+    the generous [hi] so it is never spuriously demoted by an aggressive
+    guess. *)
+
 type retry = {
   timeout : Time.t;
       (** how long the sender waits after a lost transfer before
           retransmitting (the first attempt's wait; later waits grow by
-          [backoff]) *)
+          [backoff]); ignored when [adaptive] is set *)
   max_attempts : int;  (** attempts per check round-trip leg, >= 1 *)
   backoff : float;  (** multiplicative wait growth per attempt, >= 1 *)
+  adaptive : adaptive option;
+      (** [None] (the default): the static [timeout] for every destination —
+          the historical behaviour. [Some _]: per-destination adaptive
+          timeouts; also arms latency-aware breaker tripping
+          ({!Recovery.Breaker.slow}) and telemetry-driven hedge delays. *)
 }
 
 val default_retry : retry
-(** 1 ms timeout, 3 attempts, doubling backoff. *)
+(** 1 ms static timeout, 3 attempts, doubling backoff, no adaptivity. *)
+
+val default_adaptive : adaptive
+(** [k = 2], floor 200 us, ceiling 4 ms. *)
+
+val effective_timeout : ?latency_of:(int -> float option) -> retry -> dst:int -> Time.t
+(** The resolved first-attempt timeout for [dst]: the static [timeout] when
+    [adaptive] is [None], otherwise [clamp(lo, k x latency_of dst, hi)]
+    ([hi] when [latency_of] is absent or has no observation for [dst]).
+    Exposed so the serve layer and experiments resolve exactly the timeout
+    the executors use. *)
 
 type options = {
   cost : Cost.t;
@@ -116,11 +143,17 @@ type options = {
           [msdq_query_latency_us{strategy}]. Off by default so existing
           registry dumps and [--json] reports stay byte-identical
           (golden-pinned). *)
+  latency_of : (int -> float option) option;
+      (** observed mean check round-trip latency (microseconds) per
+          destination site, consulted by adaptive timeouts — typically a
+          closure over the telemetry store's per-link statistics. [None]
+          (the default) means no observations: adaptive timeouts fall back
+          to their ceiling. *)
 }
 
 val default_options : options
 (** Table 1 costs, no deep certification, no faults, {!default_retry},
-    {!Recovery.disabled}. *)
+    {!Recovery.disabled}, no latency observations. *)
 
 val validate_options : options -> unit
 (** Eager configuration validation: raises [Invalid_argument] with a

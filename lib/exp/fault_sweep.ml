@@ -125,7 +125,7 @@ let point ~seed ~cost ~idx ~si ~availability ~drop ~inflate =
         {
           sched with
           Fault.links =
-            { Fault.dst = 0; drop; inflate } :: sched.Fault.links;
+            { Fault.dst = 0; drop; inflate; jitter = 0.0 } :: sched.Fault.links;
         }
     in
     let options = { Strategy.default_options with Strategy.cost; Strategy.fault } in
@@ -313,7 +313,7 @@ let rpoint ~seed ~cost ~idx ~si ~availability ~drop ~inflate =
       in
       {
         sched with
-        Fault.links = { Fault.dst = 0; drop; inflate } :: sched.Fault.links;
+        Fault.links = { Fault.dst = 0; drop; inflate; jitter = 0.0 } :: sched.Fault.links;
       }
     in
     let cells =

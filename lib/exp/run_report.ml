@@ -355,7 +355,8 @@ let bench_schema_v4 = "msdq-bench/4"
 let bench_schema_v5 = "msdq-bench/5"
 let bench_schema_v6 = "msdq-bench/6"
 let bench_schema_v7 = "msdq-bench/7"
-let bench_schema = "msdq-bench/8"
+let bench_schema_v8 = "msdq-bench/8"
+let bench_schema = "msdq-bench/9"
 
 type parallel = {
   jobs : int;
@@ -473,8 +474,43 @@ let overload_sweep_to_json (o : Overload_sweep.outcome) =
              o.Overload_sweep.points) );
     ]
 
+let gray_sweep_to_json (g : Gray_sweep.outcome) =
+  Json.Obj
+    [
+      ("id", Json.Str g.Gray_sweep.id);
+      ("title", Json.Str g.Gray_sweep.title);
+      ("seed", Json.Int g.Gray_sweep.seed);
+      ("queries", Json.Int g.Gray_sweep.queries);
+      ("drop", Json.Float g.Gray_sweep.drop);
+      ("static_timeout_ms", Json.Float g.Gray_sweep.static_timeout_ms);
+      ("kinds", Json.Arr (List.map (fun k -> Json.Str k) g.Gray_sweep.kinds));
+      ( "severities",
+        Json.Arr (List.map (fun s -> Json.Str s) g.Gray_sweep.severities) );
+      ( "policies",
+        Json.Arr (List.map (fun p -> Json.Str p) g.Gray_sweep.policies) );
+      ( "points",
+        Json.Arr
+          (List.map
+             (fun (p : Gray_sweep.point) ->
+               Json.Obj
+                 [
+                   ("policy", Json.Str p.Gray_sweep.pt_policy);
+                   ("kind", Json.Str p.Gray_sweep.pt_kind);
+                   ("severity", Json.Str p.Gray_sweep.pt_severity);
+                   ("queries", Json.Int p.Gray_sweep.pt_queries);
+                   ("demoted_rows", Json.Int p.Gray_sweep.pt_demoted_rows);
+                   ( "abandoned_checks",
+                     Json.Int p.Gray_sweep.pt_abandoned_checks );
+                   ("mean_ms", Json.Float p.Gray_sweep.pt_mean_ms);
+                   ("p99_ms", Json.Float p.Gray_sweep.pt_p99_ms);
+                   ("gray_sites", Json.Int p.Gray_sweep.pt_gray_sites);
+                 ])
+             g.Gray_sweep.points) );
+    ]
+
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~strategies ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~gray_sweep ~strategies
+    ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -487,6 +523,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("latency", latency_to_json latency);
       ("auto_sweep", auto_sweep_to_json auto_sweep);
       ("overload_sweep", overload_sweep_to_json overload_sweep);
+      ("gray_sweep", gray_sweep_to_json gray_sweep);
       ( "strategies",
         Json.Arr
           (List.map
@@ -1024,12 +1061,121 @@ let validate_overload_sweep j =
     (Ok ())
     [ "reject-newest"; "reject-oldest" ]
 
+(* The /9 win condition. Leg fates are timeout-independent by
+   construction, so the adaptive arm must never demote more rows than the
+   static arm on the same cell; and on the slowdown cells — the gray
+   signature the adaptive timeouts are built to exploit — its mean
+   response must undercut the static arm's by the pinned margin. *)
+let validate_gray_sweep j =
+  let* g = require "\"gray_sweep\"" (Json.member "gray_sweep" j) in
+  let* points =
+    require "gray_sweep \"points\""
+      Option.(Json.member "points" g |> map Json.to_list |> join)
+  in
+  let* () =
+    if points = [] then Error "bench document: gray_sweep \"points\" is empty"
+    else Ok ()
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc entry ->
+        let* acc = acc in
+        let* policy =
+          require "gray_sweep point \"policy\""
+            Option.(Json.member "policy" entry |> map Json.to_str |> join)
+        in
+        let* kind =
+          require "gray_sweep point \"kind\""
+            Option.(Json.member "kind" entry |> map Json.to_str |> join)
+        in
+        let* severity =
+          require "gray_sweep point \"severity\""
+            Option.(Json.member "severity" entry |> map Json.to_str |> join)
+        in
+        let* demoted =
+          require
+            (Printf.sprintf "gray_sweep %s/%s/%s \"demoted_rows\"" policy kind
+               severity)
+            Option.(Json.member "demoted_rows" entry |> map Json.to_int |> join)
+        in
+        let* mean_ms =
+          require
+            (Printf.sprintf "gray_sweep %s/%s/%s \"mean_ms\"" policy kind
+               severity)
+            Option.(Json.member "mean_ms" entry |> map Json.to_float |> join)
+        in
+        let* () =
+          nonneg
+            (Printf.sprintf "gray_sweep %s/%s/%s mean_ms" policy kind severity)
+            mean_ms
+        in
+        let* () =
+          if demoted >= 0 then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "bench document: gray_sweep %s/%s/%s demoted_rows must be >= 0"
+                 policy kind severity)
+        in
+        Ok ((policy, kind, severity, demoted, mean_ms) :: acc))
+      (Ok []) points
+  in
+  let cell policy kind severity =
+    List.find_opt
+      (fun (p, k, s, _, _) ->
+        String.equal p policy && String.equal k kind && String.equal s severity)
+      parsed
+  in
+  let kinds = [ "slowdown"; "jitter"; "flap"; "oneway" ] in
+  let severities = [ "mild"; "severe" ] in
+  List.fold_left
+    (fun acc kind ->
+      let* () = acc in
+      List.fold_left
+        (fun acc severity ->
+          let* () = acc in
+          let* _, _, _, sd, sm =
+            require
+              (Printf.sprintf "gray_sweep static/%s/%s point" kind severity)
+              (cell "static" kind severity)
+          in
+          let* _, _, _, ad, am =
+            require
+              (Printf.sprintf "gray_sweep adaptive/%s/%s point" kind severity)
+              (cell "adaptive" kind severity)
+          in
+          let* () =
+            if ad <= sd then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "bench document: gray_sweep soundness regression — \
+                    adaptive demotes %d rows on %s/%s where static demotes %d"
+                   ad kind severity sd)
+          in
+          if
+            String.equal kind "slowdown"
+            && am > sm *. (1.0 -. Gray_sweep.response_margin)
+          then
+            Error
+              (Printf.sprintf
+                 "bench document: gray_sweep win-condition regression — \
+                  adaptive mean %g ms on slowdown/%s is not %g%% under the \
+                  static %g ms"
+                 am severity
+                 (100.0 *. Gray_sweep.response_margin)
+                 sm)
+          else Ok ())
+        (Ok ()) severities)
+    (Ok ()) kinds
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let known =
     [
-      bench_schema; bench_schema_v7; bench_schema_v6; bench_schema_v5;
-      bench_schema_v4; bench_schema_v3; bench_schema_v2; bench_schema_v1;
+      bench_schema; bench_schema_v8; bench_schema_v7; bench_schema_v6;
+      bench_schema_v5; bench_schema_v4; bench_schema_v3; bench_schema_v2;
+      bench_schema_v1;
     ]
   in
   let* () =
@@ -1050,7 +1196,8 @@ let validate_bench j =
       else if String.equal s bench_schema_v5 then 5
       else if String.equal s bench_schema_v6 then 6
       else if String.equal s bench_schema_v7 then 7
-      else 8
+      else if String.equal s bench_schema_v8 then 8
+      else 9
     in
     rank schema >= v
   in
@@ -1061,6 +1208,7 @@ let validate_bench j =
   let* () = if at_least 6 then validate_latency j else Ok () in
   let* () = if at_least 7 then validate_auto_sweep j else Ok () in
   let* () = if at_least 8 then validate_overload_sweep j else Ok () in
+  let* () = if at_least 9 then validate_gray_sweep j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)
@@ -1200,4 +1348,20 @@ let record_serve_stats ~store (o : Msdq_serve.Serve.outcome) =
           demotions = float_of_int dem_sum /. fn;
         })
     (List.rev !order);
+  (* Per-link gray-health entries: the mean delivered check-leg latency per
+     destination site, under the marker key {db="link"; strategy="*"} (see
+     Store.link_latency). This is what options.latency_of reads back to
+     drive the next run's adaptive timeouts. *)
+  List.iter
+    (fun (site, mean_us, legs) ->
+      Store.observe store
+        { Store.db = "link"; site; link = site; strategy = "*" }
+        {
+          Store.weight = float_of_int legs;
+          check_latency_us = mean_us;
+          drop_rate;
+          cache_hit_rate;
+          demotions = 0.0;
+        })
+    o.Serve.check_latency;
   Store.record_run store

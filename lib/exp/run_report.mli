@@ -78,10 +78,20 @@ val overload_sweep_to_json : Overload_sweep.outcome -> Json.t
     abandoned checks — plus the at-capacity p99 the validator's tail
     bound is measured against. *)
 
+val gray_sweep_to_json : Gray_sweep.outcome -> Json.t
+(** The [msdq experiment --gray-sweep --json] document: the
+    (policy x kind x severity) grid of the gray-failure tolerance sweep —
+    demoted rows, abandoned checks, mean/p99 latency and gray-site count
+    per cell — plus the shared baseline drop and the static arm's fixed
+    timeout. *)
+
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/8"] — the schema every new document is written with. *)
+(** ["msdq-bench/9"] — the schema every new document is written with. *)
+
+val bench_schema_v8 : string
+(** ["msdq-bench/8"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v7 : string
 (** ["msdq-bench/7"] — still accepted by {!validate_bench}. *)
@@ -126,6 +136,7 @@ val bench_to_json :
   latency:(string * Msdq_simkit.Stats.summary) list ->
   auto_sweep:Auto_sweep.outcome ->
   overload_sweep:Overload_sweep.outcome ->
+  gray_sweep:Gray_sweep.outcome ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -137,8 +148,9 @@ val bench_to_json :
     robustness sweeps, [serve_sweep] its workload-engine sweep and
     [latency] its per-strategy query-latency quantile summaries
     ([(name, summary)], the [/6] histogram section), [auto_sweep] the
-    AUTO-vs-fixed comparison (the [/7] section) and [overload_sweep] the
-    overload-robustness sweep (the [/8] section). [generated_at] is
+    AUTO-vs-fixed comparison (the [/7] section), [overload_sweep] the
+    overload-robustness sweep (the [/8] section) and [gray_sweep] the
+    gray-failure tolerance sweep (the [/9] section). [generated_at] is
     injected (not read from the clock) so tests stay deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
@@ -160,7 +172,12 @@ val validate_bench : Json.t -> (unit, string) result
     robustness win condition: the naive baseline's p99 grows
     monotonically and blows past twice the at-capacity p99 while every
     rejecting shed policy keeps admitted p99 within that bound at every
-    overloaded point ([degrade] is reported but not bounded). *)
+    overloaded point ([degrade] is reported but not bounded) — and the
+    [gray_sweep] section from [/9] on, which enforces the gray win
+    condition: on every (kind, severity) cell the adaptive arm demotes no
+    more rows than the static arm, and on the slowdown cells its mean
+    response undercuts the static arm's by at least
+    {!Gray_sweep.response_margin}. *)
 
 val pp_explain : Format.formatter -> Answer.t -> unit
 (** Per-row provenance table ([msdq query --explain]): every row's GOid and

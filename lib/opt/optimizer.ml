@@ -55,7 +55,7 @@ let argmin scores =
       first rest
 
 let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
-    ?(overload = 0.0) fed analysis =
+    ?(gray = []) ?(overload = 0.0) fed analysis =
   if not (Float.is_finite overload) || overload < 0.0 then
     invalid_arg "Optimizer.decide: overload must be non-negative and finite";
   let predictions =
@@ -101,12 +101,22 @@ let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
       preds
   in
   let preferred = (argmin scores).strategy in
-  let degraded_targets =
-    if degraded = [] || not (localized preferred) then []
-    else
-      List.filter (fun s -> List.mem s degraded) (check_sites fed analysis)
+  let targets_among pool =
+    if pool = [] || not (localized preferred) then []
+    else List.filter (fun s -> List.mem s pool) (check_sites fed analysis)
   in
-  if degraded_targets = [] then
+  let degraded_targets = targets_among degraded in
+  let gray_targets =
+    (* Breaker-dead sites already force the fallback; the gray signal only
+       matters for sites that are nominally alive but slow. *)
+    List.filter (fun s -> not (List.mem s degraded_targets))
+      (targets_among gray)
+  in
+  let sites l =
+    String.concat "," (List.map string_of_int (List.sort_uniq compare l))
+  in
+  match (degraded_targets, gray_targets) with
+  | [], [] ->
     {
       preferred;
       chosen = preferred;
@@ -115,7 +125,7 @@ let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
       predictions;
       reason = None;
     }
-  else
+  | (_ :: _), _ ->
     {
       preferred;
       chosen = Strategy.Ca;
@@ -125,9 +135,20 @@ let decide ?cost ?store ?(objective = Planner.Response_time) ?(degraded = [])
       reason =
         Some
           (Printf.sprintf "breaker open for site(s) %s: falling back to CA"
-             (String.concat ","
-                (List.map string_of_int
-                   (List.sort_uniq compare degraded_targets))));
+             (sites degraded_targets));
+    }
+  | [], (_ :: _) ->
+    {
+      preferred;
+      chosen = Strategy.Ca;
+      switched = true;
+      scores;
+      predictions;
+      reason =
+        Some
+          (Printf.sprintf
+             "check site(s) %s gray (slow but up): falling back to CA"
+             (sites gray_targets));
     }
 
 let pp_decision ppf d =

@@ -63,13 +63,20 @@ val decide :
   ?store:Msdq_telemetry.Store.t ->
   ?objective:Planner.objective ->
   ?degraded:int list ->
+  ?gray:int list ->
   ?overload:float ->
   Federation.t ->
   Analysis.t ->
   decision
 (** Pick a strategy for one query. [objective] defaults to
     [Response_time] (a served query's latency is its response time);
-    [degraded] lists sites whose breakers are currently open. [overload]
+    [degraded] lists sites whose breakers are currently open. [gray] lists
+    sites detected as gray — up and answering, but persistently slower than
+    their observed baseline (the serve engine feeds its slow-leg EWMA
+    here): a localized preference whose check sites intersect [gray]
+    falls back to CA exactly like the degraded fallback, with its own
+    reason ("check site(s) N gray (slow but up): falling back to CA");
+    sites already covered by [degraded] keep the breaker reason. [overload]
     (default 0) is a backpressure score — the serve engine feeds queue
     depth and its deadline-miss EWMA here — added to each candidate's
     blended score as [overload * pred_ratio], so rising pressure shifts

@@ -86,6 +86,10 @@ type outcome = {
   messages : int;
   coalesced_checks : int;
   max_queue_depth : int;
+  check_latency : (int * float * int) list;
+      (** per destination site: (site, mean delivered check-leg latency in
+          microseconds, legs observed) — the gray-health signal the
+          telemetry store feeds back into adaptive timeouts *)
   registry : Metrics.t;
   trace : Trace.entry list;
 }
@@ -176,17 +180,25 @@ type leg = {
                             up or succeeding *)
 }
 
-let leg_fate sched (retry : Strategy.retry) ~dst ~label ~at =
+let leg_fate sched (retry : Strategy.retry) ?latency_of ~src ~dst ~label ~at
+    () =
   let p = link_drop sched ~dst in
   let down = Fault.site_down sched ~site:dst ~at in
+  (* Asymmetric partitions fate like outages: checked once at the query's
+     arrival, so the fate stays timing- and cache-independent. *)
+  let cut = Fault.one_way_cut sched ~src:(Some src) ~dst ~at in
+  (* Adaptive retry: the per-destination effective timeout replaces the
+     static one in every wait. The drop draws below ignore the timeout
+     entirely, so which legs deliver — and hence which rows demote — is
+     identical under static and adaptive policies; only the waits differ. *)
+  let timeout = Strategy.effective_timeout ?latency_of retry ~dst in
   let wait_of k =
     Time.us
-      (Time.to_us retry.Strategy.timeout
-      *. (retry.Strategy.backoff ** float_of_int (k - 1)))
+      (Time.to_us timeout *. (retry.Strategy.backoff ** float_of_int (k - 1)))
   in
   let rec go k wait =
     let dropped =
-      down
+      down || cut
       || Fault.drop_draw sched ~dst
            ~label:(Printf.sprintf "%s:a%d" label k)
            ~start:at ~p
@@ -214,6 +226,14 @@ let leg_fate sched (retry : Strategy.retry) ~dst ~label ~at =
    decisions, like fault fates, are identical warm and cold. *)
 
 let miss_alpha = 0.2
+
+(* Gray detection (run_auto): a delivered check leg counts as slow when its
+   latency stretch over the fault-free baseline reaches [gray_slow_ratio];
+   per-site slow observations feed an EWMA with [gray_alpha], and a site
+   whose EWMA exceeds [gray_threshold] is reported gray to the optimizer. *)
+let gray_slow_ratio = 1.5
+let gray_alpha = 0.4
+let gray_threshold = 0.5
 
 type vq_entry = {
   e_index : int;
@@ -566,14 +586,16 @@ let prepare (cfg : config) fed tracer ~extent_caches ~verdict_cache
             (* Fate first — a doomed round trip never consults the cache,
                so warm demotions coincide with cold ones. *)
             let req_leg =
-              leg_fate sched retry ~dst:tsite
+              leg_fate sched retry ?latency_of:opts.Strategy.latency_of
+                ~src:gsite ~dst:tsite
                 ~label:(Printf.sprintf "serve:q%d:%s->%s:req" index origin target)
-                ~at
+                ~at ()
             in
             let ver_leg =
-              leg_fate sched retry ~dst:gsite
+              leg_fate sched retry ?latency_of:opts.Strategy.latency_of
+                ~src:tsite ~dst:gsite
                 ~label:(Printf.sprintf "serve:q%d:%s->%s:verdict" index origin target)
-                ~at
+                ~at ()
             in
             let lost = not (req_leg.delivered && ver_leg.delivered) in
             (* Deadline fate, decided at admission like loss fates: the
@@ -851,9 +873,13 @@ let cpu_task ctx reg st ~site ~phase ~attrs ~label ~units ~deps =
     ~duration:(Cost.cpu (cost_of ctx) ~units)
     ()
 
-let net_duration ctx ~dst ~bytes =
+let net_duration ctx ~dst ~label ~at ~bytes =
   let base = Cost.net (cost_of ctx) ~bytes in
-  Time.us (Time.to_us base *. link_inflate (sched_of ctx) ~dst)
+  let sched = sched_of ctx in
+  let stretch =
+    link_inflate sched ~dst *. Fault.jitter_draw sched ~dst ~label ~start:at
+  in
+  Time.us (Time.to_us base *. stretch)
 
 (* A serve-path message that is never lost: waits out a destination outage
    (computed at send time from the schedule), then occupies the
@@ -884,7 +910,7 @@ let critical_transfer ctx ~src ~dst ~payload ~label ~deps ?(attrs = [])
     in
     ignore
       (Engine.transfer ctx.eng ~deps ~src ~dst ~label ~attrs
-         ~duration:(net_duration ctx ~dst ~bytes)
+         ~duration:(net_duration ctx ~dst ~label ~at:now ~bytes)
          ~on_complete:(fun () ->
            on_delivered ();
            Engine.resolve ctx.eng p)
@@ -1299,6 +1325,27 @@ let execute ~tracer ~wl ~trace ~shed ~max_queue_depth cfg fed ~extent_caches
       Engine.set_speed eng ~site ~kind:Resource.Cpu ~factor;
       Engine.set_speed eng ~site ~kind:Resource.Disk ~factor)
     cfg.options.Strategy.site_speeds;
+  (* Gray slowdowns stretch CPU/disk work at execution time, exactly like
+     the solo path's fault judge. Link faults stay host-side (fates are
+     precomputed at admission; critical transfers never drop), so the
+     judge deliberately leaves Link tasks alone. Only installed when the
+     schedule has slowdown windows — otherwise the engine runs judge-free
+     as before. *)
+  (let sched = cfg.options.Strategy.fault in
+   if sched.Fault.slowdowns <> [] then
+     Engine.set_judge eng (fun ~site ~kind ~src:_ ~label:_ ~start ~duration ->
+         match kind with
+         | Resource.Link -> None
+         | Resource.Cpu | Resource.Disk -> (
+             match Fault.slow_factor sched ~site ~at:start with
+             | f when f > 1.0 ->
+                 Some
+                   {
+                     Engine.fault_duration =
+                       Time.us (Time.to_us duration *. f);
+                     fault_drop = None;
+                   }
+             | _ -> None)));
   let ctx =
     {
       cfg;
@@ -1366,6 +1413,62 @@ let execute ~tracer ~wl ~trace ~shed ~max_queue_depth cfg fed ~extent_caches
       }
   in
   let verdict_stats = Lru.stats verdict_cache in
+  (* Per-destination observed check-leg latency: the modeled one-way
+     latency of every delivered leg (inflation and jitter included, retry
+     waits excluded — loss is a separate signal), averaged per site. This
+     is what a real sender's RTT estimator would see, and what the
+     telemetry store records for adaptive timeouts to consult. *)
+  let check_latency =
+    let c = cfg.options.Strategy.cost in
+    let sched = cfg.options.Strategy.fault in
+    let gsite = Federation.global_site fed in
+    let tbl : (int, float ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+    let observe ~site us =
+      match Hashtbl.find_opt tbl site with
+      | Some (sum, count) ->
+          sum := !sum +. us;
+          incr count
+      | None -> Hashtbl.add tbl site (ref us, ref 1)
+    in
+    List.iter
+      (fun (p : prepared) ->
+        match p.p_plan with
+        | Centralized _ -> ()
+        | Localized { groups; _ } ->
+            List.iter
+              (fun g ->
+                let tsite = Federation.site_of fed g.g_target in
+                let leg ~src ~dst ~payload ~what =
+                  let base =
+                    Cost.net c ~bytes:(payload + cfg.msg_header_bytes)
+                  in
+                  let d, _ =
+                    Fault.link_fate sched ~src ~dst
+                      ~label:
+                        (Printf.sprintf "serve:q%d:%s->%s:%s" p.p_index
+                           g.g_origin g.g_target what)
+                      ~start:p.p_arrival ~duration:base ()
+                  in
+                  Time.to_us d
+                in
+                if g.g_req_leg.delivered then
+                  observe ~site:tsite
+                    (leg ~src:gsite ~dst:tsite
+                       ~payload:(Wire.requests_bytes c g.g_wire)
+                       ~what:"req");
+                if g.g_req_leg.delivered && g.g_ver_leg.delivered then
+                  observe ~site:gsite
+                    (leg ~src:tsite ~dst:gsite
+                       ~payload:(g.g_wire_verdicts * Wire.verdict_bytes c)
+                       ~what:"verdict"))
+              groups)
+      prepared;
+    Hashtbl.fold
+      (fun site (sum, count) acc ->
+        (site, !sum /. float_of_int !count, !count) :: acc)
+      tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
   let cache_counters label (s : Lru.stats) =
     bump wl "msdq_cache_hits_total" [ ("cache", label) ] s.Lru.hits;
     bump wl "msdq_cache_misses_total" [ ("cache", label) ] s.Lru.misses;
@@ -1411,6 +1514,7 @@ let execute ~tracer ~wl ~trace ~shed ~max_queue_depth cfg fed ~extent_caches
     messages = ctx.messages;
     coalesced_checks = ctx.coalesced;
     max_queue_depth;
+    check_latency;
     registry = wl;
     trace = entries;
   }
@@ -1577,6 +1681,25 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
   let rev_decisions = ref [] in
   let rev_shed = ref [] in
   let rev_prepared = ref [] in
+  (* Gray detection: a per-site EWMA over "slow check leg" observations
+     from earlier queries. A delivered leg counts as slow when adaptive
+     timeouts are armed and its latency exceeds the site's fault-free
+     baseline by [gray_slow_ratio] — in the simulation the observed/
+     baseline ratio is exactly the schedule's stretch (link inflation, or
+     the target's slowdown factor for the serving work), so the detector
+     reduces to comparing the stretch itself. Purely causal: query i's
+     decision sees only legs of queries < i, and static-timeout runs never
+     mark anything gray (the historical behaviour). *)
+  let adaptive_on = cfg.options.Strategy.retry.Strategy.adaptive <> None in
+  let gray_ewma : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let gray_cell site =
+    match Hashtbl.find_opt gray_ewma site with
+    | Some r -> r
+    | None ->
+        let r = ref 0.0 in
+        Hashtbl.add gray_ewma site r;
+        r
+  in
   Tracer.with_span tracer ~cat:"serve" "serve.prepare" (fun () ->
       List.iteri
         (fun i (analysis, arrival) ->
@@ -1591,13 +1714,25 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
                 else Some site)
               (Federation.databases fed)
           in
+          let gray =
+            Hashtbl.fold
+              (fun site r acc ->
+                if !r > gray_threshold then site :: acc else acc)
+              gray_ewma []
+          in
           (* Backpressure: the virtual queue's depth plus the deadline-miss
              EWMA penalize expensive candidates inside the optimizer. *)
           let overload = admission_overload adm ~at:arrival in
           let d =
-            Optimizer.decide ?store ?objective ~degraded ~overload fed
+            Optimizer.decide ?store ?objective ~degraded ~gray ~overload fed
               analysis
           in
+          (match d.Optimizer.reason with
+          | Some r
+            when String.length r >= 13 && String.sub r 0 13 = "check site(s)"
+            ->
+              bump wl "msdq_gray_fallbacks_total" [] 1
+          | _ -> ());
           let predicted_of st =
             match
               List.find_opt
@@ -1709,7 +1844,23 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
                       Recovery.Breaker.failure breaker ~site:tsite ~at:arrival
                     done;
                     if leg.delivered then
-                      Recovery.Breaker.success breaker ~site:tsite)
+                      Recovery.Breaker.success breaker ~site:tsite;
+                    (* Feed the gray EWMA from every leg the detector could
+                       time: delivered legs observe their stretch, and a
+                       leg that was not slow decays the signal. *)
+                    if adaptive_on && leg.delivered then begin
+                      let stretch =
+                        Float.max
+                          (link_inflate sched ~dst:tsite)
+                          (Fault.slow_factor sched ~site:tsite ~at:arrival)
+                      in
+                      let slow = stretch >= gray_slow_ratio in
+                      if slow then bump wl "msdq_gray_slow_legs_total" [] 1;
+                      let cell = gray_cell tsite in
+                      cell :=
+                        ((1.0 -. gray_alpha) *. !cell)
+                        +. (gray_alpha *. if slow then 1.0 else 0.0)
+                    end)
                   groups);
               rev_prepared := p :: !rev_prepared)
         jobs);

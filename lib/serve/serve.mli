@@ -201,6 +201,15 @@ type outcome = {
       (** deepest the virtual admission queue got at any arrival instant;
           [0] when no overload knob is configured or queries never
           overlapped *)
+  check_latency : (int * float * int) list;
+      (** per destination site, sorted by site: [(site, mean_us, legs)] —
+          the mean modeled latency of the delivered check legs sent to that
+          site (link inflation and jitter included, retry waits excluded)
+          and how many legs were observed. This is the run's gray-health
+          signal: {!Msdq_exp.Run_report.record_serve_stats} records it into
+          the telemetry store, from which [options.latency_of] feeds the
+          next run's adaptive timeouts. Empty for purely centralized
+          workloads (no check legs). *)
   registry : Msdq_obs.Metrics.t;
       (** the workload registry: [msdq_cache_hits_total] /
           [msdq_cache_misses_total] / [msdq_cache_evictions_total]

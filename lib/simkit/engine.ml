@@ -14,6 +14,7 @@ type task = {
   tid : int;
   label : string;
   where : where;
+  src : int option;  (* sending site, for transfers; judges see it *)
   attrs : (string * string) list;
   mutable duration : Time.t;
   mutable state : state;
@@ -35,6 +36,7 @@ type decision = { fault_duration : Time.t; fault_drop : string option }
 type judge =
   site:int ->
   kind:Resource.kind ->
+  src:int option ->
   label:string ->
   start:Time.t ->
   duration:Time.t ->
@@ -119,7 +121,8 @@ let start t task =
   (match (t.judge, task.where) with
   | Some judge, On (site, kind) -> (
     match
-      judge ~site ~kind ~label:task.label ~start:t.clock ~duration:task.duration
+      judge ~site ~kind ~src:task.src ~label:task.label ~start:t.clock
+        ~duration:task.duration
     with
     | None -> ()
     | Some { fault_duration; fault_drop } ->
@@ -149,8 +152,8 @@ let activate t task =
       task.state <- Queued;
       Queue.add task r.waiting)
 
-let submit t ?(deps = []) ?on_complete ?on_outcome ?(attrs = []) ~where ~label
-    ~duration () =
+let submit t ?(deps = []) ?on_complete ?on_outcome ?(attrs = []) ?src ~where
+    ~label ~duration () =
   if not (Time.is_finite duration) || duration < Time.zero then
     invalid_arg
       (Printf.sprintf "Engine: task %S has invalid duration %g" label duration);
@@ -159,6 +162,7 @@ let submit t ?(deps = []) ?on_complete ?on_outcome ?(attrs = []) ~where ~label
       tid = t.next_tid;
       label;
       where;
+      src;
       attrs;
       duration;
       state = Blocked 0;
@@ -199,8 +203,8 @@ let transfer t ?deps ?on_complete ?on_outcome ?attrs ~src ~dst ~label ~duration 
     submit t ?deps ?on_complete ?on_outcome ?attrs ~where:Nowhere ~label
       ~duration:Time.zero ()
   else
-    submit t ?deps ?on_complete ?on_outcome ?attrs ~where:(On (dst, Resource.Link))
-      ~label ~duration ()
+    submit t ?deps ?on_complete ?on_outcome ?attrs ~src
+      ~where:(On (dst, Resource.Link)) ~label ~duration ()
 
 let fence t ?deps ?on_complete ?attrs ~label () =
   submit t ?deps ?on_complete ?attrs ~where:Nowhere ~label ~duration:Time.zero ()
@@ -214,6 +218,7 @@ let promise t ~label =
       tid = t.next_tid;
       label;
       where = Nowhere;
+      src = None;
       attrs = [];
       duration = Time.zero;
       state = Blocked 1;  (* the one pending "dependency" is [resolve] *)

@@ -43,12 +43,16 @@ type decision = {
 type judge =
   site:int ->
   kind:Resource.kind ->
+  src:int option ->
   label:string ->
   start:Time.t ->
   duration:Time.t ->
   decision option
 (** Consulted when a resource task starts ([duration] is already scaled by
-    the site's speed factor). [None] leaves the task untouched. *)
+    the site's speed factor). [src] is the sending site for tasks submitted
+    through {!transfer} (so a judge can model one-way partitions out of a
+    site) and [None] for every other task. [None] leaves the task
+    untouched. *)
 
 val create : ?trace:bool -> unit -> t
 (** A fresh engine with clock at zero. Sites are implicit: any non-negative

@@ -13,6 +13,8 @@ type frame = {
   messages : int;
   shed : int;
   deadline_demotions : int;
+  gray_slow_legs : int;
+  gray_fallbacks : int;
   latency : Stats.summary;
   per_strategy : (string * int * int) list;
 }
@@ -83,6 +85,9 @@ let render ?(width = 62) f =
   if f.shed > 0 || f.deadline_demotions > 0 then
     row " overload  %d shed · %d deadline demotions" f.shed
       f.deadline_demotions;
+  if f.gray_slow_legs > 0 || f.gray_fallbacks > 0 then
+    row " gray      %d slow legs · %d CA fallbacks" f.gray_slow_legs
+      f.gray_fallbacks;
   row " latency   p50 %s · p90 %s · p99 %s · max %s"
     (pp_lat f.latency.Stats.p50_us)
     (pp_lat f.latency.Stats.p90_us)

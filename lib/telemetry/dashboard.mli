@@ -23,6 +23,10 @@ type frame = {
   shed : int;  (** queries the admission queue refused so far *)
   deadline_demotions : int;
       (** rows demoted because their checks were abandoned at a deadline *)
+  gray_slow_legs : int;
+      (** delivered check legs the gray detector counted as slow *)
+  gray_fallbacks : int;
+      (** AUTO decisions re-routed to CA because a check site was gray *)
   latency : Stats.summary;  (** over the queries completed so far *)
   per_strategy : (string * int * int) list;
       (** [(strategy, admitted, completed)] rows *)

@@ -86,6 +86,23 @@ let strategy_latency t ~strategy =
   in
   if w > 0.0 then Some (acc /. w, w) else None
 
+(* Per-link read path: entries recorded under the marker key
+   [{db = "link"; link = site; strategy = "*"}]. The wildcard strategy
+   keeps them out of {!strategy_latency}'s rollups — a one-way leg latency
+   and a whole-query response live on different clocks. *)
+let link_latency t ~site =
+  let w, acc =
+    Hashtbl.fold
+      (fun k v (w, acc) ->
+        if String.equal k.db "link" && k.link = site && v.weight > 0.0 then
+          (w +. v.weight, acc +. (v.weight *. v.check_latency_us))
+        else (w, acc))
+      t.tbl (0.0, 0.0)
+  in
+  if w > 0.0 then Some (acc /. w, w) else None
+
+let latency_of t ~site = Option.map fst (link_latency t ~site)
+
 (* Cross-run merge. [alpha] is the retention of the older store's sample
    weight: entries present on both sides combine as a weighted mean with
    the old side's weight scaled by [alpha], entries present on one side

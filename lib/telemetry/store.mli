@@ -63,6 +63,19 @@ val strategy_latency : t -> strategy:string -> (float * float) option
     selector blends with its model predictions. [None] when the store has
     no positive-weight observation for the strategy. *)
 
+val link_latency : t -> site:int -> (float * float) option
+(** [(mean check-leg latency in us, total observation weight)] for the
+    link into [site], aggregated over the per-link entries recorded under
+    the marker key [{db = "link"; link = site; strategy = "*"}]. The
+    wildcard strategy keeps these entries out of {!strategy_latency}'s
+    rollups (a one-way leg and a whole-query response live on different
+    clocks). [None] when nothing was observed for the link. *)
+
+val latency_of : t -> site:int -> float option
+(** [Option.map fst (link_latency t ~site)] — shaped for
+    [Msdq_exec.Strategy.options.latency_of]: partially applied on the
+    store, it is exactly the closure adaptive timeouts consult. *)
+
 val merge : ?alpha:float -> t -> t -> t
 (** [merge old fresh] — see the module description. [alpha] defaults to
     [old]'s stored alpha. Run counts add; entries present on only one side

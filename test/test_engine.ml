@@ -178,7 +178,7 @@ let test_stuck_names_failed_chain () =
    would-be finish time; untouched transfers complete Delivered. *)
 let test_judge_outcomes () =
   let e = Engine.create () in
-  Engine.set_judge e (fun ~site:_ ~kind:_ ~label ~start:_ ~duration ->
+  Engine.set_judge e (fun ~site:_ ~kind:_ ~src:_ ~label ~start:_ ~duration ->
       if String.equal label "doomed" then
         Some { Engine.fault_duration = duration; fault_drop = Some "lossy" }
       else None);
@@ -203,7 +203,7 @@ let test_judge_outcomes () =
 
 let test_judge_inflation () =
   let e = Engine.create () in
-  Engine.set_judge e (fun ~site:_ ~kind ~label:_ ~start:_ ~duration ->
+  Engine.set_judge e (fun ~site:_ ~kind ~src:_ ~label:_ ~start:_ ~duration ->
       if kind = Resource.Link then
         Some { Engine.fault_duration = Time.us (2.5 *. Time.to_us duration); fault_drop = None }
       else None);

@@ -47,8 +47,10 @@ let test_validate () =
   Fault.validate
     {
       Fault.seed = 1;
+      slowdowns = [];
+      partitions = [];
       sites = [ { Fault.site = 2; outages = [ { Fault.down = ms 1.0; up = ms 2.0 } ] } ];
-      links = [ { Fault.dst = 0; drop = 0.5; inflate = 2.0 } ];
+      links = [ { Fault.dst = 0; drop = 0.5; inflate = 2.0; jitter = 0.0 } ];
     };
   rejects "negative site"
     { Fault.none with Fault.sites = [ { Fault.site = -1; outages = [] } ] };
@@ -74,14 +76,204 @@ let test_validate () =
         ];
     };
   rejects "drop > 1"
-    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.5; inflate = 1.0 } ] };
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.5; inflate = 1.0; jitter = 0.0 } ] };
   rejects "inflate < 1"
-    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 0.0; inflate = 0.5 } ] }
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 0.0; inflate = 0.5; jitter = 0.0 } ] }
+
+(* The validator's diagnostics are part of the operator surface — bench
+   configs and CI logs quote them verbatim — so pin the exact text of one
+   representative message per rejection rule. *)
+let test_validate_messages () =
+  let msg_of thunk =
+    match thunk () with
+    | () -> None
+    | exception Invalid_argument m -> Some m
+  in
+  let win down up = { Fault.down; up } in
+  let link dst = { Fault.dst; drop = 0.0; inflate = 1.0; jitter = 0.0 } in
+  let v sched () = Fault.validate sched in
+  let cases =
+    [
+      ( "negative site id",
+        v { Fault.none with Fault.sites = [ { Fault.site = -1; outages = [] } ] },
+        "Fault.validate: negative site id -1" );
+      ( "outage window before zero",
+        v
+          {
+            Fault.none with
+            Fault.sites =
+              [ { Fault.site = 1; outages = [ win (Time.us (-1.0)) (ms 1.0) ] } ];
+          },
+        "Fault.validate: site 1: window starts before time zero" );
+      ( "outage window never recovers",
+        v
+          {
+            Fault.none with
+            Fault.sites =
+              [ { Fault.site = 1; outages = [ win (ms 2.0) (ms 2.0) ] } ];
+          },
+        "Fault.validate: site 1: window recovers at 2000, not after crash at \
+         2000" );
+      ( "outage windows overlap",
+        v
+          {
+            Fault.none with
+            Fault.sites =
+              [
+                {
+                  Fault.site = 1;
+                  outages = [ win (ms 1.0) (ms 3.0); win (ms 2.0) (ms 4.0) ];
+                };
+              ];
+          },
+        "Fault.validate: site 1: windows overlap or are unordered" );
+      ( "negative link site id",
+        v { Fault.none with Fault.links = [ link (-2) ] },
+        "Fault.validate: negative link site id -2" );
+      ( "drop probability outside [0,1]",
+        v { Fault.none with Fault.links = [ { (link 0) with Fault.drop = 1.5 } ] },
+        "Fault.validate: link to 0: drop probability 1.5 outside [0,1]" );
+      ( "inflation below 1",
+        v
+          {
+            Fault.none with
+            Fault.links = [ { (link 3) with Fault.inflate = 0.5 } ];
+          },
+        "Fault.validate: link to 3: inflation 0.5 below 1" );
+      ( "negative jitter",
+        v
+          {
+            Fault.none with
+            Fault.links = [ { (link 4) with Fault.jitter = -0.25 } ];
+          },
+        "Fault.validate: link to 4: jitter -0.25 negative or not finite" );
+      ( "negative slowdown site id",
+        v
+          {
+            Fault.none with
+            Fault.slowdowns =
+              [ { Fault.slow_site = -3; factor = 2.0; busy = [] } ];
+          },
+        "Fault.validate: negative slowdown site id -3" );
+      ( "slowdown factor below 1",
+        v
+          {
+            Fault.none with
+            Fault.slowdowns =
+              [ { Fault.slow_site = 2; factor = 0.9; busy = [] } ];
+          },
+        "Fault.validate: slowdown at site 2: factor 0.9 below 1" );
+      ( "slowdown windows overlap",
+        v
+          {
+            Fault.none with
+            Fault.slowdowns =
+              [
+                {
+                  Fault.slow_site = 2;
+                  factor = 2.0;
+                  busy = [ win (ms 1.0) (ms 3.0); win (ms 2.0) (ms 4.0) ];
+                };
+              ];
+          },
+        "Fault.validate: slowdown at site 2: windows overlap or are unordered"
+      );
+      ( "negative partition site id",
+        v
+          {
+            Fault.none with
+            Fault.partitions =
+              [ { Fault.part_site = -4; direction = Fault.Inbound; cut = [] } ];
+          },
+        "Fault.validate: negative partition site id -4" );
+      ( "partition window before zero",
+        v
+          {
+            Fault.none with
+            Fault.partitions =
+              [
+                {
+                  Fault.part_site = 3;
+                  direction = Fault.Outbound;
+                  cut = [ win (Time.us (-1.0)) (ms 1.0) ];
+                };
+              ];
+          },
+        "Fault.validate: partition at site 3: window starts before time zero"
+      );
+      ( "flap_train period not positive",
+        (fun () ->
+          ignore
+            (Fault.flap_train ~from:Time.zero ~until:(ms 1.0)
+               ~period:Time.zero ~duty:0.5)),
+        "Fault.flap_train: period must be positive and finite" );
+      ( "flap_train duty outside (0,1)",
+        (fun () ->
+          ignore
+            (Fault.flap_train ~from:Time.zero ~until:(ms 1.0)
+               ~period:(ms 0.1) ~duty:1.0)),
+        "Fault.flap_train: duty must be in (0, 1)" );
+      ( "flap_train negative from",
+        (fun () ->
+          ignore
+            (Fault.flap_train ~from:(Time.us (-1.0)) ~until:(ms 1.0)
+               ~period:(ms 0.1) ~duty:0.5)),
+        "Fault.flap_train: from must be >= 0" );
+      ( "flap_train until before from",
+        (fun () ->
+          ignore
+            (Fault.flap_train ~from:(ms 1.0) ~until:(ms 1.0) ~period:(ms 0.1)
+               ~duty:0.5)),
+        "Fault.flap_train: until must be after from" );
+      ( "random availability outside (0,1]",
+        (fun () ->
+          ignore
+            (Fault.random
+               ~rng:(Rng.create ~seed:1)
+               ~sites:[ 1 ] ~availability:0.0 ~horizon:(ms 1.0) ())),
+        "Fault.random: availability must be in (0, 1]" );
+      ( "random horizon not positive",
+        (fun () ->
+          ignore
+            (Fault.random
+               ~rng:(Rng.create ~seed:1)
+               ~sites:[ 1 ] ~availability:0.9 ~horizon:Time.zero ())),
+        "Fault.random: horizon must be positive and finite" );
+      ( "random negative jitter",
+        (fun () ->
+          ignore
+            (Fault.random
+               ~rng:(Rng.create ~seed:1)
+               ~sites:[ 1 ] ~availability:0.9 ~horizon:(ms 1.0) ~jitter:(-1.0)
+               ())),
+        "Fault.random: jitter must be >= 0" );
+      ( "random slow below 1",
+        (fun () ->
+          ignore
+            (Fault.random
+               ~rng:(Rng.create ~seed:1)
+               ~sites:[ 1 ] ~availability:0.9 ~horizon:(ms 1.0) ~slow:0.5 ())),
+        "Fault.random: slow must be >= 1" );
+      ( "random oneway outside [0,1]",
+        (fun () ->
+          ignore
+            (Fault.random
+               ~rng:(Rng.create ~seed:1)
+               ~sites:[ 1 ] ~availability:0.9 ~horizon:(ms 1.0) ~oneway:1.5 ())),
+        "Fault.random: oneway must be in [0, 1]" );
+    ]
+  in
+  List.iter
+    (fun (name, thunk, expected) ->
+      Alcotest.(check (option string)) name (Some expected) (msg_of thunk))
+    cases
 
 let test_windows () =
   let sched =
     {
       Fault.seed = 0;
+      slowdowns = [];
+      partitions = [];
       sites =
         [
           {
@@ -156,7 +348,7 @@ let prop_drop_draw_permutation =
       in
       let links =
         List.init 5 (fun i ->
-            { Fault.dst = i; drop = 0.1 *. float_of_int (i + 1); inflate = 1.0 })
+            { Fault.dst = i; drop = 0.1 *. float_of_int (i + 1); inflate = 1.0; jitter = 0.0 })
       in
       let shuffle l =
         let rng = Rng.create ~seed:salt in
@@ -164,8 +356,8 @@ let prop_drop_draw_permutation =
           (List.sort compare
              (List.map (fun x -> (Rng.int rng ~bound:1_000_000, x)) l))
       in
-      let a = { Fault.seed; sites; links } in
-      let b = { Fault.seed; sites = shuffle sites; links = shuffle links } in
+      let a = { Fault.seed; sites; links; slowdowns = []; partitions = [] } in
+      let b = { Fault.seed; sites = shuffle sites; links = shuffle links; slowdowns = []; partitions = [] } in
       List.for_all
         (fun i ->
           let draw s =
@@ -208,8 +400,10 @@ let test_link_loss_ca () =
   let fault =
     {
       Fault.seed = 5;
+      slowdowns = [];
+      partitions = [];
       sites = [];
-      links = [ { Fault.dst = 0; drop = 0.9; inflate = 1.0 } ];
+      links = [ { Fault.dst = 0; drop = 0.9; inflate = 1.0; jitter = 0.0 } ];
     }
   in
   let answer, m = run_with fault Strategy.Ca fed analysis in
@@ -230,8 +424,10 @@ let test_latency_inflation () =
   let fault =
     {
       Fault.seed = 1;
+      slowdowns = [];
+      partitions = [];
       sites = [];
-      links = [ { Fault.dst = 0; drop = 0.0; inflate = 3.0 } ];
+      links = [ { Fault.dst = 0; drop = 0.0; inflate = 3.0; jitter = 0.0 } ];
     }
   in
   let answer, m = run_with fault Strategy.Ca fed analysis in
@@ -251,6 +447,8 @@ let test_crash_demotes () =
   let fault =
     {
       Fault.seed = 2;
+      slowdowns = [];
+      partitions = [];
       sites =
         [
           {
@@ -332,7 +530,7 @@ let random_schedule ~seed ~n_db ~horizon =
       ~sites:(List.init n_db (fun i -> i + 1))
       ~availability ~horizon ~drop:(0.3 *. Rng.float rng) ()
   in
-  { sched with Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links }
+  { sched with Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0; jitter = 0.0 } :: sched.Fault.links }
 
 let chaos_strategies =
   [ Strategy.Ca; Strategy.Bl; Strategy.Pl; Strategy.Bls; Strategy.Pls; Strategy.Cf ]
@@ -373,6 +571,100 @@ let prop_chaos_soundness =
             && a.Strategy.degradation_ratio <= 1.0)
           chaos_strategies)
 
+(* ---- gray chaos ----
+
+   Random schedules over the gray knobs — slowdown windows, link jitter,
+   flap trains, one-way partitions — on top of a lossy baseline. Gray
+   faults degrade latency, never correctness. *)
+
+let random_gray_schedule ~seed ~n_db ~horizon =
+  let rng = Rng.create ~seed in
+  let availability = 0.6 +. (0.4 *. Rng.float rng) in
+  let availability = if availability >= 0.999 then 1.0 else availability in
+  let flap =
+    if availability < 1.0 && Rng.float rng < 0.5 then
+      Some (Time.us (Time.to_us horizon /. 8.0))
+    else None
+  in
+  Fault.random ~rng
+    ~sites:(List.init n_db (fun i -> i + 1))
+    ~availability ~horizon
+    ~drop:(0.2 *. Rng.float rng)
+    ~inflate:(1.0 +. Rng.float rng)
+    ~jitter:(2.0 *. Rng.float rng)
+    ~slow:(1.0 +. (3.0 *. Rng.float rng))
+    ?flap
+    ~oneway:(0.6 *. Rng.float rng) ()
+
+(* Replayable chaos failures: a failing draw prints everything needed to
+   replay it by hand — the qcheck seed CI rotates and exports, the exact
+   schedule rendered by [Fault.pp], and the repro command — before the
+   property reports false (or re-raises). *)
+let report_failure ~case_seed fault =
+  let qcheck_seed =
+    match Sys.getenv_opt "QCHECK_SEED" with Some s -> s | None -> "<random>"
+  in
+  Format.eprintf
+    "@[<v>gray chaos failure: case seed %d, QCHECK_SEED=%s@,%a@,replay: \
+     QCHECK_SEED=%s dune exec test/main.exe -- test fault@]@."
+    case_seed qcheck_seed Fault.pp fault qcheck_seed
+
+let replayable ~case_seed fault body =
+  match body () with
+  | true -> true
+  | false ->
+    report_failure ~case_seed fault;
+    false
+  | exception e ->
+    report_failure ~case_seed fault;
+    raise e
+
+let run_gray fault ~adaptive s fed analysis =
+  let retry =
+    if adaptive then
+      {
+        Strategy.default_retry with
+        Strategy.adaptive = Some Strategy.default_adaptive;
+      }
+    else Strategy.default_retry
+  in
+  let options = { Strategy.default_options with Strategy.fault; retry } in
+  Strategy.run ~options s fed analysis
+
+(* For any random gray schedule, under either timeout policy, the BL
+   answer stays sound against the fault-free run and reconciles exactly.
+   200+ schedules per the acceptance criterion. *)
+let prop_gray_soundness =
+  QCheck.Test.make
+    ~name:"gray chaos: slow/jitter/flap/one-way answers are sound" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        let ff_answer, ff = Strategy.run Strategy.Bl fed analysis in
+        let horizon =
+          Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+        in
+        let fault =
+          random_gray_schedule ~seed:(seed + 47)
+            ~n_db:(List.length (Federation.databases fed))
+            ~horizon
+        in
+        replayable ~case_seed:seed fault (fun () ->
+            let answer, m =
+              run_gray fault ~adaptive:(seed mod 2 = 1) Strategy.Bl fed
+                analysis
+            in
+            let a = m.Strategy.availability in
+            let ffc = Answer.goids ff_answer Answer.Certain in
+            let fc = Answer.goids answer Answer.Certain in
+            let fm = Answer.goids answer Answer.Maybe in
+            Oid.Goid.Set.subset fc ffc
+            && Oid.Goid.Set.subset ffc (Oid.Goid.Set.union fc fm)
+            && Oid.Goid.Set.cardinal fc + a.Strategy.demoted
+               = Oid.Goid.Set.cardinal ffc))
+
 let prop_chaos_deterministic =
   QCheck.Test.make ~name:"chaos: faulty runs are reproducible" ~count:10
     QCheck.(int_bound 100_000)
@@ -398,6 +690,7 @@ let prop_chaos_deterministic =
 let suite =
   [
     Alcotest.test_case "schedule validation" `Quick test_validate;
+    Alcotest.test_case "validation diagnostics" `Quick test_validate_messages;
     Alcotest.test_case "crash windows" `Quick test_windows;
     Alcotest.test_case "drop draw" `Quick test_drop_draw;
     Alcotest.test_case "drop-only schedule" `Quick test_drop_only_schedule;
@@ -407,5 +700,6 @@ let suite =
     Alcotest.test_case "crash demotes checks" `Quick test_crash_demotes;
     Alcotest.test_case "empty schedule is identity" `Quick test_none_is_identity;
     QCheck_alcotest.to_alcotest prop_chaos_soundness;
+    QCheck_alcotest.to_alcotest prop_gray_soundness;
     QCheck_alcotest.to_alcotest prop_chaos_deterministic;
   ]

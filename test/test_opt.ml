@@ -486,7 +486,7 @@ let random_schedule ~seed ~n_db ~horizon =
   {
     sched with
     Fault.links =
-      { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links;
+      { Fault.dst = 0; drop = 0.1; inflate = 1.0; jitter = 0.0 } :: sched.Fault.links;
   }
 
 let fingerprints out =

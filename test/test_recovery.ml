@@ -47,6 +47,8 @@ let test_policy_validate () =
 let window_sched =
   {
     Fault.seed = 0;
+    slowdowns = [];
+    partitions = [];
     sites =
       [ { Fault.site = 2; outages = [ { Fault.down = ms 1.0; up = ms 2.0 } ] } ];
     links = [];
@@ -109,6 +111,8 @@ let test_breaker_permanent () =
   let sched =
     {
       Fault.seed = 0;
+      slowdowns = [];
+      partitions = [];
       sites =
         [
           {
@@ -234,6 +238,8 @@ let test_failover_recovers () =
     let fault =
       {
         Fault.seed = 11;
+        slowdowns = [];
+        partitions = [];
         sites =
           [
             {
@@ -283,9 +289,11 @@ let test_breaker_counters_surface () =
     let fault =
       {
         Fault.seed = 23;
+        slowdowns = [];
+        partitions = [];
         sites = [];
         links =
-          List.init n_db (fun i -> { Fault.dst = i + 1; drop = 0.85; inflate = 1.0 });
+          List.init n_db (fun i -> { Fault.dst = i + 1; drop = 0.85; inflate = 1.0; jitter = 0.0 });
       }
     in
     let recovery = { Recovery.default with Recovery.breaker_threshold = 2 } in
@@ -317,7 +325,7 @@ let random_schedule ~seed ~n_db ~horizon =
       ~horizon ~drop ()
   in
   { sched with
-    Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links }
+    Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0; jitter = 0.0 } :: sched.Fault.links }
 
 let localized = [ Strategy.Bl; Strategy.Pl; Strategy.Bls; Strategy.Pls ]
 

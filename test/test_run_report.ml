@@ -280,13 +280,50 @@ let overload_sweep_section =
     cap_p99_ms = 10.0;
   }
 
+let gray_sweep_section =
+  let point policy kind severity ~demoted ~mean =
+    {
+      Gray_sweep.pt_policy = policy;
+      pt_kind = kind;
+      pt_severity = severity;
+      pt_queries = 8;
+      pt_demoted_rows = demoted;
+      pt_abandoned_checks = demoted;
+      pt_mean_ms = mean;
+      pt_p99_ms = mean *. 2.0;
+      pt_gray_sites = 3;
+    }
+  in
+  let cells policy ~demoted ~mean =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun sev -> point policy kind sev ~demoted ~mean)
+          Gray_sweep.severities)
+      Gray_sweep.kinds
+  in
+  {
+    Gray_sweep.id = "gray-sweep";
+    title = "Static vs adaptive retry timeouts across gray-failure kinds";
+    seed = 1;
+    queries = 8;
+    drop = 0.15;
+    static_timeout_ms = 4.0;
+    kinds = Gray_sweep.kinds;
+    severities = Gray_sweep.severities;
+    policies = Gray_sweep.policies;
+    points =
+      cells Gray_sweep.static_policy ~demoted:4 ~mean:20.0
+      @ cells Gray_sweep.adaptive_policy ~demoted:4 ~mean:15.0;
+  }
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -369,7 +406,7 @@ let test_bench_validation () =
        ~parallel:parallel_section ~fault_sweep:fault_sweep_section
        ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
        ~latency:latency_section ~auto_sweep:auto_sweep_section
-       ~overload_sweep:overload_sweep_section
+       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -470,7 +507,7 @@ let test_bench_validation () =
       ~fault_sweep:fault_sweep_section ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -484,7 +521,7 @@ let test_bench_validation () =
       ~fault_sweep:{ fault_sweep_section with Fault_sweep.series }
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -501,7 +538,7 @@ let test_bench_validation () =
       ~recovery_sweep:{ recovery_sweep_section with Fault_sweep.rseries }
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -542,7 +579,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section
       ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
       ~latency:latency_section ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -568,7 +605,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency ~auto_sweep:auto_sweep_section
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -598,7 +635,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto
-      ~overload_sweep:overload_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -634,6 +671,7 @@ let test_bench_validation () =
       ~parallel:parallel_section ~fault_sweep:fault_sweep_section
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section ~overload_sweep:o
+      ~gray_sweep:gray_sweep_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in

@@ -362,7 +362,7 @@ let test_lost_verdicts_demote_warm_and_cold () =
   (* every verdict return to the global site is lost: all check round trips
      fail, so check-certified rows demote — with or without a cache *)
   let fault =
-    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.0; inflate = 1.0 } ] }
+    { Fault.none with Fault.links = [ { Fault.dst = 0; drop = 1.0; inflate = 1.0; jitter = 0.0 } ] }
   in
   let options = { Strategy.default_options with Strategy.fault } in
   let jobs = spaced 3 Strategy.Bl analysis in
@@ -674,7 +674,7 @@ let random_schedule ~seed ~n_db ~horizon =
   in
   {
     sched with
-    Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0 } :: sched.Fault.links;
+    Fault.links = { Fault.dst = 0; drop = 0.1; inflate = 1.0; jitter = 0.0 } :: sched.Fault.links;
   }
 
 let prop_cache_soundness =
@@ -715,6 +715,72 @@ let prop_cache_soundness =
            || List.for_all
                 (fun fp -> fp = Serve.answer_fingerprint ff_answer)
                 cold_fp))
+
+(* ---- the gray-soundness property ----
+
+   Gray faults — slowdown windows, link jitter, flap trains, one-way
+   partitions — and the adaptive timeout policy must never reach answer
+   bytes: for any random gray schedule, under either timeout policy, a
+   warm run's per-query answers stay byte-identical to the cold run's.
+   200+ schedules per the acceptance criterion. *)
+
+let random_gray_schedule ~seed ~n_db ~horizon =
+  let rng = Rng.create ~seed in
+  let availability = 0.6 +. (0.4 *. Rng.float rng) in
+  let availability = if availability >= 0.999 then 1.0 else availability in
+  let flap =
+    if availability < 1.0 && Rng.float rng < 0.5 then
+      Some (Time.us (Time.to_us horizon /. 8.0))
+    else None
+  in
+  Fault.random ~rng
+    ~sites:(List.init n_db (fun i -> i + 1))
+    ~availability ~horizon
+    ~drop:(0.2 *. Rng.float rng)
+    ~inflate:(1.0 +. Rng.float rng)
+    ~jitter:(2.0 *. Rng.float rng)
+    ~slow:(1.0 +. (3.0 *. Rng.float rng))
+    ?flap
+    ~oneway:(0.6 *. Rng.float rng) ()
+
+let prop_gray_cache_soundness =
+  QCheck.Test.make
+    ~name:"serve: warm = cold under gray schedules and adaptive timeouts"
+    ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match make_case seed 0 with
+      | None -> true
+      | Some (fed, analysis) ->
+        let strategies = Array.of_list serve_strategies in
+        let s = strategies.(seed mod Array.length strategies) in
+        let _, ff = Strategy.run s fed analysis in
+        let horizon =
+          Time.us (2.0 *. Time.to_us (Time.max ff.Strategy.response (ms 1.0)))
+        in
+        let fault =
+          random_gray_schedule ~seed:(seed + 53)
+            ~n_db:(List.length (Federation.databases fed))
+            ~horizon
+        in
+        let retry =
+          if seed mod 2 = 0 then Strategy.default_retry
+          else
+            {
+              Strategy.default_retry with
+              Strategy.adaptive = Some Strategy.default_adaptive;
+            }
+        in
+        let options = { Strategy.default_options with Strategy.fault; retry } in
+        let jobs =
+          List.init 3 (fun i ->
+              job ~arrival:(us (float_of_int i *. 300.0)) s analysis)
+        in
+        let cold = Serve.run (config ~options ()) fed jobs in
+        let warm =
+          Serve.run (config ~options ~cache_bytes:(1 lsl 20) ()) fed jobs
+        in
+        fingerprints cold = fingerprints warm)
 
 (* ---- the deadline-soundness property ----
 
@@ -881,5 +947,6 @@ let suite =
     Alcotest.test_case "overload sweep jobs-invariant" `Quick
       test_overload_sweep_jobs_invariant;
     QCheck_alcotest.to_alcotest prop_cache_soundness;
+    QCheck_alcotest.to_alcotest prop_gray_cache_soundness;
     QCheck_alcotest.to_alcotest prop_deadline_soundness;
   ]

@@ -330,6 +330,8 @@ let test_dashboard_render () =
       messages = 14;
       shed = 2;
       deadline_demotions = 3;
+      gray_slow_legs = 4;
+      gray_fallbacks = 1;
       latency = Stats.summarize [ 9000.0; 11000.0; 8000.0; 9500.0; 10000.0 ];
       per_strategy = [ ("BL", 8, 5) ];
     }
@@ -341,7 +343,7 @@ let test_dashboard_render () =
         (contains ~needle s))
     [
       "8 admitted"; "5/8 completed"; "75%"; "(6/8)"; "14 messages";
-      "2 shed"; "3 deadline demotions"; "BL";
+      "2 shed"; "3 deadline demotions"; "4 slow legs"; "1 CA fallbacks"; "BL";
     ];
   (* every line of the box pads to the same display width *)
   let display_width line =
@@ -375,6 +377,8 @@ let test_dashboard_render () =
       messages = 0;
       shed = 0;
       deadline_demotions = 0;
+      gray_slow_legs = 0;
+      gray_fallbacks = 0;
       latency = Stats.empty_summary;
       per_strategy = [];
     }

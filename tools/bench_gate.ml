@@ -7,10 +7,13 @@
    - rank inversions in the fresh document's sweep sections: a recovery
      strategy's certain-set recall falling below the fail-stop baseline's,
      a serve-sweep speedup ending below its cold-cache starting point,
-     AUTO's makespan exceeding the best fixed strategy's, or an
+     AUTO's makespan exceeding the best fixed strategy's, an
      overload-sweep tail bound breaking (a rejecting shed policy's
      admitted p99 escaping twice the at-capacity p99, or the naive
-     baseline's p99 failing to grow monotonically past it);
+     baseline's p99 failing to grow monotonically past it), or a
+     gray-sweep win-condition break (the adaptive-timeout arm demoting
+     more rows than the static arm on any cell, or failing to cut mean
+     response on the slowdown cells by the pinned margin);
    - per-section simulated-time regressions beyond --tolerance (default
      0.2 = 20%) against the baseline.
 
@@ -238,6 +241,68 @@ let check_overload_ranks fresh =
         "overload ranks: rejecting policies hold the 2x tail bound the \
          naive baseline breaks")
 
+(* The gray-failure tolerance win condition, restated so a gate run over
+   any pair of documents enforces it even if the validator's schema rank
+   did not: on every (kind, severity) cell the adaptive-timeout arm
+   demotes no more rows than the static arm, and on the slowdown cells it
+   cuts mean response by at least the sweep's pinned margin. *)
+let gray_points sweep =
+  match arr "points" sweep with
+  | None -> []
+  | Some pts ->
+    List.filter_map
+      (fun p ->
+        match
+          ( str "policy" p,
+            str "kind" p,
+            str "severity" p,
+            int "demoted_rows" p,
+            num "mean_ms" p )
+        with
+        | Some policy, Some kind, Some sev, Some demoted, Some mean ->
+          Some (policy, kind, sev, demoted, mean)
+        | _ -> None)
+      pts
+
+let check_gray_ranks fresh =
+  match Json.member "gray_sweep" fresh with
+  | None -> skip "gray ranks: fresh document has no gray_sweep section"
+  | Some sweep ->
+    let points = gray_points sweep in
+    let cell policy kind sev =
+      List.find_opt
+        (fun (p, k, s, _, _) ->
+          String.equal p policy && String.equal k kind && String.equal s sev)
+        points
+    in
+    let margin = Msdq_exp.Gray_sweep.response_margin in
+    let cells =
+      List.concat_map
+        (fun k -> List.map (fun s -> (k, s)) [ "mild"; "severe" ])
+        [ "slowdown"; "jitter"; "flap"; "oneway" ]
+    in
+    List.iter
+      (fun (kind, sev) ->
+        match (cell "static" kind sev, cell "adaptive" kind sev) with
+        | Some (_, _, _, sd, sm), Some (_, _, _, ad, am) ->
+          if ad > sd then
+            fail
+              "gray ranks: adaptive demotes %d rows on %s/%s, static only %d"
+              ad kind sev sd;
+          if
+            String.equal kind "slowdown"
+            && am > sm *. (1.0 -. margin) +. 1e-9
+          then
+            fail
+              "gray ranks: adaptive mean %.2f ms on slowdown/%s is not \
+               %.0f%% under the static %.2f ms"
+              am sev (100.0 *. margin) sm
+        | _ -> fail "gray ranks: %s/%s cell is missing an arm" kind sev)
+      cells;
+    pass
+      "gray ranks: adaptive demotes no more than static everywhere and \
+       wins the slowdown cells"
+
 (* ---- regression comparisons against the baseline ---- *)
 
 (* Lower-is-better metric: fresh must stay within (1 + tolerance) of the
@@ -407,6 +472,26 @@ let compare_overload_sweep ~tolerance ~base ~fresh =
       "overload_sweep: at-capacity p99 and controlled goodput within \
        tolerance"
 
+let compare_gray_sweep ~tolerance ~base ~fresh =
+  match
+    comparable ~section:"gray_sweep" ~fields:[ "seed"; "queries" ] ~base
+      ~fresh
+  with
+  | Error reason -> skip "%s" reason
+  | Ok (b, f) ->
+    let adaptive_means doc =
+      List.filter_map
+        (fun (policy, _, _, _, mean) ->
+          if String.equal policy "adaptive" then Some mean else None)
+        (gray_points doc)
+    in
+    (match (adaptive_means b, adaptive_means f) with
+    | (_ :: _ as bs), (_ :: _ as fs) ->
+      check_time ~tolerance ~what:"gray_sweep mean adaptive response"
+        ~baseline:(mean bs) ~fresh:(mean fs)
+    | _ -> ());
+    pass "gray_sweep: adaptive response within tolerance"
+
 (* ---- driver ---- *)
 
 let () =
@@ -447,6 +532,7 @@ let () =
       check_serve_ranks fresh;
       check_auto_ranks fresh;
       check_overload_ranks fresh;
+      check_gray_ranks fresh;
       compare_strategies ~tolerance ~base ~fresh;
       compare_latency ~tolerance ~base ~fresh;
       compare_sweep_responses ~tolerance ~section:"fault_sweep" ~base ~fresh;
@@ -454,7 +540,8 @@ let () =
         ~fresh;
       compare_serve_sweep ~tolerance ~base ~fresh;
       compare_auto_sweep ~tolerance ~base ~fresh;
-      compare_overload_sweep ~tolerance ~base ~fresh
+      compare_overload_sweep ~tolerance ~base ~fresh;
+      compare_gray_sweep ~tolerance ~base ~fresh
     | _ -> ()));
   if !failed then begin
     Format.printf "@.bench gate: FAILED@.";
