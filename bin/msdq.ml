@@ -8,6 +8,7 @@
      metrics     expose a telemetry-enabled workload as OpenMetrics text
      params      print the Table 1 / Table 2 settings
      generate    summarize a synthetic federation
+     plan        print the optimizer's cost-ranked strategy comparison
      validate    cross-check the strategies on random federations *)
 
 open Cmdliner
@@ -625,7 +626,8 @@ let experiment which fault_sweep recovery_sweep auto_sweep overload_sweep
     | "all" -> Figures.all ?pool ~registry ?progress ~samples ~seed ()
     | other ->
       Format.eprintf
-        "unknown experiment %S (fig9|fig10|fig11|ablation-signatures|ablation-checks|all)@."
+        "unknown experiment %S \
+         (fig9|fig10|fig11|ablation-signatures|ablation-checks|ablation-semijoin|fault-sweep|recovery-sweep|auto-sweep|overload-sweep|gray-sweep|all)@."
         other;
       exit 1
   in
@@ -668,9 +670,10 @@ let experiment_cmd =
       & pos 0 string "all"
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig9, fig10, fig11, ablation-signatures, ablation-checks, \
-             fault-sweep, recovery-sweep, auto-sweep, overload-sweep, \
-             gray-sweep or all.")
+            "fig9, fig10, fig11, ablation-signatures (alias: ablation), \
+             ablation-checks, ablation-semijoin, fault-sweep, \
+             recovery-sweep, auto-sweep, overload-sweep, gray-sweep or \
+             all.")
   in
   let fault_sweep_flag =
     Arg.(

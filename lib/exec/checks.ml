@@ -39,7 +39,7 @@ let signature_refutes ~meter signatures fed ~target_db ~assistant
     | [ attr ], Predicate.Eq -> (
       match Sig_catalog.find catalog ~db:target_db assistant with
       | None -> false
-      | Some sg -> (
+      | Some entry -> (
         let db = Federation.db fed target_db in
         match Database.get db assistant with
         | None -> false
@@ -51,7 +51,7 @@ let signature_refutes ~meter signatures fed ~target_db ~assistant
           | Some index ->
             Meter.add_comparison meter;
             not
-              (Signature.may_satisfy sg ~index ~op:Predicate.Eq
+              (Sig_catalog.may_satisfy entry ~index ~op:Predicate.Eq
                  ~operand:pred.Predicate.operand))))
     | _ -> false)
 

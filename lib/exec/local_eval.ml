@@ -27,27 +27,65 @@ let run ?(tracer = Tracer.disabled) fed (analysis : Analysis.t) ~db:db_name =
   let atoms = Array.of_list analysis.Analysis.atoms in
   let targets = Array.of_list analysis.Analysis.targets in
   let meter = Meter.create () in
+  let ext = Database.extent_handle db local_class in
+  (* Columnar fast path: a single-step atom evaluates over the whole extent
+     in one typed loop ([Extent.eval_attr]), leaving only per-row verdict
+     decoding in the object loop below. [None] — a nested path, or an
+     ordering comparison the column cannot answer exactly — falls back to
+     the per-object walk; answers and meter totals are identical either
+     way. *)
+  let fast =
+    Array.map
+      (fun info ->
+        let pred = info.Analysis.pred in
+        match pred.Predicate.path with
+        | [ attr ] ->
+          Extent.eval_attr ~meter ext ~attr ~op:pred.Predicate.op
+            ~operand:pred.Predicate.operand
+        | _ -> None)
+      atoms
+  in
   let examined = ref 0 and eliminated = ref 0 in
   let rows = ref [] in
-  let eval_object obj =
+  let eval_object r obj =
     incr examined;
     let truths = Array.make (Array.length atoms) Truth.Unknown in
     let unsolved = ref [] in
     Array.iteri
       (fun i info ->
-        match Predicate.eval ~meter db obj info.Analysis.pred with
-        | Predicate.Sat -> truths.(i) <- Truth.True
-        | Predicate.Viol -> truths.(i) <- Truth.False
-        | Predicate.Blocked b ->
+        let pred = info.Analysis.pred in
+        let block cause =
           truths.(i) <- Truth.Unknown;
           unsolved :=
             {
               Local_result.atom = i;
-              item = b.Predicate.obj;
-              rest = b.Predicate.rest;
-              cause = b.Predicate.cause;
+              item = obj;
+              rest = pred.Predicate.path;
+              cause;
             }
-            :: !unsolved)
+            :: !unsolved
+        in
+        match fast.(i) with
+        | Some codes -> (
+          match Extent.verdict codes r with
+          | Extent.V_sat -> truths.(i) <- Truth.True
+          | Extent.V_viol -> truths.(i) <- Truth.False
+          | Extent.V_null -> block Predicate.Null_value
+          | Extent.V_missing -> block Predicate.Missing_attribute)
+        | None -> (
+          match Predicate.eval ~meter db obj pred with
+          | Predicate.Sat -> truths.(i) <- Truth.True
+          | Predicate.Viol -> truths.(i) <- Truth.False
+          | Predicate.Blocked b ->
+            truths.(i) <- Truth.Unknown;
+            unsolved :=
+              {
+                Local_result.atom = i;
+                item = b.Predicate.obj;
+                rest = b.Predicate.rest;
+                cause = b.Predicate.cause;
+              }
+              :: !unsolved))
       atoms;
     let local_truth =
       Cond.eval
@@ -95,7 +133,9 @@ let run ?(tracer = Tracer.disabled) fed (analysis : Analysis.t) ~db:db_name =
         }
         :: !rows
   in
-  List.iter eval_object (Database.extent db local_class);
+  for r = 0 to Extent.size ext - 1 do
+    eval_object r (Extent.handle ext r)
+  done;
   Log.debug (fun m ->
       m "%s: %d examined, %d eliminated, %d rows" db_name !examined !eliminated
         (List.length !rows));

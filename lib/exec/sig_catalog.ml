@@ -1,7 +1,9 @@
 open Msdq_odb
 open Msdq_fed
 
-type t = { sigs : (string * int, Signature.t) Hashtbl.t; mutable count : int }
+type entry = { e_sigs : Sigset.t; e_row : int }
+
+type t = { sigs : (string * int, entry) Hashtbl.t; mutable count : int }
 
 let build fed =
   let t = { sigs = Hashtbl.create 1024; count = 0 } in
@@ -9,17 +11,23 @@ let build fed =
     (fun (db_name, db) ->
       List.iter
         (fun cd ->
-          List.iter
-            (fun obj ->
-              Hashtbl.replace t.sigs
-                (db_name, Oid.Loid.to_int (Dbobject.loid obj))
-                (Signature.of_object obj);
-              t.count <- t.count + 1)
-            (Database.extent db cd.Schema.cname))
+          let ext = Database.extent_handle db cd.Schema.cname in
+          let sigs = Extent.signatures ext in
+          for row = 0 to Extent.size ext - 1 do
+            let obj = Extent.handle ext row in
+            Hashtbl.replace t.sigs
+              (db_name, Oid.Loid.to_int (Dbobject.loid obj))
+              { e_sigs = sigs; e_row = row };
+            t.count <- t.count + 1
+          done)
         (Schema.classes (Database.schema db)))
     (Federation.databases fed);
   t
 
 let find t ~db loid = Hashtbl.find_opt t.sigs (db, Oid.Loid.to_int loid)
+
+let may_satisfy e ~index ~op ~operand =
+  Sigset.may_satisfy e.e_sigs ~row:e.e_row ~index ~op ~operand
+
 let object_count t = t.count
 let storage_bytes t ~s_sig = t.count * s_sig

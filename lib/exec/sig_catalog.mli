@@ -1,18 +1,32 @@
 (** Replicated object-signature catalog (future-work extension).
 
-    Holds the signature of every object of every component database, indexed
-    by (database, LOid). The paper's signature-assisted strategies assume
-    this auxiliary structure is replicated like the GOid mapping tables, so
-    consulting a signature is local CPU work. *)
+    Indexes the signature of every object of every component database by
+    (database, LOid). The paper's signature-assisted strategies assume this
+    auxiliary structure is replicated like the GOid mapping tables, so
+    consulting a signature is local CPU work.
+
+    Since the columnar re-representation, signatures live packed inside
+    each extent ({!Msdq_odb.Extent.signatures}); the catalog stores no
+    digests of its own — an entry is a reference into an extent's
+    {!Msdq_odb.Sigset.t} plus the object's row, so {!build} allocates one
+    small record per object instead of one digest array per object. *)
 
 open Msdq_odb
 open Msdq_fed
 
 type t
 
+type entry
+(** One object's signature: a row of its extent's columnar store. *)
+
 val build : Federation.t -> t
 
-val find : t -> db:string -> Oid.Loid.t -> Signature.t option
+val find : t -> db:string -> Oid.Loid.t -> entry option
+
+val may_satisfy : entry -> index:int -> op:Relop.t -> operand:Value.t -> bool
+(** Whether the object behind this entry could satisfy [attr op operand]
+    ([index] is the attribute's field position); exactly
+    [Signature.may_satisfy] on the object's signature. *)
 
 val object_count : t -> int
 

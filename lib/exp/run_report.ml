@@ -356,7 +356,50 @@ let bench_schema_v5 = "msdq-bench/5"
 let bench_schema_v6 = "msdq-bench/6"
 let bench_schema_v7 = "msdq-bench/7"
 let bench_schema_v8 = "msdq-bench/8"
-let bench_schema = "msdq-bench/9"
+let bench_schema_v9 = "msdq-bench/9"
+let bench_schema = "msdq-bench/10"
+
+(* The /10 section: columnar-engine throughput. Objects/sec of local
+   predicate evaluation and signature filtering in both representations
+   (the speedups are same-process ratios, so they are machine-independent
+   enough to gate on), plus end-to-end certification rows/sec. *)
+type microbench = {
+  mb_objects : int;  (** extent rows in the evaluation arms *)
+  mb_boxed_eval : float;  (** objs/s, per-object [Predicate.eval] *)
+  mb_columnar_eval : float;  (** objs/s, [Extent.eval_attr] *)
+  mb_eval_speedup : float;  (** columnar / boxed *)
+  mb_boxed_sig : float;  (** objs/s, per-object [Signature.may_satisfy] *)
+  mb_bitset_sig : float;  (** objs/s, [Sigset.refuted_count] *)
+  mb_sig_speedup : float;  (** bitset / boxed *)
+  mb_certify_rows : int;  (** local rows fed to one [Certify.run] pass *)
+  mb_certify_rows_per_s : float;
+}
+
+let microbench_to_json (m : microbench) =
+  Json.Obj
+    [
+      ("objects", Json.Int m.mb_objects);
+      ( "local_eval",
+        Json.Obj
+          [
+            ("boxed_objs_per_s", Json.Float m.mb_boxed_eval);
+            ("columnar_objs_per_s", Json.Float m.mb_columnar_eval);
+            ("speedup", Json.Float m.mb_eval_speedup);
+          ] );
+      ( "signature_filter",
+        Json.Obj
+          [
+            ("boxed_objs_per_s", Json.Float m.mb_boxed_sig);
+            ("bitset_objs_per_s", Json.Float m.mb_bitset_sig);
+            ("speedup", Json.Float m.mb_sig_speedup);
+          ] );
+      ( "certify",
+        Json.Obj
+          [
+            ("rows", Json.Int m.mb_certify_rows);
+            ("rows_per_s", Json.Float m.mb_certify_rows_per_s);
+          ] );
+    ]
 
 type parallel = {
   jobs : int;
@@ -509,8 +552,8 @@ let gray_sweep_to_json (g : Gray_sweep.outcome) =
     ]
 
 let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
-    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~gray_sweep ~strategies
-    ~wall =
+    ~serve_sweep ~latency ~auto_sweep ~overload_sweep ~gray_sweep ~microbench
+    ~strategies ~wall =
   Json.Obj
     [
       ("schema", Json.Str bench_schema);
@@ -524,6 +567,7 @@ let bench_to_json ~generated_at ~seed ~parallel ~fault_sweep ~recovery_sweep
       ("auto_sweep", auto_sweep_to_json auto_sweep);
       ("overload_sweep", overload_sweep_to_json overload_sweep);
       ("gray_sweep", gray_sweep_to_json gray_sweep);
+      ("microbench", microbench_to_json microbench);
       ( "strategies",
         Json.Arr
           (List.map
@@ -1169,13 +1213,57 @@ let validate_gray_sweep j =
         (Ok ()) severities)
     (Ok ()) kinds
 
+(* The /10 addition: the columnar microbench section — positive throughputs
+   and internally consistent speedup ratios. The >= 5x acceptance bar on the
+   local-eval speedup is the bench gate's job (tools/bench_gate), not the
+   validator's: a document from a noisy machine is still well-formed. *)
+let validate_microbench j =
+  let* m = require "\"microbench\"" (Json.member "microbench" j) in
+  let* objects =
+    require "microbench \"objects\""
+      Option.(Json.member "objects" m |> map Json.to_int |> join)
+  in
+  let* () =
+    if objects >= 1 then Ok ()
+    else Error "bench document: microbench objects must be >= 1"
+  in
+  let positive section field =
+    let* sec =
+      require (Printf.sprintf "microbench %S" section) (Json.member section m)
+    in
+    let* v =
+      require
+        (Printf.sprintf "microbench %s %S" section field)
+        Option.(Json.member field sec |> map Json.to_float |> join)
+    in
+    if Float.is_nan v || v <= 0.0 then
+      Error
+        (Printf.sprintf "bench document: microbench %s %s must be positive"
+           section field)
+    else Ok ()
+  in
+  let* () = positive "local_eval" "boxed_objs_per_s" in
+  let* () = positive "local_eval" "columnar_objs_per_s" in
+  let* () = positive "local_eval" "speedup" in
+  let* () = positive "signature_filter" "boxed_objs_per_s" in
+  let* () = positive "signature_filter" "bitset_objs_per_s" in
+  let* () = positive "signature_filter" "speedup" in
+  let* () = positive "certify" "rows_per_s" in
+  let* c = require "microbench \"certify\"" (Json.member "certify" m) in
+  let* rows =
+    require "microbench certify \"rows\""
+      Option.(Json.member "rows" c |> map Json.to_int |> join)
+  in
+  if rows >= 1 then Ok ()
+  else Error "bench document: microbench certify rows must be >= 1"
+
 let validate_bench j =
   let* schema = require "\"schema\"" Option.(Json.member "schema" j |> map Json.to_str |> join) in
   let known =
     [
-      bench_schema; bench_schema_v8; bench_schema_v7; bench_schema_v6;
-      bench_schema_v5; bench_schema_v4; bench_schema_v3; bench_schema_v2;
-      bench_schema_v1;
+      bench_schema; bench_schema_v9; bench_schema_v8; bench_schema_v7;
+      bench_schema_v6; bench_schema_v5; bench_schema_v4; bench_schema_v3;
+      bench_schema_v2; bench_schema_v1;
     ]
   in
   let* () =
@@ -1197,7 +1285,8 @@ let validate_bench j =
       else if String.equal s bench_schema_v6 then 6
       else if String.equal s bench_schema_v7 then 7
       else if String.equal s bench_schema_v8 then 8
-      else 9
+      else if String.equal s bench_schema_v9 then 9
+      else 10
     in
     rank schema >= v
   in
@@ -1209,6 +1298,7 @@ let validate_bench j =
   let* () = if at_least 7 then validate_auto_sweep j else Ok () in
   let* () = if at_least 8 then validate_overload_sweep j else Ok () in
   let* () = if at_least 9 then validate_gray_sweep j else Ok () in
+  let* () = if at_least 10 then validate_microbench j else Ok () in
   let* _ =
     require "\"generated_at\""
       Option.(Json.member "generated_at" j |> map Json.to_str |> join)

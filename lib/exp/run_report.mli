@@ -88,7 +88,10 @@ val gray_sweep_to_json : Gray_sweep.outcome -> Json.t
 (** {2 Bench results} *)
 
 val bench_schema : string
-(** ["msdq-bench/9"] — the schema every new document is written with. *)
+(** ["msdq-bench/10"] — the schema every new document is written with. *)
+
+val bench_schema_v9 : string
+(** ["msdq-bench/9"] — still accepted by {!validate_bench}. *)
 
 val bench_schema_v8 : string
 (** ["msdq-bench/8"] — still accepted by {!validate_bench}. *)
@@ -126,6 +129,23 @@ type parallel = {
     this machine, measured on a fixed calibration sweep whose output is
     asserted identical between the two timed runs. *)
 
+type microbench = {
+  mb_objects : int;  (** extent rows in the evaluation arms *)
+  mb_boxed_eval : float;  (** objs/s, per-object [Predicate.eval] *)
+  mb_columnar_eval : float;  (** objs/s, [Extent.eval_attr] *)
+  mb_eval_speedup : float;  (** columnar / boxed *)
+  mb_boxed_sig : float;  (** objs/s, per-object [Signature.may_satisfy] *)
+  mb_bitset_sig : float;  (** objs/s, [Sigset.refuted_count] *)
+  mb_sig_speedup : float;  (** bitset / boxed *)
+  mb_certify_rows : int;  (** local rows fed to one [Certify.run] pass *)
+  mb_certify_rows_per_s : float;
+}
+(** The [/10] microbench section: columnar-engine throughput in objects/sec
+    for local predicate evaluation and signature filtering — each measured
+    in both representations, so the speedup ratios are same-process and
+    safe to gate on — plus end-to-end certification rows/sec.
+    docs/PERFORMANCE.md explains how to run and read it. *)
+
 val bench_to_json :
   generated_at:string ->
   seed:int ->
@@ -137,6 +157,7 @@ val bench_to_json :
   auto_sweep:Auto_sweep.outcome ->
   overload_sweep:Overload_sweep.outcome ->
   gray_sweep:Gray_sweep.outcome ->
+  microbench:microbench ->
   strategies:(string * float * float) list ->
   wall:(string * float) list ->
   Json.t
@@ -149,9 +170,11 @@ val bench_to_json :
     [latency] its per-strategy query-latency quantile summaries
     ([(name, summary)], the [/6] histogram section), [auto_sweep] the
     AUTO-vs-fixed comparison (the [/7] section), [overload_sweep] the
-    overload-robustness sweep (the [/8] section) and [gray_sweep] the
-    gray-failure tolerance sweep (the [/9] section). [generated_at] is
-    injected (not read from the clock) so tests stay deterministic. *)
+    overload-robustness sweep (the [/8] section), [gray_sweep] the
+    gray-failure tolerance sweep (the [/9] section) and [microbench] the
+    columnar-engine throughput section (the [/10] section).
+    [generated_at] is injected (not read from the clock) so tests stay
+    deterministic. *)
 
 val validate_bench : Json.t -> (unit, string) result
 (** Structural validation of a bench document: used by the test suite and
@@ -177,7 +200,10 @@ val validate_bench : Json.t -> (unit, string) result
     condition: on every (kind, severity) cell the adaptive arm demotes no
     more rows than the static arm, and on the slowdown cells its mean
     response undercuts the static arm's by at least
-    {!Gray_sweep.response_margin}. *)
+    {!Gray_sweep.response_margin} — and the [microbench] section from
+    [/10] on (positive throughputs and well-formed counts; the >= 5x
+    local-eval speedup bar lives in the bench gate, not here, so a noisy
+    machine still produces a structurally valid document). *)
 
 val pp_explain : Format.formatter -> Answer.t -> unit
 (** Per-row provenance table ([msdq query --explain]): every row's GOid and

@@ -1,0 +1,41 @@
+(* Growable bitset over an int array: [Sys.int_size] usable bits per word
+   (63 on 64-bit), so indices past one word spill naturally into the next —
+   the representation behind columnar null-presence tracking and the
+   signature slot masks. *)
+
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for n = if n <= 0 then 1 else ((n - 1) / bits_per_word) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (words_for n) 0 }
+
+let ensure t w =
+  let len = Array.length t.words in
+  if w >= len then begin
+    let cap = max (w + 1) (2 * len) in
+    let words = Array.make cap 0 in
+    Array.blit t.words 0 words 0 len;
+    t.words <- words
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  let w = i / bits_per_word in
+  ensure t w;
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  if i < 0 then invalid_arg "Bitset.mem: negative index";
+  let w = i / bits_per_word in
+  w < Array.length t.words
+  && (t.words.(w) lsr (i mod bits_per_word)) land 1 = 1
+
+let rec popcount x acc = if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1))
+
+let cardinal t = Array.fold_left (fun acc w -> popcount w acc) 0 t.words
+
+let capacity t = Array.length t.words * bits_per_word

@@ -1,0 +1,32 @@
+(** Growable int-backed bitset.
+
+    [Sys.int_size] usable bits per word (63 on a 64-bit runtime), so an
+    index past bit 62 transparently spills into a second word — the
+    boundary the signature tests pin. Backs the per-attribute presence
+    (non-null) masks of columnar extents ({!Extent}) and the slot masks of
+    the columnar signature store ({!Sigset}). *)
+
+type t
+
+val bits_per_word : int
+(** [Sys.int_size]: 63 on a 64-bit runtime. *)
+
+val create : int -> t
+(** [create n] is an empty bitset sized for indices [0 .. n-1]; it grows
+    on demand when a larger index is {!set}. Raises [Invalid_argument] on
+    a negative [n]. *)
+
+val set : t -> int -> unit
+(** Sets bit [i], growing the backing array if needed. Raises
+    [Invalid_argument] on a negative index. *)
+
+val mem : t -> int -> bool
+(** Whether bit [i] is set; [false] for any index never touched. Raises
+    [Invalid_argument] on a negative index. *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val capacity : t -> int
+(** Indices currently representable without growing (a multiple of
+    {!bits_per_word}). *)

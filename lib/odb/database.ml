@@ -2,8 +2,8 @@ type t = {
   name : string;
   schema : Schema.t;
   objects : Dbobject.t Oid.Loid.Table.t;
-  (* Extents keep insertion order; stored reversed for O(1) insertion. *)
-  extents : (string, Dbobject.t list ref) Hashtbl.t;
+  (* Columnar per-class storage; insertion order is the row order. *)
+  extents : (string, Extent.t) Hashtbl.t;
   mutable next_loid : int;
   mutable cardinality : int;
 }
@@ -15,7 +15,9 @@ let integrity fmt = Printf.ksprintf (fun s -> raise (Integrity_error s)) fmt
 let create ~name ~schema =
   let extents = Hashtbl.create 8 in
   List.iter
-    (fun cd -> Hashtbl.add extents cd.Schema.cname (ref []))
+    (fun cd ->
+      Hashtbl.add extents cd.Schema.cname
+        (Extent.create ~schema ~cls:cd.Schema.cname))
     (Schema.classes schema);
   {
     name;
@@ -39,13 +41,13 @@ let deref t = function
   | Value.Ref l -> get t l
   | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ -> None
 
-let extent_ref t cls =
+let extent_handle t cls =
   match Hashtbl.find_opt t.extents cls with
-  | Some r -> r
+  | Some e -> e
   | None -> integrity "%s: unknown class %s" t.name cls
 
-let extent t cls = List.rev !(extent_ref t cls)
-let extent_size t cls = List.length !(extent_ref t cls)
+let extent t cls = Extent.to_list (extent_handle t cls)
+let extent_size t cls = Extent.size (extent_handle t cls)
 let cardinality t = t.cardinality
 
 let check_field t ~cls ~attr v =
@@ -82,8 +84,7 @@ let add t ~cls values =
   t.next_loid <- t.next_loid + 1;
   let o = Dbobject.make ~loid ~cls ~fields:(Array.of_list values) in
   Oid.Loid.Table.add t.objects loid o;
-  let r = extent_ref t cls in
-  r := o :: !r;
+  ignore (Extent.append (extent_handle t cls) o);
   t.cardinality <- t.cardinality + 1;
   o
 

@@ -30,8 +30,16 @@ val deref : t -> Value.t -> Dbobject.t option
 (** [deref db (Ref l)] follows a reference; [None] for any other value. *)
 
 val extent : t -> string -> Dbobject.t list
-(** All objects of a class, in insertion order. Raises {!Integrity_error}
-    on an unknown class. *)
+(** All objects of a class, in insertion order — a list view materialized
+    from the columnar extent. Raises {!Integrity_error} on an unknown
+    class. Scan loops that care about speed should take {!extent_handle}
+    instead. *)
+
+val extent_handle : t -> string -> Extent.t
+(** The class's columnar extent itself: typed columns, presence bitsets
+    and the signature store, for tight-loop evaluation
+    ({!Extent.eval_attr}). Raises {!Integrity_error} on an unknown
+    class. *)
 
 val extent_size : t -> string -> int
 

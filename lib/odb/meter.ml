@@ -11,6 +11,7 @@ let create () = { comparisons = 0; accesses = 0; goid_lookups = 0 }
 let zero : snapshot = { comparisons = 0; accesses = 0; goid_lookups = 0 }
 
 let add_comparison t = t.comparisons <- t.comparisons + 1
+let add_comparisons t n = t.comparisons <- t.comparisons + n
 let add_accesses t n = t.accesses <- t.accesses + n
 let add_goid_lookups t n = t.goid_lookups <- t.goid_lookups + n
 

@@ -22,6 +22,12 @@ val create : unit -> t
 val zero : snapshot
 
 val add_comparison : t -> unit
+
+val add_comparisons : t -> int -> unit
+(** Bulk form for columnar loops ({!Extent.eval_attr}): only snapshot
+    totals are ever read, so charging [n] comparisons at once is
+    indistinguishable from [n] unit ticks. *)
+
 val add_accesses : t -> int -> unit
 val add_goid_lookups : t -> int -> unit
 

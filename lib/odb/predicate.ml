@@ -1,4 +1,4 @@
-type op = Eq | Ne | Lt | Le | Gt | Ge
+type op = Relop.t = Eq | Ne | Lt | Le | Gt | Ge
 
 type t = { path : Path.t; op : op; operand : Value.t }
 
@@ -62,15 +62,8 @@ let truth_of_outcome = function
   | Viol -> Truth.False
   | Blocked _ -> Truth.Unknown
 
-let op_to_string = function
-  | Eq -> "="
-  | Ne -> "!="
-  | Lt -> "<"
-  | Le -> "<="
-  | Gt -> ">"
-  | Ge -> ">="
-
-let pp_op ppf op = Format.pp_print_string ppf (op_to_string op)
+let op_to_string = Relop.to_string
+let pp_op = Relop.pp
 
 let pp ppf t =
   Format.fprintf ppf "%a %a %s" Path.pp t.path pp_op t.op

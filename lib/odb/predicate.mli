@@ -10,7 +10,9 @@
     the comparison forms the {e unsolved predicate} shipped to assistant
     objects for checking. *)
 
-type op = Eq | Ne | Lt | Le | Gt | Ge
+type op = Relop.t = Eq | Ne | Lt | Le | Gt | Ge
+(** Re-export of {!Relop.t}: the same constructors, usable from the
+    columnar layers below {!Database} without a cycle. *)
 
 type t = { path : Path.t; op : op; operand : Value.t }
 

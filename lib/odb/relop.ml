@@ -1,0 +1,16 @@
+(* The comparison operators of the query language, as a leaf module so the
+   columnar layers (Extent, Sigset) can name them without depending on
+   Predicate — whose interface mentions Database, which owns the extents.
+   Predicate re-exports this type as [Predicate.op]. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+let to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)

@@ -1,0 +1,10 @@
+(** Comparison operators, hoisted out of {!Predicate} so the columnar
+    storage layers ({!Extent}, {!Sigset}) can use them without a
+    dependency cycle through {!Database}. {!Predicate.op} re-exports this
+    type, so [Predicate.Eq] and [Relop.Eq] are the same constructor. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

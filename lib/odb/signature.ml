@@ -25,9 +25,9 @@ let of_object obj =
 
 let may_satisfy t ~index ~op ~operand =
   match op with
-  | Predicate.Ne | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+  | Relop.Ne | Relop.Lt | Relop.Le | Relop.Gt | Relop.Ge ->
     true
-  | Predicate.Eq -> (
+  | Relop.Eq -> (
     if index < 0 || index >= Array.length t then true
     else if t.(index) < 0 then true (* no digest: null or complex *)
     else

@@ -19,7 +19,7 @@ val of_object : Dbobject.t -> t
 (** Digest of every primitive non-null field; null, missing and complex
     fields have no digest slot. *)
 
-val may_satisfy : t -> index:int -> op:Predicate.op -> operand:Value.t -> bool
+val may_satisfy : t -> index:int -> op:Relop.t -> operand:Value.t -> bool
 (** Whether the object behind this signature could satisfy
     [attr op operand], where [index] is the attribute's field position in
     its class (signatures are positional). An out-of-range index answers
@@ -27,6 +27,10 @@ val may_satisfy : t -> index:int -> op:Predicate.op -> operand:Value.t -> bool
 
 val size_bytes : int
 (** Wire/storage size of one signature: the paper's [S_s] = 32 bytes. *)
+
+val max_slots : int
+(** Digest slots per signature (16): fields past this position are never
+    digested, matching {!size_bytes} at 16 bits per slot. *)
 
 val digest_value : Value.t -> int option
 (** The digest of a primitive non-null value; [None] otherwise. Exposed for

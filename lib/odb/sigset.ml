@@ -1,0 +1,120 @@
+(* Columnar object-signature store: the signatures of one extent packed
+   into two flat int arrays instead of one boxed array per object.
+
+   Per row (object), [width] digest slots live contiguously in [digests]
+   and an int-backed bitset of [words_per_obj] words in [masks] says which
+   slots actually hold a digest (bit s set iff attribute s digested — a
+   null, reference or out-of-range slot stays clear). Matching a predicate
+   against every signature of an extent is then a stride-1 scan, where the
+   per-object representation ([Signature]) pays an array allocation and a
+   bounds-checked probe per object. [Signature.may_satisfy] over
+   [Signature.of_object] stays the executable specification; the qcheck
+   suite pins row-for-row equivalence. *)
+
+type t = {
+  width : int;
+  words_per_obj : int;
+  mutable n : int;
+  mutable cap : int;
+  mutable digests : int array;  (* cap * width, row-major; -1 = no digest *)
+  mutable masks : int array;  (* cap * words_per_obj, row-major *)
+}
+
+let words_for width =
+  if width <= 0 then 1 else ((width - 1) / Bitset.bits_per_word) + 1
+
+let create ?width ~arity () =
+  if arity < 0 then invalid_arg "Sigset.create: negative arity";
+  let width =
+    match width with
+    | Some w ->
+      if w < 0 then invalid_arg "Sigset.create: negative width";
+      w
+    | None -> min arity Signature.max_slots
+  in
+  {
+    width;
+    words_per_obj = words_for width;
+    n = 0;
+    cap = 0;
+    digests = [||];
+    masks = [||];
+  }
+
+let size t = t.n
+let width t = t.width
+let words_per_obj t = t.words_per_obj
+
+let grow t =
+  let cap = if t.cap = 0 then 16 else 2 * t.cap in
+  let digests = Array.make (cap * t.width) (-1) in
+  Array.blit t.digests 0 digests 0 (t.n * t.width);
+  let masks = Array.make (cap * t.words_per_obj) 0 in
+  Array.blit t.masks 0 masks 0 (t.n * t.words_per_obj);
+  t.cap <- cap;
+  t.digests <- digests;
+  t.masks <- masks
+
+let append t fields =
+  if t.n = t.cap then grow t;
+  let row = t.n in
+  let dbase = row * t.width in
+  let mbase = row * t.words_per_obj in
+  let slots = min (Array.length fields) t.width in
+  for s = 0 to slots - 1 do
+    match Signature.digest_value fields.(s) with
+    | None -> t.digests.(dbase + s) <- -1
+    | Some d ->
+      t.digests.(dbase + s) <- d;
+      let w = s / Bitset.bits_per_word in
+      t.masks.(mbase + w) <-
+        t.masks.(mbase + w) lor (1 lsl (s mod Bitset.bits_per_word))
+  done;
+  t.n <- row + 1;
+  row
+
+let has_digest t ~row ~index =
+  let w = index / Bitset.bits_per_word in
+  (t.masks.((row * t.words_per_obj) + w) lsr (index mod Bitset.bits_per_word))
+  land 1
+  = 1
+
+let may_satisfy t ~row ~index ~op ~operand =
+  if row < 0 || row >= t.n then invalid_arg "Sigset.may_satisfy: bad row";
+  match op with
+  | Relop.Ne | Relop.Lt | Relop.Le | Relop.Gt | Relop.Ge ->
+    true
+  | Relop.Eq -> (
+    if index < 0 || index >= t.width then true
+    else if not (has_digest t ~row ~index) then true
+    else
+      match Signature.digest_value operand with
+      | None -> true
+      | Some d -> t.digests.((row * t.width) + index) = d)
+
+(* The BLS/PLS filter loop: how many of the [n] signatures refute
+   [index op operand] — i.e. carry a digest for the slot that differs from
+   the operand's. One contiguous strided scan; this is the fast path the
+   microbench compares against per-object [Signature.may_satisfy]. *)
+let refuted_count t ~index ~op ~operand =
+  match op with
+  | Relop.Ne | Relop.Lt | Relop.Le | Relop.Gt | Relop.Ge ->
+    0
+  | Relop.Eq -> (
+    if index < 0 || index >= t.width then 0
+    else
+      match Signature.digest_value operand with
+      | None -> 0
+      | Some d ->
+        let w = index / Bitset.bits_per_word in
+        let bit = index mod Bitset.bits_per_word in
+        let count = ref 0 in
+        let digests = t.digests and masks = t.masks in
+        let width = t.width and wpo = t.words_per_obj in
+        for row = 0 to t.n - 1 do
+          if
+            (Array.unsafe_get masks ((row * wpo) + w) lsr bit) land 1 = 1
+            && Array.unsafe_get digests ((row * width) + index) <> d
+          then incr count
+        done;
+        !count)

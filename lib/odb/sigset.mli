@@ -1,0 +1,46 @@
+(** Columnar object-signature store: one extent's signatures as two flat
+    int arrays plus int-backed slot bitsets.
+
+    The per-object {!Signature} representation stays as the executable
+    specification; this module packs the same 16-bit digests row-major so
+    BLS/PLS signature filtering scans contiguous memory instead of chasing
+    one boxed array per object. Row [r] of a store built by appending each
+    object's fields in extent order answers {!may_satisfy} exactly as
+    [Signature.may_satisfy (Signature.of_object obj)] would — the qcheck
+    equivalence suite pins this. *)
+
+type t
+
+val create : ?width:int -> arity:int -> unit -> t
+(** An empty store for objects of a class with [arity] attributes. [width]
+    (default [min arity Signature.max_slots]) is the digest-slot count per
+    object; widths past {!Bitset.bits_per_word} spill the slot mask into a
+    second word per object. Raises [Invalid_argument] on negative
+    arguments. *)
+
+val append : t -> Value.t array -> int
+(** Digests one object's fields (slots [0 .. width-1]; nulls and
+    references leave the slot maskless) and returns its row index. *)
+
+val size : t -> int
+(** Rows appended so far. *)
+
+val width : t -> int
+(** Digest slots per object. *)
+
+val words_per_obj : t -> int
+(** Mask words per object: [ceil (width / Bitset.bits_per_word)], at
+    least 1. *)
+
+val may_satisfy :
+  t -> row:int -> index:int -> op:Relop.t -> operand:Value.t -> bool
+(** Whether row [row]'s signature admits [index op operand]; equivalent to
+    [Signature.may_satisfy] on that object's signature. Only [Eq] with a
+    digestible operand and an in-range slot can refute. Raises
+    [Invalid_argument] on an out-of-range row. *)
+
+val refuted_count :
+  t -> index:int -> op:Relop.t -> operand:Value.t -> int
+(** How many rows refute [index op operand] — the whole-extent filter loop
+    (one strided scan over the flat arrays); 0 whenever no signature can
+    refute the shape. *)

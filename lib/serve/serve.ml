@@ -245,7 +245,11 @@ type vq_entry = {
 
 type admission = {
   a_limit : int option;
-  mutable a_entries : vq_entry list;  (* admitted, oldest first *)
+  (* admitted, oldest first; a growable array ([a_len] live entries) so the
+     per-arrival hot path appends in O(1) and depth checks count in place
+     instead of rebuilding lists *)
+  mutable a_entries : vq_entry array;
+  mutable a_len : int;
   mutable a_miss_ewma : float;  (* predicted deadline misses, EWMA *)
   mutable a_max_depth : int;
 }
@@ -253,30 +257,30 @@ type admission = {
 let admission_create cfg =
   {
     a_limit = cfg.queue_limit;
-    a_entries = [];
+    a_entries = [||];
+    a_len = 0;
     a_miss_ewma = 0.0;
     a_max_depth = 0;
   }
 
-(* Recompute the virtual start/finish chain after a structural change. *)
+(* Recompute the virtual start/finish chain after a structural change
+   (eviction); a push only needs the tail's finish, see below. *)
 let vq_rechain adm =
-  ignore
-    (List.fold_left
-       (fun last e ->
-         e.e_vstart <- Time.max e.e_arrival last;
-         e.e_vfinish <- Time.add e.e_vstart e.e_service;
-         e.e_vfinish)
-       Time.zero adm.a_entries)
+  let last = ref Time.zero in
+  for i = 0 to adm.a_len - 1 do
+    let e = adm.a_entries.(i) in
+    e.e_vstart <- Time.max e.e_arrival !last;
+    e.e_vfinish <- Time.add e.e_vstart e.e_service;
+    last := e.e_vfinish
+  done
 
 let admission_depth adm ~at =
-  let d =
-    List.length
-      (List.filter
-         (fun e -> Time.compare e.e_vfinish at > 0)
-         adm.a_entries)
-  in
-  if d > adm.a_max_depth then adm.a_max_depth <- d;
-  d
+  let d = ref 0 in
+  for i = 0 to adm.a_len - 1 do
+    if Time.compare adm.a_entries.(i).e_vfinish at > 0 then incr d
+  done;
+  if !d > adm.a_max_depth then adm.a_max_depth <- !d;
+  !d
 
 let admission_overload adm ~at =
   (match adm.a_limit with
@@ -289,36 +293,54 @@ let over_capacity adm ~at =
   | Some l -> admission_depth adm ~at >= l
   | None -> false
 
-(* Admit one job; returns its predicted queueing delay. *)
+let admission_grow adm e =
+  if adm.a_len = Array.length adm.a_entries then begin
+    let cap = if adm.a_len = 0 then 16 else 2 * adm.a_len in
+    let entries = Array.make cap e in
+    Array.blit adm.a_entries 0 entries 0 adm.a_len;
+    adm.a_entries <- entries
+  end
+
+(* Admit one job; returns its predicted queueing delay. Arrivals come in
+   admission order, so the new entry's chain position depends only on the
+   tail's virtual finish — no rechain of the earlier entries needed. *)
 let admission_push adm ~index ~arrival ~service =
+  let last =
+    if adm.a_len = 0 then Time.zero
+    else adm.a_entries.(adm.a_len - 1).e_vfinish
+  in
+  let vstart = Time.max arrival last in
   let e =
     {
       e_index = index;
       e_arrival = arrival;
       e_service = service;
-      e_vstart = arrival;
-      e_vfinish = arrival;
+      e_vstart = vstart;
+      e_vfinish = Time.add vstart service;
     }
   in
-  adm.a_entries <- adm.a_entries @ [ e ];
-  vq_rechain adm;
+  admission_grow adm e;
+  adm.a_entries.(adm.a_len) <- e;
+  adm.a_len <- adm.a_len + 1;
   Time.sub e.e_vstart arrival
 
 (* Reject_oldest: drop the oldest admitted job that has not virtually
    started (the queue head); [None] when every earlier job is already in
    virtual service, in which case the arrival itself must shed. *)
 let admission_evict_oldest adm ~at =
-  let rec split acc = function
-    | [] -> None
-    | e :: tl ->
-        if Time.compare e.e_vstart at > 0 then begin
-          adm.a_entries <- List.rev_append acc tl;
-          vq_rechain adm;
-          Some e.e_index
-        end
-        else split (e :: acc) tl
+  let rec find i =
+    if i >= adm.a_len then None
+    else
+      let e = adm.a_entries.(i) in
+      if Time.compare e.e_vstart at > 0 then begin
+        Array.blit adm.a_entries (i + 1) adm.a_entries i (adm.a_len - i - 1);
+        adm.a_len <- adm.a_len - 1;
+        vq_rechain adm;
+        Some e.e_index
+      end
+      else find (i + 1)
   in
-  split [] adm.a_entries
+  find 0
 
 let admission_observe_miss adm ~deadline ~qdelay ~service =
   let miss =
@@ -397,6 +419,33 @@ let involved_sig involved =
          gcls ^ ":" ^ String.concat "," (Involved.attrs_of_class involved gcls))
        (Involved.classes involved))
 
+(* What an extent-cache entry holds: the shipped artifact is a projection of
+   one database's involved extents, and since extents are columnar the
+   natural cached form is a slice descriptor per constituent class — which
+   attribute columns were cut out and over how many rows. Keys, byte
+   accounting and hit/miss behavior are untouched; the payload just stopped
+   being [unit]. *)
+type slice = {
+  s_cls : string;  (* constituent class at the source database *)
+  s_attrs : string list;  (* projected attribute columns *)
+  s_rows : int;  (* extent rows covered at build time *)
+}
+
+let involved_slices fed gs involved ~db_name =
+  let db = Federation.db fed db_name in
+  List.filter_map
+    (fun gcls ->
+      match Global_schema.constituent_of gs ~gcls ~db:db_name with
+      | None -> None
+      | Some cls ->
+          Some
+            {
+              s_cls = cls;
+              s_attrs = Involved.attrs_of_class involved gcls;
+              s_rows = Database.extent_size db cls;
+            })
+    (Involved.classes involved)
+
 let units_of_work = Meter.units
 
 (* One extent cache per site: each site owns [cache_bytes] of cache RAM. *)
@@ -454,9 +503,10 @@ let prepare (cfg : config) fed tracer ~extent_caches ~verdict_cache
               let g = gen ~holder:gsite ~source:site in
               let key = Printf.sprintf "ca|%s|%s" db_name isig in
               match Lru.find cache ~gen:g key with
-              | Some () -> true
+              | Some _ -> true
               | None ->
-                  Lru.add cache ~gen:g ~key ~bytes ();
+                  Lru.add cache ~gen:g ~key ~bytes
+                    (involved_slices fed gs involved ~db_name);
                   false
             in
             if hit then incr extent_hits;
@@ -506,9 +556,10 @@ let prepare (cfg : config) fed tracer ~extent_caches ~verdict_cache
               let g = gen ~holder:site ~source:site in
               let key = Printf.sprintf "loc|%s|%s" db_name isig in
               match Lru.find cache ~gen:g key with
-              | Some () -> true
+              | Some _ -> true
               | None ->
-                  Lru.add cache ~gen:g ~key ~bytes:read_bytes ();
+                  Lru.add cache ~gen:g ~key ~bytes:read_bytes
+                    (involved_slices fed gs involved ~db_name);
                   false
             in
             if read_hit then incr extent_hits;
@@ -1552,7 +1603,7 @@ let admission_step adm cfg ~index ~arrival ~deadline ~strategy ~degrade_to
 let run ?(tracer = Tracer.disabled) ?registry ?(trace = false) cfg fed jobs =
   validate cfg jobs;
   let wl = match registry with Some r -> r | None -> Metrics.create () in
-  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
+  let extent_caches : (int, slice list Lru.t) Hashtbl.t = Hashtbl.create 8 in
   let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
   let signatures = lazy (Sig_catalog.build fed) in
   let cost = cfg.options.Strategy.cost in
@@ -1666,7 +1717,7 @@ let run_auto ?(tracer = Tracer.disabled) ?registry ?(trace = false) ?store
          { strategy = Strategy.Bl; analysis; arrival; deadline = None })
        jobs);
   let wl = match registry with Some r -> r | None -> Metrics.create () in
-  let extent_caches : (int, unit Lru.t) Hashtbl.t = Hashtbl.create 8 in
+  let extent_caches : (int, slice list Lru.t) Hashtbl.t = Hashtbl.create 8 in
   let verdict_cache = Lru.create ~capacity_bytes:cfg.cache_bytes in
   let signatures = lazy (Sig_catalog.build fed) in
   let sched = cfg.options.Strategy.fault in

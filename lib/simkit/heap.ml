@@ -1,43 +1,62 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Parallel-array layout: priorities live in a flat [float array] (unboxed
+   elements), sequence numbers in an [int array], payloads in an
+   ['a array]. The previous record-per-entry layout boxed the float inside
+   every entry, so each push allocated; here a push at capacity allocates
+   nothing. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { prios = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 let is_empty h = h.size = 0
 let size h = h.size
 
-(* [before a b] decides heap order: smaller priority first, then smaller
-   insertion sequence so that equal-priority entries pop in FIFO order. *)
-let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
-
-(* Grows the backing array, using [entry] to fill the fresh cells; cells
-   beyond [size] are never read before being overwritten. *)
-let ensure_capacity h entry =
-  if h.size = Array.length h.data then begin
-    let new_cap = if h.size = 0 then 16 else h.size * 2 in
-    let data = Array.make new_cap entry in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
+(* Grows the backing arrays, using [value] to fill the fresh payload cells;
+   cells beyond [size] are never read before being overwritten. *)
+let ensure_capacity h value =
+  if h.size = Array.length h.prios then begin
+    let cap = if h.size = 0 then 16 else h.size * 2 in
+    let prios = Array.make cap 0.0 in
+    Array.blit h.prios 0 prios 0 h.size;
+    let seqs = Array.make cap 0 in
+    Array.blit h.seqs 0 seqs 0 h.size;
+    let values = Array.make cap value in
+    Array.blit h.values 0 values 0 h.size;
+    h.prios <- prios;
+    h.seqs <- seqs;
+    h.values <- values
   end
 
+(* Heap order: smaller priority first, then smaller insertion sequence so
+   that equal-priority entries pop in FIFO order. *)
+
 let push h ~priority value =
-  let entry = { prio = priority; seq = h.next_seq; value } in
-  ensure_capacity h entry;
-  h.next_seq <- h.next_seq + 1;
+  ensure_capacity h value;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  let set i =
+    h.prios.(i) <- priority;
+    h.seqs.(i) <- seq;
+    h.values.(i) <- value
+  in
   (* Sift up. *)
   let rec up i =
-    if i = 0 then h.data.(0) <- entry
+    if i = 0 then set 0
     else
       let parent = (i - 1) / 2 in
-      if before entry h.data.(parent) then begin
-        h.data.(i) <- h.data.(parent);
+      let pp = h.prios.(parent) in
+      if priority < pp || (priority = pp && seq < h.seqs.(parent)) then begin
+        h.prios.(i) <- pp;
+        h.seqs.(i) <- h.seqs.(parent);
+        h.values.(i) <- h.values.(parent);
         up parent
       end
-      else h.data.(i) <- entry
+      else set i
   in
   up h.size;
   h.size <- h.size + 1
@@ -45,33 +64,51 @@ let push h ~priority value =
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top_prio = h.prios.(0) and top_value = h.values.(0) in
     h.size <- h.size - 1;
     if h.size > 0 then begin
-      let last = h.data.(h.size) in
+      let lp = h.prios.(h.size)
+      and ls = h.seqs.(h.size)
+      and lv = h.values.(h.size) in
+      let set i =
+        h.prios.(i) <- lp;
+        h.seqs.(i) <- ls;
+        h.values.(i) <- lv
+      in
       (* Sift down. *)
       let rec down i =
         let left = (2 * i) + 1 in
-        if left >= h.size then h.data.(i) <- last
-        else
+        if left >= h.size then set i
+        else begin
           let right = left + 1 in
           let child =
-            if right < h.size && before h.data.(right) h.data.(left) then right
+            if
+              right < h.size
+              && (h.prios.(right) < h.prios.(left)
+                 || (h.prios.(right) = h.prios.(left)
+                    && h.seqs.(right) < h.seqs.(left)))
+            then right
             else left
           in
-          if before h.data.(child) last then begin
-            h.data.(i) <- h.data.(child);
+          let cp = h.prios.(child) in
+          if cp < lp || (cp = lp && h.seqs.(child) < ls) then begin
+            h.prios.(i) <- cp;
+            h.seqs.(i) <- h.seqs.(child);
+            h.values.(i) <- h.values.(child);
             down child
           end
-          else h.data.(i) <- last
+          else set i
+        end
       in
       down 0
     end;
-    Some (top.prio, top.value)
+    Some (top_prio, top_value)
   end
 
-let peek_priority h = if h.size = 0 then None else Some h.data.(0).prio
+let peek_priority h = if h.size = 0 then None else Some h.prios.(0)
 
 let clear h =
-  h.data <- [||];
+  h.prios <- [||];
+  h.seqs <- [||];
+  h.values <- [||];
   h.size <- 0

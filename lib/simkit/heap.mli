@@ -2,7 +2,9 @@
 
     This is the event queue of the discrete-event engine: events with equal
     timestamps are delivered in insertion order, which makes simulations
-    deterministic. *)
+    deterministic. Priorities, sequence numbers and payloads live in
+    parallel flat arrays (the priority array keeps its floats unboxed), so
+    a push at capacity allocates nothing. *)
 
 type 'a t
 

@@ -1,0 +1,67 @@
+(* The pure core of tools/docs_lint: link extraction and the orphan
+   (reachability) pass that keeps every docs/*.md linked from the
+   README's docs index. *)
+
+let targets text =
+  Docs_lint_core.targets_of (Docs_lint_core.strip_code text)
+
+let test_targets () =
+  Alcotest.(check (list string))
+    "links and images" [ "docs/A.md"; "img/x.png" ]
+    (targets "see [A](docs/A.md) and ![shot](img/x.png)");
+  Alcotest.(check (list string))
+    "code span skipped" [ "real.md" ]
+    (targets "use `[not](a-link.md)` but [yes](real.md)");
+  Alcotest.(check (list string))
+    "fenced block skipped" []
+    (targets "```\n[hidden](in-code.md)\n```\n")
+
+let test_external () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " external") true
+        (Docs_lint_core.external_target t))
+    [ ""; "#anchor"; "http://x"; "https://x/y"; "mailto:a@b" ];
+  Alcotest.(check bool) "relative not external" false
+    (Docs_lint_core.external_target "docs/A.md");
+  Alcotest.(check string) "fragment stripped" "docs/A.md"
+    (Docs_lint_core.strip_fragment "docs/A.md#section")
+
+let test_normalize () =
+  List.iter
+    (fun (raw, want) ->
+      Alcotest.(check string) raw want (Docs_lint_core.normalize raw))
+    [
+      ("./docs/X.md", "docs/X.md");
+      ("docs/../docs/X.md", "docs/X.md");
+      ("a/b/../../c.md", "c.md");
+      ("docs//X.md", "docs/X.md");
+    ]
+
+let test_orphans () =
+  (* README -> A -> B; C exists but nothing links to it. Spellings are
+     deliberately mixed to exercise normalization. *)
+  let links =
+    [
+      ("./README.md", [ "./docs/A.md" ]);
+      ("docs/A.md", [ "docs/../docs/B.md" ]);
+      ("./docs/C.md", [ "docs/A.md" ]);
+    ]
+  in
+  let candidates = [ "./docs/A.md"; "./docs/B.md"; "./docs/C.md" ] in
+  Alcotest.(check (list string))
+    "only the unlinked doc is an orphan" [ "./docs/C.md" ]
+    (Docs_lint_core.orphans ~roots:[ "./README.md" ] ~links ~candidates);
+  (* Linking from an orphan does not rescue it: reachability starts at
+     the roots, not at every file. *)
+  Alcotest.(check (list string))
+    "no roots, everything orphaned" candidates
+    (Docs_lint_core.orphans ~roots:[] ~links ~candidates)
+
+let suite =
+  [
+    Alcotest.test_case "link extraction" `Quick test_targets;
+    Alcotest.test_case "external targets" `Quick test_external;
+    Alcotest.test_case "path normalization" `Quick test_normalize;
+    Alcotest.test_case "orphan detection" `Quick test_orphans;
+  ]

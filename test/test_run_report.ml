@@ -317,6 +317,19 @@ let gray_sweep_section =
       @ cells Gray_sweep.adaptive_policy ~demoted:4 ~mean:15.0;
   }
 
+let microbench_section =
+  {
+    Run_report.mb_objects = 20_000;
+    mb_boxed_eval = 1.0e6;
+    mb_columnar_eval = 1.2e7;
+    mb_eval_speedup = 12.0;
+    mb_boxed_sig = 2.0e7;
+    mb_bitset_sig = 6.0e7;
+    mb_sig_speedup = 3.0;
+    mb_certify_rows = 500;
+    mb_certify_rows_per_s = 4.0e5;
+  }
+
 let test_bench_validation () =
   let good =
     Run_report.bench_to_json ~generated_at:"2026-01-01T00:00:00Z" ~seed:1996
@@ -324,6 +337,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[ ("msdq/parse-q1", 2500.0) ]
   in
@@ -407,6 +421,7 @@ let test_bench_validation () =
        ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
        ~latency:latency_section ~auto_sweep:auto_sweep_section
        ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
        ~strategies:[ ("BL", -1.0, 0.05) ]
        ~wall:[]);
   (* Newer schemas declared without their sections: the validator must
@@ -496,6 +511,30 @@ let test_bench_validation () =
            if String.equal k "schema" then (k, Json.Str s) else (k, v)))
   in
   reject "/7 without auto_sweep" (without "auto_sweep" good);
+  (* The /10 section: a /10 document must carry a well-formed microbench,
+     a /9 one need not. *)
+  reject "/10 without microbench" (without "microbench" good);
+  (match
+     Run_report.validate_bench
+       (with_schema Run_report.bench_schema_v9 (without "microbench" good))
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid /9 document rejected: %s" msg);
+  let with_microbench m =
+    Run_report.bench_to_json ~generated_at:"t" ~seed:1
+      ~parallel:parallel_section ~fault_sweep:fault_sweep_section
+      ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
+      ~latency:latency_section ~auto_sweep:auto_sweep_section
+      ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:m
+      ~strategies:[ ("BL", 0.1, 0.05) ]
+      ~wall:[]
+  in
+  reject "non-positive microbench speedup"
+    (with_microbench
+       { microbench_section with Run_report.mb_eval_speedup = 0.0 });
+  reject "microbench without objects"
+    (with_microbench { microbench_section with Run_report.mb_objects = 0 });
   (match
      Run_report.validate_bench
        (with_schema Run_report.bench_schema_v6 (without "auto_sweep" good))
@@ -508,6 +547,7 @@ let test_bench_validation () =
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -522,6 +562,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -539,6 +580,7 @@ let test_bench_validation () =
       ~serve_sweep:serve_sweep_section ~latency:latency_section
       ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -580,6 +622,7 @@ let test_bench_validation () =
       ~serve_sweep:{ serve_sweep_section with Serve_sweep.series }
       ~latency:latency_section ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -606,6 +649,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency ~auto_sweep:auto_sweep_section
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -636,6 +680,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto
       ~overload_sweep:overload_sweep_section ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in
@@ -672,6 +717,7 @@ let test_bench_validation () =
       ~recovery_sweep:recovery_sweep_section ~serve_sweep:serve_sweep_section
       ~latency:latency_section ~auto_sweep:auto_sweep_section ~overload_sweep:o
       ~gray_sweep:gray_sweep_section
+      ~microbench:microbench_section
       ~strategies:[ ("BL", 0.1, 0.05) ]
       ~wall:[]
   in

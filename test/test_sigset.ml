@@ -1,0 +1,172 @@
+open Msdq_odb
+
+(* The columnar signature store (Sigset) must answer exactly as the
+   per-object Signature it replaces on the BLS/PLS hot path: same
+   digests, same conservative cases, same spill behavior past one mask
+   word. *)
+
+let mk_schema attrs = Schema.create [ Schema.{ cname = "T"; attrs } ]
+
+let int_str_schema =
+  mk_schema
+    Schema.
+      [
+        { aname = "a"; atype = Prim P_int }; { aname = "b"; atype = Prim P_string };
+      ]
+
+(* Boundary: an empty extent has an empty store and nothing to refute. *)
+let test_empty_extent () =
+  let db = Database.create ~name:"t" ~schema:int_str_schema in
+  let ext = Database.extent_handle db "T" in
+  let sigs = Extent.signatures ext in
+  Alcotest.(check int) "no rows" 0 (Sigset.size sigs);
+  Alcotest.(check int) "nothing refuted" 0
+    (Sigset.refuted_count sigs ~index:0 ~op:Relop.Eq ~operand:(Value.Int 1))
+
+(* Boundary: all-null fields leave every slot maskless, so the filter
+   never refutes anything — conservative, never wrong. *)
+let test_all_missing () =
+  let db = Database.create ~name:"t" ~schema:int_str_schema in
+  for _ = 1 to 5 do
+    ignore (Database.add db ~cls:"T" [ Value.Null; Value.Null ])
+  done;
+  let sigs = Extent.signatures (Database.extent_handle db "T") in
+  Alcotest.(check int) "five rows" 5 (Sigset.size sigs);
+  for index = 0 to 1 do
+    Alcotest.(check int) "all conservative" 0
+      (Sigset.refuted_count sigs ~index ~op:Relop.Eq ~operand:(Value.Int 7));
+    Alcotest.(check bool) "row passes" true
+      (Sigset.may_satisfy sigs ~row:0 ~index ~op:Relop.Eq
+         ~operand:(Value.Str "x"))
+  done
+
+(* Boundary: a width past Bitset.bits_per_word (63) spills the slot mask
+   into a second word per object; slots on both sides of the boundary
+   must digest and filter. *)
+let test_second_word_spill () =
+  let width = Bitset.bits_per_word + 17 in
+  let sigs = Sigset.create ~width ~arity:width () in
+  let fields = Array.init width (fun i -> Value.Int i) in
+  let row = Sigset.append sigs fields in
+  Alcotest.(check int) "two mask words" 2 (Sigset.words_per_obj sigs);
+  List.iter
+    (fun index ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d matches its own value" index)
+        true
+        (Sigset.may_satisfy sigs ~row ~index ~op:Relop.Eq
+           ~operand:(Value.Int index));
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d filters a mismatch" index)
+        false
+        (Sigset.may_satisfy sigs ~row ~index ~op:Relop.Eq
+           ~operand:(Value.Int (index + 1000))))
+    [ 0; Bitset.bits_per_word - 1; Bitset.bits_per_word; width - 1 ];
+  (* Past the width: conservative, exactly like Signature. *)
+  Alcotest.(check bool) "out of range conservative" true
+    (Sigset.may_satisfy sigs ~row ~index:width ~op:Relop.Eq
+       ~operand:(Value.Int 0))
+
+let test_bitset_spill () =
+  let b = Bitset.create 4 in
+  Bitset.set b (Bitset.bits_per_word + 7);
+  Alcotest.(check bool) "spilled bit set" true
+    (Bitset.mem b (Bitset.bits_per_word + 7));
+  Alcotest.(check bool) "word-boundary bit clear" false
+    (Bitset.mem b (Bitset.bits_per_word - 1));
+  Alcotest.(check int) "one bit" 1 (Bitset.cardinal b);
+  Alcotest.(check bool) "capacity spans two words" true
+    (Bitset.capacity b >= 2 * Bitset.bits_per_word)
+
+(* The equivalence that justifies the columnar rewrite: on every row of
+   an extent, Sigset answers exactly as Signature.of_object on the boxed
+   handle — across value kinds, null slots, every operator, and indices
+   beyond the digest width. *)
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Value.Int i) small_int);
+        (2, map (fun f -> Value.Float (float_of_int f /. 4.0)) small_int);
+        (3, map (fun s -> Value.Str s) (string_size (int_range 0 6)));
+        (1, map (fun b -> Value.Bool b) bool);
+        (1, return Value.Null);
+      ])
+
+let op_gen =
+  QCheck.Gen.oneofl Relop.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let prop_matches_per_object_signatures =
+  QCheck.Test.make ~name:"sigset answers = per-object signatures" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          quad
+            (list_size (int_range 0 8) (array_size (return 3) value_gen))
+            (int_range 0 4) op_gen value_gen))
+    (fun (rows, index, op, operand) ->
+      let schema =
+        mk_schema
+          Schema.
+            [
+              { aname = "a"; atype = Prim P_int };
+              { aname = "b"; atype = Prim P_string };
+              { aname = "c"; atype = Prim P_float };
+            ]
+      in
+      let db = Database.create ~name:"t" ~schema in
+      (* Coerce the generated values to the declared column types where
+         the schema would reject them; nulls stay null. *)
+      let coerce col v =
+        match (col, v) with
+        | _, Value.Null -> Value.Null
+        | 0, v -> Value.Int (Hashtbl.hash v land 0xff)
+        | 1, Value.Str s -> Value.Str s
+        | 1, v -> Value.Str (string_of_int (Hashtbl.hash v land 0xff))
+        | _, Value.Float f -> Value.Float f
+        | _, v -> Value.Float (float_of_int (Hashtbl.hash v land 0xff))
+      in
+      let handles =
+        List.map
+          (fun fields ->
+            Database.add db ~cls:"T" (List.mapi coerce (Array.to_list fields)))
+          rows
+      in
+      let sigs = Extent.signatures (Database.extent_handle db "T") in
+      List.for_all2
+        (fun row obj ->
+          let expect =
+            Signature.may_satisfy (Signature.of_object obj) ~index ~op ~operand
+          in
+          Sigset.may_satisfy sigs ~row ~index ~op ~operand = expect)
+        (List.init (List.length handles) Fun.id)
+        handles)
+
+(* refuted_count is just may_satisfy summed over the extent. *)
+let prop_refuted_count_consistent =
+  QCheck.Test.make ~name:"refuted_count = rows failing may_satisfy" ~count:200
+    QCheck.(pair (small_list small_int) small_int)
+    (fun (ints, probe) ->
+      let db = Database.create ~name:"t" ~schema:int_str_schema in
+      List.iter
+        (fun i ->
+          ignore (Database.add db ~cls:"T" [ Value.Int i; Value.Null ]))
+        ints;
+      let sigs = Extent.signatures (Database.extent_handle db "T") in
+      let operand = Value.Int probe in
+      let by_rows = ref 0 in
+      for row = 0 to Sigset.size sigs - 1 do
+        if not (Sigset.may_satisfy sigs ~row ~index:0 ~op:Relop.Eq ~operand)
+        then incr by_rows
+      done;
+      Sigset.refuted_count sigs ~index:0 ~op:Relop.Eq ~operand = !by_rows)
+
+let suite =
+  [
+    Alcotest.test_case "empty extent" `Quick test_empty_extent;
+    Alcotest.test_case "all-missing attributes" `Quick test_all_missing;
+    Alcotest.test_case "second-word spill" `Quick test_second_word_spill;
+    Alcotest.test_case "bitset spill" `Quick test_bitset_spill;
+    QCheck_alcotest.to_alcotest prop_matches_per_object_signatures;
+    QCheck_alcotest.to_alcotest prop_refuted_count_consistent;
+  ]

@@ -13,7 +13,10 @@
      baseline's p99 failing to grow monotonically past it), or a
      gray-sweep win-condition break (the adaptive-timeout arm demoting
      more rows than the static arm on any cell, or failing to cut mean
-     response on the slowdown cells by the pinned margin);
+     response on the slowdown cells by the pinned margin), or a
+     microbench bar break (the columnar local-eval speedup falling under
+     5x, or the bitset signature filter losing to the per-object one —
+     both same-process ratios, so safe to gate cross-machine);
    - per-section simulated-time regressions beyond --tolerance (default
      0.2 = 20%) against the baseline.
 
@@ -303,6 +306,34 @@ let check_gray_ranks fresh =
       "gray ranks: adaptive demotes no more than static everywhere and \
        wins the slowdown cells"
 
+(* The columnar engine's acceptance bar (the /10 section): the same-process
+   speedup of columnar over boxed local evaluation must hold >= 5x, and the
+   bitset signature filter must not be slower than the per-object one.
+   Raw objects/sec are machine-dependent and never compared across
+   documents — only these within-document ratios are gated. *)
+let check_microbench_ranks fresh =
+  match Json.member "microbench" fresh with
+  | None -> skip "microbench ranks: fresh document has no microbench section"
+  | Some m ->
+    let speedup section =
+      Option.bind (Json.member section m) (num "speedup")
+    in
+    (match speedup "local_eval" with
+    | None -> fail "microbench ranks: local_eval speedup missing"
+    | Some s when s < 5.0 ->
+      fail "microbench ranks: columnar local-eval speedup %.2fx below the \
+            5x bar"
+        s
+    | Some s -> pass "microbench ranks: columnar local-eval speedup %.1fx" s);
+    (match speedup "signature_filter" with
+    | None -> fail "microbench ranks: signature_filter speedup missing"
+    | Some s when s < 1.0 ->
+      fail "microbench ranks: bitset signature filter %.2fx slower than the \
+            per-object filter"
+        s
+    | Some s ->
+      pass "microbench ranks: bitset signature-filter speedup %.1fx" s)
+
 (* ---- regression comparisons against the baseline ---- *)
 
 (* Lower-is-better metric: fresh must stay within (1 + tolerance) of the
@@ -533,6 +564,7 @@ let () =
       check_auto_ranks fresh;
       check_overload_ranks fresh;
       check_gray_ranks fresh;
+      check_microbench_ranks fresh;
       compare_strategies ~tolerance ~base ~fresh;
       compare_latency ~tolerance ~base ~fresh;
       compare_sweep_responses ~tolerance ~section:"fault_sweep" ~base ~fresh;

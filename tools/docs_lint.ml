@@ -1,15 +1,21 @@
-(* docs_lint: check that every relative markdown link in the repo resolves.
+(* docs_lint: check that every relative markdown link in the repo
+   resolves, and that no file under docs/ is orphaned.
 
    Walks the tree from the current directory (skipping _build, .git and
    node_modules), collects *.md files, extracts inline links and images
    ([text](target) / ![alt](target)), and verifies that each relative
-   target exists on disk, resolved against the file's directory. External
-   schemes (http:, https:, mailto:) and pure in-page anchors (#...) are
-   ignored; a #fragment on a relative target is stripped before the
-   existence check.
+   target exists on disk, resolved against the file's directory.
+   External schemes (http:, https:, mailto:) and pure in-page anchors
+   (#...) are ignored; a #fragment on a relative target is stripped
+   before the existence check.
 
-   Exit status 0 when every link resolves, 1 otherwise (one line per
-   broken link). Run with: dune exec tools/docs_lint.exe *)
+   A second pass walks the markdown link graph from README.md and
+   reports any docs/*.md not reachable from it: a doc nobody links to
+   from the index is invisible to readers and rots silently.
+
+   Exit status 0 when every link resolves and docs/ has no orphans,
+   1 otherwise (one line per problem). Run with:
+   dune exec tools/docs_lint.exe *)
 
 let skip_dirs = [ "_build"; ".git"; "node_modules" ]
 
@@ -30,79 +36,51 @@ let read_file path =
   close_in ic;
   s
 
-(* Matches [text](target) and ![alt](target); target is everything up to
-   the first ')' or whitespace, which covers the links our docs write
-   (no nested parens, optional "title" rejected as broken — we don't use
-   them). *)
-let link_re = Str.regexp "!?\\[[^]]*\\](\\([^) \t\n]+\\))"
-
-(* Code is not prose: a literal [text](path) shown inside a fenced block
-   or an inline `code span` is an example, not a link to resolve. Blank
-   out fenced blocks line by line, then inline spans, before matching. *)
-let fence_re = Str.regexp "^[ \t]*```"
-let span_re = Str.regexp "`[^`\n]*`"
-
-let strip_code text =
-  let lines = String.split_on_char '\n' text in
-  let _, stripped =
-    List.fold_left
-      (fun (in_fence, acc) line ->
-        if Str.string_match fence_re line 0 then (not in_fence, "" :: acc)
-        else if in_fence then (in_fence, "" :: acc)
-        else (in_fence, Str.global_replace span_re "" line :: acc))
-      (false, []) lines
-  in
-  String.concat "\n" (List.rev stripped)
-
-let targets_of text =
-  let rec collect pos acc =
-    match Str.search_forward link_re text pos with
-    | exception Not_found -> List.rev acc
-    | _ ->
-      let target = Str.matched_group 1 text in
-      collect (Str.match_end ()) (target :: acc)
-  in
-  collect 0 []
-
-let external_target t =
-  String.length t = 0
-  || t.[0] = '#'
-  || List.exists
-       (fun p -> String.length t >= String.length p
-                 && String.sub t 0 (String.length p) = p)
-       [ "http://"; "https://"; "mailto:" ]
-
-let strip_fragment t =
-  match String.index_opt t '#' with
-  | None -> t
-  | Some i -> String.sub t 0 i
-
 let () =
   let files = List.sort compare (walk "." []) in
-  let broken = ref 0 in
+  let problems = ref 0 in
+  let links = ref [] in
   List.iter
     (fun file ->
       let dir = Filename.dirname file in
+      let md_targets = ref [] in
       List.iter
         (fun target ->
-          if not (external_target target) then begin
-            let rel = strip_fragment target in
+          if not (Docs_lint_core.external_target target) then begin
+            let rel = Docs_lint_core.strip_fragment target in
             let resolved =
               if Filename.is_relative rel then Filename.concat dir rel
               else Filename.concat "." rel
             in
-            if rel <> "" && not (Sys.file_exists resolved) then begin
-              incr broken;
-              Printf.printf "%s: broken link -> %s\n" file target
-            end
+            if rel <> "" then
+              if not (Sys.file_exists resolved) then begin
+                incr problems;
+                Printf.printf "%s: broken link -> %s\n" file target
+              end
+              else if Filename.check_suffix rel ".md" then
+                md_targets := resolved :: !md_targets
           end)
-        (targets_of (strip_code (read_file file))))
+        (Docs_lint_core.targets_of
+           (Docs_lint_core.strip_code (read_file file)));
+      links := (file, List.rev !md_targets) :: !links)
     files;
-  if !broken > 0 then begin
-    Printf.printf "%d broken link(s) across %d markdown file(s)\n" !broken
+  (* Orphan pass: every doc under docs/ must be reachable from the
+     README's docs index by following markdown links. *)
+  let candidates =
+    List.filter (fun f -> String.length f > 7 && String.sub f 0 7 = "./docs/")
+      files
+  in
+  List.iter
+    (fun orphan ->
+      incr problems;
+      Printf.printf "%s: orphan — not reachable from README.md\n" orphan)
+    (Docs_lint_core.orphans ~roots:[ "./README.md" ] ~links:!links ~candidates);
+  if !problems > 0 then begin
+    Printf.printf "%d problem(s) across %d markdown file(s)\n" !problems
       (List.length files);
     exit 1
   end
   else
-    Printf.printf "docs-lint: %d markdown file(s), all relative links resolve\n"
+    Printf.printf
+      "docs-lint: %d markdown file(s), all links resolve, no orphans in docs/\n"
       (List.length files)

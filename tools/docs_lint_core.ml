@@ -1,0 +1,88 @@
+(* Pure core of the docs linter: markdown link extraction, path
+   normalization, and reachability over an in-memory link graph. The
+   docs_lint executable wires this to the filesystem; factoring the
+   logic here keeps the orphan detection unit-testable without touching
+   disk. *)
+
+(* Matches [text](target) and ![alt](target); target is everything up to
+   the first ')' or whitespace, which covers the links our docs write
+   (no nested parens, optional "title" rejected as broken — we don't use
+   them). *)
+let link_re = Str.regexp "!?\\[[^]]*\\](\\([^) \t\n]+\\))"
+
+(* Code is not prose: a literal [text](path) shown inside a fenced block
+   or an inline `code span` is an example, not a link to resolve. Blank
+   out fenced blocks line by line, then inline spans, before matching. *)
+let fence_re = Str.regexp "^[ \t]*```"
+let span_re = Str.regexp "`[^`\n]*`"
+
+let strip_code text =
+  let lines = String.split_on_char '\n' text in
+  let _, stripped =
+    List.fold_left
+      (fun (in_fence, acc) line ->
+        if Str.string_match fence_re line 0 then (not in_fence, "" :: acc)
+        else if in_fence then (in_fence, "" :: acc)
+        else (in_fence, Str.global_replace span_re "" line :: acc))
+      (false, []) lines
+  in
+  String.concat "\n" (List.rev stripped)
+
+let targets_of text =
+  let rec collect pos acc =
+    match Str.search_forward link_re text pos with
+    | exception Not_found -> List.rev acc
+    | _ ->
+      let target = Str.matched_group 1 text in
+      collect (Str.match_end ()) (target :: acc)
+  in
+  collect 0 []
+
+let external_target t =
+  String.length t = 0
+  || t.[0] = '#'
+  || List.exists
+       (fun p ->
+         String.length t >= String.length p && String.sub t 0 (String.length p) = p)
+       [ "http://"; "https://"; "mailto:" ]
+
+let strip_fragment t =
+  match String.index_opt t '#' with
+  | None -> t
+  | Some i -> String.sub t 0 i
+
+(* Collapse "." and ".." segments so "./docs/X.md" and
+   "docs/../docs/X.md" compare equal as graph nodes. *)
+let normalize path =
+  let segs = String.split_on_char '/' path in
+  let stack =
+    List.fold_left
+      (fun stack seg ->
+        match (seg, stack) with
+        | ("" | "."), _ -> stack
+        | "..", top :: rest when top <> ".." -> rest
+        | s, _ -> s :: stack)
+      [] segs
+  in
+  String.concat "/" (List.rev stack)
+
+let reachable ~roots ~links =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (file, targets) ->
+      Hashtbl.replace adj (normalize file) (List.map normalize targets))
+    links;
+  let seen = Hashtbl.create 16 in
+  let rec visit node =
+    let node = normalize node in
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt adj node))
+    end
+  in
+  List.iter visit roots;
+  seen
+
+let orphans ~roots ~links ~candidates =
+  let seen = reachable ~roots ~links in
+  List.filter (fun c -> not (Hashtbl.mem seen (normalize c))) candidates

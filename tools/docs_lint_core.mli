@@ -1,0 +1,43 @@
+(** Pure core of the docs linter.
+
+    Markdown link extraction, path normalization, and reachability over
+    an in-memory link graph. The [docs_lint] executable wires this to
+    the filesystem; keeping the logic here makes the orphan detection
+    unit-testable without touching disk. *)
+
+val strip_code : string -> string
+(** Blank out fenced code blocks and inline code spans so literal
+    [[text](path)] examples inside them are not treated as links. *)
+
+val targets_of : string -> string list
+(** All inline link and image targets in a markdown text, in order.
+    Apply {!strip_code} first to skip examples inside code. *)
+
+val external_target : string -> bool
+(** True for targets the linter ignores: empty strings, pure in-page
+    anchors ([#...]), and [http://], [https://] or [mailto:] URLs. *)
+
+val strip_fragment : string -> string
+(** Drop a trailing [#fragment] from a relative target, keeping the
+    file path that must exist on disk. *)
+
+val normalize : string -> string
+(** Collapse ["."] and [".."] path segments so equivalent spellings of
+    the same file (e.g. ["./docs/X.md"] and ["docs/../docs/X.md"])
+    compare equal as graph nodes. *)
+
+val reachable :
+  roots:string list ->
+  links:(string * string list) list ->
+  (string, unit) Hashtbl.t
+(** Breadth of the link graph: the set of nodes reachable from [roots]
+    over [links], an adjacency list of (file, link targets) pairs. All
+    paths are {!normalize}d before comparison. *)
+
+val orphans :
+  roots:string list ->
+  links:(string * string list) list ->
+  candidates:string list ->
+  string list
+(** The subset of [candidates] not {!reachable} from [roots] — files
+    that exist but that no indexed page links to. *)
